@@ -1,0 +1,55 @@
+// The real AMG proxy (geometric multigrid Poisson solver): setup/solve
+// FOMs across grid resolutions, demonstrating the h-independent
+// convergence AMG benchmarks measure, plus the threaded smoother.
+#include <benchmark/benchmark.h>
+
+#include "src/benchmarks/multigrid.hpp"
+
+namespace {
+
+namespace bm = benchpark::benchmarks;
+
+void BM_MultigridSolve(benchmark::State& state) {
+  bm::MultigridOptions options;
+  options.n = static_cast<std::size_t>(state.range(0));
+  int cycles = 0;
+  double fom = 0;
+  for (auto _ : state) {
+    auto result = bm::solve_poisson_multigrid(options);
+    cycles = result.cycles;
+    fom = result.solve_fom();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["cycles"] = cycles;
+  state.counters["FOM_Solve"] = fom;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * state.range(0) * cycles);
+}
+BENCHMARK(BM_MultigridSolve)->Arg(31)->Arg(63)->Arg(127)->Arg(255)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultigridThreaded(benchmark::State& state) {
+  bm::MultigridOptions options;
+  options.n = 255;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm::solve_poisson_multigrid(options));
+  }
+}
+BENCHMARK(BM_MultigridThreaded)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultigridSetupPhase(benchmark::State& state) {
+  bm::MultigridOptions options;
+  options.n = static_cast<std::size_t>(state.range(0));
+  options.max_cycles = 0;  // setup only (hierarchy + RHS)
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm::solve_poisson_multigrid(options));
+  }
+}
+BENCHMARK(BM_MultigridSetupPhase)->Arg(63)->Arg(255)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Archspec benchmarks: detection and flag-resolution throughput — paid on
+// every concretization and every generated build recipe (Sec. 3.1.3).
+#include <benchmark/benchmark.h>
+
+#include "src/archspec/microarch.hpp"
+
+namespace {
+
+namespace arch = benchpark::archspec;
+using benchpark::spec::Version;
+
+void BM_DetectFromCpuinfo(benchmark::State& state) {
+  std::string cpuinfo =
+      "processor : 0\nvendor_id : GenuineIntel\n"
+      "model name : Intel(R) Xeon(R) CPU E5-2695 v4 @ 2.10GHz\n"
+      "flags : fpu vme de pse tsc msr pae mce cx8 sse sse2 ssse3 sse4_1 "
+      "sse4_2 popcnt avx avx2 fma bmi2 adx rdseed\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::detect_from_cpuinfo(cpuinfo));
+  }
+}
+BENCHMARK(BM_DetectFromCpuinfo);
+
+void BM_OptimizationFlags(benchmark::State& state) {
+  Version gcc("12.1.1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::optimization_flags("gcc", gcc, "zen3"));
+    benchmark::DoNotOptimize(
+        arch::optimization_flags("gcc", gcc, "power9le"));
+    benchmark::DoNotOptimize(
+        arch::optimization_flags("intel", Version("2021.6.0"),
+                                 "cascadelake"));
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_OptimizationFlags);
+
+void BM_CompatibilityQuery(benchmark::State& state) {
+  const auto& db = arch::MicroarchDatabase::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.compatible("zen4", "x86_64_v3"));
+    benchmark::DoNotOptimize(db.compatible("broadwell", "skylake_avx512"));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CompatibilityQuery);
+
+void BM_AncestorWalk(benchmark::State& state) {
+  const auto& db = arch::MicroarchDatabase::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.ancestors("sapphirerapids"));
+  }
+}
+BENCHMARK(BM_AncestorWalk);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Binary-cache ablation (Section 7.2): "the Spack build pipeline and
+// rolling binary cache makes packages available to all Spack users ...
+// focusing the time to build applications on only the dependencies with
+// special requirements."
+//
+// Measures real engine time for cold/warm installs and reports the
+// modeled build-time saving (simulated seconds) as counters.
+#include <benchmark/benchmark.h>
+
+#include "src/buildcache/binary_cache.hpp"
+#include "src/concretizer/concretizer.hpp"
+#include "src/env/environment.hpp"
+#include "src/install/installer.hpp"
+#include "src/pkg/repo.hpp"
+#include "src/system/system.hpp"
+
+namespace {
+
+using namespace benchpark;
+
+env::Environment concretized_env() {
+  const auto& cts1 = system::SystemRegistry::instance().get("cts1");
+  concretizer::Concretizer cz(pkg::default_repo_stack(), cts1.config);
+  env::Environment environment;
+  environment.add("amg2023+caliper");
+  environment.add("saxpy+openmp");
+  environment.concretize(cz);
+  return environment;
+}
+
+void BM_ColdInstall(benchmark::State& state) {
+  auto environment = concretized_env();
+  double simulated = 0;
+  for (auto _ : state) {
+    buildcache::BinaryCache cache;
+    install::InstallTree tree;
+    install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
+    auto report = environment.install_all(installer);
+    simulated = report.total_simulated_seconds;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["modeled_build_s"] = simulated;
+}
+BENCHMARK(BM_ColdInstall);
+
+void BM_WarmCacheInstall(benchmark::State& state) {
+  auto environment = concretized_env();
+  buildcache::BinaryCache cache;  // warmed once, shared across iterations
+  {
+    install::InstallTree tree;
+    install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
+    (void)environment.install_all(installer);
+  }
+  double simulated = 0;
+  for (auto _ : state) {
+    install::InstallTree tree;  // fresh site, warm mirror
+    install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
+    auto report = environment.install_all(installer);
+    simulated = report.total_simulated_seconds;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["modeled_fetch_s"] = simulated;
+  state.counters["cache_hits"] = static_cast<double>(cache.stats().hits);
+}
+BENCHMARK(BM_WarmCacheInstall);
+
+void BM_CacheLookup(benchmark::State& state) {
+  const auto& cts1 = system::SystemRegistry::instance().get("cts1");
+  concretizer::Concretizer cz(pkg::default_repo_stack(), cts1.config);
+  auto spec = cz.concretize("hypre");
+  buildcache::BinaryCache cache;
+  cache.push(spec, 50 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.fetch(spec));
+  }
+}
+BENCHMARK(BM_CacheLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

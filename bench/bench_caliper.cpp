@@ -1,0 +1,67 @@
+// Annotation-overhead benchmarks: what always-on Caliper-style profiling
+// (Section 5) costs per region, and Thicket composition throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/thicket.hpp"
+#include "src/perf/caliper.hpp"
+
+namespace {
+
+namespace perf = benchpark::perf;
+
+void BM_RegionBeginEnd(benchmark::State& state) {
+  perf::Caliper::reset();
+  for (auto _ : state) {
+    perf::Caliper::begin("kernel");
+    perf::Caliper::end("kernel");
+  }
+  state.SetItemsProcessed(state.iterations());
+  perf::Caliper::reset();
+}
+BENCHMARK(BM_RegionBeginEnd);
+
+void BM_NestedRegions(benchmark::State& state) {
+  perf::Caliper::reset();
+  for (auto _ : state) {
+    perf::ScopedRegion main("main");
+    perf::ScopedRegion solve("solve");
+    perf::ScopedRegion residual("residual");
+    benchmark::ClobberMemory();
+  }
+  perf::Caliper::reset();
+}
+BENCHMARK(BM_NestedRegions);
+
+void BM_SnapshotCost(benchmark::State& state) {
+  perf::Caliper::reset();
+  for (int i = 0; i < 200; ++i) {
+    perf::Caliper::record("region/" + std::to_string(i), 0.001, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perf::Caliper::snapshot());
+  }
+  perf::Caliper::reset();
+}
+BENCHMARK(BM_SnapshotCost);
+
+void BM_ThicketStats(benchmark::State& state) {
+  benchpark::analysis::Thicket thicket;
+  for (int col = 0; col < 16; ++col) {
+    perf::Profile profile;
+    for (int r = 0; r < 64; ++r) {
+      profile.regions.push_back(
+          {"main/region" + std::to_string(r), 10, 0.01 * (col + r)});
+    }
+    profile.metadata["run"] = std::to_string(col);
+    thicket.add_profile("run" + std::to_string(col), std::move(profile));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thicket.stats());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 16);
+}
+BENCHMARK(BM_ThicketStats);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// CI-layer benchmarks: Hubcast evaluation/mirroring cost and pipeline
+// engine throughput — the overheads the Figure 6 loop adds on top of the
+// benchmark work itself.
+#include <benchmark/benchmark.h>
+
+#include "src/ci/git.hpp"
+#include "src/ci/hubcast.hpp"
+#include "src/ci/pipeline.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace {
+
+namespace ci = benchpark::ci;
+
+struct Fixture {
+  ci::GitHost github{"github"};
+  ci::GitHost gitlab{"gitlab"};
+  std::uint64_t pr;
+
+  Fixture() {
+    github.create_repo("llnl", "benchpark")
+        .commit("main", "olga", "init", {{"a", "1"}});
+    gitlab.create_repo("llnl", "benchpark")
+        .commit("main", "hubcast", "init", {{"a", "1"}});
+    github.fork("llnl/benchpark", "student");
+    github.repo("student/benchpark")
+        .commit("change", "student", "update", {{"a", "2"}});
+    pr = github.open_pr("update", "student", "student/benchpark", "change",
+                        "llnl/benchpark");
+    github.approve_pr(pr, "site-admin");
+  }
+
+  ci::Hubcast hubcast() {
+    ci::SecurityPolicy policy;
+    policy.admins = {"site-admin"};
+    return ci::Hubcast(&github, &gitlab, "llnl/benchpark", policy);
+  }
+};
+
+void BM_HubcastEvaluate(benchmark::State& state) {
+  Fixture fx;
+  auto hubcast = fx.hubcast();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hubcast.evaluate(fx.pr));
+  }
+}
+BENCHMARK(BM_HubcastEvaluate);
+
+void BM_HubcastMirror(benchmark::State& state) {
+  Fixture fx;
+  auto hubcast = fx.hubcast();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hubcast.try_mirror_pr(fx.pr));
+  }
+}
+BENCHMARK(BM_HubcastMirror);
+
+void BM_PipelineEngine(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  std::string yaml = "stages: [bench]\n";
+  for (int i = 0; i < jobs; ++i) {
+    yaml += "job" + std::to_string(i) + ":\n  stage: bench\n  tags: [x]\n";
+  }
+  auto def = ci::PipelineDef::from_yaml(benchpark::yaml::parse(yaml));
+  ci::SiteAccounts accounts;
+  accounts.add("olga", 1);
+  ci::PipelineEngine engine;
+  engine.register_runner(
+      {"r", {"x"}, std::make_shared<ci::Jacamar>("llnl", accounts)});
+  engine.set_default_action(
+      [](const ci::JobContext&) { return ci::JobOutcome{true, ""}; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(def, "sha", "olga"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * jobs);
+}
+BENCHMARK(BM_PipelineEngine)->Range(4, 256);
+
+void BM_GitCommit(benchmark::State& state) {
+  ci::GitHost host("github");
+  auto& repo = host.create_repo("o", "r");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.commit(
+        "main", "user", "msg", {{"file" + std::to_string(i % 100), "x"}}));
+    ++i;
+  }
+}
+BENCHMARK(BM_GitCommit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

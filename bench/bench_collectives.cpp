@@ -1,0 +1,73 @@
+// Collective cost-model sweeps: per-system alpha-beta behavior across
+// rank counts and message sizes — the substrate behind Figure 14 and the
+// cross-fabric comparisons (Omni-Path vs EDR vs Slingshot vs cloud EFA).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+#include "src/system/perf_model.hpp"
+#include "src/system/system.hpp"
+
+namespace {
+
+namespace sys = benchpark::system;
+
+const char* kSystems[] = {"cts1", "ats2", "ats4", "cloud-cts"};
+
+void BM_BcastAcrossRanks(benchmark::State& state) {
+  const auto& cts1 = sys::SystemRegistry::instance().get("cts1");
+  sys::PerfModel model(cts1);
+  const int p = static_cast<int>(state.range(0));
+  double t = 0;
+  for (auto _ : state) {
+    t = model.collective_seconds(sys::Collective::bcast, p, 8);
+    benchpark_bench::keep(t);
+  }
+  state.counters["bcast_us"] = t * 1e6;
+}
+BENCHMARK(BM_BcastAcrossRanks)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_BcastAcrossSystems(benchmark::State& state) {
+  const char* name = kSystems[state.range(0)];
+  const auto& system = sys::SystemRegistry::instance().get(name);
+  sys::PerfModel model(system);
+  double t = 0;
+  for (auto _ : state) {
+    t = model.collective_seconds(sys::Collective::bcast, 1024, 8);
+    benchpark_bench::keep(t);
+  }
+  state.SetLabel(name);
+  state.counters["bcast1k_us"] = t * 1e6;
+}
+BENCHMARK(BM_BcastAcrossSystems)->DenseRange(0, 3, 1);
+
+void BM_AllreduceMessageSizes(benchmark::State& state) {
+  const auto& ats4 = sys::SystemRegistry::instance().get("ats4");
+  sys::PerfModel model(ats4);
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  double t = 0;
+  for (auto _ : state) {
+    t = model.collective_seconds(sys::Collective::allreduce, 512, bytes);
+    benchpark_bench::keep(t);
+  }
+  state.counters["allreduce_us"] = t * 1e6;
+}
+BENCHMARK(BM_AllreduceMessageSizes)->RangeMultiplier(16)->Range(8, 1 << 24);
+
+void BM_CollectiveKinds(benchmark::State& state) {
+  const auto& cts1 = sys::SystemRegistry::instance().get("cts1");
+  sys::PerfModel model(cts1);
+  const auto kind = static_cast<sys::Collective>(state.range(0));
+  double t = 0;
+  for (auto _ : state) {
+    t = model.collective_seconds(kind, 512, 4096);
+    benchpark_bench::keep(t);
+  }
+  state.SetLabel(std::string(sys::collective_name(kind)));
+  state.counters["time_us"] = t * 1e6;
+}
+BENCHMARK(BM_CollectiveKinds)->DenseRange(0, 4, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

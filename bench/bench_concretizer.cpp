@@ -1,0 +1,93 @@
+// Concretizer benchmarks: the cost of turning abstract specs into
+// concrete build DAGs on the cts1 scope (Figure 4 externals), and how
+// environment unification scales with the number of root specs.
+#include <benchmark/benchmark.h>
+
+#include "src/concretizer/concretizer.hpp"
+#include "src/env/environment.hpp"
+#include "src/pkg/repo.hpp"
+#include "src/system/system.hpp"
+
+namespace {
+
+using benchpark::concretizer::Concretizer;
+namespace pkg = benchpark::pkg;
+
+Concretizer make_cts1_concretizer() {
+  const auto& cts1 = benchpark::system::SystemRegistry::instance().get("cts1");
+  return Concretizer(pkg::default_repo_stack(), cts1.config);
+}
+
+void BM_ConcretizeSaxpy(benchmark::State& state) {
+  auto concretizer = make_cts1_concretizer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concretizer.concretize("saxpy+openmp"));
+  }
+}
+BENCHMARK(BM_ConcretizeSaxpy);
+
+void BM_ConcretizeAmgFullStack(benchmark::State& state) {
+  // amg2023+caliper closes over hypre, blas/mpi externals, caliper, adiak,
+  // cmake — the paper's Figure 2 spec.
+  auto concretizer = make_cts1_concretizer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concretizer.concretize("amg2023+caliper"));
+  }
+}
+BENCHMARK(BM_ConcretizeAmgFullStack);
+
+void BM_ConcretizeWithUserConstraints(benchmark::State& state) {
+  auto concretizer = make_cts1_concretizer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concretizer.concretize(
+        "amg2023@1.1+caliper%gcc@12.1.1 target=broadwell ^hypre@2.28.0"));
+  }
+}
+BENCHMARK(BM_ConcretizeWithUserConstraints);
+
+void BM_EnvironmentUnifyScaling(benchmark::State& state) {
+  // Environments with N roots sharing one dependency closure (unify:true):
+  // later roots should reuse the context instead of re-solving.
+  const char* roots[] = {"saxpy+openmp", "amg2023+caliper", "hypre",
+                         "stream", "osu-micro-benchmarks", "hdf5",
+                         "caliper", "zlib"};
+  auto concretizer = make_cts1_concretizer();
+  for (auto _ : state) {
+    benchpark::env::Environment environment;
+    for (int i = 0; i < state.range(0); ++i) {
+      environment.add(roots[i % 8]);
+    }
+    environment.concretize(concretizer);
+    benchmark::DoNotOptimize(environment.concrete_specs());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EnvironmentUnifyScaling)->DenseRange(1, 8, 1)->Complexity();
+
+void BM_LockfileEmit(benchmark::State& state) {
+  auto concretizer = make_cts1_concretizer();
+  benchpark::env::Environment environment;
+  environment.add("amg2023+caliper");
+  environment.concretize(concretizer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(environment.lockfile());
+  }
+}
+BENCHMARK(BM_LockfileEmit);
+
+void BM_LockfileRestore(benchmark::State& state) {
+  auto concretizer = make_cts1_concretizer();
+  benchpark::env::Environment environment;
+  environment.add("amg2023+caliper");
+  environment.concretize(concretizer);
+  auto lock = environment.lockfile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        benchpark::env::Environment::from_lockfile(lock));
+  }
+}
+BENCHMARK(BM_LockfileRestore);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Extra-P fitter benchmarks: fit cost vs number of scale points and
+// hypothesis-space size — the analysis step Section 5 plans to run on
+// every collected benchmark series.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "src/analysis/extrap.hpp"
+
+namespace {
+
+namespace an = benchpark::analysis;
+
+std::vector<an::Measurement> linear_series(int points) {
+  std::vector<an::Measurement> data;
+  double p = 16;
+  for (int i = 0; i < points; ++i) {
+    data.push_back({p, -0.64 + 0.0466 * p});
+    p *= 1.7;
+  }
+  return data;
+}
+
+void BM_FitVsPoints(benchmark::State& state) {
+  auto data = linear_series(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(an::fit_scaling_model(data));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FitVsPoints)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_FitVsHypothesisSpace(benchmark::State& state) {
+  auto data = linear_series(10);
+  an::FitOptions options;
+  options.exponents.clear();
+  const int k = static_cast<int>(state.range(0));
+  for (int i = 0; i < k; ++i) {
+    options.exponents.push_back(0.25 * (i + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(an::fit_scaling_model(data, options));
+  }
+  state.counters["hypotheses"] = k * 3.0;  // x3 log exponents
+}
+BENCHMARK(BM_FitVsHypothesisSpace)->DenseRange(2, 12, 2);
+
+void BM_FitNoisyLogSeries(benchmark::State& state) {
+  std::vector<an::Measurement> data;
+  for (double p : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      data.push_back({p, 3.0 + 0.5 * std::log2(p) * (1 + 0.01 * rep)});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(an::fit_scaling_model(data));
+  }
+}
+BENCHMARK(BM_FitNoisyLogSeries);
+
+void BM_AggregateMean(benchmark::State& state) {
+  std::vector<an::Measurement> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back({static_cast<double>(i % 10), static_cast<double>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(an::aggregate_mean(data));
+  }
+}
+BENCHMARK(BM_AggregateMean);
+
+}  // namespace
+
+BENCHMARK_MAIN();

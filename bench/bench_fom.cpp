@@ -1,0 +1,73 @@
+// FOM extraction throughput: `ramble workspace analyze` applies the
+// Figure 8 regexes to every experiment's output; this measures that cost
+// against realistic and large outputs.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/fom.hpp"
+#include "src/analysis/metrics_db.hpp"
+#include "src/ramble/application.hpp"
+
+namespace {
+
+namespace an = benchpark::analysis;
+
+std::string saxpy_output_text(int noise_lines) {
+  std::string out;
+  for (int i = 0; i < noise_lines; ++i) {
+    out += "srun: job step " + std::to_string(i) + " launched\n";
+  }
+  out += "saxpy: problem size n=1024 threads=2\n";
+  out += "Kernel elapsed: 0.000123 s\n";
+  out += "Kernel GFLOP/s: 16.5\n";
+  out += "Kernel done\n";
+  return out;
+}
+
+void BM_ExtractSaxpyFoms(benchmark::State& state) {
+  const auto& app =
+      benchpark::ramble::ApplicationRegistry::instance().get("saxpy");
+  auto output = saxpy_output_text(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(an::extract_foms(app.foms(), output));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(output.size()));
+}
+BENCHMARK(BM_ExtractSaxpyFoms)->Arg(0)->Arg(100)->Arg(10000);
+
+void BM_SuccessCriteria(benchmark::State& state) {
+  const auto& app =
+      benchpark::ramble::ApplicationRegistry::instance().get("amg2023");
+  std::string output =
+      "AMG solve on 1024^2 grid, 10 levels\niterations: 10\n"
+      "Figure of Merit (FOM_Setup): 4.2e6\n"
+      "Figure of Merit (FOM_Solve): 3.1e7\nAMG converged\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        an::evaluate_success(app.success_criteria_list(), output));
+  }
+}
+BENCHMARK(BM_SuccessCriteria);
+
+void BM_MetricsDbInsertQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    an::MetricsDb db;
+    for (int i = 0; i < 1000; ++i) {
+      an::ResultRow row;
+      row.benchmark = i % 2 ? "saxpy" : "amg2023";
+      row.system = i % 3 ? "cts1" : "ats2";
+      row.experiment = "e" + std::to_string(i);
+      row.fom_name = "elapsed";
+      row.value = i * 0.001;
+      db.insert(row);
+    }
+    benchmark::DoNotOptimize(
+        db.aggregate({.benchmark = "saxpy", .system = "cts1"}));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MetricsDbInsertQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment-generation benchmarks: the Figure 10 matrix expansion and
+// how the cross-product scales with matrix dimensions (Ramble's goal of
+// "creation of large sets of experiments with concise YAML files").
+#include <benchmark/benchmark.h>
+
+#include "src/ramble/experiment.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace {
+
+namespace ramble = benchpark::ramble;
+
+void BM_Figure10Expansion(benchmark::State& state) {
+  auto node = benchpark::yaml::parse(
+      "variables:\n"
+      "  processes_per_node: ['8', '4']\n"
+      "  n_nodes: ['1', '2']\n"
+      "  n_threads: ['2', '4']\n"
+      "  n: ['512', '1024']\n"
+      "matrices:\n"
+      "- size_threads:\n"
+      "  - n\n"
+      "  - n_threads\n");
+  auto tmpl = ramble::ExperimentTemplate::from_yaml(
+      "saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}", node);
+  ramble::VariableMap base{{"n_ranks", "{processes_per_node}*{n_nodes}"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ramble::expand_experiments(tmpl, base));
+  }
+}
+BENCHMARK(BM_Figure10Expansion);
+
+void BM_CrossProductScaling(benchmark::State& state) {
+  // One matrix over k vector variables of 4 values each: 4^k experiments.
+  const int k = static_cast<int>(state.range(0));
+  ramble::ExperimentTemplate tmpl;
+  tmpl.name_template = "exp";
+  std::vector<std::string> matrix_vars;
+  for (int v = 0; v < k; ++v) {
+    std::string name = "v" + std::to_string(v);
+    tmpl.name_template += "_{" + name + "}";
+    tmpl.vectors.emplace_back(
+        name, std::vector<std::string>{"1", "2", "3", "4"});
+    matrix_vars.push_back(name);
+  }
+  tmpl.matrices.emplace_back("m", matrix_vars);
+  std::size_t generated = 0;
+  for (auto _ : state) {
+    auto experiments = ramble::expand_experiments(tmpl);
+    generated = experiments.size();
+    benchmark::DoNotOptimize(experiments);
+  }
+  state.counters["experiments"] = static_cast<double>(generated);
+  state.SetComplexityN(static_cast<long>(generated));
+}
+BENCHMARK(BM_CrossProductScaling)->DenseRange(1, 6, 1)->Complexity();
+
+void BM_VariableExpansion(benchmark::State& state) {
+  ramble::VariableMap vars{
+      {"mpi_command", "srun -N {n_nodes} -n {n_ranks}"},
+      {"n_nodes", "4"},
+      {"n_ranks", "{processes_per_node}*{n_nodes}"},
+      {"processes_per_node", "36"},
+      {"experiment_run_dir", "/ws/experiments/saxpy/problem/e1"},
+      {"batch_time", "120"},
+  };
+  const std::string script =
+      "#!/bin/bash\n#SBATCH -N {n_nodes}\n#SBATCH -n {n_ranks}\n"
+      "#SBATCH -t {batch_time}:00\ncd {experiment_run_dir}\n"
+      "{mpi_command} saxpy -n 1024\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ramble::expand(script, vars));
+  }
+}
+BENCHMARK(BM_VariableExpansion);
+
+void BM_ArithmeticEvaluation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ramble::evaluate_arithmetic("(8 * 4 + 2) * 3 - 100 / 4"));
+  }
+}
+BENCHMARK(BM_ArithmeticEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// The saxpy kernel itself (Figure 7), run for real on the host: the
+// paper's problem sizes (512, 1024 from Figure 10) up to memory-bound
+// sizes, serial and threaded — plus the modeled CPU-vs-GPU crossover on
+// ats2 that motivates the cuda experiment variant.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+#include "src/benchmarks/saxpy.hpp"
+#include "src/system/perf_model.hpp"
+#include "src/system/system.hpp"
+
+namespace {
+
+namespace bm = benchpark::benchmarks;
+
+void BM_SaxpyKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(n, 1.0f), y(n, 2.0f), r(n);
+  for (auto _ : state) {
+    bm::saxpy_kernel(r.data(), x.data(), y.data(), n);
+    benchmark::DoNotOptimize(r.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::saxpy_bytes(n)));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+// 512 and 1024 are the Figure 10 sweep; the tail is host-memory bound.
+BENCHMARK(BM_SaxpyKernel)->Arg(512)->Arg(1024)->Range(1 << 12, 1 << 24);
+
+void BM_SaxpyThreaded(benchmark::State& state) {
+  const std::size_t n = 1 << 22;
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm::run_saxpy(n, threads));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::saxpy_bytes(n)));
+}
+BENCHMARK(BM_SaxpyThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SaxpyModeledCrossover(benchmark::State& state) {
+  // Modeled CPU vs GPU time on ats2 as n grows: the GPU launch latency
+  // loses below the crossover and wins above it.
+  const auto& ats2 = benchpark::system::SystemRegistry::instance().get("ats2");
+  benchpark::system::PerfModel model(ats2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double cpu = 0, gpu = 0;
+  for (auto _ : state) {
+    cpu = model.cpu_kernel_seconds(bm::saxpy_flops(n), bm::saxpy_bytes(n),
+                                   4, 10);
+    gpu = model.gpu_kernel_seconds(bm::saxpy_flops(n), bm::saxpy_bytes(n),
+                                   4);
+    benchpark_bench::keep(cpu);
+    benchpark_bench::keep(gpu);
+  }
+  state.counters["cpu_us"] = cpu * 1e6;
+  state.counters["gpu_us"] = gpu * 1e6;
+  state.counters["gpu_wins"] = gpu < cpu ? 1 : 0;
+}
+BENCHMARK(BM_SaxpyModeledCrossover)->Range(512, 1 << 26);
+
+}  // namespace
+
+BENCHMARK_MAIN();

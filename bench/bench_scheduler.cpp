@@ -1,0 +1,91 @@
+// Scheduler benchmarks: submission/simulation throughput and the
+// FIFO-vs-backfill makespan ablation (the design choice behind letting
+// Ramble submit many small experiments to a busy machine).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+#include "src/sched/scheduler.hpp"
+#include "src/support/rng.hpp"
+
+namespace {
+
+namespace sched = benchpark::sched;
+
+sched::BatchJob job(const std::string& name, int nodes, double runtime,
+                    double limit) {
+  sched::BatchJob j;
+  j.name = name;
+  j.user = "bench";
+  j.nodes = nodes;
+  j.ranks = nodes * 8;
+  j.time_limit_seconds = limit;
+  j.work = [runtime] { return sched::JobResult{runtime, true, "ok\n"}; };
+  return j;
+}
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sched::BatchScheduler scheduler(256, sched::Policy::fifo);
+    for (int i = 0; i < jobs; ++i) {
+      (void)scheduler.submit(job("j" + std::to_string(i), 1 + i % 8,
+                                 60 + i % 120, 600));
+    }
+    scheduler.run_until_idle();
+    benchmark::DoNotOptimize(scheduler.makespan());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * jobs);
+}
+BENCHMARK(BM_SchedulerThroughput)->Range(64, 4096);
+
+void BM_PolicyMakespan(benchmark::State& state) {
+  // Mixed workload: a few wide jobs plus many narrow backfill candidates.
+  const auto policy = static_cast<sched::Policy>(state.range(0));
+  double makespan = 0;
+  double narrow_wait = 0;
+  for (auto _ : state) {
+    sched::BatchScheduler scheduler(64, policy);
+    benchpark::support::Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+      bool wide = (i % 10 == 0);
+      int nodes = wide ? 48 : 1 + static_cast<int>(rng.below(4));
+      double runtime = wide ? 600 : 30 + rng.uniform(0, 60);
+      (void)scheduler.submit(
+          job("j" + std::to_string(i), nodes, runtime, runtime * 1.1));
+    }
+    scheduler.run_until_idle();
+    makespan = scheduler.makespan();
+    double wait_sum = 0;
+    int narrow = 0;
+    for (const auto* record : scheduler.records()) {
+      if (record->nodes < 48) {
+        wait_sum += record->wait_time();
+        ++narrow;
+      }
+    }
+    narrow_wait = narrow ? wait_sum / narrow : 0;
+    benchpark_bench::keep(makespan);
+  }
+  state.SetLabel(policy == sched::Policy::fifo ? "fifo" : "backfill");
+  state.counters["makespan_s"] = makespan;
+  // The backfill win: narrow jobs slide into the holes wide jobs leave,
+  // instead of queueing behind them (mean wait drops by orders).
+  state.counters["narrow_wait_s"] = narrow_wait;
+}
+BENCHMARK(BM_PolicyMakespan)->Arg(0)->Arg(1);
+
+void BM_ScriptParse(benchmark::State& state) {
+  const std::string script =
+      "#!/bin/bash\n#SBATCH -N 2\n#SBATCH -n 16\n#SBATCH -t 120:00\n"
+      "cd /ws\nsrun -N 2 -n 16 saxpy -n 1024\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::parse_batch_script(
+        script, benchpark::system::SchedulerKind::slurm));
+  }
+}
+BENCHMARK(BM_ScriptParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

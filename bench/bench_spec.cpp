@@ -1,0 +1,78 @@
+// Microbenchmarks of the spec language: parsing, satisfies, constrain,
+// and DAG hashing — the operations every concretization and cache lookup
+// pays for.
+#include <benchmark/benchmark.h>
+
+#include "src/spec/spec.hpp"
+
+namespace {
+
+using benchpark::spec::Spec;
+
+void BM_SpecParseSimple(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Spec::parse("amg2023+caliper"));
+  }
+}
+BENCHMARK(BM_SpecParseSimple);
+
+void BM_SpecParseFull(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Spec::parse(
+        "amg2023@1.1+caliper+openmp~cuda%gcc@12.1.1 target=broadwell "
+        "^hypre@2.28.0+openmp ^mvapich2@2.3.7 ^caliper@2.9.1"));
+  }
+}
+BENCHMARK(BM_SpecParseFull);
+
+void BM_SpecPrint(benchmark::State& state) {
+  auto spec = Spec::parse(
+      "amg2023@1.1+caliper%gcc@12.1.1 target=broadwell ^hypre+cuda");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.str());
+  }
+}
+BENCHMARK(BM_SpecPrint);
+
+void BM_SpecSatisfies(benchmark::State& state) {
+  auto spec = Spec::parse(
+      "amg2023@1.1+caliper%gcc@12.1.1 target=broadwell ^hypre@2.28+cuda");
+  auto constraint = Spec::parse("amg2023@1: +caliper ^hypre+cuda");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.satisfies(constraint));
+  }
+}
+BENCHMARK(BM_SpecSatisfies);
+
+void BM_SpecConstrain(benchmark::State& state) {
+  auto base = Spec::parse("hypre@2.24:");
+  auto extra = Spec::parse("hypre+cuda@:2.28 %gcc@12");
+  for (auto _ : state) {
+    Spec merged = base;
+    merged.constrain(extra);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_SpecConstrain);
+
+void BM_SpecDagHash(benchmark::State& state) {
+  auto spec = Spec::parse("zlib@=1.3%gcc@=12.1.1 target=broadwell");
+  spec.mark_concrete();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.dag_hash());
+  }
+}
+BENCHMARK(BM_SpecDagHash);
+
+void BM_VersionSatisfies(benchmark::State& state) {
+  auto constraint = benchpark::spec::VersionConstraint::parse("1.2:1.8,2.0");
+  benchpark::spec::Version version("1.5.3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(constraint.satisfied_by(version));
+  }
+}
+BENCHMARK(BM_VersionSatisfies);
+
+}  // namespace
+
+BENCHMARK_MAIN();

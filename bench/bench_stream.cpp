@@ -1,0 +1,63 @@
+// Real STREAM kernels on the host plus the modeled per-system bandwidths
+// the simulated systems report (cts1 154 GB/s, ats2 170, ats4 205).
+#include <benchmark/benchmark.h>
+
+#include "src/benchmarks/stream.hpp"
+#include "src/runtime/simexec.hpp"
+#include "src/system/system.hpp"
+
+namespace {
+
+namespace bm = benchpark::benchmarks;
+
+void BM_StreamTriad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.5);
+  const double scalar = 3.0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];
+    benchmark::DoNotOptimize(a.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::stream_triad_bytes(n)));
+}
+BENCHMARK(BM_StreamTriad)->Range(1 << 12, 1 << 22);
+
+void BM_StreamFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double triad = 0;
+  for (auto _ : state) {
+    auto result = bm::run_stream(n, 1, 1);
+    triad = result.bandwidth_gbs[3];
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["triad_GBs"] = triad;
+}
+BENCHMARK(BM_StreamFull)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StreamModeledPerSystem(benchmark::State& state) {
+  // Simulated per-system STREAM: which system has the fastest memory?
+  const char* systems[] = {"cts1", "ats2", "ats4"};
+  const char* name = systems[state.range(0)];
+  const auto& system =
+      benchpark::system::SystemRegistry::instance().get(name);
+  benchpark::runtime::RunParams params;
+  params.app = "stream";
+  params.n = 10000000;
+  params.n_threads = 16;
+  double triad = 0;
+  for (auto _ : state) {
+    auto outcome = benchpark::runtime::run_simulated(system, params);
+    auto pos = outcome.output.find("Triad: ");
+    triad = std::stod(outcome.output.substr(pos + 7));
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetLabel(name);
+  state.counters["triad_GBs"] = triad;
+}
+BENCHMARK(BM_StreamModeledPerSystem)->DenseRange(0, 2, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

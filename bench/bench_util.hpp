@@ -1,0 +1,18 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+namespace benchpark_bench {
+
+/// Sink for scalar results. benchmark::DoNotOptimize(lvalue) binds the
+/// read-write overload whose "+m,r" asm constraint miscompiles scalar
+/// doubles under GCC 12.2 (observed corrupting neighbouring stack slots
+/// in bench_scheduler; upstream switched to "+r,m" later). Passing by
+/// const reference selects the input-only "r,m" form, which is safe.
+template <typename T>
+inline void keep(const T& value) {
+  benchmark::DoNotOptimize(value);
+}
+
+}  // namespace benchpark_bench

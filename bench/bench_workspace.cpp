@@ -1,0 +1,53 @@
+// End-to-end workflow benchmarks: the full Figure 1c pipeline (setup /
+// run / analyze) on the simulated cts1 system — the latency a CI job pays
+// per benchmark per system.
+#include <benchmark/benchmark.h>
+
+#include "src/core/driver.hpp"
+#include "src/support/fs_util.hpp"
+
+namespace {
+
+using namespace benchpark;
+
+void BM_WorkflowSaxpyCts1(benchmark::State& state) {
+  core::Driver driver;
+  std::size_t experiments = 0;
+  for (auto _ : state) {
+    support::TempDir tmp("bench-workflow");
+    auto report =
+        driver.run_workflow({"saxpy", "openmp"}, "cts1", tmp.path() / "ws");
+    experiments = report.results.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["experiments"] = static_cast<double>(experiments);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(experiments));
+}
+BENCHMARK(BM_WorkflowSaxpyCts1)->Unit(benchmark::kMillisecond);
+
+void BM_WorkspaceSetupOnly(benchmark::State& state) {
+  core::Driver driver;
+  for (auto _ : state) {
+    support::TempDir tmp("bench-setup");
+    auto ws = driver.setup({"saxpy", "openmp"}, "cts1", tmp.path() / "ws");
+    ws.setup();
+    benchmark::DoNotOptimize(ws.prepared());
+  }
+}
+BENCHMARK(BM_WorkspaceSetupOnly)->Unit(benchmark::kMillisecond);
+
+void BM_WorkflowAmgAts2(benchmark::State& state) {
+  core::Driver driver;
+  for (auto _ : state) {
+    support::TempDir tmp("bench-amg");
+    auto report =
+        driver.run_workflow({"amg2023", "cuda"}, "ats2", tmp.path() / "ws");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_WorkflowAmgAts2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

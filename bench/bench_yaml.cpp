@@ -1,0 +1,86 @@
+// YAML subset parser/emitter throughput on the paper's config documents.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "src/yaml/emitter.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace {
+
+const char* kFigure10 =
+    "ramble:\n"
+    "  include:\n"
+    "  - ./configs/spack.yaml\n"
+    "  - ./configs/variables.yaml\n"
+    "  config:\n"
+    "    deprecated: true\n"
+    "    spack_flags:\n"
+    "      install: '--add --keep-stage'\n"
+    "      concretize: '-U -f'\n"
+    "  applications:\n"
+    "    saxpy:\n"
+    "      workloads:\n"
+    "        problem:\n"
+    "          env_vars:\n"
+    "            set:\n"
+    "              OMP_NUM_THREADS: '{n_threads}'\n"
+    "          variables:\n"
+    "            n_ranks: '8'\n"
+    "          experiments:\n"
+    "            saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}:\n"
+    "              variables:\n"
+    "                processes_per_node: ['8', '4']\n"
+    "                n_nodes: ['1', '2']\n"
+    "                n_threads: ['2', '4']\n"
+    "                n: ['512', '1024']\n"
+    "              matrices:\n"
+    "              - size_threads:\n"
+    "                - n\n"
+    "                - n_threads\n"
+    "  spack:\n"
+    "    packages:\n"
+    "      saxpy:\n"
+    "        spack_spec: saxpy@1.0.0 +openmp\n"
+    "        compiler: default-compiler\n"
+    "    environments:\n"
+    "      saxpy:\n"
+    "        packages:\n"
+    "        - default-mpi\n"
+    "        - saxpy\n";
+
+void BM_ParseFigure10(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(benchpark::yaml::parse(kFigure10));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(std::strlen(kFigure10)));
+}
+BENCHMARK(BM_ParseFigure10);
+
+void BM_EmitFigure10(benchmark::State& state) {
+  auto doc = benchpark::yaml::parse(kFigure10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(benchpark::yaml::emit(doc));
+  }
+}
+BENCHMARK(BM_EmitFigure10);
+
+void BM_RoundTripScaling(benchmark::State& state) {
+  // Synthetic document with N top-level experiment entries.
+  std::string doc = "experiments:\n";
+  for (int i = 0; i < state.range(0); ++i) {
+    doc += "  exp_" + std::to_string(i) + ":\n    variables:\n      n: '" +
+           std::to_string(i) + "'\n      threads: ['1', '2', '4']\n";
+  }
+  for (auto _ : state) {
+    auto parsed = benchpark::yaml::parse(doc);
+    benchmark::DoNotOptimize(benchpark::yaml::emit(parsed));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RoundTripScaling)->Range(8, 512)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

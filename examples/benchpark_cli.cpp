@@ -1,0 +1,92 @@
+// The Benchpark driver executable (Figure 1a line 1-3, Figure 1c step 2:
+// ">/bin/benchpark $experiment $system $workspace_dir").
+//
+// Commands:
+//   benchpark_cli list                      experiments and systems
+//   benchpark_cli tree                      the Figure 1a repository tree
+//   benchpark_cli table1                    the Table 1 component matrix
+//   benchpark_cli setup <exp> <sys> <dir>   generate a workspace
+//   benchpark_cli run <exp> <sys> <dir>     full workflow + FOM table
+//   benchpark_cli usage                     benchmark usage metrics
+//
+// <exp> is "<benchmark>/<variant>", e.g. saxpy/openmp or amg2023/cuda.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/components.hpp"
+#include "src/core/driver.hpp"
+#include "src/core/usage.hpp"
+#include "src/support/error.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list | tree | table1 | usage\n"
+               "       %s setup <benchmark/variant> <system> <workspace>\n"
+               "       %s run   <benchmark/variant> <system> <workspace>\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+void list_all(const benchpark::core::Driver& driver) {
+  std::cout << "experiments:\n";
+  for (const auto& benchmark : driver.benchmarks()) {
+    for (const auto& variant : driver.variants(benchmark)) {
+      std::cout << "  " << benchmark << "/" << variant << "\n";
+    }
+  }
+  std::cout << "systems:\n";
+  for (const auto& system : driver.systems()) {
+    std::cout << "  " << system << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  benchpark::core::Driver driver;
+  try {
+    if (command == "list") {
+      list_all(driver);
+      return 0;
+    }
+    if (command == "tree") {
+      std::cout << driver.repo_tree();
+      return 0;
+    }
+    if (command == "table1") {
+      std::cout << benchpark::core::render_table1().render();
+      return 0;
+    }
+    if (command == "usage") {
+      std::cout << benchpark::core::UsageMetrics::instance()
+                       .to_table()
+                       .render();
+      return 0;
+    }
+    if (command == "setup" || command == "run") {
+      if (argc != 5) return usage(argv[0]);
+      auto id = benchpark::core::ExperimentId::parse(argv[2]);
+      if (command == "setup") {
+        auto ws = driver.setup(id, argv[3], argv[4]);
+        std::cout << "workspace generated at " << ws.root().string()
+                  << "\nnext: ramble workspace setup && ramble on && "
+                     "ramble workspace analyze\n";
+        return 0;
+      }
+      auto report = driver.run_workflow(
+          id, argv[3], argv[4], [](int step, const std::string& text) {
+            std::printf("step %d: %s\n", step, text.c_str());
+          });
+      std::cout << report.to_table().render();
+      return report.num_success() == report.results.size() ? 0 : 1;
+    }
+    return usage(argv[0]);
+  } catch (const benchpark::Error& e) {
+    std::fprintf(stderr, "benchpark: error: %s\n", e.what());
+    return 1;
+  }
+}

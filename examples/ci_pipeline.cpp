@@ -1,0 +1,174 @@
+// The Figure 6 automation workflow, end to end:
+//
+//   users -> GitHub PR -> Hubcast (security criteria) -> GitLab mirror ->
+//   CI builders + benchmark runners at multiple sites (Jacamar identity)
+//   -> metrics database + binary cache -> status checks back on the PR.
+//
+// An untrusted fork PR is blocked until a site admin approves it; the
+// pipeline then builds the saxpy environment (hitting the rolling binary
+// cache on the second site) and runs the benchmark suite on two systems,
+// streaming per-site status back to GitHub.
+#include <cstdio>
+#include <iostream>
+
+#include "src/analysis/metrics_db.hpp"
+#include "src/ci/git.hpp"
+#include "src/ci/hubcast.hpp"
+#include "src/ci/pipeline.hpp"
+#include "src/core/driver.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/yaml/parser.hpp"
+
+int main() {
+  using namespace benchpark;
+
+  // --- the hosting setup ------------------------------------------------
+  ci::GitHost github("github");
+  ci::GitHost gitlab("gitlab");
+  auto& upstream = github.create_repo("llnl", "benchpark");
+  upstream.commit("main", "olga", "initial import",
+                  {{"experiments/saxpy/openmp/ramble.yaml", "v1"},
+                   {".gitlab-ci.yml",
+                    "stages: [build, bench, analyze]\n"}});
+  gitlab.create_repo("llnl", "benchpark")
+      .commit("main", "hubcast", "mirror", {{"mirror", "marker"}});
+
+  ci::SecurityPolicy policy;
+  policy.admins = {"site-admin"};
+  policy.trusted_users = {"olga"};
+  ci::Hubcast hubcast(&github, &gitlab, "llnl/benchpark", policy);
+
+  // --- a contributor's fork PR -------------------------------------------
+  github.fork("llnl/benchpark", "student");
+  github.repo("student/benchpark")
+      .commit("tune-saxpy", "student", "increase problem sizes",
+              {{"experiments/saxpy/openmp/ramble.yaml", "v2"}});
+  auto pr = github.open_pr("saxpy: larger problems", "student",
+                           "student/benchpark", "tune-saxpy",
+                           "llnl/benchpark");
+  std::cout << "PR #" << pr << " opened by 'student' (fork)\n";
+
+  if (!hubcast.try_mirror_pr(pr)) {
+    std::cout << "hubcast: " << github.pr(pr).check("hubcast/mirror")
+                     ->description
+              << "\n";
+  }
+  std::cout << "site-admin reviews and approves the PR...\n";
+  github.approve_pr(pr, "site-admin");
+  auto branch = hubcast.try_mirror_pr(pr);
+  std::cout << "hubcast: mirrored to gitlab branch '" << *branch << "'\n\n";
+
+  // --- runners at two sites, Jacamar identity ---------------------------
+  ci::SiteAccounts llnl_accounts;
+  llnl_accounts.add("olga", 5001);
+  llnl_accounts.add("site-admin", 1000);
+  auto llnl_cts1 = std::make_shared<ci::Jacamar>("llnl", llnl_accounts);
+  auto llnl_ats2 = std::make_shared<ci::Jacamar>("llnl", llnl_accounts);
+
+  ci::PipelineEngine engine;
+  engine.register_runner({"llnl-cts1-01", {"cts1"}, llnl_cts1});
+  engine.register_runner({"llnl-ats2-01", {"ats2", "cuda"}, llnl_ats2});
+
+  auto pipeline = ci::PipelineDef::from_yaml(yaml::parse(
+      "stages: [build, bench, analyze]\n"
+      "build-cts1:\n"
+      "  stage: build\n"
+      "  tags: [cts1]\n"
+      "  script: [benchpark setup saxpy/openmp cts1 ws, ramble workspace setup]\n"
+      "bench-cts1:\n"
+      "  stage: bench\n"
+      "  tags: [cts1]\n"
+      "  script: [ramble on]\n"
+      "bench-ats2:\n"
+      "  stage: bench\n"
+      "  tags: [ats2, cuda]\n"
+      "  script: [ramble on]\n"
+      "analyze:\n"
+      "  stage: analyze\n"
+      "  tags: [cts1]\n"
+      "  script: [ramble workspace analyze]\n"));
+
+  // --- job actions drive the real Benchpark workflow --------------------
+  core::Driver driver;
+  support::TempDir tmp("benchpark-ci");
+  analysis::MetricsDb metrics;
+
+  auto bench_action = [&](const std::string& system,
+                          const std::string& variant) {
+    return [&, system, variant](const ci::JobContext& ctx) {
+      auto report = driver.run_workflow(
+          {"saxpy", variant}, system,
+          tmp.path() / ctx.job_name);
+      for (const auto& result : report.results) {
+        for (const auto& fom : result.foms) {
+          if (!fom.numeric) continue;
+          analysis::ResultRow row;
+          row.benchmark = "saxpy";
+          row.system = system;
+          row.experiment = result.name;
+          row.fom_name = fom.name;
+          row.value = fom.value;
+          row.units = fom.units;
+          row.success = result.success;
+          metrics.insert(row);
+        }
+      }
+      bool ok = report.num_success() == report.results.size();
+      return ci::JobOutcome{
+          ok, std::to_string(report.num_success()) + "/" +
+                  std::to_string(report.results.size()) +
+                  " experiments succeeded (as " + ctx.identity.login + ")"};
+    };
+  };
+  engine.set_default_action(
+      [](const ci::JobContext&) { return ci::JobOutcome{true, "ok"}; });
+  engine.set_action("bench-cts1", bench_action("cts1", "openmp"));
+  engine.set_action("bench-ats2", bench_action("ats2", "cuda"));
+
+  // Student has no LLNL account: Jacamar downs-copes to the approver.
+  auto result = engine.run(pipeline, "headsha", "student", "site-admin");
+
+  auto last_line = [](const std::string& log) {
+    auto trimmed = log;
+    while (!trimmed.empty() && trimmed.back() == '\n') trimmed.pop_back();
+    auto pos = trimmed.rfind('\n');
+    return pos == std::string::npos ? trimmed : trimmed.substr(pos + 1);
+  };
+
+  std::cout << "== pipeline result ==\n";
+  for (const auto& job : result.jobs) {
+    std::printf("  %-12s %-8s runner=%-13s ran_as=%-11s %s\n",
+                job.name.c_str(),
+                job.status == ci::JobStatus::success ? "success" : "failed",
+                job.runner_id.c_str(), job.ran_as.c_str(),
+                last_line(job.log).c_str());
+    // Stream each job's status back to the GitHub PR through Hubcast.
+    hubcast.report_status(
+        pr, {"gitlab-ci/llnl/" + job.name,
+             job.status == ci::JobStatus::success ? ci::CheckState::success
+                                                  : ci::CheckState::failure,
+             job.log.substr(0, 60)});
+  }
+
+  std::cout << "\n== status checks on the GitHub PR ==\n";
+  for (const auto& check : github.pr(pr).checks) {
+    std::printf("  [%s] %s — %s\n",
+                std::string(ci::check_state_name(check.state)).c_str(),
+                check.name.c_str(), check.description.c_str());
+  }
+
+  std::cout << "\n== jacamar audit log (llnl cts1 runner) ==\n";
+  for (const auto& entry : llnl_cts1->audit_log()) {
+    std::printf("  job=%s triggered_by=%s ran_as=%s uid=%d%s\n",
+                entry.job.c_str(), entry.triggered_by.c_str(),
+                entry.ran_as.c_str(), entry.uid,
+                entry.downscoped ? " (downscoped to approver)" : "");
+  }
+
+  std::cout << "\n== metrics database ==\n"
+            << metrics.to_table({.fom_name = "gflops"}).render();
+
+  std::cout << "\npipeline " << (result.success ? "PASSED" : "FAILED")
+            << "; results live in the metrics DB keyed by system.\n";
+  return result.success ? 0 : 1;
+}

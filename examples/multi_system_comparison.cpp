@@ -1,0 +1,92 @@
+// The Section 7.1 story: "we moved a few simple benchmark kernels between
+// an on-premise supercomputer and cloud instances of similar architecture
+// ... the microbenchmark was executing correctly on one system but
+// crashing on the other ... the root cause, i.e., a bug in the underlying
+// math library related to a specific hardware feature (which was missing
+// in the cloud), was identified within days."
+//
+// With Benchpark the same comparison is one campaign: the exact same
+// experiment specification runs on cts1 and its cloud twin, the crash
+// shows up in the comparison table, the kernel-only benchmark (no math
+// library) passes on both — isolating the library — and the archspec
+// feature diff names the missing hardware feature in minutes, not days.
+#include <cstdio>
+#include <iostream>
+
+#include "src/archspec/microarch.hpp"
+#include "src/core/campaign.hpp"
+#include "src/core/driver.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/system/system.hpp"
+
+int main() {
+  using namespace benchpark;
+
+  core::Driver driver;
+  support::TempDir tmp("benchpark-cloud");
+
+  std::cout
+      << "== Competitive benchmarking: on-prem cts1 vs cloud twin ==\n\n";
+
+  // Step 1: the full application benchmark (links the vendor math lib).
+  core::Campaign amg(&driver, {"amg2023", "openmp"}, tmp.path() / "amg");
+  amg.add_system("cts1");
+  amg.add_system("cloud-cts");
+  amg.run();
+  std::cout << "amg2023 (uses vendor math library):\n"
+            << amg.comparison_table("solve_time").render();
+  for (const auto& summary : amg.summaries()) {
+    std::printf("  %-10s %zu/%zu succeeded%s%s\n", summary.system.c_str(),
+                summary.succeeded, summary.experiments,
+                summary.first_failure.empty() ? "" : " — ",
+                summary.first_failure.c_str());
+  }
+
+  // Step 2: the microbenchmark (kernel only, no math library).
+  core::Campaign saxpy(&driver, {"saxpy", "openmp"}, tmp.path() / "saxpy");
+  saxpy.add_system("cts1");
+  saxpy.add_system("cloud-cts");
+  saxpy.run();
+  std::cout << "\nsaxpy (kernel only):\n"
+            << saxpy.comparison_table("elapsed").render();
+  for (const auto& summary : saxpy.summaries()) {
+    std::printf("  %-10s %zu/%zu succeeded\n", summary.system.c_str(),
+                summary.succeeded, summary.experiments);
+  }
+
+  // Step 3: the diagnosis. saxpy passes everywhere, amg2023 crashes only
+  // on the cloud -> the difference is in the library stack, not the
+  // kernels. Diff the hardware feature sets archspec reports.
+  std::cout << "\n== Diagnosis ==\n"
+               "saxpy passes on both systems; amg2023 crashes only in the\n"
+               "cloud -> suspect the library stack, not the benchmark.\n\n";
+
+  const auto& cts1 = system::SystemRegistry::instance().get("cts1");
+  const auto& cloud = system::SystemRegistry::instance().get("cloud-cts");
+  const auto& march =
+      archspec::MicroarchDatabase::instance().get(cts1.cpu.microarch);
+  std::cout << "archspec: both systems report '" << cts1.cpu.microarch
+            << "' (" << march.vendor() << "), but the cloud instance "
+            << "disables:\n";
+  for (const auto& feature : cloud.disabled_features) {
+    std::cout << "    - " << feature
+              << (march.has_feature(feature)
+                      ? "   <- expected on " + cts1.cpu.microarch
+                      : "")
+              << "\n";
+  }
+
+  std::cout
+      << "\nRoot cause: the vendor math library selects an optimized code\n"
+         "path using '"
+      << *cloud.disabled_features.begin()
+      << "', which the virtualized cloud CPUs do not expose. The paper\n"
+         "reports this took days of cross-organization debugging; with\n"
+         "the reproducible campaign above it falls out of one run.\n";
+
+  bool expected = amg.summaries()[0].succeeded > 0 &&
+                  amg.summaries()[1].succeeded == 0 &&
+                  saxpy.summaries()[1].succeeded ==
+                      saxpy.summaries()[1].experiments;
+  return expected ? 0 : 1;
+}

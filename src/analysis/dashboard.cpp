@@ -1,0 +1,126 @@
+#include "src/analysis/dashboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::analysis {
+
+using support::format_double;
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  std::string out;
+  for (double v : values) {
+    int bucket = 0;
+    if (hi > lo) {
+      bucket = static_cast<int>((v - lo) / (hi - lo) * 7.999);
+      bucket = std::clamp(bucket, 0, 7);
+    }
+    out += kBlocks[bucket];
+  }
+  return out;
+}
+
+std::string Regression::describe() const {
+  return benchmark + " on " + system + ": " + fom_name + " moved to " +
+         format_double(latest, 5) + " (baseline " +
+         format_double(baseline_mean, 5) + " ± " +
+         format_double(baseline_stddev, 3) + ", " +
+         format_double(sigmas, 3) + " sigma)";
+}
+
+Dashboard::Dashboard(const MetricsDb* db) : db_(db) {
+  if (!db_) throw Error("dashboard needs a metrics database");
+}
+
+support::Table Dashboard::grid(const std::string& fom_name) const {
+  auto systems = db_->distinct_systems();
+  std::vector<std::string> header{"benchmark"};
+  for (const auto& s : systems) header.push_back(s);
+  support::Table table(header);
+
+  for (const auto& benchmark : db_->distinct_benchmarks()) {
+    std::vector<std::string> row{benchmark};
+    for (const auto& system : systems) {
+      auto series = db_->series({.benchmark = benchmark,
+                                 .system = system,
+                                 .fom_name = fom_name,
+                                 .success = true});
+      if (series.empty()) {
+        row.push_back("-");
+        continue;
+      }
+      std::vector<double> values;
+      values.reserve(series.size());
+      for (const auto& [seq, value] : series) values.push_back(value);
+      row.push_back(format_double(values.back(), 5) + " " +
+                    sparkline(values));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::vector<Regression> Dashboard::detect_regressions(
+    const std::string& fom_name, double threshold_sigmas,
+    bool higher_is_worse) const {
+  std::vector<Regression> regressions;
+  for (const auto& benchmark : db_->distinct_benchmarks()) {
+    for (const auto& system : db_->distinct_systems()) {
+      auto series = db_->series({.benchmark = benchmark,
+                                 .system = system,
+                                 .fom_name = fom_name,
+                                 .success = true});
+      if (series.size() < 4) continue;
+      double latest = series.back().second;
+      double sum = 0, sum2 = 0;
+      auto n = static_cast<double>(series.size() - 1);
+      for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+        sum += series[i].second;
+        sum2 += series[i].second * series[i].second;
+      }
+      double mean = sum / n;
+      double stddev = std::sqrt(std::max(0.0, sum2 / n - mean * mean));
+      if (stddev <= 0) {
+        // Flat baseline: any move at all is notable; use a tiny epsilon
+        // scale so exact repeats never alert.
+        stddev = std::max(1e-12, std::fabs(mean) * 1e-9);
+      }
+      double deviation = latest - mean;
+      if (!higher_is_worse) deviation = -deviation;
+      if (deviation / stddev >= threshold_sigmas) {
+        regressions.push_back({benchmark, system, fom_name, latest, mean,
+                               stddev, deviation / stddev});
+      }
+    }
+  }
+  std::sort(regressions.begin(), regressions.end(),
+            [](const Regression& a, const Regression& b) {
+              return a.sigmas > b.sigmas;
+            });
+  return regressions;
+}
+
+std::string Dashboard::render(const std::string& fom_name) const {
+  std::string out = "== Benchpark dashboard: " + fom_name + " ==\n";
+  out += grid(fom_name).render();
+  auto regressions = detect_regressions(fom_name);
+  if (regressions.empty()) {
+    out += "no regressions detected\n";
+  } else {
+    out += "REGRESSIONS:\n";
+    for (const auto& r : regressions) {
+      out += "  ! " + r.describe() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace benchpark::analysis

@@ -1,0 +1,60 @@
+// The Benchpark results dashboard (Section 5: "We are also looking into
+// creating a dashboard for the Benchpark results, which would provide a
+// quick glance of the multi-dimensional performance data ... with some
+// pre-built plots and visualizations").
+//
+// Text-mode implementation of the pre-built views: a benchmark × system
+// grid of latest FOM values with trend sparklines, per-series regression
+// detection (latest value vs. historical mean ± kσ), and the benchmark
+// usage ranking Section 5 proposes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/metrics_db.hpp"
+
+namespace benchpark::analysis {
+
+/// Unicode block sparkline of a series ("▁▂▄▆█").
+std::string sparkline(const std::vector<double>& values);
+
+/// A detected performance regression.
+struct Regression {
+  std::string benchmark;
+  std::string system;
+  std::string fom_name;
+  double latest = 0;
+  double baseline_mean = 0;
+  double baseline_stddev = 0;
+  double sigmas = 0;  // |latest - mean| / stddev
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class Dashboard {
+public:
+  explicit Dashboard(const MetricsDb* db);
+
+  /// The grid view: rows = benchmarks, columns = systems, cells = latest
+  /// value of `fom_name` plus a sparkline of its history.
+  [[nodiscard]] support::Table grid(const std::string& fom_name) const;
+
+  /// Regression scan: for every (benchmark, system) series of `fom_name`
+  /// with >= 4 points, flag the latest point when it sits more than
+  /// `threshold_sigmas` from the mean of the preceding points.
+  /// `higher_is_worse` selects the direction that counts as a regression
+  /// (true for times, false for rates).
+  [[nodiscard]] std::vector<Regression> detect_regressions(
+      const std::string& fom_name, double threshold_sigmas = 2.0,
+      bool higher_is_worse = true) const;
+
+  /// Full text dashboard for one FOM.
+  [[nodiscard]] std::string render(const std::string& fom_name) const;
+
+private:
+  const MetricsDb* db_;  // not owned
+};
+
+}  // namespace benchpark::analysis

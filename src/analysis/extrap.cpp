@@ -1,0 +1,149 @@
+#include "src/analysis/extrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::analysis {
+
+using support::format_double;
+
+double ScalingModel::evaluate(double p) const {
+  double term = coefficient * std::pow(p, exponent);
+  if (log_exponent != 0) {
+    term *= std::pow(std::log2(std::max(p, 1.000001)), log_exponent);
+  }
+  return constant + term;
+}
+
+std::string ScalingModel::str() const {
+  std::string out = format_double(constant, 16);
+  out += " + " + format_double(coefficient, 16) + " * p^(" +
+         format_double(exponent, 6) + ")";
+  if (log_exponent != 0) {
+    out += " * log2(p)^(" + std::to_string(log_exponent) + ")";
+  }
+  return out;
+}
+
+std::string ScalingModel::complexity() const {
+  bool has_poly = exponent != 0.0 && coefficient != 0.0;
+  bool has_log = log_exponent != 0 && coefficient != 0.0;
+  if (!has_poly && !has_log) return "O(1)";
+  std::string out = "O(";
+  if (has_poly) out += "p^" + format_double(exponent, 4);
+  if (has_log) {
+    if (has_poly) out += " ";
+    out += log_exponent == 1
+               ? "log p"
+               : "log^" + std::to_string(log_exponent) + " p";
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<Measurement> aggregate_mean(std::span<const Measurement> data) {
+  std::map<double, std::pair<double, int>> sums;
+  for (const auto& m : data) {
+    auto& [sum, count] = sums[m.p];
+    sum += m.value;
+    ++count;
+  }
+  std::vector<Measurement> out;
+  out.reserve(sums.size());
+  for (const auto& [p, sc] : sums) {
+    out.push_back({p, sc.first / sc.second});
+  }
+  return out;
+}
+
+ScalingModel fit_scaling_model(std::span<const Measurement> data,
+                               const FitOptions& options) {
+  auto points = aggregate_mean(data);
+  if (points.size() < 3) {
+    throw Error("extra-p fit needs >= 3 distinct scale points, got " +
+                std::to_string(points.size()));
+  }
+  const auto n = static_cast<double>(points.size());
+
+  double mean_y = 0;
+  for (const auto& m : points) mean_y += m.value;
+  mean_y /= n;
+  double tss = 0;
+  for (const auto& m : points) {
+    tss += (m.value - mean_y) * (m.value - mean_y);
+  }
+
+  ScalingModel best;
+  bool have_best = false;
+
+  for (double i : options.exponents) {
+    for (int j : options.log_exponents) {
+      if (i == 0.0 && j == 0) {
+        // Constant model: c0 = mean, c1 = 0.
+        ScalingModel model;
+        model.constant = mean_y;
+        model.rss = tss;
+        model.r_squared = tss == 0 ? 1.0 : 0.0;
+        if (!have_best || model.rss < best.rss) {
+          best = model;
+          have_best = true;
+        }
+        continue;
+      }
+      // Basis g(p) = p^i log2(p)^j; OLS for y = c0 + c1 g.
+      double sum_g = 0, sum_g2 = 0, sum_y = 0, sum_gy = 0;
+      bool degenerate = false;
+      std::vector<double> g(points.size());
+      for (std::size_t k = 0; k < points.size(); ++k) {
+        double p = points[k].p;
+        double basis = std::pow(p, i);
+        if (j != 0) basis *= std::pow(std::log2(std::max(p, 1.000001)), j);
+        if (!std::isfinite(basis)) {
+          degenerate = true;
+          break;
+        }
+        g[k] = basis;
+        sum_g += basis;
+        sum_g2 += basis * basis;
+        sum_y += points[k].value;
+        sum_gy += basis * points[k].value;
+      }
+      if (degenerate) continue;
+      double denom = n * sum_g2 - sum_g * sum_g;
+      if (std::fabs(denom) < 1e-12 * std::max(1.0, sum_g2)) continue;
+      double c1 = (n * sum_gy - sum_g * sum_y) / denom;
+      double c0 = (sum_y - c1 * sum_g) / n;
+
+      double rss = 0;
+      for (std::size_t k = 0; k < points.size(); ++k) {
+        double err = points[k].value - (c0 + c1 * g[k]);
+        rss += err * err;
+      }
+      if (!std::isfinite(rss)) continue;
+      if (!have_best || rss < best.rss) {
+        best.constant = c0;
+        best.coefficient = c1;
+        best.exponent = i;
+        best.log_exponent = j;
+        best.rss = rss;
+        have_best = true;
+      }
+    }
+  }
+  if (!have_best) throw Error("extra-p fit failed: no viable hypothesis");
+
+  // Adjusted R² with 2 fitted parameters.
+  if (tss > 0 && n > 2) {
+    double r2 = 1.0 - best.rss / tss;
+    best.r_squared = 1.0 - (1.0 - r2) * (n - 1) / (n - 2);
+  } else {
+    best.r_squared = 1.0;
+  }
+  return best;
+}
+
+}  // namespace benchpark::analysis

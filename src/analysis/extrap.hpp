@@ -1,0 +1,65 @@
+// Extra-P style analytical performance modeling (Figure 14; Calotoiu et
+// al., SC'13).
+//
+// Extra-P fits measurements f(p) against the Performance Model Normal
+// Form. We implement the single-term PMNF the paper's figure shows:
+//
+//     f(p) = c0 + c1 · p^i · log2(p)^j
+//
+// with i drawn from a fixed exponent set and j in {0, 1, 2}. For each
+// hypothesis the coefficients come from ordinary least squares (closed
+// form for two parameters); the winning hypothesis minimizes the residual
+// sum of squares, with adjusted R² reported. Figure 14's MPI_Bcast data
+// yields f(p) = -0.636 + 0.0466 · p^(1) — bench/figure14_extrap.cpp
+// regenerates exactly that shape from the simulated CTS system.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace benchpark::analysis {
+
+/// One measurement: metric value at `p` processes (or any scale axis).
+struct Measurement {
+  double p = 0;
+  double value = 0;
+};
+
+/// A fitted single-term model: constant + coefficient * p^exponent *
+/// log2(p)^log_exponent.
+struct ScalingModel {
+  double constant = 0;
+  double coefficient = 0;
+  double exponent = 0;
+  int log_exponent = 0;
+
+  double rss = 0;          // residual sum of squares
+  double r_squared = 0;    // adjusted R²
+
+  [[nodiscard]] double evaluate(double p) const;
+  /// Printed the way Extra-P does: "-0.6355 + 0.0466 * p^(1)".
+  [[nodiscard]] std::string str() const;
+  /// Complexity class rendering: "O(p^1)", "O(log^2 p)", "O(1)".
+  [[nodiscard]] std::string complexity() const;
+};
+
+struct FitOptions {
+  /// Candidate exponents i (Extra-P's default search space subset).
+  std::vector<double> exponents{0.0, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.75,
+                                1.0, 1.25, 4.0 / 3, 1.5, 2.0, 3.0};
+  /// Candidate log exponents j.
+  std::vector<int> log_exponents{0, 1, 2};
+};
+
+/// Fit the best single-term model. Requires >= 3 distinct measurements;
+/// throws benchpark::Error otherwise.
+ScalingModel fit_scaling_model(std::span<const Measurement> data,
+                               const FitOptions& options = {});
+
+/// Convenience: mean of repeated measurements at the same p before
+/// fitting (Extra-P's "mean" aggregation; the figure plots
+/// "Total time_mean").
+std::vector<Measurement> aggregate_mean(std::span<const Measurement> data);
+
+}  // namespace benchpark::analysis

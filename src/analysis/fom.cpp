@@ -1,0 +1,59 @@
+#include "src/analysis/fom.hpp"
+
+#include <regex>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::analysis {
+
+namespace {
+
+std::regex compile(const std::string& pattern, const std::string& what) {
+  try {
+    return std::regex(pattern, std::regex::ECMAScript);
+  } catch (const std::regex_error& e) {
+    throw Error("invalid " + what + " regex '" + pattern + "': " + e.what());
+  }
+}
+
+}  // namespace
+
+std::optional<FomValue> extract_fom(const FomSpec& spec,
+                                    const std::string& output) {
+  auto re = compile(spec.regex, "figure-of-merit");
+  std::smatch match;
+  if (!std::regex_search(output, match, re)) return std::nullopt;
+  FomValue value;
+  value.name = spec.name;
+  value.units = spec.units;
+  // Group 1 when present, else the whole match (string-valued FOMs like
+  // "Kernel done" in Figure 8).
+  value.raw = match.size() > 1 && match[1].matched ? match[1].str()
+                                                   : match[0].str();
+  if (support::looks_like_double(value.raw)) {
+    value.value = support::parse_double(value.raw);
+    value.numeric = true;
+  }
+  return value;
+}
+
+std::vector<FomValue> extract_foms(const std::vector<FomSpec>& specs,
+                                   const std::string& output) {
+  std::vector<FomValue> values;
+  for (const auto& spec : specs) {
+    if (auto v = extract_fom(spec, output)) values.push_back(std::move(*v));
+  }
+  return values;
+}
+
+bool evaluate_success(const std::vector<SuccessCriterion>& criteria,
+                      const std::string& output) {
+  for (const auto& c : criteria) {
+    auto re = compile(c.match, "success-criterion");
+    if (!std::regex_search(output, re)) return false;
+  }
+  return true;
+}
+
+}  // namespace benchpark::analysis

@@ -1,0 +1,51 @@
+// Figures of merit and success criteria (Section 4.5).
+//
+// Ramble's application.py declares FOMs as regexes with named groups
+// (Figure 8) and success criteria as string matches. `ramble workspace
+// analyze` applies them to each experiment's output; this module is that
+// extraction engine.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace benchpark::analysis {
+
+/// figure_of_merit("FOM_Solve", fom_regex=..., group_name=..., units=...)
+struct FomSpec {
+  std::string name;
+  std::string regex;       // ECMAScript; the capture group holds the value
+  std::string group_name;  // informational (C++ regex uses group index 1)
+  std::string units;
+};
+
+/// success_criteria('pass', mode='string', match=...)
+struct SuccessCriterion {
+  std::string name;
+  std::string match;  // regex that must match somewhere in the output
+};
+
+/// One extracted figure of merit.
+struct FomValue {
+  std::string name;
+  std::string raw;      // matched text
+  double value = 0;     // numeric value when parseable, else 0
+  bool numeric = false;
+  std::string units;
+};
+
+/// Apply one FOM spec; returns nullopt when the regex does not match.
+/// Throws benchpark::Error for an invalid regex.
+std::optional<FomValue> extract_fom(const FomSpec& spec,
+                                    const std::string& output);
+
+/// Apply many specs; missing FOMs are skipped.
+std::vector<FomValue> extract_foms(const std::vector<FomSpec>& specs,
+                                   const std::string& output);
+
+/// All criteria must match for the experiment to count as successful.
+bool evaluate_success(const std::vector<SuccessCriterion>& criteria,
+                      const std::string& output);
+
+}  // namespace benchpark::analysis

@@ -1,0 +1,107 @@
+#include "src/analysis/metrics_db.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/string_util.hpp"
+
+namespace benchpark::analysis {
+
+std::uint64_t MetricsDb::insert(ResultRow row) {
+  row.sequence = next_sequence_++;
+  rows_.push_back(std::move(row));
+  return rows_.back().sequence;
+}
+
+namespace {
+
+bool matches(const ResultRow& row, const Query& q) {
+  if (!q.benchmark.empty() && row.benchmark != q.benchmark) return false;
+  if (!q.system.empty() && row.system != q.system) return false;
+  if (!q.fom_name.empty() && row.fom_name != q.fom_name) return false;
+  if (q.success && row.success != *q.success) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<const ResultRow*> MetricsDb::query(const Query& q) const {
+  std::vector<const ResultRow*> out;
+  for (const auto& row : rows_) {
+    if (matches(row, q)) out.push_back(&row);
+  }
+  return out;
+}
+
+Aggregate MetricsDb::aggregate(const Query& q) const {
+  Aggregate agg;
+  double sum = 0, sum2 = 0;
+  for (const auto* row : query(q)) {
+    if (agg.count == 0) {
+      agg.min = agg.max = row->value;
+    } else {
+      agg.min = std::min(agg.min, row->value);
+      agg.max = std::max(agg.max, row->value);
+    }
+    sum += row->value;
+    sum2 += row->value * row->value;
+    ++agg.count;
+  }
+  if (agg.count > 0) {
+    auto n = static_cast<double>(agg.count);
+    agg.mean = sum / n;
+    double variance = std::max(0.0, sum2 / n - agg.mean * agg.mean);
+    agg.stddev = std::sqrt(variance);
+  }
+  return agg;
+}
+
+namespace {
+
+std::vector<std::string> distinct(
+    const std::vector<ResultRow>& rows,
+    const std::string ResultRow::* field) {
+  std::vector<std::string> out;
+  for (const auto& row : rows) {
+    if (std::find(out.begin(), out.end(), row.*field) == out.end()) {
+      out.push_back(row.*field);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> MetricsDb::distinct_systems() const {
+  return distinct(rows_, &ResultRow::system);
+}
+
+std::vector<std::string> MetricsDb::distinct_benchmarks() const {
+  return distinct(rows_, &ResultRow::benchmark);
+}
+
+std::vector<std::pair<std::uint64_t, double>> MetricsDb::series(
+    const Query& q) const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  for (const auto* row : query(q)) {
+    out.emplace_back(row->sequence, row->value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+support::Table MetricsDb::to_table(const Query& q) const {
+  support::Table table(
+      {"#", "benchmark", "system", "experiment", "fom", "value", "units",
+       "ok"});
+  for (const auto* row : query(q)) {
+    table.add_row({std::to_string(row->sequence), row->benchmark, row->system,
+                   row->experiment, row->fom_name,
+                   support::format_double(row->value, 6), row->units,
+                   row->success ? "yes" : "NO"});
+  }
+  return table;
+}
+
+}  // namespace benchpark::analysis

@@ -1,0 +1,108 @@
+#include "src/analysis/thicket.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::analysis {
+
+void Thicket::add_profile(std::string column, perf::Profile profile) {
+  for (const auto& c : columns_) {
+    if (c.name == column) {
+      throw Error("thicket already has a profile named '" + column + "'");
+    }
+  }
+  columns_.push_back({std::move(column), std::move(profile)});
+}
+
+std::vector<std::string> Thicket::column_names() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) out.push_back(c.name);
+  return out;
+}
+
+std::vector<std::string> Thicket::paths() const {
+  std::set<std::string> unique;
+  for (const auto& c : columns_) {
+    for (const auto& r : c.profile.regions) unique.insert(r.path);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::optional<double> Thicket::value(std::string_view path,
+                                     std::string_view column) const {
+  for (const auto& c : columns_) {
+    if (c.name != column) continue;
+    if (const auto* stat = c.profile.find(path)) {
+      return stat->inclusive_seconds;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::vector<RowStats> Thicket::stats() const {
+  std::vector<RowStats> out;
+  for (const auto& path : paths()) {
+    auto row = stats_for(path);
+    if (row) out.push_back(std::move(*row));
+  }
+  return out;
+}
+
+std::optional<RowStats> Thicket::stats_for(std::string_view path) const {
+  RowStats row;
+  row.path = std::string(path);
+  double sum = 0, sum2 = 0;
+  for (const auto& c : columns_) {
+    const auto* stat = c.profile.find(path);
+    if (!stat) continue;
+    double v = stat->inclusive_seconds;
+    if (row.present_in == 0) {
+      row.min = row.max = v;
+    } else {
+      row.min = std::min(row.min, v);
+      row.max = std::max(row.max, v);
+    }
+    sum += v;
+    sum2 += v * v;
+    ++row.present_in;
+  }
+  if (row.present_in == 0) return std::nullopt;
+  auto n = static_cast<double>(row.present_in);
+  row.mean = sum / n;
+  row.stddev = std::sqrt(std::max(0.0, sum2 / n - row.mean * row.mean));
+  return row;
+}
+
+Thicket Thicket::filter(
+    const std::function<bool(const std::map<std::string, std::string>&)>&
+        pred) const {
+  Thicket out;
+  for (const auto& c : columns_) {
+    if (pred(c.profile.metadata)) out.columns_.push_back(c);
+  }
+  return out;
+}
+
+support::Table Thicket::to_table() const {
+  std::vector<std::string> header{"region"};
+  for (const auto& c : columns_) header.push_back(c.name);
+  support::Table table(header);
+  for (const auto& path : paths()) {
+    std::vector<std::string> row{path};
+    for (const auto& c : columns_) {
+      const auto* stat = c.profile.find(path);
+      row.push_back(stat ? support::format_double(stat->inclusive_seconds, 5)
+                         : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace benchpark::analysis

@@ -1,0 +1,67 @@
+// Thicket-like composition of performance profiles (Section 5; Brink et
+// al., HPDC'23: "Thicket composes performance data from multiple
+// performance profiles potentially generated at different scales, on
+// different architectures, ... and by different tools").
+//
+// A Thicket is a 2-D frame: rows are region paths (the union across all
+// ingested profiles), columns are profiles (each carrying its metadata).
+// Statistics run row-wise across profiles, and metadata predicates select
+// profile subsets (filter-by-architecture, by-scale, ...).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/perf/caliper.hpp"
+#include "src/support/table.hpp"
+
+namespace benchpark::analysis {
+
+struct RowStats {
+  std::string path;
+  std::size_t present_in = 0;  // how many profiles have this region
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+};
+
+class Thicket {
+public:
+  /// Ingest one profile under a unique column name.
+  void add_profile(std::string column, perf::Profile profile);
+
+  [[nodiscard]] std::size_t num_profiles() const { return columns_.size(); }
+  [[nodiscard]] std::vector<std::string> column_names() const;
+  /// Union of region paths across profiles, sorted.
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+  /// Inclusive time for (path, column); nullopt when absent.
+  [[nodiscard]] std::optional<double> value(std::string_view path,
+                                            std::string_view column) const;
+
+  /// Row-wise statistics across all profiles.
+  [[nodiscard]] std::vector<RowStats> stats() const;
+  [[nodiscard]] std::optional<RowStats> stats_for(
+      std::string_view path) const;
+
+  /// New thicket with only profiles whose metadata satisfies `pred`.
+  [[nodiscard]] Thicket filter(
+      const std::function<bool(const std::map<std::string, std::string>&)>&
+          pred) const;
+
+  /// Render the time matrix (rows: paths; cols: profiles).
+  [[nodiscard]] support::Table to_table() const;
+
+private:
+  struct Column {
+    std::string name;
+    perf::Profile profile;
+  };
+  std::vector<Column> columns_;
+};
+
+}  // namespace benchpark::analysis

@@ -1,0 +1,286 @@
+#include "src/archspec/microarch.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::archspec {
+
+using support::contains;
+using support::split;
+using support::split_first;
+using support::to_lower;
+using support::trim;
+
+Microarchitecture::Microarchitecture(std::string name,
+                                     std::vector<std::string> parents,
+                                     std::string vendor,
+                                     std::set<std::string> features,
+                                     int generation)
+    : name_(std::move(name)),
+      parents_(std::move(parents)),
+      vendor_(std::move(vendor)),
+      features_(std::move(features)),
+      generation_(generation) {}
+
+const MicroarchDatabase& MicroarchDatabase::instance() {
+  static const MicroarchDatabase db;
+  return db;
+}
+
+void MicroarchDatabase::add(Microarchitecture march) {
+  // Features are cumulative: inherit the union of all parents' features.
+  std::set<std::string> features = march.features();
+  for (const auto& parent_name : march.parents()) {
+    const auto& parent = get(parent_name);
+    features.insert(parent.features().begin(), parent.features().end());
+  }
+  Microarchitecture resolved(march.name(), march.parents(), march.vendor(),
+                             std::move(features), march.generation());
+  auto name = resolved.name();
+  entries_.insert_or_assign(std::move(name), std::move(resolved));
+}
+
+MicroarchDatabase::MicroarchDatabase() {
+  // --- generic x86_64 feature levels -----------------------------------
+  add({"x86_64", {}, "generic", {"sse2"}});
+  add({"x86_64_v2", {"x86_64"}, "generic", {"sse4_2", "popcnt"}});
+  add({"x86_64_v3", {"x86_64_v2"}, "generic", {"avx", "avx2", "fma", "bmi2"}});
+  add({"x86_64_v4", {"x86_64_v3"}, "generic",
+       {"avx512f", "avx512bw", "avx512dq", "avx512vl"}});
+
+  // --- Intel ------------------------------------------------------------
+  add({"nehalem", {"x86_64"}, "GenuineIntel", {"sse4_2", "popcnt"}});
+  add({"sandybridge", {"nehalem"}, "GenuineIntel", {"avx"}});
+  add({"haswell", {"sandybridge"}, "GenuineIntel", {"avx2", "fma", "bmi2"}});
+  add({"broadwell", {"haswell"}, "GenuineIntel", {"adx", "rdseed"}});
+  add({"skylake", {"broadwell"}, "GenuineIntel", {"clflushopt", "xsavec"}});
+  add({"skylake_avx512", {"skylake"}, "GenuineIntel",
+       {"avx512f", "avx512cd", "avx512bw", "avx512dq", "avx512vl"}});
+  add({"cascadelake", {"skylake_avx512"}, "GenuineIntel", {"avx512_vnni"}});
+  add({"icelake", {"cascadelake"}, "GenuineIntel",
+       {"avx512_vbmi2", "avx512_bitalg", "gfni", "vaes"}});
+  add({"sapphirerapids", {"icelake"}, "GenuineIntel",
+       {"amx_bf16", "amx_tile", "avx512_bf16"}});
+
+  // --- AMD ----------------------------------------------------------------
+  add({"zen", {"x86_64_v3"}, "AuthenticAMD", {"clzero", "sha_ni"}, 1});
+  add({"zen2", {"zen"}, "AuthenticAMD", {"clwb", "rdpid"}, 2});
+  add({"zen3", {"zen2"}, "AuthenticAMD", {"vaes", "vpclmulqdq", "pku"}, 3});
+  add({"zen4", {"zen3"}, "AuthenticAMD",
+       {"avx512f", "avx512bw", "avx512_bf16"}, 4});
+
+  // --- IBM Power ------------------------------------------------------------
+  add({"ppc64le", {}, "generic", {"altivec"}});
+  add({"power8le", {"ppc64le"}, "IBM", {"vsx", "htm"}, 8});
+  add({"power9le", {"power8le"}, "IBM", {"ieee128", "darn"}, 9});
+  add({"power10le", {"power9le"}, "IBM", {"mma"}, 10});
+
+  // --- ARM ------------------------------------------------------------------
+  add({"aarch64", {}, "generic", {"asimd"}});
+  add({"armv8.2a", {"aarch64"}, "generic", {"fphp", "dotprod"}});
+  add({"graviton3", {"armv8.2a"}, "ARM", {"sve", "bf16", "i8mm"}});
+  add({"a64fx", {"armv8.2a"}, "Fujitsu", {"sve", "fp16"}});
+}
+
+const Microarchitecture* MicroarchDatabase::find(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const Microarchitecture& MicroarchDatabase::get(std::string_view name) const {
+  const auto* found = find(name);
+  if (!found) {
+    throw SystemError("unknown microarchitecture '" + std::string(name) + "'");
+  }
+  return *found;
+}
+
+std::vector<std::string> MicroarchDatabase::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, m] : entries_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> MicroarchDatabase::ancestors(
+    std::string_view name) const {
+  std::vector<std::string> out;
+  std::vector<std::string> frontier{std::string(name)};
+  while (!frontier.empty()) {
+    auto current = frontier.front();
+    frontier.erase(frontier.begin());
+    for (const auto& parent : get(current).parents()) {
+      if (std::find(out.begin(), out.end(), parent) == out.end()) {
+        out.push_back(parent);
+        frontier.push_back(parent);
+      }
+    }
+  }
+  return out;
+}
+
+bool MicroarchDatabase::compatible(std::string_view host,
+                                   std::string_view target) const {
+  if (host == target) return true;
+  const auto& h = get(host);
+  const auto& t = get(target);
+  // Compatible iff target is an ancestor of host, or host's feature set is
+  // a superset of target's within the same family.
+  auto ancestors_of_host = ancestors(host);
+  if (std::find(ancestors_of_host.begin(), ancestors_of_host.end(),
+                std::string(target)) != ancestors_of_host.end()) {
+    return true;
+  }
+  if (family(host) != family(target)) return false;
+  return std::includes(h.features().begin(), h.features().end(),
+                       t.features().begin(), t.features().end());
+}
+
+std::string MicroarchDatabase::family(std::string_view name) const {
+  std::string current(name);
+  while (true) {
+    const auto& m = get(current);
+    if (m.parents().empty()) return current;
+    current = m.parents().front();
+  }
+}
+
+// ------------------------------------------------------------------- flags
+
+std::string optimization_flags(std::string_view compiler_name,
+                               const spec::Version& compiler_version,
+                               std::string_view target) {
+  const auto& db = MicroarchDatabase::instance();
+  const auto& march = db.get(target);  // throws for unknown target
+  std::string family = db.family(target);
+  std::string name = to_lower(compiler_name);
+
+  auto at_least = [&](const char* v) {
+    return compiler_version >= spec::Version(v);
+  };
+
+  if (name == "gcc" || name == "clang" || name == "rocmcc" ||
+      name == "cce") {
+    if (family == "ppc64le") {
+      // GCC spells power targets -mcpu=power9.
+      if (march.generation() > 0) {
+        return "-mcpu=power" + std::to_string(march.generation());
+      }
+      return "-mcpu=native";
+    }
+    std::string t(target);
+    // Generic levels are spelled x86-64-v3 and need GCC >= 11 / Clang >= 12.
+    if (support::starts_with(t, "x86_64")) {
+      bool supported = (name == "gcc") ? at_least("11") : at_least("12");
+      if (t == "x86_64") return "-march=x86-64 -mtune=generic";
+      if (!supported) return "-march=x86-64 -mtune=generic";
+      return "-march=" + support::replace_all(t, "x86_64_", "x86-64-");
+    }
+    if (t == "zen" ) return "-march=znver1";
+    if (t == "zen2") return "-march=znver2";
+    if (t == "zen3") {
+      bool supported = (name == "gcc") ? at_least("10.3") : at_least("12");
+      return supported ? "-march=znver3" : "-march=znver2";
+    }
+    if (t == "zen4") {
+      bool supported = (name == "gcc") ? at_least("12.3") : at_least("16");
+      return supported ? "-march=znver4" : "-march=znver3";
+    }
+    if (family == "aarch64") return "-mcpu=native";
+    return "-march=" + t;
+  }
+  if (name == "intel" || name == "oneapi" || name == "icx") {
+    if (family != "x86_64") {
+      throw SystemError("intel compilers only target x86_64, not " +
+                        std::string(target));
+    }
+    if (contains(target, "skylake_avx512") || contains(target, "cascadelake"))
+      return "-xCORE-AVX512";
+    if (march.has_feature("avx512f")) return "-xCORE-AVX512";
+    if (march.has_feature("avx2")) return "-xCORE-AVX2";
+    return "-msse2";
+  }
+  if (name == "xl" || name == "xlc") {
+    if (family != "ppc64le") {
+      throw SystemError("IBM XL only targets ppc64le, not " +
+                        std::string(target));
+    }
+    return "-qarch=pwr" + std::to_string(march.generation());
+  }
+  if (name == "nvhpc" || name == "pgi") return "-tp=native";
+  // Unknown compiler: be conservative.
+  return "-O2";
+}
+
+// ----------------------------------------------------------------- detection
+
+std::string detect_from_cpuinfo(std::string_view cpuinfo_text) {
+  std::string vendor;
+  std::set<std::string> flags;
+  std::string cpu_line;
+  for (const auto& line : split(cpuinfo_text, '\n')) {
+    auto [key_raw, value_raw] = split_first(line, ':');
+    auto key = trim(key_raw);
+    auto value = trim(value_raw);
+    if (key == "vendor_id") {
+      vendor = value;
+    } else if (key == "flags" || key == "Features") {
+      for (const auto& f : support::split_ws(value)) flags.insert(f);
+    } else if (key == "cpu") {
+      cpu_line = to_lower(value);
+    }
+  }
+
+  // Power systems identify via the "cpu" line.
+  if (contains(cpu_line, "power10")) return "power10le";
+  if (contains(cpu_line, "power9")) return "power9le";
+  if (contains(cpu_line, "power8")) return "power8le";
+
+  if (vendor.empty() && flags.empty()) {
+    throw SystemError("unrecognizable cpuinfo");
+  }
+
+  auto has = [&](const char* f) { return flags.count(f) > 0; };
+
+  if (vendor == "AuthenticAMD") {
+    if (has("avx512f")) return "zen4";
+    if (has("vaes") && has("pku")) return "zen3";
+    if (has("clwb")) return "zen2";
+    if (has("clzero")) return "zen";
+  }
+  if (vendor == "GenuineIntel") {
+    if (has("amx_tile")) return "sapphirerapids";
+    if (has("avx512_vbmi2")) return "icelake";
+    if (has("avx512_vnni") || has("avx512vnni")) return "cascadelake";
+    if (has("avx512f")) return "skylake_avx512";
+    if (has("clflushopt")) return "skylake";
+    if (has("adx")) return "broadwell";
+    if (has("avx2")) return "haswell";
+    if (has("avx")) return "sandybridge";
+    if (has("sse4_2")) return "nehalem";
+  }
+  // Generic fallback by feature level.
+  if (has("avx512f")) return "x86_64_v4";
+  if (has("avx2")) return "x86_64_v3";
+  if (has("sse4_2")) return "x86_64_v2";
+  if (has("asimd")) return "aarch64";
+  return "x86_64";
+}
+
+std::string detect_host() {
+  std::ifstream in("/proc/cpuinfo");
+  if (!in) return "x86_64";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return detect_from_cpuinfo(buffer.str());
+  } catch (const SystemError&) {
+    return "x86_64";
+  }
+}
+
+}  // namespace benchpark::archspec

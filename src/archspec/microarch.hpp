@@ -1,0 +1,93 @@
+// Archspec: detecting, labeling, and reasoning about microarchitectures
+// (Section 3.1.3 of the paper; Culpo et al., CANOPIE-HPC'20).
+//
+// Microarchitectures form a DAG ordered by feature compatibility: zen3 is
+// compatible with anything zen2 runs, x86_64_v4 requires AVX-512, etc.
+// Spack uses this to (1) tailor build recipes to the target and (2) pick
+// compiler flags; both uses are reproduced here.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/spec/version.hpp"
+
+namespace benchpark::archspec {
+
+class Microarchitecture {
+public:
+  Microarchitecture(std::string name, std::vector<std::string> parents,
+                    std::string vendor, std::set<std::string> features,
+                    int generation = 0);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::string>& parents() const {
+    return parents_;
+  }
+  [[nodiscard]] const std::string& vendor() const { return vendor_; }
+  [[nodiscard]] const std::set<std::string>& features() const {
+    return features_;
+  }
+  [[nodiscard]] int generation() const { return generation_; }
+  [[nodiscard]] bool has_feature(std::string_view f) const {
+    return features_.count(std::string(f)) > 0;
+  }
+
+private:
+  std::string name_;
+  std::vector<std::string> parents_;  // immediate ancestors in the DAG
+  std::string vendor_;
+  std::set<std::string> features_;    // cumulative ISA features
+  int generation_ = 0;
+};
+
+/// The microarchitecture database (x86_64 generic levels, Intel line, AMD
+/// zen line, IBM power line, ARM line).
+class MicroarchDatabase {
+public:
+  /// The process-wide database.
+  static const MicroarchDatabase& instance();
+
+  [[nodiscard]] const Microarchitecture* find(std::string_view name) const;
+  [[nodiscard]] const Microarchitecture& get(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// True iff code compiled for `target` runs on `host` (host >= target
+  /// in the compatibility partial order; reflexive).
+  [[nodiscard]] bool compatible(std::string_view host,
+                                std::string_view target) const;
+
+  /// All ancestors of `name` (transitive parents), nearest first.
+  [[nodiscard]] std::vector<std::string> ancestors(
+      std::string_view name) const;
+
+  /// The generic family root ("x86_64", "ppc64le", "aarch64").
+  [[nodiscard]] std::string family(std::string_view name) const;
+
+private:
+  MicroarchDatabase();
+  void add(Microarchitecture march);
+
+  std::map<std::string, Microarchitecture, std::less<>> entries_;
+};
+
+/// Compiler optimization flags for a (compiler, version, target) triple.
+/// Throws SystemError for unknown targets; returns a generic flag set when
+/// the compiler version predates full support for the target.
+std::string optimization_flags(std::string_view compiler_name,
+                               const spec::Version& compiler_version,
+                               std::string_view target);
+
+/// Parse `/proc/cpuinfo`-style text into a microarchitecture name.
+/// Used both for real host detection and for simulated system fixtures.
+std::string detect_from_cpuinfo(std::string_view cpuinfo_text);
+
+/// Detect the machine we are running on; falls back to the family root
+/// when the exact microarchitecture is unknown.
+std::string detect_host();
+
+}  // namespace benchpark::archspec

@@ -1,0 +1,278 @@
+#include "src/benchmarks/multigrid.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <numbers>
+
+#include "src/support/error.hpp"
+#include "src/support/parallel.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::benchmarks {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One level of the hierarchy: an n x n interior grid with spacing h.
+/// Values are stored with a one-cell ghost halo ((n+2) x (n+2)) so the
+/// 5-point stencil needs no boundary branches; the halo stays zero
+/// (homogeneous Dirichlet).
+struct Level {
+  std::size_t n = 0;
+  double h = 0;
+  std::vector<double> u;    // solution / correction
+  std::vector<double> f;    // right-hand side
+  std::vector<double> r;    // residual scratch
+
+  explicit Level(std::size_t n_in)
+      : n(n_in),
+        h(1.0 / static_cast<double>(n_in + 1)),
+        u((n_in + 2) * (n_in + 2), 0.0),
+        f((n_in + 2) * (n_in + 2), 0.0),
+        r((n_in + 2) * (n_in + 2), 0.0) {}
+
+  [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const {
+    return i * (n + 2) + j;  // i, j in [0, n+1]; interior is [1, n]
+  }
+};
+
+/// Weighted Jacobi smoother (ω = 4/5 is near-optimal for the 2-D 5-point
+/// Laplacian). Matrix-free: A u = (4u_ij - u_W - u_E - u_S - u_N) / h².
+void smooth(Level& level, int sweeps, int threads) {
+  const std::size_t n = level.n;
+  const double h2 = level.h * level.h;
+  const double omega = 0.8;
+  std::vector<double> next = level.u;
+  for (int s = 0; s < sweeps; ++s) {
+    benchpark::support::parallel_for(
+        n, threads, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo + 1; i <= hi; ++i) {
+            for (std::size_t j = 1; j <= n; ++j) {
+              std::size_t c = level.idx(i, j);
+              double sum = level.u[c - 1] + level.u[c + 1] +
+                           level.u[c - (n + 2)] + level.u[c + (n + 2)];
+              double jac = 0.25 * (h2 * level.f[c] + sum);
+              next[c] = level.u[c] + omega * (jac - level.u[c]);
+            }
+          }
+        });
+    level.u.swap(next);
+  }
+}
+
+/// r = f - A u; returns ||r||_2 over the interior.
+double residual(Level& level, int threads) {
+  const std::size_t n = level.n;
+  const double inv_h2 = 1.0 / (level.h * level.h);
+  std::vector<double> partial(static_cast<std::size_t>(threads > 0 ? threads : 1), 0.0);
+  // Chunked reduction: each worker accumulates its own partial sum.
+  const std::size_t nchunks = partial.size();
+  benchpark::support::parallel_for(
+      nchunks, static_cast<int>(nchunks),
+      [&](std::size_t chunk_lo, std::size_t chunk_hi) {
+        for (std::size_t chunk = chunk_lo; chunk < chunk_hi; ++chunk) {
+          std::size_t row_lo = 1 + chunk * n / nchunks;
+          std::size_t row_hi = 1 + (chunk + 1) * n / nchunks;
+          double sum = 0;
+          for (std::size_t i = row_lo; i < row_hi; ++i) {
+            for (std::size_t j = 1; j <= n; ++j) {
+              std::size_t c = level.idx(i, j);
+              double au = (4.0 * level.u[c] - level.u[c - 1] -
+                           level.u[c + 1] - level.u[c - (n + 2)] -
+                           level.u[c + (n + 2)]) *
+                          inv_h2;
+              double rv = level.f[c] - au;
+              level.r[c] = rv;
+              sum += rv * rv;
+            }
+          }
+          partial[chunk] = sum;
+        }
+      });
+  double total = 0;
+  for (double p : partial) total += p;
+  return std::sqrt(total);
+}
+
+/// Full-weighting restriction of the fine residual to the coarse RHS.
+/// Fine n must be 2*coarse_n + 1.
+void restrict_residual(const Level& fine, Level& coarse, int threads) {
+  const std::size_t nc = coarse.n;
+  const std::size_t nf = fine.n;
+  benchpark::support::parallel_for(
+      nc, threads, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t ic = lo + 1; ic <= hi; ++ic) {
+          std::size_t i = 2 * ic;  // fine index
+          for (std::size_t jc = 1; jc <= nc; ++jc) {
+            std::size_t j = 2 * jc;
+            std::size_t c = i * (nf + 2) + j;
+            double center = fine.r[c];
+            double edges = fine.r[c - 1] + fine.r[c + 1] +
+                           fine.r[c - (nf + 2)] + fine.r[c + (nf + 2)];
+            double corners = fine.r[c - (nf + 2) - 1] +
+                             fine.r[c - (nf + 2) + 1] +
+                             fine.r[c + (nf + 2) - 1] +
+                             fine.r[c + (nf + 2) + 1];
+            coarse.f[coarse.idx(ic, jc)] =
+                0.25 * center + 0.125 * edges + 0.0625 * corners;
+          }
+        }
+      });
+}
+
+/// Bilinear prolongation of the coarse correction added into the fine u.
+void prolongate_and_correct(const Level& coarse, Level& fine, int threads) {
+  const std::size_t nc = coarse.n;
+  const std::size_t nf = fine.n;
+  benchpark::support::parallel_for(
+      nc + 1, threads, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t ic = lo; ic < hi; ++ic) {
+          // Each coarse cell (ic, jc) injects into the 2x2 fine block at
+          // (2ic+1, 2jc+1); corners interpolate from 4 coarse values.
+          for (std::size_t jc = 0; jc <= nc; ++jc) {
+            double c00 = coarse.u[coarse.idx(ic, jc)];
+            double c01 = coarse.u[coarse.idx(ic, jc + 1)];
+            double c10 = coarse.u[coarse.idx(ic + 1, jc)];
+            double c11 = coarse.u[coarse.idx(ic + 1, jc + 1)];
+            std::size_t fi = 2 * ic + 1;
+            std::size_t fj = 2 * jc + 1;
+            fine.u[fi * (nf + 2) + fj] +=
+                0.25 * (c00 + c01 + c10 + c11);
+            if (fj + 1 <= nf) {
+              fine.u[fi * (nf + 2) + fj + 1] += 0.5 * (c01 + c11);
+            }
+            if (fi + 1 <= nf) {
+              fine.u[(fi + 1) * (nf + 2) + fj] += 0.5 * (c10 + c11);
+            }
+            if (fi + 1 <= nf && fj + 1 <= nf) {
+              fine.u[(fi + 1) * (nf + 2) + fj + 1] += c11;
+            }
+          }
+        }
+      });
+}
+
+void v_cycle(std::vector<Level>& levels, std::size_t depth,
+             const MultigridOptions& options) {
+  Level& level = levels[depth];
+  if (depth + 1 == levels.size()) {
+    // Coarsest grid: smooth it out (tiny grid, many sweeps ~ exact).
+    smooth(level, 30, 1);
+    return;
+  }
+  smooth(level, options.pre_smooth, options.threads);
+  (void)residual(level, options.threads);
+  Level& coarse = levels[depth + 1];
+  std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+  restrict_residual(level, coarse, options.threads);
+  v_cycle(levels, depth + 1, options);
+  prolongate_and_correct(coarse, level, options.threads);
+  smooth(level, options.post_smooth, options.threads);
+}
+
+}  // namespace
+
+MultigridResult solve_poisson_multigrid(const MultigridOptions& options) {
+  // The hierarchy needs n = 2^k - 1 so each coarse grid is (n-1)/2.
+  std::size_t n = options.n;
+  if (n < 3 || ((n + 1) & n) != 0) {
+    throw Error("multigrid needs n = 2^k - 1 (got " + std::to_string(n) +
+                ")");
+  }
+
+  MultigridResult result;
+  result.n = n;
+
+  // ---- setup phase: build the grid hierarchy and the RHS -----------------
+  auto setup_start = Clock::now();
+  std::vector<Level> levels;
+  for (std::size_t size = n; size >= 3; size = (size - 1) / 2) {
+    levels.emplace_back(size);
+  }
+  result.levels = static_cast<int>(levels.size());
+
+  Level& fine = levels.front();
+  const double pi = std::numbers::pi;
+  // Manufactured solution u = sin(pi x) sin(pi y): f = 2 pi^2 u.
+  for (std::size_t i = 1; i <= n; ++i) {
+    double x = static_cast<double>(i) * fine.h;
+    for (std::size_t j = 1; j <= n; ++j) {
+      double y = static_cast<double>(j) * fine.h;
+      fine.f[fine.idx(i, j)] =
+          2.0 * pi * pi * std::sin(pi * x) * std::sin(pi * y);
+    }
+  }
+  result.setup_seconds = seconds_since(setup_start);
+
+  // ---- solve phase: V-cycles to tolerance ------------------------------
+  auto solve_start = Clock::now();
+  result.initial_residual = residual(fine, options.threads);
+  double target = options.tolerance * result.initial_residual;
+  double current = result.initial_residual;
+  while (result.cycles < options.max_cycles && current > target) {
+    v_cycle(levels, 0, options);
+    current = residual(fine, options.threads);
+    ++result.cycles;
+  }
+  result.final_residual = current;
+  result.converged = current <= target;
+  result.solve_seconds = seconds_since(solve_start);
+
+  // ---- verification against the manufactured solution ------------------
+  double max_err = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    double x = static_cast<double>(i) * fine.h;
+    for (std::size_t j = 1; j <= n; ++j) {
+      double y = static_cast<double>(j) * fine.h;
+      double exact = std::sin(pi * x) * std::sin(pi * y);
+      max_err = std::max(max_err,
+                         std::fabs(fine.u[fine.idx(i, j)] - exact));
+    }
+  }
+  result.solution_error = max_err;
+  return result;
+}
+
+double multigrid_cycle_flops(std::size_t n) {
+  // Per fine point per cycle: ~4 smoothing sweeps (8 flops) + residual
+  // (7) + transfer (~6), with the geometric-series 4/3 factor for the
+  // coarse levels.
+  double fine_points = static_cast<double>(n) * static_cast<double>(n);
+  return fine_points * (4 * 8 + 7 + 6) * (4.0 / 3.0);
+}
+
+double multigrid_cycle_bytes(std::size_t n) {
+  double fine_points = static_cast<double>(n) * static_cast<double>(n);
+  // Each sweep streams u, f, next (3 arrays of doubles), 6 sweeps deep.
+  return fine_points * 3 * sizeof(double) * 6 * (4.0 / 3.0);
+}
+
+std::string multigrid_output(const MultigridResult& result) {
+  using benchpark::support::format_double;
+  std::string out;
+  out += "AMG solve on " + std::to_string(result.n) + "^2 grid, " +
+         std::to_string(result.levels) + " levels\n";
+  out += "iterations: " + std::to_string(result.cycles) + "\n";
+  out += "relative residual: " +
+         format_double(result.final_residual /
+                           (result.initial_residual > 0
+                                ? result.initial_residual
+                                : 1.0),
+                       4) +
+         "\n";
+  out += "Setup time: " + format_double(result.setup_seconds, 6) + " s\n";
+  out += "Solve time: " + format_double(result.solve_seconds, 6) + " s\n";
+  out += "Figure of Merit (FOM_Setup): " +
+         format_double(result.setup_fom(), 6) + "\n";
+  out += "Figure of Merit (FOM_Solve): " +
+         format_double(result.solve_fom(), 6) + "\n";
+  if (result.converged) out += "AMG converged\n";
+  return out;
+}
+
+}  // namespace benchpark::benchmarks

@@ -1,0 +1,75 @@
+#include "src/benchmarks/saxpy.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "src/support/parallel.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::benchmarks {
+
+void saxpy_kernel(float* r, const float* x, const float* y,
+                  std::size_t size, float a) {
+  for (std::size_t i = 0; i < size; ++i) {
+    r[i] = a * x[i] + y[i];
+  }
+}
+
+SaxpyResult run_saxpy(std::size_t n, int threads, int repeats) {
+  std::vector<float> x(n), y(n), r(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i % 1024) * 0.001f;
+    y[i] = 1.0f - x[i];
+  }
+  const float a = 2.0f;
+
+  auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < repeats; ++rep) {
+    support::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
+      saxpy_kernel(r.data() + begin, x.data() + begin, y.data() + begin,
+                   end - begin, a);
+    });
+  }
+  auto stop = std::chrono::steady_clock::now();
+
+  SaxpyResult result;
+  result.n = n;
+  result.threads = threads;
+  result.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  result.gflops = result.elapsed_seconds > 0
+                      ? 2.0 * static_cast<double>(n) * repeats /
+                            result.elapsed_seconds / 1e9
+                      : 0.0;
+
+  result.verified = true;
+  float checksum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    float expected = a * x[i] + y[i];
+    if (std::fabs(r[i] - expected) > 1e-5f) result.verified = false;
+    checksum += r[i];
+  }
+  result.checksum = checksum;
+  return result;
+}
+
+double saxpy_flops(std::size_t n) { return 2.0 * static_cast<double>(n); }
+
+double saxpy_bytes(std::size_t n) {
+  // Two loads + one store of float.
+  return 12.0 * static_cast<double>(n);
+}
+
+std::string saxpy_output(const SaxpyResult& result) {
+  std::string out;
+  out += "saxpy: problem size n=" + std::to_string(result.n) +
+         " threads=" + std::to_string(result.threads) + "\n";
+  out += "Kernel elapsed: " +
+         support::format_double(result.elapsed_seconds, 6) + " s\n";
+  out += "Kernel GFLOP/s: " + support::format_double(result.gflops, 4) + "\n";
+  if (result.verified) out += "Kernel done\n";
+  return out;
+}
+
+}  // namespace benchpark::benchmarks

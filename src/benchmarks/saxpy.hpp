@@ -1,0 +1,38 @@
+// The saxpy micro-benchmark (Section 4.1, Figure 7): a single kernel
+// "ported to the target architecture". This is the real, runnable kernel;
+// the simulated runtime uses the cost functions below to model it on
+// systems we do not have.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace benchpark::benchmarks {
+
+/// Figure 7, verbatim semantics: r[i] = A * x[i] + y[i].
+void saxpy_kernel(float* r, const float* x, const float* y,
+                  std::size_t size, float a = 2.0f);
+
+struct SaxpyResult {
+  std::size_t n = 0;
+  int threads = 1;
+  double elapsed_seconds = 0;
+  double gflops = 0;
+  float checksum = 0;  // guards against dead-code elimination
+  bool verified = false;
+};
+
+/// Run the kernel `repeats` times on freshly initialized arrays and verify
+/// the result element-wise.
+SaxpyResult run_saxpy(std::size_t n, int threads = 1, int repeats = 1);
+
+/// Cost model inputs for the simulated systems.
+[[nodiscard]] double saxpy_flops(std::size_t n);
+[[nodiscard]] double saxpy_bytes(std::size_t n);
+
+/// Render the benchmark's stdout the way the real binary prints it
+/// ("Kernel done" is the success string from Figure 8).
+std::string saxpy_output(const SaxpyResult& result);
+
+}  // namespace benchpark::benchmarks

@@ -1,0 +1,105 @@
+#include "src/benchmarks/stream.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "src/support/parallel.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::benchmarks {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+StreamResult run_stream(std::size_t n, int threads, int repeats) {
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.0);
+  const double scalar = 3.0;
+
+  StreamResult result;
+  result.n = n;
+  result.threads = threads;
+  std::array<double, 4> best_seconds;
+  best_seconds.fill(1e30);
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    // Copy: c = a
+    auto t0 = std::chrono::steady_clock::now();
+    support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) c[i] = a[i];
+    });
+    best_seconds[0] = std::min(best_seconds[0], seconds_since(t0));
+
+    // Scale: b = s * c
+    t0 = std::chrono::steady_clock::now();
+    support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) b[i] = scalar * c[i];
+    });
+    best_seconds[1] = std::min(best_seconds[1], seconds_since(t0));
+
+    // Add: c = a + b
+    t0 = std::chrono::steady_clock::now();
+    support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) c[i] = a[i] + b[i];
+    });
+    best_seconds[2] = std::min(best_seconds[2], seconds_since(t0));
+
+    // Triad: a = b + s * c
+    t0 = std::chrono::steady_clock::now();
+    support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + scalar * c[i];
+    });
+    best_seconds[3] = std::min(best_seconds[3], seconds_since(t0));
+  }
+
+  const double nbytes = static_cast<double>(n) * sizeof(double);
+  const std::array<double, 4> bytes_moved{2 * nbytes, 2 * nbytes, 3 * nbytes,
+                                          3 * nbytes};
+  for (int k = 0; k < 4; ++k) {
+    result.bandwidth_gbs[static_cast<std::size_t>(k)] =
+        best_seconds[static_cast<std::size_t>(k)] > 0
+            ? bytes_moved[static_cast<std::size_t>(k)] /
+                  best_seconds[static_cast<std::size_t>(k)] / 1e9
+            : 0.0;
+  }
+
+  // Verification follows the reference STREAM: recompute expected values.
+  // After `repeats` iterations: each iteration does c=a, b=s*c, c=a+b,
+  // a=b+s*c starting from that iteration's a.
+  double ea = 1.0, eb = 2.0, ec = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    ec = ea;
+    eb = scalar * ec;
+    ec = ea + eb;
+    ea = eb + scalar * ec;
+  }
+  result.verified = std::fabs(a[0] - ea) < 1e-8 * std::fabs(ea) &&
+                    std::fabs(b[n / 2] - eb) < 1e-8 * std::fabs(eb) &&
+                    std::fabs(c[n - 1] - ec) < 1e-8 * std::fabs(ec);
+  return result;
+}
+
+double stream_triad_bytes(std::size_t n) {
+  return 3.0 * static_cast<double>(n) * sizeof(double);
+}
+
+std::string stream_output(const StreamResult& result) {
+  std::string out = "STREAM array size=" + std::to_string(result.n) +
+                    " threads=" + std::to_string(result.threads) + "\n";
+  for (std::size_t k = 0; k < 4; ++k) {
+    out += std::string(kStreamKernelNames[k]) + ": " +
+           benchpark::support::format_double(result.bandwidth_gbs[k], 5) +
+           " GB/s\n";
+  }
+  out += result.verified ? "Solution Validates\n" : "Validation FAILED\n";
+  return out;
+}
+
+}  // namespace benchpark::benchmarks

@@ -1,0 +1,29 @@
+// STREAM memory-bandwidth benchmark (McCalpin): Copy, Scale, Add, Triad.
+// Used as the third example benchmark added to Benchpark (Section 4 shows
+// adding new benchmarks; examples/add_benchmark.cpp walks through it).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace benchpark::benchmarks {
+
+struct StreamResult {
+  std::size_t n = 0;
+  int threads = 1;
+  // Best-of-repeats bandwidth in GB/s for copy, scale, add, triad.
+  std::array<double, 4> bandwidth_gbs{};
+  bool verified = false;
+};
+
+inline constexpr std::array<const char*, 4> kStreamKernelNames{
+    "Copy", "Scale", "Add", "Triad"};
+
+StreamResult run_stream(std::size_t n, int threads = 1, int repeats = 3);
+
+[[nodiscard]] double stream_triad_bytes(std::size_t n);
+
+std::string stream_output(const StreamResult& result);
+
+}  // namespace benchpark::benchmarks

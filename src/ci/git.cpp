@@ -1,0 +1,224 @@
+#include "src/ci/git.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/hash.hpp"
+
+namespace benchpark::ci {
+
+// ------------------------------------------------------------------ GitRepo
+
+GitRepo::GitRepo(std::string owner, std::string name)
+    : owner_(std::move(owner)), name_(std::move(name)) {}
+
+std::string GitRepo::commit(const std::string& branch,
+                            const std::string& author,
+                            const std::string& message,
+                            const std::map<std::string, std::string>& changes,
+                            const std::string& from_branch) {
+  // Start from the branch head (or the base branch for a new branch).
+  std::map<std::string, std::string> tree;
+  std::string parent_sha;
+  if (const Commit* parent = head(branch)) {
+    tree = parent->files;
+    parent_sha = parent->sha;
+  } else if (const Commit* base = head(from_branch)) {
+    tree = base->files;
+    parent_sha = base->sha;
+  }
+  for (const auto& [path, content] : changes) {
+    if (content.empty()) {
+      tree.erase(path);
+    } else {
+      tree[path] = content;
+    }
+  }
+  support::Hasher h;
+  h.update(parent_sha);
+  h.update(author);
+  h.update(message);
+  for (const auto& [path, content] : tree) {
+    h.update(path);
+    h.update(content);
+  }
+  Commit c;
+  c.sha = h.hex();
+  c.author = author;
+  c.message = message;
+  c.files = std::move(tree);
+  commits_[c.sha] = c;
+  branches_[branch].push_back(c.sha);
+  return c.sha;
+}
+
+bool GitRepo::has_branch(std::string_view branch) const {
+  return branches_.count(std::string(branch)) > 0;
+}
+
+const Commit* GitRepo::head(std::string_view branch) const {
+  auto it = branches_.find(std::string(branch));
+  if (it == branches_.end() || it->second.empty()) return nullptr;
+  return &commits_.at(it->second.back());
+}
+
+const Commit* GitRepo::find_commit(std::string_view sha) const {
+  auto it = commits_.find(std::string(sha));
+  return it == commits_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> GitRepo::log(std::string_view branch) const {
+  auto it = branches_.find(std::string(branch));
+  return it == branches_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::optional<std::string> GitRepo::file_at(std::string_view branch,
+                                            std::string_view path) const {
+  const Commit* c = head(branch);
+  if (!c) return std::nullopt;
+  auto it = c->files.find(std::string(path));
+  if (it == c->files.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> GitRepo::branches() const {
+  std::vector<std::string> out;
+  out.reserve(branches_.size());
+  for (const auto& [name, history] : branches_) out.push_back(name);
+  return out;
+}
+
+void GitRepo::set_branch(const std::string& branch, const std::string& sha) {
+  if (!commits_.count(sha)) {
+    throw CiError("cannot set branch '" + branch + "' to unknown commit " +
+                  sha);
+  }
+  branches_[branch].push_back(sha);
+}
+
+void GitRepo::import_commit(const Commit& commit) {
+  commits_[commit.sha] = commit;
+}
+
+// -------------------------------------------------------------- PullRequest
+
+bool PullRequest::approved_by(std::string_view user) const {
+  return std::find(approvals.begin(), approvals.end(), user) !=
+         approvals.end();
+}
+
+const StatusCheck* PullRequest::check(std::string_view name) const {
+  for (const auto& c : checks) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string_view check_state_name(CheckState s) {
+  switch (s) {
+    case CheckState::pending: return "pending";
+    case CheckState::running: return "running";
+    case CheckState::success: return "success";
+    case CheckState::failure: return "failure";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------ GitHost
+
+GitRepo& GitHost::create_repo(const std::string& owner,
+                              const std::string& repo) {
+  std::string full = owner + "/" + repo;
+  auto [it, inserted] = repos_.try_emplace(full, GitRepo(owner, repo));
+  if (!inserted) throw CiError("repo already exists: " + full);
+  return it->second;
+}
+
+GitRepo& GitHost::fork(const std::string& source_full_name,
+                       const std::string& new_owner) {
+  const GitRepo* source = find_repo(source_full_name);
+  if (!source) throw CiError("cannot fork unknown repo " + source_full_name);
+  GitRepo& fork = create_repo(new_owner, source->name());
+  for (const auto& branch : source->branches()) {
+    for (const auto& sha : source->log(branch)) {
+      fork.import_commit(*source->find_commit(sha));
+      fork.set_branch(branch, sha);
+    }
+  }
+  return fork;
+}
+
+GitRepo& GitHost::repo(std::string_view full_name) {
+  auto it = repos_.find(std::string(full_name));
+  if (it == repos_.end()) {
+    throw CiError("unknown repo '" + std::string(full_name) + "' on " +
+                  name_);
+  }
+  return it->second;
+}
+
+const GitRepo* GitHost::find_repo(std::string_view full_name) const {
+  auto it = repos_.find(std::string(full_name));
+  return it == repos_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t GitHost::open_pr(const std::string& title,
+                               const std::string& author,
+                               const std::string& source_repo,
+                               const std::string& source_branch,
+                               const std::string& target_repo,
+                               const std::string& target_branch) {
+  if (!find_repo(source_repo)) throw CiError("unknown source " + source_repo);
+  if (!find_repo(target_repo)) throw CiError("unknown target " + target_repo);
+  if (!repo(source_repo).has_branch(source_branch)) {
+    throw CiError("source branch '" + source_branch + "' does not exist");
+  }
+  PullRequest pr;
+  pr.id = next_pr_++;
+  pr.title = title;
+  pr.author = author;
+  pr.source_repo = source_repo;
+  pr.source_branch = source_branch;
+  pr.target_repo = target_repo;
+  pr.target_branch = target_branch;
+  auto id = pr.id;
+  prs_[id] = std::move(pr);
+  return id;
+}
+
+PullRequest& GitHost::pr(std::uint64_t id) {
+  auto it = prs_.find(id);
+  if (it == prs_.end()) throw CiError("unknown PR #" + std::to_string(id));
+  return it->second;
+}
+
+void GitHost::approve_pr(std::uint64_t id, const std::string& reviewer) {
+  auto& pull = pr(id);
+  if (pull.state != PrState::open) throw CiError("PR is not open");
+  if (!pull.approved_by(reviewer)) pull.approvals.push_back(reviewer);
+}
+
+void GitHost::merge_pr(std::uint64_t id) {
+  auto& pull = pr(id);
+  if (pull.state != PrState::open) throw CiError("PR is not open");
+  const Commit* source_head =
+      repo(pull.source_repo).head(pull.source_branch);
+  if (!source_head) throw CiError("source branch has no commits");
+  GitRepo& target = repo(pull.target_repo);
+  target.import_commit(*source_head);
+  target.set_branch(pull.target_branch, source_head->sha);
+  pull.state = PrState::merged;
+}
+
+void GitHost::set_status(std::uint64_t id, const StatusCheck& check) {
+  auto& pull = pr(id);
+  for (auto& existing : pull.checks) {
+    if (existing.name == check.name) {
+      existing = check;
+      return;
+    }
+  }
+  pull.checks.push_back(check);
+}
+
+}  // namespace benchpark::ci

@@ -1,0 +1,123 @@
+// In-memory model of git hosting (GitHub/GitLab) — the substrate for the
+// Figure 6 automation loop: canonical repository on GitHub, mirrored to
+// GitLab for CI, pull requests from forks with review/approval state and
+// status checks streamed back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace benchpark::ci {
+
+/// One commit: content-addressed snapshot of the repo file tree.
+struct Commit {
+  std::string sha;
+  std::string author;
+  std::string message;
+  std::map<std::string, std::string> files;  // full tree snapshot
+};
+
+/// A repository with branches.
+class GitRepo {
+public:
+  GitRepo() = default;
+  GitRepo(std::string owner, std::string name);
+
+  [[nodiscard]] const std::string& owner() const { return owner_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string full_name() const { return owner_ + "/" + name_; }
+
+  /// Commit a change set (upserts files; empty content deletes) on a
+  /// branch, creating it from `from_branch` when absent. Returns the sha.
+  std::string commit(const std::string& branch, const std::string& author,
+                     const std::string& message,
+                     const std::map<std::string, std::string>& changes,
+                     const std::string& from_branch = "main");
+
+  [[nodiscard]] bool has_branch(std::string_view branch) const;
+  [[nodiscard]] const Commit* head(std::string_view branch) const;
+  [[nodiscard]] const Commit* find_commit(std::string_view sha) const;
+  /// Branch history, oldest first.
+  [[nodiscard]] std::vector<std::string> log(std::string_view branch) const;
+  [[nodiscard]] std::optional<std::string> file_at(
+      std::string_view branch, std::string_view path) const;
+  [[nodiscard]] std::vector<std::string> branches() const;
+
+  /// Force a branch to point at an existing commit (mirror primitive).
+  void set_branch(const std::string& branch, const std::string& sha);
+  /// Import a commit object verbatim (mirror primitive).
+  void import_commit(const Commit& commit);
+
+private:
+  std::string owner_;
+  std::string name_;
+  std::map<std::string, std::vector<std::string>> branches_;  // sha history
+  std::map<std::string, Commit> commits_;
+};
+
+enum class PrState { open, merged, closed };
+enum class CheckState { pending, running, success, failure };
+
+[[nodiscard]] std::string_view check_state_name(CheckState s);
+
+/// A status check on a PR head (the GitHub-side view of CI progress that
+/// Hubcast streams back).
+struct StatusCheck {
+  std::string name;  // "gitlab-ci/llnl/build"
+  CheckState state = CheckState::pending;
+  std::string description;
+};
+
+struct PullRequest {
+  std::uint64_t id = 0;
+  std::string title;
+  std::string author;
+  std::string source_repo;    // full name (may be a fork)
+  std::string source_branch;
+  std::string target_repo;
+  std::string target_branch;
+  PrState state = PrState::open;
+  std::vector<std::string> approvals;  // reviewer logins
+  std::vector<StatusCheck> checks;
+
+  [[nodiscard]] bool approved_by(std::string_view user) const;
+  [[nodiscard]] const StatusCheck* check(std::string_view name) const;
+};
+
+/// A hosting service instance ("github" / "gitlab").
+class GitHost {
+public:
+  explicit GitHost(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  GitRepo& create_repo(const std::string& owner, const std::string& repo);
+  /// Fork `source` under `new_owner`; copies all branches.
+  GitRepo& fork(const std::string& source_full_name,
+                const std::string& new_owner);
+  [[nodiscard]] GitRepo& repo(std::string_view full_name);
+  [[nodiscard]] const GitRepo* find_repo(std::string_view full_name) const;
+
+  std::uint64_t open_pr(const std::string& title, const std::string& author,
+                        const std::string& source_repo,
+                        const std::string& source_branch,
+                        const std::string& target_repo,
+                        const std::string& target_branch = "main");
+  [[nodiscard]] PullRequest& pr(std::uint64_t id);
+  void approve_pr(std::uint64_t id, const std::string& reviewer);
+  /// Merge: fast-forward the target branch to the source head. Requires
+  /// the PR to be open.
+  void merge_pr(std::uint64_t id);
+  void set_status(std::uint64_t id, const StatusCheck& check);
+
+private:
+  std::string name_;
+  std::map<std::string, GitRepo> repos_;
+  std::map<std::uint64_t, PullRequest> prs_;
+  std::uint64_t next_pr_ = 1;
+};
+
+}  // namespace benchpark::ci

@@ -1,0 +1,78 @@
+// Hubcast (Section 3.3.1): secure mirroring between GitHub and GitLab.
+//
+// "Unlike GitLab's built-in mirroring functionality, Hubcast allows
+// untrusted pull requests from forks to be mirrored to a GitLab once they
+// pass a configured set of security criteria. ... a pull request must be
+// reviewed and approved by a site and system administrator, before
+// Hubcast will mirror the commit to GitLab, GitLab CI will begin
+// executing, and the status will be streamed back through Hubcast to show
+// as a native status check on the pull request on GitHub."
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ci/git.hpp"
+
+namespace benchpark::ci {
+
+/// The configured set of security criteria.
+struct SecurityPolicy {
+  /// Site/system administrators whose approval unlocks fork PRs.
+  std::set<std::string> admins;
+  /// Users whose own PRs (from the canonical repo or their forks) are
+  /// trusted without a fresh approval (e.g. maintainers).
+  std::set<std::string> trusted_users;
+  /// Paths a PR may not touch without admin approval even from trusted
+  /// users (CI definitions — editing them reroutes what runs on HPC).
+  std::set<std::string> protected_paths{".gitlab-ci.yml"};
+};
+
+/// Why a mirror request was denied (for actionable PR feedback).
+enum class MirrorDenial {
+  pr_not_open,
+  needs_admin_approval,
+  protected_path_touched,
+};
+
+[[nodiscard]] std::string_view mirror_denial_text(MirrorDenial d);
+
+struct MirrorDecision {
+  bool allowed = false;
+  std::optional<MirrorDenial> denial;
+  std::string detail;
+};
+
+class Hubcast {
+public:
+  /// Mirrors between `github` (canonical) and `gitlab` (CI side). The
+  /// canonical repo must exist on both hosts.
+  Hubcast(GitHost* github, GitHost* gitlab, std::string canonical_repo,
+          SecurityPolicy policy);
+
+  /// Evaluate the security criteria for a PR without mirroring.
+  [[nodiscard]] MirrorDecision evaluate(std::uint64_t pr_id) const;
+
+  /// Mirror the PR's head to GitLab as branch "pr-<id>" when the
+  /// criteria pass. Returns the GitLab branch name, or nullopt with the
+  /// denial recorded as a failing status check on the GitHub PR.
+  std::optional<std::string> try_mirror_pr(std::uint64_t pr_id);
+
+  /// Stream a CI status back to the GitHub PR (Figure 6 arrows 4/5).
+  void report_status(std::uint64_t pr_id, const StatusCheck& check);
+
+  /// Mirror the canonical default branch (post-merge sync).
+  void sync_default_branch();
+
+  [[nodiscard]] const SecurityPolicy& policy() const { return policy_; }
+
+private:
+  GitHost* github_;   // not owned
+  GitHost* gitlab_;   // not owned
+  std::string canonical_;
+  SecurityPolicy policy_;
+};
+
+}  // namespace benchpark::ci

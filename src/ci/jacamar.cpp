@@ -1,0 +1,45 @@
+#include "src/ci/jacamar.hpp"
+
+#include "src/support/error.hpp"
+
+namespace benchpark::ci {
+
+void SiteAccounts::add(const std::string& login, int uid) {
+  accounts_[login] = uid;
+}
+
+std::optional<int> SiteAccounts::uid_for(std::string_view login) const {
+  auto it = accounts_.find(login);
+  if (it == accounts_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SiteAccounts::has(std::string_view login) const {
+  return accounts_.find(login) != accounts_.end();
+}
+
+Jacamar::Jacamar(std::string site, SiteAccounts accounts)
+    : site_(std::move(site)), accounts_(std::move(accounts)) {}
+
+Jacamar::Identity Jacamar::resolve(const std::string& triggered_by,
+                                   const std::string& approved_by) const {
+  if (auto uid = accounts_.uid_for(triggered_by)) {
+    return {triggered_by, *uid, false};
+  }
+  if (!approved_by.empty()) {
+    if (auto uid = accounts_.uid_for(approved_by)) {
+      return {approved_by, *uid, true};
+    }
+  }
+  throw CiError("jacamar@" + site_ + ": neither triggering user '" +
+                triggered_by + "' nor approver '" + approved_by +
+                "' has an account at this site");
+}
+
+void Jacamar::record(const std::string& job, const Identity& identity,
+                     const std::string& triggered_by) {
+  audit_log_.push_back({job, site_, triggered_by, identity.login,
+                        identity.uid, identity.downscoped});
+}
+
+}  // namespace benchpark::ci

@@ -1,0 +1,69 @@
+// Jacamar CI (Section 3.3.2): a custom executor for GitLab CI runners in
+// HPC environments.
+//
+// "Instead of running multiple CI jobs all under a single service user,
+// Jacamar uses setuid to execute jobs as the user who triggered them. ...
+// If a job is submitted by a user without an account at a participating
+// site, the job will be run as the user who approved the pull request,
+// further improving logging and audit checks."
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace benchpark::ci {
+
+/// Site account directory: login -> uid at one HPC site.
+class SiteAccounts {
+public:
+  void add(const std::string& login, int uid);
+  [[nodiscard]] std::optional<int> uid_for(std::string_view login) const;
+  [[nodiscard]] bool has(std::string_view login) const;
+
+private:
+  std::map<std::string, int, std::less<>> accounts_;
+};
+
+struct AuditEntry {
+  std::string job;
+  std::string site;
+  std::string triggered_by;
+  std::string ran_as;
+  int uid = -1;
+  bool downscoped = false;  // ran as approver instead of author
+};
+
+class Jacamar {
+public:
+  Jacamar(std::string site, SiteAccounts accounts);
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+  /// Resolve the identity a job runs under: the triggering user when they
+  /// hold a site account, else the approving admin (who must have one).
+  /// Throws CiError when neither has an account — the job cannot run.
+  struct Identity {
+    std::string login;
+    int uid = -1;
+    bool downscoped = false;
+  };
+  [[nodiscard]] Identity resolve(const std::string& triggered_by,
+                                 const std::string& approved_by) const;
+
+  /// Record a job execution in the audit log.
+  void record(const std::string& job, const Identity& identity,
+              const std::string& triggered_by);
+
+  [[nodiscard]] const std::vector<AuditEntry>& audit_log() const {
+    return audit_log_;
+  }
+
+private:
+  std::string site_;
+  SiteAccounts accounts_;
+  std::vector<AuditEntry> audit_log_;
+};
+
+}  // namespace benchpark::ci

@@ -1,0 +1,154 @@
+#include "src/ci/pipeline.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::ci {
+
+PipelineDef PipelineDef::from_yaml(const yaml::Node& root) {
+  PipelineDef def;
+  if (!root.has("stages")) {
+    throw CiError(".gitlab-ci.yml needs a 'stages:' list");
+  }
+  def.stages = root.at("stages").as_string_list();
+  for (const auto& [key, body] : root.map()) {
+    if (key == "stages" || key == "variables" || key == "default") continue;
+    CiJobDef job;
+    job.name = key;
+    job.stage = body.at("stage").as_string_or(def.stages.front());
+    if (std::find(def.stages.begin(), def.stages.end(), job.stage) ==
+        def.stages.end()) {
+      throw CiError("job '" + key + "' uses undeclared stage '" + job.stage +
+                    "'");
+    }
+    if (body.has("tags")) job.tags = body.at("tags").as_string_list();
+    if (body.has("script")) job.script = body.at("script").as_string_list();
+    job.allow_failure = body.at("allow_failure").as_bool_or(false);
+    def.jobs.push_back(std::move(job));
+  }
+  return def;
+}
+
+std::vector<const CiJobDef*> PipelineDef::jobs_in_stage(
+    std::string_view stage) const {
+  std::vector<const CiJobDef*> out;
+  for (const auto& job : jobs) {
+    if (job.stage == stage) out.push_back(&job);
+  }
+  return out;
+}
+
+bool RunnerDef::matches(const std::vector<std::string>& wanted) const {
+  return std::all_of(wanted.begin(), wanted.end(), [&](const std::string& t) {
+    return std::find(tags.begin(), tags.end(), t) != tags.end();
+  });
+}
+
+const JobResultRecord* PipelineResult::job(std::string_view name) const {
+  for (const auto& j : jobs) {
+    if (j.name == name) return &j;
+  }
+  return nullptr;
+}
+
+void PipelineEngine::register_runner(RunnerDef runner) {
+  if (!runner.executor) throw CiError("runner needs a jacamar executor");
+  runners_.push_back(std::move(runner));
+}
+
+void PipelineEngine::set_default_action(JobAction action) {
+  default_action_ = std::move(action);
+}
+
+void PipelineEngine::set_action(const std::string& job_name,
+                                JobAction action) {
+  actions_[job_name] = std::move(action);
+}
+
+PipelineResult PipelineEngine::run(const PipelineDef& def,
+                                   const std::string& commit_sha,
+                                   const std::string& triggered_by,
+                                   const std::string& approved_by) {
+  PipelineResult result;
+  bool pipeline_failed = false;
+
+  for (const auto& stage : def.stages) {
+    for (const auto* job : def.jobs_in_stage(stage)) {
+      JobResultRecord record;
+      record.name = job->name;
+      record.stage = stage;
+
+      if (pipeline_failed) {
+        record.status = JobStatus::skipped;
+        result.jobs.push_back(std::move(record));
+        continue;
+      }
+
+      auto runner_it = std::find_if(
+          runners_.begin(), runners_.end(),
+          [&](const RunnerDef& r) { return r.matches(job->tags); });
+      if (runner_it == runners_.end()) {
+        record.status = JobStatus::no_runner;
+        record.log = "no runner with tags [" +
+                     support::join(job->tags, ", ") + "]";
+        pipeline_failed = true;
+        result.jobs.push_back(std::move(record));
+        continue;
+      }
+
+      Jacamar::Identity identity;
+      try {
+        identity = runner_it->executor->resolve(triggered_by, approved_by);
+      } catch (const CiError& e) {
+        record.status = JobStatus::failed;
+        record.log = e.what();
+        pipeline_failed = true;
+        result.jobs.push_back(std::move(record));
+        continue;
+      }
+      runner_it->executor->record(job->name, identity, triggered_by);
+      record.runner_id = runner_it->id;
+      record.ran_as = identity.login;
+
+      JobContext context{job->name, runner_it->id,
+                         runner_it->executor->site(), identity, commit_sha};
+      const JobAction* action = nullptr;
+      if (auto it = actions_.find(job->name); it != actions_.end()) {
+        action = &it->second;
+      } else if (default_action_) {
+        action = &default_action_;
+      }
+
+      std::string script_log;
+      for (const auto& line : job->script) {
+        script_log += "$ " + line + "\n";
+      }
+      if (action) {
+        JobOutcome outcome;
+        try {
+          outcome = (*action)(context);
+        } catch (const std::exception& e) {
+          outcome.success = false;
+          outcome.log = std::string("job raised: ") + e.what();
+        }
+        record.log = script_log + outcome.log;
+        record.status =
+            outcome.success ? JobStatus::success : JobStatus::failed;
+      } else {
+        record.log = script_log;
+        record.status = JobStatus::success;
+      }
+
+      if (record.status == JobStatus::failed && !job->allow_failure) {
+        pipeline_failed = true;
+      }
+      result.jobs.push_back(std::move(record));
+    }
+  }
+  result.success = !pipeline_failed;
+  return result;
+}
+
+}  // namespace benchpark::ci

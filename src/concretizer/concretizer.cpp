@@ -1,0 +1,379 @@
+#include "src/concretizer/concretizer.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::concretizer {
+
+using spec::Spec;
+using spec::VariantValue;
+using spec::Version;
+using spec::VersionConstraint;
+
+Concretizer::Concretizer(pkg::RepoStack repos, Config config)
+    : repos_(std::move(repos)), config_(std::move(config)) {}
+
+const Spec* Concretizer::Context::find(std::string_view name) const {
+  auto it = resolved_.find(name);
+  return it == resolved_.end() ? nullptr : &it->second;
+}
+
+Spec Concretizer::concretize(const Spec& abstract) const {
+  Context ctx;
+  return concretize(abstract, ctx);
+}
+
+Spec Concretizer::concretize(const std::string& abstract_text) const {
+  return concretize(Spec::parse(abstract_text));
+}
+
+Spec Concretizer::concretize(const Spec& abstract, Context& ctx) const {
+  std::vector<std::string> stack;
+  return resolve(abstract, ctx, stack);
+}
+
+std::vector<Spec> Concretizer::concretize_together(
+    const std::vector<Spec>& roots, bool unify) const {
+  std::vector<Spec> out;
+  out.reserve(roots.size());
+  Context shared;
+  for (const auto& root : roots) {
+    if (unify) {
+      out.push_back(concretize(root, shared));
+    } else {
+      out.push_back(concretize(root));
+    }
+  }
+  return out;
+}
+
+std::optional<Spec> Concretizer::try_external(const Spec& abstract) const {
+  const auto* settings = config_.settings_for(abstract.name());
+  if (!settings) return std::nullopt;
+  for (const auto& ext : settings->externals) {
+    if (!ext.spec.satisfies(abstract)) continue;
+    Spec concrete = ext.spec;
+    // Externals adopt the exact declared version; compiler/target are
+    // nominal (the binary already exists).
+    concrete.set_versions(
+        VersionConstraint::exactly(ext.spec.concrete_version()));
+    if (!concrete.compiler()) {
+      const auto& comp = config_.default_compiler();
+      concrete.set_compiler(
+          {comp.name, VersionConstraint::exactly(comp.version)});
+    }
+    if (concrete.target().empty()) {
+      concrete.set_target(config_.default_target().empty()
+                              ? "x86_64"
+                              : config_.default_target());
+    }
+    concrete.set_external_prefix(ext.prefix);
+    concrete.mark_concrete();
+    ++stats_.externals_used;
+    return concrete;
+  }
+  return std::nullopt;
+}
+
+Spec Concretizer::resolve_virtual(const Spec& virtual_spec,
+                                  Context& ctx) const {
+  const std::string& vname = virtual_spec.name();
+  ++stats_.virtuals_resolved;
+
+  // A provider already chosen in this context wins (unify).
+  auto providers = repos_.providers_of(vname);
+  for (const auto* p : providers) {
+    if (ctx.find(p->name())) {
+      Spec rewritten = virtual_spec;
+      rewritten.set_name(p->name());
+      return rewritten;
+    }
+  }
+
+  // Provider preferences for the virtual (packages.yaml `mpi: providers:`)
+  // or an external declared under the virtual name.
+  const auto* vsettings = config_.settings_for(vname);
+  if (vsettings) {
+    for (const auto& ext : vsettings->externals) {
+      // Externals for virtuals name the provider in their spec.
+      Spec rewritten = virtual_spec;
+      rewritten.set_name(ext.spec.name());
+      return rewritten;
+    }
+    for (const auto& preferred : vsettings->preferred_providers) {
+      auto match = std::find_if(providers.begin(), providers.end(),
+                                [&](const pkg::PackageRecipe* p) {
+                                  return p->name() == preferred;
+                                });
+      if (match != providers.end()) {
+        Spec rewritten = virtual_spec;
+        rewritten.set_name((*match)->name());
+        return rewritten;
+      }
+    }
+  }
+
+  // Otherwise the first buildable provider (alphabetical for determinism).
+  std::vector<const pkg::PackageRecipe*> candidates;
+  for (const auto* p : providers) {
+    const auto* psettings = config_.settings_for(p->name());
+    bool has_external = psettings && !psettings->externals.empty();
+    bool buildable = !psettings || psettings->buildable;
+    if (buildable || has_external) candidates.push_back(p);
+  }
+  if (candidates.empty()) {
+    throw ConcretizationError("no usable provider for virtual '" + vname +
+                              "'");
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const pkg::PackageRecipe* a, const pkg::PackageRecipe* b) {
+              return a->name() < b->name();
+            });
+  // Prefer candidates with externals (they cost nothing to use).
+  for (const auto* p : candidates) {
+    const auto* psettings = config_.settings_for(p->name());
+    if (psettings && !psettings->externals.empty()) {
+      Spec rewritten = virtual_spec;
+      rewritten.set_name(p->name());
+      return rewritten;
+    }
+  }
+  Spec rewritten = virtual_spec;
+  rewritten.set_name(candidates.front()->name());
+  return rewritten;
+}
+
+Spec Concretizer::resolve(const Spec& abstract, Context& ctx,
+                          std::vector<std::string>& stack) const {
+  Spec goal = abstract;
+
+  // 1. Virtuals rewrite to a provider first.
+  if (!goal.name().empty() && !repos_.has(goal.name()) &&
+      repos_.is_virtual(goal.name())) {
+    goal = resolve_virtual(goal, ctx);
+  }
+  if (goal.name().empty()) {
+    throw ConcretizationError("cannot concretize anonymous spec '" +
+                              abstract.str() + "'");
+  }
+
+  // 2. Hard requirements from packages.yaml.
+  const auto* settings = config_.settings_for(goal.name());
+  if (settings && settings->require) {
+    Spec requirement = *settings->require;
+    requirement.set_name(goal.name());
+    goal.constrain(requirement);
+  }
+
+  // 3. Unification: an already-resolved package must satisfy the new
+  //    constraints.
+  if (const Spec* existing = ctx.find(goal.name())) {
+    if (!existing->satisfies(goal)) {
+      throw ConcretizationError(
+          "unify conflict for '" + goal.name() + "': existing '" +
+          existing->str() + "' does not satisfy '" + goal.str() + "'");
+    }
+    return *existing;
+  }
+
+  // 4. Cycle guard.
+  if (std::find(stack.begin(), stack.end(), goal.name()) != stack.end()) {
+    throw ConcretizationError("dependency cycle through '" + goal.name() +
+                              "'");
+  }
+  stack.push_back(goal.name());
+  struct PopGuard {
+    std::vector<std::string>& s;
+    ~PopGuard() { s.pop_back(); }
+  } guard{stack};
+
+  // 5. Externals short-circuit the whole subtree.
+  if (auto external = try_external(goal)) {
+    ctx.resolved_.insert_or_assign(goal.name(), *external);
+    ++stats_.specs_resolved;
+    return *external;
+  }
+
+  const pkg::PackageRecipe& recipe = repos_.get(goal.name());
+  if (settings && !settings->buildable) {
+    throw ConcretizationError("package '" + goal.name() +
+                              "' is not buildable on this system and no "
+                              "external satisfies '" +
+                              goal.str() + "'");
+  }
+
+  Spec concrete(goal.name());
+
+  // 6. Version: preferences first, then highest satisfying.
+  VersionConstraint version_goal = goal.versions();
+  std::optional<Version> chosen_version;
+  if (settings) {
+    for (const auto& pref : settings->preferred_versions) {
+      auto pref_constraint = VersionConstraint::parse(pref);
+      if (!version_goal.intersects(pref_constraint)) continue;
+      auto merged = version_goal;
+      merged.constrain(pref_constraint);
+      if (auto v = recipe.best_version(merged)) {
+        chosen_version = v;
+        break;
+      }
+    }
+  }
+  if (!chosen_version) chosen_version = recipe.best_version(version_goal);
+  if (!chosen_version) {
+    throw ConcretizationError("no known version of '" + goal.name() +
+                              "' satisfies '@" + version_goal.str() + "'");
+  }
+  concrete.set_versions(VersionConstraint::exactly(*chosen_version));
+
+  // 7. Variants: recipe defaults overlaid with requested values.
+  for (const auto& vdef : recipe.variants()) {
+    concrete.set_variant(vdef.name, vdef.default_value);
+  }
+  for (const auto& [vname, vvalue] : goal.variants()) {
+    const auto* vdef = recipe.find_variant(vname);
+    if (!vdef) {
+      throw ConcretizationError("package '" + goal.name() +
+                                "' has no variant '" + vname + "'");
+    }
+    if (!vdef->allowed_values.empty() &&
+        vvalue.kind() != VariantValue::Kind::boolean) {
+      for (const auto& v : vvalue.as_multi()) {
+        if (std::find(vdef->allowed_values.begin(), vdef->allowed_values.end(),
+                      v) == vdef->allowed_values.end()) {
+          throw ConcretizationError("value '" + v + "' not allowed for " +
+                                    goal.name() + " variant '" + vname + "'");
+        }
+      }
+    }
+    concrete.set_variant(vname, vvalue);
+  }
+
+  // 8. Compiler.
+  spec::CompilerSpec compiler_goal =
+      goal.compiler() ? *goal.compiler() : spec::CompilerSpec{};
+  const CompilerEntry* compiler = nullptr;
+  if (compiler_goal.name.empty()) {
+    compiler = &config_.default_compiler();
+  } else {
+    compiler = config_.find_compiler(compiler_goal);
+    if (!compiler) {
+      throw ConcretizationError("no compiler matching '%" +
+                                compiler_goal.str() + "' in compilers.yaml");
+    }
+  }
+  concrete.set_compiler(
+      {compiler->name, VersionConstraint::exactly(compiler->version)});
+
+  // 9. Target.
+  if (!goal.target().empty()) {
+    concrete.set_target(goal.target());
+  } else if (!config_.default_target().empty()) {
+    concrete.set_target(config_.default_target());
+  } else {
+    concrete.set_target("x86_64");
+  }
+
+  // 10. Conflicts check on the resolved (pre-deps) spec.
+  recipe.check_conflicts(concrete);
+
+  // 11. Dependencies: recipe declarations merged with the user's ^deps.
+  //     User ^deps naming packages the recipe does not pull in become
+  //     extra constraints only (Spack would error; we match that).
+  // Coalesce multiple declarations of the same dependency (e.g. a plain
+  // depends_on("hypre") plus a conditional depends_on("hypre+cuda",
+  // when="+cuda")) into one merged constraint before resolving.
+  std::vector<Spec> dep_goals;
+  for (const auto* ddef : recipe.active_dependencies(concrete)) {
+    auto existing = std::find_if(
+        dep_goals.begin(), dep_goals.end(),
+        [&](const Spec& s) { return s.name() == ddef->dep.name(); });
+    if (existing != dep_goals.end()) {
+      existing->constrain(ddef->dep);
+    } else {
+      dep_goals.push_back(ddef->dep);
+    }
+  }
+
+  std::vector<std::string> resolved_dep_names;
+  for (Spec& dep_goal : dep_goals) {
+    std::string dep_name = dep_goal.name();
+    const std::string declared_name = dep_name;
+    // If the declared dependency is a virtual and the user named a concrete
+    // provider of it (^mvapich2 for a "mpi" dependency), the user's choice
+    // selects the provider.
+    if (repos_.is_virtual(dep_name)) {
+      for (const auto& user_dep : goal.dependencies()) {
+        const auto* user_recipe = repos_.find(user_dep.name());
+        if (!user_recipe) continue;
+        const auto& virtuals = user_recipe->provided_virtuals();
+        if (std::find(virtuals.begin(), virtuals.end(), dep_name) !=
+            virtuals.end()) {
+          dep_goal.set_name(user_dep.name());
+          dep_name = user_dep.name();
+          break;
+        }
+      }
+    }
+    // Merge user constraints targeting this dependency (by package name or
+    // by the virtual name it came from).
+    for (const auto& user_dep : goal.dependencies()) {
+      if (user_dep.name() == dep_name) {
+        dep_goal.constrain(user_dep);
+      } else if (user_dep.name() == declared_name) {
+        // Constraint written against the virtual name ("^mpi@3:") applies
+        // to whichever provider was chosen.
+        Spec renamed = user_dep;
+        renamed.set_name(dep_name);
+        dep_goal.constrain(renamed);
+      }
+    }
+    // Dependencies inherit compiler and target unless they pin their own.
+    if (!dep_goal.compiler()) {
+      dep_goal.set_compiler(*concrete.compiler());
+    }
+    if (dep_goal.target().empty()) dep_goal.set_target(concrete.target());
+
+    Spec dep_concrete = resolve(dep_goal, ctx, stack);
+    // Avoid duplicate dependency edges (two decls resolving to one pkg).
+    if (std::find(resolved_dep_names.begin(), resolved_dep_names.end(),
+                  dep_concrete.name()) == resolved_dep_names.end()) {
+      resolved_dep_names.push_back(dep_concrete.name());
+      concrete.add_dependency(dep_concrete);
+    }
+    // User constraints on the virtual name also apply to the provider.
+    for (const auto& user_dep : goal.dependencies()) {
+      if (user_dep.name() != dep_name &&
+          user_dep.name() == dep_concrete.name() &&
+          !dep_concrete.satisfies(user_dep)) {
+        throw ConcretizationError("dependency '" + dep_concrete.str() +
+                                  "' does not satisfy requested '" +
+                                  user_dep.str() + "'");
+      }
+    }
+  }
+  // User-supplied ^deps that no recipe declaration consumed.
+  for (const auto& user_dep : goal.dependencies()) {
+    std::string resolved_name = user_dep.name();
+    if (repos_.is_virtual(resolved_name)) {
+      // Find which provider it became, if any.
+      continue;  // virtual constraints were merged above
+    }
+    bool used =
+        std::find(resolved_dep_names.begin(), resolved_dep_names.end(),
+                  resolved_name) != resolved_dep_names.end();
+    if (!used) {
+      throw ConcretizationError("'" + goal.name() + "' does not depend on '" +
+                                user_dep.name() + "'");
+    }
+  }
+
+  concrete.mark_concrete();
+  ctx.resolved_.insert_or_assign(concrete.name(), concrete);
+  ++stats_.specs_resolved;
+  return concrete;
+}
+
+}  // namespace benchpark::concretizer

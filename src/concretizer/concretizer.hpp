@@ -1,0 +1,87 @@
+// The concretizer: abstract specs in, concrete specs out (Section 3.1,
+// component (2) of Spack).
+//
+// Concretization fills in every choice point the user left open:
+//   * version      — highest version satisfying constraints, honoring
+//                    packages.yaml preferences
+//   * virtuals     — "mpi" resolves to a provider (mvapich2, spectrum-mpi,
+//                    cray-mpich, ...) using provider preferences
+//   * externals    — per-system pre-installed packages short-circuit the
+//                    build (Figure 4)
+//   * variants     — recipe defaults overlaid with user constraints
+//   * compiler     — user's choice or scope default, pinned to an entry
+//                    from compilers.yaml
+//   * target       — user's choice or the scope's microarchitecture
+//   * dependencies — recursive closure over the recipe's (conditional)
+//                    dependency declarations
+//
+// Unification ("concretizer: unify: true" in Figure 3): within one
+// Concretizer::Context, a package name resolves to exactly one concrete
+// spec; conflicting requirements are an error, matching Spack.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/concretizer/config.hpp"
+#include "src/pkg/repo.hpp"
+#include "src/spec/spec.hpp"
+
+namespace benchpark::concretizer {
+
+/// Statistics for introspection and benchmarking.
+struct ConcretizeStats {
+  std::size_t specs_resolved = 0;
+  std::size_t externals_used = 0;
+  std::size_t virtuals_resolved = 0;
+};
+
+class Concretizer {
+public:
+  Concretizer(pkg::RepoStack repos, Config config);
+
+  /// A unification context: one concrete spec per package name. Reuse the
+  /// same context across concretize() calls to get unify:true semantics.
+  class Context {
+  public:
+    [[nodiscard]] const spec::Spec* find(std::string_view name) const;
+    [[nodiscard]] std::size_t size() const { return resolved_.size(); }
+
+  private:
+    friend class Concretizer;
+    std::map<std::string, spec::Spec, std::less<>> resolved_;
+  };
+
+  /// Concretize one abstract spec in a fresh context.
+  [[nodiscard]] spec::Spec concretize(const spec::Spec& abstract) const;
+  [[nodiscard]] spec::Spec concretize(const std::string& abstract_text) const;
+
+  /// Concretize within a shared context (unify semantics).
+  [[nodiscard]] spec::Spec concretize(const spec::Spec& abstract,
+                                      Context& ctx) const;
+
+  /// Concretize a list of roots with unify:true (shared context) or
+  /// unify:false (independent contexts).
+  [[nodiscard]] std::vector<spec::Spec> concretize_together(
+      const std::vector<spec::Spec>& roots, bool unify = true) const;
+
+  [[nodiscard]] const ConcretizeStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const pkg::RepoStack& repos() const { return repos_; }
+
+private:
+  spec::Spec resolve(const spec::Spec& abstract, Context& ctx,
+                     std::vector<std::string>& stack) const;
+  /// Rewrite a virtual constraint to a concrete provider constraint.
+  spec::Spec resolve_virtual(const spec::Spec& virtual_spec,
+                             Context& ctx) const;
+  /// Try to satisfy `abstract` with a configured external.
+  std::optional<spec::Spec> try_external(const spec::Spec& abstract) const;
+
+  pkg::RepoStack repos_;
+  Config config_;
+  mutable ConcretizeStats stats_;
+};
+
+}  // namespace benchpark::concretizer

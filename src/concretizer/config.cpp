@@ -1,0 +1,158 @@
+#include "src/concretizer/config.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::concretizer {
+
+void Config::load_packages_yaml(const yaml::Node& root) {
+  // Accept either a top-level `packages:` key or the bare mapping.
+  const yaml::Node& pkgs = root.has("packages") ? root.at("packages") : root;
+  if (pkgs.is_null()) return;
+  for (const auto& [name, body] : pkgs.map()) {
+    PackageSettings& settings = packages_[name];
+    if (body.has("externals")) {
+      for (const auto& ext : body.at("externals").items()) {
+        ExternalDef def;
+        def.spec = spec::Spec::parse(ext.at("spec").as_string());
+        def.prefix = ext.at("prefix").as_string_or("");
+        settings.externals.push_back(std::move(def));
+      }
+    }
+    if (body.has("buildable")) {
+      settings.buildable = body.at("buildable").as_bool();
+    }
+    if (body.has("version")) {
+      settings.preferred_versions = body.at("version").as_string_list();
+    }
+    if (body.has("providers")) {
+      settings.preferred_providers = body.at("providers").as_string_list();
+    }
+    if (body.has("require")) {
+      settings.require = spec::Spec::parse(body.at("require").as_string());
+    }
+  }
+}
+
+void Config::load_compilers_yaml(const yaml::Node& root) {
+  const yaml::Node& list =
+      root.has("compilers") ? root.at("compilers") : root;
+  if (list.is_null()) return;
+  for (const auto& item : list.items()) {
+    // Shape: - compiler: { spec: gcc@12.1.1, paths: { cc: ..., cxx: ... } }
+    const yaml::Node& c = item.has("compiler") ? item.at("compiler") : item;
+    auto spec_text = c.at("spec").as_string();
+    auto parsed = spec::Spec::parse(spec_text);
+    CompilerEntry entry;
+    entry.name = parsed.name();
+    entry.version = parsed.concrete_version();
+    entry.cc = c.path("paths.cc").as_string_or("");
+    entry.cxx = c.path("paths.cxx").as_string_or("");
+    compilers_.push_back(std::move(entry));
+  }
+}
+
+void Config::merge_from(const Config& other) {
+  for (const auto& [name, settings] : other.packages_) {
+    packages_[name] = settings;  // other wins wholesale per package
+  }
+  for (const auto& c : other.compilers_) compilers_.push_back(c);
+  if (!other.default_target_.empty()) default_target_ = other.default_target_;
+  if (!other.default_compiler_name_.empty()) {
+    default_compiler_name_ = other.default_compiler_name_;
+  }
+}
+
+const PackageSettings* Config::settings_for(std::string_view package) const {
+  auto it = packages_.find(std::string(package));
+  return it == packages_.end() ? nullptr : &it->second;
+}
+
+const CompilerEntry* Config::find_compiler(
+    const spec::CompilerSpec& constraint) const {
+  const CompilerEntry* best = nullptr;
+  for (const auto& c : compilers_) {
+    if (!constraint.name.empty() && c.name != constraint.name) continue;
+    if (!constraint.versions.satisfied_by(c.version)) continue;
+    if (!best || c.version > best->version) best = &c;
+  }
+  return best;
+}
+
+const CompilerEntry& Config::default_compiler() const {
+  if (compilers_.empty()) {
+    throw ConcretizationError("configuration scope has no compilers");
+  }
+  if (!default_compiler_name_.empty()) {
+    spec::CompilerSpec want{default_compiler_name_, {}};
+    // Allow "gcc@12.1.1" style default names too.
+    if (default_compiler_name_.find('@') != std::string::npos) {
+      auto parsed = spec::Spec::parse(default_compiler_name_);
+      want = {parsed.name(), parsed.versions()};
+    }
+    if (const auto* found = find_compiler(want)) return *found;
+    throw ConcretizationError("default compiler '" + default_compiler_name_ +
+                              "' is not in compilers.yaml");
+  }
+  return compilers_.front();
+}
+
+yaml::Node Config::packages_yaml() const {
+  yaml::Node root = yaml::Node::make_mapping();
+  yaml::Node& pkgs = root["packages"];
+  pkgs = yaml::Node::make_mapping();
+  for (const auto& [name, settings] : packages_) {
+    yaml::Node& body = pkgs[name];
+    body = yaml::Node::make_mapping();
+    if (!settings.externals.empty()) {
+      yaml::Node list = yaml::Node::make_sequence();
+      for (const auto& ext : settings.externals) {
+        yaml::Node entry = yaml::Node::make_mapping();
+        entry["spec"] = yaml::Node(ext.spec.str());
+        entry["prefix"] = yaml::Node(ext.prefix);
+        list.push_back(std::move(entry));
+      }
+      body["externals"] = std::move(list);
+    }
+    if (!settings.buildable) body["buildable"] = yaml::Node(false);
+    if (!settings.preferred_versions.empty()) {
+      yaml::Node list = yaml::Node::make_sequence();
+      for (const auto& v : settings.preferred_versions) {
+        list.push_back(yaml::Node(v));
+      }
+      body["version"] = std::move(list);
+    }
+    if (!settings.preferred_providers.empty()) {
+      yaml::Node list = yaml::Node::make_sequence();
+      for (const auto& p : settings.preferred_providers) {
+        list.push_back(yaml::Node(p));
+      }
+      body["providers"] = std::move(list);
+    }
+    if (settings.require) body["require"] = yaml::Node(settings.require->str());
+  }
+  return root;
+}
+
+yaml::Node Config::compilers_yaml() const {
+  yaml::Node root = yaml::Node::make_mapping();
+  yaml::Node list = yaml::Node::make_sequence();
+  for (const auto& c : compilers_) {
+    yaml::Node entry = yaml::Node::make_mapping();
+    yaml::Node& body = entry["compiler"];
+    body = yaml::Node::make_mapping();
+    body["spec"] = yaml::Node(c.name + "@" + c.version.str());
+    if (!c.cc.empty() || !c.cxx.empty()) {
+      yaml::Node& paths = body["paths"];
+      paths = yaml::Node::make_mapping();
+      paths["cc"] = yaml::Node(c.cc);
+      paths["cxx"] = yaml::Node(c.cxx);
+    }
+    list.push_back(std::move(entry));
+  }
+  root["compilers"] = std::move(list);
+  return root;
+}
+
+}  // namespace benchpark::concretizer

@@ -1,0 +1,106 @@
+// Concretizer configuration: the C++ model of Spack's per-system config
+// scopes (Section 3.1.2). A scope bundles:
+//   * packages.yaml — externals (Figure 4), buildability, version and
+//     provider preferences, hard requirements
+//   * compilers.yaml — compilers installed on the system
+//   * the default target microarchitecture
+//
+// Benchpark keeps one scope per HPC system (`configs/<system>/`); scopes
+// can be layered (site scope over system scope over defaults).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/spec/spec.hpp"
+#include "src/yaml/node.hpp"
+
+namespace benchpark::concretizer {
+
+/// One `externals:` entry from packages.yaml.
+struct ExternalDef {
+  spec::Spec spec;     // e.g. intel-oneapi-mkl@2022.1.0
+  std::string prefix;  // installation prefix on the system
+};
+
+/// Per-package settings from packages.yaml.
+struct PackageSettings {
+  std::vector<ExternalDef> externals;
+  bool buildable = true;
+  /// Preferred concrete versions, best first (e.g. ["2.3.7"]).
+  std::vector<std::string> preferred_versions;
+  /// For virtual package names: providers to prefer, best first.
+  std::vector<std::string> preferred_providers;
+  /// Hard requirement merged into every occurrence of this package.
+  std::optional<spec::Spec> require;
+};
+
+/// One compilers.yaml entry.
+struct CompilerEntry {
+  std::string name;        // gcc, clang, xl, ...
+  spec::Version version;
+  std::string cc;          // path to the C compiler (informational)
+  std::string cxx;
+
+  [[nodiscard]] spec::CompilerSpec as_spec() const {
+    return {name, spec::VersionConstraint::exactly(version)};
+  }
+};
+
+/// A full configuration scope.
+class Config {
+public:
+  Config() = default;
+
+  // -- building ---------------------------------------------------------
+  PackageSettings& package(const std::string& name) {
+    return packages_[name];
+  }
+  void add_compiler(CompilerEntry entry) {
+    compilers_.push_back(std::move(entry));
+  }
+  void set_default_target(std::string target) {
+    default_target_ = std::move(target);
+  }
+  void set_default_compiler(std::string name) {
+    default_compiler_name_ = std::move(name);
+  }
+
+  /// Merge packages.yaml content (Figure 4 shape) into this scope.
+  void load_packages_yaml(const yaml::Node& root);
+  /// Merge compilers.yaml content into this scope.
+  void load_compilers_yaml(const yaml::Node& root);
+
+  /// Overlay `other` on top of this scope (other wins on conflicts).
+  void merge_from(const Config& other);
+
+  // -- queries ----------------------------------------------------------
+  [[nodiscard]] const PackageSettings* settings_for(
+      std::string_view package) const;
+  [[nodiscard]] const std::vector<CompilerEntry>& compilers() const {
+    return compilers_;
+  }
+  /// Best compiler matching the constraint (highest version), or null.
+  [[nodiscard]] const CompilerEntry* find_compiler(
+      const spec::CompilerSpec& constraint) const;
+  /// The scope's default compiler; throws ConcretizationError when the
+  /// scope has no compilers.
+  [[nodiscard]] const CompilerEntry& default_compiler() const;
+  [[nodiscard]] const std::string& default_target() const {
+    return default_target_;
+  }
+
+  /// Emit this scope as packages.yaml / compilers.yaml trees.
+  [[nodiscard]] yaml::Node packages_yaml() const;
+  [[nodiscard]] yaml::Node compilers_yaml() const;
+
+private:
+  std::map<std::string, PackageSettings> packages_;
+  std::vector<CompilerEntry> compilers_;
+  std::string default_target_;
+  std::string default_compiler_name_;
+};
+
+}  // namespace benchpark::concretizer

@@ -1,0 +1,131 @@
+#include "src/core/campaign.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/ramble/expansion.hpp"
+#include "src/support/error.hpp"
+#include "src/support/log.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::core {
+
+Campaign::Campaign(const Driver* driver, ExperimentId experiment,
+                   std::filesystem::path base_dir)
+    : driver_(driver),
+      experiment_(std::move(experiment)),
+      base_dir_(std::move(base_dir)) {
+  if (!driver_) throw Error("campaign needs a driver");
+}
+
+void Campaign::add_system(const std::string& name) {
+  if (std::find(systems_.begin(), systems_.end(), name) == systems_.end()) {
+    systems_.push_back(name);
+  }
+}
+
+void Campaign::run() {
+  summaries_.clear();
+  for (const auto& system : systems_) {
+    SystemRunSummary summary;
+    summary.system = system;
+    try {
+      auto report = driver_->run_workflow(experiment_, system,
+                                          base_dir_ / system);
+      summary.experiments = report.results.size();
+      summary.succeeded = report.num_success();
+      for (const auto& result : report.results) {
+        if (!result.success && summary.first_failure.empty()) {
+          summary.first_failure = "experiment '" + result.name + "' failed";
+        }
+        if (!result.success) {
+          // Record the failure under every declared FOM so cross-system
+          // comparison tables show CRASHED cells (the Sec. 7.1 signal).
+          const auto& app_def =
+              ramble::ApplicationRegistry::instance().get(result.app);
+          for (const auto& spec : app_def.foms()) {
+            analysis::ResultRow row;
+            row.benchmark = experiment_.benchmark;
+            row.system = system;
+            row.experiment = result.name;
+            row.variables = result.variables;
+            row.fom_name = spec.name;
+            row.units = spec.units;
+            row.success = false;
+            db_.insert(row);
+            rows_.push_back(std::move(row));
+          }
+          continue;
+        }
+        for (const auto& fom : result.foms) {
+          if (!fom.numeric) continue;
+          analysis::ResultRow row;
+          row.benchmark = experiment_.benchmark;
+          row.system = system;
+          row.experiment = result.name;
+          row.variables = result.variables;
+          row.fom_name = fom.name;
+          row.value = fom.value;
+          row.units = fom.units;
+          row.success = result.success;
+          db_.insert(row);
+          rows_.push_back(std::move(row));
+        }
+      }
+    } catch (const Error& e) {
+      summary.first_failure = e.what();
+      support::Log::info(std::string("campaign: ") + e.what());
+    }
+    summaries_.push_back(std::move(summary));
+  }
+}
+
+support::Table Campaign::comparison_table(const std::string& fom_name) const {
+  // Rows: experiment names (union across systems); columns: systems.
+  std::vector<std::string> experiment_names;
+  for (const auto& row : rows_) {
+    if (row.fom_name != fom_name) continue;
+    if (std::find(experiment_names.begin(), experiment_names.end(),
+                  row.experiment) == experiment_names.end()) {
+      experiment_names.push_back(row.experiment);
+    }
+  }
+  std::vector<std::string> header{"experiment"};
+  for (const auto& system : systems_) header.push_back(system);
+  support::Table table(header);
+  for (const auto& name : experiment_names) {
+    std::vector<std::string> cells{name};
+    for (const auto& system : systems_) {
+      std::string cell = "-";
+      for (const auto& row : rows_) {
+        if (row.fom_name == fom_name && row.experiment == name &&
+            row.system == system) {
+          cell = row.success ? support::format_double(row.value, 5)
+                             : "CRASHED";
+          break;
+        }
+      }
+      cells.push_back(cell);
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+analysis::ScalingModel Campaign::scaling_model(
+    const std::string& system, const std::string& fom_name) const {
+  std::vector<analysis::Measurement> data;
+  for (const auto& row : rows_) {
+    if (row.system != system || row.fom_name != fom_name || !row.success) {
+      continue;
+    }
+    auto it = row.variables.find("n_ranks");
+    if (it == row.variables.end()) continue;
+    double ranks = static_cast<double>(
+        ramble::expand_int(it->second, row.variables));
+    data.push_back({ranks, row.value});
+  }
+  return analysis::fit_scaling_model(data);
+}
+
+}  // namespace benchpark::core

@@ -1,0 +1,66 @@
+#include "src/core/components.hpp"
+
+#include "src/pkg/repo.hpp"
+#include "src/ramble/application.hpp"
+#include "src/support/error.hpp"
+#include "src/system/system.hpp"
+
+namespace benchpark::core {
+
+std::vector<ComponentRow> table1_components() {
+  return {
+      {"Source code", "package.py", "archspec (Sec. 3.1.3)",
+       "ramble.yaml: spack"},
+      {"Build instructions", "package.py",
+       "Spack config. files, spack.yaml", "ramble.yaml: spack"},
+      {"Benchmark input", "application.py, (optional) data",
+       "variables.yaml", "ramble.yaml: experiments"},
+      {"Run instructions", "application.py",
+       "variables.yaml: scheduler, launcher", "ramble.yaml: experiments"},
+      {"Experiment evaluation", "(optional) application.py",
+       "(optional) hardware counters, etc.",
+       "ramble.yaml: success_criteria"},
+      {"CI testing", ".gitlab-ci.yml", "Hubcast@LLNL/RIKEN/AWS",
+       "Benchpark executable"},
+  };
+}
+
+support::Table render_table1() {
+  support::Table table({"Component", "Benchmark-specific",
+                        "HPC System-specific", "Experiment-specific"});
+  for (const auto& row : table1_components()) {
+    table.add_row({row.component, row.benchmark_specific,
+                   row.system_specific, row.experiment_specific});
+  }
+  return table;
+}
+
+void validate_component_registry() {
+  // Benchmark-specific: package.py == pkg recipes; application.py ==
+  // ramble application definitions. Every registered benchmark must have
+  // both (Section 4: "a full specification of the benchmark, its build,
+  // and its run instructions ... is required").
+  auto repos = pkg::default_repo_stack();
+  const auto& apps = ramble::ApplicationRegistry::instance();
+  for (const auto& name : apps.names()) {
+    if (!repos.has(apps.get(name).package_name())) {
+      throw Error("application '" + name +
+                  "' has no package recipe (package.py half missing)");
+    }
+  }
+  // System-specific: every registry system carries Spack config files and
+  // a variables.yaml (scheduler/launcher).
+  const auto& systems = system::SystemRegistry::instance();
+  for (const auto& name : systems.names()) {
+    const auto& s = systems.get(name);
+    if (s.config.compilers().empty()) {
+      throw Error("system '" + name + "' has no compilers.yaml entries");
+    }
+    auto vars = s.variables_yaml();
+    if (!vars.path("variables.mpi_command").is_scalar()) {
+      throw Error("system '" + name + "' variables.yaml lacks mpi_command");
+    }
+  }
+}
+
+}  // namespace benchpark::core

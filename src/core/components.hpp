@@ -1,0 +1,36 @@
+// The Table 1 component registry.
+//
+// Table 1 is the paper's central design statement: every Benchpark
+// component is either benchmark-specific, system-specific, or
+// experiment-specific, and the three concerns are maintained
+// orthogonally. This module models that matrix *from the live system* —
+// each row names the artifacts our implementation actually uses — and
+// bench/table1_components.cpp regenerates the printed table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/table.hpp"
+
+namespace benchpark::core {
+
+struct ComponentRow {
+  std::string component;             // "Source code", "Build instructions"…
+  std::string benchmark_specific;    // column 2
+  std::string system_specific;       // column 3
+  std::string experiment_specific;   // column 4
+};
+
+/// The six rows of Table 1.
+std::vector<ComponentRow> table1_components();
+
+/// Render Table 1 as an ASCII table.
+support::Table render_table1();
+
+/// Sanity-check the matrix against the live registries: every artifact a
+/// row names must exist in the implementation (used by tests to keep the
+/// table honest).
+void validate_component_registry();
+
+}  // namespace benchpark::core

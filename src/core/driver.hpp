@@ -1,0 +1,86 @@
+// The Benchpark driver: `/bin/benchpark $experiment $system $workspace`
+// (Figure 1c, step 2).
+//
+// The driver owns the Benchpark repository content (Figure 1a):
+//   configs/<system>/       — per-system Spack + Ramble configuration
+//   experiments/<benchmark>/<variant>/ramble.yaml + execute_experiment.tpl
+//   repo/                   — overlay package/application definitions
+// and turns a (benchmark/variant, system) pair into a generated Ramble
+// workspace, then walks the nine-step workflow of Figure 1c.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ramble/workspace.hpp"
+#include "src/system/system.hpp"
+#include "src/yaml/node.hpp"
+
+namespace benchpark::core {
+
+/// An experiment identifier: "<benchmark>/<variant>", e.g. "saxpy/openmp",
+/// "amg2023/cuda" (Figure 1a lines 20-40).
+struct ExperimentId {
+  std::string benchmark;
+  std::string variant;
+
+  static ExperimentId parse(std::string_view text);
+  [[nodiscard]] std::string str() const { return benchmark + "/" + variant; }
+};
+
+class Driver {
+public:
+  Driver();
+
+  /// Benchmarks with experiment templates ("saxpy", "amg2023", ...).
+  [[nodiscard]] std::vector<std::string> benchmarks() const;
+  /// Variants available for a benchmark ("openmp", "cuda", "rocm").
+  [[nodiscard]] std::vector<std::string> variants(
+      std::string_view benchmark) const;
+  [[nodiscard]] std::vector<std::string> systems() const;
+
+  /// The ramble.yaml template for an experiment (before system binding).
+  [[nodiscard]] const yaml::Node& experiment_config(
+      const ExperimentId& id) const;
+
+  /// Register an out-of-tree experiment template (the `repo/` overlay
+  /// mechanism for experiments; examples/add_benchmark.cpp uses this).
+  void add_experiment(const ExperimentId& id, yaml::Node ramble_yaml);
+
+  /// `benchpark setup <experiment> <system> <workspace_dir>`: validate the
+  /// pair, generate the workspace (steps 3-4 of Figure 1c: instantiate
+  /// Spack+Ramble, write configs), ready for `ramble workspace setup`.
+  [[nodiscard]] ramble::Workspace setup(const ExperimentId& id,
+                                        const std::string& system_name,
+                                        std::filesystem::path workspace_dir)
+      const;
+
+  /// Step logger for the full workflow (defaults to a no-op); receives
+  /// "step N: <description>" lines matching Figure 1c.
+  using StepLogger = std::function<void(int step, const std::string&)>;
+
+  /// Run the complete Figure 1c workflow: setup -> ramble workspace
+  /// setup -> ramble on -> ramble workspace analyze. Returns the analyze
+  /// report; `workspace_out` (optional) receives the workspace.
+  ramble::AnalyzeReport run_workflow(const ExperimentId& id,
+                                     const std::string& system_name,
+                                     const std::filesystem::path& dir,
+                                     const StepLogger& log = {},
+                                     ramble::Workspace* workspace_out =
+                                         nullptr) const;
+
+  /// Render the Figure 1a benchpark repository tree (as text) for the
+  /// registered benchmarks and systems.
+  [[nodiscard]] std::string repo_tree() const;
+
+private:
+  /// GPU/CPU compatibility and scheduler sanity checks.
+  void validate_pair(const ExperimentId& id,
+                     const system::SystemDescription& system) const;
+
+  std::vector<std::pair<ExperimentId, yaml::Node>> experiments_;
+};
+
+}  // namespace benchpark::core

@@ -1,0 +1,71 @@
+#include "src/core/usage.hpp"
+
+#include <algorithm>
+
+namespace benchpark::core {
+
+UsageMetrics& UsageMetrics::instance() {
+  static UsageMetrics metrics;
+  return metrics;
+}
+
+UsageEntry& UsageMetrics::touch(const std::string& benchmark) {
+  auto& entry = entries_[benchmark];
+  entry.benchmark = benchmark;
+  entry.last_event = ++clock_;
+  return entry;
+}
+
+void UsageMetrics::record_setup(const std::string& benchmark) {
+  std::scoped_lock lock(mutex_);
+  ++touch(benchmark).setups;
+}
+
+void UsageMetrics::record_runs(const std::string& benchmark,
+                               std::uint64_t count) {
+  std::scoped_lock lock(mutex_);
+  touch(benchmark).runs += count;
+}
+
+void UsageMetrics::record_contribution(const std::string& benchmark) {
+  std::scoped_lock lock(mutex_);
+  ++touch(benchmark).contributions;
+}
+
+UsageEntry UsageMetrics::get(const std::string& benchmark) const {
+  std::scoped_lock lock(mutex_);
+  auto it = entries_.find(benchmark);
+  return it == entries_.end() ? UsageEntry{benchmark} : it->second;
+}
+
+std::vector<UsageEntry> UsageMetrics::ranking() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<UsageEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const UsageEntry& a, const UsageEntry& b) {
+              return a.setups + a.runs > b.setups + b.runs;
+            });
+  return out;
+}
+
+support::Table UsageMetrics::to_table() const {
+  support::Table table(
+      {"benchmark", "setups", "runs", "contributions", "recency"});
+  for (const auto& entry : ranking()) {
+    table.add_row({entry.benchmark, std::to_string(entry.setups),
+                   std::to_string(entry.runs),
+                   std::to_string(entry.contributions),
+                   std::to_string(entry.last_event)});
+  }
+  return table;
+}
+
+void UsageMetrics::reset() {
+  std::scoped_lock lock(mutex_);
+  entries_.clear();
+  clock_ = 0;
+}
+
+}  // namespace benchpark::core

@@ -1,0 +1,51 @@
+// Benchmark usage metrics (Section 5: "we will look at collecting
+// metrics on benchmark usage (which codes in Benchpark are accessed most
+// heavily, which have been contributed to most recently, etc.) ...
+// understanding which benchmarks are most relevant to the community can
+// also improve procurement, vendor, and system monitoring productivity").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/support/table.hpp"
+
+namespace benchpark::core {
+
+struct UsageEntry {
+  std::string benchmark;
+  std::uint64_t setups = 0;       // workspace setups (builds)
+  std::uint64_t runs = 0;         // executed experiments
+  std::uint64_t contributions = 0;  // recipe/definition updates
+  std::uint64_t last_event = 0;   // monotonic event counter (recency)
+};
+
+/// Process-global usage tracker. Thread-safe.
+class UsageMetrics {
+public:
+  static UsageMetrics& instance();
+
+  void record_setup(const std::string& benchmark);
+  void record_runs(const std::string& benchmark, std::uint64_t count);
+  void record_contribution(const std::string& benchmark);
+
+  [[nodiscard]] UsageEntry get(const std::string& benchmark) const;
+  /// Ranked by total activity (setups + runs), heaviest first.
+  [[nodiscard]] std::vector<UsageEntry> ranking() const;
+  [[nodiscard]] support::Table to_table() const;
+
+  void reset();
+
+private:
+  UsageMetrics() = default;
+  UsageEntry& touch(const std::string& benchmark);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, UsageEntry> entries_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace benchpark::core

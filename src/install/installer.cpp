@@ -1,0 +1,175 @@
+#include "src/install/installer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/archspec/microarch.hpp"
+#include "src/support/error.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::install {
+
+std::string_view install_source_name(InstallSource s) {
+  switch (s) {
+    case InstallSource::source_build: return "source";
+    case InstallSource::binary_cache: return "cache";
+    case InstallSource::external: return "external";
+    case InstallSource::already: return "installed";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------------- InstallTree
+
+InstallTree::InstallTree(std::string root) : root_(std::move(root)) {}
+
+bool InstallTree::installed(const spec::Spec& concrete) const {
+  return records_.count(concrete.dag_hash()) > 0;
+}
+
+const InstallRecord* InstallTree::find(std::string_view dag_hash) const {
+  auto it = records_.find(std::string(dag_hash));
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<const InstallRecord*> InstallTree::all() const {
+  std::vector<const InstallRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [hash, record] : records_) out.push_back(&record);
+  return out;
+}
+
+std::string InstallTree::prefix_for(const spec::Spec& concrete) const {
+  return root_ + "/" + concrete.target() + "/" + concrete.name() + "-" +
+         concrete.concrete_version().str() + "-" + concrete.dag_hash();
+}
+
+void InstallTree::add(InstallRecord record) {
+  auto hash = record.spec.dag_hash();
+  records_.insert_or_assign(hash, std::move(record));
+}
+
+// ---------------------------------------------------------------- Installer
+
+Installer::Installer(pkg::RepoStack repos, InstallTree* tree,
+                     buildcache::BinaryCache* cache)
+    : repos_(std::move(repos)), tree_(tree), cache_(cache) {
+  if (!tree_) throw Error("installer requires an install tree");
+}
+
+std::vector<const spec::Spec*> Installer::build_order(
+    const spec::Spec& root) {
+  std::vector<const spec::Spec*> order;
+  std::vector<std::string> seen;
+  // Post-order DFS: dependencies before dependents.
+  auto visit = [&](auto&& self, const spec::Spec& s) -> void {
+    auto hash = s.dag_hash();
+    if (std::find(seen.begin(), seen.end(), hash) != seen.end()) return;
+    seen.push_back(hash);
+    for (const auto& dep : s.dependencies()) self(self, dep);
+    order.push_back(&s);
+  };
+  visit(visit, root);
+  return order;
+}
+
+InstallReport Installer::install(const spec::Spec& concrete,
+                                 const InstallOptions& options) {
+  if (!concrete.concrete()) {
+    throw Error("installer requires a concrete spec; run the concretizer "
+                "first: '" + concrete.str() + "'");
+  }
+  InstallReport report;
+  for (const auto* s : build_order(concrete)) {
+    InstallRecord record = install_one(*s, options, report.build_log);
+    report.total_simulated_seconds += record.simulated_seconds;
+    switch (record.source) {
+      case InstallSource::source_build: ++report.from_source; break;
+      case InstallSource::binary_cache: ++report.from_cache; break;
+      case InstallSource::external: ++report.externals; break;
+      case InstallSource::already: ++report.already_installed; break;
+    }
+    report.installed.push_back(std::move(record));
+  }
+  return report;
+}
+
+InstallRecord Installer::install_one(const spec::Spec& concrete,
+                                     const InstallOptions& options,
+                                     std::string& log) {
+  InstallRecord record;
+  record.spec = concrete;
+
+  if (const auto* existing = tree_->find(concrete.dag_hash())) {
+    record = *existing;
+    record.source = InstallSource::already;
+    record.simulated_seconds = 0.0;
+    log += "[+] " + concrete.short_str() + " already installed\n";
+    return record;
+  }
+
+  if (concrete.is_external()) {
+    record.prefix = concrete.external_prefix();
+    record.source = InstallSource::external;
+    record.simulated_seconds = 0.0;
+    log += "[e] " + concrete.short_str() + " external at " + record.prefix +
+           "\n";
+    tree_->add(record);
+    return record;
+  }
+
+  record.prefix = tree_->prefix_for(concrete);
+
+  if (options.use_cache && cache_) {
+    if (auto entry = cache_->fetch(concrete)) {
+      record.source = InstallSource::binary_cache;
+      record.simulated_seconds = cache_->fetch_cost_seconds(entry->size_bytes);
+      log += "[c] " + concrete.short_str() + " fetched from binary cache (" +
+             support::format_double(record.simulated_seconds, 3) + "s)\n";
+      tree_->add(record);
+      return record;
+    }
+  }
+
+  const pkg::PackageRecipe& recipe = repos_.get(concrete.name());
+  record.build_args = recipe.build_args(concrete);
+  try {
+    record.arch_flags = archspec::optimization_flags(
+        concrete.compiler()->name,
+        spec::Version(concrete.compiler()->versions.ranges()[0]
+                          .exact_version()
+                          ->str()),
+        concrete.target());
+  } catch (const SystemError&) {
+    record.arch_flags = "-O2";  // unknown target/compiler pairing
+  }
+  record.source = InstallSource::source_build;
+  // Amdahl-style parallel build: 30% serial (configure + link), the rest
+  // scales with -j.
+  double base = recipe.build_cost_seconds();
+  double jobs = std::max(1, options.build_jobs);
+  record.simulated_seconds = base * (0.3 + 0.7 / jobs);
+  log += "[b] " + concrete.short_str() + " built from source with " +
+         std::string(pkg::build_system_name(recipe.build_system())) + " (" +
+         support::format_double(record.simulated_seconds, 4) + "s, " +
+         record.arch_flags +
+         (record.build_args.empty()
+              ? std::string()
+              : ", args: " + support::join(record.build_args, " ")) +
+         ")\n";
+  tree_->add(record);
+
+  if (options.push_to_cache && cache_) {
+    cache_->push(concrete, simulated_artifact_size(concrete));
+  }
+  return record;
+}
+
+std::uint64_t simulated_artifact_size(const spec::Spec& concrete) {
+  // Deterministic pseudo-size in [1 MiB, 257 MiB) keyed by the hash.
+  auto h = support::fnv1a(concrete.dag_hash());
+  return (1u << 20) + (h % (256ull << 20));
+}
+
+}  // namespace benchpark::install

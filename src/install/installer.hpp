@@ -1,0 +1,110 @@
+// The installation engine (Spack component 4): installs a concrete spec
+// DAG from source or binary cache into an install tree.
+//
+// Builds are *simulated*: a package "build" costs its recipe's
+// build_cost_seconds (scaled by make-level parallelism), a cache fetch
+// costs the mirror transfer model, and externals are free. What is fully
+// real is everything the paper's workflow depends on: topological
+// ordering, per-hash install prefixes, skip-if-installed semantics, build
+// logs, and the produced install-tree database.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/buildcache/binary_cache.hpp"
+#include "src/pkg/repo.hpp"
+#include "src/spec/spec.hpp"
+
+namespace benchpark::install {
+
+/// How an install was satisfied.
+enum class InstallSource { source_build, binary_cache, external, already };
+
+[[nodiscard]] std::string_view install_source_name(InstallSource s);
+
+/// One installed package.
+struct InstallRecord {
+  spec::Spec spec;
+  std::string prefix;          // install prefix (hash-addressed)
+  InstallSource source = InstallSource::source_build;
+  double simulated_seconds = 0.0;
+  std::vector<std::string> build_args;  // Figure 11 cmake args used
+  /// Target-tuned compiler flags from archspec (Section 3.1.3: "tailor
+  /// build recipes to the target architecture").
+  std::string arch_flags;
+};
+
+/// Result of installing one root spec (closure).
+struct InstallReport {
+  std::vector<InstallRecord> installed;  // topological order
+  double total_simulated_seconds = 0.0;
+  std::size_t from_cache = 0;
+  std::size_t from_source = 0;
+  std::size_t externals = 0;
+  std::size_t already_installed = 0;
+  std::string build_log;
+};
+
+/// The install tree: database of installed specs keyed by DAG hash.
+class InstallTree {
+public:
+  explicit InstallTree(std::string root = "/opt/benchpark/install");
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] bool installed(const spec::Spec& concrete) const;
+  [[nodiscard]] const InstallRecord* find(std::string_view dag_hash) const;
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::vector<const InstallRecord*> all() const;
+
+  /// Prefix layout: <root>/<target>/<name>-<version>-<hash>.
+  [[nodiscard]] std::string prefix_for(const spec::Spec& concrete) const;
+
+  void add(InstallRecord record);
+
+private:
+  std::string root_;
+  std::map<std::string, InstallRecord> records_;  // by dag hash
+};
+
+struct InstallOptions {
+  /// Make-level parallelism for source builds ("make -jN").
+  int build_jobs = 8;
+  /// Consult/populate the binary cache.
+  bool use_cache = true;
+  /// Push successful source builds back to the cache (the paper's rolling
+  /// binary cache model).
+  bool push_to_cache = true;
+};
+
+class Installer {
+public:
+  Installer(pkg::RepoStack repos, InstallTree* tree,
+            buildcache::BinaryCache* cache);
+
+  /// Install `concrete` and its full dependency closure.
+  InstallReport install(const spec::Spec& concrete,
+                        const InstallOptions& options = {});
+
+  /// Topological (dependencies-first) ordering of the spec closure,
+  /// deduplicated by DAG hash.
+  [[nodiscard]] static std::vector<const spec::Spec*> build_order(
+      const spec::Spec& root);
+
+private:
+  InstallRecord install_one(const spec::Spec& concrete,
+                            const InstallOptions& options,
+                            std::string& log);
+
+  pkg::RepoStack repos_;
+  InstallTree* tree_;                  // not owned
+  buildcache::BinaryCache* cache_;     // not owned, may be null
+};
+
+/// Deterministic simulated artifact size for a package (bytes).
+std::uint64_t simulated_artifact_size(const spec::Spec& concrete);
+
+}  // namespace benchpark::install

@@ -1,0 +1,162 @@
+#include "src/perf/caliper.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::perf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct OpenRegion {
+  std::string name;
+  Clock::time_point start;
+};
+
+struct GlobalState {
+  std::mutex mutex;
+  std::map<std::string, RegionStat> regions;  // by path
+  std::map<std::string, std::string> metadata;
+};
+
+GlobalState& global() {
+  static GlobalState state;
+  return state;
+}
+
+thread_local std::vector<OpenRegion> t_stack;
+
+std::string current_path() {
+  std::string path;
+  for (const auto& r : t_stack) {
+    if (!path.empty()) path += "/";
+    path += r.name;
+  }
+  return path;
+}
+
+}  // namespace
+
+const RegionStat* Profile::find(std::string_view path) const {
+  for (const auto& r : regions) {
+    if (r.path == path) return &r;
+  }
+  return nullptr;
+}
+
+yaml::Node Profile::to_yaml() const {
+  yaml::Node root = yaml::Node::make_mapping();
+  yaml::Node list = yaml::Node::make_sequence();
+  for (const auto& r : regions) {
+    yaml::Node entry = yaml::Node::make_mapping();
+    entry["path"] = yaml::Node(r.path);
+    entry["count"] = yaml::Node(static_cast<long long>(r.count));
+    entry["time"] = yaml::Node(r.inclusive_seconds);
+    list.push_back(std::move(entry));
+  }
+  root["regions"] = std::move(list);
+  yaml::Node& meta = root["metadata"];
+  meta = yaml::Node::make_mapping();
+  for (const auto& [k, v] : metadata) meta[k] = yaml::Node(v);
+  return root;
+}
+
+Profile Profile::from_yaml(const yaml::Node& node) {
+  Profile p;
+  if (node.has("regions")) {
+    for (const auto& entry : node.at("regions").items()) {
+      RegionStat r;
+      r.path = entry.at("path").as_string();
+      r.count = static_cast<std::uint64_t>(entry.at("count").as_int());
+      r.inclusive_seconds = entry.at("time").as_double();
+      p.regions.push_back(std::move(r));
+    }
+  }
+  if (node.has("metadata")) {
+    for (const auto& [k, v] : node.at("metadata").map()) {
+      p.metadata[k] = v.as_string();
+    }
+  }
+  return p;
+}
+
+void Caliper::begin(const std::string& name) {
+  t_stack.push_back({name, Clock::now()});
+}
+
+void Caliper::end(const std::string& name) {
+  if (t_stack.empty() || t_stack.back().name != name) {
+    throw Error("caliper: unbalanced end('" + name + "'); open region is '" +
+                (t_stack.empty() ? "<none>" : t_stack.back().name) + "'");
+  }
+  auto elapsed =
+      std::chrono::duration<double>(Clock::now() - t_stack.back().start)
+          .count();
+  std::string path = current_path();
+  t_stack.pop_back();
+
+  auto& state = global();
+  std::scoped_lock lock(state.mutex);
+  auto& stat = state.regions[path];
+  stat.path = path;
+  ++stat.count;
+  stat.inclusive_seconds += elapsed;
+}
+
+void Caliper::record(const std::string& path, double seconds,
+                     std::uint64_t count) {
+  auto& state = global();
+  std::scoped_lock lock(state.mutex);
+  auto& stat = state.regions[path];
+  stat.path = path;
+  stat.count += count;
+  stat.inclusive_seconds += seconds;
+}
+
+Profile Caliper::snapshot() {
+  auto& state = global();
+  std::scoped_lock lock(state.mutex);
+  Profile p;
+  p.regions.reserve(state.regions.size());
+  for (const auto& [path, stat] : state.regions) p.regions.push_back(stat);
+  p.metadata = state.metadata;
+  return p;
+}
+
+void Caliper::reset() {
+  auto& state = global();
+  std::scoped_lock lock(state.mutex);
+  state.regions.clear();
+  t_stack.clear();
+}
+
+void Adiak::collect(const std::string& key, const std::string& value) {
+  auto& state = global();
+  std::scoped_lock lock(state.mutex);
+  state.metadata[key] = value;
+}
+
+void Adiak::collect(const std::string& key, long long value) {
+  collect(key, std::to_string(value));
+}
+
+void Adiak::collect(const std::string& key, double value) {
+  collect(key, support::format_double(value, 12));
+}
+
+std::map<std::string, std::string> Adiak::all() {
+  auto& state = global();
+  std::scoped_lock lock(state.mutex);
+  return state.metadata;
+}
+
+void Adiak::reset() {
+  auto& state = global();
+  std::scoped_lock lock(state.mutex);
+  state.metadata.clear();
+}
+
+}  // namespace benchpark::perf

@@ -1,0 +1,82 @@
+// Caliper-like performance annotation (Section 5: "we plan to annotate
+// the benchmarks with Caliper, a portable performance profiling library").
+//
+// Regions nest ("main/solve/residual"); each unique path accumulates an
+// inclusive time and a visit count. Collection is always-on (the paper's
+// intended configuration) and thread-safe; each thread keeps its own
+// region stack and flushes into the global profile on region end.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/yaml/node.hpp"
+
+namespace benchpark::perf {
+
+/// Flat profile entry for one region path.
+struct RegionStat {
+  std::string path;
+  std::uint64_t count = 0;
+  double inclusive_seconds = 0;
+};
+
+/// A collected profile: region stats plus Adiak-style metadata.
+struct Profile {
+  std::vector<RegionStat> regions;   // sorted by path
+  std::map<std::string, std::string> metadata;
+
+  [[nodiscard]] const RegionStat* find(std::string_view path) const;
+  [[nodiscard]] yaml::Node to_yaml() const;
+  static Profile from_yaml(const yaml::Node& node);
+};
+
+/// Process-global collector (the cali runtime).
+class Caliper {
+public:
+  /// Begin/end a named region on the calling thread. Ends must match
+  /// begins LIFO; a mismatched end throws benchpark::Error.
+  static void begin(const std::string& name);
+  static void end(const std::string& name);
+
+  /// Record an externally measured duration for path (used by the
+  /// simulated runtime, where no real time passes).
+  static void record(const std::string& path, double seconds,
+                     std::uint64_t count = 1);
+
+  /// Snapshot the accumulated profile (with current Adiak metadata).
+  [[nodiscard]] static Profile snapshot();
+  static void reset();
+};
+
+/// RAII region marker: CALI_CXX_MARK_SCOPE equivalent.
+class ScopedRegion {
+public:
+  explicit ScopedRegion(std::string name) : name_(std::move(name)) {
+    Caliper::begin(name_);
+  }
+  ~ScopedRegion() { Caliper::end(name_); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+private:
+  std::string name_;
+};
+
+/// Adiak-like metadata collection (Section 5: "We will use Adiak to
+/// collect metadata related to the build settings and execution
+/// contexts, enabling filtering and sorting of collected profiles.")
+class Adiak {
+public:
+  static void collect(const std::string& key, const std::string& value);
+  static void collect(const std::string& key, long long value);
+  static void collect(const std::string& key, double value);
+  [[nodiscard]] static std::map<std::string, std::string> all();
+  static void reset();
+};
+
+}  // namespace benchpark::perf

@@ -1,0 +1,156 @@
+#include "src/pkg/package.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::pkg {
+
+std::string_view build_system_name(BuildSystem bs) {
+  switch (bs) {
+    case BuildSystem::cmake: return "cmake";
+    case BuildSystem::makefile: return "makefile";
+    case BuildSystem::autotools: return "autotools";
+    case BuildSystem::bundle: return "bundle";
+  }
+  return "?";
+}
+
+PackageRecipe::PackageRecipe(std::string name, BuildSystem build_system)
+    : name_(std::move(name)), build_system_(build_system) {
+  if (name_.empty()) throw PackageError("package name cannot be empty");
+}
+
+PackageRecipe& PackageRecipe::describe(std::string description) {
+  description_ = std::move(description);
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::version(const std::string& v, bool preferred,
+                                      bool deprecated) {
+  versions_.push_back({spec::Version(v), preferred, deprecated});
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::variant(const std::string& name,
+                                      bool default_enabled,
+                                      const std::string& description) {
+  variants_.push_back(
+      {name, spec::VariantValue::boolean(default_enabled), description, {}});
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::variant(const std::string& name,
+                                      const std::string& default_value,
+                                      std::vector<std::string> allowed,
+                                      const std::string& description) {
+  if (!allowed.empty() &&
+      std::find(allowed.begin(), allowed.end(), default_value) ==
+          allowed.end()) {
+    throw PackageError("default '" + default_value + "' for variant '" +
+                       name + "' of " + name_ + " not in allowed values");
+  }
+  variants_.push_back({name, spec::VariantValue::single(default_value),
+                       description, std::move(allowed)});
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::depends_on(const std::string& dep_spec,
+                                         const std::string& when) {
+  DependencyDef def;
+  def.dep = spec::Spec::parse(dep_spec);
+  if (!when.empty()) def.when = spec::Spec::parse(when);
+  dependencies_.push_back(std::move(def));
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::conflicts(const std::string& conflict_spec,
+                                        const std::string& when,
+                                        const std::string& message) {
+  ConflictDef def;
+  def.conflict = spec::Spec::parse(conflict_spec);
+  if (!when.empty()) def.when = spec::Spec::parse(when);
+  def.message = message;
+  conflicts_.push_back(std::move(def));
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::provides(const std::string& virtual_name) {
+  provides_.push_back(virtual_name);
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::flag_when(const std::string& variant_name,
+                                        std::string flag) {
+  variant_flags_.emplace_back(variant_name, std::move(flag));
+  return *this;
+}
+
+PackageRecipe& PackageRecipe::build_cost(double seconds) {
+  build_cost_ = seconds;
+  return *this;
+}
+
+std::optional<spec::Version> PackageRecipe::best_version(
+    const spec::VersionConstraint& constraint) const {
+  const VersionDef* best = nullptr;
+  // Two passes: preferred versions win over plain ones; within a class the
+  // highest version wins. Deprecated versions only match exact requests.
+  for (bool want_preferred : {true, false}) {
+    for (const auto& vd : versions_) {
+      if (vd.preferred != want_preferred) continue;
+      if (vd.deprecated) continue;
+      if (!constraint.satisfied_by(vd.version)) continue;
+      if (!best || vd.version > best->version) best = &vd;
+    }
+    if (best) return best->version;
+  }
+  // Last resort: deprecated versions, when explicitly requested.
+  if (!constraint.is_any()) {
+    for (const auto& vd : versions_) {
+      if (!vd.deprecated) continue;
+      if (!constraint.satisfied_by(vd.version)) continue;
+      if (!best || vd.version > best->version) best = &vd;
+    }
+    if (best) return best->version;
+  }
+  return std::nullopt;
+}
+
+const VariantDef* PackageRecipe::find_variant(std::string_view name) const {
+  for (const auto& v : variants_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::vector<const DependencyDef*> PackageRecipe::active_dependencies(
+    const spec::Spec& parent) const {
+  std::vector<const DependencyDef*> active;
+  for (const auto& d : dependencies_) {
+    if (!d.when || parent.satisfies(*d.when)) active.push_back(&d);
+  }
+  return active;
+}
+
+void PackageRecipe::check_conflicts(const spec::Spec& s) const {
+  for (const auto& c : conflicts_) {
+    if (c.when && !s.satisfies(*c.when)) continue;
+    if (s.satisfies(c.conflict)) {
+      throw PackageError("conflict in " + name_ + ": '" + c.conflict.str() +
+                         (c.when ? "' when '" + c.when->str() : std::string()) +
+                         "'" + (c.message.empty() ? "" : ": " + c.message));
+    }
+  }
+}
+
+std::vector<std::string> PackageRecipe::build_args(
+    const spec::Spec& s) const {
+  std::vector<std::string> args;
+  for (const auto& [variant_name, flag] : variant_flags_) {
+    if (s.variant_enabled(variant_name)) args.push_back(flag);
+  }
+  return args;
+}
+
+}  // namespace benchpark::pkg

@@ -1,0 +1,140 @@
+// Package recipes: the C++ equivalent of Spack's package.py files.
+//
+// A recipe declares the *build space* of a package: known versions,
+// variants with defaults, (possibly conditional) dependencies, conflicts,
+// provided virtuals, and how variant choices map to build-system arguments
+// (Figure 11's cmake_args). Recipes carry no system-specific information —
+// that is the whole point of the paper's orthogonalization.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/spec/spec.hpp"
+
+namespace benchpark::pkg {
+
+enum class BuildSystem { cmake, makefile, autotools, bundle };
+
+[[nodiscard]] std::string_view build_system_name(BuildSystem bs);
+
+/// A declared version of a package.
+struct VersionDef {
+  spec::Version version;
+  bool preferred = false;
+  bool deprecated = false;
+};
+
+/// A declared variant with its default.
+struct VariantDef {
+  std::string name;
+  spec::VariantValue default_value;
+  std::string description;
+  /// Allowed values for string variants (empty = unrestricted).
+  std::vector<std::string> allowed_values;
+};
+
+enum class DepType { build, link, run };
+
+/// A (possibly conditional) dependency declaration:
+///   depends_on("cuda", when="+cuda")
+struct DependencyDef {
+  spec::Spec dep;                   // constraint on the dependency
+  std::optional<spec::Spec> when;   // condition on the parent spec
+  std::vector<DepType> types{DepType::build, DepType::link};
+};
+
+/// conflicts("+cuda", when="+rocm", msg=...)
+struct ConflictDef {
+  spec::Spec conflict;
+  std::optional<spec::Spec> when;
+  std::string message;
+};
+
+/// A package recipe.
+class PackageRecipe {
+public:
+  PackageRecipe() = default;
+  PackageRecipe(std::string name, BuildSystem build_system);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] BuildSystem build_system() const { return build_system_; }
+
+  PackageRecipe& describe(std::string description);
+  [[nodiscard]] const std::string& description() const { return description_; }
+
+  // -- declarations (builder-style API mirroring package.py directives) ----
+  PackageRecipe& version(const std::string& v, bool preferred = false,
+                         bool deprecated = false);
+  PackageRecipe& variant(const std::string& name, bool default_enabled,
+                         const std::string& description);
+  PackageRecipe& variant(const std::string& name,
+                         const std::string& default_value,
+                         std::vector<std::string> allowed,
+                         const std::string& description);
+  PackageRecipe& depends_on(const std::string& dep_spec,
+                            const std::string& when = "");
+  PackageRecipe& conflicts(const std::string& conflict_spec,
+                           const std::string& when = "",
+                           const std::string& message = "");
+  PackageRecipe& provides(const std::string& virtual_name);
+  /// Map a boolean variant to a build flag emitted when enabled
+  /// (Figure 11: '+openmp' -> '-DUSE_OPENMP=ON').
+  PackageRecipe& flag_when(const std::string& variant_name, std::string flag);
+  /// Simulated build cost in seconds at reference parallelism.
+  PackageRecipe& build_cost(double seconds);
+
+  // -- queries ---------------------------------------------------------------
+  [[nodiscard]] const std::vector<VersionDef>& versions() const {
+    return versions_;
+  }
+  /// Highest non-deprecated version satisfying `constraint`; prefers
+  /// versions marked preferred. Nullopt when none match.
+  [[nodiscard]] std::optional<spec::Version> best_version(
+      const spec::VersionConstraint& constraint) const;
+
+  [[nodiscard]] const std::vector<VariantDef>& variants() const {
+    return variants_;
+  }
+  [[nodiscard]] const VariantDef* find_variant(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<DependencyDef>& dependencies() const {
+    return dependencies_;
+  }
+  /// Dependencies active for a given (partially) concrete parent spec.
+  [[nodiscard]] std::vector<const DependencyDef*> active_dependencies(
+      const spec::Spec& parent) const;
+
+  [[nodiscard]] const std::vector<ConflictDef>& conflict_list() const {
+    return conflicts_;
+  }
+  /// Throws PackageError when `s` violates a declared conflict.
+  void check_conflicts(const spec::Spec& s) const;
+
+  [[nodiscard]] const std::vector<std::string>& provided_virtuals() const {
+    return provides_;
+  }
+
+  /// Build-system arguments for a concrete spec (Figure 11 semantics).
+  [[nodiscard]] std::vector<std::string> build_args(
+      const spec::Spec& s) const;
+
+  [[nodiscard]] double build_cost_seconds() const { return build_cost_; }
+
+private:
+  std::string name_;
+  BuildSystem build_system_ = BuildSystem::cmake;
+  std::string description_;
+  std::vector<VersionDef> versions_;
+  std::vector<VariantDef> variants_;
+  std::vector<DependencyDef> dependencies_;
+  std::vector<ConflictDef> conflicts_;
+  std::vector<std::string> provides_;
+  std::vector<std::pair<std::string, std::string>> variant_flags_;
+  double build_cost_ = 10.0;
+};
+
+}  // namespace benchpark::pkg

@@ -1,0 +1,348 @@
+#include "src/pkg/repo.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::pkg {
+
+PackageRecipe& Repo::add(PackageRecipe recipe) {
+  auto name = recipe.name();
+  auto [it, inserted] = packages_.insert_or_assign(name, std::move(recipe));
+  (void)inserted;
+  return it->second;
+}
+
+const PackageRecipe* Repo::find(std::string_view package) const {
+  auto it = packages_.find(package);
+  return it == packages_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Repo::package_names() const {
+  std::vector<std::string> names;
+  names.reserve(packages_.size());
+  for (const auto& [name, recipe] : packages_) names.push_back(name);
+  return names;
+}
+
+std::vector<const PackageRecipe*> Repo::providers_of(
+    std::string_view virtual_name) const {
+  std::vector<const PackageRecipe*> providers;
+  for (const auto& [name, recipe] : packages_) {
+    const auto& virtuals = recipe.provided_virtuals();
+    if (std::find(virtuals.begin(), virtuals.end(), virtual_name) !=
+        virtuals.end()) {
+      providers.push_back(&recipe);
+    }
+  }
+  return providers;
+}
+
+bool Repo::is_virtual(std::string_view name) const {
+  return !has(name) && !providers_of(name).empty();
+}
+
+void RepoStack::push_front(std::shared_ptr<const Repo> repo) {
+  repos_.insert(repos_.begin(), std::move(repo));
+}
+
+void RepoStack::push_back(std::shared_ptr<const Repo> repo) {
+  repos_.push_back(std::move(repo));
+}
+
+const PackageRecipe& RepoStack::get(std::string_view package) const {
+  const PackageRecipe* found = find(package);
+  if (!found) {
+    throw PackageError("unknown package '" + std::string(package) + "'");
+  }
+  return *found;
+}
+
+const PackageRecipe* RepoStack::find(std::string_view package) const {
+  for (const auto& repo : repos_) {
+    if (const auto* recipe = repo->find(package)) return recipe;
+  }
+  return nullptr;
+}
+
+bool RepoStack::has(std::string_view package) const {
+  return find(package) != nullptr;
+}
+
+bool RepoStack::is_virtual(std::string_view name) const {
+  return !has(name) && !providers_of(name).empty();
+}
+
+std::vector<const PackageRecipe*> RepoStack::providers_of(
+    std::string_view virtual_name) const {
+  std::vector<const PackageRecipe*> providers;
+  for (const auto& repo : repos_) {
+    for (const auto* p : repo->providers_of(virtual_name)) {
+      // Shadowed names don't duplicate.
+      bool shadowed = std::any_of(
+          providers.begin(), providers.end(),
+          [&](const PackageRecipe* q) { return q->name() == p->name(); });
+      if (!shadowed) providers.push_back(p);
+    }
+  }
+  return providers;
+}
+
+std::vector<std::string> RepoStack::package_names() const {
+  std::vector<std::string> names;
+  for (const auto& repo : repos_) {
+    for (auto& name : repo->package_names()) {
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ------------------------------------------------------------- builtin repo
+
+namespace {
+
+void add_build_tools(Repo& repo) {
+  repo.add(PackageRecipe("cmake", BuildSystem::bundle))
+      .describe("Cross-platform build system generator")
+      .version("3.23.1")
+      .version("3.24.2")
+      .version("3.26.3", /*preferred=*/true)
+      .build_cost(120.0);
+
+  repo.add(PackageRecipe("gmake", BuildSystem::bundle))
+      .describe("GNU make")
+      .version("4.3")
+      .version("4.4.1", /*preferred=*/true)
+      .build_cost(30.0);
+
+  repo.add(PackageRecipe("python", BuildSystem::autotools))
+      .describe("CPython interpreter")
+      .version("3.9.12")
+      .version("3.10.8")
+      .version("3.11.6", /*preferred=*/true)
+      .depends_on("zlib")
+      .build_cost(240.0);
+}
+
+void add_core_libs(Repo& repo) {
+  repo.add(PackageRecipe("zlib", BuildSystem::autotools))
+      .describe("Compression library")
+      .version("1.2.13")
+      .version("1.3", /*preferred=*/true)
+      .build_cost(8.0);
+
+  repo.add(PackageRecipe("hdf5", BuildSystem::cmake))
+      .describe("Hierarchical Data Format library")
+      .version("1.12.2")
+      .version("1.14.1", /*preferred=*/true)
+      .variant("mpi", true, "Enable parallel HDF5")
+      .flag_when("mpi", "-DHDF5_ENABLE_PARALLEL=ON")
+      .depends_on("zlib")
+      .depends_on("mpi", "+mpi")
+      .depends_on("cmake")
+      .build_cost(90.0);
+}
+
+void add_mpi_providers(Repo& repo) {
+  repo.add(PackageRecipe("mvapich2", BuildSystem::autotools))
+      .describe("MVAPICH2 MPI implementation (InfiniBand/Omni-Path)")
+      .version("2.3.6")
+      .version("2.3.7", /*preferred=*/true)
+      .provides("mpi")
+      .build_cost(300.0);
+
+  repo.add(PackageRecipe("openmpi", BuildSystem::autotools))
+      .describe("Open MPI implementation")
+      .version("4.1.4")
+      .version("4.1.6", /*preferred=*/true)
+      .version("5.0.0")
+      .provides("mpi")
+      .depends_on("zlib")
+      .build_cost(360.0);
+
+  repo.add(PackageRecipe("spectrum-mpi", BuildSystem::bundle))
+      .describe("IBM Spectrum MPI (Power systems; vendor-installed)")
+      .version("10.3.1")
+      .provides("mpi")
+      .build_cost(0.0);
+
+  repo.add(PackageRecipe("cray-mpich", BuildSystem::bundle))
+      .describe("HPE Cray MPICH (Slingshot systems; vendor-installed)")
+      .version("8.1.25")
+      .version("8.1.26", /*preferred=*/true)
+      .provides("mpi")
+      .build_cost(0.0);
+}
+
+void add_math_libs(Repo& repo) {
+  repo.add(PackageRecipe("intel-oneapi-mkl", BuildSystem::bundle))
+      .describe("Intel oneAPI Math Kernel Library")
+      .version("2022.1.0", /*preferred=*/true)
+      .version("2023.1.0")
+      .provides("blas")
+      .provides("lapack")
+      .build_cost(0.0);
+
+  repo.add(PackageRecipe("openblas", BuildSystem::makefile))
+      .describe("Optimized BLAS/LAPACK")
+      .version("0.3.21")
+      .version("0.3.23", /*preferred=*/true)
+      .variant("threads", "openmp", {"none", "openmp", "pthreads"},
+               "Threading model")
+      .provides("blas")
+      .provides("lapack")
+      .build_cost(200.0);
+
+  repo.add(PackageRecipe("essl", BuildSystem::bundle))
+      .describe("IBM Engineering and Scientific Subroutine Library")
+      .version("6.3.0")
+      .provides("blas")
+      .build_cost(0.0);
+}
+
+void add_gpu_runtimes(Repo& repo) {
+  repo.add(PackageRecipe("cuda", BuildSystem::bundle))
+      .describe("NVIDIA CUDA toolkit")
+      .version("11.2.0")
+      .version("11.8.0", /*preferred=*/true)
+      .version("12.2.0")
+      .build_cost(0.0);
+
+  repo.add(PackageRecipe("hip", BuildSystem::bundle))
+      .describe("AMD HIP runtime (ROCm)")
+      .version("5.2.1")
+      .version("5.4.3", /*preferred=*/true)
+      .build_cost(0.0);
+
+  repo.add(PackageRecipe("rocblas", BuildSystem::cmake))
+      .describe("ROCm BLAS")
+      .version("5.4.3")
+      .depends_on("hip")
+      .depends_on("cmake")
+      .build_cost(400.0);
+}
+
+void add_profiling(Repo& repo) {
+  repo.add(PackageRecipe("adiak", BuildSystem::cmake))
+      .describe("Metadata collection for HPC runs")
+      .version("0.2.2")
+      .version("0.4.0", /*preferred=*/true)
+      .depends_on("cmake")
+      .build_cost(15.0);
+
+  repo.add(PackageRecipe("caliper", BuildSystem::cmake))
+      .describe("Performance introspection library")
+      .version("2.8.0")
+      .version("2.9.1", /*preferred=*/true)
+      .variant("mpi", true, "MPI-aware profiling")
+      .variant("cuda", false, "CUDA activity profiling")
+      .flag_when("cuda", "-DWITH_CUPTI=ON")
+      .depends_on("adiak")
+      .depends_on("mpi", "+mpi")
+      .depends_on("cuda", "+cuda")
+      .depends_on("cmake")
+      .build_cost(60.0);
+}
+
+void add_solvers(Repo& repo) {
+  repo.add(PackageRecipe("hypre", BuildSystem::autotools))
+      .describe("Scalable linear solvers and multigrid methods")
+      .version("2.24.0")
+      .version("2.26.0")
+      .version("2.28.0", /*preferred=*/true)
+      .variant("cuda", false, "CUDA support")
+      .variant("rocm", false, "ROCm support")
+      .variant("openmp", true, "OpenMP threading")
+      .conflicts("+cuda", "+rocm", "CUDA and ROCm are mutually exclusive")
+      .depends_on("blas")
+      .depends_on("lapack")
+      .depends_on("mpi")
+      .depends_on("cuda", "+cuda")
+      .depends_on("hip", "+rocm")
+      .build_cost(180.0);
+}
+
+void add_benchmarks(Repo& repo) {
+  // Figure 11: class Saxpy(CMakePackage, CudaPackage, ROCmPackage).
+  repo.add(PackageRecipe("saxpy", BuildSystem::cmake))
+      .describe("Test saxpy problem.")
+      .version("1.0.0")
+      .variant("openmp", true, "OpenMP")
+      .variant("cuda", false, "CUDA")
+      .variant("rocm", false, "ROCm")
+      .flag_when("openmp", "-DUSE_OPENMP=ON")
+      .flag_when("cuda", "-DUSE_CUDA=ON")
+      .flag_when("rocm", "-DUSE_HIP=ON")
+      .conflicts("+cuda", "+rocm", "pick one GPU backend")
+      .depends_on("cmake@3.23.1:")
+      .depends_on("mpi")
+      .depends_on("cuda", "+cuda")
+      .depends_on("hip", "+rocm")
+      .build_cost(5.0);
+
+  repo.add(PackageRecipe("amg2023", BuildSystem::cmake))
+      .describe("Algebraic multigrid benchmark (hypre proxy)")
+      .version("1.0")
+      .version("1.1", /*preferred=*/true)
+      .variant("caliper", false, "Caliper performance annotations")
+      .variant("openmp", true, "OpenMP")
+      .variant("cuda", false, "CUDA")
+      .variant("rocm", false, "ROCm")
+      .flag_when("openmp", "-DAMG_OPENMP=ON")
+      .flag_when("cuda", "-DAMG_CUDA=ON")
+      .flag_when("rocm", "-DAMG_HIP=ON")
+      .conflicts("+cuda", "+rocm", "pick one GPU backend")
+      .depends_on("hypre")
+      .depends_on("hypre+cuda", "+cuda")
+      .depends_on("hypre+rocm", "+rocm")
+      .depends_on("mpi")
+      .depends_on("caliper", "+caliper")
+      .depends_on("adiak", "+caliper")
+      .depends_on("cmake")
+      .build_cost(45.0);
+
+  repo.add(PackageRecipe("stream", BuildSystem::makefile))
+      .describe("STREAM memory bandwidth benchmark")
+      .version("5.10", /*preferred=*/true)
+      .variant("openmp", true, "OpenMP")
+      .build_cost(2.0);
+
+  repo.add(PackageRecipe("osu-micro-benchmarks", BuildSystem::autotools))
+      .describe("OSU MPI micro-benchmarks (latency, bandwidth, collectives)")
+      .version("6.2", /*preferred=*/true)
+      .version("7.0")
+      .variant("cuda", false, "CUDA-aware benchmarks")
+      .depends_on("mpi")
+      .depends_on("cuda", "+cuda")
+      .build_cost(25.0);
+}
+
+}  // namespace
+
+std::shared_ptr<const Repo> builtin_repo() {
+  static std::shared_ptr<const Repo> instance = [] {
+    auto repo = std::make_shared<Repo>("builtin");
+    add_build_tools(*repo);
+    add_core_libs(*repo);
+    add_mpi_providers(*repo);
+    add_math_libs(*repo);
+    add_gpu_runtimes(*repo);
+    add_profiling(*repo);
+    add_solvers(*repo);
+    add_benchmarks(*repo);
+    return std::shared_ptr<const Repo>(std::move(repo));
+  }();
+  return instance;
+}
+
+RepoStack default_repo_stack() {
+  RepoStack stack;
+  stack.push_back(builtin_repo());
+  return stack;
+}
+
+}  // namespace benchpark::pkg

@@ -1,0 +1,72 @@
+// Package repositories.
+//
+// A Repo maps package names to recipes and virtuals to providers. The
+// RepoStack layers repos: Benchpark's `repo/` directory overlays the
+// upstream builtin repo (Figure 1a lines 41-48), so a benchmark-specific
+// recipe can shadow or extend upstream without forking it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pkg/package.hpp"
+
+namespace benchpark::pkg {
+
+class Repo {
+public:
+  explicit Repo(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Add a recipe (replacing any same-named one) and return a reference
+  /// for further builder calls.
+  PackageRecipe& add(PackageRecipe recipe);
+
+  [[nodiscard]] const PackageRecipe* find(std::string_view package) const;
+  [[nodiscard]] bool has(std::string_view package) const {
+    return find(package) != nullptr;
+  }
+  [[nodiscard]] std::vector<std::string> package_names() const;
+
+  /// Packages providing the given virtual (e.g. "mpi" -> mvapich2, ...).
+  [[nodiscard]] std::vector<const PackageRecipe*> providers_of(
+      std::string_view virtual_name) const;
+  [[nodiscard]] bool is_virtual(std::string_view name) const;
+
+private:
+  std::string name_;
+  std::map<std::string, PackageRecipe, std::less<>> packages_;
+};
+
+/// Ordered overlay of repos; earlier repos shadow later ones.
+class RepoStack {
+public:
+  void push_front(std::shared_ptr<const Repo> repo);
+  void push_back(std::shared_ptr<const Repo> repo);
+
+  /// First matching recipe in overlay order; throws PackageError if absent.
+  [[nodiscard]] const PackageRecipe& get(std::string_view package) const;
+  [[nodiscard]] const PackageRecipe* find(std::string_view package) const;
+  [[nodiscard]] bool has(std::string_view package) const;
+  [[nodiscard]] bool is_virtual(std::string_view name) const;
+  [[nodiscard]] std::vector<const PackageRecipe*> providers_of(
+      std::string_view virtual_name) const;
+  [[nodiscard]] std::vector<std::string> package_names() const;
+  [[nodiscard]] std::size_t num_repos() const { return repos_.size(); }
+
+private:
+  std::vector<std::shared_ptr<const Repo>> repos_;
+};
+
+/// The upstream builtin repo: every package the paper's demo needs
+/// (saxpy, AMG2023 and its hypre stack, MPI implementations, math
+/// libraries, profiling tools, GPU runtimes, build tools).
+std::shared_ptr<const Repo> builtin_repo();
+
+/// Default repo stack: just the builtin repo.
+RepoStack default_repo_stack();
+
+}  // namespace benchpark::pkg

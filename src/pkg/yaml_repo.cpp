@@ -1,0 +1,124 @@
+#include "src/pkg/yaml_repo.hpp"
+
+#include <set>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::pkg {
+
+namespace {
+
+BuildSystem parse_build_system(const std::string& text) {
+  if (text == "cmake") return BuildSystem::cmake;
+  if (text == "makefile") return BuildSystem::makefile;
+  if (text == "autotools") return BuildSystem::autotools;
+  if (text == "bundle") return BuildSystem::bundle;
+  throw PackageError("unknown build_system '" + text + "'");
+}
+
+void load_versions(PackageRecipe& recipe, const yaml::Node& versions) {
+  for (const auto& entry : versions.items()) {
+    if (entry.is_scalar()) {
+      recipe.version(entry.as_string());
+    } else {
+      recipe.version(entry.at("version").as_string(),
+                     entry.at("preferred").as_bool_or(false),
+                     entry.at("deprecated").as_bool_or(false));
+    }
+  }
+}
+
+void load_variants(PackageRecipe& recipe, const yaml::Node& variants) {
+  for (const auto& [vname, body] : variants.map()) {
+    const auto& default_node = body.at("default");
+    std::string description = body.at("description").as_string_or("");
+    if (body.has("values")) {
+      recipe.variant(vname, default_node.as_string(),
+                     body.at("values").as_string_list(), description);
+    } else {
+      bool enabled;
+      try {
+        enabled = default_node.as_bool();
+      } catch (const Error&) {
+        throw PackageError("variant '" + vname +
+                           "' needs a boolean default or a 'values' list");
+      }
+      recipe.variant(vname, enabled, description);
+    }
+    if (body.has("flag")) {
+      recipe.flag_when(vname, body.at("flag").as_string());
+    }
+  }
+}
+
+void load_dependencies(PackageRecipe& recipe, const yaml::Node& deps) {
+  for (const auto& entry : deps.items()) {
+    if (entry.is_scalar()) {
+      recipe.depends_on(entry.as_string());
+    } else {
+      recipe.depends_on(entry.at("spec").as_string(),
+                        entry.at("when").as_string_or(""));
+    }
+  }
+}
+
+void load_conflicts(PackageRecipe& recipe, const yaml::Node& conflicts) {
+  for (const auto& entry : conflicts.items()) {
+    recipe.conflicts(entry.at("spec").as_string(),
+                     entry.at("when").as_string_or(""),
+                     entry.at("msg").as_string_or(""));
+  }
+}
+
+}  // namespace
+
+PackageRecipe recipe_from_yaml(const std::string& name,
+                               const yaml::Node& body) {
+  static const std::set<std::string> kKnownKeys{
+      "build_system", "description", "versions",  "variants",
+      "depends_on",   "conflicts",   "provides",  "build_cost"};
+  for (const auto& [key, value] : body.map()) {
+    if (!kKnownKeys.count(key)) {
+      throw PackageError("recipe '" + name + "': unknown key '" + key +
+                         "'");
+    }
+  }
+
+  PackageRecipe recipe(
+      name,
+      parse_build_system(body.at("build_system").as_string_or("cmake")));
+  recipe.describe(body.at("description").as_string_or(""));
+
+  if (!body.has("versions")) {
+    throw PackageError("recipe '" + name + "' declares no versions");
+  }
+  load_versions(recipe, body.at("versions"));
+  if (body.has("variants")) load_variants(recipe, body.at("variants"));
+  if (body.has("depends_on")) load_dependencies(recipe, body.at("depends_on"));
+  if (body.has("conflicts")) load_conflicts(recipe, body.at("conflicts"));
+  if (body.has("provides")) {
+    for (const auto& v : body.at("provides").as_string_list()) {
+      recipe.provides(v);
+    }
+  }
+  if (body.has("build_cost")) {
+    recipe.build_cost(body.at("build_cost").as_double());
+  }
+  return recipe;
+}
+
+std::shared_ptr<Repo> repo_from_yaml(const std::string& repo_name,
+                                     const yaml::Node& document) {
+  auto repo = std::make_shared<Repo>(repo_name);
+  const yaml::Node& packages =
+      document.has("packages") ? document.at("packages") : document;
+  if (!packages.is_mapping()) {
+    throw PackageError("repo document needs a 'packages:' mapping");
+  }
+  for (const auto& [name, body] : packages.map()) {
+    repo->add(recipe_from_yaml(name, body));
+  }
+  return repo;
+}
+
+}  // namespace benchpark::pkg

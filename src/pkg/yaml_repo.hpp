@@ -1,0 +1,38 @@
+// Data-driven package recipes: the `repo/` overlay as YAML.
+//
+// Figure 1a's repo/ directory carries "overlay information not contained
+// in the upstream Spack or Ramble repositories". Community contributors
+// should not need to write C++ to add a recipe, so overlays can be
+// described in YAML:
+//
+//   packages:
+//     pingpong:
+//       build_system: cmake
+//       description: MPI ping-pong latency benchmark
+//       versions: ['2.1', {version: '2.0', deprecated: true}]
+//       variants:
+//         openmp: {default: false, description: threaded variant,
+//                  flag: -DPINGPONG_OPENMP=ON}
+//         backend: {default: verbs, values: [verbs, ucx]}
+//       depends_on: [mpi, {spec: 'cmake@3.20:'}, {spec: cuda, when: +cuda}]
+//       conflicts: [{spec: +cuda, when: +rocm, msg: pick one}]
+//       provides: []
+//       build_cost: 3.0
+#pragma once
+
+#include "src/pkg/repo.hpp"
+#include "src/yaml/node.hpp"
+
+namespace benchpark::pkg {
+
+/// Parse one recipe body (the mapping under the package name).
+/// Throws PackageError on unknown keys or malformed entries.
+PackageRecipe recipe_from_yaml(const std::string& name,
+                               const yaml::Node& body);
+
+/// Parse a whole repo document (`packages:` mapping) into a Repo named
+/// `repo_name`.
+std::shared_ptr<Repo> repo_from_yaml(const std::string& repo_name,
+                                     const yaml::Node& document);
+
+}  // namespace benchpark::pkg

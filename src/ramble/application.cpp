@@ -1,0 +1,185 @@
+#include "src/ramble/application.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::ramble {
+
+ApplicationDefinition& ApplicationDefinition::executable(
+    const std::string& name, const std::string& command_template,
+    bool use_mpi) {
+  executables_.push_back({name, command_template, use_mpi});
+  return *this;
+}
+
+ApplicationDefinition& ApplicationDefinition::workload(
+    const std::string& name, std::vector<std::string> executables) {
+  for (const auto& exe : executables) {
+    if (!find_executable(exe)) {
+      throw ExperimentError("workload '" + name + "' of " + name_ +
+                            " references unknown executable '" + exe + "'");
+    }
+  }
+  workloads_.push_back({name, std::move(executables), {}});
+  return *this;
+}
+
+ApplicationDefinition& ApplicationDefinition::workload_variable(
+    const std::string& name, const std::string& default_value,
+    const std::string& description,
+    const std::vector<std::string>& workloads) {
+  bool applied = false;
+  for (auto& wl : workloads_) {
+    bool wanted = workloads.empty() ||
+                  std::find(workloads.begin(), workloads.end(), wl.name) !=
+                      workloads.end();
+    if (wanted) {
+      wl.variables.push_back({name, default_value, description});
+      applied = true;
+    }
+  }
+  if (!applied) {
+    throw ExperimentError("workload_variable '" + name + "' of " + name_ +
+                          " matches no workload");
+  }
+  return *this;
+}
+
+ApplicationDefinition& ApplicationDefinition::figure_of_merit(
+    const std::string& name, const std::string& fom_regex,
+    const std::string& group_name, const std::string& units) {
+  foms_.push_back({name, fom_regex, group_name, units});
+  return *this;
+}
+
+ApplicationDefinition& ApplicationDefinition::success_criteria(
+    const std::string& name, const std::string& match) {
+  criteria_.push_back({name, match});
+  return *this;
+}
+
+const WorkloadDef* ApplicationDefinition::find_workload(
+    std::string_view name) const {
+  for (const auto& wl : workloads_) {
+    if (wl.name == name) return &wl;
+  }
+  return nullptr;
+}
+
+const ExecutableDef* ApplicationDefinition::find_executable(
+    std::string_view name) const {
+  for (const auto& exe : executables_) {
+    if (exe.name == name) return &exe;
+  }
+  return nullptr;
+}
+
+std::vector<const ExecutableDef*>
+ApplicationDefinition::workload_executables(
+    std::string_view workload_name) const {
+  const auto* wl = find_workload(workload_name);
+  if (!wl) {
+    throw ExperimentError("application " + name_ + " has no workload '" +
+                          std::string(workload_name) + "'");
+  }
+  std::vector<const ExecutableDef*> out;
+  for (const auto& exe_name : wl->executables) {
+    out.push_back(find_executable(exe_name));
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- registry
+
+ApplicationRegistry& ApplicationRegistry::instance() {
+  static ApplicationRegistry registry;
+  return registry;
+}
+
+ApplicationRegistry::ApplicationRegistry() {
+  // Figure 8, verbatim: the saxpy application definition.
+  {
+    ApplicationDefinition saxpy("saxpy");
+    saxpy.executable("p", "saxpy -n {n}", /*use_mpi=*/true)
+        .workload("problem", {"p"})
+        .workload_variable("n", "1", "problem size", {"problem"})
+        .figure_of_merit("success", R"((Kernel done))", "done", "")
+        .figure_of_merit("elapsed", R"(Kernel elapsed: ([0-9.eE+-]+) s)",
+                         "time", "s")
+        .figure_of_merit("gflops", R"(Kernel GFLOP/s: ([0-9.eE+-]+))",
+                         "rate", "GFLOP/s")
+        .success_criteria("pass", "Kernel done");
+    add(std::move(saxpy));
+  }
+  {
+    ApplicationDefinition amg("amg2023");
+    amg.executable("amg", "amg -P {px} {py} -n {nx} {ny}", /*use_mpi=*/true)
+        .workload("problem1", {"amg"})
+        .workload_variable("px", "2", "processor grid x", {"problem1"})
+        .workload_variable("py", "2", "processor grid y", {"problem1"})
+        .workload_variable("nx", "64", "local grid x", {"problem1"})
+        .workload_variable("ny", "64", "local grid y", {"problem1"})
+        .figure_of_merit("FOM_Setup",
+                         R"(Figure of Merit \(FOM_Setup\): ([0-9.eE+-]+))",
+                         "fom", "DOF/s")
+        .figure_of_merit("FOM_Solve",
+                         R"(Figure of Merit \(FOM_Solve\): ([0-9.eE+-]+))",
+                         "fom", "DOF/s")
+        .figure_of_merit("iterations", R"(iterations: (\d+))", "iters", "")
+        .figure_of_merit("solve_time", R"(Solve time: ([0-9.eE+-]+) s)",
+                         "time", "s")
+        .success_criteria("converged", "AMG converged");
+    add(std::move(amg));
+  }
+  {
+    ApplicationDefinition stream("stream");
+    stream.executable("s", "stream -n {n}", /*use_mpi=*/false)
+        .workload("bandwidth", {"s"})
+        .workload_variable("n", "10000000", "array elements", {"bandwidth"})
+        .figure_of_merit("triad", R"(Triad: ([0-9.eE+-]+) GB/s)", "bw",
+                         "GB/s")
+        .figure_of_merit("copy", R"(Copy: ([0-9.eE+-]+) GB/s)", "bw", "GB/s")
+        .success_criteria("validates", "Solution Validates");
+    add(std::move(stream));
+  }
+  {
+    ApplicationDefinition osu("osu-bcast");
+    osu.set_package_name("osu-micro-benchmarks");
+    osu.executable("b", "osu_bcast -m {n}", /*use_mpi=*/true)
+        .workload("collective", {"b"})
+        .workload_variable("n", "1048576", "max message size", {"collective"})
+        .figure_of_merit("success", R"((Kernel done))", "done", "")
+        .success_criteria("pass", "Kernel done");
+    add(std::move(osu));
+  }
+}
+
+void ApplicationRegistry::add(ApplicationDefinition app) {
+  auto name = app.name();
+  apps_.insert_or_assign(std::move(name), std::move(app));
+}
+
+const ApplicationDefinition& ApplicationRegistry::get(
+    std::string_view name) const {
+  const auto* found = find(name);
+  if (!found) {
+    throw ExperimentError("unknown application '" + std::string(name) + "'");
+  }
+  return *found;
+}
+
+const ApplicationDefinition* ApplicationRegistry::find(
+    std::string_view name) const {
+  auto it = apps_.find(name);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ApplicationRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(apps_.size());
+  for (const auto& [name, app] : apps_) out.push_back(name);
+  return out;
+}
+
+}  // namespace benchpark::ramble

@@ -1,0 +1,117 @@
+// Application definitions: the C++ equivalent of Ramble's application.py
+// (Figure 8). Everything here is benchmark-specific and system-agnostic —
+// exactly one definition per benchmark (Table 1, rows 3-5).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/fom.hpp"
+
+namespace benchpark::ramble {
+
+/// executable('p', 'saxpy -n {n}', use_mpi=True)
+struct ExecutableDef {
+  std::string name;
+  std::string command_template;  // expanded against experiment variables
+  bool use_mpi = false;
+};
+
+/// workload_variable('n', default='1', description=..., workloads=[...])
+struct WorkloadVariableDef {
+  std::string name;
+  std::string default_value;
+  std::string description;
+};
+
+/// workload('problem', executables=['p'])
+struct WorkloadDef {
+  std::string name;
+  std::vector<std::string> executables;
+  std::vector<WorkloadVariableDef> variables;
+};
+
+/// One benchmark's full Ramble definition.
+class ApplicationDefinition {
+public:
+  ApplicationDefinition() = default;
+  explicit ApplicationDefinition(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The Spack package providing this application's binary. Defaults to
+  /// the application name; differs when one package ships many benchmarks
+  /// (osu-micro-benchmarks ships osu-bcast).
+  [[nodiscard]] const std::string& package_name() const {
+    return package_name_.empty() ? name_ : package_name_;
+  }
+  ApplicationDefinition& set_package_name(std::string package) {
+    package_name_ = std::move(package);
+    return *this;
+  }
+
+  // -- builder API mirroring application.py directives -------------------
+  ApplicationDefinition& executable(const std::string& name,
+                                    const std::string& command_template,
+                                    bool use_mpi);
+  ApplicationDefinition& workload(const std::string& name,
+                                  std::vector<std::string> executables);
+  ApplicationDefinition& workload_variable(
+      const std::string& name, const std::string& default_value,
+      const std::string& description,
+      const std::vector<std::string>& workloads);
+  ApplicationDefinition& figure_of_merit(const std::string& name,
+                                         const std::string& fom_regex,
+                                         const std::string& group_name,
+                                         const std::string& units);
+  ApplicationDefinition& success_criteria(const std::string& name,
+                                          const std::string& match);
+
+  // -- queries ----------------------------------------------------------
+  [[nodiscard]] const std::vector<WorkloadDef>& workloads() const {
+    return workloads_;
+  }
+  [[nodiscard]] const WorkloadDef* find_workload(std::string_view name) const;
+  [[nodiscard]] const ExecutableDef* find_executable(
+      std::string_view name) const;
+  [[nodiscard]] const std::vector<analysis::FomSpec>& foms() const {
+    return foms_;
+  }
+  [[nodiscard]] const std::vector<analysis::SuccessCriterion>&
+  success_criteria_list() const {
+    return criteria_;
+  }
+
+  /// Command lines for a workload, in declaration order (un-expanded).
+  [[nodiscard]] std::vector<const ExecutableDef*> workload_executables(
+      std::string_view workload_name) const;
+
+private:
+  std::string name_;
+  std::string package_name_;
+  std::vector<ExecutableDef> executables_;
+  std::vector<WorkloadDef> workloads_;
+  std::vector<analysis::FomSpec> foms_;
+  std::vector<analysis::SuccessCriterion> criteria_;
+};
+
+/// Registry of builtin application definitions (saxpy per Figure 8,
+/// amg2023, stream, osu-bcast).
+class ApplicationRegistry {
+public:
+  static ApplicationRegistry& instance();
+
+  void add(ApplicationDefinition app);
+  [[nodiscard]] const ApplicationDefinition& get(std::string_view name) const;
+  [[nodiscard]] const ApplicationDefinition* find(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+  ApplicationRegistry();
+  std::map<std::string, ApplicationDefinition, std::less<>> apps_;
+};
+
+}  // namespace benchpark::ramble

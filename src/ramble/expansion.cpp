@@ -1,0 +1,186 @@
+#include "src/ramble/expansion.hpp"
+
+#include <cctype>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::ramble {
+
+namespace {
+
+/// Tiny recursive-descent evaluator: expr := term (('+'|'-') term)*;
+/// term := factor (('*'|'/') factor)*; factor := number | '(' expr ')' |
+/// '-' factor.
+class Arith {
+public:
+  explicit Arith(std::string_view text) : text_(text) {}
+
+  long long parse() {
+    long long v = expr();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ExperimentError("bad arithmetic: '" + std::string(text_) + "'");
+    }
+    return v;
+  }
+
+private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  long long expr() {
+    long long v = term();
+    while (true) {
+      char c = peek();
+      if (c == '+') {
+        ++pos_;
+        v += term();
+      } else if (c == '-') {
+        ++pos_;
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  long long term() {
+    long long v = factor();
+    while (true) {
+      char c = peek();
+      if (c == '*') {
+        ++pos_;
+        v *= factor();
+      } else if (c == '/') {
+        ++pos_;
+        long long d = factor();
+        if (d == 0) throw ExperimentError("division by zero in expansion");
+        v /= d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  long long factor() {
+    char c = peek();
+    if (c == '(') {
+      ++pos_;
+      long long v = expr();
+      if (peek() != ')') {
+        throw ExperimentError("unbalanced parentheses in '" +
+                              std::string(text_) + "'");
+      }
+      ++pos_;
+      return v;
+    }
+    if (c == '-') {
+      ++pos_;
+      return -factor();
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw ExperimentError("bad arithmetic: '" + std::string(text_) + "'");
+    }
+    long long v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_arithmetic(std::string_view expr) {
+  if (expr.empty()) return false;
+  bool has_digit = false;
+  bool has_op = false;
+  for (char c : expr) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      has_digit = true;
+    } else if (c == '+' || c == '-' || c == '*' || c == '/' || c == '(' ||
+               c == ')') {
+      has_op = true;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return has_digit && has_op;  // a plain number needs no evaluation
+}
+
+std::string expand_rec(std::string_view text, const VariableMap& vars,
+                       int depth) {
+  if (depth > 32) {
+    throw ExperimentError("expansion did not converge (cycle?) at '" +
+                          std::string(text) + "'");
+  }
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '{') {
+      out.push_back(text[i]);
+      ++i;
+      continue;
+    }
+    auto close = text.find('}', i);
+    if (close == std::string_view::npos) {
+      throw ExperimentError("unbalanced '{' in '" + std::string(text) + "'");
+    }
+    std::string name(text.substr(i + 1, close - i - 1));
+    auto it = vars.find(name);
+    if (it != vars.end()) {
+      // A variable's value may itself reference variables or be an
+      // arithmetic expression (n_ranks = '{processes_per_node}*{n_nodes}').
+      std::string value = expand_rec(it->second, vars, depth + 1);
+      if (is_arithmetic(value)) {
+        value = std::to_string(Arith(value).parse());
+      }
+      out += value;
+    } else if (is_arithmetic(name)) {
+      out += std::to_string(Arith(name).parse());
+    } else {
+      throw ExperimentError("undefined variable '{" + name +
+                            "}' while expanding '" + std::string(text) +
+                            "'");
+    }
+    i = close + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+long long evaluate_arithmetic(std::string_view expr) {
+  return Arith(expr).parse();
+}
+
+std::string expand(std::string_view text, const VariableMap& vars) {
+  return expand_rec(text, vars, 0);
+}
+
+long long expand_int(std::string_view text, const VariableMap& vars) {
+  auto expanded = expand(text, vars);
+  try {
+    return support::parse_int(expanded);
+  } catch (const Error&) {
+    if (is_arithmetic(expanded)) return evaluate_arithmetic(expanded);
+    throw ExperimentError("'" + std::string(text) + "' expanded to '" +
+                          expanded + "', not an integer");
+  }
+}
+
+}  // namespace benchpark::ramble

@@ -1,0 +1,30 @@
+// Variable expansion: Ramble's `{var}` templating (Figures 8, 10, 12, 13).
+//
+// Expansion is recursive — values may reference other variables
+// ("mpi_command: srun -N {n_nodes} -n {n_ranks}") — and supports the
+// integer arithmetic Ramble allows in expansions ("{processes_per_node} *
+// {n_nodes}"). Unknown variables and reference cycles raise
+// ExperimentError with the offending name.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace benchpark::ramble {
+
+using VariableMap = std::map<std::string, std::string>;
+
+/// Expand every `{name}` in `text` against `vars`, recursively, then
+/// evaluate arithmetic of the form `{expr}` where expr contains only
+/// numbers and + - * / ( ).
+std::string expand(std::string_view text, const VariableMap& vars);
+
+/// Expand and parse as integer (for n_ranks etc.).
+long long expand_int(std::string_view text, const VariableMap& vars);
+
+/// Evaluate a purely arithmetic expression ("8 * 2"); throws
+/// ExperimentError when malformed. Exposed for tests.
+long long evaluate_arithmetic(std::string_view expr);
+
+}  // namespace benchpark::ramble

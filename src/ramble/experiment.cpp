@@ -1,0 +1,140 @@
+#include "src/ramble/experiment.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::ramble {
+
+ExperimentTemplate ExperimentTemplate::from_yaml(
+    const std::string& name_template, const yaml::Node& body) {
+  ExperimentTemplate tmpl;
+  tmpl.name_template = name_template;
+  if (body.has("variables")) {
+    for (const auto& [name, value] : body.at("variables").map()) {
+      if (value.is_sequence()) {
+        tmpl.vectors.emplace_back(name, value.as_string_list());
+      } else if (value.is_scalar()) {
+        tmpl.scalars[name] = value.as_string();
+      } else {
+        throw ExperimentError("experiment variable '" + name +
+                              "' must be a scalar or a list");
+      }
+    }
+  }
+  if (body.has("matrices")) {
+    for (const auto& entry : body.at("matrices").items()) {
+      if (entry.is_mapping()) {
+        // - size_threads:\n  - n\n  - n_threads
+        for (const auto& [mname, vars] : entry.map()) {
+          tmpl.matrices.emplace_back(mname, vars.as_string_list());
+        }
+      } else {
+        // Anonymous matrix: - [n, n_threads]
+        tmpl.matrices.emplace_back("matrix", entry.as_string_list());
+      }
+    }
+  }
+  return tmpl;
+}
+
+std::vector<Experiment> expand_experiments(const ExperimentTemplate& tmpl,
+                                           const VariableMap& base) {
+  // Which vector variables are consumed by matrices?
+  std::vector<std::string> matrix_vars;
+  for (const auto& [mname, vars] : tmpl.matrices) {
+    for (const auto& v : vars) {
+      if (std::find(matrix_vars.begin(), matrix_vars.end(), v) !=
+          matrix_vars.end()) {
+        throw ExperimentError("variable '" + v +
+                              "' appears in more than one matrix");
+      }
+      matrix_vars.push_back(v);
+    }
+  }
+
+  auto find_vector =
+      [&](const std::string& name) -> const std::vector<std::string>* {
+    for (const auto& [vname, values] : tmpl.vectors) {
+      if (vname == name) return &values;
+    }
+    return nullptr;
+  };
+
+  // The cross-product dimensions: one per matrix variable, in matrix
+  // declaration order.
+  struct Dimension {
+    std::vector<std::string> names;                // variables set together
+    std::vector<std::vector<std::string>> tuples;  // value tuples
+  };
+  std::vector<Dimension> dimensions;
+  for (const auto& name : matrix_vars) {
+    const auto* values = find_vector(name);
+    if (!values) {
+      throw ExperimentError("matrix references '" + name +
+                            "', which is not a vector variable");
+    }
+    Dimension dim;
+    dim.names = {name};
+    for (const auto& v : *values) dim.tuples.push_back({v});
+    dimensions.push_back(std::move(dim));
+  }
+
+  // Zip the unconsumed vector variables into one dimension.
+  Dimension zipped;
+  for (const auto& [vname, values] : tmpl.vectors) {
+    if (std::find(matrix_vars.begin(), matrix_vars.end(), vname) !=
+        matrix_vars.end()) {
+      continue;
+    }
+    if (zipped.names.empty()) {
+      zipped.names.push_back(vname);
+      for (const auto& v : values) zipped.tuples.push_back({v});
+    } else {
+      if (values.size() != zipped.tuples.size()) {
+        throw ExperimentError(
+            "zipped vector variables must have equal lengths: '" + vname +
+            "' has " + std::to_string(values.size()) + ", expected " +
+            std::to_string(zipped.tuples.size()));
+      }
+      zipped.names.push_back(vname);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        zipped.tuples[i].push_back(values[i]);
+      }
+    }
+  }
+  if (!zipped.names.empty()) dimensions.push_back(std::move(zipped));
+
+  // Walk the cross product.
+  std::vector<Experiment> experiments;
+  std::vector<std::size_t> index(dimensions.size(), 0);
+  while (true) {
+    VariableMap vars = base;
+    for (const auto& [k, v] : tmpl.scalars) vars[k] = v;
+    for (std::size_t d = 0; d < dimensions.size(); ++d) {
+      const auto& dim = dimensions[d];
+      const auto& tuple = dim.tuples[index[d]];
+      for (std::size_t k = 0; k < dim.names.size(); ++k) {
+        vars[dim.names[k]] = tuple[k];
+      }
+    }
+    Experiment exp;
+    exp.name = expand(tmpl.name_template, vars);
+    exp.variables = std::move(vars);
+    experiments.push_back(std::move(exp));
+
+    // Odometer increment; stop after the last combination.
+    std::size_t d = 0;
+    for (; d < dimensions.size(); ++d) {
+      if (++index[d] < dimensions[d].tuples.size()) break;
+      index[d] = 0;
+    }
+    if (d == dimensions.size()) break;
+    if (dimensions.empty()) break;
+  }
+  // A template with no dimensions yields exactly one experiment (handled
+  // naturally: the while body ran once and the odometer exited).
+  return experiments;
+}
+
+}  // namespace benchpark::ramble

@@ -1,0 +1,55 @@
+// Experiment generation: ramble.yaml's `experiments:` section (Figure 10).
+//
+// An experiment template has a name pattern
+// ("saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}"), variables that may be
+// scalars or vectors, and optional `matrices`. Ramble's semantics
+// (https://googlecloudplatform.github.io/ramble -> variable matrices):
+//
+//   * every vector variable named in a matrix contributes a cross-product
+//     dimension;
+//   * vector variables NOT consumed by a matrix are zipped together (they
+//     must all have the same length) into one more dimension;
+//   * scalar variables broadcast to every generated experiment.
+//
+// Figure 10's template (matrix over n x n_threads = 4, zipped
+// processes_per_node/n_nodes pairs = 2) therefore expands to 8 concrete
+// experiments — pinned by tests/test_experiment.cpp.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ramble/expansion.hpp"
+#include "src/yaml/node.hpp"
+
+namespace benchpark::ramble {
+
+/// An experiment template as parsed from ramble.yaml.
+struct ExperimentTemplate {
+  std::string name_template;
+  /// Scalar variables ({"batch_time", "120"}).
+  VariableMap scalars;
+  /// Vector variables in declaration order.
+  std::vector<std::pair<std::string, std::vector<std::string>>> vectors;
+  /// Matrices: each is a named list of vector-variable names.
+  std::vector<std::pair<std::string, std::vector<std::string>>> matrices;
+
+  /// Parse the body of one `experiments: <name>:` entry.
+  static ExperimentTemplate from_yaml(const std::string& name_template,
+                                      const yaml::Node& body);
+};
+
+/// One concrete experiment: fully determined variable assignment.
+struct Experiment {
+  std::string name;       // expanded name template
+  VariableMap variables;  // complete assignment (scalars + vector picks)
+};
+
+/// Expand a template into its concrete experiments. `base` supplies
+/// variables visible to the name expansion (workload defaults, system
+/// variables); experiment variables win on conflict.
+std::vector<Experiment> expand_experiments(const ExperimentTemplate& tmpl,
+                                           const VariableMap& base = {});
+
+}  // namespace benchpark::ramble

@@ -1,0 +1,108 @@
+#include "src/ramble/modifier.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::ramble {
+
+namespace {
+
+class CaliperModifier final : public Modifier {
+public:
+  CaliperModifier() : Modifier("caliper") {}
+
+  [[nodiscard]] std::map<std::string, std::string> env_vars() const override {
+    // Always-on profiling, the configuration Section 5 plans for.
+    return {{"CALI_CONFIG", "spot(output={experiment_name}.cali)"}};
+  }
+
+  [[nodiscard]] std::vector<analysis::FomSpec> foms() const override {
+    return {
+        {"cali_main", R"(main\s+([0-9.eE+-]+) s)", "time", "s"},
+        {"cali_kernel", R"(main/kernel\s+([0-9.eE+-]+) s)", "time", "s"},
+        {"cali_mpi", R"(main/mpi\s+([0-9.eE+-]+) s)", "time", "s"},
+    };
+  }
+
+  [[nodiscard]] std::vector<analysis::SuccessCriterion> success_criteria()
+      const override {
+    return {{"caliper-profile", "caliper: region profile"}};
+  }
+};
+
+class HardwareCountersModifier final : public Modifier {
+public:
+  HardwareCountersModifier() : Modifier("hardware-counters") {}
+
+  [[nodiscard]] std::map<std::string, std::string> env_vars() const override {
+    return {{"BENCHPARK_PERF_COUNTERS", "1"}};
+  }
+
+  [[nodiscard]] std::vector<analysis::FomSpec> foms() const override {
+    return {
+        {"cycles", R"(counter cycles: (\d+))", "count", ""},
+        {"instructions", R"(counter instructions: (\d+))", "count", ""},
+        {"l3_misses", R"(counter l3_misses: (\d+))", "count", ""},
+        {"ipc", R"(counter ipc: ([0-9.]+))", "ratio", ""},
+    };
+  }
+};
+
+class TimeModifier final : public Modifier {
+public:
+  TimeModifier() : Modifier("time") {}
+
+  [[nodiscard]] std::string command_prefix() const override {
+    return "/usr/bin/time -v";
+  }
+
+  [[nodiscard]] std::vector<analysis::FomSpec> foms() const override {
+    return {{"max_rss_kb",
+             R"(Maximum resident set size \(kbytes\): (\d+))", "mem",
+             "KB"}};
+  }
+};
+
+}  // namespace
+
+ModifierRegistry& ModifierRegistry::instance() {
+  static ModifierRegistry registry;
+  return registry;
+}
+
+ModifierRegistry::ModifierRegistry() {
+  modifiers_.push_back(std::make_shared<CaliperModifier>());
+  modifiers_.push_back(std::make_shared<HardwareCountersModifier>());
+  modifiers_.push_back(std::make_shared<TimeModifier>());
+}
+
+void ModifierRegistry::add(std::shared_ptr<const Modifier> modifier) {
+  if (!modifier) throw ExperimentError("null modifier");
+  // Replace same-named modifier (overlay semantics).
+  for (auto& existing : modifiers_) {
+    if (existing->name() == modifier->name()) {
+      existing = std::move(modifier);
+      return;
+    }
+  }
+  modifiers_.push_back(std::move(modifier));
+}
+
+std::shared_ptr<const Modifier> ModifierRegistry::get(
+    std::string_view name) const {
+  for (const auto& m : modifiers_) {
+    if (m->name() == name) return m;
+  }
+  throw ExperimentError("unknown modifier '" + std::string(name) +
+                        "'; available: caliper, hardware-counters, time");
+}
+
+std::vector<std::string> ModifierRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(modifiers_.size());
+  for (const auto& m : modifiers_) out.push_back(m->name());
+  return out;
+}
+
+}  // namespace benchpark::ramble

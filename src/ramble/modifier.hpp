@@ -1,0 +1,78 @@
+// Ramble modifiers (Section 3.2: "abstract modifiers for changing the
+// behavior of the experiments in repeatable ways"; Section 4.5: "Ramble
+// also provides the modifier construct to capture architecture-specific
+// FOMs (e.g., hardware counters); we are currently working on the
+// implementation of these more advanced evaluation techniques").
+//
+// A modifier decorates every experiment of a workload without touching
+// the benchmark or system specifications: it can inject environment
+// variables (how Caliper's always-on profiling is switched on), prefix
+// the command line (a `time -v` style wrapper), and contribute extra
+// figures of merit + success criteria that `ramble workspace analyze`
+// extracts alongside the application's own.
+//
+// Builtin modifiers:
+//   caliper           — sets CALI_CONFIG=spot; annotated binaries then
+//                       print a region profile; adds per-region FOMs
+//                       (Section 5's Caliper plan)
+//   hardware-counters — sets BENCHPARK_PERF_COUNTERS=1; the (simulated)
+//                       runtime prints modeled counter totals; adds
+//                       cycles/instructions/L3-miss FOMs (Table 1's
+//                       "(optional) hardware counters, etc.")
+//   time              — prefixes the command with /usr/bin/time -v and
+//                       extracts the MaxRSS figure of merit
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/fom.hpp"
+
+namespace benchpark::ramble {
+
+class Modifier {
+public:
+  explicit Modifier(std::string name) : name_(std::move(name)) {}
+  virtual ~Modifier() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Environment variables to inject into every experiment.
+  [[nodiscard]] virtual std::map<std::string, std::string> env_vars() const {
+    return {};
+  }
+  /// Prefix prepended to the launched command ("" = none).
+  [[nodiscard]] virtual std::string command_prefix() const { return ""; }
+  /// Extra figures of merit to extract from the output.
+  [[nodiscard]] virtual std::vector<analysis::FomSpec> foms() const {
+    return {};
+  }
+  /// Extra success criteria (all must match).
+  [[nodiscard]] virtual std::vector<analysis::SuccessCriterion>
+  success_criteria() const {
+    return {};
+  }
+
+private:
+  std::string name_;
+};
+
+/// Registry of modifiers addressable from ramble.yaml
+/// (`modifiers: [caliper]`).
+class ModifierRegistry {
+public:
+  static ModifierRegistry& instance();
+
+  void add(std::shared_ptr<const Modifier> modifier);
+  [[nodiscard]] std::shared_ptr<const Modifier> get(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+  ModifierRegistry();
+  std::vector<std::shared_ptr<const Modifier>> modifiers_;
+};
+
+}  // namespace benchpark::ramble

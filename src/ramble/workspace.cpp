@@ -1,0 +1,459 @@
+#include "src/ramble/workspace.hpp"
+
+#include <algorithm>
+
+#include "src/concretizer/concretizer.hpp"
+#include "src/pkg/repo.hpp"
+#include "src/ramble/modifier.hpp"
+#include "src/runtime/simexec.hpp"
+#include "src/support/error.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/support/string_util.hpp"
+#include "src/yaml/emitter.hpp"
+
+namespace benchpark::ramble {
+
+namespace fs = std::filesystem;
+using support::contains;
+
+// ------------------------------------------------------------ WorkspaceConfig
+
+WorkspaceConfig WorkspaceConfig::from_yaml(const yaml::Node& ramble_yaml) {
+  WorkspaceConfig config;
+  const yaml::Node& body = ramble_yaml.has("ramble")
+                               ? ramble_yaml.at("ramble")
+                               : ramble_yaml;
+  if (body.has("include")) {
+    config.includes = body.at("include").as_string_list();
+  }
+  if (body.has("applications")) {
+    for (const auto& [app_name, app_body] : body.at("applications").map()) {
+      AppConfig app;
+      app.app = app_name;
+      for (const auto& [wl_name, wl_body] :
+           app_body.at("workloads").map()) {
+        WorkloadConfig wl;
+        wl.name = wl_name;
+        const auto& env_set = wl_body.path("env_vars.set");
+        if (env_set.is_mapping()) {
+          for (const auto& [k, v] : env_set.map()) {
+            wl.env_vars[k] = v.as_string();
+          }
+        }
+        if (wl_body.has("variables")) {
+          for (const auto& [k, v] : wl_body.at("variables").map()) {
+            wl.variables[k] = v.as_string();
+          }
+        }
+        if (wl_body.has("modifiers")) {
+          wl.modifiers = wl_body.at("modifiers").as_string_list();
+        }
+        if (wl_body.has("experiments")) {
+          for (const auto& [exp_name, exp_body] :
+               wl_body.at("experiments").map()) {
+            wl.experiments.push_back(
+                ExperimentTemplate::from_yaml(exp_name, exp_body));
+          }
+        }
+        app.workloads.push_back(std::move(wl));
+      }
+      config.applications.push_back(std::move(app));
+    }
+  }
+  const yaml::Node& spack = body.at("spack");
+  if (spack.has("packages")) {
+    for (const auto& [alias, pkg_body] : spack.at("packages").map()) {
+      SpackPackageDef def;
+      def.alias = alias;
+      def.spack_spec = pkg_body.at("spack_spec").as_string();
+      def.compiler = pkg_body.at("compiler").as_string_or("");
+      config.spack_packages.push_back(std::move(def));
+    }
+  }
+  if (spack.has("environments")) {
+    for (const auto& [env_name, env_body] : spack.at("environments").map()) {
+      SpackEnvDef def;
+      def.name = env_name;
+      def.packages = env_body.at("packages").as_string_list();
+      config.spack_environments.push_back(std::move(def));
+    }
+  }
+  return config;
+}
+
+const WorkspaceConfig::SpackPackageDef* WorkspaceConfig::find_package(
+    std::string_view alias) const {
+  for (const auto& p : spack_packages) {
+    if (p.alias == alias) return &p;
+  }
+  return nullptr;
+}
+
+const WorkspaceConfig::SpackEnvDef* WorkspaceConfig::find_environment(
+    std::string_view name) const {
+  for (const auto& e : spack_environments) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------------ results
+
+const analysis::FomValue* ExperimentResult::fom(std::string_view name) const {
+  for (const auto& f : foms) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::size_t AnalyzeReport::num_success() const {
+  return static_cast<std::size_t>(
+      std::count_if(results.begin(), results.end(),
+                    [](const ExperimentResult& r) { return r.success; }));
+}
+
+support::Table AnalyzeReport::to_table() const {
+  support::Table table({"experiment", "application", "status", "figures of merit"});
+  for (const auto& r : results) {
+    std::string foms;
+    for (const auto& f : r.foms) {
+      if (!foms.empty()) foms += ", ";
+      foms += f.name + "=" + f.raw + (f.units.empty() ? "" : " " + f.units);
+    }
+    table.add_row({r.name, r.app,
+                   r.ran ? (r.success ? "SUCCESS" : "FAILED") : "NOT RUN",
+                   foms});
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------- Workspace
+
+Workspace::Workspace(fs::path root, system::SystemDescription system)
+    : root_(std::move(root)),
+      system_(std::move(system)),
+      repos_(pkg::default_repo_stack()),
+      execute_template_(default_execute_template()),
+      install_tree_((root_ / "software" / "install").string()),
+      cache_(std::make_unique<buildcache::BinaryCache>()) {}
+
+Workspace Workspace::create(fs::path root,
+                            const system::SystemDescription& system) {
+  Workspace ws(std::move(root), system);
+  // The self-contained directory structure of Section 3.2.1.
+  for (const char* sub :
+       {"configs", "experiments", "software", "inputs", "logs"}) {
+    support::ensure_dir(ws.root_ / sub);
+  }
+  // System configuration lands in configs/ (Figure 1a lines 4-19).
+  support::write_file(ws.root_ / "configs" / "variables.yaml",
+                      yaml::emit(system.variables_yaml()));
+  support::write_file(ws.root_ / "configs" / "packages.yaml",
+                      yaml::emit(system.config.packages_yaml()));
+  support::write_file(ws.root_ / "configs" / "compilers.yaml",
+                      yaml::emit(system.config.compilers_yaml()));
+  support::write_file(ws.root_ / "configs" / "execute_experiment.tpl",
+                      ws.execute_template_);
+  return ws;
+}
+
+void Workspace::configure(const yaml::Node& ramble_yaml) {
+  config_ = WorkspaceConfig::from_yaml(ramble_yaml);
+  support::write_file(root_ / "configs" / "ramble.yaml",
+                      yaml::emit(ramble_yaml));
+  configured_ = true;
+  set_up_ = false;
+  ran_ = false;
+}
+
+void Workspace::set_repo_stack(pkg::RepoStack repos) {
+  repos_ = std::move(repos);
+  set_up_ = false;
+}
+
+void Workspace::set_execute_template(std::string template_text) {
+  execute_template_ = std::move(template_text);
+  support::write_file(root_ / "configs" / "execute_experiment.tpl",
+                      execute_template_);
+}
+
+std::string Workspace::default_execute_template() {
+  // Figure 13, verbatim.
+  return
+      "#!/bin/bash\n"
+      "{batch_nodes}\n"
+      "{batch_ranks}\n"
+      "{batch_timeout}\n"
+      "cd {experiment_run_dir}\n"
+      "{spack_setup}\n"
+      "{command}\n";
+}
+
+VariableMap Workspace::base_variables() const {
+  VariableMap vars;
+  // System-level variables (Figure 12).
+  auto system_vars = system_.variables_yaml();
+  for (const auto& [k, v] : system_vars.at("variables").map()) {
+    if (v.is_scalar()) vars[k] = v.as_string();
+  }
+  // Ramble builtins and derived defaults.
+  vars["batch_time"] = "120";
+  vars["n_nodes"] = "1";
+  vars["n_threads"] = "1";
+  vars["processes_per_node"] = std::to_string(system_.cpu.cores_per_node);
+  vars["n_ranks"] = "{processes_per_node}*{n_nodes}";
+  vars["workspace_root"] = root_.string();
+  vars["spack_setup"] =
+      ". " + (root_ / "software" / "spack" / "setup-env.sh").string();
+  return vars;
+}
+
+void Workspace::setup_software() {
+  concretizer::Concretizer concretizer(repos_, system_.config);
+  environments_.clear();
+  install_report_ = {};
+  install::Installer installer(repos_, &install_tree_, cache_.get());
+
+  for (const auto& env_def : config_.spack_environments) {
+    env::Environment environment;
+    for (const auto& alias : env_def.packages) {
+      const auto* pkg_def = config_.find_package(alias);
+      if (!pkg_def) {
+        throw ExperimentError("spack environment '" + env_def.name +
+                              "' references unknown package alias '" +
+                              alias + "'");
+      }
+      auto spec = spec::Spec::parse(pkg_def->spack_spec);
+      // A compiler alias points at another package def whose spack_spec
+      // names the compiler (Figure 10 line 35 -> Figure 9 line 3).
+      if (!pkg_def->compiler.empty()) {
+        const auto* comp_def = config_.find_package(pkg_def->compiler);
+        if (!comp_def) {
+          throw ExperimentError("package alias '" + alias +
+                                "' references unknown compiler alias '" +
+                                pkg_def->compiler + "'");
+        }
+        auto comp_spec = spec::Spec::parse(comp_def->spack_spec);
+        spec.set_compiler(
+            {comp_spec.name(), comp_spec.versions()});
+      }
+      environment.add(std::move(spec));
+    }
+    environment.concretize(concretizer);
+    auto report = environment.install_all(installer);
+    install_report_.total_simulated_seconds +=
+        report.total_simulated_seconds;
+    install_report_.from_source += report.from_source;
+    install_report_.from_cache += report.from_cache;
+    install_report_.externals += report.externals;
+    install_report_.already_installed += report.already_installed;
+    install_report_.build_log += report.build_log;
+
+    // Persist the lockfile: the reproducibility artifact of Section 5.
+    support::write_file(
+        root_ / "software" / (env_def.name + ".lock.yaml"),
+        yaml::emit(environment.lockfile()));
+    environments_.emplace_back(env_def.name, std::move(environment));
+  }
+}
+
+const env::Environment* Workspace::environment_for(
+    std::string_view app) const {
+  for (const auto& [name, environment] : environments_) {
+    if (name == app) return &environment;
+  }
+  return nullptr;
+}
+
+void Workspace::generate_experiments() {
+  prepared_.clear();
+  const auto& registry = ApplicationRegistry::instance();
+  for (const auto& app_config : config_.applications) {
+    const auto& app_def = registry.get(app_config.app);
+
+    // GPU experiments are identified by the spack spec's GPU variant.
+    bool use_gpu = false;
+    if (const auto* pkg_def = config_.find_package(app_config.app)) {
+      use_gpu = contains(pkg_def->spack_spec, "+cuda") ||
+                contains(pkg_def->spack_spec, "+rocm");
+    }
+
+    for (const auto& wl_config : app_config.workloads) {
+      const auto* wl_def = app_def.find_workload(wl_config.name);
+      if (!wl_def) {
+        throw ExperimentError("application '" + app_config.app +
+                              "' has no workload '" + wl_config.name + "'");
+      }
+      VariableMap base = base_variables();
+      for (const auto& wv : wl_def->variables) {
+        base[wv.name] = wv.default_value;
+      }
+      for (const auto& [k, v] : wl_config.variables) base[k] = v;
+
+      for (const auto& tmpl : wl_config.experiments) {
+        for (auto& exp : expand_experiments(tmpl, base)) {
+          PreparedExperiment prepared;
+          prepared.app = app_config.app;
+          prepared.workload = wl_config.name;
+          prepared.name = exp.name;
+          prepared.variables = std::move(exp.variables);
+          prepared.env_vars = wl_config.env_vars;
+          prepared.modifiers = wl_config.modifiers;
+          // Modifiers inject their environment (e.g. CALI_CONFIG) into
+          // every experiment of the workload (Section 4.5).
+          for (const auto& mod_name : prepared.modifiers) {
+            auto modifier = ModifierRegistry::instance().get(mod_name);
+            for (const auto& [k, v] : modifier->env_vars()) {
+              prepared.env_vars.emplace(k, v);  // workload values win
+            }
+          }
+          prepared.use_gpu = use_gpu;
+          prepared.run_dir = root_ / "experiments" / prepared.app /
+                             prepared.workload / prepared.name;
+          prepared.variables["experiment_name"] = prepared.name;
+          prepared.variables["experiment_run_dir"] =
+              prepared.run_dir.string();
+          prepared.script = render_script(prepared);
+
+          support::ensure_dir(prepared.run_dir);
+          support::write_file(prepared.run_dir / "execute_experiment",
+                              prepared.script);
+          prepared_.push_back(std::move(prepared));
+        }
+      }
+    }
+  }
+}
+
+std::string Workspace::render_script(const PreparedExperiment& exp) const {
+  const auto& app_def = ApplicationRegistry::instance().get(exp.app);
+  VariableMap vars = exp.variables;
+
+  // Build {command}: every executable of the workload, MPI-launched when
+  // the definition says so, with env_vars exported first.
+  std::string command;
+  for (const auto& [k, v] : exp.env_vars) {
+    command += "export " + k + "=" + expand(v, vars) + "\n";
+  }
+  // Modifier wrappers prefix the launched command ("/usr/bin/time -v").
+  std::string prefix;
+  for (const auto& mod_name : exp.modifiers) {
+    auto modifier = ModifierRegistry::instance().get(mod_name);
+    if (!modifier->command_prefix().empty()) {
+      prefix += modifier->command_prefix() + " ";
+    }
+  }
+  for (const auto* exe : app_def.workload_executables(exp.workload)) {
+    std::string line = prefix + exe->command_template;
+    if (exe->use_mpi) line = "{mpi_command} " + line;
+    command += expand(line, vars) + "\n";
+  }
+  if (!command.empty() && command.back() == '\n') command.pop_back();
+  vars["command"] = command;
+  return expand(execute_template_, vars);
+}
+
+void Workspace::setup() {
+  if (!configured_) {
+    throw ExperimentError("workspace has no ramble.yaml; call configure()");
+  }
+  setup_software();
+  generate_experiments();
+  set_up_ = true;
+}
+
+void Workspace::run() {
+  if (!set_up_) throw ExperimentError("workspace is not set up");
+  sched::BatchScheduler scheduler(system_.num_nodes);
+
+  std::vector<sched::JobId> job_ids;
+  job_ids.reserve(prepared_.size());
+  for (const auto& exp : prepared_) {
+    // The rendered script is the source of truth for the request —
+    // exactly what sbatch would read (Figure 13).
+    auto request = sched::parse_batch_script(exp.script, system_.scheduler);
+
+    runtime::RunParams params;
+    params.app = exp.app;
+    auto size_var = exp.variables.find("n");
+    if (size_var == exp.variables.end()) {
+      size_var = exp.variables.find("nx");
+    }
+    if (size_var != exp.variables.end()) {
+      params.n = static_cast<std::uint64_t>(
+          expand_int(size_var->second, exp.variables));
+    }
+    params.n_nodes = request.nodes;
+    params.n_ranks = request.ranks;
+    params.n_threads = static_cast<int>(
+        expand_int(exp.variables.at("n_threads"), exp.variables));
+    params.use_gpu = exp.use_gpu;
+    // The job environment (workload env_vars + modifier injections),
+    // expanded against the experiment's variables.
+    for (const auto& [k, v] : exp.env_vars) {
+      params.env[k] = expand(v, exp.variables);
+    }
+
+    sched::BatchJob job;
+    job.name = exp.name;
+    job.user = "benchpark";
+    job.nodes = request.nodes;
+    job.ranks = request.ranks;
+    job.time_limit_seconds = request.time_limit_seconds.value_or(7200);
+    const auto& system = system_;
+    job.work = [&system, params] {
+      auto outcome = system.name == "native"
+                         ? runtime::run_native(params)
+                         : runtime::run_simulated(system, params);
+      return sched::JobResult{outcome.elapsed_seconds, outcome.success,
+                              outcome.output};
+    };
+    job_ids.push_back(scheduler.submit(std::move(job)));
+  }
+  scheduler.run_until_idle();
+
+  for (std::size_t i = 0; i < prepared_.size(); ++i) {
+    const auto& record = scheduler.record(job_ids[i]);
+    support::write_file(
+        prepared_[i].run_dir / (prepared_[i].name + ".out"), record.output);
+  }
+  ran_ = true;
+}
+
+AnalyzeReport Workspace::analyze() const {
+  AnalyzeReport report;
+  const auto& registry = ApplicationRegistry::instance();
+  for (const auto& exp : prepared_) {
+    ExperimentResult result;
+    result.app = exp.app;
+    result.workload = exp.workload;
+    result.name = exp.name;
+    result.variables = exp.variables;
+
+    auto out_file = exp.run_dir / (exp.name + ".out");
+    if (fs::exists(out_file)) {
+      result.ran = true;
+      auto output = support::read_file(out_file);
+      const auto& app_def = registry.get(exp.app);
+      // Application FOMs plus every active modifier's FOMs and criteria
+      // (Section 4.5's architecture-specific evaluation).
+      auto fom_specs = app_def.foms();
+      auto criteria = app_def.success_criteria_list();
+      for (const auto& mod_name : exp.modifiers) {
+        auto modifier = ModifierRegistry::instance().get(mod_name);
+        auto extra_foms = modifier->foms();
+        fom_specs.insert(fom_specs.end(), extra_foms.begin(),
+                         extra_foms.end());
+        auto extra_criteria = modifier->success_criteria();
+        criteria.insert(criteria.end(), extra_criteria.begin(),
+                        extra_criteria.end());
+      }
+      result.foms = analysis::extract_foms(fom_specs, output);
+      result.success = analysis::evaluate_success(criteria, output);
+    }
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace benchpark::ramble

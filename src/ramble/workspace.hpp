@@ -1,0 +1,180 @@
+// Ramble workspaces (Section 3.2): "a self contained directory
+// representing a set of experiments", configured by ramble.yaml and at
+// least one template execution script.
+//
+// The five workflow verbs (Figure 5) map to:
+//   ramble workspace create  -> Workspace::create
+//   ramble workspace edit    -> Workspace::configure (apply ramble.yaml)
+//   ramble workspace setup   -> Workspace::setup
+//   ramble on                -> Workspace::run
+//   ramble workspace analyze -> Workspace::analyze
+//
+// setup() does what Section 3.2.3 lists: ensures compilers are available,
+// installs software with Spack (our env/install engines), creates an
+// execution directory per experiment, and renders every template.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/fom.hpp"
+#include "src/buildcache/binary_cache.hpp"
+#include "src/env/environment.hpp"
+#include "src/install/installer.hpp"
+#include "src/pkg/repo.hpp"
+#include "src/ramble/application.hpp"
+#include "src/ramble/experiment.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/support/table.hpp"
+#include "src/system/system.hpp"
+#include "src/yaml/node.hpp"
+
+namespace benchpark::ramble {
+
+/// The workspace-level model of ramble.yaml (Figure 10).
+struct WorkspaceConfig {
+  struct SpackPackageDef {
+    std::string alias;       // "default-mpi", "saxpy"
+    std::string spack_spec;  // "saxpy@1.0.0 +openmp ^cmake@3.23.1"
+    std::string compiler;    // alias of a compiler package def ("" = default)
+  };
+  struct SpackEnvDef {
+    std::string name;                     // environment (application) name
+    std::vector<std::string> packages;    // aliases
+  };
+  struct WorkloadConfig {
+    std::string name;
+    VariableMap env_vars;    // workload env_vars: set: {...}
+    VariableMap variables;   // workload-level variables
+    std::vector<std::string> modifiers;  // Section 4.5 modifier names
+    std::vector<ExperimentTemplate> experiments;
+  };
+  struct AppConfig {
+    std::string app;
+    std::vector<WorkloadConfig> workloads;
+  };
+
+  std::vector<std::string> includes;
+  std::vector<AppConfig> applications;
+  std::vector<SpackPackageDef> spack_packages;
+  std::vector<SpackEnvDef> spack_environments;
+
+  static WorkspaceConfig from_yaml(const yaml::Node& ramble_yaml);
+
+  [[nodiscard]] const SpackPackageDef* find_package(
+      std::string_view alias) const;
+  [[nodiscard]] const SpackEnvDef* find_environment(
+      std::string_view name) const;
+};
+
+/// A fully generated experiment, ready for submission.
+struct PreparedExperiment {
+  std::string app;
+  std::string workload;
+  std::string name;
+  VariableMap variables;
+  VariableMap env_vars;
+  std::vector<std::string> modifiers;  // active modifier names
+  std::filesystem::path run_dir;
+  std::string script;   // rendered execute_experiment
+  bool use_gpu = false; // derived from the app's spack spec (+cuda/+rocm)
+};
+
+/// Result of one analyzed experiment.
+struct ExperimentResult {
+  std::string app;
+  std::string workload;
+  std::string name;
+  bool ran = false;
+  bool success = false;
+  std::vector<analysis::FomValue> foms;
+  VariableMap variables;
+
+  [[nodiscard]] const analysis::FomValue* fom(std::string_view name) const;
+};
+
+struct AnalyzeReport {
+  std::vector<ExperimentResult> results;
+  [[nodiscard]] std::size_t num_success() const;
+  [[nodiscard]] support::Table to_table() const;
+};
+
+class Workspace {
+public:
+  /// `ramble workspace create`: lay out the directory structure.
+  static Workspace create(std::filesystem::path root,
+                          const system::SystemDescription& system);
+
+  /// `ramble workspace edit`: apply a ramble.yaml document.
+  void configure(const yaml::Node& ramble_yaml);
+
+  /// Override the execution template (default is Figure 13's).
+  void set_execute_template(std::string template_text);
+
+  /// Override the package repositories consulted during setup (the
+  /// `repo/` overlay mechanism of Figure 1a: community recipes shadow
+  /// the builtin repo). Default: pkg::default_repo_stack().
+  void set_repo_stack(pkg::RepoStack repos);
+
+  /// `ramble workspace setup`.
+  void setup();
+
+  /// `ramble on`: execute every prepared experiment through the system's
+  /// batch scheduler (simulated; "native" runs kernels for real).
+  void run();
+
+  /// `ramble workspace analyze`.
+  [[nodiscard]] AnalyzeReport analyze() const;
+
+  // -- introspection ------------------------------------------------------
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+  [[nodiscard]] const system::SystemDescription& target_system() const {
+    return system_;
+  }
+  [[nodiscard]] const std::vector<PreparedExperiment>& prepared() const {
+    return prepared_;
+  }
+  [[nodiscard]] const WorkspaceConfig& config() const { return config_; }
+  [[nodiscard]] const install::InstallReport& install_report() const {
+    return install_report_;
+  }
+  [[nodiscard]] bool is_set_up() const { return set_up_; }
+  [[nodiscard]] bool has_run() const { return ran_; }
+  /// The environment built for an application (after setup()).
+  [[nodiscard]] const env::Environment* environment_for(
+      std::string_view app) const;
+
+  /// The default Figure 13 template.
+  static std::string default_execute_template();
+
+private:
+  Workspace(std::filesystem::path root, system::SystemDescription system);
+
+  [[nodiscard]] VariableMap base_variables() const;
+  void setup_software();
+  void generate_experiments();
+  [[nodiscard]] std::string render_script(
+      const PreparedExperiment& exp) const;
+
+  std::filesystem::path root_;
+  system::SystemDescription system_;
+  pkg::RepoStack repos_;
+  WorkspaceConfig config_;
+  std::string execute_template_;
+  bool configured_ = false;
+  bool set_up_ = false;
+  bool ran_ = false;
+
+  std::vector<std::pair<std::string, env::Environment>> environments_;
+  install::InstallTree install_tree_;
+  // unique_ptr: the cache holds a mutex, which would otherwise pin the
+  // workspace in place (Workspace::create returns by value).
+  std::unique_ptr<buildcache::BinaryCache> cache_;
+  install::InstallReport install_report_;
+  std::vector<PreparedExperiment> prepared_;
+};
+
+}  // namespace benchpark::ramble

@@ -1,0 +1,248 @@
+#include "src/sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::sched {
+
+using support::split;
+using support::split_ws;
+using support::starts_with;
+using support::trim;
+
+std::string_view job_state_name(JobState s) {
+  switch (s) {
+    case JobState::pending: return "PENDING";
+    case JobState::running: return "RUNNING";
+    case JobState::completed: return "COMPLETED";
+    case JobState::failed: return "FAILED";
+    case JobState::timeout: return "TIMEOUT";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- script parse
+
+namespace {
+
+/// Parse "120:00" (minutes:seconds), "120" (minutes), or "2:00:00".
+double parse_time_limit(const std::string& text) {
+  auto parts = split(text, ':');
+  try {
+    if (parts.size() == 1) return support::parse_double(parts[0]) * 60;
+    if (parts.size() == 2) {
+      return support::parse_double(parts[0]) * 60 +
+             support::parse_double(parts[1]);
+    }
+    if (parts.size() == 3) {
+      return support::parse_double(parts[0]) * 3600 +
+             support::parse_double(parts[1]) * 60 +
+             support::parse_double(parts[2]);
+    }
+  } catch (const Error&) {
+    // fall through to the throw below
+  }
+  throw SchedulerError("bad time limit '" + text + "'");
+}
+
+void apply_flag(ScriptRequest& req, const std::string& flag,
+                const std::string& value, system::SchedulerKind kind) {
+  try {
+    if (flag == "-N" || flag == "--nodes" || flag == "-nnodes") {
+      req.nodes = static_cast<int>(support::parse_int(value));
+    } else if (flag == "-n" || flag == "--ntasks") {
+      req.ranks = static_cast<int>(support::parse_int(value));
+    } else if (flag == "-t" || flag == "--time" || flag == "-W") {
+      if (kind == system::SchedulerKind::flux &&
+          support::ends_with(value, "m")) {
+        req.time_limit_seconds =
+            support::parse_double(value.substr(0, value.size() - 1)) * 60;
+      } else {
+        req.time_limit_seconds = parse_time_limit(value);
+      }
+    }
+    // Unknown flags are tolerated (real schedulers have dozens).
+  } catch (const SchedulerError&) {
+    throw;
+  } catch (const Error&) {
+    throw SchedulerError("bad value '" + value + "' for " + flag);
+  }
+}
+
+}  // namespace
+
+ScriptRequest parse_batch_script(const std::string& script,
+                                 system::SchedulerKind kind) {
+  std::string sentinel;
+  switch (kind) {
+    case system::SchedulerKind::slurm: sentinel = "#SBATCH"; break;
+    case system::SchedulerKind::lsf: sentinel = "#BSUB"; break;
+    case system::SchedulerKind::flux: sentinel = "#flux:"; break;
+  }
+  ScriptRequest req;
+  for (const auto& raw : split(script, '\n')) {
+    auto line = trim(raw);
+    if (!starts_with(line, sentinel)) continue;
+    auto tokens = split_ws(line.substr(sentinel.size()));
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const auto& tok = tokens[i];
+      if (!starts_with(tok, "-")) continue;
+      // "--time=2:00:00" form.
+      auto eq = tok.find('=');
+      if (eq != std::string::npos) {
+        apply_flag(req, tok.substr(0, eq), tok.substr(eq + 1), kind);
+      } else if (i + 1 < tokens.size()) {
+        apply_flag(req, tok, tokens[i + 1], kind);
+        ++i;
+      } else {
+        throw SchedulerError("directive flag '" + tok + "' missing a value");
+      }
+    }
+  }
+  if (req.nodes < 1 || req.ranks < 1) {
+    throw SchedulerError("batch script requests no resources");
+  }
+  return req;
+}
+
+// ------------------------------------------------------------ BatchScheduler
+
+BatchScheduler::BatchScheduler(int total_nodes, Policy policy)
+    : total_nodes_(total_nodes), policy_(policy) {
+  if (total_nodes < 1) throw SchedulerError("scheduler needs >= 1 node");
+}
+
+JobId BatchScheduler::submit(BatchJob job) {
+  if (job.nodes < 1) throw SchedulerError("job requests no nodes");
+  if (job.nodes > total_nodes_) {
+    throw SchedulerError("job '" + job.name + "' requests " +
+                         std::to_string(job.nodes) + " nodes; system has " +
+                         std::to_string(total_nodes_));
+  }
+  if (!job.work) throw SchedulerError("job has no work callback");
+  JobId id = next_id_++;
+  JobRecord record;
+  record.id = id;
+  record.name = job.name;
+  record.user = job.user;
+  record.nodes = job.nodes;
+  record.ranks = job.ranks;
+  record.time_limit_seconds = job.time_limit_seconds;
+  record.submit_time = now_;
+  records_.emplace(id, std::move(record));
+  pending_work_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  return id;
+}
+
+void BatchScheduler::run_until_idle() {
+  try_start_jobs();
+  while (!running_.empty()) {
+    finish_next();
+    try_start_jobs();
+  }
+  if (!queue_.empty()) {
+    throw SchedulerError("scheduler wedged with pending jobs");  // unreachable
+  }
+}
+
+bool BatchScheduler::can_backfill(const JobRecord& candidate) const {
+  // EASY backfill: the candidate may start now if it finishes (by its
+  // walltime limit) before the earliest time the queue head could start.
+  if (queue_.empty()) return true;
+  const JobRecord& head = records_.at(queue_.front());
+  // Earliest head start: walk running jobs in end-time order until enough
+  // nodes free up.
+  auto running = running_;
+  std::sort(running.begin(), running.end(),
+            [](const Running& a, const Running& b) {
+              return a.end_time < b.end_time;
+            });
+  int free_nodes = total_nodes_ - busy_nodes_;
+  double head_start = now_;
+  for (const auto& r : running) {
+    if (free_nodes >= head.nodes) break;
+    free_nodes += records_.at(r.id).nodes;
+    head_start = r.end_time;
+  }
+  // Candidate must fit now and not delay the head.
+  return now_ + candidate.time_limit_seconds <= head_start;
+}
+
+void BatchScheduler::try_start_jobs() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      JobId id = queue_[i];
+      const JobRecord& record = records_.at(id);
+      int free_nodes = total_nodes_ - busy_nodes_;
+      if (record.nodes > free_nodes) continue;
+      bool is_head = (i == 0);
+      if (!is_head && policy_ == Policy::fifo) break;
+      if (!is_head && policy_ == Policy::backfill &&
+          !can_backfill(record)) {
+        continue;
+      }
+      queue_.erase(queue_.begin() + static_cast<long>(i));
+      start_job(id);
+      progress = true;
+      break;
+    }
+  }
+}
+
+void BatchScheduler::start_job(JobId id) {
+  JobRecord& record = records_.at(id);
+  BatchJob job = std::move(pending_work_.at(id));
+  pending_work_.erase(id);
+
+  record.state = JobState::running;
+  record.start_time = now_;
+  busy_nodes_ += record.nodes;
+
+  JobResult result = job.work();
+  double runtime = std::max(0.0, result.runtime_seconds);
+  if (runtime > record.time_limit_seconds) {
+    record.state = JobState::timeout;
+    record.output = result.output + "\nslurmstepd: *** JOB " +
+                    std::to_string(id) + " CANCELLED DUE TO TIME LIMIT ***\n";
+    runtime = record.time_limit_seconds;
+  } else {
+    record.state = result.success ? JobState::completed : JobState::failed;
+    record.output = result.output;
+  }
+  running_.push_back({id, now_ + runtime});
+}
+
+void BatchScheduler::finish_next() {
+  auto it = std::min_element(running_.begin(), running_.end(),
+                             [](const Running& a, const Running& b) {
+                               return a.end_time < b.end_time;
+                             });
+  now_ = it->end_time;
+  JobRecord& record = records_.at(it->id);
+  record.end_time = now_;
+  busy_nodes_ -= record.nodes;
+  makespan_ = std::max(makespan_, now_);
+  running_.erase(it);
+}
+
+const JobRecord& BatchScheduler::record(JobId id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw SchedulerError("unknown job id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<const JobRecord*> BatchScheduler::records() const {
+  std::vector<const JobRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(&record);
+  return out;
+}
+
+}  // namespace benchpark::sched

@@ -1,0 +1,120 @@
+// Batch scheduler simulation (Slurm/LSF/Flux-flavored).
+//
+// Ramble's `batch_submit: sbatch {execute_experiment}` (Figure 12) lands
+// experiment scripts on a scheduler; this module provides one. It is a
+// discrete-event simulator over virtual time: jobs request nodes and a
+// walltime limit, the policy (FIFO or EASY backfill) decides start order,
+// and completions come from a work callback that reports how long the job
+// "ran" (via the perf model) and what it printed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/system/system.hpp"
+
+namespace benchpark::sched {
+
+using JobId = std::uint64_t;
+
+enum class JobState { pending, running, completed, failed, timeout };
+
+[[nodiscard]] std::string_view job_state_name(JobState s);
+
+/// What a job's work callback returns.
+struct JobResult {
+  double runtime_seconds = 0.0;
+  bool success = true;
+  std::string output;  // the job's stdout (FOM lines etc.)
+};
+
+/// A job submission.
+struct BatchJob {
+  std::string name;
+  std::string user;
+  int nodes = 1;
+  int ranks = 1;
+  double time_limit_seconds = 3600;
+  /// Invoked at (virtual) start time; returns runtime and output.
+  std::function<JobResult()> work;
+};
+
+/// Resource request parsed from a rendered batch script (Figure 13).
+struct ScriptRequest {
+  int nodes = 1;
+  int ranks = 1;
+  std::optional<double> time_limit_seconds;
+};
+
+/// Parse #SBATCH/#BSUB/#flux: directives out of a batch script.
+/// Throws SchedulerError on malformed directives.
+ScriptRequest parse_batch_script(const std::string& script,
+                                 system::SchedulerKind kind);
+
+/// Full accounting record for one job.
+struct JobRecord {
+  JobId id = 0;
+  std::string name;
+  std::string user;
+  int nodes = 1;
+  int ranks = 1;
+  double time_limit_seconds = 0;
+  JobState state = JobState::pending;
+  double submit_time = 0;
+  double start_time = -1;
+  double end_time = -1;
+  std::string output;
+
+  [[nodiscard]] double wait_time() const {
+    return start_time >= 0 ? start_time - submit_time : -1;
+  }
+};
+
+enum class Policy { fifo, backfill };
+
+class BatchScheduler {
+public:
+  BatchScheduler(int total_nodes, Policy policy = Policy::fifo);
+
+  /// Submit at the current virtual time; returns the job id.
+  JobId submit(BatchJob job);
+
+  /// Advance virtual time until every submitted job has finished.
+  void run_until_idle();
+
+  [[nodiscard]] const JobRecord& record(JobId id) const;
+  [[nodiscard]] std::vector<const JobRecord*> records() const;
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] int total_nodes() const { return total_nodes_; }
+  [[nodiscard]] int busy_nodes() const { return busy_nodes_; }
+  /// Completion time of the last job (virtual seconds since epoch).
+  [[nodiscard]] double makespan() const { return makespan_; }
+
+private:
+  struct Running {
+    JobId id;
+    double end_time;
+  };
+
+  void try_start_jobs();
+  bool can_backfill(const JobRecord& candidate) const;
+  void start_job(JobId id);
+  void finish_next();
+
+  int total_nodes_;
+  Policy policy_;
+  double now_ = 0;
+  double makespan_ = 0;
+  int busy_nodes_ = 0;
+  JobId next_id_ = 1;
+  std::map<JobId, JobRecord> records_;
+  std::map<JobId, BatchJob> pending_work_;
+  std::vector<JobId> queue_;          // pending order
+  std::vector<Running> running_;      // sorted by end time on access
+};
+
+}  // namespace benchpark::sched

@@ -1,0 +1,415 @@
+#include "src/spec/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/support/error.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::spec {
+
+using support::contains;
+using support::is_identifier;
+using support::join;
+using support::trim;
+
+// ------------------------------------------------------------- CompilerSpec
+
+std::string CompilerSpec::str() const {
+  std::string out = name;
+  if (!versions.is_any()) out += "@" + versions.str();
+  return out;
+}
+
+bool CompilerSpec::satisfies(const CompilerSpec& constraint) const {
+  if (!constraint.name.empty() && name != constraint.name) return false;
+  return versions.subset_of(constraint.versions) ||
+         versions.intersects(constraint.versions);
+}
+
+// -------------------------------------------------------------------- parse
+
+namespace {
+
+/// Tokenizer splitting a spec string into whitespace-separated tokens while
+/// understanding that sigils may be glued to the name
+/// ("amg2023+caliper%gcc@12").
+struct SpecLexer {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) ++pos;
+  }
+
+  /// Read a run of identifier chars (plus '.' for versions/names).
+  std::string read_word(bool allow_dot = true, bool allow_comma = false,
+                        bool allow_colon = false, bool allow_eq = false) {
+    std::size_t start = pos;
+    while (!done()) {
+      char c = peek();
+      bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '-' || c == '/' ||
+                (allow_dot && c == '.') || (allow_comma && c == ',') ||
+                (allow_colon && c == ':') || (allow_eq && c == '=');
+      if (!ok) break;
+      ++pos;
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+};
+
+}  // namespace
+
+Spec Spec::parse(std::string_view text) {
+  auto trimmed = trim(text);
+  if (trimmed.empty()) throw SpecError("empty spec");
+
+  SpecLexer lex{trimmed};
+  Spec root;
+  Spec* current = &root;
+  bool saw_name = false;
+
+  lex.skip_ws();
+  while (!lex.done()) {
+    char c = lex.peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      lex.skip_ws();
+      continue;
+    }
+    switch (c) {
+      case '@': {
+        ++lex.pos;
+        // '=' immediately after '@' means exact version.
+        std::string vtext = lex.read_word(true, true, true, true);
+        if (vtext.empty()) throw SpecError("missing version after '@' in '" +
+                                           std::string(text) + "'");
+        VersionConstraint vc = VersionConstraint::parse(vtext);
+        auto merged = current->versions();
+        merged.constrain(vc);
+        current->set_versions(merged);
+        break;
+      }
+      case '+': {
+        ++lex.pos;
+        std::string vname = lex.read_word(false);
+        if (!is_identifier(vname)) {
+          throw SpecError("bad variant name after '+' in '" +
+                          std::string(text) + "'");
+        }
+        current->set_variant(vname, VariantValue::boolean(true));
+        break;
+      }
+      case '~':
+      case '-': {
+        // '-' only a sigil at token start; inside words it is consumed by
+        // read_word, so reaching here means disable-variant.
+        ++lex.pos;
+        std::string vname = lex.read_word(false);
+        if (!is_identifier(vname)) {
+          throw SpecError("bad variant name after '~' in '" +
+                          std::string(text) + "'");
+        }
+        current->set_variant(vname, VariantValue::boolean(false));
+        break;
+      }
+      case '%': {
+        ++lex.pos;
+        std::string cname = lex.read_word(false);
+        if (cname.empty()) throw SpecError("missing compiler after '%'");
+        CompilerSpec comp{cname, {}};
+        if (!lex.done() && lex.peek() == '@') {
+          ++lex.pos;
+          std::string vtext = lex.read_word(true, true, true, true);
+          comp.versions = VersionConstraint::parse(vtext);
+        }
+        current->set_compiler(std::move(comp));
+        break;
+      }
+      case '^': {
+        ++lex.pos;
+        lex.skip_ws();
+        std::string dname = lex.read_word(true);
+        if (dname.empty()) throw SpecError("missing dependency after '^'");
+        current = &root;  // deps attach to the root spec
+        Spec dep(dname);
+        root.add_dependency(std::move(dep));
+        current = &root.dependencies_mut().back();
+        saw_name = true;
+        break;
+      }
+      default: {
+        // A bare word: either the (first) package name or key=value.
+        std::string word = lex.read_word(true);
+        if (word.empty()) {
+          throw SpecError("unexpected character '" + std::string(1, c) +
+                          "' in spec '" + std::string(text) + "'");
+        }
+        if (!lex.done() && lex.peek() == '=') {
+          ++lex.pos;
+          std::string value = lex.read_word(true, true, true, false);
+          if (value.empty()) {
+            throw SpecError("missing value for '" + word + "=' in '" +
+                            std::string(text) + "'");
+          }
+          if (word == "target" || word == "arch") {
+            current->set_target(value);
+          } else {
+            current->set_variant(word, VariantValue::parse(value));
+          }
+        } else if (!saw_name) {
+          if (!is_identifier(word) && !contains(word, ".")) {
+            throw SpecError("bad package name '" + word + "'");
+          }
+          root.set_name(word);
+          saw_name = true;
+        } else {
+          throw SpecError("unexpected token '" + word + "' in spec '" +
+                          std::string(text) + "'");
+        }
+        break;
+      }
+    }
+  }
+  if (root.name().empty() && root.versions().is_any() &&
+      root.variants().empty() && !root.compiler() && root.target().empty()) {
+    throw SpecError("empty spec: '" + std::string(text) + "'");
+  }
+  return root;
+}
+
+// ------------------------------------------------------------------ accessors
+
+Version Spec::concrete_version() const {
+  if (versions_.ranges().size() == 1) {
+    const auto& exact = versions_.ranges()[0].exact_version();
+    if (exact) return *exact;
+  }
+  throw SpecError("spec '" + str() + "' has no concrete version");
+}
+
+void Spec::set_variant(const std::string& name, VariantValue value) {
+  auto it = variants_.find(name);
+  if (it != variants_.end() && !(it->second == value)) {
+    // Overwrite is allowed pre-concretization only through constrain();
+    // direct conflicting set is a programming error caught here.
+    it->second = std::move(value);
+    return;
+  }
+  variants_.insert_or_assign(name, std::move(value));
+}
+
+const VariantValue* Spec::variant(std::string_view name) const {
+  auto it = variants_.find(std::string(name));
+  return it == variants_.end() ? nullptr : &it->second;
+}
+
+bool Spec::variant_enabled(std::string_view name) const {
+  const auto* v = variant(name);
+  return v && v->kind() == VariantValue::Kind::boolean && v->as_bool();
+}
+
+void Spec::add_dependency(Spec dep) {
+  dependencies_.push_back(std::move(dep));
+}
+
+const Spec* Spec::dependency(std::string_view name) const {
+  for (const auto& d : dependencies_) {
+    if (d.name() == name) return &d;
+  }
+  return nullptr;
+}
+
+Spec* Spec::dependency_mut(std::string_view name) {
+  for (auto& d : dependencies_) {
+    if (d.name() == name) return &d;
+  }
+  return nullptr;
+}
+
+void Spec::mark_concrete() {
+  if (name_.empty()) throw SpecError("anonymous spec cannot be concrete");
+  (void)concrete_version();  // throws when not pinned
+  if (!compiler_) throw SpecError("spec '" + name_ + "' has no compiler");
+  if (target_.empty()) throw SpecError("spec '" + name_ + "' has no target");
+  for (auto& d : dependencies_) {
+    if (!d.concrete()) {
+      throw SpecError("dependency '" + d.name() + "' of '" + name_ +
+                      "' is not concrete");
+    }
+  }
+  concrete_ = true;
+}
+
+std::string Spec::dag_hash() const {
+  if (!concrete_) throw SpecError("dag_hash() requires a concrete spec");
+  support::Hasher h;
+  h.update(name_);
+  h.update(versions_.str());
+  for (const auto& [k, v] : variants_) {
+    h.update(k);
+    h.update(v.value_str());
+  }
+  h.update(compiler_ ? compiler_->str() : "");
+  h.update(target_);
+  h.update(external_prefix_);
+  // Dependency hashes, order-independent (sorted by name).
+  std::vector<std::string> dep_hashes;
+  dep_hashes.reserve(dependencies_.size());
+  for (const auto& d : dependencies_) {
+    dep_hashes.push_back(d.name() + "/" + d.dag_hash());
+  }
+  std::sort(dep_hashes.begin(), dep_hashes.end());
+  for (const auto& dh : dep_hashes) h.update(dh);
+  return h.base32();
+}
+
+// -------------------------------------------------------------- satisfies
+
+bool Spec::satisfies(const Spec& constraint) const {
+  if (!constraint.name_.empty() && name_ != constraint.name_) return false;
+  if (!constraint.versions_.is_any()) {
+    if (concrete_) {
+      if (!constraint.versions_.satisfied_by(concrete_version())) return false;
+    } else if (!versions_.intersects(constraint.versions_)) {
+      return false;
+    }
+  }
+  for (const auto& [vname, vvalue] : constraint.variants_) {
+    const auto* mine = variant(vname);
+    if (!mine) {
+      // Abstract specs may not mention the variant yet; a concrete spec
+      // missing a required variant fails.
+      if (concrete_) return false;
+      continue;
+    }
+    if (!mine->satisfies(vvalue)) return false;
+  }
+  if (constraint.compiler_) {
+    if (!compiler_) return concrete_ ? false : true;
+    if (!compiler_->satisfies(*constraint.compiler_)) return false;
+  }
+  if (!constraint.target_.empty() && !target_.empty() &&
+      target_ != constraint.target_) {
+    return false;
+  }
+  if (constraint.target_.empty() == false && target_.empty() && concrete_) {
+    return false;
+  }
+  for (const auto& cdep : constraint.dependencies_) {
+    const Spec* mine = dependency(cdep.name());
+    if (!mine) {
+      if (concrete_) return false;
+      continue;
+    }
+    if (!mine->satisfies(cdep)) return false;
+  }
+  return true;
+}
+
+void Spec::constrain(const Spec& other) {
+  if (!other.name_.empty()) {
+    if (name_.empty()) {
+      name_ = other.name_;
+    } else if (name_ != other.name_) {
+      throw SpecError("cannot constrain '" + name_ + "' with '" +
+                      other.name_ + "'");
+    }
+  }
+  versions_.constrain(other.versions_);
+  for (const auto& [vname, vvalue] : other.variants_) {
+    auto it = variants_.find(vname);
+    if (it == variants_.end()) {
+      variants_.emplace(vname, vvalue);
+    } else if (!(it->second == vvalue)) {
+      // Multi-valued variants merge; others conflict.
+      if (it->second.kind() != VariantValue::Kind::boolean &&
+          vvalue.kind() != VariantValue::Kind::boolean) {
+        auto merged = it->second.as_multi();
+        const auto& extra = vvalue.as_multi();
+        merged.insert(merged.end(), extra.begin(), extra.end());
+        it->second = VariantValue::multi(std::move(merged));
+      } else {
+        throw SpecError("conflicting values for variant '" + vname +
+                        "' on '" + name_ + "'");
+      }
+    }
+  }
+  if (other.compiler_) {
+    if (!compiler_) {
+      compiler_ = other.compiler_;
+    } else {
+      if (compiler_->name != other.compiler_->name) {
+        throw SpecError("conflicting compilers on '" + name_ + "': " +
+                        compiler_->name + " vs " + other.compiler_->name);
+      }
+      compiler_->versions.constrain(other.compiler_->versions);
+    }
+  }
+  if (!other.target_.empty()) {
+    if (target_.empty()) {
+      target_ = other.target_;
+    } else if (target_ != other.target_) {
+      throw SpecError("conflicting targets on '" + name_ + "': " + target_ +
+                      " vs " + other.target_);
+    }
+  }
+  if (!other.external_prefix_.empty()) {
+    external_prefix_ = other.external_prefix_;
+  }
+  for (const auto& odep : other.dependencies_) {
+    Spec* mine = dependency_mut(odep.name());
+    if (mine) {
+      mine->constrain(odep);
+    } else {
+      dependencies_.push_back(odep);
+    }
+  }
+}
+
+// -------------------------------------------------------------------- print
+
+std::string Spec::str_no_deps() const {
+  std::string out = name_;
+  if (!versions_.is_any()) out += "@" + versions_.str();
+  for (const auto& [vname, vvalue] : variants_) {
+    if (vvalue.kind() == VariantValue::Kind::boolean) {
+      out += (vvalue.as_bool() ? "+" : "~") + vname;
+    } else {
+      out += " " + vname + "=" + vvalue.value_str();
+    }
+  }
+  if (compiler_) out += "%" + compiler_->str();
+  if (!target_.empty()) out += " target=" + target_;
+  return out;
+}
+
+std::string Spec::str() const {
+  std::string out = str_no_deps();
+  for (const auto& d : dependencies_) {
+    out += " ^" + d.str_no_deps();
+    // Nested dependency rendering flattens one level; concrete DAGs are
+    // rendered by the environment lockfile instead.
+  }
+  return out;
+}
+
+std::string Spec::short_str() const {
+  std::string out = name_;
+  if (!versions_.is_any()) out += "@" + versions_.str();
+  return out;
+}
+
+bool Spec::operator==(const Spec& other) const {
+  return name_ == other.name_ && versions_ == other.versions_ &&
+         variants_ == other.variants_ && compiler_ == other.compiler_ &&
+         target_ == other.target_ && dependencies_ == other.dependencies_ &&
+         external_prefix_ == other.external_prefix_ &&
+         concrete_ == other.concrete_;
+}
+
+}  // namespace benchpark::spec

@@ -1,0 +1,134 @@
+// The Spec type: Spack's "common language" for describing builds.
+//
+// Grammar (abstract specs, Section 3.1 of the paper):
+//
+//   spec      := name [@versions] [sigils...] [%compiler] [^dep ...]
+//   sigils    := '+'variant | '~'variant | '-'variant
+//              | variant'='value | 'target='arch | 'arch='arch
+//   compiler  := name [@versions]
+//   dep       := spec   (dependency constraint, no nested ^)
+//
+// e.g.  "amg2023@1.0 +caliper %gcc@12.1.1 ^mvapich2@2.3.7 target=zen3"
+//
+// An abstract spec leaves choice points open; the concretizer fills every
+// one in and marks the result concrete. Concrete specs have exactly one
+// version, a value for every variant, a compiler, a target, and fully
+// concrete dependencies, and get a stable DAG hash.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/spec/variant.hpp"
+#include "src/spec/version.hpp"
+
+namespace benchpark::spec {
+
+/// Compiler selection: name plus version constraint.
+struct CompilerSpec {
+  std::string name;
+  VersionConstraint versions;
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] bool satisfies(const CompilerSpec& constraint) const;
+  bool operator==(const CompilerSpec& other) const = default;
+};
+
+class Spec {
+public:
+  Spec() = default;
+  explicit Spec(std::string name) : name_(std::move(name)) {}
+
+  /// Parse a spec string; throws SpecError on bad syntax.
+  static Spec parse(std::string_view text);
+
+  // -- identity ----------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- versions ------------------------------------------------------------
+  [[nodiscard]] const VersionConstraint& versions() const { return versions_; }
+  void set_versions(VersionConstraint vc) { versions_ = std::move(vc); }
+  /// Concrete version; throws if the spec does not pin exactly one.
+  [[nodiscard]] Version concrete_version() const;
+
+  // -- variants ------------------------------------------------------------
+  [[nodiscard]] const std::map<std::string, VariantValue>& variants() const {
+    return variants_;
+  }
+  void set_variant(const std::string& name, VariantValue value);
+  [[nodiscard]] const VariantValue* variant(std::string_view name) const;
+  /// Convenience: true iff boolean variant present and enabled.
+  [[nodiscard]] bool variant_enabled(std::string_view name) const;
+
+  // -- compiler / target ----------------------------------------------------
+  [[nodiscard]] const std::optional<CompilerSpec>& compiler() const {
+    return compiler_;
+  }
+  void set_compiler(CompilerSpec c) { compiler_ = std::move(c); }
+  [[nodiscard]] const std::string& target() const { return target_; }
+  void set_target(std::string target) { target_ = std::move(target); }
+
+  // -- dependencies ----------------------------------------------------------
+  [[nodiscard]] const std::vector<Spec>& dependencies() const {
+    return dependencies_;
+  }
+  std::vector<Spec>& dependencies_mut() { return dependencies_; }
+  void add_dependency(Spec dep);
+  [[nodiscard]] const Spec* dependency(std::string_view name) const;
+  Spec* dependency_mut(std::string_view name);
+
+  // -- external --------------------------------------------------------------
+  /// Externals (Figure 4) resolve to a pre-installed prefix, not a build.
+  [[nodiscard]] const std::string& external_prefix() const {
+    return external_prefix_;
+  }
+  void set_external_prefix(std::string prefix) {
+    external_prefix_ = std::move(prefix);
+  }
+  [[nodiscard]] bool is_external() const { return !external_prefix_.empty(); }
+
+  // -- concreteness ------------------------------------------------------------
+  [[nodiscard]] bool concrete() const { return concrete_; }
+  /// Validates and marks concrete (requires pinned version, compiler,
+  /// target, and concrete deps).
+  void mark_concrete();
+
+  /// Stable DAG hash (concrete specs only), Spack-style base32.
+  [[nodiscard]] std::string dag_hash() const;
+
+  // -- constraint algebra ----------------------------------------------------
+  /// Does this spec satisfy all constraints expressed by `constraint`?
+  /// Anonymous constraints (empty name) match any name.
+  [[nodiscard]] bool satisfies(const Spec& constraint) const;
+
+  /// Merge `other`'s constraints into this spec; throws SpecError on
+  /// conflict (mismatched names, disjoint versions, clashing variants).
+  void constrain(const Spec& other);
+
+  // -- printing --------------------------------------------------------------
+  /// Canonical round-trippable rendering.
+  [[nodiscard]] std::string str() const;
+  /// Short form: name@version only (for logs and tables).
+  [[nodiscard]] std::string short_str() const;
+
+  bool operator==(const Spec& other) const;
+
+private:
+  [[nodiscard]] std::string str_no_deps() const;
+
+  std::string name_;
+  VersionConstraint versions_;
+  std::map<std::string, VariantValue> variants_;
+  std::optional<CompilerSpec> compiler_;
+  std::string target_;
+  std::vector<Spec> dependencies_;
+  std::string external_prefix_;
+  bool concrete_ = false;
+};
+
+}  // namespace benchpark::spec

@@ -1,0 +1,86 @@
+#include "src/spec/variant.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::spec {
+
+VariantValue VariantValue::boolean(bool enabled) {
+  VariantValue v;
+  v.kind_ = Kind::boolean;
+  v.bool_value_ = enabled;
+  return v;
+}
+
+VariantValue VariantValue::single(std::string value) {
+  VariantValue v;
+  v.kind_ = Kind::single;
+  v.values_.push_back(std::move(value));
+  return v;
+}
+
+VariantValue VariantValue::multi(std::vector<std::string> values) {
+  VariantValue v;
+  v.kind_ = Kind::multi;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  v.values_ = std::move(values);
+  return v;
+}
+
+VariantValue VariantValue::parse(std::string_view value_text) {
+  if (value_text.empty()) throw SpecError("empty variant value");
+  auto lower = support::to_lower(value_text);
+  if (lower == "true") return boolean(true);
+  if (lower == "false") return boolean(false);
+  if (support::contains(value_text, ",")) {
+    std::vector<std::string> values;
+    for (const auto& part : support::split(value_text, ',')) {
+      auto trimmed = support::trim(part);
+      if (trimmed.empty()) {
+        throw SpecError("empty item in variant value '" +
+                        std::string(value_text) + "'");
+      }
+      values.push_back(trimmed);
+    }
+    return multi(std::move(values));
+  }
+  return single(std::string(value_text));
+}
+
+bool VariantValue::as_bool() const {
+  if (kind_ != Kind::boolean) throw SpecError("variant is not boolean");
+  return bool_value_;
+}
+
+const std::string& VariantValue::as_single() const {
+  if (kind_ == Kind::boolean) throw SpecError("variant is boolean");
+  if (values_.size() != 1) throw SpecError("variant is multi-valued");
+  return values_[0];
+}
+
+const std::vector<std::string>& VariantValue::as_multi() const {
+  if (kind_ == Kind::boolean) throw SpecError("variant is boolean");
+  return values_;
+}
+
+bool VariantValue::satisfies(const VariantValue& constraint) const {
+  if (kind_ == Kind::boolean || constraint.kind_ == Kind::boolean) {
+    return kind_ == constraint.kind_ && bool_value_ == constraint.bool_value_;
+  }
+  // String-valued: every required value must be present.
+  return std::all_of(constraint.values_.begin(), constraint.values_.end(),
+                     [&](const std::string& v) {
+                       return std::find(values_.begin(), values_.end(), v) !=
+                              values_.end();
+                     });
+}
+
+std::string VariantValue::value_str() const {
+  if (kind_ == Kind::boolean) return bool_value_ ? "true" : "false";
+  return support::join(values_, ",");
+}
+
+}  // namespace benchpark::spec

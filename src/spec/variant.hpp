@@ -1,0 +1,45 @@
+// Variant values for specs: +openmp, ~cuda, build_type=Release,
+// targets=a,b (multi-valued).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace benchpark::spec {
+
+/// A single variant setting on a spec.
+class VariantValue {
+public:
+  enum class Kind { boolean, single, multi };
+
+  static VariantValue boolean(bool enabled);
+  static VariantValue single(std::string value);
+  static VariantValue multi(std::vector<std::string> values);
+
+  /// Parse the right-hand side of `name=value`; comma splits to multi.
+  static VariantValue parse(std::string_view value_text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] const std::string& as_single() const;
+  [[nodiscard]] const std::vector<std::string>& as_multi() const;
+
+  /// Does this value satisfy a required `constraint` value?
+  /// bools must match exactly; single must be equal; multi must be a
+  /// superset of the constraint's values.
+  [[nodiscard]] bool satisfies(const VariantValue& constraint) const;
+
+  /// Render as it appears after the variant name ("" for bools; the spec
+  /// printer handles the +/~ sigil).
+  [[nodiscard]] std::string value_str() const;
+
+  bool operator==(const VariantValue& other) const = default;
+
+private:
+  Kind kind_ = Kind::boolean;
+  bool bool_value_ = false;
+  std::vector<std::string> values_;  // single uses values_[0]
+};
+
+}  // namespace benchpark::spec

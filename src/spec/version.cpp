@@ -1,0 +1,265 @@
+#include "src/spec/version.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::spec {
+
+// ------------------------------------------------------------------ Version
+
+Version::Version(std::string_view text) : text_(text) {
+  if (text.empty()) throw SpecError("empty version");
+  // Tokenize into maximal digit runs and non-digit runs, treating '.', '-'
+  // and '_' purely as separators.
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '.' || c == '-' || c == '_') {
+      ++i;
+      continue;
+    }
+    Component comp;
+    std::size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      comp.numeric = true;
+      comp.number = support::parse_int(text.substr(start, i - start));
+    } else {
+      while (i < text.size() &&
+             !std::isdigit(static_cast<unsigned char>(text[i])) &&
+             text[i] != '.' && text[i] != '-' && text[i] != '_') {
+        ++i;
+      }
+      comp.text = std::string(text.substr(start, i - start));
+    }
+    components_.push_back(std::move(comp));
+  }
+  if (components_.empty()) throw SpecError("malformed version: '" + text_ + "'");
+}
+
+std::strong_ordering Version::Component::operator<=>(
+    const Component& o) const {
+  if (numeric != o.numeric) {
+    // Numeric components order after string components at the same slot
+    // ("1.2" > "1.beta"), matching common packaging conventions.
+    return numeric ? std::strong_ordering::greater
+                   : std::strong_ordering::less;
+  }
+  if (numeric) return number <=> o.number;
+  return text <=> o.text;
+}
+
+bool Version::has_prefix(const Version& prefix) const {
+  if (prefix.components_.size() > components_.size()) return false;
+  return std::equal(prefix.components_.begin(), prefix.components_.end(),
+                    components_.begin());
+}
+
+std::strong_ordering Version::operator<=>(const Version& other) const {
+  std::size_t n = std::min(components_.size(), other.components_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto cmp = components_[i] <=> other.components_[i];
+    if (cmp != std::strong_ordering::equal) return cmp;
+  }
+  return components_.size() <=> other.components_.size();
+}
+
+// -------------------------------------------------------------- VersionRange
+
+VersionRange VersionRange::parse(std::string_view text) {
+  VersionRange range;
+  if (text.empty()) throw SpecError("empty version range");
+  if (text.front() == '=') {
+    range.exact_ = Version(text.substr(1));
+    return range;
+  }
+  auto colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    range.exact_ = Version(text);
+    range.prefix_ = true;
+    return range;
+  }
+  auto lo = text.substr(0, colon);
+  auto hi = text.substr(colon + 1);
+  if (!lo.empty()) range.lo_ = Version(lo);
+  if (!hi.empty()) range.hi_ = Version(hi);
+  return range;
+}
+
+VersionRange VersionRange::any() { return VersionRange{}; }
+
+VersionRange VersionRange::exact(const Version& v) {
+  VersionRange range;
+  range.exact_ = v;
+  return range;
+}
+
+bool VersionRange::satisfied_by(const Version& v) const {
+  if (exact_) {
+    return prefix_ ? v.has_prefix(*exact_) : v == *exact_;
+  }
+  // Range endpoints use prefix-inclusive semantics: "…:1.8" admits 1.8.2
+  // (Spack behavior: the upper bound 1.8 includes everything in 1.8.*).
+  if (lo_ && v < *lo_ && !v.has_prefix(*lo_)) return false;
+  if (hi_ && v > *hi_ && !v.has_prefix(*hi_)) return false;
+  return true;
+}
+
+bool VersionRange::intersects(const VersionRange& other) const {
+  if (is_any() || other.is_any()) return true;
+  if (exact_ && other.exact_) {
+    if (prefix_ && other.prefix_) {
+      return exact_->has_prefix(*other.exact_) ||
+             other.exact_->has_prefix(*exact_);
+    }
+    if (!prefix_ && !other.prefix_) return *exact_ == *other.exact_;
+    const auto& exact = prefix_ ? *other.exact_ : *exact_;
+    const auto& prefix = prefix_ ? *exact_ : *other.exact_;
+    return exact.has_prefix(prefix);
+  }
+  if (exact_) {
+    // Exact (or prefix) version vs. a true range: the representative
+    // version deciding membership; a prefix like "1.2" also intersects a
+    // range whose bound falls inside 1.2.* (e.g. "1.2.5:").
+    if (other.satisfied_by(*exact_)) return true;
+    if (prefix_) {
+      if (other.lo_ && other.lo_->has_prefix(*exact_)) return true;
+      if (other.hi_ && other.hi_->has_prefix(*exact_)) return true;
+    }
+    return false;
+  }
+  if (other.exact_) return other.intersects(*this);
+  // Two true ranges: [lo1, hi1] vs [lo2, hi2] with open ends.
+  if (hi_ && other.lo_ && *hi_ < *other.lo_ && !other.lo_->has_prefix(*hi_)) {
+    return false;
+  }
+  if (other.hi_ && lo_ && *other.hi_ < *lo_ && !lo_->has_prefix(*other.hi_)) {
+    return false;
+  }
+  return true;
+}
+
+bool VersionRange::subset_of(const VersionRange& other) const {
+  if (other.is_any()) return true;
+  if (is_any()) return false;
+  if (exact_ && !prefix_) return other.satisfied_by(*exact_);
+  if (exact_ && prefix_) {
+    if (other.exact_ && other.prefix_) return exact_->has_prefix(*other.exact_);
+    // Prefix "1.2" as a range is [1.2, 1.2.<max>]; conservative check via
+    // the representative version.
+    return other.satisfied_by(*exact_);
+  }
+  // Range within range: check both endpoints (open ends only subset of
+  // matching open ends).
+  if (!other.exact_) {
+    bool lo_ok = !other.lo_ ||
+                 (lo_ && (*lo_ > *other.lo_ || *lo_ == *other.lo_ ||
+                          lo_->has_prefix(*other.lo_)));
+    bool hi_ok = !other.hi_ ||
+                 (hi_ && (*hi_ < *other.hi_ || *hi_ == *other.hi_ ||
+                          hi_->has_prefix(*other.hi_)));
+    return lo_ok && hi_ok;
+  }
+  return false;
+}
+
+std::string VersionRange::str() const {
+  if (exact_) return prefix_ ? exact_->str() : "=" + exact_->str();
+  if (is_any()) return ":";
+  std::string out;
+  if (lo_) out += lo_->str();
+  out += ":";
+  if (hi_) out += hi_->str();
+  return out;
+}
+
+// --------------------------------------------------------- VersionConstraint
+
+VersionConstraint VersionConstraint::parse(std::string_view text) {
+  VersionConstraint vc;
+  for (const auto& token : support::split(text, ',')) {
+    auto trimmed = support::trim(token);
+    if (trimmed.empty()) throw SpecError("empty range in '" + std::string(text) + "'");
+    vc.ranges_.push_back(VersionRange::parse(trimmed));
+  }
+  return vc;
+}
+
+VersionConstraint VersionConstraint::exactly(const Version& v) {
+  VersionConstraint vc;
+  vc.ranges_.push_back(VersionRange::exact(v));
+  return vc;
+}
+
+bool VersionConstraint::satisfied_by(const Version& v) const {
+  if (ranges_.empty()) return true;
+  return std::any_of(ranges_.begin(), ranges_.end(),
+                     [&](const VersionRange& r) { return r.satisfied_by(v); });
+}
+
+bool VersionConstraint::intersects(const VersionConstraint& other) const {
+  if (is_any() || other.is_any()) return true;
+  for (const auto& a : ranges_) {
+    for (const auto& b : other.ranges_) {
+      if (a.intersects(b)) return true;
+    }
+  }
+  return false;
+}
+
+bool VersionConstraint::subset_of(const VersionConstraint& other) const {
+  if (other.is_any()) return true;
+  if (is_any()) return false;
+  return std::all_of(ranges_.begin(), ranges_.end(), [&](const VersionRange& a) {
+    return std::any_of(other.ranges_.begin(), other.ranges_.end(),
+                       [&](const VersionRange& b) { return a.subset_of(b); });
+  });
+}
+
+void VersionConstraint::constrain(const VersionConstraint& other) {
+  if (other.is_any()) return;
+  if (is_any()) {
+    ranges_ = other.ranges_;
+    return;
+  }
+  if (!intersects(other)) {
+    throw SpecError("conflicting version constraints: '" + str() + "' vs '" +
+                    other.str() + "'");
+  }
+  // Keep the more specific side: if one is a subset of the other, use it;
+  // otherwise keep the pairwise-intersecting ranges of `this`.
+  if (subset_of(other)) return;
+  if (other.subset_of(*this)) {
+    ranges_ = other.ranges_;
+    return;
+  }
+  std::vector<VersionRange> kept;
+  for (const auto& a : ranges_) {
+    for (const auto& b : other.ranges_) {
+      if (a.intersects(b)) {
+        kept.push_back(a.subset_of(b) ? a : b);
+      }
+    }
+  }
+  if (kept.empty()) {
+    throw SpecError("conflicting version constraints: '" + str() + "' vs '" +
+                    other.str() + "'");
+  }
+  ranges_ = std::move(kept);
+}
+
+std::string VersionConstraint::str() const {
+  if (ranges_.empty()) return ":";
+  std::vector<std::string> parts;
+  parts.reserve(ranges_.size());
+  for (const auto& r : ranges_) parts.push_back(r.str());
+  return support::join(parts, ",");
+}
+
+}  // namespace benchpark::spec

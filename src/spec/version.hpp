@@ -1,0 +1,123 @@
+// Version semantics for the spec language (Spack-compatible subset).
+//
+// A Version is a dot/dash separated mix of numeric and alphanumeric
+// components ("2.3.7-gcc12.1.1-magic"). Ordering compares component-wise,
+// numbers numerically, strings lexically, numbers > strings at the same
+// position (so 1.2 > 1.2-rc1 is *not* modeled; we use the simpler rule
+// that a shorter version is less than a longer one with equal prefix).
+//
+// Constraints:
+//   @1.2        — "prefix" match: any version whose leading components
+//                 equal 1.2 (1.2, 1.2.9, ...), Spack's @1.2 semantics
+//   @=1.2       — exact match only
+//   @1.2:1.8    — inclusive range (endpoints use prefix matching)
+//   @1.2:  @:1.8 — half-open ranges
+//   @1.2,2.0:   — union of constraints (comma list)
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace benchpark::spec {
+
+/// A concrete version number.
+class Version {
+public:
+  Version() = default;
+  explicit Version(std::string_view text);
+
+  [[nodiscard]] const std::string& str() const { return text_; }
+  [[nodiscard]] bool empty() const { return text_.empty(); }
+
+  /// Leading components equal to all of `prefix`'s components?
+  [[nodiscard]] bool has_prefix(const Version& prefix) const;
+
+  /// Component count ("1.2.3" -> 3).
+  [[nodiscard]] std::size_t num_components() const {
+    return components_.size();
+  }
+
+  [[nodiscard]] std::strong_ordering operator<=>(const Version& other) const;
+  [[nodiscard]] bool operator==(const Version& other) const {
+    return text_ == other.text_;
+  }
+
+private:
+  struct Component {
+    bool numeric = false;
+    long long number = 0;
+    std::string text;
+
+    [[nodiscard]] std::strong_ordering operator<=>(const Component& o) const;
+    [[nodiscard]] bool operator==(const Component& o) const = default;
+  };
+
+  std::string text_;
+  std::vector<Component> components_;
+};
+
+/// One range in a constraint ("1.2:1.8", "=1.2", "1.2", ":1.8", "1.2:").
+class VersionRange {
+public:
+  /// Parse one comma-free range token (no leading '@').
+  static VersionRange parse(std::string_view text);
+
+  /// Range matching any version.
+  static VersionRange any();
+  /// Exact single version.
+  static VersionRange exact(const Version& v);
+
+  [[nodiscard]] bool satisfied_by(const Version& v) const;
+
+  /// Could `other` and this admit a common version? (conservative)
+  [[nodiscard]] bool intersects(const VersionRange& other) const;
+
+  /// Is every version admitted by this also admitted by `other`?
+  [[nodiscard]] bool subset_of(const VersionRange& other) const;
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] bool is_any() const { return !lo_ && !hi_ && !exact_; }
+  [[nodiscard]] const std::optional<Version>& exact_version() const {
+    return exact_;
+  }
+
+  bool operator==(const VersionRange& other) const = default;
+
+private:
+  std::optional<Version> lo_;     // inclusive lower bound (prefix semantics)
+  std::optional<Version> hi_;     // inclusive upper bound (prefix semantics)
+  std::optional<Version> exact_;  // "=1.2" or bare "1.2" (prefix)
+  bool prefix_ = false;           // bare "1.2": prefix match, not exact
+};
+
+/// A full constraint: union of ranges ("1.2:1.8,2.0").
+class VersionConstraint {
+public:
+  VersionConstraint() = default;  // matches anything
+  static VersionConstraint parse(std::string_view text);
+  static VersionConstraint exactly(const Version& v);
+
+  [[nodiscard]] bool is_any() const { return ranges_.empty(); }
+  [[nodiscard]] bool satisfied_by(const Version& v) const;
+  [[nodiscard]] bool intersects(const VersionConstraint& other) const;
+  /// True if satisfying `this` implies satisfying `other` (conservative).
+  [[nodiscard]] bool subset_of(const VersionConstraint& other) const;
+
+  /// Intersect with `other`; throws SpecError if provably empty.
+  void constrain(const VersionConstraint& other);
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] const std::vector<VersionRange>& ranges() const {
+    return ranges_;
+  }
+
+  bool operator==(const VersionConstraint& other) const = default;
+
+private:
+  std::vector<VersionRange> ranges_;  // empty = any
+};
+
+}  // namespace benchpark::spec

@@ -1,0 +1,67 @@
+// Error hierarchy shared by all benchpark modules.
+//
+// Every subsystem throws a subclass of benchpark::Error so callers can
+// catch per-domain (e.g. SpecError from the spec parser) or catch the
+// whole family at tool boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace benchpark {
+
+/// Root of the benchpark exception hierarchy.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed spec syntax or unsatisfiable spec constraint.
+class SpecError : public Error {
+public:
+  using Error::Error;
+};
+
+/// YAML subset parse failure (carries line information in the message).
+class YamlError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Unknown package, version, or variant in a package repository.
+class PackageError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Concretization failure: conflicting constraints, no provider, etc.
+class ConcretizationError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Experiment / workspace configuration problems (ramble layer).
+class ExperimentError : public Error {
+public:
+  using Error::Error;
+};
+
+/// Scheduler rejections: bad script, impossible resource request.
+class SchedulerError : public Error {
+public:
+  using Error::Error;
+};
+
+/// CI layer failures: unknown repo, security policy violations.
+class CiError : public Error {
+public:
+  using Error::Error;
+};
+
+/// System registry failures: unknown system, bad hardware description.
+class SystemError : public Error {
+public:
+  using Error::Error;
+};
+
+}  // namespace benchpark

@@ -1,0 +1,93 @@
+#include "src/support/fs_util.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::support {
+
+namespace fs = std::filesystem;
+
+void ensure_dir(const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw Error("cannot create directory " + dir.string() + ": " +
+                      ec.message());
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  if (path.has_parent_path()) ensure_dir(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open for writing: " + path.string());
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw Error("write failed: " + path.string());
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open for reading: " + path.string());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+namespace {
+
+void render_tree_rec(const fs::path& dir, const std::string& prefix,
+                     std::string& out) {
+  std::vector<fs::directory_entry> entries;
+  for (const auto& e : fs::directory_iterator(dir)) entries.push_back(e);
+  std::sort(entries.begin(), entries.end(),
+            [](const fs::directory_entry& a, const fs::directory_entry& b) {
+              if (a.is_directory() != b.is_directory())
+                return a.is_directory();
+              return a.path().filename() < b.path().filename();
+            });
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    bool last = (i + 1 == entries.size());
+    const auto& e = entries[i];
+    out += prefix;
+    out += last ? "`-- " : "|-- ";
+    out += e.path().filename().string();
+    if (e.is_directory()) out += "/";
+    out += "\n";
+    if (e.is_directory()) {
+      render_tree_rec(e.path(), prefix + (last ? "    " : "|   "), out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_tree(const fs::path& root) {
+  if (!fs::exists(root)) throw Error("no such path: " + root.string());
+  std::string out = root.filename().string() + "/\n";
+  render_tree_rec(root, "", out);
+  return out;
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  static std::atomic<unsigned> counter{0};
+  auto base = fs::temp_directory_path();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    auto candidate = base / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                             std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw Error("cannot create temp dir under " + base.string());
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best effort; destructor must not throw
+}
+
+}  // namespace benchpark::support

@@ -1,0 +1,39 @@
+// Filesystem helpers for generated workspaces.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace benchpark::support {
+
+/// Create `dir` (and parents). Throws benchpark::Error on failure.
+void ensure_dir(const std::filesystem::path& dir);
+
+/// Write `content` to `path`, creating parent directories.
+void write_file(const std::filesystem::path& path, const std::string& content);
+
+/// Read the full file; throws benchpark::Error if unreadable.
+std::string read_file(const std::filesystem::path& path);
+
+/// Render a `tree`-style listing of `root` (sorted, dirs first), used to
+/// reproduce the Figure 1a directory-structure view.
+std::string render_tree(const std::filesystem::path& root);
+
+/// RAII temporary directory under the system temp dir, removed on scope
+/// exit. Used by workspace tests.
+class TempDir {
+public:
+  explicit TempDir(const std::string& prefix = "benchpark");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+private:
+  std::filesystem::path path_;
+};
+
+}  // namespace benchpark::support

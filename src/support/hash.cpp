@@ -1,0 +1,62 @@
+#include "src/support/hash.hpp"
+
+#include <array>
+
+namespace benchpark::support {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+Hasher& Hasher::update(std::string_view data) {
+  for (unsigned char c : data) {
+    state_ ^= c;
+    state_ *= kFnvPrime;
+  }
+  // Separator byte so update("ab").update("c") != update("a").update("bc").
+  state_ ^= 0xff;
+  state_ *= kFnvPrime;
+  return *this;
+}
+
+Hasher& Hasher::update(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    state_ ^= (v >> (i * 8)) & 0xff;
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+std::string Hasher::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = state_;
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string Hasher::base32() const {
+  // Spack uses lowercase RFC 4648 base32; 64 bits -> 13 digits.
+  static constexpr char kDigits[] = "abcdefghijklmnopqrstuvwxyz234567";
+  std::string out;
+  out.reserve(13);
+  std::uint64_t v = state_;
+  for (int i = 0; i < 13; ++i) {
+    out.push_back(kDigits[v & 0x1f]);
+    v >>= 5;
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::string_view data) {
+  return Hasher{}.update(data).digest();
+}
+
+std::string hash_base32(std::string_view data) {
+  return Hasher{}.update(data).base32();
+}
+
+}  // namespace benchpark::support

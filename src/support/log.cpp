@@ -1,0 +1,47 @@
+#include "src/support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace benchpark::support {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::mutex g_sink_mutex;
+std::function<void(LogLevel, std::string_view)> g_sink;  // guarded by mutex
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info";
+    case LogLevel::warn: return "warn";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+
+LogLevel Log::level() { return g_level.load(); }
+
+void Log::set_sink(std::function<void(LogLevel, std::string_view)> sink) {
+  std::scoped_lock lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, std::string_view msg) {
+  if (level < g_level.load()) return;
+  std::scoped_lock lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace benchpark::support

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Components log through a process-global sink; tests can capture it.
+// Default level is `warn` so library use is quiet; examples raise it.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace benchpark::support {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Process-global logging configuration. Thread-safe.
+class Log {
+public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Redirect output (default writes to stderr). Pass nullptr to restore.
+  static void set_sink(std::function<void(LogLevel, std::string_view)> sink);
+
+  static void debug(std::string_view msg) { write(LogLevel::debug, msg); }
+  static void info(std::string_view msg) { write(LogLevel::info, msg); }
+  static void warn(std::string_view msg) { write(LogLevel::warn, msg); }
+  static void error(std::string_view msg) { write(LogLevel::error, msg); }
+
+private:
+  static void write(LogLevel level, std::string_view msg);
+};
+
+/// RAII scope that raises/lowers the log level and restores it on exit.
+class ScopedLogLevel {
+public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(Log::level()) {
+    Log::set_level(level);
+  }
+  ~ScopedLogLevel() { Log::set_level(previous_); }
+
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+private:
+  LogLevel previous_;
+};
+
+}  // namespace benchpark::support

@@ -1,0 +1,45 @@
+// Minimal fork-join parallel_for over std::thread.
+//
+// The real benchmark kernels (saxpy, STREAM, multigrid smoothers) use this
+// as their OpenMP stand-in: contiguous index ranges are split across
+// worker threads, and the calling thread participates (CP.4: tasks over
+// raw threads; threads are joined before return, CP.23/25).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace benchpark::support {
+
+/// Run fn(begin, end) over [0, n) split into `threads` contiguous chunks.
+/// threads <= 1 runs inline. fn must be safe to run concurrently on
+/// disjoint ranges.
+template <typename Fn>
+void parallel_for(std::size_t n, int threads, Fn&& fn) {
+  if (threads <= 1 || n < 2) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  auto nthreads = static_cast<std::size_t>(threads);
+  if (nthreads > n) nthreads = n;
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads - 1);
+  std::size_t chunk = n / nthreads;
+  std::size_t remainder = n % nthreads;
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    std::size_t size = chunk + (t < remainder ? 1 : 0);
+    std::size_t end = begin + size;
+    if (t + 1 == nthreads) {
+      fn(begin, end);  // calling thread takes the last chunk
+    } else {
+      pool.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    begin = end;
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace benchpark::support

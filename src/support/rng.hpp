@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Simulated measurements (build times, collective timings, noise) must be
+// reproducible run-to-run, so everything uses an explicitly seeded
+// SplitMix64 generator rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace benchpark::support {
+
+/// SplitMix64: tiny, fast, and statistically solid for simulation noise.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Approximately normal(0,1) via sum of uniforms (Irwin–Hall, k=12).
+  double next_gaussian() {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += next_double();
+    return sum - 6.0;
+  }
+
+  /// Multiplicative noise factor: 1 + sigma * N(0,1), clamped positive.
+  double noise_factor(double sigma) {
+    double f = 1.0 + sigma * next_gaussian();
+    return f > 0.05 ? f : 0.05;
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace benchpark::support

@@ -1,0 +1,169 @@
+#include "src/support/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::support {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::pair<std::string, std::string> split_first(std::string_view s, char sep) {
+  std::size_t pos = s.find(sep);
+  if (pos == std::string_view::npos) return {std::string(s), ""};
+  return {std::string(s.substr(0, pos)), std::string(s.substr(pos + 1))};
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return s;
+  std::size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+std::string repeat(std::string_view s, std::size_t n) {
+  std::string out;
+  out.reserve(s.size() * n);
+  for (std::size_t i = 0; i < n; ++i) out += s;
+  return out;
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.insert(out.begin(), width - out.size(), ' ');
+  return out;
+}
+
+std::string format_double(double v, int max_precision) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", max_precision, v);
+  return buf;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '-';
+  });
+}
+
+long long parse_int(std::string_view s) {
+  long long value = 0;
+  auto trimmed = trim(s);
+  auto [ptr, ec] = std::from_chars(trimmed.data(),
+                                   trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size()) {
+    throw Error("not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view s) {
+  auto trimmed = trim(s);
+  // std::from_chars<double> is available with GCC 12; use it for full parse.
+  double value = 0;
+  auto [ptr, ec] = std::from_chars(trimmed.data(),
+                                   trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size()) {
+    throw Error("not a number: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+bool looks_like_int(std::string_view s) {
+  auto trimmed = trim(s);
+  if (trimmed.empty()) return false;
+  long long value = 0;
+  auto [ptr, ec] = std::from_chars(trimmed.data(),
+                                   trimmed.data() + trimmed.size(), value);
+  return ec == std::errc{} && ptr == trimmed.data() + trimmed.size();
+}
+
+bool looks_like_double(std::string_view s) {
+  auto trimmed = trim(s);
+  if (trimmed.empty()) return false;
+  double value = 0;
+  auto [ptr, ec] = std::from_chars(trimmed.data(),
+                                   trimmed.data() + trimmed.size(), value);
+  return ec == std::errc{} && ptr == trimmed.data() + trimmed.size();
+}
+
+}  // namespace benchpark::support

@@ -1,0 +1,62 @@
+// Small string helpers used across the code base.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace benchpark::support {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any run of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on the first occurrence of `sep`; returns {s, ""} if absent.
+std::pair<std::string, std::string> split_first(std::string_view s, char sep);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading and trailing whitespace.
+std::string trim(std::string_view s);
+
+/// True if `s` starts with / ends with `prefix`/`suffix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if `s` contains `needle`.
+bool contains(std::string_view s, std::string_view needle);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Replace all occurrences of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+/// Repeat `s` `n` times.
+std::string repeat(std::string_view s, std::size_t n);
+
+/// Left/right pad with spaces to `width` (no-op if already wider).
+std::string pad_right(std::string_view s, std::size_t width);
+std::string pad_left(std::string_view s, std::size_t width);
+
+/// Format a double without trailing zero noise ("1.5", "2", "0.0466").
+std::string format_double(double v, int max_precision = 6);
+
+/// True if every character satisfies [A-Za-z0-9_-].
+bool is_identifier(std::string_view s);
+
+/// Parse a non-negative integer; throws benchpark::Error on failure.
+long long parse_int(std::string_view s);
+
+/// Best-effort double parse; throws benchpark::Error on failure.
+double parse_double(std::string_view s);
+
+/// True if the string parses fully as an integer / double.
+bool looks_like_int(std::string_view s);
+bool looks_like_double(std::string_view s);
+
+}  // namespace benchpark::support

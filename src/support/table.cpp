@@ -1,0 +1,88 @@
+#include "src/support/table.hpp"
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw Error("table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    throw Error("table row has " + std::to_string(row.size()) +
+                " cells, table has " + std::to_string(header_.size()) +
+                " columns");
+  }
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths;
+  widths.reserve(header.size());
+  for (const auto& h : header) widths.push_back(h.size());
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string separator(const std::vector<std::size_t>& widths) {
+  std::string out = "+";
+  for (auto w : widths) {
+    out += repeat("-", w + 2);
+    out += "+";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string render_row(const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& widths,
+                       char border) {
+  std::string out;
+  out.push_back(border);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out += " ";
+    out += pad_right(c < row.size() ? row[c] : "", widths[c]);
+    out += " ";
+    out.push_back(border);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string Table::render() const {
+  auto widths = column_widths(header_, rows_);
+  std::string out = separator(widths);
+  out += render_row(header_, widths, '|');
+  out += separator(widths);
+  for (const auto& row : rows_) out += render_row(row, widths, '|');
+  out += separator(widths);
+  return out;
+}
+
+std::string Table::render_markdown() const {
+  auto widths = column_widths(header_, rows_);
+  std::string out = render_row(header_, widths, '|');
+  out += "|";
+  for (auto w : widths) {
+    out += repeat("-", w + 2);
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row, widths, '|');
+  return out;
+}
+
+}  // namespace benchpark::support

@@ -1,0 +1,37 @@
+// ASCII table rendering for reports, dashboards, and the Table-1 bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace benchpark::support {
+
+/// Builds monospace tables:
+///
+///   +--------+------+
+///   | name   | time |
+///   +--------+------+
+///   | saxpy  | 1.2  |
+///   +--------+------+
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; short rows are padded with empty cells, long rows throw.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header_.size(); }
+
+  /// Render with box-drawing (+---+) borders.
+  [[nodiscard]] std::string render() const;
+
+  /// Render as GitHub-flavored markdown.
+  [[nodiscard]] std::string render_markdown() const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace benchpark::support

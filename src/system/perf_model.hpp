@@ -1,0 +1,52 @@
+// Per-system performance models.
+//
+// The simulated runtime asks these models how long a kernel or an MPI
+// collective takes on a given system. Kernels use a roofline model
+// (compute-bound vs memory-bound); collectives use a log-tree alpha-beta
+// model plus a per-rank arrival/contention term — the term that makes
+// aggregate MPI_Bcast time grow linearly with process count, which is
+// exactly the behavior Extra-P models in the paper's Figure 14.
+#pragma once
+
+#include <cstdint>
+
+#include "src/system/system.hpp"
+
+namespace benchpark::system {
+
+enum class Collective { bcast, allreduce, reduce, barrier, allgather };
+
+[[nodiscard]] std::string_view collective_name(Collective c);
+
+class PerfModel {
+public:
+  explicit PerfModel(const SystemDescription& system);
+
+  /// Seconds for a CPU kernel moving `bytes` and doing `flops`, run with
+  /// `ranks_per_node` MPI ranks of `threads` OpenMP threads each.
+  [[nodiscard]] double cpu_kernel_seconds(double flops, double bytes,
+                                          int ranks_per_node,
+                                          int threads) const;
+
+  /// Seconds for the same kernel offloaded to one GPU per rank.
+  /// Throws SystemError when the system has no GPUs.
+  [[nodiscard]] double gpu_kernel_seconds(double flops, double bytes,
+                                          int ranks_per_node) const;
+
+  /// Seconds for one collective over `p` ranks with `bytes` payload.
+  [[nodiscard]] double collective_seconds(Collective kind, int p,
+                                          std::uint64_t bytes) const;
+
+  /// Point-to-point message time.
+  [[nodiscard]] double p2p_seconds(std::uint64_t bytes) const;
+
+  [[nodiscard]] const SystemDescription& system() const { return system_; }
+
+private:
+  const SystemDescription& system_;  // registry-owned, outlives the model
+  double alpha_s_;                   // interconnect latency (s)
+  double beta_s_per_byte_;           // 1 / interconnect bandwidth
+  double arrival_s_per_rank_;        // per-rank sync/contention overhead
+};
+
+}  // namespace benchpark::system

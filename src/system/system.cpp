@@ -1,0 +1,250 @@
+#include "src/system/system.hpp"
+
+#include <thread>
+
+#include "src/archspec/microarch.hpp"
+#include "src/support/error.hpp"
+
+namespace benchpark::system {
+
+using concretizer::CompilerEntry;
+using spec::Version;
+
+std::string_view scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::slurm: return "slurm";
+    case SchedulerKind::lsf: return "lsf";
+    case SchedulerKind::flux: return "flux";
+  }
+  return "?";
+}
+
+yaml::Node SystemDescription::variables_yaml() const {
+  yaml::Node root = yaml::Node::make_mapping();
+  yaml::Node& vars = root["variables"];
+  vars = yaml::Node::make_mapping();
+  switch (scheduler) {
+    case SchedulerKind::slurm:
+      vars["mpi_command"] = yaml::Node("srun -N {n_nodes} -n {n_ranks}");
+      vars["batch_submit"] = yaml::Node("sbatch {execute_experiment}");
+      vars["batch_nodes"] = yaml::Node("#SBATCH -N {n_nodes}");
+      vars["batch_ranks"] = yaml::Node("#SBATCH -n {n_ranks}");
+      vars["batch_timeout"] = yaml::Node("#SBATCH -t {batch_time}:00");
+      break;
+    case SchedulerKind::lsf:
+      vars["mpi_command"] =
+          yaml::Node("jsrun -n {n_ranks} -a 1 -c {n_threads}");
+      vars["batch_submit"] = yaml::Node("bsub {execute_experiment}");
+      vars["batch_nodes"] = yaml::Node("#BSUB -nnodes {n_nodes}");
+      vars["batch_ranks"] = yaml::Node("#BSUB -n {n_ranks}");
+      vars["batch_timeout"] = yaml::Node("#BSUB -W {batch_time}");
+      break;
+    case SchedulerKind::flux:
+      vars["mpi_command"] = yaml::Node("flux run -N {n_nodes} -n {n_ranks}");
+      vars["batch_submit"] = yaml::Node("flux batch {execute_experiment}");
+      vars["batch_nodes"] = yaml::Node("#flux: -N {n_nodes}");
+      vars["batch_ranks"] = yaml::Node("#flux: -n {n_ranks}");
+      vars["batch_timeout"] = yaml::Node("#flux: -t {batch_time}m");
+      break;
+  }
+  return root;
+}
+
+// ----------------------------------------------------------------- factories
+
+SystemDescription make_cts1() {
+  SystemDescription s;
+  s.name = "cts1";
+  s.site = "LLNL";
+  s.description = "Commodity Technology System: CPU-only Intel Xeon";
+  s.num_nodes = 256;
+  s.cpu = {"Intel Xeon E5-2695 v4", "broadwell", 36, 2.1, 16, 154};
+  s.node_mem_gb = 128;
+  s.interconnect = {"Omni-Path", 1.1, 12.5};
+  s.scheduler = SchedulerKind::slurm;
+  s.mpi_launcher = "srun";
+  s.noise_sigma = 0.02;
+  s.seed = 1001;
+
+  s.config.add_compiler({"gcc", Version("12.1.1"), "/usr/tce/bin/gcc",
+                         "/usr/tce/bin/g++"});
+  s.config.add_compiler({"gcc", Version("10.3.1"), "", ""});
+  s.config.add_compiler({"intel", Version("2021.6.0"), "", ""});
+  s.config.set_default_compiler("gcc@12.1.1");
+  s.config.set_default_target("broadwell");
+  // Figure 4: MKL and mvapich2 are system-installed externals.
+  for (const char* v : {"blas", "lapack"}) {
+    auto& settings = s.config.package(v);
+    settings.externals.push_back(
+        {spec::Spec::parse("intel-oneapi-mkl@2022.1.0"),
+         "/usr/tce/packages/mkl/mkl-2022.1.0"});
+    settings.buildable = false;
+  }
+  s.config.package("intel-oneapi-mkl")
+      .externals.push_back({spec::Spec::parse("intel-oneapi-mkl@2022.1.0"),
+                            "/usr/tce/packages/mkl/mkl-2022.1.0"});
+  auto& mpi = s.config.package("mpi");
+  mpi.externals.push_back(
+      {spec::Spec::parse("mvapich2@2.3.7"),
+       "/usr/tce/packages/mvapich2/mvapich2-2.3.7-gcc-12.1.1"});
+  mpi.buildable = false;
+  s.config.package("mvapich2")
+      .externals.push_back(
+          {spec::Spec::parse("mvapich2@2.3.7"),
+           "/usr/tce/packages/mvapich2/mvapich2-2.3.7-gcc-12.1.1"});
+  return s;
+}
+
+SystemDescription make_ats2() {
+  SystemDescription s;
+  s.name = "ats2";
+  s.site = "LLNL";
+  s.description =
+      "Advanced Technology System 2: IBM Power9 + NVIDIA V100 (Sierra-class)";
+  s.num_nodes = 1024;
+  s.cpu = {"IBM Power9", "power9le", 44, 3.45, 8, 170};
+  s.gpu = GpuModel{"NVIDIA V100", "cuda", 4, 7.8, 900, 16};
+  s.node_mem_gb = 256;
+  s.interconnect = {"InfiniBand EDR", 0.9, 12.5};
+  s.scheduler = SchedulerKind::lsf;
+  s.mpi_launcher = "jsrun";
+  s.noise_sigma = 0.025;
+  s.seed = 2002;
+
+  s.config.add_compiler({"gcc", Version("8.3.1"), "", ""});
+  s.config.add_compiler({"clang", Version("14.0.5"), "", ""});
+  s.config.add_compiler({"xl", Version("16.1.1"), "", ""});
+  s.config.set_default_compiler("clang@14.0.5");
+  s.config.set_default_target("power9le");
+  auto& mpi = s.config.package("mpi");
+  mpi.externals.push_back(
+      {spec::Spec::parse("spectrum-mpi@10.3.1"),
+       "/usr/tce/packages/spectrum-mpi/spectrum-mpi-rolling-release"});
+  mpi.buildable = false;
+  s.config.package("spectrum-mpi")
+      .externals.push_back(
+          {spec::Spec::parse("spectrum-mpi@10.3.1"),
+           "/usr/tce/packages/spectrum-mpi/spectrum-mpi-rolling-release"});
+  auto& cuda = s.config.package("cuda");
+  cuda.externals.push_back({spec::Spec::parse("cuda@11.2.0"),
+                            "/usr/tce/packages/cuda/cuda-11.2.0"});
+  cuda.buildable = false;
+  auto& blas = s.config.package("blas");
+  blas.externals.push_back(
+      {spec::Spec::parse("essl@6.3.0"), "/opt/ibmmath/essl/6.3"});
+  s.config.package("essl").externals.push_back(
+      {spec::Spec::parse("essl@6.3.0"), "/opt/ibmmath/essl/6.3"});
+  return s;
+}
+
+SystemDescription make_ats4_ea() {
+  SystemDescription s;
+  s.name = "ats4";
+  s.site = "LLNL";
+  s.description =
+      "ATS-4 early access system: AMD Trento + MI-250X (El Capitan-class)";
+  s.num_nodes = 64;
+  s.cpu = {"AMD EPYC 7A53 (Trento)", "zen3", 64, 2.0, 16, 205};
+  s.gpu = GpuModel{"AMD MI-250X", "rocm", 4, 47.9, 3200, 128};
+  s.node_mem_gb = 512;
+  s.interconnect = {"Slingshot-11", 0.8, 25.0};
+  s.scheduler = SchedulerKind::flux;
+  s.mpi_launcher = "flux run";
+  s.noise_sigma = 0.04;  // early-access systems are noisier
+  s.seed = 3003;
+
+  s.config.add_compiler({"cce", Version("15.0.1"), "", ""});
+  s.config.add_compiler({"rocmcc", Version("5.4.3"), "", ""});
+  s.config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  s.config.set_default_compiler("cce@15.0.1");
+  s.config.set_default_target("zen3");
+  auto& mpi = s.config.package("mpi");
+  mpi.externals.push_back({spec::Spec::parse("cray-mpich@8.1.26"),
+                           "/opt/cray/pe/mpich/8.1.26"});
+  mpi.buildable = false;
+  s.config.package("cray-mpich")
+      .externals.push_back({spec::Spec::parse("cray-mpich@8.1.26"),
+                            "/opt/cray/pe/mpich/8.1.26"});
+  auto& hip = s.config.package("hip");
+  hip.externals.push_back(
+      {spec::Spec::parse("hip@5.4.3"), "/opt/rocm-5.4.3"});
+  hip.buildable = false;
+  return s;
+}
+
+SystemDescription make_cloud_cts() {
+  // "a cloud instance of similar architecture" (Section 7.1): looks like
+  // cts1 but a hardware feature the vendor math library probes for is
+  // missing, so library calls taking that code path crash.
+  SystemDescription s = make_cts1();
+  s.name = "cloud-cts";
+  s.site = "cloud";
+  s.description =
+      "Cloud twin of cts1 (similar architecture, virtualized nodes)";
+  s.num_nodes = 16;
+  s.interconnect = {"EFA", 15.0, 12.5};  // cloud fabric: higher latency
+  s.noise_sigma = 0.08;                  // multi-tenant noise
+  s.seed = 4004;
+  s.disabled_features = {"rdseed"};  // the missing hardware feature
+  return s;
+}
+
+SystemDescription make_native() {
+  SystemDescription s;
+  s.name = "native";
+  s.site = "local";
+  s.description = "The machine this library is running on (real execution)";
+  s.num_nodes = 1;
+  unsigned hw = std::thread::hardware_concurrency();
+  s.cpu = {"host", archspec::detect_host(), hw ? static_cast<int>(hw) : 1,
+           2.0, 8, 20};
+  s.node_mem_gb = 8;
+  s.interconnect = {"shared-memory", 0.2, 50.0};
+  s.scheduler = SchedulerKind::slurm;
+  s.mpi_launcher = "srun";
+  s.noise_sigma = 0.0;  // real runs carry their own real noise
+  s.seed = 42;
+  s.config.add_compiler({"gcc", Version("12.2.0"), "/usr/bin/gcc",
+                         "/usr/bin/g++"});
+  s.config.set_default_target(s.cpu.microarch);
+  return s;
+}
+
+// ----------------------------------------------------------------- registry
+
+const SystemRegistry& SystemRegistry::instance() {
+  static const SystemRegistry registry;
+  return registry;
+}
+
+SystemRegistry::SystemRegistry() {
+  for (auto make : {make_cts1, make_ats2, make_ats4_ea, make_cloud_cts,
+                    make_native}) {
+    auto s = make();
+    auto name = s.name;
+    systems_.insert_or_assign(std::move(name), std::move(s));
+  }
+}
+
+const SystemDescription* SystemRegistry::find(std::string_view name) const {
+  auto it = systems_.find(name);
+  return it == systems_.end() ? nullptr : &it->second;
+}
+
+const SystemDescription& SystemRegistry::get(std::string_view name) const {
+  const auto* found = find(name);
+  if (!found) {
+    throw SystemError("unknown system '" + std::string(name) +
+                      "'; known systems: cts1, ats2, ats4, cloud-cts, native");
+  }
+  return *found;
+}
+
+std::vector<std::string> SystemRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(systems_.size());
+  for (const auto& [name, s] : systems_) names.push_back(name);
+  return names;
+}
+
+}  // namespace benchpark::system

@@ -1,0 +1,121 @@
+// Simulated HPC systems.
+//
+// The paper demonstrates Benchpark on three LLNL systems (Section 4):
+//   cts1 — CPU-only Intel Xeon commodity cluster
+//   ats2 — IBM Power9 + NVIDIA V100 (Sierra-class)
+//   ats4 EAS — AMD Trento + MI-250X early-access system (El Capitan-class)
+// plus, for Section 7, cloud instances "of similar architecture".
+//
+// We cannot run on that hardware, so each system is modeled: node
+// hardware, interconnect, scheduler/launcher flavor, a Spack config scope
+// (compilers.yaml + packages.yaml, Figures 4/9), the Ramble variables.yaml
+// (Figure 12), and a performance model the simulated runtime uses to
+// produce realistic timings. The *decision logic* driven by these systems
+// (config selection, script rendering, launcher syntax) is fully real.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/concretizer/config.hpp"
+#include "src/yaml/node.hpp"
+
+namespace benchpark::system {
+
+struct ProcessorModel {
+  std::string name;          // "Intel Xeon E5-2695 v4"
+  std::string microarch;     // archspec name: broadwell, power9le, zen3
+  int cores_per_node = 1;
+  double ghz = 2.0;
+  double flops_per_cycle_per_core = 16;  // FP64 FMA-vector width
+  double mem_bw_gbs = 100;               // per-node STREAM bandwidth
+
+  [[nodiscard]] double peak_gflops() const {
+    return cores_per_node * ghz * flops_per_cycle_per_core;
+  }
+};
+
+struct GpuModel {
+  std::string name;     // "NVIDIA V100"
+  std::string runtime;  // "cuda" or "rocm"
+  int per_node = 0;
+  double fp64_tflops = 7.0;
+  double mem_bw_gbs = 900;
+  double mem_gb = 16;
+};
+
+struct InterconnectModel {
+  std::string name;        // "Omni-Path", "InfiniBand EDR", "Slingshot-11"
+  double latency_us = 1.0; // point-to-point
+  double bandwidth_gbs = 12.5;
+};
+
+enum class SchedulerKind { slurm, lsf, flux };
+
+[[nodiscard]] std::string_view scheduler_name(SchedulerKind kind);
+
+/// Complete description of one HPC system.
+struct SystemDescription {
+  std::string name;  // "cts1"
+  std::string site;  // "LLNL", "AWS", ...
+  std::string description;
+  int num_nodes = 1;
+  ProcessorModel cpu;
+  std::optional<GpuModel> gpu;
+  double node_mem_gb = 128;
+  InterconnectModel interconnect;
+  SchedulerKind scheduler = SchedulerKind::slurm;
+  std::string mpi_launcher;  // "srun", "jsrun", "flux run"
+
+  /// The Spack config scope for this system (compilers.yaml,
+  /// packages.yaml with externals — Figure 4).
+  concretizer::Config config;
+
+  /// Run-to-run noise (relative sigma) applied to simulated timings.
+  double noise_sigma = 0.02;
+  /// Seed making this system's simulated measurements reproducible.
+  std::uint64_t seed = 1;
+
+  /// Hardware features the math library depends on; systems "of similar
+  /// architecture" may miss one (the Section 7.1 cloud-bug story).
+  std::set<std::string> disabled_features;
+
+  [[nodiscard]] bool has_gpu() const { return gpu.has_value(); }
+  [[nodiscard]] int ranks_capacity() const {
+    return num_nodes * cpu.cores_per_node;
+  }
+
+  /// The Ramble variables.yaml for this system (Figure 12): scheduler
+  /// and launcher command templates.
+  [[nodiscard]] yaml::Node variables_yaml() const;
+};
+
+/// Registry of the paper's systems plus cloud/native.
+class SystemRegistry {
+public:
+  static const SystemRegistry& instance();
+
+  [[nodiscard]] const SystemDescription& get(std::string_view name) const;
+  [[nodiscard]] const SystemDescription* find(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+  SystemRegistry();
+  std::map<std::string, SystemDescription, std::less<>> systems_;
+};
+
+// Factories (exposed for tests and for building modified variants).
+SystemDescription make_cts1();
+SystemDescription make_ats2();
+SystemDescription make_ats4_ea();
+/// A cloud twin of cts1 "of similar architecture" missing one hardware
+/// feature the vendor math library uses (Section 7.1).
+SystemDescription make_cloud_cts();
+/// The machine the library itself runs on (real detection; used by the
+/// quickstart to run saxpy natively).
+SystemDescription make_native();
+
+}  // namespace benchpark::system

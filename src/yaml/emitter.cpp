@@ -1,0 +1,130 @@
+#include "src/yaml/emitter.hpp"
+
+#include <cctype>
+
+#include "src/support/string_util.hpp"
+
+namespace benchpark::yaml {
+
+namespace {
+
+using support::contains;
+using support::repeat;
+
+bool needs_quoting(const std::string& s, const EmitOptions& options) {
+  if (s.empty()) return true;
+  if (options.quote_numeric_strings &&
+      (support::looks_like_int(s) || support::looks_like_double(s))) {
+    return true;
+  }
+  auto lower = support::to_lower(s);
+  if (lower == "true" || lower == "false" || lower == "null" ||
+      lower == "yes" || lower == "no" || lower == "on" || lower == "off") {
+    return true;
+  }
+  if (std::isspace(static_cast<unsigned char>(s.front())) ||
+      std::isspace(static_cast<unsigned char>(s.back()))) {
+    return true;
+  }
+  switch (s.front()) {
+    case '[': case ']': case '{': case '}': case '#': case '&': case '*':
+    case '!': case '|': case '>': case '\'': case '"': case '%': case '@':
+    case '-':
+      // '-' only ambiguous as "- "; negative numbers are fine.
+      if (s.front() == '-' && s.size() > 1 && s[1] != ' ') break;
+      if (s.front() == '@' || s.front() == '%') break;  // spec syntax is safe
+      return true;
+    default: break;
+  }
+  if (contains(s, ": ") || support::ends_with(s, ":")) return true;
+  if (contains(s, " #")) return true;
+  if (contains(s, "\n")) return true;
+  return false;
+}
+
+std::string quoted(const std::string& s) {
+  return "'" + support::replace_all(s, "'", "''") + "'";
+}
+
+std::string scalar_text(const std::string& s, const EmitOptions& options) {
+  return needs_quoting(s, options) ? quoted(s) : s;
+}
+
+std::string key_text(const std::string& s) {
+  if (s.empty() || contains(s, ":") || contains(s, " ") ||
+      contains(s, "#")) {
+    return quoted(s);
+  }
+  return s;
+}
+
+void emit_node(const Node& node, int depth, const EmitOptions& options,
+               std::string& out);
+
+void emit_child(const Node& child, int depth, const EmitOptions& options,
+                std::string& out) {
+  // A nested container goes on following lines; scalars stay inline.
+  if (child.is_scalar()) {
+    out += " " + scalar_text(child.as_string(), options) + "\n";
+  } else if (child.is_null()) {
+    out += "\n";
+  } else if (child.size() == 0) {
+    out += child.is_mapping() ? " {}\n" : " []\n";
+  } else {
+    out += "\n";
+    emit_node(child, depth + 1, options, out);
+  }
+}
+
+void emit_node(const Node& node, int depth, const EmitOptions& options,
+               std::string& out) {
+  const std::string pad = repeat(" ", options.indent_width * depth);
+  switch (node.kind()) {
+    case Node::Kind::null:
+      break;
+    case Node::Kind::scalar:
+      out += pad + scalar_text(node.as_string(), options) + "\n";
+      break;
+    case Node::Kind::sequence:
+      for (const auto& item : node.items()) {
+        if (item.is_scalar()) {
+          out += pad + "- " + scalar_text(item.as_string(), options) + "\n";
+        } else if (item.is_null()) {
+          out += pad + "-\n";
+        } else if (item.is_mapping() && item.size() > 0) {
+          // "- key: value" inline first pair, rest indented.
+          bool first = true;
+          for (const auto& [k, v] : item.map()) {
+            if (first) {
+              out += pad + "- " + key_text(k) + ":";
+              emit_child(v, depth + 1, options, out);
+              first = false;
+            } else {
+              out += pad + "  " + key_text(k) + ":";
+              emit_child(v, depth + 1, options, out);
+            }
+          }
+        } else {
+          out += pad + "-\n";
+          emit_node(item, depth + 1, options, out);
+        }
+      }
+      break;
+    case Node::Kind::mapping:
+      for (const auto& [k, v] : node.map()) {
+        out += pad + key_text(k) + ":";
+        emit_child(v, depth, options, out);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::string emit(const Node& node, const EmitOptions& options) {
+  std::string out;
+  emit_node(node, 0, options, out);
+  return out;
+}
+
+}  // namespace benchpark::yaml

@@ -1,0 +1,22 @@
+// Emitter turning a Node tree back into YAML text.
+//
+// Output round-trips through the parser: parse(emit(n)) == n. Scalars that
+// would be ambiguous (contain ':', '#', leading '[', etc., or look numeric
+// when the intent is string) are single-quoted.
+#pragma once
+
+#include <string>
+
+#include "src/yaml/node.hpp"
+
+namespace benchpark::yaml {
+
+struct EmitOptions {
+  int indent_width = 2;
+  /// Quote scalars that parse as numbers (Ramble configs quote '8').
+  bool quote_numeric_strings = false;
+};
+
+std::string emit(const Node& node, const EmitOptions& options = {});
+
+}  // namespace benchpark::yaml

@@ -1,0 +1,196 @@
+#include "src/yaml/node.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::yaml {
+
+using support::format_double;
+using support::to_lower;
+
+// ---------------------------------------------------------------- OrderedMap
+
+Node& OrderedMap::operator[](const std::string& key) {
+  for (auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  items_.emplace_back(key, Node{});
+  return items_.back().second;
+}
+
+const Node* OrderedMap::find(std::string_view key) const {
+  for (const auto& [k, v] : items_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Node* OrderedMap::find(std::string_view key) {
+  for (auto& [k, v] : items_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool OrderedMap::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+bool OrderedMap::erase(std::string_view key) {
+  auto it = std::find_if(items_.begin(), items_.end(),
+                         [&](const value_type& kv) { return kv.first == key; });
+  if (it == items_.end()) return false;
+  items_.erase(it);
+  return true;
+}
+
+// ---------------------------------------------------------------------- Node
+
+Node::Node(std::string scalar)
+    : kind_(Kind::scalar), scalar_(std::move(scalar)) {}
+
+Node::Node(const char* scalar) : kind_(Kind::scalar), scalar_(scalar) {}
+
+Node::Node(long long value)
+    : kind_(Kind::scalar), scalar_(std::to_string(value)) {}
+
+Node::Node(int value) : kind_(Kind::scalar), scalar_(std::to_string(value)) {}
+
+Node::Node(double value)
+    : kind_(Kind::scalar), scalar_(format_double(value, 15)) {}
+
+Node::Node(bool value) : kind_(Kind::scalar), scalar_(value ? "true" : "false") {}
+
+Node Node::make_sequence() {
+  Node n;
+  n.kind_ = Kind::sequence;
+  return n;
+}
+
+Node Node::make_mapping() {
+  Node n;
+  n.kind_ = Kind::mapping;
+  return n;
+}
+
+const std::string& Node::as_string() const {
+  if (kind_ != Kind::scalar) throw YamlError("node is not a scalar");
+  return scalar_;
+}
+
+long long Node::as_int() const { return support::parse_int(as_string()); }
+
+double Node::as_double() const { return support::parse_double(as_string()); }
+
+bool Node::as_bool() const {
+  auto s = to_lower(as_string());
+  if (s == "true" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "no" || s == "off") return false;
+  throw YamlError("not a boolean: '" + as_string() + "'");
+}
+
+std::string Node::as_string_or(const std::string& fallback) const {
+  return is_scalar() ? scalar_ : fallback;
+}
+
+long long Node::as_int_or(long long fallback) const {
+  return is_scalar() ? as_int() : fallback;
+}
+
+bool Node::as_bool_or(bool fallback) const {
+  return is_scalar() ? as_bool() : fallback;
+}
+
+const std::vector<Node>& Node::items() const {
+  if (kind_ != Kind::sequence) throw YamlError("node is not a sequence");
+  return sequence_;
+}
+
+std::vector<Node>& Node::items_mut() {
+  if (kind_ == Kind::null) kind_ = Kind::sequence;
+  if (kind_ != Kind::sequence) throw YamlError("node is not a sequence");
+  return sequence_;
+}
+
+void Node::push_back(Node child) { items_mut().push_back(std::move(child)); }
+
+std::size_t Node::size() const {
+  switch (kind_) {
+    case Kind::sequence: return sequence_.size();
+    case Kind::mapping: return mapping_.size();
+    case Kind::null: return 0;
+    case Kind::scalar: return 1;
+  }
+  return 0;
+}
+
+std::vector<std::string> Node::as_string_list() const {
+  std::vector<std::string> out;
+  if (is_scalar()) {
+    out.push_back(scalar_);
+    return out;
+  }
+  if (is_null()) return out;
+  for (const auto& item : items()) out.push_back(item.as_string());
+  return out;
+}
+
+const OrderedMap& Node::map() const {
+  if (kind_ != Kind::mapping) throw YamlError("node is not a mapping");
+  return mapping_;
+}
+
+OrderedMap& Node::map_mut() {
+  if (kind_ == Kind::null) kind_ = Kind::mapping;
+  if (kind_ != Kind::mapping) throw YamlError("node is not a mapping");
+  return mapping_;
+}
+
+const Node& Node::at(std::string_view key) const {
+  if (kind_ != Kind::mapping) return null_node();
+  const Node* found = mapping_.find(key);
+  return found ? *found : null_node();
+}
+
+Node& Node::operator[](const std::string& key) { return map_mut()[key]; }
+
+bool Node::has(std::string_view key) const {
+  return kind_ == Kind::mapping && mapping_.contains(key);
+}
+
+const Node& Node::path(std::string_view dotted) const {
+  const Node* current = this;
+  for (const auto& part : support::split(dotted, '.')) {
+    current = &current->at(part);
+    if (current->is_null()) return null_node();
+  }
+  return *current;
+}
+
+bool Node::operator==(const Node& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::null: return true;
+    case Kind::scalar: return scalar_ == other.scalar_;
+    case Kind::sequence: return sequence_ == other.sequence_;
+    case Kind::mapping: {
+      if (mapping_.size() != other.mapping_.size()) return false;
+      auto it = other.mapping_.begin();
+      for (const auto& [k, v] : mapping_) {
+        if (k != it->first || !(v == it->second)) return false;
+        ++it;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+const Node& null_node() {
+  static const Node instance;
+  return instance;
+}
+
+}  // namespace benchpark::yaml

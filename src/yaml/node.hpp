@@ -1,0 +1,113 @@
+// YAML document model.
+//
+// Benchpark configs (spack.yaml, ramble.yaml, variables.yaml,
+// compilers.yaml, packages.yaml, .gitlab-ci.yml) use a small YAML subset:
+// block maps, block sequences, flow sequences, scalars with optional
+// quoting, and comments. This node type models exactly that. Maps preserve
+// insertion order so emitted configs diff cleanly against their inputs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace benchpark::yaml {
+
+class Node;
+
+/// Ordered map preserving insertion order with O(log n) lookup.
+class OrderedMap {
+public:
+  using value_type = std::pair<std::string, Node>;
+
+  Node& operator[](const std::string& key);
+  [[nodiscard]] const Node* find(std::string_view key) const;
+  [[nodiscard]] Node* find(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  [[nodiscard]] auto begin() const { return items_.begin(); }
+  [[nodiscard]] auto end() const { return items_.end(); }
+  [[nodiscard]] auto begin() { return items_.begin(); }
+  [[nodiscard]] auto end() { return items_.end(); }
+
+  bool erase(std::string_view key);
+
+private:
+  std::vector<value_type> items_;
+};
+
+/// A YAML node: null, scalar (string-typed; callers convert), sequence,
+/// or mapping.
+class Node {
+public:
+  enum class Kind { null, scalar, sequence, mapping };
+
+  Node() = default;
+  /* implicit */ Node(std::string scalar);
+  /* implicit */ Node(const char* scalar);
+  /* implicit */ Node(long long value);
+  /* implicit */ Node(int value);
+  /* implicit */ Node(double value);
+  /* implicit */ Node(bool value);
+
+  static Node make_sequence();
+  static Node make_mapping();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::null; }
+  [[nodiscard]] bool is_scalar() const { return kind_ == Kind::scalar; }
+  [[nodiscard]] bool is_sequence() const { return kind_ == Kind::sequence; }
+  [[nodiscard]] bool is_mapping() const { return kind_ == Kind::mapping; }
+
+  // -- scalar access ---------------------------------------------------
+  /// Raw scalar string; throws YamlError if not a scalar.
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] long long as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] bool as_bool() const;
+
+  /// Scalar with fallback when node is null/missing-typed.
+  [[nodiscard]] std::string as_string_or(const std::string& fallback) const;
+  [[nodiscard]] long long as_int_or(long long fallback) const;
+  [[nodiscard]] bool as_bool_or(bool fallback) const;
+
+  // -- sequence access -------------------------------------------------
+  [[nodiscard]] const std::vector<Node>& items() const;
+  std::vector<Node>& items_mut();
+  void push_back(Node child);
+  [[nodiscard]] std::size_t size() const;
+
+  /// Sequence of scalars as strings; a scalar node yields a 1-vector.
+  [[nodiscard]] std::vector<std::string> as_string_list() const;
+
+  // -- mapping access --------------------------------------------------
+  [[nodiscard]] const OrderedMap& map() const;
+  OrderedMap& map_mut();
+
+  /// Child by key; returns a shared null node if absent or not a mapping.
+  [[nodiscard]] const Node& at(std::string_view key) const;
+  /// Child by key, creating intermediate mapping as needed.
+  Node& operator[](const std::string& key);
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Deep path lookup "a.b.c"; returns null node when any hop is missing.
+  [[nodiscard]] const Node& path(std::string_view dotted) const;
+
+  bool operator==(const Node& other) const;
+
+private:
+  Kind kind_ = Kind::null;
+  std::string scalar_;
+  std::vector<Node> sequence_;
+  OrderedMap mapping_;
+};
+
+/// The canonical shared null node (kind() == null).
+const Node& null_node();
+
+}  // namespace benchpark::yaml

@@ -1,0 +1,284 @@
+#include "src/yaml/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "src/support/error.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::yaml {
+
+namespace {
+
+using support::trim;
+
+struct Line {
+  int number = 0;       // 1-based source line
+  int indent = 0;       // leading spaces
+  std::string content;  // text after indent, comments stripped
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw YamlError("yaml:" + std::to_string(line) + ": " + message);
+}
+
+/// Strip a trailing comment that is not inside quotes. A '#' only starts a
+/// comment at line start or after whitespace (YAML rule).
+std::string strip_comment(std::string_view s) {
+  char quote = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (quote) {
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return std::string(s.substr(0, i));
+    }
+  }
+  return std::string(s);
+}
+
+std::vector<Line> logical_lines(std::string_view text) {
+  std::vector<Line> lines;
+  int number = 0;
+  for (const auto& raw : support::split(text, '\n')) {
+    ++number;
+    std::string no_comment = strip_comment(raw);
+    std::size_t indent = 0;
+    while (indent < no_comment.size() && no_comment[indent] == ' ') ++indent;
+    if (indent < no_comment.size() && no_comment[indent] == '\t') {
+      fail(number, "tabs are not allowed for indentation");
+    }
+    std::string content = trim(no_comment);
+    if (content.empty()) continue;
+    if (content == "---") continue;  // single-document marker, ignore
+    if (content[0] == '&' || content[0] == '*') {
+      fail(number, "anchors/aliases are not supported");
+    }
+    lines.push_back({number, static_cast<int>(indent), std::move(content)});
+  }
+  return lines;
+}
+
+class Parser {
+public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  Node parse_document() {
+    if (lines_.empty()) return Node{};
+    Node result = parse_block(lines_.front().indent);
+    if (pos_ != lines_.size()) {
+      fail(lines_[pos_].number, "unexpected content after document");
+    }
+    return result;
+  }
+
+private:
+  [[nodiscard]] bool done() const { return pos_ >= lines_.size(); }
+  [[nodiscard]] const Line& peek() const { return lines_[pos_]; }
+
+  /// Parse the block starting at the current line, which must be indented
+  /// exactly `indent`.
+  Node parse_block(int indent) {
+    const Line& first = peek();
+    if (first.indent != indent) {
+      fail(first.number, "unexpected indentation");
+    }
+    if (is_sequence_item(first.content)) return parse_sequence(indent);
+    auto key_split = split_key(first.content);
+    if (key_split) return parse_mapping(indent);
+    // A plain scalar document/value.
+    Node scalar(parse_scalar(first.content, first.number));
+    ++pos_;
+    return scalar;
+  }
+
+  static bool is_sequence_item(const std::string& content) {
+    return content == "-" || support::starts_with(content, "- ");
+  }
+
+  /// Split "key: value" / "key:" respecting quoted keys. Returns
+  /// {key, rest-after-colon} or nullopt if the line is not a mapping entry.
+  static std::optional<std::pair<std::string, std::string>> split_key(
+      const std::string& content) {
+    std::size_t i = 0;
+    char quote = 0;
+    if (!content.empty() && (content[0] == '\'' || content[0] == '"')) {
+      quote = content[0];
+      for (i = 1; i < content.size() && content[i] != quote; ++i) {}
+      if (i == content.size()) return std::nullopt;  // unterminated quote
+      ++i;  // past closing quote
+      if (i >= content.size() || content[i] != ':') return std::nullopt;
+      std::string key = content.substr(1, i - 2);
+      std::string rest = trim(content.substr(i + 1));
+      return {{key, rest}};
+    }
+    for (; i < content.size(); ++i) {
+      char c = content[i];
+      if (c == ':' &&
+          (i + 1 == content.size() || content[i + 1] == ' ')) {
+        std::string key = trim(content.substr(0, i));
+        if (key.empty()) return std::nullopt;
+        std::string rest =
+            i + 1 < content.size() ? trim(content.substr(i + 1)) : "";
+        return {{key, rest}};
+      }
+      // Keys never contain these; bail out so URLs ("http://x") and specs
+      // are treated as scalars.
+      if (c == ' ' || c == '\'' || c == '"' || c == '[') return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  Node parse_sequence(int indent) {
+    Node seq = Node::make_sequence();
+    while (!done() && peek().indent == indent &&
+           is_sequence_item(peek().content)) {
+      Line line = peek();
+      std::string rest =
+          line.content == "-" ? "" : trim(line.content.substr(2));
+      // Indent of content inside this item ("- " is two columns wide).
+      int item_indent = indent + 2;
+      if (rest.empty()) {
+        ++pos_;
+        if (!done() && peek().indent > indent) {
+          seq.push_back(parse_block(peek().indent));
+        } else {
+          seq.push_back(Node{});
+        }
+        continue;
+      }
+      auto key_split = split_key(rest);
+      if (key_split) {
+        // "- key: value" — a mapping starting inline; subsequent keys sit
+        // at item_indent. Rewrite the current line and parse a mapping.
+        lines_[pos_].indent = item_indent;
+        lines_[pos_].content = rest;
+        seq.push_back(parse_mapping(item_indent));
+      } else {
+        seq.push_back(parse_scalar(rest, line.number));
+        ++pos_;
+      }
+    }
+    return seq;
+  }
+
+  Node parse_mapping(int indent) {
+    Node map = Node::make_mapping();
+    while (!done() && peek().indent == indent &&
+           !is_sequence_item(peek().content)) {
+      Line line = peek();
+      auto key_split = split_key(line.content);
+      if (!key_split) fail(line.number, "expected 'key: value'");
+      auto& [key, rest] = *key_split;
+      if (map.has(key)) fail(line.number, "duplicate key '" + key + "'");
+      if (!rest.empty()) {
+        map[key] = parse_scalar(rest, line.number);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (!done() && peek().indent > indent) {
+        map[key] = parse_block(peek().indent);
+      } else if (!done() && peek().indent == indent &&
+                 is_sequence_item(peek().content)) {
+        // Sequences are commonly indented at the same level as their key.
+        map[key] = parse_sequence(indent);
+      } else {
+        map[key] = Node{};
+      }
+    }
+    return map;
+  }
+
+  /// Parse an inline value: quoted scalar, flow sequence, or plain scalar.
+  Node parse_scalar(const std::string& text, int line_number) {
+    if (text.empty()) return Node{};
+    if (text[0] == '[') return parse_flow_sequence(text, line_number);
+    if (text == "{}")
+      return Node::make_mapping();
+    if (text[0] == '{') fail(line_number, "flow mappings are not supported");
+    if (text[0] == '|' || text[0] == '>') {
+      fail(line_number, "block scalars are not supported");
+    }
+    return Node(unquote(text, line_number));
+  }
+
+  Node parse_flow_sequence(const std::string& text, int line_number) {
+    if (text.back() != ']') {
+      fail(line_number, "unterminated flow sequence");
+    }
+    Node seq = Node::make_sequence();
+    std::string inner = text.substr(1, text.size() - 2);
+    // Split on commas outside quotes/nesting.
+    std::vector<std::string> parts;
+    std::string current;
+    char quote = 0;
+    int depth = 0;
+    for (char c : inner) {
+      if (quote) {
+        current.push_back(c);
+        if (c == quote) quote = 0;
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        quote = c;
+        current.push_back(c);
+      } else if (c == '[') {
+        ++depth;
+        current.push_back(c);
+      } else if (c == ']') {
+        --depth;
+        current.push_back(c);
+      } else if (c == ',' && depth == 0) {
+        parts.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!trim(current).empty() || !parts.empty()) parts.push_back(current);
+    for (auto& part : parts) {
+      std::string item = trim(part);
+      if (item.empty()) fail(line_number, "empty flow sequence item");
+      seq.push_back(parse_scalar(item, line_number));
+    }
+    return seq;
+  }
+
+  static std::string unquote(const std::string& text, int line_number) {
+    if (text.size() >= 2 &&
+        (text.front() == '\'' || text.front() == '"') &&
+        text.back() == text.front()) {
+      std::string inner = text.substr(1, text.size() - 2);
+      if (text.front() == '\'') {
+        return support::replace_all(std::move(inner), "''", "'");
+      }
+      return support::replace_all(std::move(inner), "\\\"", "\"");
+    }
+    if (!text.empty() && (text.front() == '\'' || text.front() == '"')) {
+      fail(line_number, "unterminated quoted scalar");
+    }
+    return text;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Node parse(std::string_view text) {
+  return Parser(logical_lines(text)).parse_document();
+}
+
+Node parse_file(const std::string& path) {
+  return parse(support::read_file(path));
+}
+
+}  // namespace benchpark::yaml

@@ -1,0 +1,29 @@
+// Parser for the YAML subset used by benchpark configuration files.
+//
+// Supported constructs (sufficient for every config in the paper):
+//   * block mappings with arbitrary nesting
+//   * block sequences (`- item`), including sequences of mappings
+//   * flow sequences (`[a, b, c]`)
+//   * single- and double-quoted scalars; plain scalars
+//   * full-line and trailing `#` comments
+//   * empty values (null nodes)
+//
+// Not supported (rejected with YamlError): anchors/aliases, multi-doc
+// streams, block scalars (| and >), flow mappings, tabs for indentation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/yaml/node.hpp"
+
+namespace benchpark::yaml {
+
+/// Parse a YAML document; the result is a mapping, sequence, or scalar.
+/// Throws YamlError with a line number on malformed input.
+Node parse(std::string_view text);
+
+/// Parse the file at `path` (convenience wrapper).
+Node parse_file(const std::string& path);
+
+}  // namespace benchpark::yaml

@@ -1,0 +1,169 @@
+// Tests for the real benchmark kernels: saxpy (Figure 7), STREAM, and the
+// AMG multigrid proxy — correctness, convergence, and output formats the
+// Ramble FOM extractors consume.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/benchmarks/multigrid.hpp"
+#include "src/benchmarks/saxpy.hpp"
+#include "src/benchmarks/stream.hpp"
+#include "src/support/error.hpp"
+#include "src/support/parallel.hpp"
+
+namespace bm = benchpark::benchmarks;
+
+TEST(ParallelFor, CoversWholeRangeOnce) {
+  std::vector<int> hits(1000, 0);
+  benchpark::support::parallel_for(
+      hits.size(), 4, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, HandlesSmallAndEmptyRanges) {
+  int calls = 0;
+  benchpark::support::parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    calls += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(3, 0);
+  benchpark::support::parallel_for(3, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(Saxpy, KernelMatchesFigure7Semantics) {
+  std::vector<float> x{1, 2, 3}, y{10, 20, 30}, r(3);
+  bm::saxpy_kernel(r.data(), x.data(), y.data(), 3, 2.0f);
+  EXPECT_FLOAT_EQ(r[0], 12);
+  EXPECT_FLOAT_EQ(r[1], 24);
+  EXPECT_FLOAT_EQ(r[2], 36);
+}
+
+TEST(Saxpy, RunVerifies) {
+  auto result = bm::run_saxpy(512, 1);
+  EXPECT_TRUE(result.verified);
+  EXPECT_EQ(result.n, 512u);
+  EXPECT_GT(result.elapsed_seconds, 0);
+}
+
+TEST(Saxpy, ThreadedRunMatchesSerial) {
+  auto serial = bm::run_saxpy(100000, 1);
+  auto threaded = bm::run_saxpy(100000, 4);
+  EXPECT_TRUE(threaded.verified);
+  EXPECT_FLOAT_EQ(serial.checksum, threaded.checksum);
+}
+
+TEST(Saxpy, PaperProblemSizes) {
+  // Figure 10 sweeps n over 512 and 1024.
+  for (std::size_t n : {512u, 1024u}) {
+    auto result = bm::run_saxpy(n, 2);
+    EXPECT_TRUE(result.verified) << n;
+  }
+}
+
+TEST(Saxpy, OutputContainsSuccessString) {
+  // "Kernel done" is the Figure 8 success_criteria / FOM regex.
+  auto out = bm::saxpy_output(bm::run_saxpy(1024, 2));
+  EXPECT_NE(out.find("Kernel done"), std::string::npos);
+  EXPECT_NE(out.find("Kernel elapsed:"), std::string::npos);
+}
+
+TEST(Saxpy, CostModelScalesLinearly) {
+  EXPECT_DOUBLE_EQ(bm::saxpy_flops(100), 200);
+  EXPECT_DOUBLE_EQ(bm::saxpy_bytes(100), 1200);
+}
+
+TEST(Stream, BandwidthPositiveAndValidates) {
+  auto result = bm::run_stream(1 << 16, 1, 2);
+  EXPECT_TRUE(result.verified);
+  for (double bw : result.bandwidth_gbs) EXPECT_GT(bw, 0);
+}
+
+TEST(Stream, OutputFormat) {
+  auto out = bm::stream_output(bm::run_stream(1 << 14, 1, 1));
+  EXPECT_NE(out.find("Triad:"), std::string::npos);
+  EXPECT_NE(out.find("Solution Validates"), std::string::npos);
+}
+
+TEST(Multigrid, ConvergesOnSmallGrid) {
+  bm::MultigridOptions options;
+  options.n = 63;
+  auto result = bm::solve_poisson_multigrid(options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.cycles, 15);
+  EXPECT_GT(result.levels, 3);
+  EXPECT_LT(result.final_residual, 1e-8 * result.initial_residual * 1.01);
+}
+
+TEST(Multigrid, SolutionMatchesManufactured) {
+  bm::MultigridOptions options;
+  options.n = 63;
+  auto result = bm::solve_poisson_multigrid(options);
+  // Discretization error of the 5-point stencil is O(h^2) ~ 2e-4 at h=1/64.
+  EXPECT_LT(result.solution_error, 1e-3);
+  EXPECT_GT(result.solution_error, 0);
+}
+
+TEST(Multigrid, HIndependentConvergence) {
+  // The multigrid property AMG benchmarks rely on: cycle count does not
+  // grow with resolution.
+  bm::MultigridOptions small;
+  small.n = 31;
+  bm::MultigridOptions large;
+  large.n = 127;
+  auto rs = bm::solve_poisson_multigrid(small);
+  auto rl = bm::solve_poisson_multigrid(large);
+  EXPECT_TRUE(rs.converged);
+  EXPECT_TRUE(rl.converged);
+  EXPECT_LE(std::abs(rl.cycles - rs.cycles), 2);
+}
+
+TEST(Multigrid, ErrorShrinksWithResolution) {
+  bm::MultigridOptions c;
+  c.n = 31;
+  bm::MultigridOptions f;
+  f.n = 63;
+  auto coarse = bm::solve_poisson_multigrid(c);
+  auto fine = bm::solve_poisson_multigrid(f);
+  // O(h^2): quartering expected, allow slack.
+  EXPECT_LT(fine.solution_error, coarse.solution_error / 2.5);
+}
+
+TEST(Multigrid, ThreadedSolveConverges) {
+  bm::MultigridOptions options;
+  options.n = 63;
+  options.threads = 4;
+  auto result = bm::solve_poisson_multigrid(options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.solution_error, 1e-3);
+}
+
+TEST(Multigrid, RejectsBadGridSizes) {
+  bm::MultigridOptions options;
+  options.n = 100;  // not 2^k - 1
+  EXPECT_THROW(bm::solve_poisson_multigrid(options), benchpark::Error);
+  options.n = 2;
+  EXPECT_THROW(bm::solve_poisson_multigrid(options), benchpark::Error);
+}
+
+TEST(Multigrid, OutputCarriesFoms) {
+  bm::MultigridOptions options;
+  options.n = 31;
+  auto out = bm::multigrid_output(bm::solve_poisson_multigrid(options));
+  EXPECT_NE(out.find("Figure of Merit (FOM_Setup):"), std::string::npos);
+  EXPECT_NE(out.find("Figure of Merit (FOM_Solve):"), std::string::npos);
+  EXPECT_NE(out.find("AMG converged"), std::string::npos);
+  EXPECT_NE(out.find("iterations:"), std::string::npos);
+}
+
+TEST(Multigrid, FomsArePositive) {
+  bm::MultigridOptions options;
+  options.n = 63;
+  auto result = bm::solve_poisson_multigrid(options);
+  EXPECT_GT(result.setup_fom(), 0);
+  EXPECT_GT(result.solve_fom(), 0);
+}

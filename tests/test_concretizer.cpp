@@ -1,0 +1,342 @@
+// Concretizer tests: version selection, virtual resolution, externals
+// (Figure 4), compiler/target assignment, unification (Figure 3's
+// "concretizer: unify: true"), conflicts, and packages.yaml round-trips.
+#include <gtest/gtest.h>
+
+#include "src/concretizer/concretizer.hpp"
+#include "src/pkg/repo.hpp"
+#include "src/support/error.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace cz = benchpark::concretizer;
+namespace pkg = benchpark::pkg;
+namespace spec = benchpark::spec;
+using spec::Spec;
+using spec::Version;
+
+namespace {
+
+/// A cts1-like scope: gcc+intel compilers, MKL and mvapich2 externals
+/// (exactly the Figure 4 configuration), broadwell target.
+cz::Config cts1_like_config() {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "/usr/tce/bin/gcc",
+                       "/usr/tce/bin/g++"});
+  config.add_compiler({"gcc", Version("10.3.1"), "", ""});
+  config.add_compiler({"intel", Version("2021.6.0"), "", ""});
+  config.set_default_target("broadwell");
+  config.set_default_compiler("gcc@12.1.1");
+
+  auto packages = benchpark::yaml::parse(
+      "packages:\n"
+      "  blas:\n"
+      "    externals:\n"
+      "    - spec: intel-oneapi-mkl@2022.1.0\n"
+      "      prefix: /path/to/intel-oneapi-mkl\n"
+      "    buildable: false\n"
+      "  lapack:\n"
+      "    externals:\n"
+      "    - spec: intel-oneapi-mkl@2022.1.0\n"
+      "      prefix: /path/to/intel-oneapi-mkl\n"
+      "    buildable: false\n"
+      "  mpi:\n"
+      "    externals:\n"
+      "    - spec: mvapich2@2.3.7\n"
+      "      prefix: /path/to/mvapich2\n"
+      "    buildable: false\n"
+      "  mvapich2:\n"
+      "    externals:\n"
+      "    - spec: mvapich2@2.3.7\n"
+      "      prefix: /path/to/mvapich2\n"
+      "    buildable: false\n"
+      "  intel-oneapi-mkl:\n"
+      "    externals:\n"
+      "    - spec: intel-oneapi-mkl@2022.1.0\n"
+      "      prefix: /path/to/intel-oneapi-mkl\n"
+      "    buildable: false\n");
+  config.load_packages_yaml(packages);
+  return config;
+}
+
+cz::Concretizer make_concretizer() {
+  return cz::Concretizer(pkg::default_repo_stack(), cts1_like_config());
+}
+
+}  // namespace
+
+TEST(Concretizer, PinsHighestVersion) {
+  auto c = make_concretizer();
+  auto s = c.concretize("zlib");
+  EXPECT_TRUE(s.concrete());
+  EXPECT_EQ(s.concrete_version().str(), "1.3");
+}
+
+TEST(Concretizer, RespectsVersionConstraint) {
+  auto c = make_concretizer();
+  auto s = c.concretize("zlib@:1.2");
+  EXPECT_EQ(s.concrete_version().str(), "1.2.13");
+}
+
+TEST(Concretizer, UnsatisfiableVersionThrows) {
+  auto c = make_concretizer();
+  EXPECT_THROW(c.concretize("zlib@99:"), benchpark::ConcretizationError);
+}
+
+TEST(Concretizer, AppliesVariantDefaults) {
+  auto c = make_concretizer();
+  auto s = c.concretize("saxpy");
+  EXPECT_TRUE(s.variant_enabled("openmp"));   // default true
+  EXPECT_FALSE(s.variant_enabled("cuda"));    // default false
+}
+
+TEST(Concretizer, UserVariantOverridesDefault) {
+  auto c = make_concretizer();
+  auto s = c.concretize("saxpy~openmp");
+  EXPECT_FALSE(s.variant_enabled("openmp"));
+}
+
+TEST(Concretizer, UnknownVariantThrows) {
+  auto c = make_concretizer();
+  EXPECT_THROW(c.concretize("zlib+nonexistent"),
+               benchpark::ConcretizationError);
+}
+
+TEST(Concretizer, DisallowedVariantValueThrows) {
+  auto c = make_concretizer();
+  EXPECT_THROW(c.concretize("openblas threads=fibers"),
+               benchpark::ConcretizationError);
+}
+
+TEST(Concretizer, AssignsDefaultCompilerAndTarget) {
+  auto c = make_concretizer();
+  auto s = c.concretize("zlib");
+  ASSERT_TRUE(s.compiler().has_value());
+  EXPECT_EQ(s.compiler()->name, "gcc");
+  EXPECT_TRUE(s.compiler()->versions.satisfied_by(Version("12.1.1")));
+  EXPECT_EQ(s.target(), "broadwell");
+}
+
+TEST(Concretizer, UserCompilerSelection) {
+  auto c = make_concretizer();
+  auto s = c.concretize("zlib%intel");
+  EXPECT_EQ(s.compiler()->name, "intel");
+}
+
+TEST(Concretizer, CompilerVersionRangePicksHighest) {
+  auto c = make_concretizer();
+  auto s = c.concretize("zlib%gcc@10:");
+  EXPECT_TRUE(s.compiler()->versions.satisfied_by(Version("12.1.1")));
+}
+
+TEST(Concretizer, UnknownCompilerThrows) {
+  auto c = make_concretizer();
+  EXPECT_THROW(c.concretize("zlib%xl"), benchpark::ConcretizationError);
+}
+
+TEST(Concretizer, ExternalShortCircuitsBuild) {
+  auto c = make_concretizer();
+  auto s = c.concretize("intel-oneapi-mkl");
+  EXPECT_TRUE(s.is_external());
+  EXPECT_EQ(s.external_prefix(), "/path/to/intel-oneapi-mkl");
+  EXPECT_TRUE(s.dependencies().empty());
+}
+
+TEST(Concretizer, VirtualResolvesToExternalProvider) {
+  // Figure 4: the "mpi" virtual must resolve to the system mvapich2.
+  auto c = make_concretizer();
+  auto s = c.concretize("saxpy");
+  const auto* mpi_dep = s.dependency("mvapich2");
+  ASSERT_NE(mpi_dep, nullptr) << s.str();
+  EXPECT_TRUE(mpi_dep->is_external());
+  EXPECT_EQ(mpi_dep->concrete_version().str(), "2.3.7");
+}
+
+TEST(Concretizer, BlasVirtualResolvesToMkl) {
+  auto c = make_concretizer();
+  auto s = c.concretize("hypre");
+  const auto* blas = s.dependency("intel-oneapi-mkl");
+  ASSERT_NE(blas, nullptr);
+  EXPECT_TRUE(blas->is_external());
+}
+
+TEST(Concretizer, UserProviderChoiceWins) {
+  // No externals scope: pick providers freely.
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.set_default_target("zen3");
+  cz::Concretizer c(pkg::default_repo_stack(), config);
+
+  auto s = c.concretize("saxpy ^openmpi");
+  EXPECT_NE(s.dependency("openmpi"), nullptr);
+  EXPECT_EQ(s.dependency("mvapich2"), nullptr);
+}
+
+TEST(Concretizer, ProviderPreferenceFromConfig) {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.set_default_target("zen3");
+  config.package("mpi").preferred_providers = {"openmpi"};
+  cz::Concretizer c(pkg::default_repo_stack(), config);
+
+  auto s = c.concretize("saxpy");
+  EXPECT_NE(s.dependency("openmpi"), nullptr);
+}
+
+TEST(Concretizer, NotBuildableWithoutExternalThrows) {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.package("zlib").buildable = false;
+  cz::Concretizer c(pkg::default_repo_stack(), config);
+  EXPECT_THROW(c.concretize("zlib"), benchpark::ConcretizationError);
+}
+
+TEST(Concretizer, VersionPreferenceFromConfig) {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.package("hypre").preferred_versions = {"2.26.0"};
+  cz::Concretizer c(pkg::default_repo_stack(), config);
+  auto s = c.concretize("hypre");
+  EXPECT_EQ(s.concrete_version().str(), "2.26.0");
+}
+
+TEST(Concretizer, RequireConstraintApplied) {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.package("hypre").require = Spec::parse("@:2.26");
+  cz::Concretizer c(pkg::default_repo_stack(), config);
+  auto s = c.concretize("hypre");
+  EXPECT_EQ(s.concrete_version().str(), "2.26.0");
+}
+
+TEST(Concretizer, ConditionalDependencyActivation) {
+  auto c = make_concretizer();
+  auto with_caliper = c.concretize("amg2023+caliper");
+  EXPECT_NE(with_caliper.dependency("caliper"), nullptr);
+  EXPECT_NE(with_caliper.dependency("adiak"), nullptr);
+
+  auto plain = c.concretize("amg2023~caliper");
+  EXPECT_EQ(plain.dependency("caliper"), nullptr);
+}
+
+TEST(Concretizer, VariantPropagationViaConditionalDeps) {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.set_default_target("zen3");
+  cz::Concretizer c(pkg::default_repo_stack(), config);
+  auto s = c.concretize("amg2023+cuda");
+  const auto* hypre = s.dependency("hypre");
+  ASSERT_NE(hypre, nullptr);
+  EXPECT_TRUE(hypre->variant_enabled("cuda"));
+  // ... and hypre+cuda pulls the CUDA runtime into the DAG.
+  EXPECT_NE(hypre->dependency("cuda"), nullptr);
+}
+
+TEST(Concretizer, ConflictSurfaces) {
+  auto c = make_concretizer();
+  EXPECT_THROW(c.concretize("saxpy+cuda+rocm"), benchpark::PackageError);
+}
+
+TEST(Concretizer, DepsInheritCompilerAndTarget) {
+  auto c = make_concretizer();
+  auto s = c.concretize("amg2023%gcc@12.1.1 target=broadwell");
+  const auto* hypre = s.dependency("hypre");
+  ASSERT_NE(hypre, nullptr);
+  EXPECT_EQ(hypre->compiler()->name, "gcc");
+  EXPECT_EQ(hypre->target(), "broadwell");
+}
+
+TEST(Concretizer, UnifyReusesResolvedSpecs) {
+  auto c = make_concretizer();
+  cz::Concretizer::Context ctx;
+  auto amg = c.concretize(Spec::parse("amg2023+caliper"), ctx);
+  auto saxpy = c.concretize(Spec::parse("saxpy"), ctx);
+  // Both share one mvapich2 resolution in the context.
+  EXPECT_EQ(amg.dependency("mvapich2")->dag_hash(),
+            saxpy.dependency("mvapich2")->dag_hash());
+}
+
+TEST(Concretizer, UnifyConflictThrows) {
+  auto c = make_concretizer();
+  cz::Concretizer::Context ctx;
+  (void)c.concretize(Spec::parse("hypre~openmp"), ctx);
+  EXPECT_THROW(c.concretize(Spec::parse("hypre+openmp"), ctx),
+               benchpark::ConcretizationError);
+}
+
+TEST(Concretizer, NoUnifyAllowsDivergence) {
+  auto c = make_concretizer();
+  auto specs = c.concretize_together(
+      {Spec::parse("hypre~openmp"), Spec::parse("hypre+openmp")},
+      /*unify=*/false);
+  EXPECT_FALSE(specs[0].variant_enabled("openmp"));
+  EXPECT_TRUE(specs[1].variant_enabled("openmp"));
+}
+
+TEST(Concretizer, UnknownUserDependencyThrows) {
+  auto c = make_concretizer();
+  EXPECT_THROW(c.concretize("zlib ^hypre"), benchpark::ConcretizationError);
+}
+
+TEST(Concretizer, DeterministicDagHashes) {
+  auto c1 = make_concretizer();
+  auto c2 = make_concretizer();
+  EXPECT_EQ(c1.concretize("amg2023+caliper").dag_hash(),
+            c2.concretize("amg2023+caliper").dag_hash());
+}
+
+TEST(Concretizer, Figure2WorkflowSpec) {
+  // "spack add amg2023+caliper; spack concretize" end to end.
+  auto c = make_concretizer();
+  auto s = c.concretize("amg2023+caliper");
+  EXPECT_TRUE(s.concrete());
+  EXPECT_TRUE(s.variant_enabled("caliper"));
+  EXPECT_EQ(s.compiler()->name, "gcc");
+  EXPECT_EQ(s.target(), "broadwell");
+  // Full closure: hypre, blas external, mpi external, caliper, adiak.
+  EXPECT_NE(s.dependency("hypre"), nullptr);
+  EXPECT_NE(s.dependency("caliper"), nullptr);
+}
+
+TEST(ConcretizerConfig, PackagesYamlRoundTrip) {
+  auto config = cts1_like_config();
+  auto emitted = config.packages_yaml();
+  cz::Config reloaded;
+  reloaded.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  reloaded.load_packages_yaml(emitted);
+  const auto* mpi = reloaded.settings_for("mpi");
+  ASSERT_NE(mpi, nullptr);
+  ASSERT_EQ(mpi->externals.size(), 1u);
+  EXPECT_EQ(mpi->externals[0].prefix, "/path/to/mvapich2");
+  EXPECT_FALSE(mpi->buildable);
+}
+
+TEST(ConcretizerConfig, CompilersYamlRoundTrip) {
+  auto config = cts1_like_config();
+  auto emitted = config.compilers_yaml();
+  cz::Config reloaded;
+  reloaded.load_compilers_yaml(emitted);
+  EXPECT_EQ(reloaded.compilers().size(), config.compilers().size());
+  EXPECT_NE(reloaded.find_compiler({"intel", {}}), nullptr);
+}
+
+TEST(ConcretizerConfig, MergeOverlays) {
+  cz::Config base;
+  base.add_compiler({"gcc", Version("10.3.1"), "", ""});
+  base.set_default_target("x86_64");
+  base.package("zlib").preferred_versions = {"1.2.13"};
+
+  cz::Config site;
+  site.set_default_target("zen3");
+
+  base.merge_from(site);
+  EXPECT_EQ(base.default_target(), "zen3");
+  ASSERT_NE(base.settings_for("zlib"), nullptr);  // untouched by overlay
+}
+
+TEST(Concretizer, StatsAccumulate) {
+  auto c = make_concretizer();
+  (void)c.concretize("amg2023+caliper");
+  EXPECT_GT(c.stats().specs_resolved, 3u);
+  EXPECT_GE(c.stats().externals_used, 2u);
+  EXPECT_GE(c.stats().virtuals_resolved, 2u);
+}

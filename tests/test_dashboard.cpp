@@ -1,0 +1,160 @@
+// Dashboard + usage-metrics tests (Section 5 future work implemented):
+// sparklines, grid view, regression detection, usage ranking.
+#include <gtest/gtest.h>
+
+#include "src/analysis/dashboard.hpp"
+#include "src/core/usage.hpp"
+#include "src/support/error.hpp"
+
+namespace an = benchpark::analysis;
+using benchpark::core::UsageMetrics;
+
+namespace {
+
+an::ResultRow row(const std::string& bench, const std::string& system,
+                  double value, bool ok = true) {
+  an::ResultRow r;
+  r.benchmark = bench;
+  r.system = system;
+  r.experiment = bench + "_e";
+  r.fom_name = "elapsed";
+  r.value = value;
+  r.units = "s";
+  r.success = ok;
+  return r;
+}
+
+}  // namespace
+
+TEST(Sparkline, MapsRangeToBlocks) {
+  auto line = an::sparkline({0, 1, 2, 3});
+  EXPECT_FALSE(line.empty());
+  // First char is the lowest block, last the highest.
+  EXPECT_EQ(line.substr(0, 3), "▁");
+  EXPECT_EQ(line.substr(line.size() - 3), "█");
+}
+
+TEST(Sparkline, FlatSeriesAllLow) {
+  auto line = an::sparkline({5, 5, 5});
+  EXPECT_EQ(line, "▁▁▁");
+  EXPECT_EQ(an::sparkline({}), "");
+}
+
+TEST(Dashboard, GridShowsLatestValues) {
+  an::MetricsDb db;
+  db.insert(row("saxpy", "cts1", 1.0));
+  db.insert(row("saxpy", "cts1", 1.2));
+  db.insert(row("saxpy", "ats2", 0.4));
+  db.insert(row("amg2023", "cts1", 9.0));
+  an::Dashboard dashboard(&db);
+  auto text = dashboard.grid("elapsed").render();
+  EXPECT_NE(text.find("1.2"), std::string::npos);   // latest, not first
+  EXPECT_NE(text.find("0.4"), std::string::npos);
+  EXPECT_NE(text.find("amg2023"), std::string::npos);
+  // Missing cell rendered as dash (amg2023 on ats2).
+  EXPECT_NE(text.find("-"), std::string::npos);
+}
+
+TEST(Dashboard, GridIgnoresFailedRuns) {
+  an::MetricsDb db;
+  db.insert(row("saxpy", "cts1", 1.0));
+  db.insert(row("saxpy", "cts1", 99.0, /*ok=*/false));
+  an::Dashboard dashboard(&db);
+  auto text = dashboard.grid("elapsed").render();
+  EXPECT_EQ(text.find("99"), std::string::npos);
+}
+
+TEST(Dashboard, DetectsTimeRegression) {
+  an::MetricsDb db;
+  for (double v : {1.00, 1.02, 0.99, 1.01}) db.insert(row("saxpy", "cts1", v));
+  db.insert(row("saxpy", "cts1", 1.5));  // the regression
+  an::Dashboard dashboard(&db);
+  auto regressions = dashboard.detect_regressions("elapsed", 2.0, true);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].benchmark, "saxpy");
+  EXPECT_DOUBLE_EQ(regressions[0].latest, 1.5);
+  EXPECT_GT(regressions[0].sigmas, 2.0);
+  EXPECT_NE(regressions[0].describe().find("saxpy on cts1"),
+            std::string::npos);
+}
+
+TEST(Dashboard, NoFalsePositiveOnStableSeries) {
+  an::MetricsDb db;
+  for (double v : {1.00, 1.02, 0.99, 1.01, 1.00}) {
+    db.insert(row("saxpy", "cts1", v));
+  }
+  an::Dashboard dashboard(&db);
+  EXPECT_TRUE(dashboard.detect_regressions("elapsed").empty());
+}
+
+TEST(Dashboard, RateRegressionUsesDirection) {
+  an::MetricsDb db;
+  an::ResultRow r = row("amg2023", "cts1", 0);
+  r.fom_name = "FOM_Solve";
+  for (double v : {3e7, 3.1e7, 2.9e7, 3.05e7}) {
+    r.value = v;
+    db.insert(r);
+  }
+  r.value = 1e7;  // throughput collapse = regression for rates
+  db.insert(r);
+  an::Dashboard dashboard(&db);
+  // higher_is_worse=true would miss it; false catches it.
+  EXPECT_TRUE(dashboard.detect_regressions("FOM_Solve", 2.0, true).empty());
+  EXPECT_EQ(dashboard.detect_regressions("FOM_Solve", 2.0, false).size(),
+            1u);
+}
+
+TEST(Dashboard, ShortSeriesSkipped) {
+  an::MetricsDb db;
+  db.insert(row("saxpy", "cts1", 1.0));
+  db.insert(row("saxpy", "cts1", 100.0));
+  an::Dashboard dashboard(&db);
+  EXPECT_TRUE(dashboard.detect_regressions("elapsed").empty());
+}
+
+TEST(Dashboard, RenderIncludesRegressionSection) {
+  an::MetricsDb db;
+  for (double v : {1.0, 1.0, 1.0, 1.0}) db.insert(row("saxpy", "cts1", v));
+  db.insert(row("saxpy", "cts1", 2.0));
+  an::Dashboard dashboard(&db);
+  auto text = dashboard.render("elapsed");
+  EXPECT_NE(text.find("REGRESSIONS:"), std::string::npos);
+}
+
+TEST(Dashboard, NullDbThrows) {
+  EXPECT_THROW(an::Dashboard(nullptr), benchpark::Error);
+}
+
+TEST(Usage, TracksSetupsRunsContributions) {
+  auto& usage = UsageMetrics::instance();
+  usage.reset();
+  usage.record_setup("saxpy");
+  usage.record_setup("saxpy");
+  usage.record_runs("saxpy", 8);
+  usage.record_setup("amg2023");
+  usage.record_contribution("stream");
+
+  EXPECT_EQ(usage.get("saxpy").setups, 2u);
+  EXPECT_EQ(usage.get("saxpy").runs, 8u);
+  EXPECT_EQ(usage.get("stream").contributions, 1u);
+  EXPECT_EQ(usage.get("never-used").setups, 0u);
+
+  auto ranking = usage.ranking();
+  ASSERT_GE(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].benchmark, "saxpy");  // most heavily accessed
+
+  auto text = usage.to_table().render();
+  EXPECT_NE(text.find("saxpy"), std::string::npos);
+  usage.reset();
+}
+
+TEST(Usage, RecencyIncreasesMonotonically) {
+  auto& usage = UsageMetrics::instance();
+  usage.reset();
+  usage.record_setup("a");
+  usage.record_setup("b");
+  EXPECT_LT(usage.get("a").last_event, usage.get("b").last_event);
+  usage.record_runs("a", 1);
+  EXPECT_GT(usage.get("a").last_event, usage.get("b").last_event);
+  usage.reset();
+}

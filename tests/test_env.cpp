@@ -1,0 +1,342 @@
+// Environment + installer + binary cache tests: the Figure 2 workflow
+// (env create / add / concretize / install), manifest round-trips
+// (Figure 3), lockfile reproducibility, and the Sec. 7.2 warm-cache claim.
+#include <gtest/gtest.h>
+
+#include "src/buildcache/binary_cache.hpp"
+#include "src/env/environment.hpp"
+#include "src/install/installer.hpp"
+#include "src/support/error.hpp"
+#include "src/yaml/emitter.hpp"
+#include "src/system/system.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace cz = benchpark::concretizer;
+namespace env = benchpark::env;
+namespace install = benchpark::install;
+namespace pkg = benchpark::pkg;
+namespace spec = benchpark::spec;
+using benchpark::buildcache::BinaryCache;
+using spec::Version;
+
+namespace {
+
+cz::Concretizer simple_concretizer() {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.set_default_target("broadwell");
+  config.package("mpi").preferred_providers = {"mvapich2"};
+  return cz::Concretizer(pkg::default_repo_stack(), config);
+}
+
+}  // namespace
+
+TEST(Environment, Figure3ManifestRoundTrip) {
+  auto manifest = benchpark::yaml::parse(
+      "spack:\n"
+      "  specs: [amg2023+caliper]\n"
+      "  concretizer:\n"
+      "    unify: true\n"
+      "  view: true\n");
+  auto e = env::Environment::from_manifest(manifest);
+  ASSERT_EQ(e.user_specs().size(), 1u);
+  EXPECT_EQ(e.user_specs()[0].name(), "amg2023");
+  EXPECT_TRUE(e.unify());
+  EXPECT_TRUE(e.view());
+
+  auto emitted = e.manifest_yaml();
+  auto reloaded = env::Environment::from_manifest(emitted);
+  EXPECT_EQ(reloaded.user_specs()[0].str(), e.user_specs()[0].str());
+}
+
+TEST(Environment, AddMergesConstraintsForSamePackage) {
+  env::Environment e;
+  e.add("hypre@2.24:");
+  e.add("hypre+openmp");
+  ASSERT_EQ(e.user_specs().size(), 1u);
+  EXPECT_TRUE(e.user_specs()[0].variant_enabled("openmp"));
+}
+
+TEST(Environment, AddAnonymousThrows) {
+  env::Environment e;
+  EXPECT_THROW(e.add("+cuda"), benchpark::Error);
+}
+
+TEST(Environment, RemoveInvalidatesConcretization) {
+  env::Environment e;
+  e.add("zlib");
+  e.add("cmake");
+  auto c = simple_concretizer();
+  e.concretize(c);
+  EXPECT_TRUE(e.concretized());
+  EXPECT_TRUE(e.remove("zlib"));
+  EXPECT_FALSE(e.concretized());
+  EXPECT_FALSE(e.remove("zlib"));
+}
+
+TEST(Environment, Figure2Workflow) {
+  // spack env create; spack add amg2023+caliper; spack concretize;
+  // spack install.
+  env::Environment e;
+  e.add("amg2023+caliper");
+  auto c = simple_concretizer();
+  e.concretize(c);
+  ASSERT_TRUE(e.concretized());
+  const auto* amg = e.concrete_for("amg2023");
+  ASSERT_NE(amg, nullptr);
+  EXPECT_TRUE(amg->concrete());
+
+  install::InstallTree tree;
+  BinaryCache cache;
+  install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
+  auto report = e.install_all(installer);
+  EXPECT_GT(report.from_source, 3u);
+  EXPECT_GT(report.total_simulated_seconds, 0.0);
+  EXPECT_TRUE(tree.installed(*amg));
+}
+
+TEST(Environment, ConcreteForSearchesClosure) {
+  env::Environment e;
+  e.add("amg2023");
+  auto c = simple_concretizer();
+  e.concretize(c);
+  EXPECT_NE(e.concrete_for("hypre"), nullptr);      // transitive dep
+  EXPECT_EQ(e.concrete_for("not-there"), nullptr);
+}
+
+TEST(Environment, UnifySharesDependencies) {
+  env::Environment e;
+  e.add("amg2023");
+  e.add("saxpy");
+  auto c = simple_concretizer();
+  e.concretize(c);
+  const auto* amg = e.concrete_for("amg2023");
+  const auto* saxpy = e.concrete_for("saxpy");
+  ASSERT_NE(amg->dependency("mvapich2"), nullptr);
+  ASSERT_NE(saxpy->dependency("mvapich2"), nullptr);
+  EXPECT_EQ(amg->dependency("mvapich2")->dag_hash(),
+            saxpy->dependency("mvapich2")->dag_hash());
+}
+
+TEST(Environment, LockfileRoundTripReproducesDag) {
+  env::Environment e;
+  e.add("amg2023+caliper");
+  auto c = simple_concretizer();
+  e.concretize(c);
+  auto lock = e.lockfile();
+
+  // The lockfile consumer needs no concretizer: full reproducibility.
+  auto restored = env::Environment::from_lockfile(lock);
+  ASSERT_EQ(restored.concrete_specs().size(), 1u);
+  EXPECT_EQ(restored.concrete_specs()[0].dag_hash(),
+            e.concrete_specs()[0].dag_hash());
+}
+
+TEST(Environment, LockfileSurvivesTextSerialization) {
+  env::Environment e;
+  e.add("saxpy");
+  auto c = simple_concretizer();
+  e.concretize(c);
+  auto text = benchpark::yaml::emit(e.lockfile());
+  auto reparsed = benchpark::yaml::parse(text);
+  auto restored = env::Environment::from_lockfile(reparsed);
+  EXPECT_EQ(restored.concrete_specs()[0].dag_hash(),
+            e.concrete_specs()[0].dag_hash());
+}
+
+TEST(Environment, LockfileRequiresConcretization) {
+  env::Environment e;
+  e.add("zlib");
+  EXPECT_THROW(e.lockfile(), benchpark::Error);
+}
+
+TEST(Installer, BuildOrderIsDependenciesFirst) {
+  env::Environment e;
+  e.add("amg2023+caliper");
+  auto c = simple_concretizer();
+  e.concretize(c);
+  const auto& root = e.concrete_specs()[0];
+  auto order = install::Installer::build_order(root);
+  ASSERT_GE(order.size(), 4u);
+  EXPECT_EQ(order.back()->name(), "amg2023");
+  // hypre must appear before amg2023, adiak before caliper.
+  auto idx = [&](std::string_view name) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i]->name() == name) return static_cast<long>(i);
+    }
+    return -1L;
+  };
+  EXPECT_LT(idx("hypre"), idx("amg2023"));
+  EXPECT_LT(idx("adiak"), idx("caliper"));
+}
+
+TEST(Installer, SecondInstallIsNoOp) {
+  env::Environment e;
+  e.add("saxpy");
+  auto c = simple_concretizer();
+  e.concretize(c);
+
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  auto first = e.install_all(installer);
+  EXPECT_GT(first.from_source, 0u);
+  auto second = e.install_all(installer);
+  EXPECT_EQ(second.from_source, 0u);
+  EXPECT_GT(second.already_installed, 0u);
+  EXPECT_DOUBLE_EQ(second.total_simulated_seconds, 0.0);
+}
+
+TEST(Installer, AbstractSpecRejected) {
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  EXPECT_THROW(installer.install(spec::Spec::parse("zlib")),
+               benchpark::Error);
+}
+
+TEST(Installer, ExternalsCostNothing) {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.set_default_target("broadwell");
+  auto packages = benchpark::yaml::parse(
+      "packages:\n"
+      "  mpi:\n"
+      "    externals:\n"
+      "    - spec: mvapich2@2.3.7\n"
+      "      prefix: /opt/mvapich2\n"
+      "  mvapich2:\n"
+      "    externals:\n"
+      "    - spec: mvapich2@2.3.7\n"
+      "      prefix: /opt/mvapich2\n");
+  config.load_packages_yaml(packages);
+  cz::Concretizer c(pkg::default_repo_stack(), config);
+  auto s = c.concretize("saxpy");
+
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  auto report = installer.install(s);
+  EXPECT_GE(report.externals, 1u);
+  for (const auto& r : report.installed) {
+    if (r.source == install::InstallSource::external) {
+      EXPECT_DOUBLE_EQ(r.simulated_seconds, 0.0);
+      EXPECT_EQ(r.prefix, "/opt/mvapich2");
+    }
+  }
+}
+
+TEST(Installer, PrefixLayoutIncludesHashAndTarget) {
+  auto c = simple_concretizer();
+  auto s = c.concretize("zlib");
+  install::InstallTree tree("/tmp/tree");
+  auto prefix = tree.prefix_for(s);
+  EXPECT_NE(prefix.find("/tmp/tree/broadwell/zlib-1.3-"), std::string::npos);
+  EXPECT_NE(prefix.find(s.dag_hash()), std::string::npos);
+}
+
+TEST(Installer, BuildArgsRecorded) {
+  auto c = simple_concretizer();
+  auto s = c.concretize("saxpy+openmp");
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  auto report = installer.install(s);
+  const auto& saxpy_record = report.installed.back();
+  EXPECT_EQ(saxpy_record.spec.name(), "saxpy");
+  EXPECT_EQ(saxpy_record.build_args,
+            (std::vector<std::string>{"-DUSE_OPENMP=ON"}));
+}
+
+TEST(Installer, MoreJobsBuildFaster) {
+  auto c = simple_concretizer();
+  auto s = c.concretize("hypre");
+  install::InstallOptions serial;
+  serial.build_jobs = 1;
+  install::InstallOptions parallel;
+  parallel.build_jobs = 16;
+
+  install::InstallTree tree1, tree2;
+  install::Installer i1(pkg::default_repo_stack(), &tree1, nullptr);
+  install::Installer i2(pkg::default_repo_stack(), &tree2, nullptr);
+  auto slow = i1.install(s, serial);
+  auto fast = i2.install(s, parallel);
+  EXPECT_GT(slow.total_simulated_seconds, fast.total_simulated_seconds);
+}
+
+TEST(BinaryCache, WarmCacheIsTenTimesFaster) {
+  // Section 7.2: the rolling binary cache "focuses the time to build
+  // applications on only the dependencies with special requirements".
+  env::Environment e;
+  e.add("amg2023+caliper");
+  auto c = simple_concretizer();
+  e.concretize(c);
+
+  BinaryCache cache;
+  install::InstallTree cold_tree;
+  install::Installer cold_installer(pkg::default_repo_stack(), &cold_tree,
+                                    &cache);
+  auto cold = e.install_all(cold_installer);
+  EXPECT_GT(cold.from_source, 0u);
+
+  // A second site with an empty install tree but a warm mirror.
+  install::InstallTree warm_tree;
+  install::Installer warm_installer(pkg::default_repo_stack(), &warm_tree,
+                                    &cache);
+  auto warm = e.install_all(warm_installer);
+  EXPECT_EQ(warm.from_source, 0u);
+  EXPECT_GT(warm.from_cache, 0u);
+  EXPECT_GT(cold.total_simulated_seconds,
+            10.0 * warm.total_simulated_seconds);
+}
+
+TEST(BinaryCache, StatsAndFetchCost) {
+  BinaryCache cache(0.1, 1.0e6);
+  auto c = simple_concretizer();
+  auto s = c.concretize("zlib");
+  EXPECT_FALSE(cache.fetch(s).has_value());
+  cache.push(s, 500000);
+  auto entry = cache.fetch(s);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.fetch_cost_seconds(entry->size_bytes), 0.1 + 0.5);
+}
+
+TEST(BinaryCache, ContentAddressing) {
+  BinaryCache cache;
+  auto c = simple_concretizer();
+  auto a = c.concretize("zlib");
+  auto b = c.concretize("zlib@:1.2");  // different version, different hash
+  cache.push(a, 1000);
+  EXPECT_TRUE(cache.contains(a));
+  EXPECT_FALSE(cache.contains(b));
+}
+
+TEST(Installer, ArchspecFlagsRecordedPerTarget) {
+  // Section 3.1.3: builds are tuned to the target microarchitecture.
+  const auto& registry = benchpark::system::SystemRegistry::instance();
+  struct Case {
+    const char* system;
+    const char* expected_flag;
+  };
+  for (const Case& c : {Case{"cts1", "-march=broadwell"},
+                        Case{"ats4", "-march=znver3"}}) {
+    cz::Config config = registry.get(c.system).config;
+    cz::Concretizer concretizer(pkg::default_repo_stack(), config);
+    auto spec = concretizer.concretize("zlib");
+    install::InstallTree tree;
+    install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+    auto report = installer.install(spec);
+    ASSERT_FALSE(report.installed.empty());
+    EXPECT_EQ(report.installed.back().arch_flags, c.expected_flag)
+        << c.system;
+    EXPECT_NE(report.build_log.find(c.expected_flag), std::string::npos);
+  }
+}
+
+TEST(Installer, Power9FlagsOnAts2) {
+  const auto& ats2 = benchpark::system::SystemRegistry::instance().get("ats2");
+  cz::Concretizer concretizer(pkg::default_repo_stack(), ats2.config);
+  auto spec = concretizer.concretize("zlib%gcc");
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  auto report = installer.install(spec);
+  EXPECT_EQ(report.installed.back().arch_flags, "-mcpu=power9");
+}

@@ -1,0 +1,223 @@
+// Cross-module integration tests: the paper's full loops, asserted.
+//   * Figure 6 loop: PR -> Hubcast -> pipeline -> real workflows ->
+//     metrics DB -> statuses back on the PR
+//   * continuous tracking: a nightly series catches an injected fabric
+//     regression (Section 1's "tracking system performance over time")
+//   * functional reproducibility across sites via lockfiles
+//   * campaign -> dashboard composition
+#include <gtest/gtest.h>
+
+#include "src/analysis/dashboard.hpp"
+#include "src/ci/git.hpp"
+#include "src/ci/hubcast.hpp"
+#include "src/ci/pipeline.hpp"
+#include "src/core/campaign.hpp"
+#include "src/core/driver.hpp"
+#include "src/core/usage.hpp"
+#include "src/env/environment.hpp"
+#include "src/runtime/simexec.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/support/string_util.hpp"
+#include "src/yaml/emitter.hpp"
+#include "src/yaml/parser.hpp"
+
+using namespace benchpark;
+
+TEST(Integration, Figure6LoopEndToEnd) {
+  // Hosting + canonical repo on both sides.
+  ci::GitHost github("github");
+  ci::GitHost gitlab("gitlab");
+  github.create_repo("llnl", "benchpark")
+      .commit("main", "olga", "init", {{"experiments/saxpy", "v1"}});
+  gitlab.create_repo("llnl", "benchpark")
+      .commit("main", "hubcast", "init", {{"m", "1"}});
+
+  ci::SecurityPolicy policy;
+  policy.admins = {"site-admin"};
+  ci::Hubcast hubcast(&github, &gitlab, "llnl/benchpark", policy);
+
+  // A fork PR from an external contributor.
+  github.fork("llnl/benchpark", "student");
+  github.repo("student/benchpark")
+      .commit("tune", "student", "bigger problems",
+              {{"experiments/saxpy", "v2"}});
+  auto pr = github.open_pr("tune", "student", "student/benchpark", "tune",
+                           "llnl/benchpark");
+
+  // Blocked until a site admin approves.
+  ASSERT_FALSE(hubcast.try_mirror_pr(pr).has_value());
+  github.approve_pr(pr, "site-admin");
+  auto branch = hubcast.try_mirror_pr(pr);
+  ASSERT_TRUE(branch.has_value());
+
+  // Pipeline with a runner that executes the real Benchpark workflow.
+  ci::SiteAccounts accounts;
+  accounts.add("site-admin", 1000);
+  ci::PipelineEngine engine;
+  engine.register_runner(
+      {"llnl-cts1-01", {"cts1"},
+       std::make_shared<ci::Jacamar>("llnl", accounts)});
+
+  core::Driver driver;
+  support::TempDir tmp("integration-ci");
+  analysis::MetricsDb metrics;
+  engine.set_action("bench", [&](const ci::JobContext& ctx) {
+    auto report = driver.run_workflow({"saxpy", "openmp"}, "cts1",
+                                      tmp.path() / "ws");
+    for (const auto& result : report.results) {
+      for (const auto& fom : result.foms) {
+        if (!fom.numeric) continue;
+        analysis::ResultRow row;
+        row.benchmark = "saxpy";
+        row.system = "cts1";
+        row.experiment = result.name;
+        row.fom_name = fom.name;
+        row.value = fom.value;
+        row.success = result.success;
+        metrics.insert(row);
+      }
+    }
+    return ci::JobOutcome{report.num_success() == report.results.size(),
+                          "ran as " + ctx.identity.login};
+  });
+  auto pipeline = ci::PipelineDef::from_yaml(yaml::parse(
+      "stages: [bench]\nbench:\n  stage: bench\n  tags: [cts1]\n"));
+  auto result = engine.run(pipeline, "sha", "student", "site-admin");
+
+  ASSERT_TRUE(result.success);
+  // Jacamar downscoped the external author to the approver.
+  EXPECT_EQ(result.job("bench")->ran_as, "site-admin");
+  // Metrics landed (8 experiments x >= 2 numeric FOMs).
+  EXPECT_GE(metrics.size(), 16u);
+
+  // Status streamed back to the GitHub PR and the PR can merge.
+  hubcast.report_status(pr, {"gitlab-ci/llnl/bench", ci::CheckState::success,
+                             result.job("bench")->log});
+  EXPECT_EQ(github.pr(pr).check("gitlab-ci/llnl/bench")->state,
+            ci::CheckState::success);
+  github.merge_pr(pr);
+  EXPECT_EQ(github.repo("llnl/benchpark").file_at("main",
+                                                  "experiments/saxpy"),
+            "v2");
+}
+
+TEST(Integration, NightlySeriesCatchesFabricRegression) {
+  analysis::MetricsDb db;
+  auto cts1 = system::make_cts1();
+  bool alerted_on_injection_day = false;
+
+  for (int day = 1; day <= 18; ++day) {
+    if (day == 12) cts1.interconnect.latency_us *= 2.0;  // the fault
+    runtime::RunParams params;
+    params.app = "osu-bcast";
+    params.n = 1 << 16;
+    params.n_nodes = 8;
+    params.n_ranks = 256;
+    params.repetition = static_cast<std::uint64_t>(day);
+    auto outcome = runtime::run_simulated(cts1, params);
+
+    analysis::ResultRow row;
+    row.benchmark = "osu-bcast";
+    row.system = "cts1";
+    row.experiment = "nightly";
+    row.fom_name = "elapsed";
+    row.value = outcome.elapsed_seconds;
+    row.success = outcome.success;
+    db.insert(row);
+
+    analysis::Dashboard dashboard(&db);
+    auto regressions = dashboard.detect_regressions("elapsed", 3.0, true);
+    if (day == 12) alerted_on_injection_day = !regressions.empty();
+    if (day < 12) {
+      EXPECT_TRUE(regressions.empty()) << "false positive on day " << day;
+    }
+  }
+  EXPECT_TRUE(alerted_on_injection_day);
+}
+
+TEST(Integration, LockfileReproducesAcrossSites) {
+  // Site A concretizes and locks; site B installs from the lockfile with
+  // no concretizer at all — the "functional reproducibility" the paper
+  // defines. Both sites agree on every DAG hash.
+  const auto& cts1 = system::SystemRegistry::instance().get("cts1");
+  concretizer::Concretizer cz(pkg::default_repo_stack(), cts1.config);
+  env::Environment site_a;
+  site_a.add("amg2023+caliper");
+  site_a.add("saxpy+openmp");
+  site_a.concretize(cz);
+  auto lock_text = yaml::emit(site_a.lockfile());
+
+  auto site_b = env::Environment::from_lockfile(yaml::parse(lock_text));
+  ASSERT_EQ(site_b.concrete_specs().size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(site_b.concrete_specs()[i].dag_hash(),
+              site_a.concrete_specs()[i].dag_hash());
+  }
+
+  install::InstallTree site_b_tree("/site-b/install");
+  install::Installer installer(pkg::default_repo_stack(), &site_b_tree,
+                               nullptr);
+  auto report = site_b.install_all(installer);
+  EXPECT_GT(report.from_source, 0u);
+  EXPECT_TRUE(site_b_tree.installed(site_b.concrete_specs()[0]));
+}
+
+TEST(Integration, CampaignFeedsDashboard) {
+  core::Driver driver;
+  support::TempDir tmp("integration-dash");
+  core::Campaign campaign(&driver, {"saxpy", "openmp"}, tmp.path());
+  campaign.add_system("cts1");
+  campaign.add_system("ats2");
+  campaign.run();
+
+  analysis::Dashboard dashboard(&campaign.metrics());
+  auto grid = dashboard.grid("gflops").render();
+  EXPECT_NE(grid.find("saxpy"), std::string::npos);
+  EXPECT_NE(grid.find("cts1"), std::string::npos);
+  EXPECT_NE(grid.find("ats2"), std::string::npos);
+  // One clean pass: no regressions flaggable from a single campaign.
+  EXPECT_TRUE(dashboard.detect_regressions("gflops").empty());
+}
+
+TEST(Integration, UsageMetricsAccumulateThroughDriver) {
+  auto& usage = core::UsageMetrics::instance();
+  usage.reset();
+  core::Driver driver;
+  support::TempDir tmp("integration-usage");
+  (void)driver.run_workflow({"saxpy", "openmp"}, "cts1", tmp.path() / "a");
+  (void)driver.run_workflow({"stream", "openmp"}, "cts1", tmp.path() / "b");
+  (void)driver.run_workflow({"saxpy", "openmp"}, "ats2", tmp.path() / "c");
+
+  auto ranking = usage.ranking();
+  ASSERT_GE(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].benchmark, "saxpy");  // accessed most heavily
+  EXPECT_EQ(usage.get("saxpy").setups, 2u);
+  EXPECT_EQ(usage.get("saxpy").runs, 16u);  // 2 workflows x 8 experiments
+  EXPECT_EQ(usage.get("stream").runs, 3u);
+  usage.reset();
+}
+
+TEST(Integration, WorkflowOutputsSurviveOnDisk) {
+  // The workspace is a self-contained directory (Section 3.2.1): a fresh
+  // process could re-analyze from the files alone.
+  core::Driver driver;
+  support::TempDir tmp("integration-disk");
+  ramble::Workspace ws =
+      driver.setup({"saxpy", "openmp"}, "cts1", tmp.path() / "ws");
+  ws.setup();
+  ws.run();
+
+  // Every experiment directory holds the script and the output; configs
+  // hold the four per-system files plus ramble.yaml.
+  for (const auto& exp : ws.prepared()) {
+    EXPECT_TRUE(std::filesystem::exists(exp.run_dir / "execute_experiment"));
+    EXPECT_TRUE(
+        std::filesystem::exists(exp.run_dir / (exp.name + ".out")));
+  }
+  auto tree = support::render_tree(ws.root());
+  for (const char* artifact :
+       {"ramble.yaml", "variables.yaml", "packages.yaml", "compilers.yaml",
+        "execute_experiment.tpl", "saxpy.lock.yaml"}) {
+    EXPECT_NE(tree.find(artifact), std::string::npos) << artifact;
+  }
+}

@@ -1,0 +1,190 @@
+// Simulated-runtime tests: reproducibility, cross-system shape, the
+// Section 7.1 math-library crash, and native execution.
+#include <gtest/gtest.h>
+
+#include "src/runtime/simexec.hpp"
+#include "src/support/error.hpp"
+#include "src/system/system.hpp"
+
+namespace rt = benchpark::runtime;
+namespace sys = benchpark::system;
+using rt::RunParams;
+
+namespace {
+
+RunParams saxpy_params(std::uint64_t n, int nodes, int ranks, int threads) {
+  RunParams p;
+  p.app = "saxpy";
+  p.n = n;
+  p.n_nodes = nodes;
+  p.n_ranks = ranks;
+  p.n_threads = threads;
+  return p;
+}
+
+const sys::SystemDescription& cts1() {
+  return sys::SystemRegistry::instance().get("cts1");
+}
+
+}  // namespace
+
+TEST(SimExec, SaxpyProducesFigure8Output) {
+  auto outcome = rt::run_simulated(cts1(), saxpy_params(1024, 1, 8, 2));
+  EXPECT_TRUE(outcome.success);
+  EXPECT_NE(outcome.output.find("Kernel done"), std::string::npos);
+  EXPECT_NE(outcome.output.find("n=1024"), std::string::npos);
+  EXPECT_GT(outcome.elapsed_seconds, 0);
+}
+
+TEST(SimExec, IdenticalRunsAreBitReproducible) {
+  auto a = rt::run_simulated(cts1(), saxpy_params(4096, 2, 16, 2));
+  auto b = rt::run_simulated(cts1(), saxpy_params(4096, 2, 16, 2));
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+}
+
+TEST(SimExec, RepetitionSaltChangesNoise) {
+  auto params = saxpy_params(4096, 2, 16, 2);
+  auto a = rt::run_simulated(cts1(), params);
+  params.repetition = 1;
+  auto b = rt::run_simulated(cts1(), params);
+  EXPECT_NE(a.elapsed_seconds, b.elapsed_seconds);
+}
+
+TEST(SimExec, DifferentSystemsDiffer) {
+  const auto& ats2 = sys::SystemRegistry::instance().get("ats2");
+  auto on_cts = rt::run_simulated(cts1(), saxpy_params(1 << 22, 2, 16, 2));
+  auto on_ats = rt::run_simulated(ats2, saxpy_params(1 << 22, 2, 16, 2));
+  EXPECT_NE(on_cts.elapsed_seconds, on_ats.elapsed_seconds);
+}
+
+TEST(SimExec, OversubscriptionRejected) {
+  // 36 cores/node on cts1: 8 ranks x 8 threads = 64 > 36.
+  EXPECT_THROW(rt::run_simulated(cts1(), saxpy_params(1024, 1, 8, 8)),
+               benchpark::SystemError);
+}
+
+TEST(SimExec, TooManyNodesRejected) {
+  EXPECT_THROW(rt::run_simulated(cts1(), saxpy_params(1024, 100000, 8, 1)),
+               benchpark::SystemError);
+}
+
+TEST(SimExec, GpuRunRequiresGpuSystem) {
+  auto params = saxpy_params(1 << 20, 1, 4, 1);
+  params.use_gpu = true;
+  EXPECT_THROW(rt::run_simulated(cts1(), params), benchpark::SystemError);
+  const auto& ats2 = sys::SystemRegistry::instance().get("ats2");
+  auto outcome = rt::run_simulated(ats2, params);
+  EXPECT_TRUE(outcome.success);
+}
+
+TEST(SimExec, GpuWinsOnLargeSaxpyLosesOnSmall) {
+  const auto& ats2 = sys::SystemRegistry::instance().get("ats2");
+  auto small_cpu = saxpy_params(512, 1, 4, 1);
+  auto small_gpu = small_cpu;
+  small_gpu.use_gpu = true;
+  auto big_cpu = saxpy_params(1 << 26, 1, 4, 10);
+  auto big_gpu = big_cpu;
+  big_gpu.use_gpu = true;
+  big_gpu.n_threads = 1;
+
+  EXPECT_LT(rt::run_simulated(ats2, small_cpu).elapsed_seconds,
+            rt::run_simulated(ats2, small_gpu).elapsed_seconds);
+  EXPECT_GT(rt::run_simulated(ats2, big_cpu).elapsed_seconds,
+            rt::run_simulated(ats2, big_gpu).elapsed_seconds);
+}
+
+TEST(SimExec, AmgReportsFoms) {
+  RunParams p;
+  p.app = "amg2023";
+  p.n = 1 << 10;
+  p.n_nodes = 2;
+  p.n_ranks = 32;
+  p.n_threads = 2;
+  auto outcome = rt::run_simulated(cts1(), p);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_NE(outcome.output.find("Figure of Merit (FOM_Setup):"),
+            std::string::npos);
+  EXPECT_NE(outcome.output.find("Figure of Merit (FOM_Solve):"),
+            std::string::npos);
+  EXPECT_NE(outcome.output.find("AMG converged"), std::string::npos);
+}
+
+TEST(SimExec, AmgStrongScalingSpeedsUpSolve) {
+  RunParams p;
+  p.app = "amg2023";
+  p.n = 1 << 12;
+  p.n_threads = 1;
+  p.n_nodes = 1;
+  p.n_ranks = 4;
+  auto few = rt::run_simulated(cts1(), p);
+  p.n_nodes = 8;
+  p.n_ranks = 64;
+  auto many = rt::run_simulated(cts1(), p);
+  EXPECT_LT(many.elapsed_seconds, few.elapsed_seconds);
+}
+
+TEST(SimExec, Section71MathLibraryCrashOnCloud) {
+  const auto& cloud = sys::SystemRegistry::instance().get("cloud-cts");
+  RunParams p;
+  p.app = "amg2023";
+  p.n = 1 << 10;
+  p.n_nodes = 1;
+  p.n_ranks = 8;
+  auto outcome = rt::run_simulated(cloud, p);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.exit_code, 132);
+  EXPECT_NE(outcome.output.find("Illegal instruction"), std::string::npos);
+  EXPECT_NE(outcome.output.find("rdseed"), std::string::npos);
+
+  // The same binary runs fine on the on-prem twin (the paper's puzzle).
+  auto on_prem = rt::run_simulated(cts1(), p);
+  EXPECT_TRUE(on_prem.success);
+}
+
+TEST(SimExec, SaxpyUnaffectedByCloudQuirk) {
+  // The microbenchmark without the math library works on both systems.
+  const auto& cloud = sys::SystemRegistry::instance().get("cloud-cts");
+  auto outcome = rt::run_simulated(cloud, saxpy_params(1024, 1, 8, 2));
+  EXPECT_TRUE(outcome.success);
+}
+
+TEST(SimExec, OsuBcastTable) {
+  RunParams p;
+  p.app = "osu-bcast";
+  p.n = 1 << 16;
+  p.n_nodes = 4;
+  p.n_ranks = 128;
+  auto outcome = rt::run_simulated(cts1(), p);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_NE(outcome.output.find("OSU MPI Broadcast Latency Test"),
+            std::string::npos);
+}
+
+TEST(SimExec, UnknownAppThrows) {
+  RunParams p;
+  p.app = "hpl";
+  EXPECT_THROW(rt::run_simulated(cts1(), p), benchpark::SystemError);
+}
+
+TEST(NativeExec, SaxpyRunsForReal) {
+  auto outcome = rt::run_native(saxpy_params(4096, 1, 1, 2));
+  EXPECT_TRUE(outcome.success);
+  EXPECT_NE(outcome.output.find("Kernel done"), std::string::npos);
+}
+
+TEST(NativeExec, AmgRunsForReal) {
+  RunParams p;
+  p.app = "amg2023";
+  p.n = 31;
+  p.n_threads = 1;
+  auto outcome = rt::run_native(p);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_NE(outcome.output.find("AMG converged"), std::string::npos);
+}
+
+TEST(NativeExec, UnknownAppThrows) {
+  RunParams p;
+  p.app = "osu-bcast";  // no native path
+  EXPECT_THROW(rt::run_native(p), benchpark::SystemError);
+}

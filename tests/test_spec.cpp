@@ -1,0 +1,373 @@
+// Tests for the spec language: versions, variants, parsing, satisfies,
+// constrain, hashing. The grammar under test is the paper's "common
+// language" (Section 3.1), e.g. "amg2023+caliper" from Figure 2.
+#include <gtest/gtest.h>
+
+#include "src/spec/spec.hpp"
+#include "src/support/error.hpp"
+
+namespace spec = benchpark::spec;
+using spec::Spec;
+using spec::VariantValue;
+using spec::Version;
+using spec::VersionConstraint;
+
+// ---------------------------------------------------------------- versions
+
+TEST(Version, OrderingNumeric) {
+  EXPECT_LT(Version("1.2"), Version("1.10"));
+  EXPECT_LT(Version("2.3.6"), Version("2.3.7"));
+  EXPECT_GT(Version("11.8.0"), Version("11.2.0"));
+  EXPECT_EQ(Version("1.2.0"), Version("1.2.0"));
+}
+
+TEST(Version, ShorterIsLessWithEqualPrefix) {
+  EXPECT_LT(Version("1.2"), Version("1.2.1"));
+}
+
+TEST(Version, MixedAlphanumericComponents) {
+  Version v("2.3.7-gcc12.1.1-magic");
+  EXPECT_EQ(v.str(), "2.3.7-gcc12.1.1-magic");
+  EXPECT_GT(v.num_components(), 4u);
+}
+
+TEST(Version, HasPrefix) {
+  EXPECT_TRUE(Version("1.2.9").has_prefix(Version("1.2")));
+  EXPECT_TRUE(Version("1.2").has_prefix(Version("1.2")));
+  EXPECT_FALSE(Version("1.20").has_prefix(Version("1.2")));
+  EXPECT_FALSE(Version("1.2").has_prefix(Version("1.2.0")));
+}
+
+TEST(Version, EmptyThrows) {
+  EXPECT_THROW(Version(""), benchpark::SpecError);
+}
+
+TEST(VersionConstraint, BareVersionIsPrefixMatch) {
+  auto vc = VersionConstraint::parse("1.2");
+  EXPECT_TRUE(vc.satisfied_by(Version("1.2")));
+  EXPECT_TRUE(vc.satisfied_by(Version("1.2.9")));
+  EXPECT_FALSE(vc.satisfied_by(Version("1.3")));
+  EXPECT_FALSE(vc.satisfied_by(Version("1.20")));
+}
+
+TEST(VersionConstraint, ExactMatch) {
+  auto vc = VersionConstraint::parse("=1.2");
+  EXPECT_TRUE(vc.satisfied_by(Version("1.2")));
+  EXPECT_FALSE(vc.satisfied_by(Version("1.2.0")));
+}
+
+TEST(VersionConstraint, ClosedRange) {
+  auto vc = VersionConstraint::parse("1.2:1.8");
+  EXPECT_TRUE(vc.satisfied_by(Version("1.2")));
+  EXPECT_TRUE(vc.satisfied_by(Version("1.5.3")));
+  EXPECT_TRUE(vc.satisfied_by(Version("1.8")));
+  EXPECT_TRUE(vc.satisfied_by(Version("1.8.2")));  // prefix-inclusive bound
+  EXPECT_FALSE(vc.satisfied_by(Version("1.9")));
+  EXPECT_FALSE(vc.satisfied_by(Version("1.1.9")));
+}
+
+TEST(VersionConstraint, OpenRanges) {
+  EXPECT_TRUE(VersionConstraint::parse("1.2:").satisfied_by(Version("9.0")));
+  EXPECT_FALSE(VersionConstraint::parse("1.2:").satisfied_by(Version("1.1")));
+  EXPECT_TRUE(VersionConstraint::parse(":1.8").satisfied_by(Version("0.1")));
+  EXPECT_FALSE(VersionConstraint::parse(":1.8").satisfied_by(Version("2.0")));
+}
+
+TEST(VersionConstraint, UnionOfRanges) {
+  auto vc = VersionConstraint::parse("1.2,2.0:2.4");
+  EXPECT_TRUE(vc.satisfied_by(Version("1.2.1")));
+  EXPECT_TRUE(vc.satisfied_by(Version("2.3")));
+  EXPECT_FALSE(vc.satisfied_by(Version("1.5")));
+}
+
+TEST(VersionConstraint, Intersects) {
+  EXPECT_TRUE(VersionConstraint::parse("1.2:1.8")
+                  .intersects(VersionConstraint::parse("1.5:2.0")));
+  EXPECT_FALSE(VersionConstraint::parse("1.2:1.4")
+                   .intersects(VersionConstraint::parse("2.0:")));
+  EXPECT_TRUE(VersionConstraint::parse("1.2")
+                  .intersects(VersionConstraint::parse("1.2.5:")));
+}
+
+TEST(VersionConstraint, ConstrainNarrows) {
+  auto vc = VersionConstraint::parse("1.2:");
+  vc.constrain(VersionConstraint::parse(":1.8"));
+  EXPECT_TRUE(vc.satisfied_by(Version("1.5")));
+}
+
+TEST(VersionConstraint, ConstrainConflictThrows) {
+  auto vc = VersionConstraint::parse(":1.4");
+  EXPECT_THROW(vc.constrain(VersionConstraint::parse("2.0:")),
+               benchpark::SpecError);
+}
+
+TEST(VersionConstraint, SubsetOf) {
+  EXPECT_TRUE(VersionConstraint::parse("1.4:1.6")
+                  .subset_of(VersionConstraint::parse("1.2:1.8")));
+  EXPECT_FALSE(VersionConstraint::parse("1.2:1.8")
+                   .subset_of(VersionConstraint::parse("1.4:1.6")));
+  EXPECT_TRUE(VersionConstraint::parse("=1.5")
+                  .subset_of(VersionConstraint::parse("1.2:1.8")));
+}
+
+// ---------------------------------------------------------------- variants
+
+TEST(VariantValue, ParseBooleanKeywords) {
+  EXPECT_TRUE(VariantValue::parse("true").as_bool());
+  EXPECT_FALSE(VariantValue::parse("False").as_bool());
+}
+
+TEST(VariantValue, ParseSingleAndMulti) {
+  EXPECT_EQ(VariantValue::parse("Release").as_single(), "Release");
+  auto multi = VariantValue::parse("a,b,a");
+  EXPECT_EQ(multi.as_multi(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(VariantValue, MultiSatisfiesSubset) {
+  auto mine = VariantValue::multi({"a", "b", "c"});
+  EXPECT_TRUE(mine.satisfies(VariantValue::multi({"a", "c"})));
+  EXPECT_FALSE(mine.satisfies(VariantValue::multi({"d"})));
+}
+
+TEST(VariantValue, BoolMismatchFailsSatisfies) {
+  EXPECT_FALSE(VariantValue::boolean(true).satisfies(
+      VariantValue::boolean(false)));
+  EXPECT_FALSE(VariantValue::boolean(true).satisfies(
+      VariantValue::single("x")));
+}
+
+// ------------------------------------------------------------------- parse
+
+TEST(SpecParse, NameOnly) {
+  auto s = Spec::parse("amg2023");
+  EXPECT_EQ(s.name(), "amg2023");
+  EXPECT_TRUE(s.versions().is_any());
+}
+
+TEST(SpecParse, Figure2Spec) {
+  auto s = Spec::parse("amg2023+caliper");
+  EXPECT_EQ(s.name(), "amg2023");
+  EXPECT_TRUE(s.variant_enabled("caliper"));
+}
+
+TEST(SpecParse, VersionAttached) {
+  auto s = Spec::parse("saxpy@1.0.0");
+  EXPECT_TRUE(s.versions().satisfied_by(Version("1.0.0")));
+  EXPECT_FALSE(s.versions().satisfied_by(Version("2.0")));
+}
+
+TEST(SpecParse, DisabledVariant) {
+  auto s = Spec::parse("hypre~cuda");
+  const auto* v = s.variant("cuda");
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->as_bool());
+}
+
+TEST(SpecParse, KeyValueVariant) {
+  auto s = Spec::parse("openblas threads=openmp");
+  EXPECT_EQ(s.variant("threads")->as_single(), "openmp");
+}
+
+TEST(SpecParse, Target) {
+  auto s = Spec::parse("saxpy target=zen3");
+  EXPECT_EQ(s.target(), "zen3");
+}
+
+TEST(SpecParse, Compiler) {
+  auto s = Spec::parse("amg2023%gcc@12.1.1");
+  ASSERT_TRUE(s.compiler().has_value());
+  EXPECT_EQ(s.compiler()->name, "gcc");
+  EXPECT_TRUE(s.compiler()->versions.satisfied_by(Version("12.1.1")));
+}
+
+TEST(SpecParse, FullSpecFromFigure10) {
+  // "saxpy@1.0.0 +openmp ^cmake@3.23.1" (caret dep from ramble.yaml).
+  auto s = Spec::parse("saxpy@1.0.0 +openmp ^cmake@3.23.1");
+  EXPECT_EQ(s.name(), "saxpy");
+  EXPECT_TRUE(s.variant_enabled("openmp"));
+  ASSERT_NE(s.dependency("cmake"), nullptr);
+  EXPECT_TRUE(
+      s.dependency("cmake")->versions().satisfied_by(Version("3.23.1")));
+}
+
+TEST(SpecParse, MultipleDependencies) {
+  auto s = Spec::parse("amg2023 ^hypre+cuda ^mvapich2@2.3.7");
+  EXPECT_EQ(s.dependencies().size(), 2u);
+  EXPECT_TRUE(s.dependency("hypre")->variant_enabled("cuda"));
+}
+
+TEST(SpecParse, GluedSigils) {
+  auto s = Spec::parse("amg2023@1.1+caliper%gcc@12.1.1");
+  EXPECT_EQ(s.name(), "amg2023");
+  EXPECT_TRUE(s.variant_enabled("caliper"));
+  EXPECT_EQ(s.compiler()->name, "gcc");
+}
+
+TEST(SpecParse, AnonymousConstraint) {
+  auto s = Spec::parse("+cuda");
+  EXPECT_TRUE(s.name().empty());
+  EXPECT_TRUE(s.variant_enabled("cuda"));
+}
+
+TEST(SpecParse, VersionRangeSpec) {
+  auto s = Spec::parse("cmake@3.23.1:");
+  EXPECT_TRUE(s.versions().satisfied_by(Version("3.26.3")));
+  EXPECT_FALSE(s.versions().satisfied_by(Version("3.20")));
+}
+
+TEST(SpecParse, ComplexVersionString) {
+  auto s = Spec::parse("mvapich2@2.3.7-gcc12.1.1-magic");
+  EXPECT_TRUE(
+      s.versions().satisfied_by(Version("2.3.7-gcc12.1.1-magic")));
+}
+
+TEST(SpecParse, Errors) {
+  EXPECT_THROW(Spec::parse(""), benchpark::SpecError);
+  EXPECT_THROW(Spec::parse("pkg@"), benchpark::SpecError);
+  EXPECT_THROW(Spec::parse("pkg+"), benchpark::SpecError);
+  EXPECT_THROW(Spec::parse("pkg%"), benchpark::SpecError);
+  EXPECT_THROW(Spec::parse("pkg^"), benchpark::SpecError);
+  EXPECT_THROW(Spec::parse("pkg key="), benchpark::SpecError);
+}
+
+TEST(SpecParse, RoundTrip) {
+  for (const char* text : {
+           "amg2023",
+           "amg2023+caliper",
+           "saxpy@1.0.0+openmp~cuda",
+           "openblas threads=openmp",
+           "amg2023+caliper%gcc@12.1.1",
+           "saxpy@1.0.0+openmp%gcc@12.1.1 target=broadwell ^cmake@3.23.1:",
+       }) {
+    auto s = Spec::parse(text);
+    auto reparsed = Spec::parse(s.str());
+    EXPECT_TRUE(s == reparsed) << text << " -> " << s.str();
+  }
+}
+
+// --------------------------------------------------------------- satisfies
+
+TEST(SpecSatisfies, NameAndVersion) {
+  auto s = Spec::parse("hypre@2.28.0");
+  EXPECT_TRUE(s.satisfies(Spec::parse("hypre")));
+  EXPECT_TRUE(s.satisfies(Spec::parse("hypre@2.24:")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("hypre@:2.26")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("amg2023")));
+}
+
+TEST(SpecSatisfies, AnonymousConstraints) {
+  auto s = Spec::parse("hypre+cuda");
+  EXPECT_TRUE(s.satisfies(Spec::parse("+cuda")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("~cuda")));
+}
+
+TEST(SpecSatisfies, AbstractMissingVariantPasses) {
+  // An abstract spec without the variant *could* still satisfy it.
+  auto s = Spec::parse("hypre");
+  EXPECT_TRUE(s.satisfies(Spec::parse("+cuda")));
+}
+
+TEST(SpecSatisfies, ConcreteMissingVariantFails) {
+  auto s = Spec::parse("zlib@=1.3 %gcc@=12.1.1 target=broadwell");
+  s.mark_concrete();
+  EXPECT_FALSE(s.satisfies(Spec::parse("+cuda")));
+}
+
+TEST(SpecSatisfies, CompilerConstraint) {
+  auto s = Spec::parse("saxpy%gcc@12.1.1");
+  EXPECT_TRUE(s.satisfies(Spec::parse("%gcc")));
+  EXPECT_TRUE(s.satisfies(Spec::parse("%gcc@12:")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("%clang")));
+}
+
+TEST(SpecSatisfies, DependencyConstraint) {
+  auto s = Spec::parse("amg2023 ^hypre@2.28.0+cuda");
+  EXPECT_TRUE(s.satisfies(Spec::parse("amg2023 ^hypre+cuda")));
+  EXPECT_FALSE(s.satisfies(Spec::parse("amg2023 ^hypre~cuda")));
+}
+
+// --------------------------------------------------------------- constrain
+
+TEST(SpecConstrain, MergesVersionAndVariants) {
+  auto s = Spec::parse("hypre@2.24:");
+  s.constrain(Spec::parse("hypre+cuda@:2.28"));
+  EXPECT_TRUE(s.variant_enabled("cuda"));
+  EXPECT_TRUE(s.versions().satisfied_by(Version("2.26.0")));
+}
+
+TEST(SpecConstrain, NameConflictThrows) {
+  auto s = Spec::parse("hypre");
+  EXPECT_THROW(s.constrain(Spec::parse("zlib")), benchpark::SpecError);
+}
+
+TEST(SpecConstrain, VariantConflictThrows) {
+  auto s = Spec::parse("hypre+cuda");
+  EXPECT_THROW(s.constrain(Spec::parse("hypre~cuda")), benchpark::SpecError);
+}
+
+TEST(SpecConstrain, CompilerConflictThrows) {
+  auto s = Spec::parse("saxpy%gcc");
+  EXPECT_THROW(s.constrain(Spec::parse("saxpy%clang")), benchpark::SpecError);
+}
+
+TEST(SpecConstrain, AnonymousAppliesToNamed) {
+  auto s = Spec::parse("saxpy");
+  s.constrain(Spec::parse("+openmp target=zen3"));
+  EXPECT_TRUE(s.variant_enabled("openmp"));
+  EXPECT_EQ(s.target(), "zen3");
+}
+
+TEST(SpecConstrain, MergesDependencies) {
+  auto s = Spec::parse("amg2023 ^hypre@2.24:");
+  s.constrain(Spec::parse("amg2023 ^hypre+cuda ^caliper"));
+  EXPECT_TRUE(s.dependency("hypre")->variant_enabled("cuda"));
+  ASSERT_NE(s.dependency("caliper"), nullptr);
+}
+
+// ------------------------------------------------------------- concreteness
+
+namespace {
+Spec make_concrete(const std::string& text) {
+  auto s = Spec::parse(text);
+  for (auto& d : s.dependencies_mut()) d.mark_concrete();
+  s.mark_concrete();
+  return s;
+}
+}  // namespace
+
+TEST(SpecConcrete, RequiresPinnedVersionCompilerTarget) {
+  EXPECT_THROW(Spec::parse("zlib").mark_concrete(), benchpark::SpecError);
+  EXPECT_THROW(Spec::parse("zlib@=1.3").mark_concrete(),
+               benchpark::SpecError);
+  EXPECT_THROW(Spec::parse("zlib@=1.3%gcc@=12.1.1").mark_concrete(),
+               benchpark::SpecError);
+  EXPECT_NO_THROW(make_concrete("zlib@=1.3%gcc@=12.1.1 target=broadwell"));
+}
+
+TEST(SpecConcrete, DagHashStable) {
+  auto a = make_concrete("zlib@=1.3%gcc@=12.1.1 target=broadwell");
+  auto b = make_concrete("zlib@=1.3%gcc@=12.1.1 target=broadwell");
+  EXPECT_EQ(a.dag_hash(), b.dag_hash());
+  EXPECT_EQ(a.dag_hash().size(), 13u);
+}
+
+TEST(SpecConcrete, DagHashSensitiveToInputs) {
+  auto base = make_concrete("zlib@=1.3%gcc@=12.1.1 target=broadwell");
+  auto other_version =
+      make_concrete("zlib@=1.2.13%gcc@=12.1.1 target=broadwell");
+  auto other_target = make_concrete("zlib@=1.3%gcc@=12.1.1 target=zen3");
+  EXPECT_NE(base.dag_hash(), other_version.dag_hash());
+  EXPECT_NE(base.dag_hash(), other_target.dag_hash());
+}
+
+TEST(SpecConcrete, DagHashIncludesDependencies) {
+  auto with_dep = make_concrete(
+      "hdf5@=1.14.1%gcc@=12.1.1 target=broadwell ^zlib@=1.3%gcc@=12.1.1 "
+      "target=broadwell");
+  auto without = make_concrete("hdf5@=1.14.1%gcc@=12.1.1 target=broadwell");
+  EXPECT_NE(with_dep.dag_hash(), without.dag_hash());
+}
+
+TEST(SpecConcrete, HashRequiresConcrete) {
+  EXPECT_THROW(Spec::parse("zlib").dag_hash(), benchpark::SpecError);
+}

@@ -1,0 +1,266 @@
+// Unit tests for the support module: strings, hashing, tables, fs, rng.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/support/error.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/log.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/string_util.hpp"
+#include "src/support/table.hpp"
+
+namespace bs = benchpark::support;
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  auto parts = bs::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitSingleToken) {
+  auto parts = bs::split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StringUtil, SplitWsDropsEmpty) {
+  auto parts = bs::split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtil, SplitFirst) {
+  auto [k, v] = bs::split_first("key=value=more", '=');
+  EXPECT_EQ(k, "key");
+  EXPECT_EQ(v, "value=more");
+  auto [k2, v2] = bs::split_first("nokey", '=');
+  EXPECT_EQ(k2, "nokey");
+  EXPECT_EQ(v2, "");
+}
+
+TEST(StringUtil, JoinRoundTrip) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(bs::join(parts, ", "), "a, b, c");
+  EXPECT_EQ(bs::join({}, ","), "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(bs::trim("  x y  "), "x y");
+  EXPECT_EQ(bs::trim("\t\n"), "");
+  EXPECT_EQ(bs::trim(""), "");
+}
+
+TEST(StringUtil, StartsEndsContains) {
+  EXPECT_TRUE(bs::starts_with("amg2023+caliper", "amg"));
+  EXPECT_FALSE(bs::starts_with("a", "ab"));
+  EXPECT_TRUE(bs::ends_with("ramble.yaml", ".yaml"));
+  EXPECT_FALSE(bs::ends_with("x", "yaml"));
+  EXPECT_TRUE(bs::contains("spack install", "inst"));
+}
+
+TEST(StringUtil, ReplaceAll) {
+  EXPECT_EQ(bs::replace_all("a{x}b{x}", "{x}", "1"), "a1b1");
+  EXPECT_EQ(bs::replace_all("aaa", "a", "aa"), "aaaaaa");
+}
+
+TEST(StringUtil, Padding) {
+  EXPECT_EQ(bs::pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(bs::pad_left("ab", 4), "  ab");
+  EXPECT_EQ(bs::pad_right("abcd", 2), "abcd");
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(bs::format_double(2.0), "2");
+  EXPECT_EQ(bs::format_double(0.0466, 3), "0.0466");
+  EXPECT_EQ(bs::format_double(1.5), "1.5");
+}
+
+TEST(StringUtil, ParseIntValid) {
+  EXPECT_EQ(bs::parse_int("42"), 42);
+  EXPECT_EQ(bs::parse_int(" -7 "), -7);
+}
+
+TEST(StringUtil, ParseIntInvalidThrows) {
+  EXPECT_THROW(bs::parse_int("4x"), benchpark::Error);
+  EXPECT_THROW(bs::parse_int(""), benchpark::Error);
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(bs::parse_double("0.5"), 0.5);
+  EXPECT_THROW(bs::parse_double("half"), benchpark::Error);
+}
+
+TEST(StringUtil, LooksLike) {
+  EXPECT_TRUE(bs::looks_like_int("512"));
+  EXPECT_FALSE(bs::looks_like_int("512b"));
+  EXPECT_TRUE(bs::looks_like_double("1e-3"));
+  EXPECT_FALSE(bs::looks_like_double(""));
+}
+
+TEST(StringUtil, IsIdentifier) {
+  EXPECT_TRUE(bs::is_identifier("amg2023"));
+  EXPECT_TRUE(bs::is_identifier("intel-oneapi-mkl"));
+  EXPECT_FALSE(bs::is_identifier("a b"));
+  EXPECT_FALSE(bs::is_identifier(""));
+}
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(bs::fnv1a("spack"), bs::fnv1a("spack"));
+  EXPECT_NE(bs::fnv1a("spack"), bs::fnv1a("spac"));
+}
+
+TEST(Hash, SeparatorPreventsConcatCollisions) {
+  bs::Hasher a;
+  a.update("ab").update("c");
+  bs::Hasher b;
+  b.update("a").update("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, Base32IsLowercase13Chars) {
+  auto h = bs::hash_base32("amg2023+caliper");
+  EXPECT_EQ(h.size(), 13u);
+  for (char c : h) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7')) << c;
+  }
+}
+
+TEST(Hash, HexIs16Chars) {
+  bs::Hasher h;
+  h.update("x");
+  EXPECT_EQ(h.hex().size(), 16u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  bs::Table t({"name", "time"});
+  t.add_row({"saxpy", "1.25"});
+  t.add_row({"amg2023", "320.5"});
+  auto text = t.render();
+  EXPECT_NE(text.find("| name    | time  |"), std::string::npos);
+  EXPECT_NE(text.find("| amg2023 | 320.5 |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  bs::Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.render().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, RejectsOverlongRows) {
+  bs::Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), benchpark::Error);
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  bs::Table t({"x"});
+  t.add_row({"1"});
+  auto md = t.render_markdown();
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+}
+
+TEST(FsUtil, WriteReadRoundTrip) {
+  bs::TempDir tmp;
+  auto file = tmp.path() / "sub" / "file.txt";
+  bs::write_file(file, "hello\n");
+  EXPECT_EQ(bs::read_file(file), "hello\n");
+}
+
+TEST(FsUtil, ReadMissingThrows) {
+  EXPECT_THROW(bs::read_file("/nonexistent/x/y"), benchpark::Error);
+}
+
+TEST(FsUtil, TempDirRemovedOnScopeExit) {
+  std::filesystem::path kept;
+  {
+    bs::TempDir tmp;
+    kept = tmp.path();
+    EXPECT_TRUE(std::filesystem::exists(kept));
+  }
+  EXPECT_FALSE(std::filesystem::exists(kept));
+}
+
+TEST(FsUtil, RenderTreeListsDirsFirst) {
+  bs::TempDir tmp;
+  bs::write_file(tmp.path() / "zz.txt", "");
+  bs::write_file(tmp.path() / "configs" / "a.yaml", "");
+  auto tree = bs::render_tree(tmp.path());
+  auto dir_pos = tree.find("configs/");
+  auto file_pos = tree.find("zz.txt");
+  ASSERT_NE(dir_pos, std::string::npos);
+  ASSERT_NE(file_pos, std::string::npos);
+  EXPECT_LT(dir_pos, file_pos);
+  EXPECT_NE(tree.find("a.yaml"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  bs::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  bs::Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  bs::Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, GaussianRoughlyCentered) {
+  bs::Rng rng(11);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.next_gaussian();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(Rng, NoiseFactorAlwaysPositive) {
+  bs::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.noise_factor(0.5), 0.0);
+}
+
+TEST(Log, SinkCapturesAtLevel) {
+  namespace bs = benchpark::support;
+  std::vector<std::string> captured;
+  bs::Log::set_sink([&](bs::LogLevel, std::string_view msg) {
+    captured.emplace_back(msg);
+  });
+  bs::ScopedLogLevel scope(bs::LogLevel::info);
+  bs::Log::debug("hidden");
+  bs::Log::info("shown");
+  bs::Log::error("also shown");
+  EXPECT_EQ(captured, (std::vector<std::string>{"shown", "also shown"}));
+  bs::Log::set_sink(nullptr);
+}
+
+TEST(Log, ScopedLevelRestores) {
+  namespace bs = benchpark::support;
+  auto before = bs::Log::level();
+  {
+    bs::ScopedLogLevel scope(bs::LogLevel::off);
+    EXPECT_EQ(bs::Log::level(), bs::LogLevel::off);
+  }
+  EXPECT_EQ(bs::Log::level(), before);
+}
+
+TEST(Log, OffSilencesEverything) {
+  namespace bs = benchpark::support;
+  int count = 0;
+  bs::Log::set_sink([&](bs::LogLevel, std::string_view) { ++count; });
+  bs::ScopedLogLevel scope(bs::LogLevel::off);
+  bs::Log::error("nope");
+  EXPECT_EQ(count, 0);
+  bs::Log::set_sink(nullptr);
+}

@@ -1,0 +1,171 @@
+// Tests for the simulated system registry, performance models, and the
+// per-system variables.yaml (Figure 12).
+#include <gtest/gtest.h>
+
+#include "src/support/error.hpp"
+#include "src/system/perf_model.hpp"
+#include "src/system/system.hpp"
+
+namespace sys = benchpark::system;
+using sys::Collective;
+using sys::PerfModel;
+using sys::SystemRegistry;
+
+TEST(SystemRegistry, PaperSystemsPresent) {
+  const auto& reg = SystemRegistry::instance();
+  for (const char* name : {"cts1", "ats2", "ats4", "cloud-cts", "native"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_THROW((void)reg.get("summit"), benchpark::SystemError);
+}
+
+TEST(SystemRegistry, Cts1MatchesPaperDescription) {
+  const auto& cts1 = SystemRegistry::instance().get("cts1");
+  EXPECT_FALSE(cts1.has_gpu());
+  EXPECT_EQ(cts1.cpu.microarch, "broadwell");
+  EXPECT_EQ(cts1.scheduler, sys::SchedulerKind::slurm);
+  EXPECT_EQ(cts1.mpi_launcher, "srun");
+  // Figure 4: MKL and mvapich2 externals.
+  ASSERT_NE(cts1.config.settings_for("blas"), nullptr);
+  EXPECT_FALSE(cts1.config.settings_for("blas")->externals.empty());
+  ASSERT_NE(cts1.config.settings_for("mpi"), nullptr);
+  EXPECT_EQ(cts1.config.settings_for("mpi")->externals[0].spec.name(),
+            "mvapich2");
+}
+
+TEST(SystemRegistry, Ats2IsPower9V100Lsf) {
+  const auto& ats2 = SystemRegistry::instance().get("ats2");
+  ASSERT_TRUE(ats2.has_gpu());
+  EXPECT_EQ(ats2.gpu->runtime, "cuda");
+  EXPECT_EQ(ats2.cpu.microarch, "power9le");
+  EXPECT_EQ(ats2.scheduler, sys::SchedulerKind::lsf);
+  EXPECT_EQ(ats2.mpi_launcher, "jsrun");
+}
+
+TEST(SystemRegistry, Ats4IsTrentoMi250xFlux) {
+  const auto& ats4 = SystemRegistry::instance().get("ats4");
+  ASSERT_TRUE(ats4.has_gpu());
+  EXPECT_EQ(ats4.gpu->runtime, "rocm");
+  EXPECT_EQ(ats4.cpu.microarch, "zen3");
+  EXPECT_EQ(ats4.scheduler, sys::SchedulerKind::flux);
+}
+
+TEST(SystemRegistry, CloudTwinMissesHardwareFeature) {
+  const auto& cloud = SystemRegistry::instance().get("cloud-cts");
+  // Section 7.1: similar architecture, one missing feature.
+  EXPECT_EQ(cloud.cpu.microarch, "broadwell");
+  EXPECT_FALSE(cloud.disabled_features.empty());
+  EXPECT_GT(cloud.interconnect.latency_us,
+            SystemRegistry::instance().get("cts1").interconnect.latency_us);
+}
+
+TEST(SystemDescription, VariablesYamlSlurm) {
+  auto vars = sys::make_cts1().variables_yaml();
+  // Figure 12 verbatim.
+  EXPECT_EQ(vars.path("variables.mpi_command").as_string(),
+            "srun -N {n_nodes} -n {n_ranks}");
+  EXPECT_EQ(vars.path("variables.batch_submit").as_string(),
+            "sbatch {execute_experiment}");
+  EXPECT_EQ(vars.path("variables.batch_nodes").as_string(),
+            "#SBATCH -N {n_nodes}");
+}
+
+TEST(SystemDescription, VariablesYamlPerScheduler) {
+  auto lsf = sys::make_ats2().variables_yaml();
+  EXPECT_NE(lsf.path("variables.mpi_command").as_string().find("jsrun"),
+            std::string::npos);
+  EXPECT_NE(lsf.path("variables.batch_nodes").as_string().find("#BSUB"),
+            std::string::npos);
+  auto flux = sys::make_ats4_ea().variables_yaml();
+  EXPECT_NE(flux.path("variables.batch_submit").as_string().find("flux batch"),
+            std::string::npos);
+}
+
+TEST(PerfModel, RooflineMemoryVsComputeBound) {
+  auto cts1 = sys::make_cts1();
+  PerfModel model(cts1);
+  // saxpy (0.17 flop/byte) is memory bound: doubling flops at fixed bytes
+  // changes nothing; doubling bytes doubles time.
+  double base = model.cpu_kernel_seconds(2e6, 12e6, 36, 1);
+  EXPECT_NEAR(model.cpu_kernel_seconds(4e6, 12e6, 36, 1), base, base * 0.01);
+  EXPECT_GT(model.cpu_kernel_seconds(2e6, 24e6, 36, 1), base * 1.8);
+  // A compute-heavy kernel is flop-limited.
+  double compute_bound = model.cpu_kernel_seconds(1e12, 1e6, 36, 1);
+  EXPECT_GT(compute_bound, model.cpu_kernel_seconds(1e10, 1e6, 36, 1));
+}
+
+TEST(PerfModel, MoreCoresHelpUntilBandwidthSaturates) {
+  auto cts1 = sys::make_cts1();
+  PerfModel model(cts1);
+  double one_core = model.cpu_kernel_seconds(1e9, 1e9, 1, 1);
+  double nine_cores = model.cpu_kernel_seconds(1e9, 1e9, 1, 9);
+  double all_cores = model.cpu_kernel_seconds(1e9, 1e9, 1, 36);
+  EXPECT_GT(one_core, nine_cores);
+  // Memory-bound region: 9 cores already saturate ~1/4 of the cores rule.
+  EXPECT_NEAR(nine_cores, all_cores, nine_cores * 0.05);
+}
+
+TEST(PerfModel, GpuBeatsCpuOnLargeProblems) {
+  auto ats2 = sys::make_ats2();
+  PerfModel model(ats2);
+  double big_flops = 1e11, big_bytes = 1e10;
+  EXPECT_LT(model.gpu_kernel_seconds(big_flops, big_bytes, 4),
+            model.cpu_kernel_seconds(big_flops, big_bytes, 4, 10));
+}
+
+TEST(PerfModel, GpuLaunchLatencyDominatesTinyKernels) {
+  auto ats2 = sys::make_ats2();
+  PerfModel model(ats2);
+  // Tiny saxpy: CPU wins (the crossover the paper's GPU experiments show).
+  double flops = 2.0 * 512, bytes = 12.0 * 512;
+  EXPECT_LT(model.cpu_kernel_seconds(flops, bytes, 1, 1),
+            model.gpu_kernel_seconds(flops, bytes, 1));
+}
+
+TEST(PerfModel, GpuOnCpuOnlySystemThrows) {
+  auto cts1 = sys::make_cts1();
+  PerfModel model(cts1);
+  EXPECT_THROW((void)model.gpu_kernel_seconds(1e9, 1e9, 1),
+               benchpark::SystemError);
+}
+
+TEST(PerfModel, CollectivesGrowWithRanksAndBytes) {
+  auto cts1 = sys::make_cts1();
+  PerfModel model(cts1);
+  double small = model.collective_seconds(Collective::bcast, 64, 8);
+  double more_ranks = model.collective_seconds(Collective::bcast, 1024, 8);
+  double more_bytes =
+      model.collective_seconds(Collective::bcast, 64, 1 << 20);
+  EXPECT_GT(more_ranks, small);
+  EXPECT_GT(more_bytes, small);
+  EXPECT_LT(model.collective_seconds(Collective::bcast, 1, 8), 1e-6);
+}
+
+TEST(PerfModel, BcastHasLinearArrivalTerm) {
+  // The term Figure 14's Extra-P fit discovers: at large p the per-rank
+  // arrival overhead dominates the log tree.
+  auto cts1 = sys::make_cts1();
+  PerfModel model(cts1);
+  double t1k = model.collective_seconds(Collective::bcast, 1000, 8);
+  double t2k = model.collective_seconds(Collective::bcast, 2000, 8);
+  double t4k = model.collective_seconds(Collective::bcast, 4000, 8);
+  // Successive doublings approach a factor of 2 (linear behavior).
+  EXPECT_GT(t2k / t1k, 1.7);
+  EXPECT_GT(t4k / t2k, 1.8);
+}
+
+TEST(PerfModel, AllreduceCostsMoreThanBcast) {
+  auto cts1 = sys::make_cts1();
+  PerfModel model(cts1);
+  EXPECT_GT(model.collective_seconds(Collective::allreduce, 256, 1024),
+            model.collective_seconds(Collective::bcast, 256, 1024));
+}
+
+TEST(PerfModel, CloudFabricSlowerThanOmniPath) {
+  auto cts1 = sys::make_cts1();
+  auto cloud = sys::make_cloud_cts();
+  PerfModel on_prem(cts1);
+  PerfModel in_cloud(cloud);
+  EXPECT_GT(in_cloud.collective_seconds(Collective::bcast, 256, 8),
+            on_prem.collective_seconds(Collective::bcast, 256, 8));
+}

@@ -1,0 +1,149 @@
+// Tests for data-driven package recipes (repo.yaml overlays) and their
+// use through the concretizer and workspaces.
+#include <gtest/gtest.h>
+
+#include "src/concretizer/concretizer.hpp"
+#include "src/pkg/yaml_repo.hpp"
+#include "src/support/error.hpp"
+#include "src/system/system.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace pkg = benchpark::pkg;
+using benchpark::yaml::parse;
+
+namespace {
+
+const char* kRepoYaml =
+    "packages:\n"
+    "  pingpong:\n"
+    "    build_system: cmake\n"
+    "    description: MPI ping-pong latency benchmark\n"
+    "    versions:\n"
+    "    - '2.1'\n"
+    "    - version: '2.0'\n"
+    "      deprecated: true\n"
+    "    variants:\n"
+    "      openmp:\n"
+    "        default: false\n"
+    "        description: threaded variant\n"
+    "        flag: -DPINGPONG_OPENMP=ON\n"
+    "      backend:\n"
+    "        default: verbs\n"
+    "        values: [verbs, ucx]\n"
+    "    depends_on:\n"
+    "    - mpi\n"
+    "    - spec: cmake@3.20:\n"
+    "    - spec: cuda\n"
+    "      when: +cuda\n"
+    "    build_cost: 3.5\n"
+    "  fastblas:\n"
+    "    build_system: makefile\n"
+    "    versions: ['1.0']\n"
+    "    provides: [blas]\n";
+
+}  // namespace
+
+TEST(YamlRepo, ParsesFullRecipe) {
+  auto repo = pkg::repo_from_yaml("community", parse(kRepoYaml));
+  const auto* pingpong = repo->find("pingpong");
+  ASSERT_NE(pingpong, nullptr);
+  EXPECT_EQ(pingpong->build_system(), pkg::BuildSystem::cmake);
+  EXPECT_EQ(pingpong->description(), "MPI ping-pong latency benchmark");
+  EXPECT_EQ(pingpong->best_version({})->str(), "2.1");
+  EXPECT_DOUBLE_EQ(pingpong->build_cost_seconds(), 3.5);
+
+  const auto* openmp = pingpong->find_variant("openmp");
+  ASSERT_NE(openmp, nullptr);
+  EXPECT_FALSE(openmp->default_value.as_bool());
+  const auto* backend = pingpong->find_variant("backend");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->default_value.as_single(), "verbs");
+  EXPECT_EQ(backend->allowed_values.size(), 2u);
+}
+
+TEST(YamlRepo, DeprecatedVersionHandling) {
+  auto repo = pkg::repo_from_yaml("community", parse(kRepoYaml));
+  const auto* pingpong = repo->find("pingpong");
+  // Deprecated 2.0 is skipped by default but reachable explicitly.
+  EXPECT_EQ(pingpong->best_version({})->str(), "2.1");
+  auto explicit_old = pingpong->best_version(
+      benchpark::spec::VersionConstraint::parse("=2.0"));
+  ASSERT_TRUE(explicit_old.has_value());
+}
+
+TEST(YamlRepo, ConditionalDependencies) {
+  auto repo = pkg::repo_from_yaml("community", parse(kRepoYaml));
+  const auto* pingpong = repo->find("pingpong");
+  // Note: +cuda is not a declared variant here, so the `when` can never
+  // fire on a concretized spec — but the declaration itself must load.
+  auto plain = benchpark::spec::Spec::parse("pingpong");
+  EXPECT_EQ(pingpong->active_dependencies(plain).size(), 3u);
+}
+
+TEST(YamlRepo, VariantFlagMapping) {
+  auto repo = pkg::repo_from_yaml("community", parse(kRepoYaml));
+  auto with_openmp = benchpark::spec::Spec::parse("pingpong+openmp");
+  EXPECT_EQ(repo->find("pingpong")->build_args(with_openmp),
+            (std::vector<std::string>{"-DPINGPONG_OPENMP=ON"}));
+}
+
+TEST(YamlRepo, ProvidesVirtuals) {
+  auto repo = pkg::repo_from_yaml("community", parse(kRepoYaml));
+  auto providers = repo->providers_of("blas");
+  ASSERT_EQ(providers.size(), 1u);
+  EXPECT_EQ(providers[0]->name(), "fastblas");
+}
+
+TEST(YamlRepo, UnknownKeyRejected) {
+  EXPECT_THROW(pkg::recipe_from_yaml("x", parse("versions: ['1']\n"
+                                                "homepage: http://x\n")),
+               benchpark::PackageError);
+}
+
+TEST(YamlRepo, MissingVersionsRejected) {
+  EXPECT_THROW(pkg::recipe_from_yaml("x", parse("build_system: cmake\n")),
+               benchpark::PackageError);
+}
+
+TEST(YamlRepo, BadBuildSystemRejected) {
+  EXPECT_THROW(
+      pkg::recipe_from_yaml(
+          "x", parse("build_system: bazel\nversions: ['1']\n")),
+      benchpark::PackageError);
+}
+
+TEST(YamlRepo, BadVariantDefaultRejected) {
+  EXPECT_THROW(pkg::recipe_from_yaml(
+                   "x", parse("versions: ['1']\n"
+                              "variants:\n"
+                              "  mode:\n"
+                              "    default: sideways\n")),
+               benchpark::PackageError);
+}
+
+TEST(YamlRepo, OverlayConcretizesThroughStack) {
+  auto overlay = pkg::repo_from_yaml("community", parse(kRepoYaml));
+  pkg::RepoStack stack;
+  stack.push_back(pkg::builtin_repo());
+  stack.push_front(std::shared_ptr<const pkg::Repo>(overlay));
+
+  const auto& cts1 = benchpark::system::SystemRegistry::instance().get("cts1");
+  benchpark::concretizer::Concretizer cz(stack, cts1.config);
+  auto concrete = cz.concretize("pingpong+openmp backend=ucx");
+  EXPECT_TRUE(concrete.concrete());
+  EXPECT_EQ(concrete.concrete_version().str(), "2.1");
+  EXPECT_EQ(concrete.variant("backend")->as_single(), "ucx");
+  // mpi resolved through the system scope as usual.
+  EXPECT_NE(concrete.dependency("mvapich2"), nullptr);
+}
+
+TEST(YamlRepo, DisallowedVariantValueCaughtAtConcretize) {
+  auto overlay = pkg::repo_from_yaml("community", parse(kRepoYaml));
+  pkg::RepoStack stack;
+  stack.push_back(pkg::builtin_repo());
+  stack.push_front(std::shared_ptr<const pkg::Repo>(overlay));
+  const auto& cts1 = benchpark::system::SystemRegistry::instance().get("cts1");
+  benchpark::concretizer::Concretizer cz(stack, cts1.config);
+  EXPECT_THROW(cz.concretize("pingpong backend=tcp"),
+               benchpark::ConcretizationError);
+}
