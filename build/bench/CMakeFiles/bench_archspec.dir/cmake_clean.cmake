@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_archspec.dir/bench_archspec.cpp.o"
+  "CMakeFiles/bench_archspec.dir/bench_archspec.cpp.o.d"
+  "bench_archspec"
+  "bench_archspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_archspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buildcache.dir/bench_buildcache.cpp.o"
+  "CMakeFiles/bench_buildcache.dir/bench_buildcache.cpp.o.d"
+  "bench_buildcache"
+  "bench_buildcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buildcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_caliper.dir/bench_caliper.cpp.o"
+  "CMakeFiles/bench_caliper.dir/bench_caliper.cpp.o.d"
+  "bench_caliper"
+  "bench_caliper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_caliper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

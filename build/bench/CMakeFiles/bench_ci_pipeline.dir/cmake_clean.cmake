@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ci_pipeline.dir/bench_ci_pipeline.cpp.o"
+  "CMakeFiles/bench_ci_pipeline.dir/bench_ci_pipeline.cpp.o.d"
+  "bench_ci_pipeline"
+  "bench_ci_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ci_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

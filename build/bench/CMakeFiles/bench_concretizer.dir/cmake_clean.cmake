@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concretizer.dir/bench_concretizer.cpp.o"
+  "CMakeFiles/bench_concretizer.dir/bench_concretizer.cpp.o.d"
+  "bench_concretizer"
+  "bench_concretizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concretizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

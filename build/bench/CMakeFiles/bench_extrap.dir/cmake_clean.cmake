@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extrap.dir/bench_extrap.cpp.o"
+  "CMakeFiles/bench_extrap.dir/bench_extrap.cpp.o.d"
+  "bench_extrap"
+  "bench_extrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fom.dir/bench_fom.cpp.o"
+  "CMakeFiles/bench_fom.dir/bench_fom.cpp.o.d"
+  "bench_fom"
+  "bench_fom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

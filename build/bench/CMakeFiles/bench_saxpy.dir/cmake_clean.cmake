@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_saxpy.dir/bench_saxpy.cpp.o"
+  "CMakeFiles/bench_saxpy.dir/bench_saxpy.cpp.o.d"
+  "bench_saxpy"
+  "bench_saxpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_saxpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

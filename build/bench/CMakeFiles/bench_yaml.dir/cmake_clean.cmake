@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yaml.dir/bench_yaml.cpp.o"
+  "CMakeFiles/bench_yaml.dir/bench_yaml.cpp.o.d"
+  "bench_yaml"
+  "bench_yaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure14_extrap.dir/figure14_extrap.cpp.o"
+  "CMakeFiles/figure14_extrap.dir/figure14_extrap.cpp.o.d"
+  "figure14_extrap"
+  "figure14_extrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure14_extrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure14_extrap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/add_benchmark.dir/add_benchmark.cpp.o"
+  "CMakeFiles/add_benchmark.dir/add_benchmark.cpp.o.d"
+  "add_benchmark"
+  "add_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/add_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

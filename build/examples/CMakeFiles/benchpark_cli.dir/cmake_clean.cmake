@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchpark_cli.dir/benchpark_cli.cpp.o"
+  "CMakeFiles/benchpark_cli.dir/benchpark_cli.cpp.o.d"
+  "benchpark_cli"
+  "benchpark_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchpark_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ci_pipeline.dir/ci_pipeline.cpp.o"
+  "CMakeFiles/ci_pipeline.dir/ci_pipeline.cpp.o.d"
+  "ci_pipeline"
+  "ci_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ci_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

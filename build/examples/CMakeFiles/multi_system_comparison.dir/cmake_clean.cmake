@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_system_comparison.dir/multi_system_comparison.cpp.o"
+  "CMakeFiles/multi_system_comparison.dir/multi_system_comparison.cpp.o.d"
+  "multi_system_comparison"
+  "multi_system_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_system_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

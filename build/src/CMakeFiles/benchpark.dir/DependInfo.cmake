@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dashboard.cpp" "src/CMakeFiles/benchpark.dir/analysis/dashboard.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/analysis/dashboard.cpp.o.d"
+  "/root/repo/src/analysis/extrap.cpp" "src/CMakeFiles/benchpark.dir/analysis/extrap.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/analysis/extrap.cpp.o.d"
+  "/root/repo/src/analysis/fom.cpp" "src/CMakeFiles/benchpark.dir/analysis/fom.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/analysis/fom.cpp.o.d"
+  "/root/repo/src/analysis/metrics_db.cpp" "src/CMakeFiles/benchpark.dir/analysis/metrics_db.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/analysis/metrics_db.cpp.o.d"
+  "/root/repo/src/analysis/thicket.cpp" "src/CMakeFiles/benchpark.dir/analysis/thicket.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/analysis/thicket.cpp.o.d"
+  "/root/repo/src/archspec/microarch.cpp" "src/CMakeFiles/benchpark.dir/archspec/microarch.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/archspec/microarch.cpp.o.d"
+  "/root/repo/src/benchmarks/multigrid.cpp" "src/CMakeFiles/benchpark.dir/benchmarks/multigrid.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/benchmarks/multigrid.cpp.o.d"
+  "/root/repo/src/benchmarks/saxpy.cpp" "src/CMakeFiles/benchpark.dir/benchmarks/saxpy.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/benchmarks/saxpy.cpp.o.d"
+  "/root/repo/src/benchmarks/stream.cpp" "src/CMakeFiles/benchpark.dir/benchmarks/stream.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/benchmarks/stream.cpp.o.d"
+  "/root/repo/src/ci/git.cpp" "src/CMakeFiles/benchpark.dir/ci/git.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ci/git.cpp.o.d"
+  "/root/repo/src/ci/hubcast.cpp" "src/CMakeFiles/benchpark.dir/ci/hubcast.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ci/hubcast.cpp.o.d"
+  "/root/repo/src/ci/jacamar.cpp" "src/CMakeFiles/benchpark.dir/ci/jacamar.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ci/jacamar.cpp.o.d"
+  "/root/repo/src/ci/pipeline.cpp" "src/CMakeFiles/benchpark.dir/ci/pipeline.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ci/pipeline.cpp.o.d"
+  "/root/repo/src/concretizer/concretizer.cpp" "src/CMakeFiles/benchpark.dir/concretizer/concretizer.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/concretizer/concretizer.cpp.o.d"
+  "/root/repo/src/concretizer/config.cpp" "src/CMakeFiles/benchpark.dir/concretizer/config.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/concretizer/config.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/CMakeFiles/benchpark.dir/core/campaign.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/core/campaign.cpp.o.d"
+  "/root/repo/src/core/components.cpp" "src/CMakeFiles/benchpark.dir/core/components.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/core/components.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/CMakeFiles/benchpark.dir/core/driver.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/core/driver.cpp.o.d"
+  "/root/repo/src/core/usage.cpp" "src/CMakeFiles/benchpark.dir/core/usage.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/core/usage.cpp.o.d"
+  "/root/repo/src/env/environment.cpp" "src/CMakeFiles/benchpark.dir/env/environment.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/env/environment.cpp.o.d"
+  "/root/repo/src/install/installer.cpp" "src/CMakeFiles/benchpark.dir/install/installer.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/install/installer.cpp.o.d"
+  "/root/repo/src/perf/caliper.cpp" "src/CMakeFiles/benchpark.dir/perf/caliper.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/perf/caliper.cpp.o.d"
+  "/root/repo/src/pkg/package.cpp" "src/CMakeFiles/benchpark.dir/pkg/package.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/pkg/package.cpp.o.d"
+  "/root/repo/src/pkg/repo.cpp" "src/CMakeFiles/benchpark.dir/pkg/repo.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/pkg/repo.cpp.o.d"
+  "/root/repo/src/pkg/yaml_repo.cpp" "src/CMakeFiles/benchpark.dir/pkg/yaml_repo.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/pkg/yaml_repo.cpp.o.d"
+  "/root/repo/src/ramble/application.cpp" "src/CMakeFiles/benchpark.dir/ramble/application.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ramble/application.cpp.o.d"
+  "/root/repo/src/ramble/expansion.cpp" "src/CMakeFiles/benchpark.dir/ramble/expansion.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ramble/expansion.cpp.o.d"
+  "/root/repo/src/ramble/experiment.cpp" "src/CMakeFiles/benchpark.dir/ramble/experiment.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ramble/experiment.cpp.o.d"
+  "/root/repo/src/ramble/modifier.cpp" "src/CMakeFiles/benchpark.dir/ramble/modifier.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ramble/modifier.cpp.o.d"
+  "/root/repo/src/ramble/workspace.cpp" "src/CMakeFiles/benchpark.dir/ramble/workspace.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/ramble/workspace.cpp.o.d"
+  "/root/repo/src/runtime/simexec.cpp" "src/CMakeFiles/benchpark.dir/runtime/simexec.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/runtime/simexec.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/benchpark.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/spec/spec.cpp" "src/CMakeFiles/benchpark.dir/spec/spec.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/spec/spec.cpp.o.d"
+  "/root/repo/src/spec/variant.cpp" "src/CMakeFiles/benchpark.dir/spec/variant.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/spec/variant.cpp.o.d"
+  "/root/repo/src/spec/version.cpp" "src/CMakeFiles/benchpark.dir/spec/version.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/spec/version.cpp.o.d"
+  "/root/repo/src/support/fs_util.cpp" "src/CMakeFiles/benchpark.dir/support/fs_util.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/support/fs_util.cpp.o.d"
+  "/root/repo/src/support/hash.cpp" "src/CMakeFiles/benchpark.dir/support/hash.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/support/hash.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/CMakeFiles/benchpark.dir/support/log.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/support/log.cpp.o.d"
+  "/root/repo/src/support/string_util.cpp" "src/CMakeFiles/benchpark.dir/support/string_util.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/support/string_util.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/benchpark.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/support/table.cpp.o.d"
+  "/root/repo/src/system/perf_model.cpp" "src/CMakeFiles/benchpark.dir/system/perf_model.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/system/perf_model.cpp.o.d"
+  "/root/repo/src/system/system.cpp" "src/CMakeFiles/benchpark.dir/system/system.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/system/system.cpp.o.d"
+  "/root/repo/src/yaml/emitter.cpp" "src/CMakeFiles/benchpark.dir/yaml/emitter.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/yaml/emitter.cpp.o.d"
+  "/root/repo/src/yaml/node.cpp" "src/CMakeFiles/benchpark.dir/yaml/node.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/yaml/node.cpp.o.d"
+  "/root/repo/src/yaml/parser.cpp" "src/CMakeFiles/benchpark.dir/yaml/parser.cpp.o" "gcc" "src/CMakeFiles/benchpark.dir/yaml/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for benchpark.
+# This may be replaced when dependencies are built.

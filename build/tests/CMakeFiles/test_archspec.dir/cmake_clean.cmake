@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archspec.dir/test_archspec.cpp.o"
+  "CMakeFiles/test_archspec.dir/test_archspec.cpp.o.d"
+  "test_archspec"
+  "test_archspec.pdb"
+  "test_archspec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

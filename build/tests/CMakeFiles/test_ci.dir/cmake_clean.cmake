@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ci.dir/test_ci.cpp.o"
+  "CMakeFiles/test_ci.dir/test_ci.cpp.o.d"
+  "test_ci"
+  "test_ci.pdb"
+  "test_ci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

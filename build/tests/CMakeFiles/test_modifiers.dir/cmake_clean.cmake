@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modifiers.dir/test_modifiers.cpp.o"
+  "CMakeFiles/test_modifiers.dir/test_modifiers.cpp.o.d"
+  "test_modifiers"
+  "test_modifiers.pdb"
+  "test_modifiers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

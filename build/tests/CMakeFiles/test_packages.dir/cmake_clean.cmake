@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packages.dir/test_packages.cpp.o"
+  "CMakeFiles/test_packages.dir/test_packages.cpp.o.d"
+  "test_packages"
+  "test_packages.pdb"
+  "test_packages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

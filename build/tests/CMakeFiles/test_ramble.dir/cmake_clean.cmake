@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ramble.dir/test_ramble.cpp.o"
+  "CMakeFiles/test_ramble.dir/test_ramble.cpp.o.d"
+  "test_ramble"
+  "test_ramble.pdb"
+  "test_ramble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ramble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

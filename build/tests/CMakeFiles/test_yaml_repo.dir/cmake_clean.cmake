@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yaml_repo.dir/test_yaml_repo.cpp.o"
+  "CMakeFiles/test_yaml_repo.dir/test_yaml_repo.cpp.o.d"
+  "test_yaml_repo"
+  "test_yaml_repo.pdb"
+  "test_yaml_repo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yaml_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_archspec[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmarks[1]_include.cmake")
+include("/root/repo/build/tests/test_ci[1]_include.cmake")
+include("/root/repo/build/tests/test_concretizer[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_dashboard[1]_include.cmake")
+include("/root/repo/build/tests/test_env[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_modifiers[1]_include.cmake")
+include("/root/repo/build/tests/test_packages[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_ramble[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_yaml[1]_include.cmake")
+include("/root/repo/build/tests/test_yaml_repo[1]_include.cmake")
