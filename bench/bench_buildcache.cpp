@@ -64,6 +64,32 @@ void BM_WarmCacheInstall(benchmark::State& state) {
 }
 BENCHMARK(BM_WarmCacheInstall);
 
+// Wavefront DAG install (the tentpole engine): Arg is engine_threads.
+// Compare /threads:1 vs /threads:4 for the real engine wall-clock; the
+// counters report the modeled build time -- serial sum vs critical path
+// (the wavefront engine's modeled wall-clock with unbounded workers).
+void BM_ParallelDagInstall(benchmark::State& state) {
+  const auto& cts1 = system::SystemRegistry::instance().get("cts1");
+  concretizer::Concretizer cz(pkg::default_repo_stack(), cts1.config);
+  auto spec = cz.concretize("amg2023+caliper");
+  install::InstallOptions options;
+  options.engine_threads = static_cast<int>(state.range(0));
+  double serial_s = 0, critical_s = 0;
+  for (auto _ : state) {
+    buildcache::BinaryCache cache;
+    install::InstallTree tree;
+    install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
+    auto report = installer.install(spec, options);
+    serial_s = report.total_simulated_seconds;
+    critical_s = report.critical_path_seconds;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["modeled_serial_s"] = serial_s;
+  state.counters["modeled_critical_path_s"] = critical_s;
+  state.counters["modeled_speedup"] = serial_s / critical_s;
+}
+BENCHMARK(BM_ParallelDagInstall)->Arg(1)->Arg(4);
+
 void BM_CacheLookup(benchmark::State& state) {
   const auto& cts1 = system::SystemRegistry::instance().get("cts1");
   concretizer::Concretizer cz(pkg::default_repo_stack(), cts1.config);

@@ -28,13 +28,19 @@ struct Level {
   std::vector<double> u;    // solution / correction
   std::vector<double> f;    // right-hand side
   std::vector<double> r;    // residual scratch
+  // Hoisted kernel scratch: smooth() ping-pongs u against `next` and
+  // residual() accumulates into `partial`; both were reallocated on every
+  // call before the pooled engine landed.
+  std::vector<double> next;
+  std::vector<double> partial;
 
   explicit Level(std::size_t n_in)
       : n(n_in),
         h(1.0 / static_cast<double>(n_in + 1)),
         u((n_in + 2) * (n_in + 2), 0.0),
         f((n_in + 2) * (n_in + 2), 0.0),
-        r((n_in + 2) * (n_in + 2), 0.0) {}
+        r((n_in + 2) * (n_in + 2), 0.0),
+        next((n_in + 2) * (n_in + 2), 0.0) {}
 
   [[nodiscard]] std::size_t idx(std::size_t i, std::size_t j) const {
     return i * (n + 2) + j;  // i, j in [0, n+1]; interior is [1, n]
@@ -47,7 +53,9 @@ void smooth(Level& level, int sweeps, int threads) {
   const std::size_t n = level.n;
   const double h2 = level.h * level.h;
   const double omega = 0.8;
-  std::vector<double> next = level.u;
+  // The halo of `next` stays zero (as u's does) and the sweep overwrites
+  // the whole interior, so the persistent buffer needs no reset.
+  std::vector<double>& next = level.next;
   for (int s = 0; s < sweeps; ++s) {
     benchpark::support::parallel_for(
         n, threads, [&](std::size_t lo, std::size_t hi) {
@@ -69,9 +77,10 @@ void smooth(Level& level, int sweeps, int threads) {
 double residual(Level& level, int threads) {
   const std::size_t n = level.n;
   const double inv_h2 = 1.0 / (level.h * level.h);
-  std::vector<double> partial(static_cast<std::size_t>(threads > 0 ? threads : 1), 0.0);
+  const std::size_t nchunks = static_cast<std::size_t>(threads > 0 ? threads : 1);
+  if (level.partial.size() < nchunks) level.partial.resize(nchunks);
+  std::vector<double>& partial = level.partial;
   // Chunked reduction: each worker accumulates its own partial sum.
-  const std::size_t nchunks = partial.size();
   benchpark::support::parallel_for(
       nchunks, static_cast<int>(nchunks),
       [&](std::size_t chunk_lo, std::size_t chunk_hi) {
@@ -95,7 +104,7 @@ double residual(Level& level, int threads) {
         }
       });
   double total = 0;
-  for (double p : partial) total += p;
+  for (std::size_t c = 0; c < nchunks; ++c) total += partial[c];
   return std::sqrt(total);
 }
 
@@ -224,17 +233,24 @@ MultigridResult solve_poisson_multigrid(const MultigridOptions& options) {
   result.solve_seconds = seconds_since(solve_start);
 
   // ---- verification against the manufactured solution ------------------
-  double max_err = 0;
-  for (std::size_t i = 1; i <= n; ++i) {
-    double x = static_cast<double>(i) * fine.h;
-    for (std::size_t j = 1; j <= n; ++j) {
-      double y = static_cast<double>(j) * fine.h;
-      double exact = std::sin(pi * x) * std::sin(pi * y);
-      max_err = std::max(max_err,
-                         std::fabs(fine.u[fine.idx(i, j)] - exact));
-    }
-  }
-  result.solution_error = max_err;
+  // max is associative and commutative, so the pooled reduction is
+  // bitwise-identical to the serial scan regardless of chunking.
+  result.solution_error = benchpark::support::parallel_reduce(
+      n, options.threads, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double local_max = 0;
+        for (std::size_t i = lo + 1; i <= hi; ++i) {
+          double x = static_cast<double>(i) * fine.h;
+          for (std::size_t j = 1; j <= n; ++j) {
+            double y = static_cast<double>(j) * fine.h;
+            double exact = std::sin(pi * x) * std::sin(pi * y);
+            local_max = std::max(
+                local_max, std::fabs(fine.u[fine.idx(i, j)] - exact));
+          }
+        }
+        return local_max;
+      },
+      [](double a, double b) { return std::max(a, b); });
   return result;
 }
 

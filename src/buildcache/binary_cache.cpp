@@ -1,0 +1,68 @@
+#include "src/buildcache/binary_cache.hpp"
+
+#include "src/support/hash.hpp"
+
+namespace benchpark::buildcache {
+
+BinaryCache::BinaryCache(double base_latency_seconds, double bytes_per_second)
+    : base_latency_seconds_(base_latency_seconds),
+      bytes_per_second_(bytes_per_second) {}
+
+BinaryCache::Shard& BinaryCache::shard_for(std::string_view dag_hash) const {
+  return shards_[support::fnv1a(dag_hash) % kShards];
+}
+
+std::optional<CacheEntry> BinaryCache::fetch(const spec::Spec& concrete) {
+  auto hash = concrete.dag_hash();
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(hash);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void BinaryCache::push(const spec::Spec& concrete, std::uint64_t size_bytes) {
+  auto hash = concrete.dag_hash();
+  CacheEntry entry{hash, concrete.short_str(), size_bytes};
+  Shard& shard = shard_for(hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.insert_or_assign(std::move(hash), std::move(entry));
+  }
+  pushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool BinaryCache::contains(const spec::Spec& concrete) const {
+  auto hash = concrete.dag_hash();
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.count(hash) > 0;
+}
+
+std::size_t BinaryCache::size() const {
+  std::size_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+CacheStats BinaryCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.pushes = pushes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double BinaryCache::fetch_cost_seconds(std::uint64_t size_bytes) const {
+  return base_latency_seconds_ +
+         static_cast<double>(size_bytes) / bytes_per_second_;
+}
+
+}  // namespace benchpark::buildcache

@@ -1,0 +1,97 @@
+// The rolling binary cache (Spack component 5; Sections 3.1 and 7.2):
+// "the Spack build pipeline and rolling binary cache makes packages
+// available to all Spack users ... focusing the time to build
+// applications on only the dependencies with special requirements."
+//
+// A thread-safe, hash-addressed build mirror. Entries are keyed by the
+// concrete spec's DAG hash and sharded across independently locked
+// buckets so concurrent install workers on different packages do not
+// contend on a single mutex; hit/miss/push counters are atomics. Fetch
+// latency is modeled (mirror round-trip plus size over sustained
+// bandwidth) — the decision logic (what is mirrored, what is rebuilt) is
+// fully real.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/spec/spec.hpp"
+
+namespace benchpark::buildcache {
+
+/// One mirrored build artifact, addressed by the spec's DAG hash.
+struct CacheEntry {
+  std::string dag_hash;
+  std::string short_spec;  // human-readable "name@version" for logs
+  std::uint64_t size_bytes = 0;
+};
+
+/// Cumulative counters; snapshot via BinaryCache::stats().
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t pushes = 0;
+
+  [[nodiscard]] std::size_t lookups() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+};
+
+class BinaryCache {
+public:
+  /// Default transfer model: 20 ms mirror round-trip latency plus 1 GB/s
+  /// sustained download bandwidth.
+  BinaryCache() = default;
+  BinaryCache(double base_latency_seconds, double bytes_per_second);
+
+  BinaryCache(const BinaryCache&) = delete;
+  BinaryCache& operator=(const BinaryCache&) = delete;
+
+  /// Mirror lookup; counts a hit or a miss.
+  [[nodiscard]] std::optional<CacheEntry> fetch(const spec::Spec& concrete);
+
+  /// Publish a built artifact (every successful source build feeds the
+  /// mirror — the paper's rolling cache). Overwrites any entry with the
+  /// same DAG hash.
+  void push(const spec::Spec& concrete, std::uint64_t size_bytes);
+
+  /// Lookup that does not touch the hit/miss counters.
+  [[nodiscard]] bool contains(const spec::Spec& concrete) const;
+
+  /// Number of distinct mirrored artifacts.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Modeled seconds to download size_bytes from the mirror.
+  [[nodiscard]] double fetch_cost_seconds(std::uint64_t size_bytes) const;
+
+private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, CacheEntry> entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view dag_hash) const;
+
+  double base_latency_seconds_ = 0.02;
+  double bytes_per_second_ = 1.0e9;
+  mutable std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> pushes_{0};
+};
+
+}  // namespace benchpark::buildcache

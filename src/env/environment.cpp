@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/error.hpp"
+#include "src/support/parallel.hpp"
 
 namespace benchpark::env {
 
@@ -197,10 +198,29 @@ install::InstallReport Environment::install_all(
     install::Installer& installer,
     const install::InstallOptions& options) const {
   if (!concretized()) throw Error("environment is not concretized");
+  // Distinct roots install concurrently against the shared installer:
+  // the in-flight claim set makes a shared dependency build exactly once
+  // (the other roots record it as already installed), so the combined
+  // counters are the same as a serial walk. Per-root reports land in
+  // slots and are merged in manifest order to keep logs deterministic.
+  std::vector<install::InstallReport> reports(concrete_specs_.size());
+  const int threads = options.engine_threads > 0
+                          ? options.engine_threads
+                          : support::ThreadPool::default_threads();
+  support::parallel_for(
+      concrete_specs_.size(), threads, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          reports[i] = installer.install(concrete_specs_[i], options);
+        }
+      });
+
   install::InstallReport combined;
-  for (const auto& s : concrete_specs_) {
-    auto report = installer.install(s, options);
+  for (auto& report : reports) {
     combined.total_simulated_seconds += report.total_simulated_seconds;
+    // Roots run side by side, so the modeled wall-clock is the slowest
+    // root's chain, not the sum.
+    combined.critical_path_seconds = std::max(combined.critical_path_seconds,
+                                              report.critical_path_seconds);
     combined.from_cache += report.from_cache;
     combined.from_source += report.from_source;
     combined.externals += report.externals;

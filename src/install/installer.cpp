@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "src/archspec/microarch.hpp"
 #include "src/support/error.hpp"
 #include "src/support/hash.hpp"
+#include "src/support/parallel.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::install {
@@ -24,16 +26,47 @@ std::string_view install_source_name(InstallSource s) {
 
 InstallTree::InstallTree(std::string root) : root_(std::move(root)) {}
 
+InstallTree::InstallTree(InstallTree&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  root_ = std::move(other.root_);
+  records_ = std::move(other.records_);
+}
+
+InstallTree& InstallTree::operator=(InstallTree&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    root_ = std::move(other.root_);
+    records_ = std::move(other.records_);
+  }
+  return *this;
+}
+
 bool InstallTree::installed(const spec::Spec& concrete) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return records_.count(concrete.dag_hash()) > 0;
 }
 
 const InstallRecord* InstallTree::find(std::string_view dag_hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(std::string(dag_hash));
   return it == records_.end() ? nullptr : &it->second;
 }
 
+std::optional<InstallRecord> InstallTree::lookup(
+    std::string_view dag_hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(std::string(dag_hash));
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t InstallTree::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
 std::vector<const InstallRecord*> InstallTree::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const InstallRecord*> out;
   out.reserve(records_.size());
   for (const auto& [hash, record] : records_) out.push_back(&record);
@@ -47,10 +80,31 @@ std::string InstallTree::prefix_for(const spec::Spec& concrete) const {
 
 void InstallTree::add(InstallRecord record) {
   auto hash = record.spec.dag_hash();
+  std::lock_guard<std::mutex> lock(mu_);
   records_.insert_or_assign(hash, std::move(record));
 }
 
 // ---------------------------------------------------------------- Installer
+
+namespace {
+
+/// RAII release of an in-flight DAG-hash claim.
+struct FlightGuard {
+  std::mutex& mu;
+  std::condition_variable& cv;
+  std::unordered_set<std::string>& in_flight;
+  const std::string& hash;
+
+  ~FlightGuard() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      in_flight.erase(hash);
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace
 
 Installer::Installer(pkg::RepoStack repos, InstallTree* tree,
                      buildcache::BinaryCache* cache)
@@ -80,17 +134,71 @@ InstallReport Installer::install(const spec::Spec& concrete,
     throw Error("installer requires a concrete spec; run the concretizer "
                 "first: '" + concrete.str() + "'");
   }
+  const auto order = build_order(concrete);
+  const std::size_t count = order.size();
+
+  // Resolve each node's dependency edges to closure indices once (hashes
+  // are recomputed otherwise), then stratify into wavefronts: a node's
+  // depth is one past its deepest dependency, so every node in a wave is
+  // independent of every other and of later waves' members.
+  std::vector<std::string> hashes(count);
+  std::unordered_map<std::string_view, std::size_t> index;
+  for (std::size_t i = 0; i < count; ++i) {
+    hashes[i] = order[i]->dag_hash();
+    index.emplace(hashes[i], i);
+  }
+  std::vector<std::vector<std::size_t>> dep_indices(count);
+  std::vector<std::size_t> depth(count, 0);
+  std::size_t max_depth = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const auto& dep : order[i]->dependencies()) {
+      auto it = index.find(dep.dag_hash());
+      if (it == index.end()) continue;  // defensive: closure is complete
+      dep_indices[i].push_back(it->second);
+      depth[i] = std::max(depth[i], depth[it->second] + 1);
+    }
+    max_depth = std::max(max_depth, depth[i]);
+  }
+  std::vector<std::vector<std::size_t>> waves(max_depth + 1);
+  for (std::size_t i = 0; i < count; ++i) waves[depth[i]].push_back(i);
+
+  // Install each wavefront with its independent nodes spread across the
+  // pool; per-node records and logs land in closure slots so the report
+  // is assembled in deterministic topological order afterwards.
+  const int threads = options.engine_threads > 0
+                          ? options.engine_threads
+                          : support::ThreadPool::default_threads();
+  std::vector<InstallRecord> records(count);
+  std::vector<std::string> logs(count);
+  for (const auto& wave : waves) {
+    support::parallel_for(
+        wave.size(), threads, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t w = lo; w < hi; ++w) {
+            std::size_t i = wave[w];
+            records[i] = install_one(*order[i], options, logs[i]);
+          }
+        });
+  }
+
   InstallReport report;
-  for (const auto* s : build_order(concrete)) {
-    InstallRecord record = install_one(*s, options, report.build_log);
-    report.total_simulated_seconds += record.simulated_seconds;
-    switch (record.source) {
+  std::vector<double> finish(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    double deps_done = 0.0;
+    for (std::size_t d : dep_indices[i]) {
+      deps_done = std::max(deps_done, finish[d]);
+    }
+    finish[i] = deps_done + records[i].simulated_seconds;
+    report.critical_path_seconds =
+        std::max(report.critical_path_seconds, finish[i]);
+    report.total_simulated_seconds += records[i].simulated_seconds;
+    switch (records[i].source) {
       case InstallSource::source_build: ++report.from_source; break;
       case InstallSource::binary_cache: ++report.from_cache; break;
       case InstallSource::external: ++report.externals; break;
       case InstallSource::already: ++report.already_installed; break;
     }
-    report.installed.push_back(std::move(record));
+    report.build_log += logs[i];
+    report.installed.push_back(std::move(records[i]));
   }
   return report;
 }
@@ -100,14 +208,24 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
                                      std::string& log) {
   InstallRecord record;
   record.spec = concrete;
+  const std::string hash = concrete.dag_hash();
 
-  if (const auto* existing = tree_->find(concrete.dag_hash())) {
-    record = *existing;
-    record.source = InstallSource::already;
-    record.simulated_seconds = 0.0;
-    log += "[+] " + concrete.short_str() + " already installed\n";
-    return record;
+  // Claim the hash: exactly one worker builds a given package even when
+  // concurrent roots share a dependency; later arrivals block until the
+  // builder finishes, then see it in the tree.
+  {
+    std::unique_lock<std::mutex> lock(flight_mu_);
+    flight_cv_.wait(lock, [&] { return in_flight_.count(hash) == 0; });
+    if (auto existing = tree_->lookup(hash)) {
+      record = std::move(*existing);
+      record.source = InstallSource::already;
+      record.simulated_seconds = 0.0;
+      log += "[+] " + concrete.short_str() + " already installed\n";
+      return record;
+    }
+    in_flight_.insert(hash);
   }
+  FlightGuard release{flight_mu_, flight_cv_, in_flight_, hash};
 
   if (concrete.is_external()) {
     record.prefix = concrete.external_prefix();

@@ -7,12 +7,22 @@
 // real is everything the paper's workflow depends on: topological
 // ordering, per-hash install prefixes, skip-if-installed semantics, build
 // logs, and the produced install-tree database.
+//
+// The engine schedules the closure as dependency wavefronts on the shared
+// ThreadPool: all DAG nodes whose dependencies are satisfied build or
+// fetch concurrently (engine_threads controls the width; 1 keeps the old
+// serial walk). The InstallTree locks internally and an in-flight claim
+// set guarantees a given DAG hash is built exactly once even when
+// distinct roots race on a shared dependency.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/buildcache/binary_cache.hpp"
@@ -41,7 +51,12 @@ struct InstallRecord {
 /// Result of installing one root spec (closure).
 struct InstallReport {
   std::vector<InstallRecord> installed;  // topological order
+  /// Serial sum of every node's simulated seconds (what one builder with
+  /// no DAG parallelism would pay).
   double total_simulated_seconds = 0.0;
+  /// Longest dependency-chain time through the closure: the modeled
+  /// wall-clock of the wavefront engine with unbounded workers.
+  double critical_path_seconds = 0.0;
   std::size_t from_cache = 0;
   std::size_t from_source = 0;
   std::size_t externals = 0;
@@ -50,14 +65,26 @@ struct InstallReport {
 };
 
 /// The install tree: database of installed specs keyed by DAG hash.
+/// Internally locked; safe to share across concurrent install workers.
 class InstallTree {
 public:
   explicit InstallTree(std::string root = "/opt/benchpark/install");
 
+  // Movable despite the internal mutex (the Workspace holds its tree by
+  // value); moving while installers are running on it is undefined.
+  InstallTree(InstallTree&& other) noexcept;
+  InstallTree& operator=(InstallTree&& other) noexcept;
+
   [[nodiscard]] const std::string& root() const { return root_; }
   [[nodiscard]] bool installed(const spec::Spec& concrete) const;
+  /// Pointer into the database (records are never erased, so std::map
+  /// node stability keeps it valid); prefer lookup() from concurrent code
+  /// since the pointee may be re-assigned by a later add().
   [[nodiscard]] const InstallRecord* find(std::string_view dag_hash) const;
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  /// Snapshot copy of the record for a hash, if installed.
+  [[nodiscard]] std::optional<InstallRecord> lookup(
+      std::string_view dag_hash) const;
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::vector<const InstallRecord*> all() const;
 
   /// Prefix layout: <root>/<target>/<name>-<version>-<hash>.
@@ -67,6 +94,7 @@ public:
 
 private:
   std::string root_;
+  mutable std::mutex mu_;
   std::map<std::string, InstallRecord> records_;  // by dag hash
 };
 
@@ -78,6 +106,10 @@ struct InstallOptions {
   /// Push successful source builds back to the cache (the paper's rolling
   /// binary cache model).
   bool push_to_cache = true;
+  /// DAG-level engine parallelism: how many independent nodes of one
+  /// wavefront build/fetch concurrently. 0 means
+  /// support::ThreadPool::default_threads() (BENCHPARK_NUM_THREADS).
+  int engine_threads = 0;
 };
 
 class Installer {
@@ -102,6 +134,13 @@ private:
   pkg::RepoStack repos_;
   InstallTree* tree_;                  // not owned
   buildcache::BinaryCache* cache_;     // not owned, may be null
+
+  // In-flight claims: exactly one worker builds a given DAG hash; later
+  // arrivals (concurrent roots sharing a dependency) wait, then record it
+  // as already installed.
+  std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  std::unordered_set<std::string> in_flight_;
 };
 
 /// Deterministic simulated artifact size for a package (bytes).

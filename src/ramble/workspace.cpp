@@ -243,6 +243,9 @@ void Workspace::setup_software() {
     auto report = environment.install_all(installer);
     install_report_.total_simulated_seconds +=
         report.total_simulated_seconds;
+    // Environments install one after another here, so their modeled
+    // wall-clocks add (unlike roots inside one environment, which race).
+    install_report_.critical_path_seconds += report.critical_path_seconds;
     install_report_.from_source += report.from_source;
     install_report_.from_cache += report.from_cache;
     install_report_.externals += report.externals;

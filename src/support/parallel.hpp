@@ -1,45 +1,73 @@
-// Minimal fork-join parallel_for over std::thread.
+// Pooled fork-join parallel_for / parallel_reduce.
 //
-// The real benchmark kernels (saxpy, STREAM, multigrid smoothers) use this
-// as their OpenMP stand-in: contiguous index ranges are split across
-// worker threads, and the calling thread participates (CP.4: tasks over
-// raw threads; threads are joined before return, CP.23/25).
+// The real benchmark kernels (saxpy, STREAM, multigrid smoothers) and the
+// wavefront install engine use these as their OpenMP stand-in: contiguous
+// index ranges are split into chunks executed by the persistent
+// ThreadPool workers, with the calling thread taking the final chunk.
+// There is no per-call thread construction; workers are parked between
+// calls (see src/support/thread_pool.hpp for the full contract).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <functional>
-#include <thread>
+#include <utility>
 #include <vector>
+
+#include "src/support/thread_pool.hpp"
 
 namespace benchpark::support {
 
-/// Run fn(begin, end) over [0, n) split into `threads` contiguous chunks.
-/// threads <= 1 runs inline. fn must be safe to run concurrently on
-/// disjoint ranges.
+namespace detail {
+
+/// [begin, end) of chunk t when [0, n) is cut into k near-equal parts
+/// (the first n % k chunks are one element longer).
+inline std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                       std::size_t k,
+                                                       std::size_t t) {
+  std::size_t base = n / k;
+  std::size_t remainder = n % k;
+  std::size_t begin = t * base + std::min(t, remainder);
+  return {begin, begin + base + (t < remainder ? 1 : 0)};
+}
+
+}  // namespace detail
+
+/// Run fn(begin, end) over [0, n) split into at most `threads` contiguous
+/// chunks on the shared pool. threads <= 1 runs inline. fn must be safe
+/// to run concurrently on disjoint ranges.
 template <typename Fn>
 void parallel_for(std::size_t n, int threads, Fn&& fn) {
   if (threads <= 1 || n < 2) {
     fn(std::size_t{0}, n);
     return;
   }
-  auto nthreads = static_cast<std::size_t>(threads);
-  if (nthreads > n) nthreads = n;
-  std::vector<std::thread> pool;
-  pool.reserve(nthreads - 1);
-  std::size_t chunk = n / nthreads;
-  std::size_t remainder = n % nthreads;
-  std::size_t begin = 0;
-  for (std::size_t t = 0; t < nthreads; ++t) {
-    std::size_t size = chunk + (t < remainder ? 1 : 0);
-    std::size_t end = begin + size;
-    if (t + 1 == nthreads) {
-      fn(begin, end);  // calling thread takes the last chunk
-    } else {
-      pool.emplace_back([&fn, begin, end] { fn(begin, end); });
-    }
-    begin = end;
+  std::size_t chunks =
+      std::min(static_cast<std::size_t>(threads), n);
+  ThreadPool::global().run_batch(chunks, [&](std::size_t t) {
+    auto [begin, end] = detail::chunk_range(n, chunks, t);
+    fn(begin, end);
+  });
+}
+
+/// Reduce over [0, n): fn(begin, end) returns the partial for one chunk,
+/// `combine` folds partials (must be associative), `identity` seeds the
+/// fold. threads <= 1 runs inline.
+template <typename T, typename Fn, typename Combine>
+T parallel_reduce(std::size_t n, int threads, T identity, Fn&& fn,
+                  Combine&& combine) {
+  if (threads <= 1 || n < 2) {
+    return combine(std::move(identity), fn(std::size_t{0}, n));
   }
-  for (auto& th : pool) th.join();
+  std::size_t chunks =
+      std::min(static_cast<std::size_t>(threads), n);
+  std::vector<T> partials(chunks, identity);
+  ThreadPool::global().run_batch(chunks, [&](std::size_t t) {
+    auto [begin, end] = detail::chunk_range(n, chunks, t);
+    partials[t] = fn(begin, end);
+  });
+  T total = std::move(identity);
+  for (auto& partial : partials) total = combine(std::move(total), std::move(partial));
+  return total;
 }
 
 }  // namespace benchpark::support

@@ -1,0 +1,142 @@
+#include "src/support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace benchpark::support {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+/// Hard ceiling on spawned workers; requests beyond it queue up and are
+/// drained by the existing workers (work sharing, not one thread each).
+constexpr std::size_t kMaxWorkers = 256;
+
+/// Completion state shared between one run_batch caller and its chunk
+/// tasks. Lives on the caller's stack: the caller cannot return before
+/// remaining hits zero, and finish_one() is the workers' last access.
+struct Batch {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (err && !error) error = std::move(err);
+    if (--remaining == 0) done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+int ThreadPool::default_threads() {
+  static const int threads = [] {
+    if (const char* env = std::getenv("BENCHPARK_NUM_THREADS")) {
+      int parsed = std::atoi(env);
+      if (parsed >= 1) return parsed;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return threads;
+}
+
+std::size_t ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+std::uint64_t ThreadPool::workers_spawned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spawned_;
+}
+
+void ThreadPool::ensure_workers_locked(std::size_t wanted) {
+  wanted = std::min(wanted, kMaxWorkers);
+  while (workers_.size() < wanted) {
+    workers_.emplace_back([this] { worker_loop(); });
+    ++spawned_;
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_batch(std::size_t chunks,
+                           const std::function<void(std::size_t)>& chunk_fn) {
+  if (chunks == 0) return;
+  if (chunks == 1 || t_on_worker) {
+    // Nested parallelism collapses onto the enclosing worker: the outer
+    // batch already owns the machine, and a worker blocked waiting on a
+    // sub-batch could deadlock the shared queue.
+    for (std::size_t c = 0; c < chunks; ++c) chunk_fn(c);
+    return;
+  }
+
+  Batch batch;
+  batch.remaining = chunks - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_workers_locked(chunks - 1);
+    for (std::size_t c = 0; c + 1 < chunks; ++c) {
+      queue_.emplace_back([&batch, &chunk_fn, c] {
+        std::exception_ptr err;
+        try {
+          chunk_fn(c);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        batch.finish_one(std::move(err));
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    chunk_fn(chunks - 1);  // the calling thread takes the last chunk
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::exception_ptr first_error;
+  {
+    std::unique_lock<std::mutex> lock(batch.mu);
+    batch.done_cv.wait(lock, [&] { return batch.remaining == 0; });
+    first_error = batch.error ? batch.error : caller_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace benchpark::support

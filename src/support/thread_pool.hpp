@@ -1,0 +1,74 @@
+// Persistent process-wide work-sharing thread pool.
+//
+// The original support::parallel_for constructed and joined raw
+// std::threads on every call — per Jacobi sweep, per residual norm. This
+// pool is created lazily on first use, parks its workers on a condition
+// variable between calls, and executes the chunked index-range batches
+// submitted by the parallel_for / parallel_reduce front-ends in
+// src/support/parallel.hpp and by the wavefront install engine.
+//
+// Concurrency contract:
+//  - run_batch() may be called from any thread; the caller executes the
+//    final chunk itself and blocks until the whole batch has drained.
+//  - Nested calls from inside a pool worker run inline (fork-join without
+//    oversubscription; a blocking worker can never starve the queue).
+//  - The first exception thrown by any chunk is captured and rethrown on
+//    the calling thread once the batch completes.
+//  - Workers are spawned on demand up to the largest parallelism ever
+//    requested and then reused; workers_spawned() is monotonic and stays
+//    flat across repeated hot-path calls.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace benchpark::support {
+
+class ThreadPool {
+public:
+  /// The process-wide pool. Constructed lazily; workers spawn on demand.
+  static ThreadPool& global();
+
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execute chunk_fn(0) .. chunk_fn(chunks - 1) across the pool. The
+  /// calling thread takes the last chunk; returns once every chunk has
+  /// finished, rethrowing the first chunk exception (if any).
+  void run_batch(std::size_t chunks,
+                 const std::function<void(std::size_t)>& chunk_fn);
+
+  /// Number of live workers.
+  [[nodiscard]] std::size_t workers() const;
+  /// Total workers ever spawned (monotonic). Hot loops that reuse the
+  /// pool keep this constant — asserted by the thread-pool stress tests.
+  [[nodiscard]] std::uint64_t workers_spawned() const;
+
+  /// True when called from inside one of this process's pool workers.
+  [[nodiscard]] static bool on_worker_thread();
+
+  /// Default engine-side parallelism: BENCHPARK_NUM_THREADS when set to a
+  /// positive integer, otherwise std::thread::hardware_concurrency().
+  [[nodiscard]] static int default_threads();
+
+private:
+  void ensure_workers_locked(std::size_t wanted);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::uint64_t spawned_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace benchpark::support

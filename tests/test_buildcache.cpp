@@ -1,0 +1,141 @@
+// Binary-cache unit tests: cold/warm hit-miss accounting, the transfer
+// cost model, and thread-safety of the sharded mirror under concurrent
+// push/fetch traffic (the paper's rolling cache is shared by every CI
+// site at once).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/buildcache/binary_cache.hpp"
+#include "src/concretizer/concretizer.hpp"
+#include "src/pkg/repo.hpp"
+#include "src/spec/spec.hpp"
+
+namespace cz = benchpark::concretizer;
+namespace pkg = benchpark::pkg;
+using benchpark::buildcache::BinaryCache;
+using benchpark::spec::Version;
+
+namespace {
+
+cz::Concretizer simple_concretizer() {
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  config.set_default_target("broadwell");
+  config.package("mpi").preferred_providers = {"mvapich2"};
+  return cz::Concretizer(pkg::default_repo_stack(), config);
+}
+
+std::vector<benchpark::spec::Spec> distinct_concrete_specs() {
+  auto concretizer = simple_concretizer();
+  std::vector<benchpark::spec::Spec> specs;
+  for (const char* name :
+       {"zlib", "cmake", "gmake", "adiak", "caliper", "hypre", "openblas",
+        "python"}) {
+    specs.push_back(concretizer.concretize(name));
+  }
+  return specs;
+}
+
+}  // namespace
+
+TEST(BuildCache, ColdThenWarmAccounting) {
+  BinaryCache cache;
+  auto concretizer = simple_concretizer();
+  auto spec = concretizer.concretize("zlib");
+
+  EXPECT_FALSE(cache.fetch(spec).has_value());  // cold miss
+  cache.push(spec, 1 << 20);
+  auto entry = cache.fetch(spec);  // warm hit
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->size_bytes, 1u << 20);
+  EXPECT_EQ(entry->dag_hash, spec.dag_hash());
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.pushes, 1u);
+  EXPECT_EQ(stats.lookups(), 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(BuildCache, FetchCostModelIsLatencyPlusBandwidth) {
+  BinaryCache cache(0.5, 2.0e6);
+  EXPECT_DOUBLE_EQ(cache.fetch_cost_seconds(4'000'000), 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(cache.fetch_cost_seconds(0), 0.5);
+
+  BinaryCache defaults;
+  EXPECT_LT(defaults.fetch_cost_seconds(1 << 20),
+            defaults.fetch_cost_seconds(256u << 20));
+}
+
+TEST(BuildCache, PushOverwritesSameHash) {
+  BinaryCache cache;
+  auto concretizer = simple_concretizer();
+  auto spec = concretizer.concretize("zlib");
+  cache.push(spec, 100);
+  cache.push(spec, 200);
+  EXPECT_EQ(cache.size(), 1u);
+  auto entry = cache.fetch(spec);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->size_bytes, 200u);
+  EXPECT_EQ(cache.stats().pushes, 2u);
+}
+
+TEST(BuildCache, ConcurrentPushFetchStress) {
+  const auto specs = distinct_concrete_specs();
+  BinaryCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+
+  std::atomic<std::size_t> fetch_calls{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const auto& mine = specs[(t + round) % specs.size()];
+        cache.push(mine, 1000u + static_cast<std::uint64_t>(round));
+        const auto& theirs = specs[(t * 3 + round * 7) % specs.size()];
+        (void)cache.fetch(theirs);
+        fetch_calls.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(cache.size(), specs.size());
+  for (const auto& spec : specs) EXPECT_TRUE(cache.contains(spec));
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.pushes, static_cast<std::size_t>(kThreads) * kRounds);
+  EXPECT_EQ(stats.lookups(), fetch_calls.load());
+}
+
+TEST(BuildCache, ConcurrentWarmFetchesAllHit) {
+  const auto specs = distinct_concrete_specs();
+  BinaryCache cache;
+  for (const auto& spec : specs) cache.push(spec, 1 << 20);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (const auto& spec : specs) {
+          EXPECT_TRUE(cache.fetch(spec).has_value());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits,
+            static_cast<std::size_t>(kThreads) * kRounds * specs.size());
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0);
+}

@@ -1,15 +1,23 @@
-// Unit tests for the support module: strings, hashing, tables, fs, rng.
+// Unit tests for the support module: strings, hashing, tables, fs, rng,
+// and the persistent thread pool behind parallel_for / parallel_reduce.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include "src/support/error.hpp"
 #include "src/support/fs_util.hpp"
 #include "src/support/hash.hpp"
 #include "src/support/log.hpp"
+#include "src/support/parallel.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/string_util.hpp"
 #include "src/support/table.hpp"
+#include "src/support/thread_pool.hpp"
 
 namespace bs = benchpark::support;
 
@@ -263,4 +271,126 @@ TEST(Log, OffSilencesEverything) {
   bs::Log::error("nope");
   EXPECT_EQ(count, 0);
   bs::Log::set_sink(nullptr);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  std::vector<int> hits(10000, 0);
+  bs::parallel_for(hits.size(), 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10000);
+  EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+  EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ThreadPool, WorkersAreReusedAcrossCalls) {
+  // Warm the pool to this test's width, then hammer it: the hot path
+  // must not construct a single new std::thread.
+  std::atomic<std::uint64_t> total{0};
+  bs::parallel_for(1024, 8, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  const auto spawned = bs::ThreadPool::global().workers_spawned();
+  EXPECT_GT(spawned, 0u);
+  for (int rep = 0; rep < 300; ++rep) {
+    bs::parallel_for(1024, 8, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(bs::ThreadPool::global().workers_spawned(), spawned);
+  EXPECT_EQ(total.load(), 1024u * 301u);
+}
+
+TEST(ThreadPool, SerialFallbackSpawnsNothing) {
+  const auto spawned = bs::ThreadPool::global().workers_spawned();
+  int calls = 0;
+  bs::parallel_for(100, 1, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(bs::ThreadPool::global().workers_spawned(), spawned);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  EXPECT_THROW(
+      bs::parallel_for(1000, 8,
+                       [](std::size_t lo, std::size_t) {
+                         if (lo == 0) throw std::runtime_error("chunk 0");
+                       }),
+      std::runtime_error);
+  // The pool keeps working after a failed batch.
+  std::atomic<int> sum{0};
+  bs::parallel_for(1000, 8, [&](std::size_t lo, std::size_t hi) {
+    sum.fetch_add(static_cast<int>(hi - lo), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000);
+}
+
+TEST(ThreadPool, NestedParallelForIsCorrect) {
+  constexpr std::size_t kOuter = 48, kInner = 48;
+  std::vector<int> hits(kOuter * kInner, 0);
+  bs::parallel_for(kOuter, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Inner forks collapse inline on pool workers (and may re-fork on
+      // the caller's chunk); either way each cell runs exactly once.
+      bs::parallel_for(kInner, 4, [&](std::size_t jlo, std::size_t jhi) {
+        for (std::size_t j = jlo; j < jhi; ++j) ++hits[i * kInner + j];
+      });
+    }
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kOuter * kInner));
+  EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+  EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ThreadPool, ParallelReduceSum) {
+  constexpr std::uint64_t kN = 100000;
+  auto total = bs::parallel_reduce(
+      kN, 8, std::uint64_t{0},
+      [](std::size_t lo, std::size_t hi) {
+        std::uint64_t sum = 0;
+        for (std::size_t i = lo; i < hi; ++i) sum += i;
+        return sum;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelReduceSerialFallbackMatches) {
+  auto reduce_with = [](int threads) {
+    return bs::parallel_reduce(
+        5000, threads, std::uint64_t{0},
+        [](std::size_t lo, std::size_t hi) {
+          std::uint64_t sum = 0;
+          for (std::size_t i = lo; i < hi; ++i) sum += i * i;
+          return sum;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  };
+  EXPECT_EQ(reduce_with(1), reduce_with(7));
+}
+
+TEST(ThreadPool, StressManySmallMixedBatches) {
+  // Warm the pool to the widest batch below, then record the spawn count.
+  bs::parallel_for(64, 8, [](std::size_t, std::size_t) {});
+  const auto spawned_before = bs::ThreadPool::global().workers_spawned();
+  for (int rep = 0; rep < 400; ++rep) {
+    const std::size_t n = static_cast<std::size_t>(rep % 97) + 3;
+    const int threads = rep % 7 + 2;
+    std::atomic<std::size_t> covered{0};
+    bs::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
+      covered.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(covered.load(), n) << "rep " << rep;
+  }
+  // Every width used here is <= the pool's warmed size; still zero new
+  // thread construction across 400 batches.
+  EXPECT_EQ(bs::ThreadPool::global().workers_spawned(), spawned_before);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(bs::ThreadPool::default_threads(), 1);
 }
