@@ -1,5 +1,9 @@
 #include "src/buildcache/binary_cache.hpp"
 
+#include <algorithm>
+
+#include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/support/hash.hpp"
 
 namespace benchpark::buildcache {
@@ -14,6 +18,22 @@ BinaryCache::Shard& BinaryCache::shard_for(std::string_view dag_hash) const {
 
 std::optional<CacheEntry> BinaryCache::fetch(const spec::Spec& concrete) {
   auto hash = concrete.dag_hash();
+  // Fault gate before the counters: retried-then-resolved requests count
+  // exactly one hit or miss, so cache statistics stay comparable whether
+  // or not a chaos plan is active.
+  double injected = 0.0;
+  const int max_attempts = 1 + std::max(0, fetch_retries_);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      injected += support::fault_hit("buildcache.fetch", hash,
+                                     static_cast<std::uint64_t>(attempt));
+      break;
+    } catch (const TransientError&) {
+      if (attempt >= max_attempts) throw;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      injected += base_latency_seconds_;  // re-request round trip
+    }
+  }
   Shard& shard = shard_for(hash);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(hash);
@@ -22,12 +42,18 @@ std::optional<CacheEntry> BinaryCache::fetch(const spec::Spec& concrete) {
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  CacheEntry entry = it->second;
+  entry.injected_latency_seconds = injected;
+  return entry;
 }
 
 void BinaryCache::push(const spec::Spec& concrete, std::uint64_t size_bytes) {
   auto hash = concrete.dag_hash();
-  CacheEntry entry{hash, concrete.short_str(), size_bytes};
+  support::fault_hit("buildcache.push", hash);
+  CacheEntry entry;
+  entry.dag_hash = hash;
+  entry.short_spec = concrete.short_str();
+  entry.size_bytes = size_bytes;
   Shard& shard = shard_for(hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -57,6 +83,7 @@ CacheStats BinaryCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.pushes = pushes_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
   return s;
 }
 

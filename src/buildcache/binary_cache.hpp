@@ -31,6 +31,10 @@ struct CacheEntry {
   std::string dag_hash;
   std::string short_spec;  // human-readable "name@version" for logs
   std::uint64_t size_bytes = 0;
+  /// Modeled extra seconds this fetch paid to injected faults (failed
+  /// attempts re-request the mirror; latency rules add delay). Set on the
+  /// copy fetch() returns, never stored.
+  double injected_latency_seconds = 0.0;
 };
 
 /// Cumulative counters; snapshot via BinaryCache::stats().
@@ -38,6 +42,8 @@ struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t pushes = 0;
+  /// Transient fetch attempts that were retried internally.
+  std::size_t retries = 0;
 
   [[nodiscard]] std::size_t lookups() const { return hits + misses; }
   [[nodiscard]] double hit_rate() const {
@@ -57,8 +63,18 @@ public:
   BinaryCache(const BinaryCache&) = delete;
   BinaryCache& operator=(const BinaryCache&) = delete;
 
-  /// Mirror lookup; counts a hit or a miss.
+  /// Mirror lookup; counts a hit or a miss. The request passes through
+  /// the "buildcache.fetch" fault site: transient faults are retried
+  /// internally up to fetch_retries() times (each retry paying another
+  /// modeled round-trip, accumulated into the returned entry's
+  /// injected_latency_seconds); exhausted transients rethrow
+  /// TransientError and permanent faults rethrow PermanentError — the
+  /// installer falls back to a source build in both cases.
   [[nodiscard]] std::optional<CacheEntry> fetch(const spec::Spec& concrete);
+
+  /// Transparent retries per fetch after the first attempt (default 2).
+  void set_fetch_retries(int retries) { fetch_retries_ = retries; }
+  [[nodiscard]] int fetch_retries() const { return fetch_retries_; }
 
   /// Publish a built artifact (every successful source build feeds the
   /// mirror — the paper's rolling cache). Overwrites any entry with the
@@ -88,10 +104,12 @@ private:
 
   double base_latency_seconds_ = 0.02;
   double bytes_per_second_ = 1.0e9;
+  int fetch_retries_ = 2;
   mutable std::array<Shard, kShards> shards_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> pushes_{0};
+  std::atomic<std::size_t> retries_{0};
 };
 
 }  // namespace benchpark::buildcache

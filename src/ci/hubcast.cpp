@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 
 namespace benchpark::ci {
 
@@ -106,6 +107,29 @@ std::optional<std::string> Hubcast::try_mirror_pr(std::uint64_t pr_id) {
   const auto& pr = github_->pr(pr_id);
   const auto* head = github_->repo(pr.source_repo).head(pr.source_branch);
   if (!head) throw CiError("PR head vanished");
+
+  // The push to the GitLab mirror crosses a network boundary, so it runs
+  // behind the "ci.mirror" fault site with a short retry; exhausted
+  // transients surface as a failed hubcast/mirror check, not an
+  // exception, so the bridge keeps processing other PRs.
+  const std::string mirror_key = canonical_ + "#" + std::to_string(pr_id);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      support::fault_hit("ci.mirror", mirror_key,
+                         static_cast<std::uint64_t>(attempt));
+      break;
+    } catch (const TransientError& e) {
+      if (attempt >= 3) {
+        StatusCheck failed;
+        failed.name = "hubcast/mirror";
+        failed.state = CheckState::failure;
+        failed.description = std::string("mirror push failed after ") +
+                             std::to_string(attempt) + " attempts: " + e.what();
+        github_->set_status(pr_id, failed);
+        return std::nullopt;
+      }
+    }
+  }
 
   std::string mirror_branch = "pr-" + std::to_string(pr_id);
   GitRepo& mirror = gitlab_->repo(canonical_);

@@ -3,9 +3,19 @@
 #include <algorithm>
 
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::ci {
+
+std::string_view pipeline_status_name(PipelineStatus s) {
+  switch (s) {
+    case PipelineStatus::success: return "success";
+    case PipelineStatus::degraded: return "degraded";
+    case PipelineStatus::failed: return "failed";
+  }
+  return "?";
+}
 
 PipelineDef PipelineDef::from_yaml(const yaml::Node& root) {
   PipelineDef def;
@@ -73,6 +83,7 @@ PipelineResult PipelineEngine::run(const PipelineDef& def,
                                    const std::string& approved_by) {
   PipelineResult result;
   bool pipeline_failed = false;
+  bool pipeline_degraded = false;
 
   for (const auto& stage : def.stages) {
     for (const auto* job : def.jobs_in_stage(stage)) {
@@ -125,28 +136,53 @@ PipelineResult PipelineEngine::run(const PipelineDef& def,
       for (const auto& line : job->script) {
         script_log += "$ " + line + "\n";
       }
-      if (action) {
-        JobOutcome outcome;
+      // Every job passes through the "ci.job" fault site (keyed by job
+      // name). Transient failures — injected or thrown by the action —
+      // are retried up to max_job_retries_ times; a job that needed a
+      // retry degrades the pipeline instead of failing it.
+      JobOutcome outcome;
+      const int max_attempts = 1 + std::max(0, max_job_retries_);
+      for (int attempt = 1;; ++attempt) {
+        record.attempts = attempt;
         try {
-          outcome = (*action)(context);
+          support::fault_hit("ci.job", job->name,
+                             static_cast<std::uint64_t>(attempt));
+          outcome = action ? (*action)(context) : JobOutcome{};
+          break;
+        } catch (const TransientError& e) {
+          if (attempt >= max_attempts) {
+            outcome.success = false;
+            outcome.log = "job failed after " + std::to_string(attempt) +
+                          " attempts: " + e.what();
+            break;
+          }
+          script_log += "[retry] attempt " + std::to_string(attempt) +
+                        " failed (" + e.what() + ")\n";
         } catch (const std::exception& e) {
           outcome.success = false;
           outcome.log = std::string("job raised: ") + e.what();
+          break;
         }
-        record.log = script_log + outcome.log;
-        record.status =
-            outcome.success ? JobStatus::success : JobStatus::failed;
-      } else {
-        record.log = script_log;
-        record.status = JobStatus::success;
+      }
+      record.log = script_log + outcome.log;
+      record.status = outcome.success ? JobStatus::success : JobStatus::failed;
+      if (record.status == JobStatus::success && record.attempts > 1) {
+        pipeline_degraded = true;
       }
 
-      if (record.status == JobStatus::failed && !job->allow_failure) {
-        pipeline_failed = true;
+      if (record.status == JobStatus::failed) {
+        if (job->allow_failure) {
+          pipeline_degraded = true;
+        } else {
+          pipeline_failed = true;
+        }
       }
       result.jobs.push_back(std::move(record));
     }
   }
+  result.status = pipeline_failed ? PipelineStatus::failed
+                  : pipeline_degraded ? PipelineStatus::degraded
+                                      : PipelineStatus::success;
   result.success = !pipeline_failed;
   return result;
 }

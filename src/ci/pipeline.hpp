@@ -73,6 +73,13 @@ using JobAction = std::function<JobOutcome(const JobContext&)>;
 
 enum class JobStatus { skipped, success, failed, no_runner };
 
+/// Terminal pipeline state. `degraded` means the pipeline produced its
+/// results but not cleanly: some job needed a transient-failure retry, or
+/// an allow_failure job failed.
+enum class PipelineStatus { success, degraded, failed };
+
+[[nodiscard]] std::string_view pipeline_status_name(PipelineStatus s);
+
 struct JobResultRecord {
   std::string name;
   std::string stage;
@@ -80,10 +87,15 @@ struct JobResultRecord {
   std::string runner_id;
   std::string ran_as;
   std::string log;
+  /// Action invocations this job consumed: 1 for a clean run, 1+k after k
+  /// transient retries, 0 for skipped / no_runner jobs.
+  int attempts = 0;
 };
 
 struct PipelineResult {
+  /// Back-compat alias for status != failed.
   bool success = true;
+  PipelineStatus status = PipelineStatus::success;
   std::vector<JobResultRecord> jobs;
 
   [[nodiscard]] const JobResultRecord* job(std::string_view name) const;
@@ -106,10 +118,17 @@ public:
     return runners_;
   }
 
+  /// Retries per job after a first transient failure (TransientError from
+  /// the action or the "ci.job" fault site). Other exceptions still fail
+  /// the job immediately.
+  void set_max_job_retries(int retries) { max_job_retries_ = retries; }
+  [[nodiscard]] int max_job_retries() const { return max_job_retries_; }
+
 private:
   std::vector<RunnerDef> runners_;
   std::map<std::string, JobAction> actions_;
   JobAction default_action_;
+  int max_job_retries_ = 2;
 };
 
 }  // namespace benchpark::ci

@@ -198,11 +198,15 @@ install::InstallReport Environment::install_all(
     install::Installer& installer,
     const install::InstallOptions& options) const {
   if (!concretized()) throw Error("environment is not concretized");
-  // Distinct roots install concurrently against the shared installer:
-  // the in-flight claim set makes a shared dependency build exactly once
-  // (the other roots record it as already installed), so the combined
-  // counters are the same as a serial walk. Per-root reports land in
-  // slots and are merged in manifest order to keep logs deterministic.
+  // Distinct roots install concurrently against the shared installer.
+  // The Coordination object elects one root (first in manifest order) as
+  // the builder of every shared hash, so a shared dependency builds
+  // exactly once and builder attribution — hence the merged log — is the
+  // same bytes run after run, even under an active fault plan. A failed
+  // shared build is posted to the failure board, waking waiting roots
+  // instead of wedging them; parallel_for waits for every root before
+  // rethrowing the first failure.
+  install::Installer::Coordination coord(concrete_specs_);
   std::vector<install::InstallReport> reports(concrete_specs_.size());
   const int threads = options.engine_threads > 0
                           ? options.engine_threads
@@ -210,7 +214,7 @@ install::InstallReport Environment::install_all(
   support::parallel_for(
       concrete_specs_.size(), threads, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-          reports[i] = installer.install(concrete_specs_[i], options);
+          reports[i] = installer.install(concrete_specs_[i], options, &coord, i);
         }
       });
 
@@ -225,6 +229,8 @@ install::InstallReport Environment::install_all(
     combined.from_source += report.from_source;
     combined.externals += report.externals;
     combined.already_installed += report.already_installed;
+    combined.total_attempts += report.total_attempts;
+    combined.retry_wait_seconds += report.retry_wait_seconds;
     combined.build_log += report.build_log;
     for (auto& r : report.installed) combined.installed.push_back(std::move(r));
   }

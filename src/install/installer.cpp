@@ -1,13 +1,16 @@
 #include "src/install/installer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 
 #include "src/archspec/microarch.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/support/hash.hpp"
 #include "src/support/parallel.hpp"
+#include "src/support/rng.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::install {
@@ -104,7 +107,37 @@ struct FlightGuard {
   }
 };
 
+/// Modeled wait before retry `attempt` (1-based): exponential backoff
+/// with deterministic jitter keyed on (seed, hash, attempt) so the same
+/// plan produces the same report bytes run after run.
+double retry_backoff_seconds(const InstallOptions& options,
+                             std::string_view hash, int attempt) {
+  double base = std::max(0.0, options.backoff_base_seconds) *
+                std::pow(2.0, attempt - 1);
+  support::Rng rng(options.retry_seed ^ support::fnv1a(hash) ^
+                   (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt)));
+  return base * (1.0 + std::max(0.0, options.backoff_jitter) *
+                           rng.next_double());
+}
+
 }  // namespace
+
+// ------------------------------------------------------------- Coordination
+
+Installer::Coordination::Coordination(const std::vector<spec::Spec>& roots) {
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    for (const spec::Spec* node : Installer::build_order(roots[i])) {
+      owner_.try_emplace(node->dag_hash(), i);
+    }
+  }
+}
+
+std::optional<std::size_t> Installer::Coordination::owner(
+    const std::string& dag_hash) const {
+  auto it = owner_.find(dag_hash);
+  if (it == owner_.end()) return std::nullopt;
+  return it->second;
+}
 
 Installer::Installer(pkg::RepoStack repos, InstallTree* tree,
                      buildcache::BinaryCache* cache)
@@ -130,6 +163,13 @@ std::vector<const spec::Spec*> Installer::build_order(
 
 InstallReport Installer::install(const spec::Spec& concrete,
                                  const InstallOptions& options) {
+  return install(concrete, options, nullptr, 0);
+}
+
+InstallReport Installer::install(const spec::Spec& concrete,
+                                 const InstallOptions& options,
+                                 Coordination* coord,
+                                 std::size_t root_index) {
   if (!concrete.concrete()) {
     throw Error("installer requires a concrete spec; run the concretizer "
                 "first: '" + concrete.str() + "'");
@@ -170,19 +210,91 @@ InstallReport Installer::install(const spec::Spec& concrete,
                           : support::ThreadPool::default_threads();
   std::vector<InstallRecord> records(count);
   std::vector<std::string> logs(count);
-  for (const auto& wave : waves) {
-    support::parallel_for(
-        wave.size(), threads, [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t w = lo; w < hi; ++w) {
-            std::size_t i = wave[w];
-            records[i] = install_one(*order[i], options, logs[i]);
-          }
-        });
+  // Per-node failure isolation: a failed node poisons only its dependents
+  // (each element is written by exactly one worker). Failed owned hashes
+  // are posted to the coordination board so other roots waiting on them
+  // wake up instead of deadlocking.
+  std::vector<char> failed(count, 0);
+  std::vector<std::exception_ptr> errors(count);
+  auto mark_failed = [&](const std::string& hash, const std::string& why) {
+    if (!coord) return;
+    // Only the owning root may post a hash as failed: a non-owner that
+    // skips the node (because one of *its* deps failed) must not poison a
+    // build the owner is completing successfully.
+    auto it = coord->owner_.find(hash);
+    if (it == coord->owner_.end() || it->second != root_index) return;
+    {
+      std::lock_guard<std::mutex> lock(coord->mu_);
+      coord->failed_.try_emplace(hash, why);
+    }
+    coord->cv_.notify_all();
+  };
+  try {
+    for (const auto& wave : waves) {
+      support::parallel_for(
+          wave.size(), threads, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t w = lo; w < hi; ++w) {
+              std::size_t i = wave[w];
+              std::size_t bad_dep = count;
+              for (std::size_t d : dep_indices[i]) {
+                if (failed[d]) { bad_dep = d; break; }
+              }
+              if (bad_dep != count) {
+                failed[i] = 1;
+                logs[i] = "[x] " + order[i]->short_str() +
+                          " skipped: dependency '" +
+                          order[bad_dep]->name() + "' failed\n";
+                mark_failed(hashes[i], "dependency '" +
+                                           order[bad_dep]->name() +
+                                           "' failed");
+                continue;
+              }
+              try {
+                records[i] =
+                    install_one(*order[i], options, logs[i], coord,
+                                root_index);
+              } catch (const std::exception& e) {
+                failed[i] = 1;
+                errors[i] = std::current_exception();
+                logs[i] += "[x] " + order[i]->short_str() + " failed: " +
+                           e.what() + "\n";
+                mark_failed(hashes[i], e.what());
+              }
+            }
+          });
+    }
+  } catch (...) {
+    // Engine-level abort (not a per-node failure): make sure no other
+    // root blocks forever on a hash this root owned but never resolved.
+    if (coord) {
+      for (std::size_t i = 0; i < count; ++i) {
+        auto it = coord->owner_.find(hashes[i]);
+        if (it != coord->owner_.end() && it->second == root_index &&
+            !tree_->lookup(hashes[i])) {
+          mark_failed(hashes[i], "owning install aborted");
+        }
+      }
+    }
+    throw;
   }
 
   InstallReport report;
   std::vector<double> finish(count, 0.0);
+  std::size_t failures = 0;
+  std::string first_failure;
   for (std::size_t i = 0; i < count; ++i) {
+    report.build_log += logs[i];
+    if (failed[i]) {
+      ++failures;
+      if (first_failure.empty() && errors[i]) {
+        try {
+          std::rethrow_exception(errors[i]);
+        } catch (const std::exception& e) {
+          first_failure = e.what();
+        }
+      }
+      continue;
+    }
     double deps_done = 0.0;
     for (std::size_t d : dep_indices[i]) {
       deps_done = std::max(deps_done, finish[d]);
@@ -191,28 +303,87 @@ InstallReport Installer::install(const spec::Spec& concrete,
     report.critical_path_seconds =
         std::max(report.critical_path_seconds, finish[i]);
     report.total_simulated_seconds += records[i].simulated_seconds;
+    report.total_attempts += static_cast<std::size_t>(
+        std::max(0, records[i].attempts));
+    report.retry_wait_seconds += records[i].retry_wait_seconds;
     switch (records[i].source) {
       case InstallSource::source_build: ++report.from_source; break;
       case InstallSource::binary_cache: ++report.from_cache; break;
       case InstallSource::external: ++report.externals; break;
       case InstallSource::already: ++report.already_installed; break;
     }
-    report.build_log += logs[i];
     report.installed.push_back(std::move(records[i]));
+  }
+  if (failures > 0) {
+    throw PermanentError(
+        "install of '" + concrete.short_str() + "' failed: " +
+        std::to_string(failures) + " of " + std::to_string(count) +
+        " packages failed or were skipped" +
+        (first_failure.empty() ? "" : ("; first failure: " + first_failure)));
   }
   return report;
 }
 
+InstallRecord Installer::await_foreign(const spec::Spec& concrete,
+                                       std::string& log,
+                                       Coordination& coord) const {
+  const std::string hash = concrete.dag_hash();
+  std::unique_lock<std::mutex> lock(coord.mu_);
+  // Bounded wait: a coordination bug must surface as a loud error, never
+  // as a wedged DAG. The owner posts every hash it resolves (install or
+  // failure), so in a correct run this never times out.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  bool resolved = coord.cv_.wait_until(lock, deadline, [&] {
+    return coord.failed_.count(hash) > 0 || tree_->lookup(hash).has_value();
+  });
+  if (!resolved) {
+    throw PermanentError("timed out waiting for '" + concrete.short_str() +
+                         "' to be installed by its owning root (wedged "
+                         "claim?)");
+  }
+  if (auto it = coord.failed_.find(hash); it != coord.failed_.end()) {
+    throw PermanentError("dependency '" + concrete.short_str() +
+                         "' failed in its owning install: " + it->second);
+  }
+  InstallRecord record = *tree_->lookup(hash);
+  record.source = InstallSource::already;
+  record.simulated_seconds = 0.0;
+  record.attempts = 0;
+  record.retry_wait_seconds = 0.0;
+  log += "[+] " + concrete.short_str() + " already installed\n";
+  return record;
+}
+
 InstallRecord Installer::install_one(const spec::Spec& concrete,
                                      const InstallOptions& options,
-                                     std::string& log) {
+                                     std::string& log, Coordination* coord,
+                                     std::size_t root_index) {
   InstallRecord record;
   record.spec = concrete;
   const std::string hash = concrete.dag_hash();
 
+  // Coordinated installs defer hashes elected to another root: wait for
+  // the owner to install (or fail) instead of racing it, which makes the
+  // builder attribution — and so the whole report — deterministic.
+  if (coord) {
+    auto it = coord->owner_.find(hash);
+    if (it != coord->owner_.end() && it->second != root_index) {
+      return await_foreign(concrete, log, *coord);
+    }
+  }
+  // Publish to waiters in other roots once this node is in the tree.
+  auto announce = [&] {
+    if (!coord) return;
+    { std::lock_guard<std::mutex> lock(coord->mu_); }
+    coord->cv_.notify_all();
+  };
+
   // Claim the hash: exactly one worker builds a given package even when
   // concurrent roots share a dependency; later arrivals block until the
-  // builder finishes, then see it in the tree.
+  // builder finishes, then see it in the tree. A builder that fails
+  // releases the claim (FlightGuard), so a blocked worker retries the
+  // build itself rather than deadlocking.
   {
     std::unique_lock<std::mutex> lock(flight_mu_);
     flight_cv_.wait(lock, [&] { return in_flight_.count(hash) == 0; });
@@ -220,6 +391,8 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
       record = std::move(*existing);
       record.source = InstallSource::already;
       record.simulated_seconds = 0.0;
+      record.attempts = 0;
+      record.retry_wait_seconds = 0.0;
       log += "[+] " + concrete.short_str() + " already installed\n";
       return record;
     }
@@ -231,22 +404,35 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
     record.prefix = concrete.external_prefix();
     record.source = InstallSource::external;
     record.simulated_seconds = 0.0;
+    record.attempts = 0;
     log += "[e] " + concrete.short_str() + " external at " + record.prefix +
            "\n";
     tree_->add(record);
+    announce();
     return record;
   }
 
   record.prefix = tree_->prefix_for(concrete);
 
   if (options.use_cache && cache_) {
-    if (auto entry = cache_->fetch(concrete)) {
-      record.source = InstallSource::binary_cache;
-      record.simulated_seconds = cache_->fetch_cost_seconds(entry->size_bytes);
-      log += "[c] " + concrete.short_str() + " fetched from binary cache (" +
-             support::format_double(record.simulated_seconds, 3) + "s)\n";
-      tree_->add(record);
-      return record;
+    try {
+      if (auto entry = cache_->fetch(concrete)) {
+        record.source = InstallSource::binary_cache;
+        record.simulated_seconds =
+            cache_->fetch_cost_seconds(entry->size_bytes) +
+            entry->injected_latency_seconds;
+        log += "[c] " + concrete.short_str() +
+               " fetched from binary cache (" +
+               support::format_double(record.simulated_seconds, 3) + "s)\n";
+        tree_->add(record);
+        announce();
+        return record;
+      }
+    } catch (const Error& e) {
+      // A mirror that keeps failing must not fail the install: fall back
+      // to a source build, exactly like a cache miss.
+      log += "[w] " + concrete.short_str() + " cache fetch failed (" +
+             e.what() + "); building from source\n";
     }
   }
 
@@ -267,7 +453,34 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
   // scales with -j.
   double base = recipe.build_cost_seconds();
   double jobs = std::max(1, options.build_jobs);
-  record.simulated_seconds = base * (0.3 + 0.7 / jobs);
+  double step_seconds = base * (0.3 + 0.7 / jobs);
+
+  // The build step itself, behind the fault gate: transient failures are
+  // retried with exponential backoff (modeled, deterministic); a
+  // permanent fault or exhausted retries fails the package.
+  const int max_attempts = 1 + std::max(0, options.max_retries);
+  double injected_latency = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    record.attempts = attempt;
+    try {
+      injected_latency = support::fault_hit(
+          "install.build_step", hash, static_cast<std::uint64_t>(attempt));
+      break;
+    } catch (const TransientError& e) {
+      if (attempt >= max_attempts) {
+        throw PermanentError("build of '" + concrete.short_str() +
+                             "' failed after " + std::to_string(attempt) +
+                             " attempts: " + e.what());
+      }
+      double wait = retry_backoff_seconds(options, hash, attempt);
+      record.retry_wait_seconds += wait;
+      log += "[r] " + concrete.short_str() + " build attempt " +
+             std::to_string(attempt) + " failed (" + e.what() +
+             "); retrying in " + support::format_double(wait, 3) + "s\n";
+    }
+  }
+  record.simulated_seconds =
+      step_seconds + record.retry_wait_seconds + injected_latency;
   log += "[b] " + concrete.short_str() + " built from source with " +
          std::string(pkg::build_system_name(recipe.build_system())) + " (" +
          support::format_double(record.simulated_seconds, 4) + "s, " +
@@ -275,11 +488,22 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
          (record.build_args.empty()
               ? std::string()
               : ", args: " + support::join(record.build_args, " ")) +
+         (record.attempts > 1
+              ? ", attempts: " + std::to_string(record.attempts)
+              : std::string()) +
          ")\n";
   tree_->add(record);
+  announce();
 
   if (options.push_to_cache && cache_) {
-    cache_->push(concrete, simulated_artifact_size(concrete));
+    try {
+      cache_->push(concrete, simulated_artifact_size(concrete));
+    } catch (const Error& e) {
+      // The rolling cache is best-effort: a failed publish never fails
+      // the install, the next builder simply rebuilds from source.
+      log += "[w] " + concrete.short_str() + " cache push failed (" +
+             e.what() + ")\n";
+    }
   }
   return record;
 }

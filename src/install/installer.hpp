@@ -14,6 +14,19 @@
 // serial walk). The InstallTree locks internally and an in-flight claim
 // set guarantees a given DAG hash is built exactly once even when
 // distinct roots race on a shared dependency.
+//
+// Failure handling: every build step passes through the
+// "install.build_step" fault site and is retried per package with
+// exponential backoff and deterministic jitter (InstallOptions
+// max_retries / backoff_base_seconds / backoff_jitter); cache fetches
+// that keep failing fall back to source builds; cache pushes are
+// best-effort. A package that exhausts its retries throws PermanentError,
+// its in-flight claim is released (so a concurrent worker may try again
+// rather than deadlock), its dependents are skipped, and the install
+// reports the aggregate failure. For concurrent multi-root installs a
+// Coordination object deterministically elects one root as the builder of
+// every shared hash, which is what makes same-seed install reports
+// byte-identical run to run.
 #pragma once
 
 #include <condition_variable>
@@ -22,6 +35,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -46,6 +60,13 @@ struct InstallRecord {
   /// Target-tuned compiler flags from archspec (Section 3.1.3: "tailor
   /// build recipes to the target architecture").
   std::string arch_flags;
+  /// Build/fetch attempts this record spent: 1 for a clean build or cache
+  /// fetch, 1+k after k transient retries, 0 for externals and
+  /// already-installed records.
+  int attempts = 1;
+  /// Modeled seconds spent waiting in retry backoff (included in
+  /// simulated_seconds).
+  double retry_wait_seconds = 0.0;
 };
 
 /// Result of installing one root spec (closure).
@@ -61,6 +82,11 @@ struct InstallReport {
   std::size_t from_source = 0;
   std::size_t externals = 0;
   std::size_t already_installed = 0;
+  /// Sum of per-record attempts (equals installed.size() minus externals
+  /// and already-installed records when nothing was retried).
+  std::size_t total_attempts = 0;
+  /// Total modeled backoff across all retried packages.
+  double retry_wait_seconds = 0.0;
   std::string build_log;
 };
 
@@ -110,6 +136,18 @@ struct InstallOptions {
   /// wavefront build/fetch concurrently. 0 means
   /// support::ThreadPool::default_threads() (BENCHPARK_NUM_THREADS).
   int engine_threads = 0;
+  /// Per-package retries after the first failed build attempt. Transient
+  /// failures (TransientError, e.g. injected via BENCHPARK_FAULT_PLAN)
+  /// are retried; anything else fails the package immediately.
+  int max_retries = 2;
+  /// First backoff wait in modeled seconds; attempt k waits
+  /// backoff_base_seconds * 2^(k-1), plus jitter.
+  double backoff_base_seconds = 0.25;
+  /// Uniform jitter fraction added to each wait (deterministic under
+  /// retry_seed, keyed by package hash and attempt).
+  double backoff_jitter = 0.25;
+  /// Seed for the backoff jitter.
+  std::uint64_t retry_seed = 0xb5eedULL;
 };
 
 class Installer {
@@ -117,9 +155,41 @@ public:
   Installer(pkg::RepoStack repos, InstallTree* tree,
             buildcache::BinaryCache* cache);
 
-  /// Install `concrete` and its full dependency closure.
+  /// Shared state for concurrent multi-root installs (one per
+  /// Environment::install_all call): a deterministic builder election —
+  /// every hash in the combined closure is built by the first root, in
+  /// manifest order, whose closure contains it — plus a failure board so
+  /// a root waiting on another root's package is woken (and fails loudly)
+  /// instead of deadlocking when the owning build fails or aborts.
+  class Coordination {
+  public:
+    /// Elect builders for the given roots (in order).
+    explicit Coordination(const std::vector<spec::Spec>& roots);
+
+    /// Owning root index for a hash, if any root's closure contains it.
+    [[nodiscard]] std::optional<std::size_t> owner(
+        const std::string& dag_hash) const;
+
+  private:
+    friend class Installer;
+    std::unordered_map<std::string, std::size_t> owner_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_map<std::string, std::string> failed_;  // hash → reason
+  };
+
+  /// Install `concrete` and its full dependency closure. Throws
+  /// PermanentError when any package in the closure fails for good (its
+  /// dependents are skipped, everything independent still installs, and
+  /// in-flight claims are released so a later call can retry).
   InstallReport install(const spec::Spec& concrete,
                         const InstallOptions& options = {});
+
+  /// As above, for one root of a coordinated multi-root install: nodes
+  /// owned by a different root are awaited rather than built.
+  InstallReport install(const spec::Spec& concrete,
+                        const InstallOptions& options, Coordination* coord,
+                        std::size_t root_index);
 
   /// Topological (dependencies-first) ordering of the spec closure,
   /// deduplicated by DAG hash.
@@ -128,8 +198,10 @@ public:
 
 private:
   InstallRecord install_one(const spec::Spec& concrete,
-                            const InstallOptions& options,
-                            std::string& log);
+                            const InstallOptions& options, std::string& log,
+                            Coordination* coord, std::size_t root_index);
+  InstallRecord await_foreign(const spec::Spec& concrete, std::string& log,
+                              Coordination& coord) const;
 
   pkg::RepoStack repos_;
   InstallTree* tree_;                  // not owned

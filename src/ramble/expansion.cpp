@@ -91,11 +91,18 @@ private:
     if (!std::isdigit(static_cast<unsigned char>(c))) {
       throw ExperimentError("bad arithmetic: '" + std::string(text_) + "'");
     }
+    std::size_t start = pos_;
     long long v = 0;
     while (pos_ < text_.size() &&
            std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
       v = v * 10 + (text_[pos_] - '0');
       ++pos_;
+    }
+    // Zero-padded numbers are not arithmetic literals: "01" here almost
+    // always means a date component ("2023-01-01"), which must stay a
+    // string, not evaluate to 2021.
+    if (pos_ - start > 1 && text_[start] == '0') {
+      throw ExperimentError("bad arithmetic: '" + std::string(text_) + "'");
     }
     return v;
   }
@@ -131,6 +138,14 @@ std::string expand_rec(std::string_view text, const VariableMap& vars,
   out.reserve(text.size());
   std::size_t i = 0;
   while (i < text.size()) {
+    // "{{" and "}}" escape literal braces (Jinja-style), so values can
+    // contain JSON or shell syntax without tripping the expander.
+    if (i + 1 < text.size() && text[i] == text[i + 1] &&
+        (text[i] == '{' || text[i] == '}')) {
+      out.push_back(text[i]);
+      i += 2;
+      continue;
+    }
     if (text[i] != '{') {
       out.push_back(text[i]);
       ++i;
@@ -145,9 +160,16 @@ std::string expand_rec(std::string_view text, const VariableMap& vars,
     if (it != vars.end()) {
       // A variable's value may itself reference variables or be an
       // arithmetic expression (n_ranks = '{processes_per_node}*{n_nodes}').
+      // is_arithmetic is only a screen; the value is evaluated only when
+      // the whole string parses as arithmetic, so look-alikes such as
+      // "2023-01-01" stay literal instead of becoming 2021.
       std::string value = expand_rec(it->second, vars, depth + 1);
       if (is_arithmetic(value)) {
-        value = std::to_string(Arith(value).parse());
+        try {
+          value = std::to_string(Arith(value).parse());
+        } catch (const ExperimentError&) {
+          // Not actually arithmetic (or not evaluable): keep the literal.
+        }
       }
       out += value;
     } else if (is_arithmetic(name)) {

@@ -8,6 +8,7 @@
 #include "src/benchmarks/saxpy.hpp"
 #include "src/benchmarks/stream.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/support/hash.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/string_util.hpp"
@@ -304,12 +305,36 @@ RunOutcome run_simulated(const SystemDescription& system,
   RunParams params = normalized(raw_params);
   validate_allocation(system, params);
 
+  // Fault gate for the launch itself (keyed by app, attempt = repetition,
+  // so "fail repetition 1 only" plans model a flaky first run). Injected
+  // failures surface through the outcome — BSD-style exit 75 (tempfail)
+  // for transient, 70 (internal software error) for permanent — never as
+  // exceptions, matching how a real scheduler sees a crashed binary.
+  double injected_latency = 0.0;
+  try {
+    injected_latency =
+        support::fault_hit("runtime.exec", params.app, params.repetition + 1);
+  } catch (const TransientError& e) {
+    RunOutcome outcome;
+    outcome.success = false;
+    outcome.exit_code = 75;
+    outcome.output = std::string(e.what()) + "\n";
+    return outcome;
+  } catch (const PermanentError& e) {
+    RunOutcome outcome;
+    outcome.success = false;
+    outcome.exit_code = 70;
+    outcome.output = std::string(e.what()) + "\n";
+    return outcome;
+  }
+
   if (params.uses_math_library && !system.disabled_features.empty()) {
     return math_library_crash(system);
   }
 
   if (auto it = sim_models().find(params.app); it != sim_models().end()) {
     RunOutcome outcome = it->second(system, params);
+    outcome.elapsed_seconds += injected_latency;
     append_annotations(system, params, outcome);
     return outcome;
   }
@@ -328,6 +353,7 @@ RunOutcome run_simulated(const SystemDescription& system,
     throw SystemError("no simulation model for application '" + params.app +
                       "'");
   }
+  outcome.elapsed_seconds += injected_latency;
   append_annotations(system, params, outcome);
   return outcome;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::sched {
@@ -28,23 +29,38 @@ std::string_view job_state_name(JobState s) {
 namespace {
 
 /// Parse "120:00" (minutes:seconds), "120" (minutes), or "2:00:00".
+/// Every component must be non-negative and the total positive: slurm
+/// rejects "-t -5:00" at submission, and letting it through here turned
+/// into a job with a negative walltime that could never be backfilled
+/// sanely.
 double parse_time_limit(const std::string& text) {
   auto parts = split(text, ':');
+  std::vector<double> values;
   try {
-    if (parts.size() == 1) return support::parse_double(parts[0]) * 60;
-    if (parts.size() == 2) {
-      return support::parse_double(parts[0]) * 60 +
-             support::parse_double(parts[1]);
-    }
-    if (parts.size() == 3) {
-      return support::parse_double(parts[0]) * 3600 +
-             support::parse_double(parts[1]) * 60 +
-             support::parse_double(parts[2]);
-    }
+    for (const auto& part : parts) values.push_back(support::parse_double(part));
   } catch (const Error&) {
-    // fall through to the throw below
+    throw SchedulerError("bad time limit '" + text + "'");
   }
-  throw SchedulerError("bad time limit '" + text + "'");
+  for (double v : values) {
+    if (v < 0) {
+      throw SchedulerError("time limit '" + text +
+                           "' has a negative component");
+    }
+  }
+  double seconds = 0.0;
+  if (values.size() == 1) {
+    seconds = values[0] * 60;
+  } else if (values.size() == 2) {
+    seconds = values[0] * 60 + values[1];
+  } else if (values.size() == 3) {
+    seconds = values[0] * 3600 + values[1] * 60 + values[2];
+  } else {
+    throw SchedulerError("bad time limit '" + text + "'");
+  }
+  if (seconds <= 0) {
+    throw SchedulerError("time limit '" + text + "' must be positive");
+  }
+  return seconds;
 }
 
 void apply_flag(ScriptRequest& req, const std::string& flag,
@@ -52,13 +68,22 @@ void apply_flag(ScriptRequest& req, const std::string& flag,
   try {
     if (flag == "-N" || flag == "--nodes" || flag == "-nnodes") {
       req.nodes = static_cast<int>(support::parse_int(value));
+      if (req.nodes < 1) {
+        throw SchedulerError("node count '" + value + "' must be >= 1");
+      }
     } else if (flag == "-n" || flag == "--ntasks") {
       req.ranks = static_cast<int>(support::parse_int(value));
+      if (req.ranks < 1) {
+        throw SchedulerError("rank count '" + value + "' must be >= 1");
+      }
     } else if (flag == "-t" || flag == "--time" || flag == "-W") {
       if (kind == system::SchedulerKind::flux &&
           support::ends_with(value, "m")) {
         req.time_limit_seconds =
             support::parse_double(value.substr(0, value.size() - 1)) * 60;
+        if (req.time_limit_seconds <= 0) {
+          throw SchedulerError("time limit '" + value + "' must be positive");
+        }
       } else {
         req.time_limit_seconds = parse_time_limit(value);
       }
@@ -203,8 +228,24 @@ void BatchScheduler::start_job(JobId id) {
   record.start_time = now_;
   busy_nodes_ += record.nodes;
 
-  JobResult result = job.work();
-  double runtime = std::max(0.0, result.runtime_seconds);
+  // The work callback is user code and may throw; an escaping exception
+  // used to leave busy_nodes_ inflated forever (the job never entered
+  // running_, so finish_next never released its nodes and the scheduler
+  // slowly strangled itself). Convert any throw into a failed job that
+  // flows through the normal completion path. The "sched.job" fault site
+  // (keyed by job name) models flaky nodes; injected latency extends the
+  // modeled runtime.
+  JobResult result;
+  double injected_latency = 0.0;
+  try {
+    injected_latency = support::fault_hit("sched.job", record.name);
+    result = job.work();
+  } catch (const std::exception& e) {
+    result.success = false;
+    result.runtime_seconds = 0.0;
+    result.output = std::string("job raised: ") + e.what();
+  }
+  double runtime = std::max(0.0, result.runtime_seconds) + injected_latency;
   if (runtime > record.time_limit_seconds) {
     record.state = JobState::timeout;
     record.output = result.output + "\nslurmstepd: *** JOB " +

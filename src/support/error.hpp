@@ -16,6 +16,22 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure that is expected to succeed if the operation is retried: a
+/// mirror blip, a flaky build step, a preempted job. Retry loops
+/// (installer packages, CI jobs, cache fetches) catch exactly this type;
+/// anything else is treated as permanent.
+class TransientError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A failure that retrying will not fix: retries exhausted, a corrupt
+/// artifact, a dependency whose owning install already failed.
+class PermanentError : public Error {
+public:
+  using Error::Error;
+};
+
 /// Malformed spec syntax or unsatisfiable spec constraint.
 class SpecError : public Error {
 public:

@@ -12,6 +12,8 @@
 #include "src/concretizer/concretizer.hpp"
 #include "src/pkg/repo.hpp"
 #include "src/spec/spec.hpp"
+#include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 
 namespace cz = benchpark::concretizer;
 namespace pkg = benchpark::pkg;
@@ -138,4 +140,51 @@ TEST(BuildCache, ConcurrentWarmFetchesAllHit) {
             static_cast<std::size_t>(kThreads) * kRounds * specs.size());
   EXPECT_EQ(stats.misses, 0u);
   EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0);
+}
+
+TEST(BuildCache, TransientFetchFaultsAreRetriedInternally) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+
+  auto concretizer = simple_concretizer();
+  auto spec = concretizer.concretize("zlib");
+  BinaryCache cache;
+  cache.push(spec, 1 << 20);
+
+  benchpark::support::FaultRule rule;
+  rule.site = "buildcache.fetch";
+  rule.nth = 1;  // first attempt of every fetch fails; retry recovers
+  plan.add_rule(rule);
+
+  auto entry = cache.fetch(spec);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_GT(entry->injected_latency_seconds, 0.0);  // re-request round trip
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);  // the retried request counts once
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.retries, 1u);
+}
+
+TEST(BuildCache, ExhaustedFetchRetriesThrowTransient) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+
+  auto concretizer = simple_concretizer();
+  auto spec = concretizer.concretize("zlib");
+  BinaryCache cache;
+  cache.push(spec, 1 << 20);
+
+  benchpark::support::FaultRule rule;
+  rule.site = "buildcache.fetch";
+  rule.nth = 1;
+  rule.count = 99;
+  plan.add_rule(rule);
+
+  EXPECT_THROW((void)cache.fetch(spec), benchpark::TransientError);
+  // The failed request never reached the mirror: no hit, no miss.
+  EXPECT_EQ(cache.stats().lookups(), 0u);
+  EXPECT_EQ(cache.stats().retries,
+            static_cast<std::size_t>(cache.fetch_retries()));
 }

@@ -8,6 +8,7 @@
 #include "src/ci/jacamar.hpp"
 #include "src/ci/pipeline.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/yaml/parser.hpp"
 
 namespace ci = benchpark::ci;
@@ -396,4 +397,119 @@ TEST(Pipeline, JobExceptionBecomesFailure) {
   EXPECT_FALSE(result.success);
   EXPECT_NE(result.job("build-saxpy")->log.find("container exploded"),
             std::string::npos);
+}
+
+TEST(Pipeline, TransientJobFailureIsRetriedAndDegradesPipeline) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  plan = benchpark::support::FaultPlan::parse("ci.job:nth=1,key=build-saxpy");
+
+  ci::PipelineEngine engine;
+  engine.register_runner({"r1", {"cts1"}, llnl_executor()});
+  engine.set_default_action(
+      [](const ci::JobContext&) { return ci::JobOutcome{true, "ok"}; });
+  auto result = engine.run(demo_pipeline(), "abc", "olga");
+
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.status, ci::PipelineStatus::degraded);
+  EXPECT_EQ(result.job("build-saxpy")->status, ci::JobStatus::success);
+  EXPECT_EQ(result.job("build-saxpy")->attempts, 2);
+  EXPECT_NE(result.job("build-saxpy")->log.find("[retry] attempt 1"),
+            std::string::npos);
+  // The untouched jobs ran clean.
+  EXPECT_EQ(result.job("bench-saxpy")->attempts, 1);
+}
+
+TEST(Pipeline, ExhaustedTransientRetriesFailThePipeline) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  plan = benchpark::support::FaultPlan::parse(
+      "ci.job:nth=1,count=99,key=build-saxpy");
+
+  ci::PipelineEngine engine;
+  engine.register_runner({"r1", {"cts1"}, llnl_executor()});
+  engine.set_default_action(
+      [](const ci::JobContext&) { return ci::JobOutcome{true, "ok"}; });
+  auto result = engine.run(demo_pipeline(), "abc", "olga");
+
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.status, ci::PipelineStatus::failed);
+  EXPECT_EQ(result.job("build-saxpy")->status, ci::JobStatus::failed);
+  EXPECT_EQ(result.job("build-saxpy")->attempts,
+            1 + engine.max_job_retries());
+  EXPECT_NE(result.job("build-saxpy")->log.find("job failed after"),
+            std::string::npos);
+  EXPECT_EQ(result.job("bench-saxpy")->status, ci::JobStatus::skipped);
+}
+
+TEST(Pipeline, TransientActionExceptionIsRetriedToo) {
+  ci::PipelineEngine engine;
+  engine.register_runner({"r1", {"cts1"}, llnl_executor()});
+  int calls = 0;
+  engine.set_default_action(
+      [](const ci::JobContext&) { return ci::JobOutcome{true, "ok"}; });
+  engine.set_action("build-saxpy",
+                    [&calls](const ci::JobContext&) -> ci::JobOutcome {
+                      if (++calls == 1) {
+                        throw benchpark::TransientError("runner preempted");
+                      }
+                      return ci::JobOutcome{true, "ok"};
+                    });
+  auto result = engine.run(demo_pipeline(), "abc", "olga");
+  EXPECT_EQ(result.status, ci::PipelineStatus::degraded);
+  EXPECT_EQ(result.job("build-saxpy")->attempts, 2);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Pipeline, AllowFailureFailureDegradesPipeline) {
+  ci::PipelineEngine engine;
+  engine.register_runner({"r1", {"x"}, llnl_executor()});
+  auto def = ci::PipelineDef::from_yaml(benchpark::yaml::parse(
+      "stages: [a]\n"
+      "flaky:\n"
+      "  stage: a\n"
+      "  tags: [x]\n"
+      "  allow_failure: true\n"));
+  engine.set_action("flaky", [](const ci::JobContext&) {
+    return ci::JobOutcome{false, "boom"};
+  });
+  auto result = engine.run(def, "abc", "olga");
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.status, ci::PipelineStatus::degraded);
+}
+
+TEST(Hubcast, TransientMirrorFaultIsRetried) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  plan = benchpark::support::FaultPlan::parse("ci.mirror:nth=1,count=2");
+
+  HubcastFixture fx;
+  auto hubcast = fx.make_hubcast();
+  auto pr = fx.fork_pr("olga");
+  auto branch = hubcast.try_mirror_pr(pr);  // attempts 1-2 fail, 3 lands
+  ASSERT_TRUE(branch.has_value());
+  EXPECT_TRUE(fx.gitlab.repo("llnl/benchpark").has_branch(*branch));
+  EXPECT_EQ(fx.github.pr(pr).check("hubcast/mirror")->state,
+            CheckState::success);
+}
+
+TEST(Hubcast, ExhaustedMirrorRetriesFailTheCheck) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  plan = benchpark::support::FaultPlan::parse("ci.mirror:nth=1,count=99");
+
+  HubcastFixture fx;
+  auto hubcast = fx.make_hubcast();
+  auto pr = fx.fork_pr("olga");
+  EXPECT_FALSE(hubcast.try_mirror_pr(pr).has_value());
+  const auto* check = fx.github.pr(pr).check("hubcast/mirror");
+  ASSERT_NE(check, nullptr);
+  EXPECT_EQ(check->state, CheckState::failure);
+  EXPECT_NE(check->description.find("mirror push failed after 3 attempts"),
+            std::string::npos);
+  EXPECT_FALSE(fx.gitlab.repo("llnl/benchpark").has_branch("pr-1"));
 }

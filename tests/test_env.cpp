@@ -9,6 +9,7 @@
 #include "src/env/environment.hpp"
 #include "src/install/installer.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/yaml/emitter.hpp"
 #include "src/system/system.hpp"
 #include "src/yaml/parser.hpp"
@@ -429,4 +430,223 @@ TEST(Installer, Power9FlagsOnAts2) {
   install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
   auto report = installer.install(spec);
   EXPECT_EQ(report.installed.back().arch_flags, "-mcpu=power9");
+}
+
+TEST(Installer, TransientBuildFailuresAreRetriedWithBackoff) {
+  // A dependency whose build step fails twice, then succeeds: the DAG
+  // must still complete, with the retries visible in the record.
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+
+  auto c = simple_concretizer();
+  auto spec = c.concretize("saxpy");
+  const auto* mpi = spec.dependency("mvapich2");
+  ASSERT_NE(mpi, nullptr);
+
+  benchpark::support::FaultRule rule;
+  rule.site = "install.build_step";
+  rule.key = mpi->dag_hash();
+  rule.nth = 1;
+  rule.count = 2;
+  plan.add_rule(rule);
+
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  install::InstallOptions options;
+  options.max_retries = 2;
+  auto report = installer.install(spec, options);
+
+  const install::InstallRecord* mpi_record = nullptr;
+  for (const auto& r : report.installed) {
+    if (r.spec.name() == "mvapich2") mpi_record = &r;
+  }
+  ASSERT_NE(mpi_record, nullptr);
+  EXPECT_EQ(mpi_record->attempts, 3);
+  EXPECT_GT(mpi_record->retry_wait_seconds, 0.0);
+  EXPECT_TRUE(tree.installed(*mpi));
+  EXPECT_TRUE(tree.installed(spec));
+  EXPECT_NE(report.build_log.find("[r] "), std::string::npos);
+  EXPECT_EQ(report.total_attempts, report.installed.size() + 2);
+  EXPECT_DOUBLE_EQ(report.retry_wait_seconds, mpi_record->retry_wait_seconds);
+}
+
+TEST(Installer, ExhaustedRetriesFailLoudlyAndReleaseClaims) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+
+  auto c = simple_concretizer();
+  auto spec = c.concretize("saxpy");
+  const auto* mpi = spec.dependency("mvapich2");
+  ASSERT_NE(mpi, nullptr);
+
+  benchpark::support::FaultRule rule;
+  rule.site = "install.build_step";
+  rule.key = mpi->dag_hash();
+  rule.nth = 1;
+  rule.count = 99;  // more than any retry budget
+  plan.add_rule(rule);
+
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  install::InstallOptions options;
+  options.max_retries = 2;
+  EXPECT_THROW(installer.install(spec, options), benchpark::PermanentError);
+  EXPECT_FALSE(tree.installed(*mpi));
+  EXPECT_FALSE(tree.installed(spec));
+
+  // The failed build's in-flight claim must have been released: with the
+  // plan cleared, the same installer converges on a second try.
+  plan.clear();
+  auto report = installer.install(spec, options);
+  EXPECT_TRUE(tree.installed(spec));
+  EXPECT_GT(report.from_source, 0u);
+}
+
+TEST(Installer, FailedDependencySkipsDependentsButBuildsTheRest) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+
+  auto c = simple_concretizer();
+  auto spec = c.concretize("amg2023+caliper");
+  const auto* hypre = spec.dependency("hypre");
+  ASSERT_NE(hypre, nullptr);
+
+  benchpark::support::FaultRule rule;
+  rule.site = "install.build_step";
+  rule.key = hypre->dag_hash();
+  rule.kind = benchpark::support::FaultKind::permanent;
+  plan.add_rule(rule);
+
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  try {
+    installer.install(spec);
+    FAIL() << "install should have failed";
+  } catch (const benchpark::PermanentError& e) {
+    EXPECT_NE(std::string(e.what()).find("failed or were skipped"),
+              std::string::npos);
+  }
+  // hypre and its dependents are absent; independent chains (the caliper
+  // tool stack) still installed.
+  EXPECT_FALSE(tree.installed(*hypre));
+  EXPECT_FALSE(tree.installed(spec));
+  const auto* caliper = spec.dependency("caliper");
+  ASSERT_NE(caliper, nullptr);
+  EXPECT_TRUE(tree.installed(*caliper));
+}
+
+TEST(Installer, FetchFailureFallsBackToSourceBuild) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+
+  auto c = simple_concretizer();
+  auto spec = c.concretize("zlib");
+  BinaryCache cache;
+  {
+    install::InstallTree warmup;
+    install::Installer installer(pkg::default_repo_stack(), &warmup, &cache);
+    installer.install(spec);
+  }
+  ASSERT_TRUE(cache.contains(spec));
+
+  // Fail every fetch attempt — beyond the cache's internal retries — so
+  // the installer must fall back to a source build.
+  benchpark::support::FaultRule rule;
+  rule.site = "buildcache.fetch";
+  rule.key = spec.dag_hash();
+  rule.nth = 1;
+  rule.count = 99;
+  plan.add_rule(rule);
+
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
+  auto report = installer.install(spec);
+  EXPECT_TRUE(tree.installed(spec));
+  EXPECT_EQ(report.from_cache, 0u);
+  EXPECT_GT(report.from_source, 0u);
+  EXPECT_NE(report.build_log.find("cache fetch failed"), std::string::npos);
+}
+
+TEST(Environment, SameSeedChaosInstallsAreByteIdentical) {
+  // The acceptance bar: under a nonzero fault plan, a concurrent
+  // multi-root install converges with every package installed exactly
+  // once, and two runs with the same seed produce identical reports.
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  plan = benchpark::support::FaultPlan::parse(
+      "seed=1234;install.build_step:p=0.2;buildcache.fetch:nth=1");
+
+  env::Environment e;
+  e.add("amg2023+caliper");
+  e.add("saxpy+openmp");
+  auto c = simple_concretizer();
+  e.concretize(c);
+
+  auto run = [&] {
+    BinaryCache cache;
+    install::InstallTree tree;
+    install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
+    install::InstallOptions options;
+    options.engine_threads = 4;
+    options.max_retries = 3;
+    auto report = e.install_all(installer, options);
+    EXPECT_EQ(tree.size(), cache.stats().pushes + report.externals);
+    return report;
+  };
+  auto first = run();
+  auto second = run();
+
+  EXPECT_EQ(first.build_log, second.build_log);
+  EXPECT_EQ(first.total_attempts, second.total_attempts);
+  EXPECT_DOUBLE_EQ(first.total_simulated_seconds,
+                   second.total_simulated_seconds);
+  EXPECT_DOUBLE_EQ(first.retry_wait_seconds, second.retry_wait_seconds);
+
+  // Exactly-once semantics under chaos: no hash built from source twice.
+  std::map<std::string, int> source_builds;
+  for (const auto& record : first.installed) {
+    if (record.source == install::InstallSource::source_build) {
+      ++source_builds[record.spec.dag_hash()];
+    }
+  }
+  for (const auto& [hash, count] : source_builds) {
+    EXPECT_EQ(count, 1) << hash;
+  }
+  EXPECT_EQ(first.from_source + first.from_cache + first.externals +
+                first.already_installed,
+            first.installed.size());
+}
+
+TEST(Environment, SharedDepPermanentFailureFailsFastWithoutDeadlock) {
+  // A shared dependency that fails for good must wake the roots waiting
+  // on it (via the coordination failure board), not wedge the DAG.
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+
+  env::Environment e;
+  e.add("amg2023");
+  e.add("saxpy");
+  auto c = simple_concretizer();
+  e.concretize(c);
+  const auto* mpi = e.concrete_for("mvapich2");
+  ASSERT_NE(mpi, nullptr);
+
+  benchpark::support::FaultRule rule;
+  rule.site = "install.build_step";
+  rule.key = mpi->dag_hash();
+  rule.kind = benchpark::support::FaultKind::permanent;
+  plan.add_rule(rule);
+
+  install::InstallTree tree;
+  install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+  install::InstallOptions options;
+  options.engine_threads = 4;
+  EXPECT_THROW(e.install_all(installer, options), benchpark::PermanentError);
+  EXPECT_FALSE(tree.installed(*mpi));
 }

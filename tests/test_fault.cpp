@@ -1,0 +1,146 @@
+// Fault-injection unit tests: plan grammar, nth/count windows, seeded
+// probability determinism, severity kinds, latency rules, per-site
+// counters, and the global-plan programmability that chaos CI relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/support/error.hpp"
+#include "src/support/fault.hpp"
+
+using benchpark::Error;
+using benchpark::PermanentError;
+using benchpark::TransientError;
+using benchpark::support::FaultKind;
+using benchpark::support::FaultPlan;
+using benchpark::support::FaultRule;
+using benchpark::support::ScopedFaultPlan;
+using benchpark::support::fault_hit;
+
+TEST(FaultPlan, EmptyPlanIsFreeAndNeverFires) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.on_hit("buildcache.fetch", "abc", 1), 0.0);
+  EXPECT_EQ(plan.total_hits(), 0u);  // unarmed plans do not even count
+}
+
+TEST(FaultPlan, ParsesSeedAndClauses) {
+  auto plan = FaultPlan::parse(
+      "seed=42; buildcache.fetch:nth=1 ; install.build_step:p=0.5,key=abc;"
+      "ci.mirror:latency=1.5");
+  EXPECT_EQ(plan.seed(), 42u);
+  EXPECT_FALSE(plan.empty());
+  // nth=1 → first attempt fails, second succeeds.
+  EXPECT_THROW(plan.on_hit("buildcache.fetch", "h", 1), TransientError);
+  EXPECT_DOUBLE_EQ(plan.on_hit("buildcache.fetch", "h", 2), 0.0);
+  // Latency-only clause delays without failing.
+  EXPECT_DOUBLE_EQ(plan.on_hit("ci.mirror", "repo#1", 1), 1.5);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("seed=banana"), Error);
+  EXPECT_THROW(FaultPlan::parse("noparams"), Error);
+  EXPECT_THROW(FaultPlan::parse("site:nth=0"), Error);
+  EXPECT_THROW(FaultPlan::parse("site:p=1.5"), Error);
+  EXPECT_THROW(FaultPlan::parse("site:latency=-1"), Error);
+  EXPECT_THROW(FaultPlan::parse("site:kind=sideways"), Error);
+  EXPECT_THROW(FaultPlan::parse("site:bogus=1"), Error);
+  // kind=none with no latency has no effect — reject rather than ignore.
+  EXPECT_THROW(FaultPlan::parse("site:kind=none"), Error);
+}
+
+TEST(FaultPlan, NthWindowFailsExactlyCountAttempts) {
+  auto plan = FaultPlan::parse("install.build_step:nth=2,count=2");
+  EXPECT_DOUBLE_EQ(plan.on_hit("install.build_step", "h", 1), 0.0);
+  EXPECT_THROW(plan.on_hit("install.build_step", "h", 2), TransientError);
+  EXPECT_THROW(plan.on_hit("install.build_step", "h", 3), TransientError);
+  EXPECT_DOUBLE_EQ(plan.on_hit("install.build_step", "h", 4), 0.0);
+  // The window applies per operation, not globally: a different key sees
+  // the same schedule.
+  EXPECT_DOUBLE_EQ(plan.on_hit("install.build_step", "other", 1), 0.0);
+  EXPECT_THROW(plan.on_hit("install.build_step", "other", 2), TransientError);
+}
+
+TEST(FaultPlan, KeyedRuleOnlyMatchesItsOperation) {
+  auto plan = FaultPlan::parse("sched.job:nth=1,key=amg-run");
+  EXPECT_THROW(plan.on_hit("sched.job", "amg-run", 1), TransientError);
+  EXPECT_DOUBLE_EQ(plan.on_hit("sched.job", "saxpy-run", 1), 0.0);
+  EXPECT_DOUBLE_EQ(plan.on_hit("other.site", "amg-run", 1), 0.0);
+}
+
+TEST(FaultPlan, PermanentKindThrowsPermanentError) {
+  auto plan = FaultPlan::parse("install.build_step:nth=1,kind=permanent");
+  EXPECT_THROW(plan.on_hit("install.build_step", "h", 1), PermanentError);
+}
+
+TEST(FaultPlan, ProbabilityScheduleIsAPureFunctionOfSeedAndInputs) {
+  auto decide = [](std::uint64_t seed, std::string_view key,
+                   std::uint64_t attempt) {
+    FaultPlan plan;
+    plan.set_seed(seed);
+    FaultRule rule;
+    rule.site = "buildcache.fetch";
+    rule.probability = 0.5;
+    plan.add_rule(rule);
+    try {
+      plan.on_hit("buildcache.fetch", key, attempt);
+      return false;
+    } catch (const TransientError&) {
+      return true;
+    }
+  };
+
+  // Same (seed, key, attempt) → same decision, independent of call order
+  // or plan instance.
+  std::vector<bool> first, second;
+  for (std::uint64_t a = 1; a <= 32; ++a) first.push_back(decide(7, "h1", a));
+  for (std::uint64_t a = 32; a >= 1; --a) {
+    second.insert(second.begin(), decide(7, "h1", a));
+  }
+  EXPECT_EQ(first, second);
+
+  // At p=0.5 over 32 attempts both outcomes must occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+
+  // A different seed produces a different schedule somewhere.
+  std::vector<bool> other_seed;
+  for (std::uint64_t a = 1; a <= 32; ++a) {
+    other_seed.push_back(decide(8, "h1", a));
+  }
+  EXPECT_NE(first, other_seed);
+}
+
+TEST(FaultPlan, CountersTrackHitsFailuresAndLatency) {
+  auto plan = FaultPlan::parse("ci.job:nth=1,latency=0.5");
+  EXPECT_THROW(plan.on_hit("ci.job", "build", 1), TransientError);
+  EXPECT_DOUBLE_EQ(plan.on_hit("ci.job", "build", 2), 0.0);
+  auto c = plan.counters("ci.job");
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.failures, 1u);
+  EXPECT_DOUBLE_EQ(c.latency_seconds, 0.5);
+  EXPECT_EQ(plan.total_hits(), 2u);
+  EXPECT_EQ(plan.total_failures(), 1u);
+  plan.clear();
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.total_hits(), 0u);
+}
+
+TEST(FaultPlan, GlobalPlanIsProgrammableAndScopedRestoreWorks) {
+  {
+    ScopedFaultPlan scope;
+    FaultPlan::global().clear();
+    FaultPlan::global() = FaultPlan::parse("runtime.exec:nth=1,key=saxpy");
+    EXPECT_THROW(fault_hit("runtime.exec", "saxpy", 1), TransientError);
+    EXPECT_DOUBLE_EQ(fault_hit("runtime.exec", "stream", 1), 0.0);
+  }
+  // Whatever the ambient plan is (usually empty; a chaos plan under
+  // BENCHPARK_FAULT_PLAN), the scoped rule must be gone.
+  {
+    ScopedFaultPlan scope;
+    FaultPlan::global().clear();
+    EXPECT_DOUBLE_EQ(fault_hit("runtime.exec", "saxpy", 1), 0.0);
+  }
+}

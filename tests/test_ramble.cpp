@@ -67,6 +67,38 @@ TEST(Expansion, UnbalancedBraceThrows) {
   EXPECT_THROW(expand("{oops", {{"oops", "x"}}), benchpark::ExperimentError);
 }
 
+TEST(Expansion, DateLikeValuesStayLiteral) {
+  // "2023-01-01" looks arithmetic to the screening heuristic (digits plus
+  // '-') but must not expand to 2021: zero-padded components mean it is a
+  // date, and the value is kept verbatim.
+  VariableMap vars{{"date", "2023-01-01"}, {"when", "{date}"}};
+  EXPECT_EQ(expand("run-{date}", vars), "run-2023-01-01");
+  EXPECT_EQ(expand("{when}", vars), "2023-01-01");
+}
+
+TEST(Expansion, GenuineArithmeticValuesStillEvaluate) {
+  VariableMap vars{{"n", "10-1"}, {"padded", "007"}};
+  EXPECT_EQ(expand("{n}", vars), "9");
+  // A plain zero-padded number has no operators: not arithmetic, kept.
+  EXPECT_EQ(expand("{padded}", vars), "007");
+}
+
+TEST(Expansion, NonEvaluableValueKeptNotCrashed) {
+  // A value that merely *looks* arithmetic ("1 + ") stays literal; an
+  // explicit inline expression with the same defect still throws.
+  VariableMap vars{{"weird", "1 + "}};
+  EXPECT_EQ(expand("{weird}", vars), "1 + ");
+  EXPECT_THROW(expand("{1 + }", {}), benchpark::ExperimentError);
+  EXPECT_THROW(expand("{8/0}", {}), benchpark::ExperimentError);
+}
+
+TEST(Expansion, DoubledBracesEscapeLiterals) {
+  EXPECT_EQ(expand("{{n}}", {{"n", "1024"}}), "{n}");
+  EXPECT_EQ(expand("json: {{\"n\": {n}}}", {{"n", "4"}}),
+            "json: {\"n\": 4}");
+  EXPECT_EQ(expand("a}}b{{c", {}), "a}b{c");
+}
+
 // ----------------------------------------------------------- applications
 
 TEST(Applications, Figure8SaxpyDefinition) {

@@ -4,6 +4,7 @@
 
 #include "src/runtime/simexec.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/system/system.hpp"
 
 namespace rt = benchpark::runtime;
@@ -187,4 +188,49 @@ TEST(NativeExec, UnknownAppThrows) {
   RunParams p;
   p.app = "osu-bcast";  // no native path
   EXPECT_THROW(rt::run_native(p), benchpark::SystemError);
+}
+
+TEST(SimExec, InjectedExecFaultFailsRunWithSysexitsCode) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  // Repetition 0 (attempt 1) crashes; repetition 1 runs clean — a flaky
+  // first launch, the shape schedulers actually see.
+  plan = benchpark::support::FaultPlan::parse("runtime.exec:nth=1,key=saxpy");
+
+  auto crashed = rt::run_simulated(cts1(), saxpy_params(1024, 1, 8, 2));
+  EXPECT_FALSE(crashed.success);
+  EXPECT_EQ(crashed.exit_code, 75);  // EX_TEMPFAIL
+  EXPECT_NE(crashed.output.find("injected transient fault"),
+            std::string::npos);
+
+  auto retried = saxpy_params(1024, 1, 8, 2);
+  retried.repetition = 1;
+  auto clean = rt::run_simulated(cts1(), retried);
+  EXPECT_TRUE(clean.success);
+  EXPECT_EQ(clean.exit_code, 0);
+}
+
+TEST(SimExec, PermanentExecFaultUsesSoftwareErrorCode) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  plan = benchpark::support::FaultPlan::parse(
+      "runtime.exec:nth=1,key=saxpy,kind=permanent");
+  auto outcome = rt::run_simulated(cts1(), saxpy_params(1024, 1, 8, 2));
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.exit_code, 70);  // EX_SOFTWARE
+}
+
+TEST(SimExec, InjectedLatencySlowsTheRunWithoutFailingIt) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+
+  auto baseline = rt::run_simulated(cts1(), saxpy_params(1024, 1, 8, 2));
+  plan = benchpark::support::FaultPlan::parse(
+      "runtime.exec:latency=2.5,key=saxpy");
+  auto delayed = rt::run_simulated(cts1(), saxpy_params(1024, 1, 8, 2));
+  EXPECT_TRUE(delayed.success);
+  EXPECT_DOUBLE_EQ(delayed.elapsed_seconds, baseline.elapsed_seconds + 2.5);
 }

@@ -2,8 +2,11 @@
 // FIFO and EASY-backfill policies, accounting, timeouts.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/sched/scheduler.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 
 namespace sched = benchpark::sched;
 namespace sys = benchpark::system;
@@ -203,4 +206,79 @@ TEST(Scheduler, AccountingListsAllJobs) {
   s.run_until_idle();
   EXPECT_EQ(s.records().size(), 5u);
   EXPECT_THROW(s.record(999), benchpark::SchedulerError);
+}
+
+TEST(Scheduler, ThrowingJobReleasesItsNodes) {
+  // A work callback that throws must not leak busy nodes: the job fails,
+  // the nodes come back, and later jobs still run.
+  BatchScheduler scheduler(4);
+  BatchJob bomb = quick_job("bomb", 4, 10);
+  bomb.work = []() -> sched::JobResult {
+    throw std::runtime_error("node panic");
+  };
+  auto bomb_id = scheduler.submit(bomb);
+  auto after_id = scheduler.submit(quick_job("after", 4, 5));
+  scheduler.run_until_idle();
+
+  const auto& failed = scheduler.record(bomb_id);
+  EXPECT_EQ(failed.state, JobState::failed);
+  EXPECT_NE(failed.output.find("job raised: node panic"), std::string::npos);
+  EXPECT_EQ(scheduler.record(after_id).state, JobState::completed);
+  EXPECT_EQ(scheduler.busy_nodes(), 0);
+}
+
+TEST(Scheduler, InjectedJobFaultFailsJobAndReleasesNodes) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  plan = benchpark::support::FaultPlan::parse("sched.job:nth=1,key=flaky");
+
+  BatchScheduler scheduler(2);
+  auto flaky_id = scheduler.submit(quick_job("flaky", 1, 10));
+  auto solid_id = scheduler.submit(quick_job("solid", 1, 10));
+  scheduler.run_until_idle();
+
+  EXPECT_EQ(scheduler.record(flaky_id).state, JobState::failed);
+  EXPECT_NE(scheduler.record(flaky_id).output.find("injected transient"),
+            std::string::npos);
+  EXPECT_EQ(scheduler.record(solid_id).state, JobState::completed);
+  EXPECT_EQ(scheduler.busy_nodes(), 0);
+}
+
+TEST(Scheduler, InjectedLatencyExtendsRuntime) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  plan = benchpark::support::FaultPlan::parse("sched.job:latency=7.5");
+
+  BatchScheduler scheduler(1);
+  auto id = scheduler.submit(quick_job("slowed", 1, 10));
+  scheduler.run_until_idle();
+  const auto& record = scheduler.record(id);
+  EXPECT_EQ(record.state, JobState::completed);
+  EXPECT_DOUBLE_EQ(record.end_time - record.start_time, 17.5);
+}
+
+TEST(ScriptParse, NegativeTimeLimitRejected) {
+  EXPECT_THROW(sched::parse_batch_script("#SBATCH -N 1\n#SBATCH -n 1\n"
+                                         "#SBATCH -t -5:00\n",
+                                         sys::SchedulerKind::slurm),
+               benchpark::SchedulerError);
+  EXPECT_THROW(sched::parse_batch_script("#SBATCH -N 1\n#SBATCH -n 1\n"
+                                         "#SBATCH -t 0\n",
+                                         sys::SchedulerKind::slurm),
+               benchpark::SchedulerError);
+  EXPECT_THROW(sched::parse_batch_script("#flux: -N 1\n#flux: -n 1\n"
+                                         "#flux: -t -30m\n",
+                                         sys::SchedulerKind::flux),
+               benchpark::SchedulerError);
+}
+
+TEST(ScriptParse, NonPositiveResourceCountsRejected) {
+  EXPECT_THROW(sched::parse_batch_script("#SBATCH -N -2\n#SBATCH -n 16\n",
+                                         sys::SchedulerKind::slurm),
+               benchpark::SchedulerError);
+  EXPECT_THROW(sched::parse_batch_script("#SBATCH -N 2\n#SBATCH -n 0\n",
+                                         sys::SchedulerKind::slurm),
+               benchpark::SchedulerError);
 }
