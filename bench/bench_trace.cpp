@@ -1,0 +1,91 @@
+// Guards the observability layer's zero-cost promise: with tracing
+// disabled (the default — BENCHPARK_TRACE unset), every instrumentation
+// site collapses to one relaxed atomic load. The disabled benchmarks
+// below must stay under ~5 ns/op; the enabled variants document what a
+// traced run pays so regressions in either direction are visible in the
+// CI bench-smoke JSON.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/obs/trace.hpp"
+
+namespace {
+
+using namespace benchpark;
+
+// --- disabled path (the hot production configuration) ----------------
+
+void BM_DisabledScopedSpan(benchmark::State& state) {
+  obs::TraceCollector collector;  // disabled by construction
+  for (auto _ : state) {
+    obs::ScopedSpan span(collector, "pkg:zlib", "install");
+    benchpark_bench::keep(span.active());
+  }
+  state.SetLabel(collector.event_count() == 0 ? "zero-events"
+                                              : "LEAKED-EVENTS");
+}
+BENCHMARK(BM_DisabledScopedSpan);
+
+void BM_DisabledCounterAdd(benchmark::State& state) {
+  obs::TraceCollector collector;
+  for (auto _ : state) {
+    collector.counter_add("buildcache.hits");
+  }
+  benchpark_bench::keep(collector.event_count());
+}
+BENCHMARK(BM_DisabledCounterAdd);
+
+void BM_DisabledEmitSpan(benchmark::State& state) {
+  obs::TraceCollector collector;
+  for (auto _ : state) {
+    collector.emit_span("attempt", "install", 1.0);
+  }
+  benchpark_bench::keep(collector.event_count());
+}
+BENCHMARK(BM_DisabledEmitSpan);
+
+void BM_DisabledEnabledCheck(benchmark::State& state) {
+  obs::TraceCollector collector;
+  for (auto _ : state) {
+    benchpark_bench::keep(collector.enabled());
+  }
+}
+BENCHMARK(BM_DisabledEnabledCheck);
+
+// --- enabled path (what a traced run pays) ---------------------------
+
+void BM_EnabledScopedSpan(benchmark::State& state) {
+  obs::TraceCollector collector;
+  collector.set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedSpan span(collector, "pkg:zlib", "install");
+    benchpark_bench::keep(span.active());
+  }
+  state.counters["events"] =
+      static_cast<double>(collector.event_count());
+}
+BENCHMARK(BM_EnabledScopedSpan);
+
+void BM_EnabledCounterAdd(benchmark::State& state) {
+  obs::TraceCollector collector;
+  collector.set_enabled(true);
+  for (auto _ : state) {
+    collector.counter_add("buildcache.hits");
+  }
+}
+BENCHMARK(BM_EnabledCounterAdd);
+
+void BM_EnabledNestedSpans(benchmark::State& state) {
+  obs::TraceCollector collector;
+  collector.set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedSpan outer(collector, "outer", "bench");
+    obs::ScopedSpan inner(collector, "inner", "bench");
+    benchpark_bench::keep(inner.active());
+  }
+}
+BENCHMARK(BM_EnabledNestedSpans);
+
+}  // namespace
+
+BENCHMARK_MAIN();

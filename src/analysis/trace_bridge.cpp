@@ -1,0 +1,48 @@
+#include "src/analysis/trace_bridge.hpp"
+
+#include "src/obs/trace_diff.hpp"
+
+namespace benchpark::analysis {
+
+perf::Profile trace_to_profile(const obs::Trace& trace) {
+  perf::Profile profile;
+  auto aggregated = obs::aggregate_spans(trace);
+  profile.regions.reserve(aggregated.size());
+  for (const auto& [path, stats] : aggregated) {
+    perf::RegionStat region;
+    region.path = path;
+    region.count = stats.count;
+    region.inclusive_seconds = (stats.total_us + stats.modeled_us) / 1e6;
+    profile.regions.push_back(std::move(region));
+  }
+  profile.metadata = trace.metadata;
+  return profile;
+}
+
+std::size_t trace_to_metrics(const obs::Trace& trace, MetricsDb& db,
+                             const std::string& benchmark,
+                             const std::string& system,
+                             const std::string& experiment) {
+  std::size_t inserted = 0;
+  auto insert = [&](const std::string& name, double value,
+                    const char* units) {
+    ResultRow row;
+    row.benchmark = benchmark;
+    row.system = system;
+    row.experiment = experiment;
+    row.fom_name = name;
+    row.value = value;
+    row.units = units;
+    db.insert(std::move(row));
+    ++inserted;
+  };
+  for (const auto& [name, value] : trace.counters) {
+    insert(name, static_cast<double>(value), "count");
+  }
+  for (const auto& [name, value] : trace.gauges) {
+    insert(name, value, "gauge");
+  }
+  return inserted;
+}
+
+}  // namespace benchpark::analysis

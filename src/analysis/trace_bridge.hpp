@@ -1,0 +1,31 @@
+// Bridge from the obs trace layer into the analysis stack: a collected
+// trace becomes a perf::Profile (so Thicket can compose chaos vs. clean
+// runs column-wise) and its counters/gauges become MetricsDb rows (so
+// dashboards chart cache hit rates and retry counts over time) — the
+// Caliper -> Adiak -> Thicket pipeline of Section 5, driven end to end
+// from one trace snapshot.
+#pragma once
+
+#include <string>
+
+#include "src/analysis/metrics_db.hpp"
+#include "src/obs/trace.hpp"
+#include "src/perf/caliper.hpp"
+
+namespace benchpark::analysis {
+
+/// Fold a trace's span tree into a flat profile: one region per span
+/// path (names joined "/" along the parent chain), inclusive seconds =
+/// wall-clock plus modeled time, count = span visits. Trace metadata
+/// carries over as profile (Adiak) metadata.
+[[nodiscard]] perf::Profile trace_to_profile(const obs::Trace& trace);
+
+/// Insert the trace's counters and gauges as MetricsDb rows under
+/// (benchmark, system, experiment); counter names become FOM names
+/// ("buildcache.hits", ...). Returns the number of rows inserted.
+std::size_t trace_to_metrics(const obs::Trace& trace, MetricsDb& db,
+                             const std::string& benchmark,
+                             const std::string& system,
+                             const std::string& experiment);
+
+}  // namespace benchpark::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fault.hpp"
 #include "src/support/hash.hpp"
@@ -17,7 +18,10 @@ BinaryCache::Shard& BinaryCache::shard_for(std::string_view dag_hash) const {
 }
 
 std::optional<CacheEntry> BinaryCache::fetch(const spec::Spec& concrete) {
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan span(collector, "fetch", "buildcache");
   auto hash = concrete.dag_hash();
+  if (span.active()) span.annotate("hash", hash);
   // Fault gate before the counters: retried-then-resolved requests count
   // exactly one hit or miss, so cache statistics stay comparable whether
   // or not a chaos plan is active.
@@ -29,8 +33,12 @@ std::optional<CacheEntry> BinaryCache::fetch(const spec::Spec& concrete) {
                                      static_cast<std::uint64_t>(attempt));
       break;
     } catch (const TransientError&) {
-      if (attempt >= max_attempts) throw;
+      if (attempt >= max_attempts) {
+        span.annotate("outcome", "transient-exhausted");
+        throw;
+      }
       retries_.fetch_add(1, std::memory_order_relaxed);
+      collector.counter_add("buildcache.retries");
       injected += base_latency_seconds_;  // re-request round trip
     }
   }
@@ -39,27 +47,95 @@ std::optional<CacheEntry> BinaryCache::fetch(const spec::Spec& concrete) {
   auto it = shard.entries.find(hash);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    collector.counter_add("buildcache.misses");
+    span.annotate("outcome", "miss");
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  collector.counter_add("buildcache.hits");
+  span.annotate("outcome", "hit");
   CacheEntry entry = it->second;
   entry.injected_latency_seconds = injected;
   return entry;
 }
 
 void BinaryCache::push(const spec::Spec& concrete, std::uint64_t size_bytes) {
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan span(collector, "push", "buildcache");
   auto hash = concrete.dag_hash();
+  if (span.active()) {
+    span.annotate("hash", hash);
+    span.annotate("bytes", std::to_string(size_bytes));
+  }
   support::fault_hit("buildcache.push", hash);
   CacheEntry entry;
   entry.dag_hash = hash;
   entry.short_spec = concrete.short_str();
   entry.size_bytes = size_bytes;
+  entry.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(hash);
+    // An overwrite only changes the total by the size delta.
+    std::uint64_t old_bytes = it == shard.entries.end()
+                                  ? 0
+                                  : it->second.size_bytes;
+    total_bytes_.fetch_add(size_bytes, std::memory_order_relaxed);
+    total_bytes_.fetch_sub(old_bytes, std::memory_order_relaxed);
     shard.entries.insert_or_assign(std::move(hash), std::move(entry));
   }
   pushes_.fetch_add(1, std::memory_order_relaxed);
+  collector.counter_add("buildcache.pushes");
+  evict_to_capacity();
+}
+
+void BinaryCache::set_capacity_bytes(std::uint64_t bytes) {
+  capacity_bytes_.store(bytes, std::memory_order_relaxed);
+  evict_to_capacity();
+}
+
+void BinaryCache::evict_to_capacity() {
+  const std::uint64_t capacity =
+      capacity_bytes_.load(std::memory_order_relaxed);
+  if (capacity == 0) return;  // unbounded
+  if (total_bytes_.load(std::memory_order_relaxed) <= capacity) return;
+  auto& collector = obs::TraceCollector::global();
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  while (total_bytes_.load(std::memory_order_relaxed) > capacity) {
+    // Find the globally oldest entry, one shard lock at a time.
+    Shard* oldest_shard = nullptr;
+    std::string oldest_hash;
+    std::uint64_t oldest_sequence = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [hash, entry] : shard.entries) {
+        if (oldest_shard == nullptr || entry.sequence < oldest_sequence) {
+          oldest_shard = &shard;
+          oldest_hash = hash;
+          oldest_sequence = entry.sequence;
+        }
+      }
+    }
+    if (oldest_shard == nullptr) return;  // raced to empty
+    std::lock_guard<std::mutex> lock(oldest_shard->mu);
+    auto it = oldest_shard->entries.find(oldest_hash);
+    // A concurrent overwrite refreshed the entry: leave the new artifact
+    // alone and rescan.
+    if (it == oldest_shard->entries.end() ||
+        it->second.sequence != oldest_sequence) {
+      continue;
+    }
+    total_bytes_.fetch_sub(it->second.size_bytes, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    collector.counter_add("buildcache.evictions");
+    if (collector.enabled()) {
+      collector.instant("evict", "buildcache",
+                        {{"hash", it->second.dag_hash},
+                         {"bytes", std::to_string(it->second.size_bytes)}});
+    }
+    oldest_shard->entries.erase(it);
+  }
 }
 
 bool BinaryCache::contains(const spec::Spec& concrete) const {
@@ -84,6 +160,7 @@ CacheStats BinaryCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.pushes = pushes_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   return s;
 }
 

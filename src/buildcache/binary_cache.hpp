@@ -31,6 +31,9 @@ struct CacheEntry {
   std::string dag_hash;
   std::string short_spec;  // human-readable "name@version" for logs
   std::uint64_t size_bytes = 0;
+  /// Push order (process-wide, 1-based). The *rolling* cache evicts the
+  /// oldest sequence first when over capacity; an overwrite refreshes it.
+  std::uint64_t sequence = 0;
   /// Modeled extra seconds this fetch paid to injected faults (failed
   /// attempts re-request the mirror; latency rules add delay). Set on the
   /// copy fetch() returns, never stored.
@@ -44,6 +47,8 @@ struct CacheStats {
   std::size_t pushes = 0;
   /// Transient fetch attempts that were retried internally.
   std::size_t retries = 0;
+  /// Artifacts dropped to stay under the configured capacity.
+  std::size_t evictions = 0;
 
   [[nodiscard]] std::size_t lookups() const { return hits + misses; }
   [[nodiscard]] double hit_rate() const {
@@ -87,6 +92,19 @@ public:
   /// Number of distinct mirrored artifacts.
   [[nodiscard]] std::size_t size() const;
 
+  /// Rolling-cache capacity in bytes; 0 (the default) is unbounded.
+  /// When a push takes the cache over capacity, oldest-pushed artifacts
+  /// are evicted until it fits again — an artifact larger than the whole
+  /// capacity is evicted immediately after its own push.
+  void set_capacity_bytes(std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return capacity_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Bytes currently mirrored across all shards.
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] CacheStats stats() const;
 
   /// Modeled seconds to download size_bytes from the mirror.
@@ -101,15 +119,24 @@ private:
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view dag_hash) const;
+  /// Evict oldest-sequence entries until total_bytes_ fits the capacity.
+  void evict_to_capacity();
 
   double base_latency_seconds_ = 0.02;
   double bytes_per_second_ = 1.0e9;
   int fetch_retries_ = 2;
   mutable std::array<Shard, kShards> shards_;
+  /// Serializes evictions (never held while a shard mutex is already
+  /// held; lock order is evict_mu_ -> shard.mu).
+  std::mutex evict_mu_;
+  std::atomic<std::uint64_t> capacity_bytes_{0};
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> next_sequence_{1};
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> pushes_{0};
   std::atomic<std::size_t> retries_{0};
+  std::atomic<std::size_t> evictions_{0};
 };
 
 }  // namespace benchpark::buildcache

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fault.hpp"
 
@@ -95,8 +96,11 @@ MirrorDecision Hubcast::evaluate(std::uint64_t pr_id) const {
 }
 
 std::optional<std::string> Hubcast::try_mirror_pr(std::uint64_t pr_id) {
+  obs::ScopedSpan span("mirror", "ci");
+  if (span.active()) span.annotate("pr", std::to_string(pr_id));
   auto decision = evaluate(pr_id);
   if (!decision.allowed) {
+    span.annotate("outcome", "blocked");
     StatusCheck blocked;
     blocked.name = "hubcast/mirror";
     blocked.state = CheckState::failure;
@@ -126,10 +130,12 @@ std::optional<std::string> Hubcast::try_mirror_pr(std::uint64_t pr_id) {
         failed.description = std::string("mirror push failed after ") +
                              std::to_string(attempt) + " attempts: " + e.what();
         github_->set_status(pr_id, failed);
+        span.annotate("outcome", "push-failed");
         return std::nullopt;
       }
     }
   }
+  span.annotate("outcome", "mirrored");
 
   std::string mirror_branch = "pr-" + std::to_string(pr_id);
   GitRepo& mirror = gitlab_->repo(canonical_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fault.hpp"
 #include "src/support/string_util.hpp"
@@ -85,8 +86,20 @@ PipelineResult PipelineEngine::run(const PipelineDef& def,
   bool pipeline_failed = false;
   bool pipeline_degraded = false;
 
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan pipeline_span(collector, "pipeline", "ci");
+  if (pipeline_span.active()) {
+    pipeline_span.annotate("commit", commit_sha);
+    pipeline_span.annotate("triggered_by", triggered_by);
+  }
   for (const auto& stage : def.stages) {
+    obs::ScopedSpan stage_span(
+        collector, collector.enabled() ? "stage:" + stage : std::string(),
+        "ci");
     for (const auto* job : def.jobs_in_stage(stage)) {
+      obs::ScopedSpan job_span(
+          collector,
+          collector.enabled() ? "job:" + job->name : std::string(), "ci");
       JobResultRecord record;
       record.name = job->name;
       record.stage = stage;
@@ -166,6 +179,10 @@ PipelineResult PipelineEngine::run(const PipelineDef& def,
       }
       record.log = script_log + outcome.log;
       record.status = outcome.success ? JobStatus::success : JobStatus::failed;
+      if (job_span.active()) {
+        job_span.annotate("status", outcome.success ? "success" : "failed");
+        job_span.annotate("attempts", std::to_string(record.attempts));
+      }
       if (record.status == JobStatus::success && record.attempts > 1) {
         pipeline_degraded = true;
       }

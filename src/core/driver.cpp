@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/usage.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/string_util.hpp"
 #include "src/yaml/parser.hpp"
@@ -281,16 +282,31 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
                                            const StepLogger& log,
                                            ramble::Workspace* workspace_out)
     const {
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan workflow_span(collector, "workflow", "driver");
+  if (workflow_span.active()) {
+    workflow_span.annotate("experiment", id.str());
+    workflow_span.annotate("system", system_name);
+    collector.attach_metadata("benchmark", id.benchmark);
+    collector.attach_metadata("system", system_name);
+  }
   auto say = [&](int step, const std::string& text) {
     if (log) log(step, text);
   };
   say(1, "user clones Benchpark repository (driver + configs + experiments)");
   say(2, "benchpark " + id.str() + " " + system_name + " " + dir.string());
   say(3, "Benchpark clones Spack and Ramble (engines instantiated)");
-  auto ws = setup(id, system_name, dir);
+  auto ws = [&] {
+    obs::ScopedSpan step_span(collector, "workflow.setup", "driver");
+    return setup(id, system_name, dir);
+  }();
   say(4, "Benchpark generates workspace config under " +
              (dir / "configs").string());
-  ws.setup();
+  {
+    obs::ScopedSpan step_span(collector, "workflow.workspace_setup",
+                              "driver");
+    ws.setup();
+  }
   say(5, "ramble workspace setup");
   say(6, "Ramble used Spack to build " + id.benchmark + " (" +
              std::to_string(ws.install_report().from_source) +
@@ -298,11 +314,17 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
              std::to_string(ws.install_report().externals) + " externals)");
   say(7, "Ramble rendered " + std::to_string(ws.prepared().size()) +
              " batch experiment scripts");
-  ws.run();
+  {
+    obs::ScopedSpan step_span(collector, "workflow.run", "driver");
+    ws.run();
+  }
   say(8, "ramble on: experiments executed via " +
              std::string(system::scheduler_name(
                  ws.target_system().scheduler)));
-  auto report = ws.analyze();
+  auto report = [&] {
+    obs::ScopedSpan step_span(collector, "workflow.analyze", "driver");
+    return ws.analyze();
+  }();
   UsageMetrics::instance().record_runs(id.benchmark, report.results.size());
   say(9, "ramble workspace analyze: " +
              std::to_string(report.num_success()) + "/" +

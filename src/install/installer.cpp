@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/archspec/microarch.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fault.hpp"
 #include "src/support/hash.hpp"
@@ -173,6 +174,10 @@ InstallReport Installer::install(const spec::Spec& concrete,
   if (!concrete.concrete()) {
     throw Error("installer requires a concrete spec; run the concretizer "
                 "first: '" + concrete.str() + "'");
+  }
+  obs::ScopedSpan install_span("install", "install");
+  if (install_span.active()) {
+    install_span.annotate("root", concrete.short_str());
   }
   const auto order = build_order(concrete);
   const std::size_t count = order.size();
@@ -362,6 +367,12 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
   InstallRecord record;
   record.spec = concrete;
   const std::string hash = concrete.dag_hash();
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan pkg_span(
+      collector,
+      collector.enabled() ? "pkg:" + concrete.name() : std::string(),
+      "install");
+  if (pkg_span.active()) pkg_span.annotate("hash", hash);
 
   // Coordinated installs defer hashes elected to another root: wait for
   // the owner to install (or fail) instead of racing it, which makes the
@@ -369,6 +380,7 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
   if (coord) {
     auto it = coord->owner_.find(hash);
     if (it != coord->owner_.end() && it->second != root_index) {
+      pkg_span.annotate("outcome", "foreign");
       return await_foreign(concrete, log, *coord);
     }
   }
@@ -394,6 +406,7 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
       record.attempts = 0;
       record.retry_wait_seconds = 0.0;
       log += "[+] " + concrete.short_str() + " already installed\n";
+      pkg_span.annotate("outcome", "already");
       return record;
     }
     in_flight_.insert(hash);
@@ -405,6 +418,7 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
     record.source = InstallSource::external;
     record.simulated_seconds = 0.0;
     record.attempts = 0;
+    pkg_span.annotate("outcome", "external");
     log += "[e] " + concrete.short_str() + " external at " + record.prefix +
            "\n";
     tree_->add(record);
@@ -424,6 +438,14 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
         log += "[c] " + concrete.short_str() +
                " fetched from binary cache (" +
                support::format_double(record.simulated_seconds, 3) + "s)\n";
+        if (pkg_span.active()) {
+          pkg_span.annotate("outcome", "cache");
+          // One attempt span per report attempt (a cache fetch counts 1).
+          collector.emit_span("attempt", "install", record.simulated_seconds,
+                              {{"package", concrete.name()},
+                               {"attempt", "1"},
+                               {"result", "cache"}});
+        }
         tree_->add(record);
         announce();
         return record;
@@ -481,6 +503,23 @@ InstallRecord Installer::install_one(const spec::Spec& concrete,
   }
   record.simulated_seconds =
       step_seconds + record.retry_wait_seconds + injected_latency;
+  if (pkg_span.active()) {
+    pkg_span.annotate("outcome", "source");
+    // Emit attempt spans only after the build succeeded, so the trace's
+    // "attempt" count equals report.total_attempts exactly (failed
+    // packages contribute no attempts to the report). Backoff waits are
+    // deterministic, so pre-success attempts are reconstructed here.
+    for (int a = 1; a <= record.attempts; ++a) {
+      const bool final_attempt = a == record.attempts;
+      double modeled = final_attempt
+                           ? step_seconds + injected_latency
+                           : retry_backoff_seconds(options, hash, a);
+      collector.emit_span("attempt", "install", modeled,
+                          {{"package", concrete.name()},
+                           {"attempt", std::to_string(a)},
+                           {"result", final_attempt ? "built" : "retried"}});
+    }
+  }
   log += "[b] " + concrete.short_str() + " built from source with " +
          std::string(pkg::build_system_name(recipe.build_system())) + " (" +
          support::format_double(record.simulated_seconds, 4) + "s, " +

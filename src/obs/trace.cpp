@@ -1,0 +1,452 @@
+#include "src/obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace benchpark::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Small stable per-thread index (Chrome trace lanes).
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t mine = 0;
+  if (mine == 0) mine = next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+/// An open span on this thread's stack. Args accumulate locally (no
+/// lock) and move into the event at end_span.
+struct OpenSpan {
+  TraceCollector* collector;
+  std::uint64_t id;
+  std::uint64_t parent;
+  std::string name;
+  std::string category;
+  std::int64_t start_ns;
+  SpanArgs args;
+};
+
+thread_local std::vector<OpenSpan> t_stack;
+/// Parents adopted from submitting threads (ThreadPool chunk tasks).
+thread_local std::vector<std::pair<TraceCollector*, std::uint64_t>> t_ambient;
+
+std::uint64_t innermost_for(const TraceCollector* collector) {
+  for (auto it = t_stack.rbegin(); it != t_stack.rend(); ++it) {
+    if (it->collector == collector) return it->id;
+  }
+  for (auto it = t_ambient.rbegin(); it != t_ambient.rend(); ++it) {
+    if (it->first == collector) return it->second;
+  }
+  return 0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void append_args_json(std::string& out, const SpanArgs& args) {
+  out += "\"args\":{";
+  bool first = true;
+  for (const auto& [k, v] : args) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- TraceEvent
+
+const std::string* TraceEvent::arg(std::string_view key) const {
+  for (const auto& [k, v] : args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- Trace
+
+std::vector<const TraceEvent*> Trace::named(std::string_view name) const {
+  std::vector<const TraceEvent*> out;
+  for (const auto& e : events) {
+    if (e.name == name) out.push_back(&e);
+  }
+  return out;
+}
+
+std::size_t Trace::count_named(std::string_view name) const {
+  std::size_t n = 0;
+  for (const auto& e : events) {
+    if (e.name == name) ++n;
+  }
+  return n;
+}
+
+const TraceEvent* Trace::find_span(std::string_view name) const {
+  for (const auto& e : events) {
+    if (e.phase == TraceEvent::Phase::span && e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string Trace::to_chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  for (const auto& e : events) {
+    comma();
+    out += "{\"name\":\"" + json_escape(e.name) + "\"";
+    if (!e.category.empty()) {
+      out += ",\"cat\":\"" + json_escape(e.category) + "\"";
+    }
+    out += std::string(",\"ph\":\"") +
+           (e.phase == TraceEvent::Phase::span ? "X" : "i") + "\"";
+    out += ",\"ts\":" + json_number(e.ts_us);
+    if (e.phase == TraceEvent::Phase::span) {
+      out += ",\"dur\":" + json_number(e.dur_us);
+      out += ",\"id\":" + std::to_string(e.id);
+      if (e.parent != 0) out += ",\"parent\":" + std::to_string(e.parent);
+      if (e.modeled) out += ",\"modeled\":1";
+    }
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + ",";
+    append_args_json(out, e.args);
+    out += "}";
+  }
+  for (const auto& [name, value] : counters) {
+    comma();
+    out += "{\"name\":\"" + json_escape(name) +
+           "\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,"
+           "\"args\":{\"value\":" +
+           std::to_string(value) + "}}";
+  }
+  for (const auto& [name, value] : gauges) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    out += "{\"name\":\"" + json_escape(name) +
+           "\",\"ph\":\"C\",\"gauge\":1,\"ts\":0,\"pid\":1,\"tid\":0,"
+           "\"args\":{\"value\":" +
+           buf + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  bool mfirst = true;
+  for (const auto& [k, v] : metadata) {
+    if (!mfirst) out += ",";
+    mfirst = false;
+    out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+Trace Trace::from_chrome_json(std::string_view json) {
+  return from_chrome_json(yaml::parse(json));
+}
+
+Trace Trace::from_chrome_json(const yaml::Node& root) {
+  Trace trace;
+  if (root.has("traceEvents")) {
+    for (const auto& ev : root.at("traceEvents").items()) {
+      const std::string ph = ev.at("ph").as_string_or("X");
+      const std::string name = ev.at("name").as_string();
+      if (ph == "C") {
+        double value = ev.at("args").at("value").as_double();
+        if (ev.at("gauge").as_int_or(0) != 0) {
+          trace.gauges[name] = value;
+        } else {
+          trace.counters[name] = static_cast<long long>(value);
+        }
+        continue;
+      }
+      TraceEvent e;
+      e.phase = ph == "X" ? TraceEvent::Phase::span
+                          : TraceEvent::Phase::instant;
+      e.name = name;
+      e.category = ev.at("cat").as_string_or("");
+      e.ts_us = ev.at("ts").as_double();
+      if (e.phase == TraceEvent::Phase::span) {
+        e.dur_us = ev.at("dur").as_double();
+        e.id = static_cast<std::uint64_t>(ev.at("id").as_int_or(0));
+        e.parent = static_cast<std::uint64_t>(ev.at("parent").as_int_or(0));
+        e.modeled = ev.at("modeled").as_int_or(0) != 0;
+      }
+      e.tid = static_cast<std::uint32_t>(ev.at("tid").as_int_or(0));
+      if (ev.has("args")) {
+        for (const auto& [k, v] : ev.at("args").map()) {
+          e.args.emplace_back(k, v.as_string());
+        }
+      }
+      trace.events.push_back(std::move(e));
+    }
+  }
+  if (root.has("otherData")) {
+    for (const auto& [k, v] : root.at("otherData").map()) {
+      trace.metadata[k] = v.as_string();
+    }
+  }
+  return trace;
+}
+
+// ------------------------------------------------------- TraceCollector
+
+TraceCollector::TraceCollector() : epoch_ns_(now_ns()) {}
+
+TraceCollector& TraceCollector::global() {
+  // Leaked intentionally: worker threads (the process-wide ThreadPool)
+  // may still close spans during static destruction.
+  static TraceCollector* instance = [] {
+    auto* collector = new TraceCollector();
+    if (const char* env = std::getenv("BENCHPARK_TRACE")) {
+      collector->configure(env);
+    }
+    return collector;
+  }();
+  return *instance;
+}
+
+void TraceCollector::configure(std::string_view spec) {
+  auto text = support::to_lower(support::trim(spec));
+  std::lock_guard<std::mutex> lock(mu_);
+  categories_.clear();
+  if (text.empty() || text == "0" || text == "off" || text == "false") {
+    enabled_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  if (text == "1" || text == "on" || text == "true" || text == "all") {
+    enabled_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  for (auto& part : support::split(text, ',')) {
+    auto category = support::trim(part);
+    if (category.empty()) continue;
+    if (category == "all") {
+      categories_.clear();
+      break;
+    }
+    categories_.emplace_back(category);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::set_enabled(bool on) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    categories_.clear();
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+bool TraceCollector::category_enabled(std::string_view category) const {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (categories_.empty()) return true;
+  for (const auto& c : categories_) {
+    if (c == category) return true;
+  }
+  return false;
+}
+
+std::uint64_t TraceCollector::begin_span(std::string_view name,
+                                         std::string_view category) {
+  if (!enabled()) return 0;
+  if (!category_enabled(category)) return 0;
+  OpenSpan open;
+  open.collector = this;
+  open.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  open.parent = innermost_for(this);
+  open.name = std::string(name);
+  open.category = std::string(category);
+  open.start_ns = now_ns();
+  t_stack.push_back(std::move(open));
+  return t_stack.back().id;
+}
+
+void TraceCollector::end_span(std::uint64_t id) {
+  if (id == 0) return;
+  if (t_stack.empty() || t_stack.back().collector != this ||
+      t_stack.back().id != id) {
+    throw Error("trace: unbalanced end_span(" + std::to_string(id) +
+                "); innermost open span is " +
+                (t_stack.empty() ? "<none>"
+                                 : "'" + t_stack.back().name + "' (" +
+                                       std::to_string(t_stack.back().id) +
+                                       ")"));
+  }
+  const std::int64_t end_ns = now_ns();
+  OpenSpan open = std::move(t_stack.back());
+  t_stack.pop_back();
+
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::span;
+  e.name = std::move(open.name);
+  e.category = std::move(open.category);
+  e.id = open.id;
+  e.parent = open.parent;
+  e.tid = thread_index();
+  e.args = std::move(open.args);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.ts_us = static_cast<double>(open.start_ns - epoch_ns_) / 1000.0;
+  e.dur_us = static_cast<double>(end_ns - open.start_ns) / 1000.0;
+  events_.push_back(std::move(e));
+}
+
+void TraceCollector::annotate(std::string_view key, std::string_view value) {
+  for (auto it = t_stack.rbegin(); it != t_stack.rend(); ++it) {
+    if (it->collector == this) {
+      it->args.emplace_back(std::string(key), std::string(value));
+      return;
+    }
+  }
+}
+
+void TraceCollector::emit_span(std::string_view name,
+                               std::string_view category,
+                               double modeled_seconds, SpanArgs args) {
+  if (!enabled()) return;
+  if (!category_enabled(category)) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::span;
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  e.parent = innermost_for(this);
+  e.tid = thread_index();
+  e.modeled = true;
+  e.dur_us = modeled_seconds * 1e6;
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.ts_us = static_cast<double>(now_ns() - epoch_ns_) / 1000.0;
+  events_.push_back(std::move(e));
+}
+
+void TraceCollector::instant(std::string_view name,
+                             std::string_view category, SpanArgs args) {
+  if (!enabled()) return;
+  if (!category_enabled(category)) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::instant;
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.parent = innermost_for(this);
+  e.tid = thread_index();
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.ts_us = static_cast<double>(now_ns() - epoch_ns_) / 1000.0;
+  events_.push_back(std::move(e));
+}
+
+void TraceCollector::counter_add(std::string_view name, long long delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void TraceCollector::gauge_set(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void TraceCollector::attach_metadata(std::string_view key,
+                                     std::string_view value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  metadata_[std::string(key)] = std::string(value);
+}
+
+std::uint64_t TraceCollector::current_span() const {
+  return innermost_for(this);
+}
+
+Trace TraceCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace trace;
+  trace.events = events_;
+  trace.counters.insert(counters_.begin(), counters_.end());
+  trace.gauges.insert(gauges_.begin(), gauges_.end());
+  trace.metadata.insert(metadata_.begin(), metadata_.end());
+  return trace;
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  counters_.clear();
+  gauges_.clear();
+  metadata_.clear();
+  epoch_ns_ = now_ns();
+}
+
+// --------------------------------------------------------- ScopedParent
+
+ScopedParent::ScopedParent(TraceCollector& collector,
+                           std::uint64_t parent_id) {
+  if (parent_id == 0) return;
+  t_ambient.emplace_back(&collector, parent_id);
+  active_ = true;
+}
+
+ScopedParent::~ScopedParent() {
+  if (active_) t_ambient.pop_back();
+}
+
+}  // namespace benchpark::obs

@@ -1,0 +1,213 @@
+// Unified tracing & metrics (the observability spine of the paper's
+// Caliper -> Adiak -> Thicket pipeline, Section 5 and Fig. 14).
+//
+// Every subsystem — benchmark kernels, the ThreadPool, the installer's
+// per-package build/fetch/retry phases, the binary cache, CI pipelines,
+// the batch scheduler, Hubcast mirroring — emits through one API:
+//
+//   obs::ScopedSpan span("pkg:zlib", "install");     // RAII nested span
+//   obs::TraceCollector::global().counter_add("buildcache.hits");
+//
+// Spans nest via a thread-local stack; work fanned out across the
+// ThreadPool inherits the submitting thread's innermost span as its
+// parent (ScopedParent), so an install's span tree stays rooted at the
+// `install` span no matter which worker built which package. Timestamps
+// come from the monotonic clock; *modeled* durations (simulated build
+// seconds, injected fault latency) are recorded as pre-measured spans so
+// TraceDiff can isolate them from real wall-clock.
+//
+// Collection is off by default and controlled by BENCHPARK_TRACE:
+//
+//   BENCHPARK_TRACE=1                 trace everything
+//   BENCHPARK_TRACE=install,buildcache   only these categories
+//   BENCHPARK_TRACE=0 (or unset)      disabled
+//
+// The disabled path is zero-cost: one relaxed atomic load, no lock, no
+// allocation (guarded by bench/bench_trace.cpp at < 5 ns/op).
+//
+// Snapshots export to Chrome trace_event JSON (chrome://tracing /
+// https://ui.perfetto.dev) and parse back through the YAML/JSON parser.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/yaml/node.hpp"
+
+namespace benchpark::obs {
+
+using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// One recorded event. Spans carry a duration; instants are points;
+/// counters are cumulative values materialized at export time.
+struct TraceEvent {
+  enum class Phase { span, instant, counter };
+
+  Phase phase = Phase::span;
+  std::string name;
+  std::string category;
+  std::uint64_t id = 0;      // unique span id (spans only; 0 otherwise)
+  std::uint64_t parent = 0;  // enclosing span id; 0 = thread root
+  std::uint32_t tid = 0;     // small stable per-thread index
+  double ts_us = 0;          // start, microseconds since collector epoch
+  double dur_us = 0;         // duration in microseconds (spans only)
+  /// True for pre-measured spans whose duration is modeled (simulated
+  /// build seconds, injected latency), not wall-clock.
+  bool modeled = false;
+  SpanArgs args;
+
+  [[nodiscard]] double end_us() const { return ts_us + dur_us; }
+  [[nodiscard]] const std::string* arg(std::string_view key) const;
+};
+
+/// A collected trace: events plus cumulative counters/gauges and
+/// Adiak-style run metadata.
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::string> metadata;
+
+  /// Events (any phase) with this exact name.
+  [[nodiscard]] std::vector<const TraceEvent*> named(
+      std::string_view name) const;
+  [[nodiscard]] std::size_t count_named(std::string_view name) const;
+  /// First span event with this name, or nullptr.
+  [[nodiscard]] const TraceEvent* find_span(std::string_view name) const;
+
+  /// Chrome trace_event JSON (single line; spans as "X", instants as
+  /// "i", counters/gauges as "C", metadata under "otherData").
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Inverse of to_chrome_json, via the YAML/JSON parser.
+  static Trace from_chrome_json(std::string_view json);
+  static Trace from_chrome_json(const yaml::Node& root);
+};
+
+/// Thread-safe trace collector. A process-global instance serves the
+/// built-in instrumentation; tests may build standalone collectors.
+class TraceCollector {
+public:
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The shared collector every built-in span site uses. Configured once
+  /// from BENCHPARK_TRACE on first use; disabled when unset.
+  static TraceCollector& global();
+
+  /// Apply a BENCHPARK_TRACE spec: "0"/"off"/"false"/"" disables,
+  /// "1"/"on"/"true"/"all" enables everything, anything else is a
+  /// comma-separated category whitelist.
+  void configure(std::string_view spec);
+  /// Enable/disable with no category filter (tests).
+  void set_enabled(bool on);
+  /// Fast-path check: relaxed atomic load, no lock.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Slow-path check including the category whitelist.
+  [[nodiscard]] bool category_enabled(std::string_view category) const;
+
+  /// Open a span on the calling thread; returns its id, or 0 when
+  /// tracing is disabled or the category is filtered out (end_span(0)
+  /// is a no-op). The parent is the thread's innermost open span, or
+  /// the ambient parent adopted from a submitting thread.
+  std::uint64_t begin_span(std::string_view name,
+                           std::string_view category = {});
+  /// Close the innermost open span, which must be `id` (LIFO); throws
+  /// benchpark::Error on mismatched nesting.
+  void end_span(std::uint64_t id);
+  /// Attach a key/value arg to the innermost open span (no-op when no
+  /// span is open on this thread).
+  void annotate(std::string_view key, std::string_view value);
+
+  /// Record a pre-measured span of `modeled_seconds` under the current
+  /// open span (simulated build time, injected fault latency).
+  void emit_span(std::string_view name, std::string_view category,
+                 double modeled_seconds, SpanArgs args = {});
+  /// Record an instantaneous event under the current open span.
+  void instant(std::string_view name, std::string_view category = {},
+               SpanArgs args = {});
+
+  /// Exact cumulative counters/gauges (thread-safe).
+  void counter_add(std::string_view name, long long delta = 1);
+  void gauge_set(std::string_view name, double value);
+
+  /// Adiak-style run metadata attached to every snapshot.
+  void attach_metadata(std::string_view key, std::string_view value);
+
+  /// Innermost open span id on this thread (ambient parent included);
+  /// 0 when none. Used to hand spans across ThreadPool submission.
+  [[nodiscard]] std::uint64_t current_span() const;
+
+  [[nodiscard]] Trace snapshot() const;
+  [[nodiscard]] std::size_t event_count() const;
+  /// Drop all events/counters/metadata and restart the epoch; the
+  /// enabled flag and category filter are preserved.
+  void reset();
+
+private:
+  friend class ScopedParent;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::string, long long, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::string, std::less<>> metadata_;
+  std::vector<std::string> categories_;  // empty = everything
+  std::int64_t epoch_ns_ = 0;            // steady-clock origin
+};
+
+/// RAII span on the global collector (or an explicit one). Construction
+/// on the disabled path costs one relaxed load; no lock, no allocation.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(std::string_view name, std::string_view category = {})
+      : collector_(&TraceCollector::global()) {
+    if (collector_->enabled()) id_ = collector_->begin_span(name, category);
+  }
+  ScopedSpan(TraceCollector& collector, std::string_view name,
+             std::string_view category = {})
+      : collector_(&collector) {
+    if (collector_->enabled()) id_ = collector_->begin_span(name, category);
+  }
+  ~ScopedSpan() {
+    if (id_ != 0) collector_->end_span(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when this span is actually recording (build args only then).
+  [[nodiscard]] bool active() const { return id_ != 0; }
+  void annotate(std::string_view key, std::string_view value) {
+    if (id_ != 0) collector_->annotate(key, value);
+  }
+
+private:
+  TraceCollector* collector_;
+  std::uint64_t id_ = 0;
+};
+
+/// Adopt `parent_id` as the ambient parent for spans opened on this
+/// thread (the ThreadPool wraps each chunk in one so fanned-out work
+/// nests under the submitting thread's span). No-op when parent_id == 0.
+class ScopedParent {
+public:
+  ScopedParent(TraceCollector& collector, std::uint64_t parent_id);
+  ~ScopedParent();
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+private:
+  bool active_ = false;
+};
+
+}  // namespace benchpark::obs

@@ -1,0 +1,134 @@
+#include "src/obs/trace_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/support/string_util.hpp"
+
+namespace benchpark::obs {
+
+namespace {
+
+/// Path of one span: names joined "/" along the parent chain (memoized).
+const std::string& path_of(
+    const TraceEvent& event,
+    const std::unordered_map<std::uint64_t, const TraceEvent*>& by_id,
+    std::unordered_map<std::uint64_t, std::string>& memo) {
+  auto it = memo.find(event.id);
+  if (it != memo.end()) return it->second;
+  std::string path = event.name;
+  if (event.parent != 0) {
+    auto parent = by_id.find(event.parent);
+    if (parent != by_id.end() && parent->second->id != event.id) {
+      path = path_of(*parent->second, by_id, memo) + "/" + event.name;
+    }
+  }
+  return memo.emplace(event.id, std::move(path)).first->second;
+}
+
+}  // namespace
+
+std::map<std::string, SpanStats> aggregate_spans(const Trace& trace) {
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  for (const auto& e : trace.events) {
+    if (e.phase == TraceEvent::Phase::span && e.id != 0) {
+      by_id.emplace(e.id, &e);
+    }
+  }
+  std::unordered_map<std::uint64_t, std::string> memo;
+  // Real (wall-clock) time of direct children, to derive self time.
+  std::unordered_map<std::uint64_t, double> child_real_us;
+  for (const auto& e : trace.events) {
+    if (e.phase != TraceEvent::Phase::span || e.modeled || e.parent == 0) {
+      continue;
+    }
+    child_real_us[e.parent] += e.dur_us;
+  }
+
+  std::map<std::string, SpanStats> stats;
+  for (const auto& e : trace.events) {
+    if (e.phase != TraceEvent::Phase::span) continue;
+    const std::string& path = path_of(e, by_id, memo);
+    auto& s = stats[path];
+    s.path = path;
+    ++s.count;
+    if (e.modeled) {
+      s.modeled_us += e.dur_us;
+    } else {
+      s.total_us += e.dur_us;
+      auto children = child_real_us.find(e.id);
+      double self = e.dur_us -
+                    (children == child_real_us.end() ? 0.0 : children->second);
+      s.self_us += std::max(0.0, self);
+    }
+  }
+  return stats;
+}
+
+TraceDiff::TraceDiff(const Trace& base, const Trace& other) {
+  auto a = aggregate_spans(base);
+  auto b = aggregate_spans(other);
+  std::map<std::string, PathDelta> merged;
+  for (const auto& [path, s] : a) {
+    auto& d = merged[path];
+    d.path = path;
+    d.count_a = s.count;
+    d.total_us_a = s.total_us;
+    d.modeled_us_a = s.modeled_us;
+  }
+  for (const auto& [path, s] : b) {
+    auto& d = merged[path];
+    d.path = path;
+    d.count_b = s.count;
+    d.total_us_b = s.total_us;
+    d.modeled_us_b = s.modeled_us;
+  }
+  rows_.reserve(merged.size());
+  for (auto& [path, d] : merged) rows_.push_back(std::move(d));
+
+  for (const auto& [name, value] : base.counters) {
+    counter_deltas_[name] -= value;
+  }
+  for (const auto& [name, value] : other.counters) {
+    counter_deltas_[name] += value;
+  }
+}
+
+const PathDelta* TraceDiff::find(std::string_view path) const {
+  for (const auto& d : rows_) {
+    if (d.path == path) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<PathDelta> TraceDiff::regressions(double min_delta_us) const {
+  std::vector<PathDelta> out;
+  for (const auto& d : rows_) {
+    if (d.delta_us() + d.modeled_delta_us() >= min_delta_us) {
+      out.push_back(d);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const PathDelta& x,
+                                       const PathDelta& y) {
+    return x.delta_us() + x.modeled_delta_us() >
+           y.delta_us() + y.modeled_delta_us();
+  });
+  return out;
+}
+
+support::Table TraceDiff::to_table() const {
+  support::Table table({"path", "count a", "count b", "time a (us)",
+                        "time b (us)", "modeled a (us)", "modeled b (us)"});
+  for (const auto& d : rows_) {
+    table.add_row({d.path, std::to_string(d.count_a),
+                   std::to_string(d.count_b),
+                   support::format_double(d.total_us_a, 6),
+                   support::format_double(d.total_us_b, 6),
+                   support::format_double(d.modeled_us_a, 6),
+                   support::format_double(d.modeled_us_b, 6)});
+  }
+  return table;
+}
+
+}  // namespace benchpark::obs

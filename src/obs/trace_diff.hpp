@@ -1,0 +1,81 @@
+// Thicket-style aggregation and cross-run comparison of traces.
+//
+// aggregate_spans() folds a trace's span events into per-path statistics
+// (path = span names joined "/" along the parent chain, exactly like
+// Caliper region paths), splitting wall-clock from modeled time so a
+// chaos run's injected latency is visible separately from real elapsed
+// time. TraceDiff lines up two aggregations — e.g. a clean and a
+// fault-injected install of the same DAG — and reports per-path count
+// and duration deltas, which is how a trace "isolates" where retries and
+// injected latency landed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace.hpp"
+#include "src/support/table.hpp"
+
+namespace benchpark::obs {
+
+/// Aggregated statistics for one span path.
+struct SpanStats {
+  std::string path;
+  std::uint64_t count = 0;   // span events on this path
+  double total_us = 0;       // wall-clock inclusive time
+  double self_us = 0;        // wall-clock time minus real children
+  double modeled_us = 0;     // modeled (simulated/injected) time
+};
+
+/// Fold span events into per-path statistics. Orphan parents (ids
+/// missing from the trace) root their subtree at the span itself.
+[[nodiscard]] std::map<std::string, SpanStats> aggregate_spans(
+    const Trace& trace);
+
+/// One path's delta between two runs (a = base, b = other).
+struct PathDelta {
+  std::string path;
+  std::uint64_t count_a = 0, count_b = 0;
+  double total_us_a = 0, total_us_b = 0;
+  double modeled_us_a = 0, modeled_us_b = 0;
+
+  [[nodiscard]] double delta_us() const { return total_us_b - total_us_a; }
+  [[nodiscard]] double modeled_delta_us() const {
+    return modeled_us_b - modeled_us_a;
+  }
+  [[nodiscard]] long long count_delta() const {
+    return static_cast<long long>(count_b) - static_cast<long long>(count_a);
+  }
+};
+
+class TraceDiff {
+public:
+  TraceDiff(const Trace& base, const Trace& other);
+
+  /// Every path present in either run, sorted by path.
+  [[nodiscard]] const std::vector<PathDelta>& rows() const { return rows_; }
+  [[nodiscard]] const PathDelta* find(std::string_view path) const;
+
+  /// Paths whose combined (wall + modeled) time grew by at least
+  /// `min_delta_us`, sorted worst-first — where the chaos run paid.
+  [[nodiscard]] std::vector<PathDelta> regressions(
+      double min_delta_us = 0.0) const;
+
+  /// Counter deltas (other minus base) for counters in either run.
+  [[nodiscard]] const std::map<std::string, long long>& counter_deltas()
+      const {
+    return counter_deltas_;
+  }
+
+  /// Rendered comparison (rows: paths; columns: count/time per run).
+  [[nodiscard]] support::Table to_table() const;
+
+private:
+  std::vector<PathDelta> rows_;
+  std::map<std::string, long long> counter_deltas_;
+};
+
+}  // namespace benchpark::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/string_util.hpp"
 
@@ -14,6 +15,7 @@ using Clock = std::chrono::steady_clock;
 struct OpenRegion {
   std::string name;
   Clock::time_point start;
+  std::uint64_t span_id = 0;  // obs span, 0 when tracing is disabled
 };
 
 struct GlobalState {
@@ -84,7 +86,10 @@ Profile Profile::from_yaml(const yaml::Node& node) {
 }
 
 void Caliper::begin(const std::string& name) {
-  t_stack.push_back({name, Clock::now()});
+  std::uint64_t span_id = 0;
+  auto& collector = obs::TraceCollector::global();
+  if (collector.enabled()) span_id = collector.begin_span(name, "caliper");
+  t_stack.push_back({name, Clock::now(), span_id});
 }
 
 void Caliper::end(const std::string& name) {
@@ -96,6 +101,9 @@ void Caliper::end(const std::string& name) {
       std::chrono::duration<double>(Clock::now() - t_stack.back().start)
           .count();
   std::string path = current_path();
+  if (t_stack.back().span_id != 0) {
+    obs::TraceCollector::global().end_span(t_stack.back().span_id);
+  }
   t_stack.pop_back();
 
   auto& state = global();
@@ -108,6 +116,11 @@ void Caliper::end(const std::string& name) {
 
 void Caliper::record(const std::string& path, double seconds,
                      std::uint64_t count) {
+  auto& collector = obs::TraceCollector::global();
+  if (collector.enabled()) {
+    collector.emit_span(path, "caliper", seconds,
+                        {{"count", std::to_string(count)}});
+  }
   auto& state = global();
   std::scoped_lock lock(state.mutex);
   auto& stat = state.regions[path];
@@ -134,6 +147,8 @@ void Caliper::reset() {
 }
 
 void Adiak::collect(const std::string& key, const std::string& value) {
+  auto& collector = obs::TraceCollector::global();
+  if (collector.enabled()) collector.attach_metadata(key, value);
   auto& state = global();
   std::scoped_lock lock(state.mutex);
   state.metadata[key] = value;

@@ -7,6 +7,7 @@
 #include "src/benchmarks/multigrid.hpp"
 #include "src/benchmarks/saxpy.hpp"
 #include "src/benchmarks/stream.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fault.hpp"
 #include "src/support/hash.hpp"
@@ -300,8 +301,10 @@ void append_annotations(const SystemDescription& system,
 
 }  // namespace
 
-RunOutcome run_simulated(const SystemDescription& system,
-                         const RunParams& raw_params) {
+namespace {
+
+RunOutcome run_simulated_impl(const SystemDescription& system,
+                              const RunParams& raw_params) {
   RunParams params = normalized(raw_params);
   validate_allocation(system, params);
 
@@ -355,6 +358,27 @@ RunOutcome run_simulated(const SystemDescription& system,
   }
   outcome.elapsed_seconds += injected_latency;
   append_annotations(system, params, outcome);
+  return outcome;
+}
+
+}  // namespace
+
+RunOutcome run_simulated(const SystemDescription& system,
+                         const RunParams& raw_params) {
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan span(
+      collector,
+      collector.enabled() ? "exec:" + raw_params.app : std::string(),
+      "runtime");
+  RunOutcome outcome = run_simulated_impl(system, raw_params);
+  if (span.active()) {
+    span.annotate("success", outcome.success ? "1" : "0");
+    span.annotate("exit_code", std::to_string(outcome.exit_code));
+    // Elapsed time is simulated, so it lands as a modeled span: wall
+    // clock never sees it, TraceDiff attributes it separately.
+    collector.emit_span("exec.elapsed", "runtime", outcome.elapsed_seconds,
+                        {{"app", raw_params.app}});
+  }
   return outcome;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fault.hpp"
 #include "src/support/string_util.hpp"
@@ -235,6 +236,14 @@ void BatchScheduler::start_job(JobId id) {
   // flows through the normal completion path. The "sched.job" fault site
   // (keyed by job name) models flaky nodes; injected latency extends the
   // modeled runtime.
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan span(
+      collector,
+      collector.enabled() ? "sched:" + record.name : std::string(), "sched");
+  if (span.active()) {
+    span.annotate("job_id", std::to_string(id));
+    span.annotate("nodes", std::to_string(record.nodes));
+  }
   JobResult result;
   double injected_latency = 0.0;
   try {
@@ -246,6 +255,13 @@ void BatchScheduler::start_job(JobId id) {
     result.output = std::string("job raised: ") + e.what();
   }
   double runtime = std::max(0.0, result.runtime_seconds) + injected_latency;
+  if (span.active()) {
+    // The job's runtime is scheduler-simulated time, not wall-clock.
+    collector.emit_span("sched.runtime", "sched", runtime,
+                        {{"job", record.name},
+                         {"injected",
+                          support::format_double(injected_latency, 6)}});
+  }
   if (runtime > record.time_limit_seconds) {
     record.state = JobState::timeout;
     record.output = result.output + "\nslurmstepd: *** JOB " +

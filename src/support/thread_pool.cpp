@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "src/obs/trace.hpp"
+
 namespace benchpark::support {
 
 namespace {
@@ -96,6 +98,9 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_batch(std::size_t chunks,
                            const std::function<void(std::size_t)>& chunk_fn) {
   if (chunks == 0) return;
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan span(collector, "pool.batch", "pool");
+  if (span.active()) span.annotate("chunks", std::to_string(chunks));
   if (chunks == 1 || t_on_worker) {
     // Nested parallelism collapses onto the enclosing worker: the outer
     // batch already owns the machine, and a worker blocked waiting on a
@@ -104,13 +109,21 @@ void ThreadPool::run_batch(std::size_t chunks,
     return;
   }
 
+  // Fanned-out chunks adopt the caller's innermost span (the pool.batch
+  // span above when tracing) so the span tree stays rooted at the
+  // submitting thread regardless of which worker runs which chunk.
+  const std::uint64_t ambient_parent =
+      collector.enabled() ? collector.current_span() : 0;
+
   Batch batch;
   batch.remaining = chunks - 1;
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ensure_workers_locked(chunks - 1);
     for (std::size_t c = 0; c + 1 < chunks; ++c) {
-      queue_.emplace_back([&batch, &chunk_fn, c] {
+      queue_.emplace_back([&batch, &chunk_fn, &collector, ambient_parent, c] {
+        obs::ScopedParent ambient(collector, ambient_parent);
         std::exception_ptr err;
         try {
           chunk_fn(c);
@@ -120,6 +133,10 @@ void ThreadPool::run_batch(std::size_t chunks,
         batch.finish_one(std::move(err));
       });
     }
+    depth = queue_.size();
+  }
+  if (collector.enabled()) {
+    collector.gauge_set("pool.queue_depth", static_cast<double>(depth));
   }
   work_cv_.notify_all();
 

@@ -31,6 +31,10 @@ std::string strip_comment(std::string_view s) {
   for (std::size_t i = 0; i < s.size(); ++i) {
     char c = s[i];
     if (quote) {
+      if (quote == '"' && c == '\\') {
+        ++i;  // escaped char inside a double-quoted string
+        continue;
+      }
       if (c == quote) quote = 0;
       continue;
     }
@@ -131,6 +135,9 @@ private:
       // Keys never contain these; bail out so URLs ("http://x") and specs
       // are treated as scalars.
       if (c == ' ' || c == '\'' || c == '"' || c == '[') return std::nullopt;
+      // A line opening with '{' is a flow mapping, not a key (but braces
+      // may appear inside keys, e.g. ramble experiment templates).
+      if (c == '{' && i == 0) return std::nullopt;
     }
     return std::nullopt;
   }
@@ -196,70 +203,226 @@ private:
     return map;
   }
 
-  /// Parse an inline value: quoted scalar, flow sequence, or plain scalar.
+  /// Parse an inline value: quoted scalar, flow collection (sequences
+  /// and mappings, so one-line JSON documents parse), or plain scalar.
   Node parse_scalar(const std::string& text, int line_number) {
     if (text.empty()) return Node{};
-    if (text[0] == '[') return parse_flow_sequence(text, line_number);
-    if (text == "{}")
-      return Node::make_mapping();
-    if (text[0] == '{') fail(line_number, "flow mappings are not supported");
+    if (text[0] == '[' || text[0] == '{') {
+      std::size_t i = 0;
+      Node node = parse_flow_value(text, i, line_number);
+      skip_flow_ws(text, i);
+      if (i != text.size()) {
+        fail(line_number, "unexpected content after flow collection");
+      }
+      return node;
+    }
     if (text[0] == '|' || text[0] == '>') {
       fail(line_number, "block scalars are not supported");
     }
     return Node(unquote(text, line_number));
   }
 
-  Node parse_flow_sequence(const std::string& text, int line_number) {
-    if (text.back() != ']') {
-      fail(line_number, "unterminated flow sequence");
+  static void skip_flow_ws(const std::string& text, std::size_t& i) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  }
+
+  /// One value inside a flow context: nested collection, quoted scalar,
+  /// or plain scalar running up to the next ','/']'/'}'.
+  Node parse_flow_value(const std::string& text, std::size_t& i,
+                        int line_number) {
+    skip_flow_ws(text, i);
+    if (i >= text.size()) fail(line_number, "unexpected end of flow value");
+    char c = text[i];
+    if (c == '[') return parse_flow_sequence(text, i, line_number);
+    if (c == '{') return parse_flow_mapping(text, i, line_number);
+    if (c == '\'' || c == '"') {
+      return Node(parse_quoted(text, i, line_number));
     }
+    std::size_t start = i;
+    while (i < text.size() && text[i] != ',' && text[i] != ']' &&
+           text[i] != '}') {
+      ++i;
+    }
+    std::string scalar = trim(text.substr(start, i - start));
+    if (scalar.empty()) fail(line_number, "empty flow scalar");
+    return Node(std::move(scalar));
+  }
+
+  Node parse_flow_sequence(const std::string& text, std::size_t& i,
+                           int line_number) {
+    ++i;  // consume '['
     Node seq = Node::make_sequence();
-    std::string inner = text.substr(1, text.size() - 2);
-    // Split on commas outside quotes/nesting.
-    std::vector<std::string> parts;
-    std::string current;
-    char quote = 0;
-    int depth = 0;
-    for (char c : inner) {
-      if (quote) {
-        current.push_back(c);
-        if (c == quote) quote = 0;
+    skip_flow_ws(text, i);
+    if (i < text.size() && text[i] == ']') {
+      ++i;
+      return seq;
+    }
+    for (;;) {
+      seq.push_back(parse_flow_value(text, i, line_number));
+      skip_flow_ws(text, i);
+      if (i >= text.size()) fail(line_number, "unterminated flow sequence");
+      if (text[i] == ',') {
+        ++i;
         continue;
       }
-      if (c == '\'' || c == '"') {
-        quote = c;
-        current.push_back(c);
-      } else if (c == '[') {
-        ++depth;
-        current.push_back(c);
-      } else if (c == ']') {
-        --depth;
-        current.push_back(c);
-      } else if (c == ',' && depth == 0) {
-        parts.push_back(current);
-        current.clear();
-      } else {
-        current.push_back(c);
+      if (text[i] == ']') {
+        ++i;
+        return seq;
       }
+      fail(line_number, "expected ',' or ']' in flow sequence");
     }
-    if (!trim(current).empty() || !parts.empty()) parts.push_back(current);
-    for (auto& part : parts) {
-      std::string item = trim(part);
-      if (item.empty()) fail(line_number, "empty flow sequence item");
-      seq.push_back(parse_scalar(item, line_number));
+  }
+
+  Node parse_flow_mapping(const std::string& text, std::size_t& i,
+                          int line_number) {
+    ++i;  // consume '{'
+    Node map = Node::make_mapping();
+    skip_flow_ws(text, i);
+    if (i < text.size() && text[i] == '}') {
+      ++i;
+      return map;
     }
-    return seq;
+    for (;;) {
+      skip_flow_ws(text, i);
+      if (i >= text.size()) fail(line_number, "unterminated flow mapping");
+      std::string key;
+      if (text[i] == '\'' || text[i] == '"') {
+        key = parse_quoted(text, i, line_number);
+      } else {
+        std::size_t start = i;
+        while (i < text.size() && text[i] != ':' && text[i] != ',' &&
+               text[i] != '}') {
+          ++i;
+        }
+        key = trim(text.substr(start, i - start));
+      }
+      skip_flow_ws(text, i);
+      if (i >= text.size() || text[i] != ':') {
+        fail(line_number, "expected ':' after flow mapping key");
+      }
+      ++i;  // consume ':'
+      if (map.has(key)) {
+        fail(line_number, "duplicate key '" + key + "'");
+      }
+      skip_flow_ws(text, i);
+      if (i < text.size() && (text[i] == ',' || text[i] == '}')) {
+        map[key] = Node{};  // empty value
+      } else {
+        map[key] = parse_flow_value(text, i, line_number);
+      }
+      skip_flow_ws(text, i);
+      if (i >= text.size()) fail(line_number, "unterminated flow mapping");
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (text[i] == '}') {
+        ++i;
+        return map;
+      }
+      fail(line_number, "expected ',' or '}' in flow mapping");
+    }
+  }
+
+  /// A quoted scalar starting at text[i]; advances i past the closing
+  /// quote. Single quotes escape via ''; double quotes via backslash.
+  static std::string parse_quoted(const std::string& text, std::size_t& i,
+                                  int line_number) {
+    const char quote = text[i++];
+    std::string out;
+    while (i < text.size()) {
+      char c = text[i];
+      if (quote == '\'') {
+        if (c == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            out.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          return out;
+        }
+        out.push_back(c);
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        ++i;
+        return out;
+      }
+      if (c == '\\') {
+        decode_escape(text, i, line_number, out);
+        continue;
+      }
+      out.push_back(c);
+      ++i;
+    }
+    fail(line_number, "unterminated quoted scalar");
+  }
+
+  /// Decode the backslash escape at text[i] (JSON / double-quoted YAML),
+  /// appending to `out` and advancing i. Unknown escapes are preserved
+  /// verbatim (backslash included) for backward compatibility.
+  static void decode_escape(const std::string& text, std::size_t& i,
+                            int line_number, std::string& out) {
+    if (i + 1 >= text.size()) fail(line_number, "dangling escape");
+    char e = text[i + 1];
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        if (i + 6 > text.size()) fail(line_number, "truncated \\u escape");
+        unsigned code = 0;
+        for (int k = 2; k < 6; ++k) {
+          char h = text[i + static_cast<std::size_t>(k)];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            fail(line_number, "bad \\u escape digit");
+          }
+        }
+        // UTF-8 encode (BMP only; surrogate pairs unsupported).
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        i += 6;
+        return;
+      }
+      default:
+        out.push_back('\\');
+        out.push_back(e);
+    }
+    i += 2;
   }
 
   static std::string unquote(const std::string& text, int line_number) {
     if (text.size() >= 2 &&
         (text.front() == '\'' || text.front() == '"') &&
         text.back() == text.front()) {
-      std::string inner = text.substr(1, text.size() - 2);
-      if (text.front() == '\'') {
-        return support::replace_all(std::move(inner), "''", "'");
+      std::size_t i = 0;
+      std::string out = parse_quoted(text, i, line_number);
+      if (i != text.size()) {
+        fail(line_number, "unexpected content after quoted scalar");
       }
-      return support::replace_all(std::move(inner), "\\\"", "\"");
+      return out;
     }
     if (!text.empty() && (text.front() == '\'' || text.front() == '"')) {
       fail(line_number, "unterminated quoted scalar");

@@ -10,6 +10,7 @@
 
 #include "src/buildcache/binary_cache.hpp"
 #include "src/concretizer/concretizer.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pkg/repo.hpp"
 #include "src/spec/spec.hpp"
 #include "src/support/error.hpp"
@@ -187,4 +188,200 @@ TEST(BuildCache, ExhaustedFetchRetriesThrowTransient) {
   EXPECT_EQ(cache.stats().lookups(), 0u);
   EXPECT_EQ(cache.stats().retries,
             static_cast<std::size_t>(cache.fetch_retries()));
+}
+
+// ------------------------------------------------ rolling eviction
+
+TEST(BuildCache, EvictsOldestWhenOverCapacity) {
+  const auto specs = distinct_concrete_specs();
+  BinaryCache cache;
+  cache.set_capacity_bytes(3 << 20);  // room for three 1 MiB artifacts
+  for (std::size_t i = 0; i < 5; ++i) {
+    cache.push(specs[i], 1 << 20);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_LE(cache.total_bytes(), cache.capacity_bytes());
+  // The two oldest pushes rolled off; the three newest remain.
+  EXPECT_FALSE(cache.contains(specs[0]));
+  EXPECT_FALSE(cache.contains(specs[1]));
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_TRUE(cache.contains(specs[i])) << specs[i].name();
+  }
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(BuildCache, OverwriteRefreshesEvictionOrder) {
+  const auto specs = distinct_concrete_specs();
+  BinaryCache cache;
+  cache.set_capacity_bytes(2 << 20);
+  cache.push(specs[0], 1 << 20);
+  cache.push(specs[1], 1 << 20);
+  // Re-pushing the oldest makes it the newest; the next eviction takes
+  // specs[1] instead.
+  cache.push(specs[0], 1 << 20);
+  cache.push(specs[2], 1 << 20);
+  EXPECT_TRUE(cache.contains(specs[0]));
+  EXPECT_FALSE(cache.contains(specs[1]));
+  EXPECT_TRUE(cache.contains(specs[2]));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(BuildCache, ArtifactLargerThanCapacityIsEvictedImmediately) {
+  auto concretizer = simple_concretizer();
+  auto spec = concretizer.concretize("zlib");
+  BinaryCache cache;
+  cache.set_capacity_bytes(100);
+  cache.push(spec, 1000);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.total_bytes(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.fetch(spec).has_value());
+}
+
+TEST(BuildCache, OverwriteAccountsByteDelta) {
+  auto concretizer = simple_concretizer();
+  auto spec = concretizer.concretize("zlib");
+  BinaryCache cache;
+  cache.push(spec, 500);
+  EXPECT_EQ(cache.total_bytes(), 500u);
+  cache.push(spec, 200);  // shrink
+  EXPECT_EQ(cache.total_bytes(), 200u);
+  cache.push(spec, 900);  // grow
+  EXPECT_EQ(cache.total_bytes(), 900u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(BuildCache, ConcurrentPushesRespectCapacityInvariant) {
+  const auto specs = distinct_concrete_specs();
+  BinaryCache cache;
+  const std::uint64_t capacity = 4 << 20;
+  cache.set_capacity_bytes(capacity);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        cache.push(specs[(t + round) % specs.size()], 1 << 20);
+        // No capacity assertion here: a concurrent observer may see the
+        // cache transiently over capacity between a push's insert and
+        // its eviction sweep; the bound holds at quiescence.
+        (void)cache.fetch(specs[(t * 5 + round) % specs.size()]);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.total_bytes(), capacity);
+  EXPECT_LE(cache.size(), 4u);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.pushes, static_cast<std::size_t>(kThreads) * kRounds);
+  // Byte ledger still consistent with the surviving entries.
+  std::uint64_t resident = 0;
+  for (const auto& spec : specs) {
+    if (cache.contains(spec)) resident += 1 << 20;
+  }
+  EXPECT_EQ(cache.total_bytes(), resident);
+}
+
+// --------------------------------- stats exactness under fault plans
+
+TEST(BuildCache, ConcurrentStatsExactUnderFaultPlan) {
+  benchpark::support::ScopedFaultPlan scope;
+  auto& plan = benchpark::support::FaultPlan::global();
+  plan.clear();
+  benchpark::support::FaultRule rule;
+  rule.site = "buildcache.fetch";
+  rule.nth = 1;  // every fetch's first attempt fails, retry recovers
+  rule.latency_seconds = 0.05;
+  plan.add_rule(rule);
+
+  const auto specs = distinct_concrete_specs();
+  BinaryCache cache;
+  for (const auto& spec : specs) cache.push(spec, 1 << 20);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::atomic<std::size_t> successes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        auto entry = cache.fetch(specs[(t + round) % specs.size()]);
+        ASSERT_TRUE(entry.has_value());
+        EXPECT_GT(entry->injected_latency_seconds, 0.0);
+        successes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto total = static_cast<std::size_t>(kThreads) * kRounds;
+  EXPECT_EQ(successes.load(), total);
+  auto stats = cache.stats();
+  // Exactly one hit and one retry per successful fetch — no lost or
+  // double-counted updates even with every request faulting once.
+  EXPECT_EQ(stats.hits, total);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.retries, total);
+}
+
+TEST(BuildCache, FetchCostEdgeCases) {
+  BinaryCache cache(0.25, 1.0e6);
+  // Zero bytes costs exactly the round-trip latency.
+  EXPECT_DOUBLE_EQ(cache.fetch_cost_seconds(0), 0.25);
+  // Cost is monotone and linear in size.
+  EXPECT_DOUBLE_EQ(cache.fetch_cost_seconds(2'000'000) -
+                       cache.fetch_cost_seconds(1'000'000),
+                   1.0);
+  // A missing artifact still pays no transfer: the miss is latency-only
+  // in the installer's model, and the entry is absent.
+  auto concretizer = simple_concretizer();
+  auto spec = concretizer.concretize("zlib");
+  EXPECT_FALSE(cache.fetch(spec).has_value());
+}
+
+// ----------------------------------------- counters agree with spans
+
+TEST(BuildCache, TraceCountersAndSpansAgreeWithStats) {
+  auto& collector = benchpark::obs::TraceCollector::global();
+  collector.reset();
+  collector.set_enabled(true);
+
+  const auto specs = distinct_concrete_specs();
+  {
+    BinaryCache cache;
+    cache.set_capacity_bytes(2 << 20);
+    for (std::size_t i = 0; i < 4; ++i) cache.push(specs[i], 1 << 20);
+    (void)cache.fetch(specs[3]);  // hit
+    (void)cache.fetch(specs[0]);  // miss (evicted)
+    auto stats = cache.stats();
+
+    auto trace = collector.snapshot();
+    EXPECT_EQ(trace.counters.at("buildcache.pushes"),
+              static_cast<long long>(stats.pushes));
+    EXPECT_EQ(trace.counters.at("buildcache.hits"),
+              static_cast<long long>(stats.hits));
+    EXPECT_EQ(trace.counters.at("buildcache.misses"),
+              static_cast<long long>(stats.misses));
+    // One span per mirror operation, one instant per eviction.
+    EXPECT_EQ(trace.count_named("push"), stats.pushes);
+    EXPECT_EQ(trace.count_named("fetch"), stats.lookups());
+    EXPECT_EQ(trace.count_named("evict"), stats.evictions);
+    // Fetch spans carry the outcome annotation.
+    std::size_t hit_spans = 0, miss_spans = 0;
+    for (const auto* span : trace.named("fetch")) {
+      const auto* outcome = span->arg("outcome");
+      ASSERT_NE(outcome, nullptr);
+      hit_spans += *outcome == "hit";
+      miss_spans += *outcome == "miss";
+    }
+    EXPECT_EQ(hit_spans, stats.hits);
+    EXPECT_EQ(miss_spans, stats.misses);
+  }
+
+  collector.set_enabled(false);
+  collector.reset();
 }

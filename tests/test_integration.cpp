@@ -14,14 +14,21 @@
 #include "src/core/campaign.hpp"
 #include "src/core/driver.hpp"
 #include "src/core/usage.hpp"
+#include "src/concretizer/concretizer.hpp"
 #include "src/env/environment.hpp"
+#include "src/install/installer.hpp"
+#include "src/obs/trace.hpp"
+#include "src/obs/trace_diff.hpp"
+#include "src/pkg/repo.hpp"
 #include "src/runtime/simexec.hpp"
+#include "src/support/fault.hpp"
 #include "src/support/fs_util.hpp"
 #include "src/support/string_util.hpp"
 #include "src/yaml/emitter.hpp"
 #include "src/yaml/parser.hpp"
 
 using namespace benchpark;
+namespace cz = benchpark::concretizer;
 
 TEST(Integration, Figure6LoopEndToEnd) {
   // Hosting + canonical repo on both sides.
@@ -220,4 +227,189 @@ TEST(Integration, WorkflowOutputsSurviveOnDisk) {
         "execute_experiment.tpl", "saxpy.lock.yaml"}) {
     EXPECT_NE(tree.find(artifact), std::string::npos) << artifact;
   }
+}
+
+// ------------------------------------------------- traced span trees
+
+namespace {
+
+/// Enable the global trace collector for one test, restoring the
+/// disabled empty state afterwards.
+class ScopedTrace {
+public:
+  ScopedTrace() {
+    auto& c = obs::TraceCollector::global();
+    c.reset();
+    c.set_enabled(true);
+  }
+  ~ScopedTrace() {
+    auto& c = obs::TraceCollector::global();
+    c.set_enabled(false);
+    c.reset();
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
+
+/// Structural invariants every collected span tree must satisfy:
+/// resolvable parents, temporal containment on the parent's thread, and
+/// root wall-clock >= the summed self-times of its same-thread subtree
+/// (modeled spans excluded — they represent simulated time).
+void assert_span_tree_invariants(const obs::Trace& trace,
+                                 const obs::TraceEvent& root) {
+  std::map<std::uint64_t, const obs::TraceEvent*> by_id;
+  for (const auto& e : trace.events) {
+    if (e.phase == obs::TraceEvent::Phase::span && e.id != 0) {
+      by_id[e.id] = &e;
+    }
+  }
+  // Every parent resolves (or is a thread root).
+  for (const auto& [id, e] : by_id) {
+    if (e->parent != 0) {
+      EXPECT_TRUE(by_id.count(e->parent))
+          << e->name << " has dangling parent " << e->parent;
+    }
+  }
+  // Membership in root's subtree.
+  auto in_subtree = [&](const obs::TraceEvent* e) {
+    while (e != nullptr) {
+      if (e->id == root.id) return true;
+      auto it = by_id.find(e->parent);
+      e = it == by_id.end() ? nullptr : it->second;
+    }
+    return false;
+  };
+  constexpr double kEpsUs = 500.0;  // clock-read ordering slack
+  double same_tid_self_us = 0.0;
+  for (const auto& [id, e] : by_id) {
+    if (e->modeled || !in_subtree(e)) continue;
+    // Containment: a child on the parent's own thread runs strictly
+    // inside it (cross-thread children only overlap approximately).
+    auto parent_it = by_id.find(e->parent);
+    if (parent_it != by_id.end() && parent_it->second->tid == e->tid &&
+        !parent_it->second->modeled) {
+      EXPECT_GE(e->ts_us, parent_it->second->ts_us - kEpsUs) << e->name;
+      EXPECT_LE(e->end_us(), parent_it->second->end_us() + kEpsUs)
+          << e->name;
+    }
+    if (e->tid != root.tid) continue;
+    // Self time on the root's thread: duration minus same-tid children.
+    double child_us = 0.0;
+    for (const auto& [cid, c] : by_id) {
+      if (c->parent == e->id && c->tid == e->tid && !c->modeled) {
+        child_us += c->dur_us;
+      }
+    }
+    same_tid_self_us += std::max(0.0, e->dur_us - child_us) -
+                        (e->id == root.id ? 0.0 : 0.0);
+  }
+  EXPECT_GE(root.dur_us + kEpsUs, same_tid_self_us)
+      << "root '" << root.name << "' shorter than its own thread's work";
+}
+
+}  // namespace
+
+TEST(Integration, TracedWorkflowMatrixSpanTreeInvariants) {
+  struct Case {
+    const char* benchmark;
+    const char* variant;
+    const char* system;
+  };
+  for (const auto& c : {Case{"saxpy", "openmp", "cts1"},
+                        Case{"amg2023", "openmp", "cts1"},
+                        Case{"stream", "openmp", "ats4"},
+                        Case{"osu-bcast", "mpi", "ats2"}}) {
+    SCOPED_TRACE(std::string(c.benchmark) + "/" + c.variant + " on " +
+                 c.system);
+    ScopedTrace guard;
+    core::Driver driver;
+    support::TempDir tmp("traced-matrix");
+    auto report =
+        driver.run_workflow({c.benchmark, c.variant}, c.system,
+                            tmp.path() / "ws");
+    ASSERT_GT(report.results.size(), 0u);
+
+    auto trace = obs::TraceCollector::global().snapshot();
+    const auto* root = trace.find_span("workflow");
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->parent, 0u);
+    EXPECT_EQ(trace.count_named("workflow"), 1u);
+    // The driver's stages all nest under the workflow root.
+    for (const char* stage :
+         {"workflow.setup", "workflow.workspace_setup", "workflow.run",
+          "workflow.analyze"}) {
+      const auto* span = trace.find_span(stage);
+      ASSERT_NE(span, nullptr) << stage;
+      EXPECT_EQ(span->parent, root->id) << stage;
+    }
+    // Install activity nests somewhere under the workflow.
+    EXPECT_GE(trace.count_named("install"), 1u);
+    assert_span_tree_invariants(trace, *root);
+    // Adiak-style run metadata rode along.
+    EXPECT_EQ(trace.metadata.at("benchmark"), c.benchmark);
+    EXPECT_EQ(trace.metadata.at("system"), c.system);
+  }
+}
+
+TEST(Integration, ChaosInstallTraceExportedDiffedAndReloaded) {
+  // The acceptance loop: a chaos install (BENCHPARK_FAULT_PLAN grammar)
+  // run under tracing exports Chrome-trace JSON whose retry spans equal
+  // the installer report's attempt counts, and a TraceDiff against the
+  // clean run isolates the injected latency as modeled time.
+  support::ScopedFaultPlan fault_guard;
+  auto run_install = [](const char* plan_spec, double* retry_wait,
+                        std::size_t* attempts) {
+    ScopedTrace trace_guard;
+    support::FaultPlan::global() = support::FaultPlan::parse(plan_spec);
+    env::Environment e;
+    e.add("amg2023+caliper");
+    cz::Config config;
+    config.add_compiler({"gcc", spec::Version("12.1.1"), "", ""});
+    config.set_default_target("broadwell");
+    config.package("mpi").preferred_providers = {"mvapich2"};
+    cz::Concretizer concretizer(pkg::default_repo_stack(), config);
+    e.concretize(concretizer);
+    install::InstallTree tree;
+    install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
+    auto report = e.install_all(installer);
+    *retry_wait = report.retry_wait_seconds;
+    *attempts = report.total_attempts;
+    return obs::TraceCollector::global().snapshot();
+  };
+
+  double clean_wait = 0, chaos_wait = 0;
+  std::size_t clean_attempts = 0, chaos_attempts = 0;
+  auto clean = run_install("seed=42", &clean_wait, &clean_attempts);
+  auto chaos = run_install(
+      "seed=42;install.build_step:nth=1,latency=0.75,kind=transient",
+      &chaos_wait, &chaos_attempts);
+
+  EXPECT_EQ(clean.count_named("attempt"), clean_attempts);
+  EXPECT_EQ(chaos.count_named("attempt"), chaos_attempts);
+  ASSERT_GT(chaos_attempts, clean_attempts);
+  EXPECT_GT(chaos_wait, clean_wait);
+
+  // Export chaos to disk as Chrome trace JSON and reload it — the file a
+  // developer would drop into chrome://tracing or ui.perfetto.dev.
+  support::TempDir tmp("chaos-trace");
+  auto json_path = tmp.path() / "chaos.trace.json";
+  support::write_file(json_path, chaos.to_chrome_json());
+  auto reloaded = obs::Trace::from_chrome_json(
+      std::string_view{support::read_file(json_path)});
+  EXPECT_EQ(reloaded.count_named("attempt"), chaos_attempts);
+  EXPECT_EQ(reloaded.events.size(), chaos.events.size());
+
+  // The diff pins the damage on the attempt spans as modeled time.
+  obs::TraceDiff diff(clean, reloaded);
+  double modeled_delta = 0.0;
+  for (const auto& row : diff.rows()) {
+    if (row.path.size() >= 7 &&
+        row.path.compare(row.path.size() - 7, 7, "attempt") == 0) {
+      modeled_delta += row.modeled_delta_us();
+    }
+  }
+  // At least the injected per-build latency (0.75 s each) shows up.
+  EXPECT_GT(modeled_delta / 1e6, 0.5);
+  auto regressions = diff.regressions(1.0);
+  ASSERT_FALSE(regressions.empty());
 }

@@ -13,10 +13,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <thread>
 
 #include "src/analysis/extrap.hpp"
 #include "src/archspec/microarch.hpp"
 #include "src/core/driver.hpp"
+#include "src/obs/trace.hpp"
+#include "src/support/parallel.hpp"
 #include "src/sched/scheduler.hpp"
 #include "src/spec/spec.hpp"
 #include "src/support/error.hpp"
@@ -427,3 +431,228 @@ INSTANTIATE_TEST_SUITE_P(
                  std::string(sys::collective_name(info.param.kind)), "_",
                  "");
     });
+
+// ------------------------------------------------ tracing properties
+
+namespace {
+
+namespace obs = benchpark::obs;
+
+/// Enable the global trace collector for one test, restoring the
+/// disabled empty state afterwards.
+class ScopedTrace {
+public:
+  ScopedTrace() {
+    auto& c = obs::TraceCollector::global();
+    c.reset();
+    c.set_enabled(true);
+  }
+  ~ScopedTrace() {
+    auto& c = obs::TraceCollector::global();
+    c.set_enabled(false);
+    c.reset();
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
+
+}  // namespace
+
+class TraceNestingPropertyTest : public ::testing::TestWithParam<int> {};
+
+// Under arbitrary ThreadPool fan-out the span stream must stay
+// well-nested per thread: any two wall-clock spans on one thread are
+// either disjoint or one contains the other, every parent id resolves,
+// and every pool chunk hangs off its batch's span.
+TEST_P(TraceNestingPropertyTest, PoolWorkloadsProduceWellNestedSpans) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  benchpark::support::Rng rng(seed * 6271);
+  ScopedTrace guard;
+  auto& collector = obs::TraceCollector::global();
+
+  const int rounds = 2 + static_cast<int>(rng.below(3));
+  std::size_t pool_batches = 0;
+  for (int round = 0; round < rounds; ++round) {
+    obs::ScopedSpan round_span(collector,
+                               "round" + std::to_string(round), "prop");
+    const std::size_t n = 8 + rng.below(56);
+    const int threads = 2 + static_cast<int>(rng.below(6));
+    if (threads > 1 && n >= 2) ++pool_batches;
+    benchpark::support::parallel_for(n, threads, [&](std::size_t lo,
+                                                     std::size_t hi) {
+      // Per-chunk depth derived from the range (the shared rng is not
+      // thread-safe); every chunk nests a few spans and emits leaves.
+      int depth = 1 + static_cast<int>(lo % 3);
+      std::vector<std::unique_ptr<obs::ScopedSpan>> open;
+      for (int d = 0; d < depth; ++d) {
+        open.push_back(std::make_unique<obs::ScopedSpan>(
+            collector, "depth" + std::to_string(d), "prop"));
+      }
+      if (lo % 2 == 0) {
+        collector.emit_span("leaf.modeled", "prop",
+                            static_cast<double>(hi - lo) * 1e-3);
+      } else {
+        collector.instant("leaf.instant", "prop");
+      }
+      while (!open.empty()) open.pop_back();  // LIFO unwind
+    });
+  }
+
+  auto trace = collector.snapshot();
+  std::map<std::uint64_t, const obs::TraceEvent*> by_id;
+  std::map<std::uint32_t, std::vector<const obs::TraceEvent*>> by_tid;
+  for (const auto& e : trace.events) {
+    if (e.phase != obs::TraceEvent::Phase::span) continue;
+    by_id[e.id] = &e;
+    if (!e.modeled) by_tid[e.tid].push_back(&e);
+  }
+  // Parents always resolve.
+  for (const auto& [id, e] : by_id) {
+    if (e->parent != 0) {
+      EXPECT_TRUE(by_id.count(e->parent))
+          << e->name << " dangling parent " << e->parent;
+    }
+  }
+  // Per-thread well-nestedness: no partial interval overlap.
+  for (const auto& [tid, spans] : by_tid) {
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const auto* a = spans[i];
+        const auto* b = spans[j];
+        bool partial = a->ts_us < b->ts_us && b->ts_us < a->end_us() &&
+                       a->end_us() < b->end_us();
+        bool partial_rev = b->ts_us < a->ts_us && a->ts_us < b->end_us() &&
+                           b->end_us() < a->end_us();
+        EXPECT_FALSE(partial || partial_rev)
+            << a->name << " / " << b->name << " on tid " << tid;
+      }
+    }
+  }
+  // Every pool batch span exists and every chunk-root span ("depth0")
+  // parents on a pool.batch span.
+  EXPECT_EQ(trace.count_named("pool.batch"), pool_batches);
+  for (const auto* chunk : trace.named("depth0")) {
+    auto it = by_id.find(chunk->parent);
+    ASSERT_NE(it, by_id.end());
+    EXPECT_EQ(it->second->name, "pool.batch");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceNestingPropertyTest,
+                         ::testing::Range(1, 9));
+
+// Counters must be exact under concurrent increments — no lost updates,
+// no double counts — and independent of thread interleaving.
+TEST(TraceCounterProperty, ExactUnderConcurrentIncrements) {
+  obs::TraceCollector collector;
+  collector.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        collector.counter_add("prop.count");
+        collector.counter_add("prop.sum", i % 5);
+        collector.gauge_set("prop.tid" + std::to_string(t),
+                            static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto trace = collector.snapshot();
+  EXPECT_EQ(trace.counters.at("prop.count"),
+            static_cast<long long>(kThreads) * kRounds);
+  // Sum of i%5 over 2000 rounds = 400 * (0+1+2+3+4) = 4000 per thread.
+  EXPECT_EQ(trace.counters.at("prop.sum"),
+            static_cast<long long>(kThreads) * 4000);
+  // Each thread's gauge holds its own final write.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(trace.gauges.at("prop.tid" + std::to_string(t)),
+                     static_cast<double>(kRounds - 1));
+  }
+}
+
+// Chrome-trace JSON round-trips arbitrary traces through the YAML/JSON
+// parser: spans, instants, counters, gauges, metadata, tricky strings.
+class TraceJsonFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceJsonFuzzTest, ChromeJsonRoundTrip) {
+  benchpark::support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const char* tricky[] = {"plain",   "with space", "q\"uote",  "back\\slash",
+                          "tab\there", "new\nline", "a: b",    "x #y",
+                          "[weird",  "{brace}",    "comma,",   "\xce\xbcs"};
+  auto pick_string = [&](const char* prefix) {
+    return std::string(prefix) + tricky[rng.below(12)];
+  };
+
+  obs::Trace original;
+  const auto num_events = 1 + rng.below(12);
+  std::uint64_t next_id = 1;
+  for (std::uint64_t i = 0; i < num_events; ++i) {
+    obs::TraceEvent e;
+    bool is_span = rng.below(4) != 0;
+    e.phase = is_span ? obs::TraceEvent::Phase::span
+                      : obs::TraceEvent::Phase::instant;
+    e.name = pick_string("n");
+    if (rng.below(2)) e.category = pick_string("c");
+    e.tid = static_cast<std::uint32_t>(rng.below(4));
+    // Multiples of 0.5 survive the %.3f fixed-point export exactly.
+    e.ts_us = static_cast<double>(rng.below(100000)) * 0.5;
+    if (is_span) {
+      e.dur_us = static_cast<double>(rng.below(100000)) * 0.5;
+      e.id = next_id++;
+      if (e.id > 1 && rng.below(2)) e.parent = 1 + rng.below(e.id - 1);
+      e.modeled = rng.below(3) == 0;
+    }
+    auto num_args = rng.below(3);
+    for (std::uint64_t a = 0; a < num_args; ++a) {
+      e.args.emplace_back("k" + std::to_string(a), pick_string("v"));
+    }
+    original.events.push_back(std::move(e));
+  }
+  auto num_counters = rng.below(4);
+  for (std::uint64_t i = 0; i < num_counters; ++i) {
+    original.counters["ctr" + std::to_string(i)] =
+        static_cast<long long>(rng.below(2000000)) - 1000000;
+  }
+  auto num_gauges = rng.below(3);
+  for (std::uint64_t i = 0; i < num_gauges; ++i) {
+    original.gauges["g" + std::to_string(i)] =
+        static_cast<double>(rng.below(10000)) * 0.5;
+  }
+  auto num_meta = rng.below(4);
+  for (std::uint64_t i = 0; i < num_meta; ++i) {
+    original.metadata["m" + std::to_string(i)] = pick_string("meta");
+  }
+
+  std::string json = original.to_chrome_json();
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must stay single-line";
+  obs::Trace parsed;
+  ASSERT_NO_THROW(parsed = obs::Trace::from_chrome_json(
+                      std::string_view{json}))
+      << json;
+
+  ASSERT_EQ(parsed.events.size(), original.events.size());
+  for (std::size_t i = 0; i < original.events.size(); ++i) {
+    const auto& a = original.events[i];
+    const auto& b = parsed.events[i];
+    EXPECT_EQ(a.name, b.name) << json;
+    EXPECT_EQ(a.category, b.category);
+    EXPECT_EQ(static_cast<int>(a.phase), static_cast<int>(b.phase));
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.tid, b.tid);
+    EXPECT_EQ(a.modeled, b.modeled);
+    EXPECT_DOUBLE_EQ(a.ts_us, b.ts_us);
+    EXPECT_DOUBLE_EQ(a.dur_us, b.dur_us);
+    EXPECT_EQ(a.args, b.args) << a.name;
+  }
+  EXPECT_EQ(parsed.counters, original.counters);
+  EXPECT_EQ(parsed.gauges, original.gauges);
+  EXPECT_EQ(parsed.metadata, original.metadata);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceJsonFuzzTest, ::testing::Range(1, 25));
