@@ -1,16 +1,27 @@
 // Concretizer benchmarks: the cost of turning abstract specs into
-// concrete build DAGs on the cts1 scope (Figure 4 externals), and how
-// environment unification scales with the number of root specs.
+// concrete build DAGs on the cts1 scope (Figure 4 externals), how
+// environment unification scales with the number of root specs, and the
+// memoized parallel concretize_all engine — warm-cache throughput on a
+// repeated-roots experiment matrix vs the pre-cache serial path, and
+// thread-pool fan-out on independent roots.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "src/concretizer/concretize_cache.hpp"
 #include "src/concretizer/concretizer.hpp"
 #include "src/env/environment.hpp"
 #include "src/pkg/repo.hpp"
+#include "src/spec/spec.hpp"
 #include "src/system/system.hpp"
 
 namespace {
 
+using benchpark::concretizer::ConcretizationCache;
+using benchpark::concretizer::ConcretizeRequest;
 using benchpark::concretizer::Concretizer;
+using benchpark::spec::Spec;
 namespace pkg = benchpark::pkg;
 
 Concretizer make_cts1_concretizer() {
@@ -18,10 +29,35 @@ Concretizer make_cts1_concretizer() {
   return Concretizer(pkg::default_repo_stack(), cts1.config);
 }
 
+/// One root, fresh context, no memo cache: the pre-request-API cost.
+Spec concretize_uncached(const Concretizer& c, const std::string& text) {
+  ConcretizeRequest request;
+  request.roots = {Spec::parse(text)};
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(c.concretize_all(request).specs.front());
+}
+
+/// A repeated-roots experiment matrix: every unique root appears
+/// `repeats` times, the way a scaling study re-uses one software stack
+/// across matrix cells.
+std::vector<Spec> repeated_roots_matrix(int repeats) {
+  const char* unique[] = {"saxpy+openmp", "amg2023+caliper", "hypre",
+                          "stream", "zlib", "osu-micro-benchmarks", "openblas",
+                          "caliper"};
+  std::vector<Spec> roots;
+  roots.reserve(8u * static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    for (const char* u : unique) roots.push_back(Spec::parse(u));
+  }
+  return roots;
+}
+
 void BM_ConcretizeSaxpy(benchmark::State& state) {
   auto concretizer = make_cts1_concretizer();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(concretizer.concretize("saxpy+openmp"));
+    benchmark::DoNotOptimize(concretize_uncached(concretizer, "saxpy+openmp"));
   }
 }
 BENCHMARK(BM_ConcretizeSaxpy);
@@ -31,7 +67,8 @@ void BM_ConcretizeAmgFullStack(benchmark::State& state) {
   // cmake — the paper's Figure 2 spec.
   auto concretizer = make_cts1_concretizer();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(concretizer.concretize("amg2023+caliper"));
+    benchmark::DoNotOptimize(
+        concretize_uncached(concretizer, "amg2023+caliper"));
   }
 }
 BENCHMARK(BM_ConcretizeAmgFullStack);
@@ -39,7 +76,8 @@ BENCHMARK(BM_ConcretizeAmgFullStack);
 void BM_ConcretizeWithUserConstraints(benchmark::State& state) {
   auto concretizer = make_cts1_concretizer();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(concretizer.concretize(
+    benchmark::DoNotOptimize(concretize_uncached(
+        concretizer,
         "amg2023@1.1+caliper%gcc@12.1.1 target=broadwell ^hypre@2.28.0"));
   }
 }
@@ -63,6 +101,110 @@ void BM_EnvironmentUnifyScaling(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EnvironmentUnifyScaling)->DenseRange(1, 8, 1)->Complexity();
+
+// ---------------------------------------------------------------------------
+// The memoized parallel engine on a repeated-roots matrix (8 unique
+// roots x `range(0)` repetitions). "MatrixSerialUncached" is the pre-PR
+// baseline: every cell re-resolves from scratch on one thread. The CI
+// bench job asserts warm-cache throughput >= 3x this baseline.
+
+void BM_MatrixSerialUncached(benchmark::State& state) {
+  auto concretizer = make_cts1_concretizer();
+  auto roots = repeated_roots_matrix(static_cast<int>(state.range(0)));
+  ConcretizeRequest request;
+  request.roots = roots;
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concretizer.concretize_all(request));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(roots.size()));
+}
+BENCHMARK(BM_MatrixSerialUncached)->Arg(4)->Arg(16);
+
+void BM_MatrixWarmCache(benchmark::State& state) {
+  auto concretizer = make_cts1_concretizer();
+  auto roots = repeated_roots_matrix(static_cast<int>(state.range(0)));
+  ConcretizeRequest request;
+  request.roots = roots;
+  request.unify = false;
+  request.use_cache = true;
+  request.threads = 1;
+  ConcretizationCache::global().clear();
+  (void)concretizer.concretize_all(request);  // prime the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concretizer.concretize_all(request));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(roots.size()));
+}
+BENCHMARK(BM_MatrixWarmCache)->Arg(4)->Arg(16);
+
+void BM_MatrixColdCache(benchmark::State& state) {
+  // First-touch cost including canonicalization, key construction, and
+  // insert traffic: what priming the cache actually costs.
+  auto concretizer = make_cts1_concretizer();
+  auto roots = repeated_roots_matrix(static_cast<int>(state.range(0)));
+  ConcretizeRequest request;
+  request.roots = roots;
+  request.unify = false;
+  request.use_cache = true;
+  request.threads = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ConcretizationCache::global().clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(concretizer.concretize_all(request));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(roots.size()));
+}
+BENCHMARK(BM_MatrixColdCache)->Arg(4)->Arg(16);
+
+void BM_ConcretizeAllParallel(benchmark::State& state) {
+  // Pure fan-out speedup (cache off): independent roots across the pool.
+  auto concretizer = make_cts1_concretizer();
+  auto roots = repeated_roots_matrix(4);
+  ConcretizeRequest request;
+  request.roots = roots;
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concretizer.concretize_all(request));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(roots.size()));
+}
+BENCHMARK(BM_ConcretizeAllParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ConcretizeAllUnifyComponents(benchmark::State& state) {
+  // unify:true batches resolve per connected component; disjoint stacks
+  // (amg2023 closure vs zlib vs openblas) run concurrently.
+  auto concretizer = make_cts1_concretizer();
+  ConcretizeRequest request;
+  request.roots = {Spec::parse("amg2023+caliper"), Spec::parse("saxpy"),
+                   Spec::parse("zlib"), Spec::parse("openblas"),
+                   Spec::parse("osu-micro-benchmarks"), Spec::parse("stream")};
+  request.unify = true;
+  request.use_cache = false;
+  request.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concretizer.concretize_all(request));
+  }
+}
+BENCHMARK(BM_ConcretizeAllUnifyComponents)->Arg(1)->Arg(4);
+
+void BM_CanonicalSpecHash(benchmark::State& state) {
+  auto spec = Spec::parse(
+      "amg2023@1.1+caliper%gcc@12.1.1 target=broadwell ^hypre@2.28.0 ^zlib");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(benchpark::concretizer::canonical_spec_hash(spec));
+  }
+}
+BENCHMARK(BM_CanonicalSpecHash);
 
 void BM_LockfileEmit(benchmark::State& state) {
   auto concretizer = make_cts1_concretizer();

@@ -1,0 +1,172 @@
+#include "src/concretizer/concretize_cache.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/obs/trace.hpp"
+#include "src/support/hash.hpp"
+
+namespace benchpark::concretizer {
+
+// ---------------------------------------------------------- canonical text
+
+namespace {
+
+std::string canonical_no_deps(const spec::Spec& s) {
+  // Mirrors Spec::str_no_deps() (variants iterate the name-sorted map),
+  // plus the external prefix, which str_no_deps omits but which changes
+  // what the spec resolves to.
+  std::string out = s.name();
+  if (!s.versions().is_any()) out += "@" + s.versions().str();
+  for (const auto& [vname, vvalue] : s.variants()) {
+    if (vvalue.kind() == spec::VariantValue::Kind::boolean) {
+      out += (vvalue.as_bool() ? "+" : "~") + vname;
+    } else {
+      out += " " + vname + "=" + vvalue.value_str();
+    }
+  }
+  if (s.compiler()) out += "%" + s.compiler()->str();
+  if (!s.target().empty()) out += " target=" + s.target();
+  if (s.is_external()) out += " external=" + s.external_prefix();
+  return out;
+}
+
+}  // namespace
+
+std::string canonical_spec_text(const spec::Spec& abstract) {
+  std::string out = canonical_no_deps(abstract);
+  std::vector<std::string> deps;
+  deps.reserve(abstract.dependencies().size());
+  for (const auto& d : abstract.dependencies()) {
+    // Recursive: programmatically built constraints may nest deeper than
+    // the one-level ^dep grammar the parser produces.
+    deps.push_back(canonical_spec_text(d));
+  }
+  std::sort(deps.begin(), deps.end());
+  for (const auto& d : deps) out += " ^{" + d + "}";
+  return out;
+}
+
+std::string canonical_spec_hash(const spec::Spec& abstract) {
+  return support::hash_base32(canonical_spec_text(abstract));
+}
+
+// ------------------------------------------------------------------- cache
+
+ConcretizationCache& ConcretizationCache::global() {
+  static ConcretizationCache instance;
+  return instance;
+}
+
+ConcretizationCache::Shard& ConcretizationCache::shard_for(
+    std::string_view key) const {
+  return shards_[support::fnv1a(key) % kShards];
+}
+
+ConcretizationCache::SharedSpec ConcretizationCache::lookup(
+    std::string_view key) {
+  auto& collector = obs::TraceCollector::global();
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(std::string(key));
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      collector.counter_add("concretizer.cache.hits");
+      return it->second.spec;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  collector.counter_add("concretizer.cache.misses");
+  return nullptr;
+}
+
+ConcretizationCache::SharedSpec ConcretizationCache::insert(
+    const std::string& key, spec::Spec concrete) {
+  auto shared = std::make_shared<const spec::Spec>(std::move(concrete));
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry& entry = shard.entries[key];
+    if (!entry.spec) size_.fetch_add(1, std::memory_order_relaxed);
+    entry.spec = shared;
+    entry.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceCollector::global().counter_add("concretizer.cache.inserts");
+  if (capacity_.load(std::memory_order_relaxed) != 0) evict_to_capacity();
+  return shared;
+}
+
+bool ConcretizationCache::invalidate(std::string_view key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(std::string(key));
+  if (it == shard.entries.end()) return false;
+  shard.entries.erase(it);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  obs::TraceCollector::global().counter_add(
+      "concretizer.cache.invalidations");
+  return true;
+}
+
+void ConcretizationCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+  size_.store(0, std::memory_order_relaxed);
+}
+
+void ConcretizationCache::set_capacity(std::size_t max_entries) {
+  capacity_.store(max_entries, std::memory_order_relaxed);
+  if (max_entries != 0) evict_to_capacity();
+}
+
+void ConcretizationCache::evict_to_capacity() {
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  const std::size_t capacity = capacity_.load(std::memory_order_relaxed);
+  if (capacity == 0) return;
+  while (size_.load(std::memory_order_relaxed) > capacity) {
+    // Find the globally oldest entry (smallest sequence) across shards.
+    Shard* victim_shard = nullptr;
+    std::string victim_key;
+    std::uint64_t victim_seq = UINT64_MAX;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [key, entry] : shard.entries) {
+        if (entry.sequence < victim_seq) {
+          victim_seq = entry.sequence;
+          victim_key = key;
+          victim_shard = &shard;
+        }
+      }
+    }
+    if (!victim_shard) return;
+    std::lock_guard<std::mutex> lock(victim_shard->mu);
+    // Re-check: the entry may have been refreshed or dropped since the
+    // scan; erase only the exact (key, sequence) pair we chose.
+    auto it = victim_shard->entries.find(victim_key);
+    if (it == victim_shard->entries.end() ||
+        it->second.sequence != victim_seq) {
+      continue;
+    }
+    victim_shard->entries.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceCollector::global().counter_add("concretizer.cache.evictions");
+  }
+}
+
+ConcretizeCacheStats ConcretizationCache::stats() const {
+  ConcretizeCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace benchpark::concretizer

@@ -1,0 +1,133 @@
+// Process-wide memo table for concretization results.
+//
+// Concretization is the dominant cost of a large build farm: every
+// experiment-matrix cell and every environment root re-resolves the same
+// dependency closures. This cache makes repeated roots resolve exactly
+// once per process. Entries are keyed by
+//
+//   (canonical abstract-spec hash, config fingerprint, repo-stack
+//    fingerprint [, unify component])
+//
+// and hold *shared immutable* concrete specs (shared_ptr<const Spec>),
+// so every consumer of a warm entry aliases one resolution. The key is
+// built by Concretizer::concretize_all; this module owns the canonical
+// spec rendering (constraint-order independent) and the sharded,
+// thread-safe table with hit/miss/evict counters.
+//
+// Invalidation: the config and repo-stack fingerprints in the key make
+// stale entries unreachable after any scope or recipe change — there is
+// nothing to flush, the old keys simply stop being asked for. Explicit
+// invalidate()/clear() exist for the chaos path ("concretizer.resolve"
+// fault site): a transient fault treats the entry as poisoned, drops it,
+// and re-resolves.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/spec/spec.hpp"
+
+namespace benchpark::concretizer {
+
+/// Canonical rendering of an abstract spec: identical constraint sets
+/// produce identical text regardless of the order constraints were
+/// written ("amg2023 ^hypre ^mvapich2" == "amg2023 ^mvapich2 ^hypre");
+/// any semantic difference changes it. Variants are name-sorted (map
+/// order), dependencies are canonicalized recursively and sorted.
+[[nodiscard]] std::string canonical_spec_text(const spec::Spec& abstract);
+
+/// Stable base32 hash of canonical_spec_text (the cache-key component).
+[[nodiscard]] std::string canonical_spec_hash(const spec::Spec& abstract);
+
+/// Cumulative counters; snapshot by value via ConcretizationCache::stats()
+/// (same pattern as buildcache::CacheStats / the trace collector).
+struct ConcretizeCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t inserts = 0;
+  std::size_t evictions = 0;      // dropped to stay under capacity
+  std::size_t invalidations = 0;  // dropped explicitly (chaos poisoning)
+
+  [[nodiscard]] std::size_t lookups() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+};
+
+class ConcretizationCache {
+public:
+  using SharedSpec = std::shared_ptr<const spec::Spec>;
+
+  ConcretizationCache() = default;
+  ConcretizationCache(const ConcretizationCache&) = delete;
+  ConcretizationCache& operator=(const ConcretizationCache&) = delete;
+
+  /// The process-wide instance every cache-enabled Concretizer consults.
+  static ConcretizationCache& global();
+
+  /// Thread-safe lookup; counts a hit or a miss (and mirrors both into
+  /// the trace collector's "concretizer.cache.*" counters when tracing).
+  [[nodiscard]] SharedSpec lookup(std::string_view key);
+
+  /// Publish a resolution. Overwrites any same-key entry (last writer
+  /// wins — concurrent duplicate misses resolve identical specs, so the
+  /// race is benign). Returns the shared entry.
+  SharedSpec insert(const std::string& key, spec::Spec concrete);
+
+  /// Drop one entry (chaos poisoning); false when absent.
+  bool invalidate(std::string_view key);
+  /// Drop everything (counters are kept; tests use clear() for isolation).
+  void clear();
+
+  /// Capacity in entries; 0 (default) is unbounded. Over capacity the
+  /// oldest-inserted entries are evicted first (rolling, like the binary
+  /// cache's oldest-sequence policy).
+  void set_capacity(std::size_t max_entries);
+  [[nodiscard]] std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] ConcretizeCacheStats stats() const;
+
+private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Entry {
+    SharedSpec spec;
+    std::uint64_t sequence = 0;  // insert order, process-wide
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key) const;
+  /// Evict oldest-sequence entries until size() fits capacity(). Lock
+  /// order is evict_mu_ -> shard.mu, never the reverse.
+  void evict_to_capacity();
+
+  mutable std::array<Shard, kShards> shards_;
+  std::mutex evict_mu_;
+  std::atomic<std::size_t> capacity_{0};
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> next_sequence_{1};
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> inserts_{0};
+  std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> invalidations_{0};
+};
+
+}  // namespace benchpark::concretizer

@@ -1,8 +1,16 @@
 #include "src/concretizer/concretizer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
 
+#include "src/concretizer/concretize_cache.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/parallel.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::concretizer {
@@ -12,42 +20,317 @@ using spec::VariantValue;
 using spec::Version;
 using spec::VersionConstraint;
 
-Concretizer::Concretizer(pkg::RepoStack repos, Config config)
-    : repos_(std::move(repos)), config_(std::move(config)) {}
+namespace {
 
-const Spec* Concretizer::Context::find(std::string_view name) const {
+/// Insert the full closure of a concrete spec into a context (first
+/// entry wins — closures merged from cached roots are identical to what
+/// a fresh resolution would have inserted, so collisions are benign).
+void merge_closure(const Spec& s,
+                   std::map<std::string, Spec, std::less<>>& resolved) {
+  resolved.emplace(s.name(), s);
+  for (const auto& d : s.dependencies()) merge_closure(d, resolved);
+}
+
+}  // namespace
+
+Concretizer::Concretizer(pkg::RepoStack repos, Config config)
+    : repos_(std::move(repos)), config_(std::move(config)) {
+  support::Hasher cfg;
+  cfg.update(config_.fingerprint());
+  support::Hasher rep;
+  rep.update(repos_.fingerprint());
+  scope_fingerprint_ = cfg.hex() + "/" + rep.hex();
+}
+
+const Spec* Context::find(std::string_view name) const {
   auto it = resolved_.find(name);
   return it == resolved_.end() ? nullptr : &it->second;
 }
 
-Spec Concretizer::concretize(const Spec& abstract) const {
-  Context ctx;
-  return concretize(abstract, ctx);
-}
-
-Spec Concretizer::concretize(const std::string& abstract_text) const {
-  return concretize(Spec::parse(abstract_text));
-}
-
-Spec Concretizer::concretize(const Spec& abstract, Context& ctx) const {
-  std::vector<std::string> stack;
-  return resolve(abstract, ctx, stack);
-}
-
-std::vector<Spec> Concretizer::concretize_together(
-    const std::vector<Spec>& roots, bool unify) const {
-  std::vector<Spec> out;
-  out.reserve(roots.size());
-  Context shared;
-  for (const auto& root : roots) {
-    if (unify) {
-      out.push_back(concretize(root, shared));
-    } else {
-      out.push_back(concretize(root));
-    }
-  }
+ConcretizeStats Concretizer::stats() const {
+  ConcretizeStats out;
+  out.specs_resolved = stats_.specs_resolved.load(std::memory_order_relaxed);
+  out.externals_used = stats_.externals_used.load(std::memory_order_relaxed);
+  out.virtuals_resolved =
+      stats_.virtuals_resolved.load(std::memory_order_relaxed);
+  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
   return out;
 }
+
+// --------------------------------------------------- deprecated wrappers
+//
+// The legacy overloads bypass the memo cache (use_cache=false) so their
+// behavior — including per-call stats accumulation — is exactly what it
+// was before the request API existed.
+
+spec::Spec Concretizer::concretize(const Spec& abstract) const {
+  ConcretizeRequest request;
+  request.roots = {abstract};
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(concretize_all(request).specs.front());
+}
+
+spec::Spec Concretizer::concretize(const std::string& abstract_text) const {
+  ConcretizeRequest request;
+  request.roots = {Spec::parse(abstract_text)};
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(concretize_all(request).specs.front());
+}
+
+spec::Spec Concretizer::concretize(const Spec& abstract, Context& ctx) const {
+  ConcretizeRequest request;
+  request.roots = {abstract};
+  request.unify = true;
+  request.context = &ctx;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(concretize_all(request).specs.front());
+}
+
+std::vector<spec::Spec> Concretizer::concretize_together(
+    const std::vector<Spec>& roots, bool unify) const {
+  ConcretizeRequest request;
+  request.roots = roots;
+  request.unify = unify;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(concretize_all(request).specs);
+}
+
+// ------------------------------------------------------- batched entry
+
+struct Concretizer::BatchCounters {
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> misses{0};
+};
+
+spec::Spec Concretizer::resolve_root(const Spec& root, Context& ctx,
+                                     const std::string& cache_key,
+                                     bool merge_hits,
+                                     BatchCounters& batch) const {
+  auto& collector = obs::TraceCollector::global();
+  auto& cache = ConcretizationCache::global();
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      // Chaos hook: a transient fault here models a poisoned cache line /
+      // flaky resolver — the entry is invalidated and resolution retried;
+      // a permanent fault propagates to the caller.
+      double latency = support::fault_hit(
+          "concretizer.resolve",
+          cache_key.empty() ? root.name() : cache_key,
+          static_cast<std::uint64_t>(attempt));
+      if (latency > 0) {
+        collector.emit_span("concretizer.fault_latency", "concretizer",
+                            latency, {{"root", root.name()}});
+      }
+
+      obs::ScopedSpan span(collector, "resolve:" + root.name(),
+                           "concretizer");
+      if (!cache_key.empty()) {
+        if (auto cached = cache.lookup(cache_key)) {
+          batch.hits.fetch_add(1, std::memory_order_relaxed);
+          if (span.active()) span.annotate("cache", "hit");
+          if (merge_hits) merge_closure(*cached, ctx.resolved_);
+          return *cached;
+        }
+        batch.misses.fetch_add(1, std::memory_order_relaxed);
+        if (span.active()) span.annotate("cache", "miss");
+      }
+      std::vector<std::string> stack;
+      Spec concrete = resolve(root, ctx, stack);
+      if (!cache_key.empty()) cache.insert(cache_key, concrete);
+      return concrete;
+    } catch (const TransientError&) {
+      if (attempt >= kMaxAttempts) throw;
+      if (!cache_key.empty()) cache.invalidate(cache_key);
+    }
+  }
+}
+
+void Concretizer::static_closure(const std::string& name,
+                                 std::map<std::string, bool>& visited) const {
+  if (!visited.emplace(name, true).second) return;
+  if (const auto* recipe = repos_.find(name)) {
+    for (const auto& d : recipe->dependencies()) {
+      static_closure(d.dep.name(), visited);
+    }
+    return;
+  }
+  if (repos_.is_virtual(name)) {
+    // Any provider could be chosen, so a virtual reaches all of them —
+    // plus whatever packages.yaml might steer the choice toward.
+    for (const auto* p : repos_.providers_of(name)) {
+      static_closure(p->name(), visited);
+    }
+    if (const auto* vsettings = config_.settings_for(name)) {
+      for (const auto& ext : vsettings->externals) {
+        static_closure(ext.spec.name(), visited);
+      }
+      for (const auto& preferred : vsettings->preferred_providers) {
+        static_closure(preferred, visited);
+      }
+    }
+  }
+  // Unknown names stay as themselves; resolution will surface the error.
+}
+
+ConcretizeResult Concretizer::concretize_all(
+    const ConcretizeRequest& request) const {
+  auto& collector = obs::TraceCollector::global();
+  obs::ScopedSpan span(collector, "concretize_all", "concretizer");
+  if (span.active()) {
+    span.annotate("roots", std::to_string(request.roots.size()));
+    span.annotate("unify", request.unify ? "true" : "false");
+  }
+
+  const std::size_t n = request.roots.size();
+  ConcretizeResult result;
+  result.specs.resize(n);
+  BatchCounters batch;
+
+  // A pre-seeded context makes results depend on state outside the cache
+  // key, so such requests are never cached.
+  const bool seeded = request.context && request.context->size() > 0;
+  const bool cacheable = request.use_cache && !seeded;
+  const int threads = request.threads > 0
+                          ? request.threads
+                          : support::ThreadPool::default_threads();
+
+  if (n == 0) {
+    result.stats = stats();
+    return result;
+  }
+
+  if (!request.unify) {
+    // unify:false — every root resolves in its own context; roots are
+    // fully independent, so they fan straight out across the pool.
+    std::mutex ctx_mu;
+    support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        Context ctx;
+        if (request.context) {
+          std::lock_guard<std::mutex> lock(ctx_mu);
+          ctx = *request.context;
+        }
+        std::string key;
+        if (cacheable) {
+          key = scope_fingerprint_ + "|u0|" +
+                canonical_spec_hash(request.roots[i]);
+        }
+        result.specs[i] = resolve_root(request.roots[i], ctx, key,
+                                       /*merge_hits=*/false, batch);
+        if (request.context) {
+          std::lock_guard<std::mutex> lock(ctx_mu);
+          merge_closure(result.specs[i], request.context->resolved_);
+        }
+      }
+    });
+  } else {
+    // unify:true — partition roots into connected components of their
+    // static dependency closures (two roots that could ever resolve the
+    // same package name land in one component, virtuals reaching every
+    // provider). Components cannot interact, so they run concurrently;
+    // within a component, roots resolve in manifest order against one
+    // context, preserving exact sequential unify semantics. Each
+    // component merges its closure into the shared request context under
+    // a lock.
+    std::vector<std::size_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](std::size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    auto unite = [&](std::size_t a, std::size_t b) {
+      parent[find(a)] = find(b);
+    };
+    {
+      std::map<std::string, std::size_t> owner;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::map<std::string, bool> closure;
+        static_closure(request.roots[i].name(), closure);
+        for (const auto& dep : request.roots[i].dependencies()) {
+          static_closure(dep.name(), closure);
+        }
+        for (const auto& [name, _] : closure) {
+          auto [it, inserted] = owner.emplace(name, i);
+          if (!inserted) unite(i, it->second);
+        }
+      }
+    }
+    // Components in first-member order; members keep manifest order.
+    std::vector<std::vector<std::size_t>> components;
+    {
+      std::map<std::size_t, std::size_t> component_of;  // repr -> index
+      for (std::size_t i = 0; i < n; ++i) {
+        auto [it, inserted] =
+            component_of.emplace(find(i), components.size());
+        if (inserted) components.emplace_back();
+        components[it->second].push_back(i);
+      }
+    }
+
+    std::mutex ctx_mu;
+    support::parallel_for(
+        components.size(), threads, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t c = lo; c < hi; ++c) {
+            const auto& members = components[c];
+            Context ctx;
+            if (request.context) {
+              std::lock_guard<std::mutex> lock(ctx_mu);
+              ctx = *request.context;
+            }
+            // The component key binds each member's entry to the ordered
+            // root list it unified with: the same roots in the same order
+            // hit; any change to the component misses.
+            std::string component_hash;
+            if (cacheable) {
+              support::Hasher h;
+              for (std::size_t i : members) {
+                h.update(canonical_spec_text(request.roots[i]));
+              }
+              component_hash = h.base32();
+            }
+            for (std::size_t pos = 0; pos < members.size(); ++pos) {
+              const std::size_t i = members[pos];
+              std::string key;
+              if (cacheable) {
+                key = scope_fingerprint_ + "|u1|" + component_hash + "#" +
+                      std::to_string(pos);
+              }
+              result.specs[i] = resolve_root(request.roots[i], ctx, key,
+                                             /*merge_hits=*/true, batch);
+            }
+            if (request.context) {
+              std::lock_guard<std::mutex> lock(ctx_mu);
+              for (std::size_t i : members) {
+                merge_closure(result.specs[i], request.context->resolved_);
+              }
+            }
+          }
+        });
+  }
+
+  const std::size_t hits = batch.hits.load(std::memory_order_relaxed);
+  const std::size_t misses = batch.misses.load(std::memory_order_relaxed);
+  stats_.cache_hits.fetch_add(hits, std::memory_order_relaxed);
+  stats_.cache_misses.fetch_add(misses, std::memory_order_relaxed);
+  result.cache_hits = hits;
+  result.cache_misses = misses;
+  result.stats = stats();
+  if (span.active()) {
+    span.annotate("cache_hits", std::to_string(hits));
+    span.annotate("cache_misses", std::to_string(misses));
+  }
+  return result;
+}
+
+// ----------------------------------------------------------- resolution
 
 std::optional<Spec> Concretizer::try_external(const Spec& abstract) const {
   const auto* settings = config_.settings_for(abstract.name());
@@ -71,7 +354,7 @@ std::optional<Spec> Concretizer::try_external(const Spec& abstract) const {
     }
     concrete.set_external_prefix(ext.prefix);
     concrete.mark_concrete();
-    ++stats_.externals_used;
+    stats_.externals_used.fetch_add(1, std::memory_order_relaxed);
     return concrete;
   }
   return std::nullopt;
@@ -80,7 +363,7 @@ std::optional<Spec> Concretizer::try_external(const Spec& abstract) const {
 Spec Concretizer::resolve_virtual(const Spec& virtual_spec,
                                   Context& ctx) const {
   const std::string& vname = virtual_spec.name();
-  ++stats_.virtuals_resolved;
+  stats_.virtuals_resolved.fetch_add(1, std::memory_order_relaxed);
 
   // A provider already chosen in this context wins (unify).
   auto providers = repos_.providers_of(vname);
@@ -124,8 +407,17 @@ Spec Concretizer::resolve_virtual(const Spec& virtual_spec,
     if (buildable || has_external) candidates.push_back(p);
   }
   if (candidates.empty()) {
-    throw ConcretizationError("no usable provider for virtual '" + vname +
-                              "'");
+    std::string considered;
+    for (const auto* p : providers) {
+      if (!considered.empty()) considered += ", ";
+      considered += p->name();
+    }
+    throw NoProviderError(
+        "no usable provider for virtual '" + vname + "'" +
+        (considered.empty()
+             ? " (no package provides it)"
+             : " (providers " + considered +
+                   " are all unbuildable with no external)"));
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const pkg::PackageRecipe* a, const pkg::PackageRecipe* b) {
@@ -171,7 +463,7 @@ Spec Concretizer::resolve(const Spec& abstract, Context& ctx,
   //    constraints.
   if (const Spec* existing = ctx.find(goal.name())) {
     if (!existing->satisfies(goal)) {
-      throw ConcretizationError(
+      throw UnifyConflictError(
           "unify conflict for '" + goal.name() + "': existing '" +
           existing->str() + "' does not satisfy '" + goal.str() + "'");
     }
@@ -180,8 +472,9 @@ Spec Concretizer::resolve(const Spec& abstract, Context& ctx,
 
   // 4. Cycle guard.
   if (std::find(stack.begin(), stack.end(), goal.name()) != stack.end()) {
-    throw ConcretizationError("dependency cycle through '" + goal.name() +
-                              "'");
+    std::string chain;
+    for (const auto& name : stack) chain += name + " -> ";
+    throw DependencyCycleError("dependency cycle: " + chain + goal.name());
   }
   stack.push_back(goal.name());
   struct PopGuard {
@@ -192,7 +485,7 @@ Spec Concretizer::resolve(const Spec& abstract, Context& ctx,
   // 5. Externals short-circuit the whole subtree.
   if (auto external = try_external(goal)) {
     ctx.resolved_.insert_or_assign(goal.name(), *external);
-    ++stats_.specs_resolved;
+    stats_.specs_resolved.fetch_add(1, std::memory_order_relaxed);
     return *external;
   }
 
@@ -223,8 +516,14 @@ Spec Concretizer::resolve(const Spec& abstract, Context& ctx,
   }
   if (!chosen_version) chosen_version = recipe.best_version(version_goal);
   if (!chosen_version) {
-    throw ConcretizationError("no known version of '" + goal.name() +
-                              "' satisfies '@" + version_goal.str() + "'");
+    std::string known;
+    for (const auto& v : recipe.versions()) {
+      if (!known.empty()) known += ", ";
+      known += v.version.str();
+    }
+    throw UnsatisfiableVersionError(
+        "no known version of '" + goal.name() + "' satisfies '@" +
+        version_goal.str() + "' (known versions: " + known + ")");
   }
   concrete.set_versions(VersionConstraint::exactly(*chosen_version));
 
@@ -372,7 +671,7 @@ Spec Concretizer::resolve(const Spec& abstract, Context& ctx,
 
   concrete.mark_concrete();
   ctx.resolved_.insert_or_assign(concrete.name(), concrete);
-  ++stats_.specs_resolved;
+  stats_.specs_resolved.fetch_add(1, std::memory_order_relaxed);
   return concrete;
 }
 

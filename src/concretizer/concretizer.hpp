@@ -16,11 +16,23 @@
 //                    dependency declarations
 //
 // Unification ("concretizer: unify: true" in Figure 3): within one
-// Concretizer::Context, a package name resolves to exactly one concrete
-// spec; conflicting requirements are an error, matching Spack.
+// Context, a package name resolves to exactly one concrete spec;
+// conflicting requirements are a UnifyConflictError, matching Spack.
+//
+// The one public entry point is concretize_all(ConcretizeRequest):
+// batched, optionally cached (process-wide ConcretizationCache), and
+// parallel on the shared ThreadPool — unify:false roots are fully
+// independent; unify:true roots are grouped into connected components of
+// their static dependency closures (components cannot interact, so they
+// run concurrently while each component resolves its roots in manifest
+// order against one context). The four legacy concretize* overloads
+// survive as thin deprecated wrappers.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,47 +42,103 @@
 
 namespace benchpark::concretizer {
 
-/// Statistics for introspection and benchmarking.
+/// Statistics for introspection and benchmarking. Snapshot by value via
+/// Concretizer::stats(); the live counters are atomics so parallel
+/// concretize_all reports exact totals.
 struct ConcretizeStats {
   std::size_t specs_resolved = 0;
   std::size_t externals_used = 0;
   std::size_t virtuals_resolved = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
+/// A unification context: one concrete spec per package name. Reuse the
+/// same context across requests to extend unify:true semantics over
+/// several calls. (Formerly Concretizer::Context; the alias remains.)
+class Context {
+public:
+  [[nodiscard]] const spec::Spec* find(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return resolved_.size(); }
+
+private:
+  friend class Concretizer;
+  std::map<std::string, spec::Spec, std::less<>> resolved_;
+};
+
+/// The unified request: every knob of a concretization batch in one
+/// place. Aggregate-initializable: {.roots = ..., .unify = false}.
+struct ConcretizeRequest {
+  /// Abstract roots, in manifest order (result order matches).
+  std::vector<spec::Spec> roots;
+  /// unify:true — one spec per package name across all roots.
+  bool unify = true;
+  /// Optional shared context: pre-seeded resolutions constrain this
+  /// request (unify only), and the closure of every resolved root is
+  /// merged back in under a lock. Null for self-contained requests.
+  Context* context = nullptr;
+  /// Consult/populate the process-wide ConcretizationCache. Requests
+  /// with a pre-seeded context are never cached (the entries would not
+  /// be a pure function of the key).
+  bool use_cache = true;
+  /// Fan-out width: 0 = ThreadPool::default_threads(), 1 = serial.
+  int threads = 0;
+};
+
+/// What a batch produced: concrete specs (index-aligned with
+/// request.roots), a stats snapshot, and this call's cache traffic.
+struct ConcretizeResult {
+  std::vector<spec::Spec> specs;
+  /// Snapshot of the concretizer's cumulative stats taken after the call.
+  ConcretizeStats stats;
+  /// Cache hits / misses attributable to this request alone.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 class Concretizer {
 public:
   Concretizer(pkg::RepoStack repos, Config config);
 
-  /// A unification context: one concrete spec per package name. Reuse the
-  /// same context across concretize() calls to get unify:true semantics.
-  class Context {
-  public:
-    [[nodiscard]] const spec::Spec* find(std::string_view name) const;
-    [[nodiscard]] std::size_t size() const { return resolved_.size(); }
+  /// Legacy nested-name compatibility (Concretizer::Context).
+  using Context = concretizer::Context;
 
-  private:
-    friend class Concretizer;
-    std::map<std::string, spec::Spec, std::less<>> resolved_;
-  };
+  /// The unified entry point: resolve every root of the request, through
+  /// the memo cache and the thread pool as requested. Throws the
+  /// ConcretizationError taxonomy (UnsatisfiableVersionError,
+  /// NoProviderError, UnifyConflictError, DependencyCycleError, ...).
+  ConcretizeResult concretize_all(const ConcretizeRequest& request) const;
 
-  /// Concretize one abstract spec in a fresh context.
-  [[nodiscard]] spec::Spec concretize(const spec::Spec& abstract) const;
-  [[nodiscard]] spec::Spec concretize(const std::string& abstract_text) const;
-
+  // -- deprecated pre-request API (thin wrappers over concretize_all) ------
+  [[deprecated("use concretize_all(ConcretizeRequest)")]] [[nodiscard]]
+  spec::Spec concretize(const spec::Spec& abstract) const;
+  [[deprecated("use concretize_all(ConcretizeRequest)")]] [[nodiscard]]
+  spec::Spec concretize(const std::string& abstract_text) const;
   /// Concretize within a shared context (unify semantics).
-  [[nodiscard]] spec::Spec concretize(const spec::Spec& abstract,
-                                      Context& ctx) const;
-
+  [[deprecated("use concretize_all(ConcretizeRequest)")]] [[nodiscard]]
+  spec::Spec concretize(const spec::Spec& abstract, Context& ctx) const;
   /// Concretize a list of roots with unify:true (shared context) or
   /// unify:false (independent contexts).
-  [[nodiscard]] std::vector<spec::Spec> concretize_together(
+  [[deprecated("use concretize_all(ConcretizeRequest)")]] [[nodiscard]]
+  std::vector<spec::Spec> concretize_together(
       const std::vector<spec::Spec>& roots, bool unify = true) const;
 
-  [[nodiscard]] const ConcretizeStats& stats() const { return stats_; }
+  /// By-value snapshot of the cumulative counters (thread-safe; the old
+  /// const-reference accessor raced with concurrent concretize calls).
+  [[nodiscard]] ConcretizeStats stats() const;
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const pkg::RepoStack& repos() const { return repos_; }
 
+  /// The cache-key prefix binding entries to this concretizer's scope:
+  /// "<config fingerprint>/<repo-stack fingerprint>" (hex). Exposed for
+  /// tests and cache introspection.
+  [[nodiscard]] const std::string& scope_fingerprint() const {
+    return scope_fingerprint_;
+  }
+
 private:
+  struct BatchCounters;  // per-request cache hit/miss tallies
+
   spec::Spec resolve(const spec::Spec& abstract, Context& ctx,
                      std::vector<std::string>& stack) const;
   /// Rewrite a virtual constraint to a concrete provider constraint.
@@ -79,9 +147,33 @@ private:
   /// Try to satisfy `abstract` with a configured external.
   std::optional<spec::Spec> try_external(const spec::Spec& abstract) const;
 
+  /// Resolve one root in `ctx` through the "concretizer.resolve" fault
+  /// site and (when `cache_key` is non-empty) the memo cache. When
+  /// `merge_hits` is set, a cache hit's closure is merged into `ctx` so
+  /// later roots in the same context unify against it; unify:false roots
+  /// discard their context, so they skip the merge.
+  spec::Spec resolve_root(const spec::Spec& root, Context& ctx,
+                          const std::string& cache_key, bool merge_hits,
+                          BatchCounters& batch) const;
+
+  /// Package names statically reachable from `name` (over-approximate:
+  /// all declared deps regardless of condition; a virtual reaches every
+  /// provider). Drives the unify:true component partition.
+  void static_closure(const std::string& name,
+                      std::map<std::string, bool>& visited) const;
+
   pkg::RepoStack repos_;
   Config config_;
-  mutable ConcretizeStats stats_;
+  std::string scope_fingerprint_;
+
+  struct AtomicStats {
+    std::atomic<std::size_t> specs_resolved{0};
+    std::atomic<std::size_t> externals_used{0};
+    std::atomic<std::size_t> virtuals_resolved{0};
+    std::atomic<std::size_t> cache_hits{0};
+    std::atomic<std::size_t> cache_misses{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace benchpark::concretizer

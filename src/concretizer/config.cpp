@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/support/error.hpp"
+#include "src/support/hash.hpp"
+#include "src/yaml/emitter.hpp"
 
 namespace benchpark::concretizer {
 
@@ -153,6 +155,19 @@ yaml::Node Config::compilers_yaml() const {
   }
   root["compilers"] = std::move(list);
   return root;
+}
+
+std::uint64_t Config::fingerprint() const {
+  // Hash the canonical YAML emission rather than walking the maps by
+  // hand: anything load_packages_yaml round-trips is covered, and two
+  // scopes that emit identical YAML (however they were built) share a
+  // fingerprint.
+  support::Hasher h;
+  h.update(yaml::emit(packages_yaml()));
+  h.update(yaml::emit(compilers_yaml()));
+  h.update(default_target_);
+  h.update(default_compiler_name_);
+  return h.digest();
 }
 
 }  // namespace benchpark::concretizer

@@ -9,6 +9,7 @@
 // can be layered (site scope over system scope over defaults).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -95,6 +96,12 @@ public:
   /// Emit this scope as packages.yaml / compilers.yaml trees.
   [[nodiscard]] yaml::Node packages_yaml() const;
   [[nodiscard]] yaml::Node compilers_yaml() const;
+
+  /// Stable digest of everything that can influence concretization:
+  /// the emitted packages.yaml / compilers.yaml trees plus the scope
+  /// defaults. Part of the concretization cache key, so two Concretizers
+  /// over equivalent scopes share entries and any scope edit misses.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
 private:
   std::map<std::string, PackageSettings> packages_;

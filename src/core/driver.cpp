@@ -306,8 +306,21 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
     obs::ScopedSpan step_span(collector, "workflow.workspace_setup",
                               "driver");
     ws.setup();
+    const auto& cz = ws.concretize_summary();
+    if (step_span.active()) {
+      step_span.annotate("concretize.roots", std::to_string(cz.roots));
+      step_span.annotate("concretize.cache_hits",
+                         std::to_string(cz.cache_hits));
+      step_span.annotate("concretize.cache_misses",
+                         std::to_string(cz.cache_misses));
+    }
   }
-  say(5, "ramble workspace setup");
+  say(5, "ramble workspace setup (concretized " +
+             std::to_string(ws.concretize_summary().roots) +
+             " roots, cache " +
+             std::to_string(ws.concretize_summary().cache_hits) + " hits / " +
+             std::to_string(ws.concretize_summary().cache_misses) +
+             " misses)");
   say(6, "Ramble used Spack to build " + id.benchmark + " (" +
              std::to_string(ws.install_report().from_source) +
              " built from source, " +

@@ -68,7 +68,13 @@ Node Environment::manifest_yaml() const {
 }
 
 void Environment::concretize(const concretizer::Concretizer& concretizer) {
-  concrete_specs_ = concretizer.concretize_together(user_specs_, unify_);
+  concretizer::ConcretizeRequest request;
+  request.roots = user_specs_;
+  request.unify = unify_;
+  auto result = concretizer.concretize_all(request);
+  concrete_specs_ = std::move(result.specs);
+  concretize_cache_hits_ = result.cache_hits;
+  concretize_cache_misses_ = result.cache_misses;
 }
 
 const Spec* Environment::concrete_for(std::string_view package_name) const {

@@ -7,6 +7,7 @@
 // is what makes Benchpark experiments functionally reproducible.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,8 +44,17 @@ public:
   [[nodiscard]] yaml::Node manifest_yaml() const;
 
   // -- concretization (spack concretize) ----------------------------------
+  /// Resolve the manifest through Concretizer::concretize_all (memo cache
+  /// on, roots fanned out on the shared pool).
   void concretize(const concretizer::Concretizer& concretizer);
   [[nodiscard]] bool concretized() const { return !concrete_specs_.empty(); }
+  /// Cache traffic of the most recent concretize() call.
+  [[nodiscard]] std::size_t concretize_cache_hits() const {
+    return concretize_cache_hits_;
+  }
+  [[nodiscard]] std::size_t concretize_cache_misses() const {
+    return concretize_cache_misses_;
+  }
   [[nodiscard]] const std::vector<spec::Spec>& concrete_specs() const {
     return concrete_specs_;
   }
@@ -67,6 +77,8 @@ private:
   std::vector<spec::Spec> concrete_specs_;
   bool unify_ = true;
   bool view_ = true;
+  std::size_t concretize_cache_hits_ = 0;
+  std::size_t concretize_cache_misses_ = 0;
 };
 
 /// Serialize one concrete spec (with dependency hashes) to a lockfile

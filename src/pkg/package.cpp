@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/error.hpp"
+#include "src/support/hash.hpp"
 
 namespace benchpark::pkg {
 
@@ -151,6 +152,36 @@ std::vector<std::string> PackageRecipe::build_args(
     if (s.variant_enabled(variant_name)) args.push_back(flag);
   }
   return args;
+}
+
+void PackageRecipe::fingerprint_into(support::Hasher& h) const {
+  h.update(name_);
+  h.update(build_system_name(build_system_));
+  for (const auto& v : versions_) {
+    h.update(v.version.str());
+    h.update(static_cast<std::uint64_t>((v.preferred ? 1u : 0u) |
+                                        (v.deprecated ? 2u : 0u)));
+  }
+  for (const auto& v : variants_) {
+    h.update(v.name);
+    h.update(v.default_value.value_str());
+    for (const auto& allowed : v.allowed_values) h.update(allowed);
+  }
+  for (const auto& d : dependencies_) {
+    h.update(d.dep.str());
+    h.update(d.when ? d.when->str() : "");
+    for (auto t : d.types) h.update(static_cast<std::uint64_t>(t));
+  }
+  for (const auto& c : conflicts_) {
+    h.update(c.conflict.str());
+    h.update(c.when ? c.when->str() : "");
+  }
+  for (const auto& p : provides_) h.update(p);
+  for (const auto& [variant_name, flag] : variant_flags_) {
+    h.update(variant_name);
+    h.update(flag);
+  }
+  h.update(std::to_string(build_cost_));
 }
 
 }  // namespace benchpark::pkg

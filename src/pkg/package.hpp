@@ -15,6 +15,10 @@
 
 #include "src/spec/spec.hpp"
 
+namespace benchpark::support {
+class Hasher;
+}
+
 namespace benchpark::pkg {
 
 enum class BuildSystem { cmake, makefile, autotools, bundle };
@@ -123,6 +127,12 @@ public:
       const spec::Spec& s) const;
 
   [[nodiscard]] double build_cost_seconds() const { return build_cost_; }
+
+  /// Feed every build-space declaration (versions, variants, deps,
+  /// conflicts, virtuals, flags) into `h`. Stable across runs; the
+  /// concretization cache derives its repo-stack fingerprint from this,
+  /// so any recipe change must perturb the digest.
+  void fingerprint_into(support::Hasher& h) const;
 
 private:
   std::string name_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/error.hpp"
+#include "src/support/hash.hpp"
 
 namespace benchpark::pkg {
 
@@ -40,6 +41,15 @@ std::vector<const PackageRecipe*> Repo::providers_of(
 
 bool Repo::is_virtual(std::string_view name) const {
   return !has(name) && !providers_of(name).empty();
+}
+
+std::uint64_t Repo::fingerprint() const {
+  support::Hasher h;
+  h.update(name_);
+  // packages_ is an ordered map, so iteration order — and hence the
+  // digest — is stable across runs regardless of insertion order.
+  for (const auto& [name, recipe] : packages_) recipe.fingerprint_into(h);
+  return h.digest();
 }
 
 void RepoStack::push_front(std::shared_ptr<const Repo> repo) {
@@ -99,6 +109,12 @@ std::vector<std::string> RepoStack::package_names() const {
   }
   std::sort(names.begin(), names.end());
   return names;
+}
+
+std::uint64_t RepoStack::fingerprint() const {
+  support::Hasher h;
+  for (const auto& repo : repos_) h.update(repo->fingerprint());
+  return h.digest();
 }
 
 // ------------------------------------------------------------- builtin repo

@@ -6,6 +6,7 @@
 // recipe can shadow or extend upstream without forking it.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,12 @@ public:
       std::string_view virtual_name) const;
   [[nodiscard]] bool is_virtual(std::string_view name) const;
 
+  /// Stable digest of every recipe in this repo. Any declaration change
+  /// (new version, flipped default, added dependency) changes it; the
+  /// concretization cache keys on it so stale entries cannot survive a
+  /// repo edit.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
 private:
   std::string name_;
   std::map<std::string, PackageRecipe, std::less<>> packages_;
@@ -56,6 +63,10 @@ public:
       std::string_view virtual_name) const;
   [[nodiscard]] std::vector<std::string> package_names() const;
   [[nodiscard]] std::size_t num_repos() const { return repos_.size(); }
+
+  /// Order-sensitive combination of the stacked repos' fingerprints
+  /// (overlay order changes which recipe shadows which).
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
 private:
   std::vector<std::shared_ptr<const Repo>> repos_;

@@ -212,6 +212,7 @@ void Workspace::setup_software() {
   concretizer::Concretizer concretizer(repos_, system_.config);
   environments_.clear();
   install_report_ = {};
+  concretize_summary_ = {};
   install::Installer installer(repos_, &install_tree_, cache_.get());
 
   for (const auto& env_def : config_.spack_environments) {
@@ -240,6 +241,10 @@ void Workspace::setup_software() {
       environment.add(std::move(spec));
     }
     environment.concretize(concretizer);
+    concretize_summary_.roots += environment.user_specs().size();
+    concretize_summary_.cache_hits += environment.concretize_cache_hits();
+    concretize_summary_.cache_misses +=
+        environment.concretize_cache_misses();
     auto report = environment.install_all(installer);
     install_report_.total_simulated_seconds +=
         report.total_simulated_seconds;

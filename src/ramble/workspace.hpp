@@ -71,6 +71,14 @@ struct WorkspaceConfig {
 };
 
 /// A fully generated experiment, ready for submission.
+/// Aggregate concretization traffic across every spack environment a
+/// setup_software() pass resolved (warm-cache runs show hits > 0).
+struct ConcretizeSummary {
+  std::size_t roots = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
 struct PreparedExperiment {
   std::string app;
   std::string workload;
@@ -141,6 +149,9 @@ public:
   [[nodiscard]] const install::InstallReport& install_report() const {
     return install_report_;
   }
+  [[nodiscard]] const ConcretizeSummary& concretize_summary() const {
+    return concretize_summary_;
+  }
   [[nodiscard]] bool is_set_up() const { return set_up_; }
   [[nodiscard]] bool has_run() const { return ran_; }
   /// The environment built for an application (after setup()).
@@ -174,6 +185,7 @@ private:
   // workspace in place (Workspace::create returns by value).
   std::unique_ptr<buildcache::BinaryCache> cache_;
   install::InstallReport install_report_;
+  ConcretizeSummary concretize_summary_;
   std::vector<PreparedExperiment> prepared_;
 };
 

@@ -51,9 +51,38 @@ public:
 };
 
 /// Concretization failure: conflicting constraints, no provider, etc.
+/// The specific failure classes below refine this root so callers can
+/// catch per-cause (mirroring SchedulerError / the installer's
+/// Transient/Permanent split); catching ConcretizationError still catches
+/// them all. Messages name the conflicting constraints.
 class ConcretizationError : public Error {
 public:
   using Error::Error;
+};
+
+/// No known version of the package satisfies the requested constraint.
+class UnsatisfiableVersionError : public ConcretizationError {
+public:
+  using ConcretizationError::ConcretizationError;
+};
+
+/// A virtual package has no usable provider (none declared, or every
+/// provider is unbuildable with no external).
+class NoProviderError : public ConcretizationError {
+public:
+  using ConcretizationError::ConcretizationError;
+};
+
+/// unify:true resolved a package twice with incompatible constraints.
+class UnifyConflictError : public ConcretizationError {
+public:
+  using ConcretizationError::ConcretizationError;
+};
+
+/// The dependency closure loops back on itself.
+class DependencyCycleError : public ConcretizationError {
+public:
+  using ConcretizationError::ConcretizationError;
 };
 
 /// Experiment / workspace configuration problems (ramble layer).

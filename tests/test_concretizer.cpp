@@ -1,10 +1,13 @@
 // Concretizer tests: version selection, virtual resolution, externals
 // (Figure 4), compiler/target assignment, unification (Figure 3's
-// "concretizer: unify: true"), conflicts, and packages.yaml round-trips.
+// "concretizer: unify: true"), conflicts, packages.yaml round-trips, the
+// unified concretize_all(ConcretizeRequest) entry point, the
+// ConcretizationError taxonomy, and the deprecated legacy overloads.
 #include <gtest/gtest.h>
 
 #include "src/concretizer/concretizer.hpp"
 #include "src/pkg/repo.hpp"
+#include "src/pkg/yaml_repo.hpp"
 #include "src/support/error.hpp"
 #include "src/yaml/parser.hpp"
 
@@ -62,54 +65,75 @@ cz::Concretizer make_concretizer() {
   return cz::Concretizer(pkg::default_repo_stack(), cts1_like_config());
 }
 
+/// One root through the unified API, legacy semantics (fresh context, no
+/// memo cache) so every test stays independent of suite order.
+Spec concretize1(const cz::Concretizer& c, const std::string& text) {
+  cz::ConcretizeRequest request;
+  request.roots = {Spec::parse(text)};
+  request.unify = false;
+  request.use_cache = false;
+  return std::move(c.concretize_all(request).specs.front());
+}
+
+/// One root resolved inside a shared context (unify semantics).
+Spec concretize_in(const cz::Concretizer& c, const std::string& text,
+                   cz::Context& ctx) {
+  cz::ConcretizeRequest request;
+  request.roots = {Spec::parse(text)};
+  request.unify = true;
+  request.context = &ctx;
+  request.use_cache = false;
+  return std::move(c.concretize_all(request).specs.front());
+}
+
 }  // namespace
 
 TEST(Concretizer, PinsHighestVersion) {
   auto c = make_concretizer();
-  auto s = c.concretize("zlib");
+  auto s = concretize1(c, "zlib");
   EXPECT_TRUE(s.concrete());
   EXPECT_EQ(s.concrete_version().str(), "1.3");
 }
 
 TEST(Concretizer, RespectsVersionConstraint) {
   auto c = make_concretizer();
-  auto s = c.concretize("zlib@:1.2");
+  auto s = concretize1(c, "zlib@:1.2");
   EXPECT_EQ(s.concrete_version().str(), "1.2.13");
 }
 
 TEST(Concretizer, UnsatisfiableVersionThrows) {
   auto c = make_concretizer();
-  EXPECT_THROW(c.concretize("zlib@99:"), benchpark::ConcretizationError);
+  EXPECT_THROW(concretize1(c, "zlib@99:"), benchpark::ConcretizationError);
 }
 
 TEST(Concretizer, AppliesVariantDefaults) {
   auto c = make_concretizer();
-  auto s = c.concretize("saxpy");
+  auto s = concretize1(c, "saxpy");
   EXPECT_TRUE(s.variant_enabled("openmp"));   // default true
   EXPECT_FALSE(s.variant_enabled("cuda"));    // default false
 }
 
 TEST(Concretizer, UserVariantOverridesDefault) {
   auto c = make_concretizer();
-  auto s = c.concretize("saxpy~openmp");
+  auto s = concretize1(c, "saxpy~openmp");
   EXPECT_FALSE(s.variant_enabled("openmp"));
 }
 
 TEST(Concretizer, UnknownVariantThrows) {
   auto c = make_concretizer();
-  EXPECT_THROW(c.concretize("zlib+nonexistent"),
+  EXPECT_THROW(concretize1(c, "zlib+nonexistent"),
                benchpark::ConcretizationError);
 }
 
 TEST(Concretizer, DisallowedVariantValueThrows) {
   auto c = make_concretizer();
-  EXPECT_THROW(c.concretize("openblas threads=fibers"),
+  EXPECT_THROW(concretize1(c, "openblas threads=fibers"),
                benchpark::ConcretizationError);
 }
 
 TEST(Concretizer, AssignsDefaultCompilerAndTarget) {
   auto c = make_concretizer();
-  auto s = c.concretize("zlib");
+  auto s = concretize1(c, "zlib");
   ASSERT_TRUE(s.compiler().has_value());
   EXPECT_EQ(s.compiler()->name, "gcc");
   EXPECT_TRUE(s.compiler()->versions.satisfied_by(Version("12.1.1")));
@@ -118,24 +142,24 @@ TEST(Concretizer, AssignsDefaultCompilerAndTarget) {
 
 TEST(Concretizer, UserCompilerSelection) {
   auto c = make_concretizer();
-  auto s = c.concretize("zlib%intel");
+  auto s = concretize1(c, "zlib%intel");
   EXPECT_EQ(s.compiler()->name, "intel");
 }
 
 TEST(Concretizer, CompilerVersionRangePicksHighest) {
   auto c = make_concretizer();
-  auto s = c.concretize("zlib%gcc@10:");
+  auto s = concretize1(c, "zlib%gcc@10:");
   EXPECT_TRUE(s.compiler()->versions.satisfied_by(Version("12.1.1")));
 }
 
 TEST(Concretizer, UnknownCompilerThrows) {
   auto c = make_concretizer();
-  EXPECT_THROW(c.concretize("zlib%xl"), benchpark::ConcretizationError);
+  EXPECT_THROW(concretize1(c, "zlib%xl"), benchpark::ConcretizationError);
 }
 
 TEST(Concretizer, ExternalShortCircuitsBuild) {
   auto c = make_concretizer();
-  auto s = c.concretize("intel-oneapi-mkl");
+  auto s = concretize1(c, "intel-oneapi-mkl");
   EXPECT_TRUE(s.is_external());
   EXPECT_EQ(s.external_prefix(), "/path/to/intel-oneapi-mkl");
   EXPECT_TRUE(s.dependencies().empty());
@@ -144,7 +168,7 @@ TEST(Concretizer, ExternalShortCircuitsBuild) {
 TEST(Concretizer, VirtualResolvesToExternalProvider) {
   // Figure 4: the "mpi" virtual must resolve to the system mvapich2.
   auto c = make_concretizer();
-  auto s = c.concretize("saxpy");
+  auto s = concretize1(c, "saxpy");
   const auto* mpi_dep = s.dependency("mvapich2");
   ASSERT_NE(mpi_dep, nullptr) << s.str();
   EXPECT_TRUE(mpi_dep->is_external());
@@ -153,7 +177,7 @@ TEST(Concretizer, VirtualResolvesToExternalProvider) {
 
 TEST(Concretizer, BlasVirtualResolvesToMkl) {
   auto c = make_concretizer();
-  auto s = c.concretize("hypre");
+  auto s = concretize1(c, "hypre");
   const auto* blas = s.dependency("intel-oneapi-mkl");
   ASSERT_NE(blas, nullptr);
   EXPECT_TRUE(blas->is_external());
@@ -166,7 +190,7 @@ TEST(Concretizer, UserProviderChoiceWins) {
   config.set_default_target("zen3");
   cz::Concretizer c(pkg::default_repo_stack(), config);
 
-  auto s = c.concretize("saxpy ^openmpi");
+  auto s = concretize1(c, "saxpy ^openmpi");
   EXPECT_NE(s.dependency("openmpi"), nullptr);
   EXPECT_EQ(s.dependency("mvapich2"), nullptr);
 }
@@ -178,7 +202,7 @@ TEST(Concretizer, ProviderPreferenceFromConfig) {
   config.package("mpi").preferred_providers = {"openmpi"};
   cz::Concretizer c(pkg::default_repo_stack(), config);
 
-  auto s = c.concretize("saxpy");
+  auto s = concretize1(c, "saxpy");
   EXPECT_NE(s.dependency("openmpi"), nullptr);
 }
 
@@ -187,7 +211,7 @@ TEST(Concretizer, NotBuildableWithoutExternalThrows) {
   config.add_compiler({"gcc", Version("12.1.1"), "", ""});
   config.package("zlib").buildable = false;
   cz::Concretizer c(pkg::default_repo_stack(), config);
-  EXPECT_THROW(c.concretize("zlib"), benchpark::ConcretizationError);
+  EXPECT_THROW(concretize1(c, "zlib"), benchpark::ConcretizationError);
 }
 
 TEST(Concretizer, VersionPreferenceFromConfig) {
@@ -195,7 +219,7 @@ TEST(Concretizer, VersionPreferenceFromConfig) {
   config.add_compiler({"gcc", Version("12.1.1"), "", ""});
   config.package("hypre").preferred_versions = {"2.26.0"};
   cz::Concretizer c(pkg::default_repo_stack(), config);
-  auto s = c.concretize("hypre");
+  auto s = concretize1(c, "hypre");
   EXPECT_EQ(s.concrete_version().str(), "2.26.0");
 }
 
@@ -204,17 +228,17 @@ TEST(Concretizer, RequireConstraintApplied) {
   config.add_compiler({"gcc", Version("12.1.1"), "", ""});
   config.package("hypre").require = Spec::parse("@:2.26");
   cz::Concretizer c(pkg::default_repo_stack(), config);
-  auto s = c.concretize("hypre");
+  auto s = concretize1(c, "hypre");
   EXPECT_EQ(s.concrete_version().str(), "2.26.0");
 }
 
 TEST(Concretizer, ConditionalDependencyActivation) {
   auto c = make_concretizer();
-  auto with_caliper = c.concretize("amg2023+caliper");
+  auto with_caliper = concretize1(c, "amg2023+caliper");
   EXPECT_NE(with_caliper.dependency("caliper"), nullptr);
   EXPECT_NE(with_caliper.dependency("adiak"), nullptr);
 
-  auto plain = c.concretize("amg2023~caliper");
+  auto plain = concretize1(c, "amg2023~caliper");
   EXPECT_EQ(plain.dependency("caliper"), nullptr);
 }
 
@@ -223,7 +247,7 @@ TEST(Concretizer, VariantPropagationViaConditionalDeps) {
   config.add_compiler({"gcc", Version("12.1.1"), "", ""});
   config.set_default_target("zen3");
   cz::Concretizer c(pkg::default_repo_stack(), config);
-  auto s = c.concretize("amg2023+cuda");
+  auto s = concretize1(c, "amg2023+cuda");
   const auto* hypre = s.dependency("hypre");
   ASSERT_NE(hypre, nullptr);
   EXPECT_TRUE(hypre->variant_enabled("cuda"));
@@ -233,12 +257,12 @@ TEST(Concretizer, VariantPropagationViaConditionalDeps) {
 
 TEST(Concretizer, ConflictSurfaces) {
   auto c = make_concretizer();
-  EXPECT_THROW(c.concretize("saxpy+cuda+rocm"), benchpark::PackageError);
+  EXPECT_THROW(concretize1(c, "saxpy+cuda+rocm"), benchpark::PackageError);
 }
 
 TEST(Concretizer, DepsInheritCompilerAndTarget) {
   auto c = make_concretizer();
-  auto s = c.concretize("amg2023%gcc@12.1.1 target=broadwell");
+  auto s = concretize1(c, "amg2023%gcc@12.1.1 target=broadwell");
   const auto* hypre = s.dependency("hypre");
   ASSERT_NE(hypre, nullptr);
   EXPECT_EQ(hypre->compiler()->name, "gcc");
@@ -247,9 +271,9 @@ TEST(Concretizer, DepsInheritCompilerAndTarget) {
 
 TEST(Concretizer, UnifyReusesResolvedSpecs) {
   auto c = make_concretizer();
-  cz::Concretizer::Context ctx;
-  auto amg = c.concretize(Spec::parse("amg2023+caliper"), ctx);
-  auto saxpy = c.concretize(Spec::parse("saxpy"), ctx);
+  cz::Context ctx;
+  auto amg = concretize_in(c, "amg2023+caliper", ctx);
+  auto saxpy = concretize_in(c, "saxpy", ctx);
   // Both share one mvapich2 resolution in the context.
   EXPECT_EQ(amg.dependency("mvapich2")->dag_hash(),
             saxpy.dependency("mvapich2")->dag_hash());
@@ -257,37 +281,40 @@ TEST(Concretizer, UnifyReusesResolvedSpecs) {
 
 TEST(Concretizer, UnifyConflictThrows) {
   auto c = make_concretizer();
-  cz::Concretizer::Context ctx;
-  (void)c.concretize(Spec::parse("hypre~openmp"), ctx);
-  EXPECT_THROW(c.concretize(Spec::parse("hypre+openmp"), ctx),
+  cz::Context ctx;
+  (void)concretize_in(c, "hypre~openmp", ctx);
+  EXPECT_THROW(concretize_in(c, "hypre+openmp", ctx),
                benchpark::ConcretizationError);
 }
 
 TEST(Concretizer, NoUnifyAllowsDivergence) {
   auto c = make_concretizer();
-  auto specs = c.concretize_together(
-      {Spec::parse("hypre~openmp"), Spec::parse("hypre+openmp")},
-      /*unify=*/false);
+  cz::ConcretizeRequest request;
+  request.roots = {Spec::parse("hypre~openmp"), Spec::parse("hypre+openmp")};
+  request.unify = false;
+  request.use_cache = false;
+  auto specs = c.concretize_all(request).specs;
   EXPECT_FALSE(specs[0].variant_enabled("openmp"));
   EXPECT_TRUE(specs[1].variant_enabled("openmp"));
 }
 
 TEST(Concretizer, UnknownUserDependencyThrows) {
   auto c = make_concretizer();
-  EXPECT_THROW(c.concretize("zlib ^hypre"), benchpark::ConcretizationError);
+  EXPECT_THROW(concretize1(c, "zlib ^hypre"),
+               benchpark::ConcretizationError);
 }
 
 TEST(Concretizer, DeterministicDagHashes) {
   auto c1 = make_concretizer();
   auto c2 = make_concretizer();
-  EXPECT_EQ(c1.concretize("amg2023+caliper").dag_hash(),
-            c2.concretize("amg2023+caliper").dag_hash());
+  EXPECT_EQ(concretize1(c1, "amg2023+caliper").dag_hash(),
+            concretize1(c2, "amg2023+caliper").dag_hash());
 }
 
 TEST(Concretizer, Figure2WorkflowSpec) {
   // "spack add amg2023+caliper; spack concretize" end to end.
   auto c = make_concretizer();
-  auto s = c.concretize("amg2023+caliper");
+  auto s = concretize1(c, "amg2023+caliper");
   EXPECT_TRUE(s.concrete());
   EXPECT_TRUE(s.variant_enabled("caliper"));
   EXPECT_EQ(s.compiler()->name, "gcc");
@@ -296,6 +323,193 @@ TEST(Concretizer, Figure2WorkflowSpec) {
   EXPECT_NE(s.dependency("hypre"), nullptr);
   EXPECT_NE(s.dependency("caliper"), nullptr);
 }
+
+// ---------------------------------------------------------------------------
+// concretize_all: the unified request/result API.
+
+TEST(ConcretizeAll, ResultsAlignWithRoots) {
+  auto c = make_concretizer();
+  cz::ConcretizeRequest request;
+  request.roots = {Spec::parse("zlib"), Spec::parse("hypre"),
+                   Spec::parse("saxpy")};
+  request.unify = true;
+  request.use_cache = false;
+  auto result = c.concretize_all(request);
+  ASSERT_EQ(result.specs.size(), 3u);
+  EXPECT_EQ(result.specs[0].name(), "zlib");
+  EXPECT_EQ(result.specs[1].name(), "hypre");
+  EXPECT_EQ(result.specs[2].name(), "saxpy");
+  for (const auto& s : result.specs) EXPECT_TRUE(s.concrete());
+}
+
+TEST(ConcretizeAll, EmptyRequestIsEmptyResult) {
+  auto c = make_concretizer();
+  auto result = c.concretize_all({});
+  EXPECT_TRUE(result.specs.empty());
+  EXPECT_EQ(result.cache_hits, 0u);
+  EXPECT_EQ(result.cache_misses, 0u);
+}
+
+TEST(ConcretizeAll, UnifySharesResolutionsAcrossRoots) {
+  auto c = make_concretizer();
+  cz::ConcretizeRequest request;
+  request.roots = {Spec::parse("amg2023+caliper"), Spec::parse("saxpy")};
+  request.unify = true;
+  request.use_cache = false;
+  auto result = c.concretize_all(request);
+  EXPECT_EQ(result.specs[0].dependency("mvapich2")->dag_hash(),
+            result.specs[1].dependency("mvapich2")->dag_hash());
+}
+
+TEST(ConcretizeAll, ParallelMatchesSerial) {
+  auto c = make_concretizer();
+  cz::ConcretizeRequest request;
+  request.roots = {Spec::parse("amg2023+caliper"), Spec::parse("saxpy"),
+                   Spec::parse("hypre"), Spec::parse("zlib"),
+                   Spec::parse("osu-micro-benchmarks"), Spec::parse("openblas")};
+  request.unify = true;
+  request.use_cache = false;
+
+  auto serial = request;
+  serial.threads = 1;
+  auto parallel = request;
+  parallel.threads = 8;
+
+  auto serial_result = c.concretize_all(serial);
+  auto parallel_result = c.concretize_all(parallel);
+  ASSERT_EQ(serial_result.specs.size(), parallel_result.specs.size());
+  for (std::size_t i = 0; i < serial_result.specs.size(); ++i) {
+    EXPECT_EQ(serial_result.specs[i].dag_hash(),
+              parallel_result.specs[i].dag_hash())
+        << serial_result.specs[i].name();
+  }
+}
+
+TEST(ConcretizeAll, SharedContextAccumulates) {
+  auto c = make_concretizer();
+  cz::Context ctx;
+  cz::ConcretizeRequest request;
+  request.roots = {Spec::parse("amg2023+caliper")};
+  request.unify = true;
+  request.context = &ctx;
+  request.use_cache = false;
+  (void)c.concretize_all(request);
+  EXPECT_GT(ctx.size(), 0u);
+  ASSERT_NE(ctx.find("mvapich2"), nullptr);
+
+  // A second request against the same context unifies with the first.
+  cz::ConcretizeRequest second;
+  second.roots = {Spec::parse("saxpy")};
+  second.unify = true;
+  second.context = &ctx;
+  second.use_cache = false;
+  auto saxpy = c.concretize_all(second).specs.front();
+  EXPECT_EQ(saxpy.dependency("mvapich2")->dag_hash(),
+            ctx.find("mvapich2")->dag_hash());
+}
+
+TEST(ConcretizeAll, StatsSnapshotIsByValue) {
+  auto c = make_concretizer();
+  auto before = c.stats();
+  (void)concretize1(c, "zlib");
+  auto after = c.stats();
+  // `before` is a snapshot: it must not have moved.
+  EXPECT_EQ(before.specs_resolved, 0u);
+  EXPECT_GT(after.specs_resolved, before.specs_resolved);
+}
+
+TEST(ConcretizeAll, ScopeFingerprintReflectsConfig) {
+  auto c1 = make_concretizer();
+  auto c2 = make_concretizer();
+  EXPECT_EQ(c1.scope_fingerprint(), c2.scope_fingerprint());
+
+  cz::Config other = cts1_like_config();
+  other.set_default_target("zen3");
+  cz::Concretizer c3(pkg::default_repo_stack(), other);
+  EXPECT_NE(c1.scope_fingerprint(), c3.scope_fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy: each failure mode has a dedicated ConcretizationError
+// subclass naming the conflicting constraints.
+
+TEST(ConcretizerErrors, UnsatisfiableVersion) {
+  auto c = make_concretizer();
+  try {
+    (void)concretize1(c, "zlib@99:");
+    FAIL() << "expected UnsatisfiableVersionError";
+  } catch (const benchpark::UnsatisfiableVersionError& e) {
+    EXPECT_NE(std::string(e.what()).find("zlib"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("99:"), std::string::npos);
+    // The message names the versions that *are* known.
+    EXPECT_NE(std::string(e.what()).find("1.3"), std::string::npos);
+  }
+}
+
+TEST(ConcretizerErrors, NoProvider) {
+  // Every mpi provider unbuildable, no external: the virtual is stuck.
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  for (const char* p : {"mvapich2", "openmpi", "spectrum-mpi", "cray-mpich"}) {
+    config.package(p).buildable = false;
+  }
+  cz::Concretizer c(pkg::default_repo_stack(), config);
+  try {
+    (void)concretize1(c, "saxpy");
+    FAIL() << "expected NoProviderError";
+  } catch (const benchpark::NoProviderError& e) {
+    EXPECT_NE(std::string(e.what()).find("mpi"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("mvapich2"), std::string::npos);
+  }
+}
+
+TEST(ConcretizerErrors, UnifyConflict) {
+  auto c = make_concretizer();
+  cz::Context ctx;
+  (void)concretize_in(c, "hypre~openmp", ctx);
+  try {
+    (void)concretize_in(c, "hypre+openmp", ctx);
+    FAIL() << "expected UnifyConflictError";
+  } catch (const benchpark::UnifyConflictError& e) {
+    // Both sides of the conflict are named.
+    EXPECT_NE(std::string(e.what()).find("~openmp"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("+openmp"), std::string::npos);
+  }
+}
+
+TEST(ConcretizerErrors, DependencyCycle) {
+  auto repo = pkg::repo_from_yaml(
+      "cyclic", benchpark::yaml::parse("packages:\n"
+                                       "  alpha:\n"
+                                       "    versions: ['1.0']\n"
+                                       "    depends_on: [beta]\n"
+                                       "  beta:\n"
+                                       "    versions: ['1.0']\n"
+                                       "    depends_on: [alpha]\n"));
+  pkg::RepoStack stack;
+  stack.push_back(std::move(repo));
+  cz::Config config;
+  config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  cz::Concretizer c(std::move(stack), config);
+  try {
+    (void)concretize1(c, "alpha");
+    FAIL() << "expected DependencyCycleError";
+  } catch (const benchpark::DependencyCycleError& e) {
+    // The whole chain is spelled out.
+    EXPECT_NE(std::string(e.what()).find("alpha -> beta -> alpha"),
+              std::string::npos);
+  }
+}
+
+TEST(ConcretizerErrors, TaxonomyIsConcretizationError) {
+  // Every subclass must stay catchable as ConcretizationError (and Error).
+  auto c = make_concretizer();
+  EXPECT_THROW(concretize1(c, "zlib@99:"), benchpark::ConcretizationError);
+  EXPECT_THROW(concretize1(c, "zlib@99:"), benchpark::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Config round-trips.
 
 TEST(ConcretizerConfig, PackagesYamlRoundTrip) {
   auto config = cts1_like_config();
@@ -333,7 +547,43 @@ TEST(ConcretizerConfig, MergeOverlays) {
   ASSERT_NE(base.settings_for("zlib"), nullptr);  // untouched by overlay
 }
 
-TEST(Concretizer, StatsAccumulate) {
+// ---------------------------------------------------------------------------
+// Deprecated legacy overloads: still present, still correct, still
+// accumulating stats — they must keep passing until callers are gone.
+// (The [[deprecated]] warnings below are the point of the test.)
+
+TEST(ConcretizerDeprecated, SpecOverload) {
+  auto c = make_concretizer();
+  auto s = c.concretize(Spec::parse("zlib"));
+  EXPECT_TRUE(s.concrete());
+  EXPECT_EQ(s.concrete_version().str(), "1.3");
+}
+
+TEST(ConcretizerDeprecated, TextOverload) {
+  auto c = make_concretizer();
+  auto s = c.concretize("zlib@:1.2");
+  EXPECT_EQ(s.concrete_version().str(), "1.2.13");
+}
+
+TEST(ConcretizerDeprecated, ContextOverload) {
+  auto c = make_concretizer();
+  cz::Concretizer::Context ctx;  // legacy nested name still works
+  auto amg = c.concretize(Spec::parse("amg2023+caliper"), ctx);
+  auto saxpy = c.concretize(Spec::parse("saxpy"), ctx);
+  EXPECT_EQ(amg.dependency("mvapich2")->dag_hash(),
+            saxpy.dependency("mvapich2")->dag_hash());
+}
+
+TEST(ConcretizerDeprecated, TogetherOverload) {
+  auto c = make_concretizer();
+  auto specs = c.concretize_together(
+      {Spec::parse("hypre~openmp"), Spec::parse("hypre+openmp")},
+      /*unify=*/false);
+  EXPECT_FALSE(specs[0].variant_enabled("openmp"));
+  EXPECT_TRUE(specs[1].variant_enabled("openmp"));
+}
+
+TEST(ConcretizerDeprecated, StatsAccumulate) {
   auto c = make_concretizer();
   (void)c.concretize("amg2023+caliper");
   EXPECT_GT(c.stats().specs_resolved, 3u);
