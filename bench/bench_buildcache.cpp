@@ -18,6 +18,18 @@ namespace {
 
 using namespace benchpark;
 
+/// One root through the unified API, legacy semantics (fresh context,
+/// serial, no memo cache).
+spec::Spec concretize1(const concretizer::Concretizer& c,
+                       const std::string& text) {
+  concretizer::ConcretizeRequest request;
+  request.roots = {spec::Spec::parse(text)};
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(c.concretize_all(request).specs.front());
+}
+
 env::Environment concretized_env() {
   const auto& cts1 = system::SystemRegistry::instance().get("cts1");
   concretizer::Concretizer cz(pkg::default_repo_stack(), cts1.config);
@@ -71,7 +83,7 @@ BENCHMARK(BM_WarmCacheInstall);
 void BM_ParallelDagInstall(benchmark::State& state) {
   const auto& cts1 = system::SystemRegistry::instance().get("cts1");
   concretizer::Concretizer cz(pkg::default_repo_stack(), cts1.config);
-  auto spec = cz.concretize("amg2023+caliper");
+  auto spec = concretize1(cz, "amg2023+caliper");
   install::InstallOptions options;
   options.engine_threads = static_cast<int>(state.range(0));
   double serial_s = 0, critical_s = 0;
@@ -93,7 +105,7 @@ BENCHMARK(BM_ParallelDagInstall)->Arg(1)->Arg(4);
 void BM_CacheLookup(benchmark::State& state) {
   const auto& cts1 = system::SystemRegistry::instance().get("cts1");
   concretizer::Concretizer cz(pkg::default_repo_stack(), cts1.config);
-  auto spec = cz.concretize("hypre");
+  auto spec = concretize1(cz, "hypre");
   buildcache::BinaryCache cache;
   cache.push(spec, 50 << 20);
   for (auto _ : state) {

@@ -1,13 +1,29 @@
 #include "src/analysis/fom.hpp"
 
+#include <locale>
 #include <regex>
 
 #include "src/support/error.hpp"
+#include "src/support/parallel.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::analysis {
 
 namespace {
+
+// libstdc++'s classic-locale ctype fills its narrow/widen caches lazily
+// per character, and std::regex construction/search exercises them.
+// Fill both tables during static init (single-threaded) so regexes
+// compiled on pool workers — run_all success criteria, batch FOM
+// extraction — only ever read the caches.
+const bool ctype_caches_warmed = [] {
+  const auto& ct = std::use_facet<std::ctype<char>>(std::locale::classic());
+  for (int c = 0; c < 256; ++c) {
+    (void)ct.narrow(static_cast<char>(c), 0);
+    (void)ct.widen(static_cast<char>(c));
+  }
+  return true;
+}();
 
 std::regex compile(const std::string& pattern, const std::string& what) {
   try {
@@ -54,6 +70,30 @@ bool evaluate_success(const std::vector<SuccessCriterion>& criteria,
     if (!std::regex_search(output, re)) return false;
   }
   return true;
+}
+
+std::vector<FomExtractResult> extract_foms_batch(
+    const std::vector<FomExtractTask>& tasks, int threads) {
+  std::vector<FomExtractResult> results(tasks.size());
+  auto extract_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& task = tasks[i];
+      if (!task.output) continue;
+      FomExtractResult& r = results[i];
+      r.extracted = true;
+      if (task.specs) r.foms = extract_foms(*task.specs, *task.output);
+      if (task.criteria) {
+        r.success = evaluate_success(*task.criteria, *task.output);
+      }
+    }
+  };
+  int width = threads == 0 ? support::ThreadPool::default_threads() : threads;
+  if (width <= 1 || tasks.size() < 2) {
+    extract_range(0, tasks.size());
+  } else {
+    support::parallel_for(tasks.size(), width, extract_range);
+  }
+  return results;
 }
 
 }  // namespace benchpark::analysis

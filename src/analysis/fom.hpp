@@ -48,4 +48,27 @@ std::vector<FomValue> extract_foms(const std::vector<FomSpec>& specs,
 bool evaluate_success(const std::vector<SuccessCriterion>& criteria,
                       const std::string& output);
 
+/// One experiment's extraction work, by reference (the caller owns the
+/// spec/criteria/output storage for the batch's lifetime). A null
+/// `output` marks an experiment that never ran: its result stays empty
+/// with extracted == false.
+struct FomExtractTask {
+  const std::vector<FomSpec>* specs = nullptr;
+  const std::vector<SuccessCriterion>* criteria = nullptr;
+  const std::string* output = nullptr;
+};
+
+struct FomExtractResult {
+  std::vector<FomValue> foms;
+  bool success = false;
+  bool extracted = false;  // false when the task had no output
+};
+
+/// Run extract_foms + evaluate_success over many experiments on the
+/// shared ThreadPool (threads: 0 = pool default, 1 = serial). Results
+/// are index-aligned with `tasks` and identical at every width —
+/// extraction is a pure function of (specs, criteria, output).
+std::vector<FomExtractResult> extract_foms_batch(
+    const std::vector<FomExtractTask>& tasks, int threads = 0);
+
 }  // namespace benchpark::analysis

@@ -1,0 +1,145 @@
+#include "src/analysis/ingest.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "src/support/parallel.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::analysis {
+
+namespace {
+
+/// Rows for one record (pure; runs concurrently across records).
+std::vector<ResultRow> rows_for_record(const ExperimentRecord& record) {
+  std::vector<ResultRow> rows;
+  auto base_row = [&] {
+    ResultRow row;
+    row.benchmark = record.benchmark;
+    row.system = record.system;
+    row.experiment = record.experiment;
+    row.variables = record.variables;
+    return row;
+  };
+  if (!record.success) {
+    // Record the failure under every declared FOM so cross-system
+    // comparison tables show CRASHED cells (the Sec. 7.1 signal).
+    rows.reserve(record.declared_foms.size());
+    for (const auto& spec : record.declared_foms) {
+      ResultRow row = base_row();
+      row.fom_name = spec.name;
+      row.units = spec.units;
+      row.success = false;
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+  rows.reserve(record.foms.size());
+  for (const auto& fom : record.foms) {
+    if (!fom.numeric) continue;
+    ResultRow row = base_row();
+    row.fom_name = fom.name;
+    row.value = fom.value;
+    row.units = fom.units;
+    row.success = true;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<ResultRow> rows_from_records(
+    const std::vector<ExperimentRecord>& records, int threads) {
+  std::vector<std::vector<ResultRow>> per_record(records.size());
+  auto build_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      per_record[i] = rows_for_record(records[i]);
+    }
+  };
+  int width = threads == 0 ? support::ThreadPool::default_threads() : threads;
+  if (width <= 1 || records.size() < 2) {
+    build_range(0, records.size());
+  } else {
+    support::parallel_for(records.size(), width, build_range);
+  }
+
+  std::vector<ResultRow> rows;
+  std::size_t total = 0;
+  for (const auto& chunk : per_record) total += chunk.size();
+  rows.reserve(total);
+  for (auto& chunk : per_record) {
+    for (auto& row : chunk) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void insert_rows(MetricsDb& db, const std::vector<ResultRow>& rows) {
+  for (const auto& row : rows) db.insert(row);
+}
+
+std::optional<perf::Profile> profile_from_output(const std::string& output) {
+  constexpr std::string_view kMarker = "caliper: region profile";
+  auto marker = output.find(kMarker);
+  if (marker == std::string::npos) return std::nullopt;
+
+  perf::Profile profile;
+  std::size_t pos = marker + kMarker.size();
+  if (pos < output.size() && output[pos] == '\n') ++pos;
+  while (pos < output.size()) {
+    auto eol = output.find('\n', pos);
+    if (eol == std::string::npos) eol = output.size();
+    std::string_view line(output.data() + pos, eol - pos);
+    pos = eol + 1;
+    // Profile lines read "<path> <seconds> s"; the first line that does
+    // not parse ends the section.
+    auto first_space = line.find(' ');
+    if (first_space == std::string_view::npos || first_space == 0) break;
+    std::string_view rest = line.substr(first_space + 1);
+    if (rest.size() < 2 || rest.substr(rest.size() - 2) != " s") break;
+    std::string_view number = rest.substr(0, rest.size() - 2);
+    if (!support::looks_like_double(number)) break;
+    perf::RegionStat region;
+    region.path = std::string(line.substr(0, first_space));
+    region.count = 1;
+    region.inclusive_seconds = support::parse_double(number);
+    profile.regions.push_back(std::move(region));
+  }
+  if (profile.regions.empty()) return std::nullopt;
+  std::sort(profile.regions.begin(), profile.regions.end(),
+            [](const perf::RegionStat& a, const perf::RegionStat& b) {
+              return a.path < b.path;
+            });
+  return profile;
+}
+
+Thicket thicket_from_records(const std::vector<ExperimentRecord>& records,
+                             int threads) {
+  std::vector<std::optional<perf::Profile>> profiles(records.size());
+  auto parse_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      profiles[i] = profile_from_output(records[i].output);
+    }
+  };
+  int width = threads == 0 ? support::ThreadPool::default_threads() : threads;
+  if (width <= 1 || records.size() < 2) {
+    parse_range(0, records.size());
+  } else {
+    support::parallel_for(records.size(), width, parse_range);
+  }
+
+  Thicket thicket;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!profiles[i]) continue;
+    const auto& record = records[i];
+    perf::Profile profile = std::move(*profiles[i]);
+    profile.metadata["benchmark"] = record.benchmark;
+    profile.metadata["system"] = record.system;
+    profile.metadata["experiment"] = record.experiment;
+    thicket.add_profile(record.system + "/" + record.experiment,
+                        std::move(profile));
+  }
+  return thicket;
+}
+
+}  // namespace benchpark::analysis

@@ -1,0 +1,68 @@
+// Parallel result ingestion: completed experiments -> MetricsDb rows and
+// Thicket profile columns (Figure 6's right-hand side, Section 5).
+//
+// A campaign's analyze step turns every ExperimentResult into (a) one
+// ResultRow per figure of merit — CRASHED experiments contribute a
+// success=false row per *declared* FOM so cross-system tables show the
+// Section 7.1 signal — and (b) one Thicket column per Caliper-annotated
+// output. Both transformations are pure per-record functions, so they
+// fan out on the shared ThreadPool; only the final db/thicket insertion
+// is serial, in record order, keeping sequence numbers deterministic.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/fom.hpp"
+#include "src/analysis/metrics_db.hpp"
+#include "src/analysis/thicket.hpp"
+#include "src/perf/caliper.hpp"
+
+namespace benchpark::analysis {
+
+/// One completed experiment, flattened to what ingestion needs (no
+/// dependency on the ramble layer's result types).
+struct ExperimentRecord {
+  std::string benchmark;
+  std::string system;
+  std::string experiment;  // expanded experiment name
+  std::map<std::string, std::string> variables;
+  /// The application's declared FOM specs (failure rows need the names
+  /// and units even when nothing was extracted).
+  std::vector<FomSpec> declared_foms;
+  /// FOMs actually extracted from the output.
+  std::vector<FomValue> foms;
+  bool success = false;
+  /// Raw experiment stdout (Caliper region profiles are parsed out of
+  /// it); may be empty.
+  std::string output;
+};
+
+/// Build the metrics rows for a batch of records, in record order:
+/// a failed record yields one success=false row per declared FOM; a
+/// successful record yields one row per numeric extracted FOM. Rows are
+/// built in parallel (threads: 0 = pool default, 1 = serial) and
+/// assembled by index, so the returned vector is identical at every
+/// width. Sequence numbers are assigned later, by insert_rows.
+std::vector<ResultRow> rows_from_records(
+    const std::vector<ExperimentRecord>& records, int threads = 0);
+
+/// Insert rows serially, in order (MetricsDb sequence numbers are the
+/// "time" axis — they must not depend on thread interleaving).
+void insert_rows(MetricsDb& db, const std::vector<ResultRow>& rows);
+
+/// Parse the "caliper: region profile" section a Caliper-annotated
+/// binary appends to stdout ("main 0.1 s" lines) into a Profile;
+/// nullopt when the output has no profile section.
+std::optional<perf::Profile> profile_from_output(const std::string& output);
+
+/// Compose a Thicket from every record whose output carries a Caliper
+/// region profile. Columns are named "<system>/<experiment>" and carry
+/// benchmark/system/experiment metadata for filter() predicates.
+/// Profiles are parsed in parallel; columns are added in record order.
+Thicket thicket_from_records(const std::vector<ExperimentRecord>& records,
+                             int threads = 0);
+
+}  // namespace benchpark::analysis

@@ -1,8 +1,11 @@
 #include "src/core/campaign.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 
+#include "src/analysis/ingest.hpp"
+#include "src/ramble/application.hpp"
 #include "src/ramble/expansion.hpp"
 #include "src/support/error.hpp"
 #include "src/support/log.hpp"
@@ -26,58 +29,48 @@ void Campaign::add_system(const std::string& name) {
 
 void Campaign::run() {
   summaries_.clear();
+  std::vector<analysis::ExperimentRecord> all_records;
   for (const auto& system : systems_) {
     SystemRunSummary summary;
     summary.system = system;
     try {
       auto report = driver_->run_workflow(experiment_, system,
-                                          base_dir_ / system);
+                                          base_dir_ / system, {}, nullptr,
+                                          request_);
       summary.experiments = report.results.size();
       summary.succeeded = report.num_success();
-      for (const auto& result : report.results) {
+      std::vector<analysis::ExperimentRecord> records;
+      records.reserve(report.results.size());
+      for (auto& result : report.results) {
         if (!result.success && summary.first_failure.empty()) {
           summary.first_failure = "experiment '" + result.name + "' failed";
         }
-        if (!result.success) {
-          // Record the failure under every declared FOM so cross-system
-          // comparison tables show CRASHED cells (the Sec. 7.1 signal).
-          const auto& app_def =
-              ramble::ApplicationRegistry::instance().get(result.app);
-          for (const auto& spec : app_def.foms()) {
-            analysis::ResultRow row;
-            row.benchmark = experiment_.benchmark;
-            row.system = system;
-            row.experiment = result.name;
-            row.variables = result.variables;
-            row.fom_name = spec.name;
-            row.units = spec.units;
-            row.success = false;
-            db_.insert(row);
-            rows_.push_back(std::move(row));
-          }
-          continue;
-        }
-        for (const auto& fom : result.foms) {
-          if (!fom.numeric) continue;
-          analysis::ResultRow row;
-          row.benchmark = experiment_.benchmark;
-          row.system = system;
-          row.experiment = result.name;
-          row.variables = result.variables;
-          row.fom_name = fom.name;
-          row.value = fom.value;
-          row.units = fom.units;
-          row.success = result.success;
-          db_.insert(row);
-          rows_.push_back(std::move(row));
-        }
+        analysis::ExperimentRecord record;
+        record.benchmark = experiment_.benchmark;
+        record.system = system;
+        record.experiment = result.name;
+        record.variables = result.variables;
+        record.declared_foms =
+            ramble::ApplicationRegistry::instance().get(result.app).foms();
+        record.foms = std::move(result.foms);
+        record.success = result.success;
+        record.output = std::move(result.output);
+        records.push_back(std::move(record));
       }
+      auto rows = analysis::rows_from_records(records, request_.threads);
+      analysis::insert_rows(db_, rows);
+      rows_.insert(rows_.end(), std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
+      all_records.insert(all_records.end(),
+                         std::make_move_iterator(records.begin()),
+                         std::make_move_iterator(records.end()));
     } catch (const Error& e) {
       summary.first_failure = e.what();
       support::Log::info(std::string("campaign: ") + e.what());
     }
     summaries_.push_back(std::move(summary));
   }
+  thicket_ = analysis::thicket_from_records(all_records, request_.threads);
 }
 
 support::Table Campaign::comparison_table(const std::string& fom_name) const {

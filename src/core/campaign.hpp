@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "src/analysis/extrap.hpp"
+#include "src/analysis/ingest.hpp"
 #include "src/analysis/metrics_db.hpp"
+#include "src/analysis/thicket.hpp"
 #include "src/core/driver.hpp"
 
 namespace benchpark::core {
@@ -31,11 +33,23 @@ public:
 
   void add_system(const std::string& name);
 
+  /// Tune the parallel run engine used for every system's workflow (and
+  /// for result ingestion). Default: pool-default width, cached
+  /// templates, standard retry budget.
+  void set_run_request(ramble::RunRequest request) {
+    request_ = std::move(request);
+  }
+
   /// Run the full workflow on every registered system; failures on one
   /// system (crashes, incompatible variants) are recorded, not fatal.
+  /// Results are ingested through analysis::rows_from_records /
+  /// thicket_from_records (parallel build, serial in-order insertion).
   void run();
 
   [[nodiscard]] const analysis::MetricsDb& metrics() const { return db_; }
+  /// One Thicket column per Caliper-annotated experiment output, named
+  /// "<system>/<experiment>" (rebuilt by each run()).
+  [[nodiscard]] const analysis::Thicket& thicket() const { return thicket_; }
   [[nodiscard]] const std::vector<SystemRunSummary>& summaries() const {
     return summaries_;
   }
@@ -54,7 +68,9 @@ private:
   ExperimentId experiment_;
   std::filesystem::path base_dir_;
   std::vector<std::string> systems_;
+  ramble::RunRequest request_;
   analysis::MetricsDb db_;
+  analysis::Thicket thicket_;
   std::vector<SystemRunSummary> summaries_;
   // (system, experiment, fom) -> n_ranks for the scaling axis.
   std::vector<analysis::ResultRow> rows_;

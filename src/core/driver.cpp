@@ -280,7 +280,8 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
                                            const std::string& system_name,
                                            const std::filesystem::path& dir,
                                            const StepLogger& log,
-                                           ramble::Workspace* workspace_out)
+                                           ramble::Workspace* workspace_out,
+                                           const ramble::RunRequest& request)
     const {
   auto& collector = obs::TraceCollector::global();
   obs::ScopedSpan workflow_span(collector, "workflow", "driver");
@@ -327,16 +328,30 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
              std::to_string(ws.install_report().externals) + " externals)");
   say(7, "Ramble rendered " + std::to_string(ws.prepared().size()) +
              " batch experiment scripts");
-  {
+  auto run_report = [&] {
     obs::ScopedSpan step_span(collector, "workflow.run", "driver");
-    ws.run();
-  }
-  say(8, "ramble on: experiments executed via " +
-             std::string(system::scheduler_name(
-                 ws.target_system().scheduler)));
+    auto r = ws.run_all(request);
+    if (step_span.active()) {
+      step_span.annotate("experiments", std::to_string(r.experiments));
+      step_span.annotate("attempts", std::to_string(r.total_attempts));
+      step_span.annotate("template_cache.hits",
+                         std::to_string(r.template_cache_hits));
+      step_span.annotate("template_cache.misses",
+                         std::to_string(r.template_cache_misses));
+    }
+    return r;
+  }();
+  say(8, "ramble on: " + std::to_string(run_report.experiments) +
+             " experiments executed via " +
+             std::string(
+                 system::scheduler_name(ws.target_system().scheduler)) +
+             " (" + std::to_string(run_report.retried) + " retried, " +
+             "template cache " +
+             std::to_string(run_report.template_cache_hits) + " hits / " +
+             std::to_string(run_report.template_cache_misses) + " misses)");
   auto report = [&] {
     obs::ScopedSpan step_span(collector, "workflow.analyze", "driver");
-    return ws.analyze();
+    return ws.analyze(request);
   }();
   UsageMetrics::instance().record_runs(id.benchmark, report.results.size());
   say(9, "ramble workspace analyze: " +

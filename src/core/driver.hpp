@@ -64,12 +64,17 @@ public:
   /// Run the complete Figure 1c workflow: setup -> ramble workspace
   /// setup -> ramble on -> ramble workspace analyze. Returns the analyze
   /// report; `workspace_out` (optional) receives the workspace.
+  /// `request` tunes the run engine (thread width, template cache,
+  /// retry budget); experiments execute via Workspace::run_all, so the
+  /// results are identical at every width.
   ramble::AnalyzeReport run_workflow(const ExperimentId& id,
                                      const std::string& system_name,
                                      const std::filesystem::path& dir,
                                      const StepLogger& log = {},
                                      ramble::Workspace* workspace_out =
-                                         nullptr) const;
+                                         nullptr,
+                                     const ramble::RunRequest& request =
+                                         {}) const;
 
   /// Render the Figure 1a benchpark repository tree (as text) for the
   /// registered benchmarks and systems.

@@ -1,7 +1,9 @@
 #include "src/ramble/expansion.hpp"
 
 #include <cctype>
+#include <charconv>
 
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/support/string_util.hpp"
 
@@ -128,74 +130,375 @@ bool is_arithmetic(std::string_view expr) {
   return has_digit && has_op;  // a plain number needs no evaluation
 }
 
-std::string expand_rec(std::string_view text, const VariableMap& vars,
-                       int depth) {
-  if (depth > 32) {
-    throw ExperimentError("expansion did not converge (cycle?) at '" +
-                          std::string(text) + "'");
-  }
-  std::string out;
-  out.reserve(text.size());
+/// Allocation-free integer append (the old path went through
+/// std::to_string, one heap string per arithmetic evaluation).
+void append_int(std::string& out, long long v) {
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, end);
+}
+
+/// An escape pair ("{{" or "}}") at position i?
+bool is_escape_pair(std::string_view text, std::size_t i) {
+  return i + 1 < text.size() && text[i] == text[i + 1] &&
+         (text[i] == '{' || text[i] == '}');
+}
+
+}  // namespace
+
+// ------------------------------------------------------- CompiledTemplate
+
+CompiledTemplate::CompiledTemplate(std::string_view text) : source_(text) {
+  std::string literal;
+  auto flush_literal = [&] {
+    if (literal.empty()) return;
+    Segment seg;
+    seg.kind = Segment::Kind::kLiteral;
+    seg.text = std::move(literal);
+    segments_.push_back(std::move(seg));
+    literal.clear();
+  };
+
   std::size_t i = 0;
+  bool pure_literal = true;
   while (i < text.size()) {
     // "{{" and "}}" escape literal braces (Jinja-style), so values can
     // contain JSON or shell syntax without tripping the expander.
-    if (i + 1 < text.size() && text[i] == text[i + 1] &&
-        (text[i] == '{' || text[i] == '}')) {
-      out.push_back(text[i]);
+    if (is_escape_pair(text, i)) {
+      literal.push_back(text[i]);
       i += 2;
       continue;
     }
     if (text[i] != '{') {
-      out.push_back(text[i]);
+      literal.push_back(text[i]);
       ++i;
       continue;
     }
-    auto close = text.find('}', i);
-    if (close == std::string_view::npos) {
-      throw ExperimentError("unbalanced '{' in '" + std::string(text) + "'");
+    // Balanced-brace scan for the matching close. A '}' always closes
+    // first — '{n}}}' reads as '{n}' + an escaped '}', exactly like the
+    // old first-close scanner — while '{{' pairs are skipped so escapes
+    // inside a body don't open a nesting level.
+    std::size_t j = i + 1;
+    int depth = 1;
+    while (j < text.size()) {
+      if (text[j] == '}') {
+        if (--depth == 0) break;
+        ++j;
+        continue;
+      }
+      if (is_escape_pair(text, j)) {
+        j += 2;
+        continue;
+      }
+      if (text[j] == '{') ++depth;
+      ++j;
     }
-    std::string name(text.substr(i + 1, close - i - 1));
-    auto it = vars.find(name);
-    if (it != vars.end()) {
-      // A variable's value may itself reference variables or be an
-      // arithmetic expression (n_ranks = '{processes_per_node}*{n_nodes}').
-      // is_arithmetic is only a screen; the value is evaluated only when
-      // the whole string parses as arithmetic, so look-alikes such as
-      // "2023-01-01" stay literal instead of becoming 2021.
-      std::string value = expand_rec(it->second, vars, depth + 1);
+    if (j >= text.size()) {
+      throw ExperimentError("unbalanced '{' in '" + source_ + "'");
+    }
+    flush_literal();
+    pure_literal = false;
+
+    std::string_view body = text.substr(i + 1, j - i - 1);
+    Segment seg;
+    seg.text = std::string(body);
+    if (body.find('{') != std::string_view::npos ||
+        body.find('}') != std::string_view::npos) {
+      // The body is itself a template ("{p{suffix}}", "{ {n} * 2 }"):
+      // expand it at runtime to produce the name being referenced.
+      seg.kind = Segment::Kind::kNested;
+      seg.inner = std::make_shared<const CompiledTemplate>(body);
+    } else {
+      seg.kind = Segment::Kind::kVariable;
+      seg.maybe_arith = is_arithmetic(body);
+      if (seg.maybe_arith) {
+        // Pre-evaluate inline arithmetic ("{8 * 2}") at compile time.
+        // Failures (zero-padded dates, division by zero) stay unfolded
+        // and re-raise at expansion time, after the variable lookup has
+        // had its chance — exactly the old evaluation order.
+        try {
+          seg.folded = Arith(body).parse();
+        } catch (const ExperimentError&) {
+        }
+      }
+    }
+    segments_.push_back(std::move(seg));
+    i = j + 1;
+  }
+  flush_literal();
+
+  if (pure_literal) {
+    // Precompute the form this template takes when used as a variable
+    // *value*: fully expanded (trivially, it has no placeholders) with
+    // the arithmetic-value screen applied once ("8 * 2" -> "16",
+    // "2023-01-01" kept literal — zero-padded components don't parse).
+    std::string value;
+    for (const auto& seg : segments_) value += seg.text;
+    if (is_arithmetic(value)) {
+      try {
+        long long v = Arith(value).parse();
+        value.clear();
+        append_int(value, v);
+      } catch (const ExperimentError&) {
+        // Not actually arithmetic (or not evaluable): keep the literal.
+      }
+    }
+    literal_value_ = std::move(value);
+  }
+}
+
+std::size_t CompiledTemplate::placeholder_count() const {
+  std::size_t n = 0;
+  for (const auto& seg : segments_) {
+    if (seg.kind != Segment::Kind::kLiteral) ++n;
+  }
+  return n;
+}
+
+/// One top-level expansion's worth of resolved variables. A name that
+/// appears N times in a template (experiment_name in a batch script,
+/// say) is recursively expanded once; the other N-1 references append
+/// the memoized bytes without touching the cache or the VariableMap.
+struct CompiledTemplate::Memo {
+  std::unordered_map<std::string_view, std::string> values;
+};
+
+std::string CompiledTemplate::expand(const VariableMap& vars,
+                                     bool use_cache) const {
+  std::string out;
+  out.reserve(source_.size());
+  expand_into(out, vars, use_cache);
+  return out;
+}
+
+void CompiledTemplate::expand_into(std::string& out, const VariableMap& vars,
+                                   bool use_cache) const {
+  Memo memo;
+  expand_into(out, vars, use_cache, 0, memo);
+}
+
+void CompiledTemplate::expand_into(std::string& out, const VariableMap& vars,
+                                   bool use_cache, int depth,
+                                   Memo& memo) const {
+  if (depth > 32) {
+    throw ExperimentError("expansion did not converge (cycle?) at '" +
+                          source_ + "'");
+  }
+  for (const auto& seg : segments_) {
+    switch (seg.kind) {
+      case Segment::Kind::kLiteral:
+        out += seg.text;
+        break;
+      case Segment::Kind::kVariable:
+        expand_name(out, seg.text, seg, vars, use_cache, depth, memo);
+        break;
+      case Segment::Kind::kNested: {
+        std::string name;
+        name.reserve(seg.text.size());
+        seg.inner->expand_into(name, vars, use_cache, depth + 1, memo);
+        expand_name(out, name, seg, vars, use_cache, depth, memo);
+        break;
+      }
+    }
+  }
+}
+
+void CompiledTemplate::expand_name(std::string& out, const std::string& name,
+                                   const Segment& seg, const VariableMap& vars,
+                                   bool use_cache, int depth,
+                                   Memo& memo) const {
+  // The memo only ever holds names found in vars, so a hit here short-
+  // circuits the std::map lookup too. Keys are views into the
+  // VariableMap's own key storage, stable for the whole expansion. Only
+  // successful expansions are recorded, so cycles and undefined-variable
+  // errors inside a value still raise every time.
+  auto hit = memo.values.find(std::string_view(name));
+  if (hit != memo.values.end()) {
+    out += hit->second;
+    return;
+  }
+  auto it = vars.find(name);
+  if (it != vars.end()) {
+    // A variable's value may itself reference variables or be an
+    // arithmetic expression (n_ranks = '{processes_per_node}*{n_nodes}').
+    // is_arithmetic is only a screen; the value is evaluated only when
+    // the whole string parses as arithmetic, so look-alikes such as
+    // "2023-01-01" stay literal instead of becoming 2021.
+    std::shared_ptr<const CompiledTemplate> cached;
+    std::optional<CompiledTemplate> local;
+    const CompiledTemplate* value_tmpl;
+    if (use_cache) {
+      cached = TemplateCache::global().get(it->second);
+      value_tmpl = cached.get();
+    } else {
+      local.emplace(it->second);
+      value_tmpl = &*local;
+    }
+    std::string value;
+    if (value_tmpl->literal_value_) {
+      // Placeholder-free value with the arithmetic fold precomputed.
+      value = *value_tmpl->literal_value_;
+    } else {
+      value.reserve(it->second.size());
+      value_tmpl->expand_into(value, vars, use_cache, depth + 1, memo);
       if (is_arithmetic(value)) {
         try {
-          value = std::to_string(Arith(value).parse());
+          long long v = Arith(value).parse();
+          value.clear();
+          append_int(value, v);
         } catch (const ExperimentError&) {
           // Not actually arithmetic (or not evaluable): keep the literal.
         }
       }
-      out += value;
-    } else if (is_arithmetic(name)) {
-      out += std::to_string(Arith(name).parse());
-    } else {
-      throw ExperimentError("undefined variable '{" + name +
-                            "}' while expanding '" + std::string(text) +
-                            "'");
     }
-    i = close + 1;
+    out += value;
+    memo.values.emplace(it->first, std::move(value));
+    return;
   }
+  if (seg.folded) {
+    append_int(out, *seg.folded);
+    return;
+  }
+  bool inline_arith = seg.kind == Segment::Kind::kNested
+                          ? is_arithmetic(name)
+                          : seg.maybe_arith;
+  if (inline_arith) {
+    append_int(out, Arith(name).parse());
+    return;
+  }
+  throw ExperimentError("undefined variable '{" + name +
+                        "}' while expanding '" + source_ + "'");
+}
+
+// --------------------------------------------------------- TemplateCache
+
+TemplateCache& TemplateCache::global() {
+  static TemplateCache instance;
+  return instance;
+}
+
+TemplateCache::Shard& TemplateCache::shard_for(std::string_view key) const {
+  // Same hasher the shard maps use: one fast pass over the key instead
+  // of an extra byte-at-a-time fnv1a walk (which dominated warm lookups
+  // of script-sized templates).
+  return shards_[StringHash{}(key) % kShards];
+}
+
+std::shared_ptr<const CompiledTemplate> TemplateCache::get(
+    std::string_view text) {
+  auto& collector = obs::TraceCollector::global();
+  Shard& shard = shard_for(text);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(text);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      collector.counter_add("ramble.template.hits");
+      return it->second.tmpl;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  collector.counter_add("ramble.template.misses");
+  // Compile outside the shard lock; errors propagate and nothing is
+  // cached. Concurrent duplicate misses compile identical templates, so
+  // the last-writer-wins overwrite below is benign.
+  auto compiled = std::make_shared<const CompiledTemplate>(text);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry& entry = shard.entries[std::string(text)];
+    if (!entry.tmpl) size_.fetch_add(1, std::memory_order_relaxed);
+    entry.tmpl = compiled;
+    entry.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  collector.counter_add("ramble.template.inserts");
+  if (capacity_.load(std::memory_order_relaxed) != 0) evict_to_capacity();
+  return compiled;
+}
+
+void TemplateCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+  }
+  size_.store(0, std::memory_order_relaxed);
+}
+
+void TemplateCache::set_capacity(std::size_t max_entries) {
+  capacity_.store(max_entries, std::memory_order_relaxed);
+  if (max_entries != 0) evict_to_capacity();
+}
+
+void TemplateCache::evict_to_capacity() {
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  const std::size_t capacity = capacity_.load(std::memory_order_relaxed);
+  if (capacity == 0) return;
+  while (size_.load(std::memory_order_relaxed) > capacity) {
+    // Find the globally oldest entry (smallest sequence) across shards.
+    Shard* victim_shard = nullptr;
+    std::string victim_key;
+    std::uint64_t victim_seq = UINT64_MAX;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [key, entry] : shard.entries) {
+        if (entry.sequence < victim_seq) {
+          victim_seq = entry.sequence;
+          victim_key = key;
+          victim_shard = &shard;
+        }
+      }
+    }
+    if (!victim_shard) return;
+    std::lock_guard<std::mutex> lock(victim_shard->mu);
+    // Re-check: the entry may have been refreshed or dropped since the
+    // scan; erase only the exact (key, sequence) pair we chose.
+    auto it = victim_shard->entries.find(victim_key);
+    if (it == victim_shard->entries.end() ||
+        it->second.sequence != victim_seq) {
+      continue;
+    }
+    victim_shard->entries.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceCollector::global().counter_add("ramble.template.evictions");
+  }
+}
+
+TemplateCacheStats TemplateCache::stats() const {
+  TemplateCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
   return out;
 }
 
-}  // namespace
+// -------------------------------------------------------------- wrappers
 
 long long evaluate_arithmetic(std::string_view expr) {
   return Arith(expr).parse();
 }
 
 std::string expand(std::string_view text, const VariableMap& vars) {
-  return expand_rec(text, vars, 0);
+  auto compiled = TemplateCache::global().get(text);
+  std::string out;
+  out.reserve(text.size());
+  compiled->expand_into(out, vars, /*use_cache=*/true);
+  return out;
 }
 
-long long expand_int(std::string_view text, const VariableMap& vars) {
-  auto expanded = expand(text, vars);
+std::string expand_uncached(std::string_view text, const VariableMap& vars) {
+  CompiledTemplate compiled(text);
+  std::string out;
+  out.reserve(text.size());
+  compiled.expand_into(out, vars, /*use_cache=*/false);
+  return out;
+}
+
+long long expand_int(std::string_view text, const VariableMap& vars,
+                     bool use_cache) {
+  auto expanded =
+      use_cache ? expand(text, vars) : expand_uncached(text, vars);
   try {
     return support::parse_int(expanded);
   } catch (const Error&) {

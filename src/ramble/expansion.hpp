@@ -5,23 +5,212 @@
 // integer arithmetic Ramble allows in expansions ("{processes_per_node} *
 // {n_nodes}"). Unknown variables and reference cycles raise
 // ExperimentError with the offending name.
+//
+// Templates are compiled once into a segment list (CompiledTemplate) and
+// memoized in a process-wide sharded TemplateCache keyed by the template
+// text, so expanding the same template across a large experiment matrix
+// is a segment walk with no re-tokenizing. `expand()` stays the thin
+// wrapper everyone calls; `expand_uncached()` bypasses the cache (used by
+// RunRequest{use_cache=false} and the cold-path benchmarks).
+//
+// Placeholders use balanced-brace matching, so `{ {n} * 2 }` nests (the
+// inner template expands first, then the result is looked up / evaluated)
+// and `{{`/`}}` stay Jinja-style literal-brace escapes everywhere,
+// including inside placeholder bodies.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 namespace benchpark::ramble {
 
 using VariableMap = std::map<std::string, std::string>;
 
+/// A template tokenized once into literal / variable / arithmetic
+/// segments. Immutable after construction; safe to share across threads
+/// (expansion only reads). Construction throws ExperimentError for
+/// unbalanced '{' — exactly the error `expand()` always raised.
+class CompiledTemplate {
+public:
+  explicit CompiledTemplate(std::string_view text);
+
+  /// Append the expansion of this template against `vars` to `out`.
+  /// `use_cache` controls whether *value* templates (a variable's text,
+  /// which is itself a template) go through the process-wide cache.
+  /// Within one call, each variable's fully-expanded value is computed
+  /// once and memoized, so a name referenced N times costs one recursive
+  /// expansion plus N-1 local map hits.
+  void expand_into(std::string& out, const VariableMap& vars,
+                   bool use_cache) const;
+
+  [[nodiscard]] std::string expand(const VariableMap& vars,
+                                   bool use_cache = true) const;
+
+  [[nodiscard]] const std::string& source() const { return source_; }
+  /// Placeholder segments ({...}); 0 means the template is pure literal.
+  [[nodiscard]] std::size_t placeholder_count() const;
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+private:
+  struct Segment {
+    enum class Kind {
+      kLiteral,   // raw bytes (escapes already folded: "{{" -> "{")
+      kVariable,  // {name} — plain inner text, no nested braces
+      kNested,    // {...} whose body is itself a template
+    };
+    Kind kind = Kind::kLiteral;
+    /// kLiteral: the bytes; kVariable/kNested: the raw placeholder body
+    /// (for lookups and error messages).
+    std::string text;
+    /// is_arithmetic(text) screen, precomputed (kVariable only).
+    bool maybe_arith = false;
+    /// Inline arithmetic pre-evaluated at compile time ({8 * 2} -> 16);
+    /// only consulted after the variable lookup misses, so a literal
+    /// "8 * 2" variable name still wins like it always did.
+    std::optional<long long> folded;
+    std::shared_ptr<const CompiledTemplate> inner;  // kNested body
+  };
+
+  /// Per-top-level-expansion memo: variable name -> fully expanded (and
+  /// arithmetic-folded) value. Keys are views into the VariableMap's key
+  /// storage, which outlives the expansion call. Defined in the .cpp.
+  struct Memo;
+
+  void expand_into(std::string& out, const VariableMap& vars, bool use_cache,
+                   int depth, Memo& memo) const;
+  /// Resolve one placeholder name against vars / arithmetic and append.
+  void expand_name(std::string& out, const std::string& name,
+                   const Segment& seg, const VariableMap& vars,
+                   bool use_cache, int depth, Memo& memo) const;
+
+  std::string source_;
+  std::vector<Segment> segments_;
+  /// Set when the template has no placeholders: the fully-expanded value
+  /// with the arithmetic-value fold already applied ("8 * 2" -> "16",
+  /// "2023-01-01" kept literal). Lets a scalar variable's value append
+  /// without re-screening on every experiment.
+  std::optional<std::string> literal_value_;
+};
+
+/// Cumulative counters; snapshot by value via TemplateCache::stats()
+/// (same shape as ConcretizeCacheStats / buildcache::CacheStats).
+struct TemplateCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t inserts = 0;
+  std::size_t evictions = 0;  // dropped to stay under capacity
+
+  [[nodiscard]] std::size_t lookups() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return lookups() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+};
+
+/// Process-wide sharded memo table: template text -> CompiledTemplate.
+/// The key is the exact source text, so the compiled form is a pure
+/// function of the key and entries never go stale. Thread-safe; counters
+/// are exact under concurrent expansion (atomics, mirrored into the
+/// trace collector's "ramble.template.*" counters when tracing).
+class TemplateCache {
+public:
+  TemplateCache() = default;
+  TemplateCache(const TemplateCache&) = delete;
+  TemplateCache& operator=(const TemplateCache&) = delete;
+
+  /// The process-wide instance `expand()` consults.
+  static TemplateCache& global();
+
+  /// Fetch-or-compile. Compile errors (unbalanced '{') propagate and
+  /// nothing is cached, so a bad template throws on every call exactly
+  /// like the uncompiled expander did.
+  [[nodiscard]] std::shared_ptr<const CompiledTemplate> get(
+      std::string_view text);
+
+  /// Drop everything (counters are kept; tests use clear() for isolation).
+  void clear();
+
+  /// Capacity in entries; 0 (default) is unbounded. Over capacity the
+  /// oldest-inserted entries are evicted first.
+  void set_capacity(std::size_t max_entries);
+  [[nodiscard]] std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] TemplateCacheStats stats() const;
+
+private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Entry {
+    std::shared_ptr<const CompiledTemplate> tmpl;
+    std::uint64_t sequence = 0;  // insert order, process-wide
+  };
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      // Script-sized keys hash a bounded sample (head + tail + length)
+      // so lookup cost doesn't scale with template size; the map's full
+      // key equality still guards correctness. Generated scripts share
+      // long common prefixes, so the tail carries the distinguishing
+      // bytes (experiment names, sizes).
+      constexpr std::size_t kSample = 64;
+      std::hash<std::string_view> h;
+      if (s.size() <= 2 * kSample) return h(s);
+      std::size_t head = h(s.substr(0, kSample));
+      std::size_t tail = h(s.substr(s.size() - kSample));
+      return head ^ (tail + 0x9e3779b97f4a7c15ULL + (head << 6)) ^ s.size();
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry, StringHash, std::equal_to<>>
+        entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key) const;
+  /// Evict oldest-sequence entries until size() fits capacity(). Lock
+  /// order is evict_mu_ -> shard.mu, never the reverse.
+  void evict_to_capacity();
+
+  mutable std::array<Shard, kShards> shards_;
+  std::mutex evict_mu_;
+  std::atomic<std::size_t> capacity_{0};
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> next_sequence_{1};
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> inserts_{0};
+  std::atomic<std::size_t> evictions_{0};
+};
+
 /// Expand every `{name}` in `text` against `vars`, recursively, then
 /// evaluate arithmetic of the form `{expr}` where expr contains only
-/// numbers and + - * / ( ).
+/// numbers and + - * / ( ). Compiles through the process-wide
+/// TemplateCache.
 std::string expand(std::string_view text, const VariableMap& vars);
 
-/// Expand and parse as integer (for n_ranks etc.).
-long long expand_int(std::string_view text, const VariableMap& vars);
+/// Identical semantics to expand(), but never touches the template
+/// cache (neither for `text` nor for variable values).
+std::string expand_uncached(std::string_view text, const VariableMap& vars);
+
+/// Expand and parse as integer (for n_ranks etc.). `use_cache` gates the
+/// template cache exactly like expand()/expand_uncached().
+long long expand_int(std::string_view text, const VariableMap& vars,
+                     bool use_cache = true);
 
 /// Evaluate a purely arithmetic expression ("8 * 2"); throws
 /// ExperimentError when malformed. Exposed for tests.

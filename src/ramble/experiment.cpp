@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/error.hpp"
+#include "src/support/parallel.hpp"
 
 namespace benchpark::ramble {
 
@@ -39,7 +40,8 @@ ExperimentTemplate ExperimentTemplate::from_yaml(
 }
 
 std::vector<Experiment> expand_experiments(const ExperimentTemplate& tmpl,
-                                           const VariableMap& base) {
+                                           const VariableMap& base,
+                                           int threads) {
   // Which vector variables are consumed by matrices?
   std::vector<std::string> matrix_vars;
   for (const auto& [mname, vars] : tmpl.matrices) {
@@ -105,35 +107,41 @@ std::vector<Experiment> expand_experiments(const ExperimentTemplate& tmpl,
   }
   if (!zipped.names.empty()) dimensions.push_back(std::move(zipped));
 
-  // Walk the cross product.
-  std::vector<Experiment> experiments;
-  std::vector<std::size_t> index(dimensions.size(), 0);
-  while (true) {
-    VariableMap vars = base;
-    for (const auto& [k, v] : tmpl.scalars) vars[k] = v;
-    for (std::size_t d = 0; d < dimensions.size(); ++d) {
-      const auto& dim = dimensions[d];
-      const auto& tuple = dim.tuples[index[d]];
-      for (std::size_t k = 0; k < dim.names.size(); ++k) {
-        vars[dim.names[k]] = tuple[k];
-      }
-    }
-    Experiment exp;
-    exp.name = expand(tmpl.name_template, vars);
-    exp.variables = std::move(vars);
-    experiments.push_back(std::move(exp));
+  // Walk the cross product: experiment g takes index (g / stride_d) %
+  // size_d from dimension d with dimension 0 varying fastest — the same
+  // order the old serial odometer produced (it incremented index[0]
+  // first). Each row is a pure function of g, so large products fill in
+  // parallel row blocks and assemble by index; the returned vector is
+  // identical at every thread width. A template with no dimensions
+  // yields exactly one experiment (total == 1).
+  std::size_t total = 1;
+  for (const auto& dim : dimensions) total *= dim.tuples.size();
 
-    // Odometer increment; stop after the last combination.
-    std::size_t d = 0;
-    for (; d < dimensions.size(); ++d) {
-      if (++index[d] < dimensions[d].tuples.size()) break;
-      index[d] = 0;
+  std::vector<Experiment> experiments(total);
+  auto fill_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t g = begin; g < end; ++g) {
+      VariableMap vars = base;
+      for (const auto& [k, v] : tmpl.scalars) vars[k] = v;
+      std::size_t rem = g;
+      for (const auto& dim : dimensions) {
+        const auto& tuple = dim.tuples[rem % dim.tuples.size()];
+        rem /= dim.tuples.size();
+        for (std::size_t k = 0; k < dim.names.size(); ++k) {
+          vars[dim.names[k]] = tuple[k];
+        }
+      }
+      Experiment& exp = experiments[g];
+      exp.name = expand(tmpl.name_template, vars);
+      exp.variables = std::move(vars);
     }
-    if (d == dimensions.size()) break;
-    if (dimensions.empty()) break;
+  };
+
+  int width = threads == 0 ? support::ThreadPool::default_threads() : threads;
+  if (total < kParallelExpandThreshold || width <= 1) {
+    fill_rows(0, total);
+  } else {
+    support::parallel_for(total, width, fill_rows);
   }
-  // A template with no dimensions yields exactly one experiment (handled
-  // naturally: the while body ran once and the odometer exited).
   return experiments;
 }
 

@@ -46,10 +46,31 @@ struct Experiment {
   VariableMap variables;  // complete assignment (scalars + vector picks)
 };
 
+/// Matrices larger than this expand their cross-product rows in parallel
+/// on the shared ThreadPool (row blocks; the result is index-assembled,
+/// so ordering is unaffected). Exposed for tests and benchmarks.
+inline constexpr std::size_t kParallelExpandThreshold = 64;
+
 /// Expand a template into its concrete experiments. `base` supplies
 /// variables visible to the name expansion (workload defaults, system
 /// variables); experiment variables win on conflict.
+///
+/// Ordering is deterministic and platform-independent, pinned by
+/// tests/test_experiment.cpp:
+///   * cross-product dimensions are ordered by matrix declaration order,
+///     then by variable order within each matrix (exactly the order the
+///     names appear in ramble.yaml — never map-iteration order);
+///   * vector variables not consumed by any matrix are zipped, in vector
+///     declaration order, into one final dimension;
+///   * the cross product is walked odometer-style with dimension 0
+///     varying fastest (experiment g picks index (g / stride_d) % size_d
+///     from dimension d, stride_0 = 1).
+///
+/// `threads` is the fan-out width for large products (>=
+/// kParallelExpandThreshold rows): 0 = ThreadPool::default_threads(),
+/// 1 = serial. The returned vector is byte-identical for every width.
 std::vector<Experiment> expand_experiments(const ExperimentTemplate& tmpl,
-                                           const VariableMap& base = {});
+                                           const VariableMap& base = {},
+                                           int threads = 0);
 
 }  // namespace benchpark::ramble

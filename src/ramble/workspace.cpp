@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "src/concretizer/concretizer.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pkg/repo.hpp"
 #include "src/ramble/modifier.hpp"
 #include "src/runtime/simexec.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fs_util.hpp"
+#include "src/support/parallel.hpp"
 #include "src/support/string_util.hpp"
 #include "src/yaml/emitter.hpp"
 
@@ -428,6 +430,154 @@ void Workspace::run() {
   ran_ = true;
 }
 
+RunReport Workspace::run_all(const RunRequest& request) {
+  if (!set_up_) throw ExperimentError("workspace is not set up");
+  auto& collector = obs::TraceCollector::global();
+  const auto cache_before = TemplateCache::global().stats();
+
+  struct ExperimentRun {
+    bool success = false;
+    bool timed_out = false;
+    int attempts = 1;
+    double retry_wait_seconds = 0;
+    double runtime_seconds = 0;
+    std::string output;
+  };
+  std::vector<ExperimentRun> runs(prepared_.size());
+
+  auto run_one = [&](std::size_t i) {
+    const auto& exp = prepared_[i];
+    obs::ScopedSpan span(
+        collector,
+        collector.enabled() ? "workflow.experiment" : std::string(),
+        "ramble");
+    if (span.active()) {
+      span.annotate("experiment", exp.name);
+      span.annotate("app", exp.app);
+    }
+    ExperimentRun& r = runs[i];
+
+    // The rendered script is the source of truth for the request —
+    // exactly what sbatch would read (Figure 13).
+    auto batch = sched::parse_batch_script(exp.script, system_.scheduler);
+    if (batch.nodes > system_.num_nodes) {
+      throw SchedulerError("job requests " +
+                                  std::to_string(batch.nodes) +
+                                  " nodes; system has " +
+                                  std::to_string(system_.num_nodes));
+    }
+    double time_limit = batch.time_limit_seconds.value_or(7200);
+
+    runtime::RunParams params;
+    params.app = exp.app;
+    auto size_var = exp.variables.find("n");
+    if (size_var == exp.variables.end()) {
+      size_var = exp.variables.find("nx");
+    }
+    if (size_var != exp.variables.end()) {
+      params.n = static_cast<std::uint64_t>(expand_int(
+          size_var->second, exp.variables, request.use_cache));
+    }
+    params.n_nodes = batch.nodes;
+    params.n_ranks = batch.ranks;
+    params.n_threads = static_cast<int>(expand_int(
+        exp.variables.at("n_threads"), exp.variables, request.use_cache));
+    params.use_gpu = exp.use_gpu;
+    // The job environment (workload env_vars + modifier injections),
+    // expanded against the experiment's variables.
+    for (const auto& [k, v] : exp.env_vars) {
+      params.env[k] = request.use_cache
+                          ? expand(v, exp.variables)
+                          : expand_uncached(v, exp.variables);
+    }
+
+    const auto& system = system_;
+    double runtime = 0;
+    try {
+      auto exec = runtime::run_with_retry(
+          [&system, &params] {
+            return system.name == "native"
+                       ? runtime::run_native(params)
+                       : runtime::run_simulated(system, params);
+          },
+          exp.name, request.retry);
+      r.attempts = exec.attempts;
+      r.retry_wait_seconds = exec.retry_wait_seconds;
+      r.success = exec.outcome.success;
+      r.output = std::move(exec.outcome.output);
+      runtime = std::max(0.0, exec.outcome.elapsed_seconds);
+    } catch (const std::exception& e) {
+      // Same conversion the batch scheduler applies: user code threw, the
+      // job failed, the engine keeps going.
+      r.success = false;
+      r.output = std::string("job raised: ") + e.what();
+    }
+    if (runtime > time_limit) {
+      // Identical decoration (and job numbering: submission order) to
+      // what the batch scheduler writes on a time-limit kill.
+      r.timed_out = true;
+      r.success = false;
+      r.output += "\nslurmstepd: *** JOB " + std::to_string(i + 1) +
+                  " CANCELLED DUE TO TIME LIMIT ***\n";
+      runtime = time_limit;
+    }
+    r.runtime_seconds = runtime;
+    if (span.active()) {
+      span.annotate("attempts", std::to_string(r.attempts));
+      span.annotate("success", r.success ? "1" : "0");
+      // Modeled runtime, never wall-clock (TraceDiff separates them).
+      collector.emit_span("experiment.runtime", "ramble", runtime,
+                          {{"experiment", exp.name}});
+    }
+    collector.counter_add("workspace.experiments.run");
+    if (!r.success) collector.counter_add("workspace.experiments.failed");
+    if (r.attempts > 1) {
+      collector.counter_add("workspace.experiments.retries",
+                            r.attempts - 1);
+    }
+    // Run dirs are disjoint, so the .out write is safe (and worth doing)
+    // inside the parallel section; the bytes are the same either way.
+    support::write_file(exp.run_dir / (exp.name + ".out"), r.output);
+  };
+
+  int width =
+      request.threads == 0 ? support::ThreadPool::default_threads()
+                           : request.threads;
+  if (width <= 1 || prepared_.size() < 2) {
+    for (std::size_t i = 0; i < prepared_.size(); ++i) run_one(i);
+  } else {
+    support::parallel_for(prepared_.size(), width,
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) {
+                              run_one(i);
+                            }
+                          });
+  }
+
+  // Serial aggregation in submission order: the counters and the report
+  // never depend on completion interleaving.
+  RunReport report;
+  report.experiments = runs.size();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ExperimentRun& r = runs[i];
+    if (r.success) {
+      ++report.succeeded;
+    } else {
+      ++report.failed;
+    }
+    if (r.timed_out) ++report.timeouts;
+    report.total_attempts += static_cast<std::size_t>(r.attempts);
+    if (r.attempts > 1) ++report.retried;
+    report.retry_wait_seconds += r.retry_wait_seconds;
+    report.total_simulated_seconds += r.runtime_seconds;
+  }
+  const auto cache_after = TemplateCache::global().stats();
+  report.template_cache_hits = cache_after.hits - cache_before.hits;
+  report.template_cache_misses = cache_after.misses - cache_before.misses;
+  ran_ = true;
+  return report;
+}
+
 AnalyzeReport Workspace::analyze() const {
   AnalyzeReport report;
   const auto& registry = ApplicationRegistry::instance();
@@ -458,6 +608,71 @@ AnalyzeReport Workspace::analyze() const {
       }
       result.foms = analysis::extract_foms(fom_specs, output);
       result.success = analysis::evaluate_success(criteria, output);
+      result.output = std::move(output);
+    }
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+AnalyzeReport Workspace::analyze(const RunRequest& request) const {
+  const auto& registry = ApplicationRegistry::instance();
+
+  // Serial prep: file reads and registry lookups; the regex-heavy
+  // extraction below is the part worth fanning out.
+  struct Prep {
+    bool ran = false;
+    std::string output;
+    std::vector<analysis::FomSpec> fom_specs;
+    std::vector<analysis::SuccessCriterion> criteria;
+  };
+  std::vector<Prep> preps(prepared_.size());
+  for (std::size_t i = 0; i < prepared_.size(); ++i) {
+    const auto& exp = prepared_[i];
+    auto out_file = exp.run_dir / (exp.name + ".out");
+    if (!fs::exists(out_file)) continue;
+    Prep& prep = preps[i];
+    prep.ran = true;
+    prep.output = support::read_file(out_file);
+    const auto& app_def = registry.get(exp.app);
+    // Application FOMs plus every active modifier's FOMs and criteria
+    // (Section 4.5's architecture-specific evaluation).
+    prep.fom_specs = app_def.foms();
+    prep.criteria = app_def.success_criteria_list();
+    for (const auto& mod_name : exp.modifiers) {
+      auto modifier = ModifierRegistry::instance().get(mod_name);
+      auto extra_foms = modifier->foms();
+      prep.fom_specs.insert(prep.fom_specs.end(), extra_foms.begin(),
+                            extra_foms.end());
+      auto extra_criteria = modifier->success_criteria();
+      prep.criteria.insert(prep.criteria.end(), extra_criteria.begin(),
+                           extra_criteria.end());
+    }
+  }
+
+  std::vector<analysis::FomExtractTask> tasks(preps.size());
+  for (std::size_t i = 0; i < preps.size(); ++i) {
+    if (!preps[i].ran) continue;
+    tasks[i].specs = &preps[i].fom_specs;
+    tasks[i].criteria = &preps[i].criteria;
+    tasks[i].output = &preps[i].output;
+  }
+  auto extracted = analysis::extract_foms_batch(tasks, request.threads);
+
+  AnalyzeReport report;
+  report.results.reserve(prepared_.size());
+  for (std::size_t i = 0; i < prepared_.size(); ++i) {
+    const auto& exp = prepared_[i];
+    ExperimentResult result;
+    result.app = exp.app;
+    result.workload = exp.workload;
+    result.name = exp.name;
+    result.variables = exp.variables;
+    if (preps[i].ran) {
+      result.ran = true;
+      result.foms = std::move(extracted[i].foms);
+      result.success = extracted[i].success;
+      result.output = std::move(preps[i].output);
     }
     report.results.push_back(std::move(result));
   }

@@ -27,6 +27,7 @@
 #include "src/pkg/repo.hpp"
 #include "src/ramble/application.hpp"
 #include "src/ramble/experiment.hpp"
+#include "src/runtime/simexec.hpp"
 #include "src/sched/scheduler.hpp"
 #include "src/support/table.hpp"
 #include "src/system/system.hpp"
@@ -100,8 +101,42 @@ struct ExperimentResult {
   bool success = false;
   std::vector<analysis::FomValue> foms;
   VariableMap variables;
+  /// Raw experiment stdout (what analysis extracted the FOMs from);
+  /// downstream ingestion parses Caliper region profiles out of it.
+  std::string output;
 
   [[nodiscard]] const analysis::FomValue* fom(std::string_view name) const;
+};
+
+/// Knobs for the parallel experiment-run engine (run_all / analyze).
+struct RunRequest {
+  /// Fan-out width: 0 = ThreadPool::default_threads(), 1 = serial.
+  int threads = 0;
+  /// Consult the process-wide TemplateCache for every expansion; false
+  /// compiles each template on the fly (the cold path benchmarks
+  /// measure the difference).
+  bool use_cache = true;
+  /// Retry/backoff for the "experiment.exec" fault site.
+  runtime::ExecRetryOptions retry;
+};
+
+/// What run_all did, aggregated in experiment (submission) order.
+struct RunReport {
+  std::size_t experiments = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t timeouts = 0;
+  /// Execution attempts across all experiments (>= experiments).
+  std::size_t total_attempts = 0;
+  /// Experiments that needed more than one attempt.
+  std::size_t retried = 0;
+  /// Total modeled backoff wait across retries.
+  double retry_wait_seconds = 0;
+  /// Sum of modeled experiment runtimes (post time-limit clamping).
+  double total_simulated_seconds = 0;
+  /// TemplateCache traffic during this call (process-wide delta).
+  std::size_t template_cache_hits = 0;
+  std::size_t template_cache_misses = 0;
 };
 
 struct AnalyzeReport {
@@ -134,8 +169,23 @@ public:
   /// batch scheduler (simulated; "native" runs kernels for real).
   void run();
 
+  /// `ramble on` at scale: schedule the prepared experiments concurrently
+  /// on the shared ThreadPool (their run dirs are disjoint, so they are
+  /// independent), with per-experiment "workflow.experiment" spans,
+  /// workspace.experiments.* counters, and "experiment.exec" fault
+  /// retry/backoff. Results — the .out files, their ordering, and the
+  /// report — are byte-identical at every thread width: every retry and
+  /// fault decision is a pure function of (seed, site, experiment name,
+  /// attempt), outputs land indexed by submission order, and aggregation
+  /// is serial in that order.
+  RunReport run_all(const RunRequest& request = {});
+
   /// `ramble workspace analyze`.
   [[nodiscard]] AnalyzeReport analyze() const;
+
+  /// analyze() with FOM extraction fanned out over completed experiments
+  /// (pure per-experiment regex work). Same report, any thread width.
+  [[nodiscard]] AnalyzeReport analyze(const RunRequest& request) const;
 
   // -- introspection ------------------------------------------------------
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }

@@ -363,6 +363,63 @@ RunOutcome run_simulated_impl(const SystemDescription& system,
 
 }  // namespace
 
+namespace {
+
+/// Modeled wait before retry `attempt` (1-based): exponential backoff
+/// with deterministic jitter keyed on (seed, key, attempt) — the same
+/// scheme the installer uses, so chaos runs reproduce identical waits.
+double exec_backoff_seconds(const ExecRetryOptions& options,
+                            std::string_view key, int attempt) {
+  double base = std::max(0.0, options.backoff_base_seconds) *
+                std::pow(2.0, attempt - 1);
+  support::Rng rng(options.retry_seed ^ support::fnv1a(key) ^
+                   (0x9e3779b97f4a7c15ULL *
+                    static_cast<std::uint64_t>(attempt)));
+  return base * (1.0 + std::max(0.0, options.backoff_jitter) *
+                           rng.next_double());
+}
+
+}  // namespace
+
+ExecResult run_with_retry(const std::function<RunOutcome()>& run_once,
+                          const std::string& key,
+                          const ExecRetryOptions& options) {
+  const int max_attempts = 1 + std::max(0, options.max_retries);
+  ExecResult result;
+  for (int attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    double injected_latency = 0.0;
+    try {
+      injected_latency = support::fault_hit("experiment.exec", key, attempt);
+    } catch (const TransientError& e) {
+      if (attempt >= max_attempts) {
+        result.outcome.success = false;
+        result.outcome.exit_code = 75;  // EX_TEMPFAIL: retries exhausted
+        result.outcome.output = std::string(e.what()) + "\n";
+        return result;
+      }
+      result.retry_wait_seconds += exec_backoff_seconds(options, key, attempt);
+      continue;
+    } catch (const PermanentError& e) {
+      result.outcome.success = false;
+      result.outcome.exit_code = 70;  // EX_SOFTWARE: not worth retrying
+      result.outcome.output = std::string(e.what()) + "\n";
+      return result;
+    }
+    RunOutcome outcome = run_once();
+    outcome.elapsed_seconds += injected_latency;
+    if (!outcome.success && outcome.exit_code == 75 &&
+        attempt < max_attempts) {
+      // The run itself reported a transient failure (e.g. the
+      // "runtime.exec" fault site) — retry it like a flaky node.
+      result.retry_wait_seconds += exec_backoff_seconds(options, key, attempt);
+      continue;
+    }
+    result.outcome = std::move(outcome);
+    return result;
+  }
+}
+
 RunOutcome run_simulated(const SystemDescription& system,
                          const RunParams& raw_params) {
   auto& collector = obs::TraceCollector::global();

@@ -31,13 +31,25 @@ cz::Concretizer simple_concretizer() {
   return cz::Concretizer(pkg::default_repo_stack(), config);
 }
 
+/// One root through the unified API, legacy semantics (fresh context,
+/// serial, no memo cache).
+benchpark::spec::Spec concretize1(const cz::Concretizer& c,
+                                  const std::string& text) {
+  cz::ConcretizeRequest request;
+  request.roots = {benchpark::spec::Spec::parse(text)};
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(c.concretize_all(request).specs.front());
+}
+
 std::vector<benchpark::spec::Spec> distinct_concrete_specs() {
   auto concretizer = simple_concretizer();
   std::vector<benchpark::spec::Spec> specs;
   for (const char* name :
        {"zlib", "cmake", "gmake", "adiak", "caliper", "hypre", "openblas",
         "python"}) {
-    specs.push_back(concretizer.concretize(name));
+    specs.push_back(concretize1(concretizer, name));
   }
   return specs;
 }
@@ -47,7 +59,7 @@ std::vector<benchpark::spec::Spec> distinct_concrete_specs() {
 TEST(BuildCache, ColdThenWarmAccounting) {
   BinaryCache cache;
   auto concretizer = simple_concretizer();
-  auto spec = concretizer.concretize("zlib");
+  auto spec = concretize1(concretizer, "zlib");
 
   EXPECT_FALSE(cache.fetch(spec).has_value());  // cold miss
   cache.push(spec, 1 << 20);
@@ -77,7 +89,7 @@ TEST(BuildCache, FetchCostModelIsLatencyPlusBandwidth) {
 TEST(BuildCache, PushOverwritesSameHash) {
   BinaryCache cache;
   auto concretizer = simple_concretizer();
-  auto spec = concretizer.concretize("zlib");
+  auto spec = concretize1(concretizer, "zlib");
   cache.push(spec, 100);
   cache.push(spec, 200);
   EXPECT_EQ(cache.size(), 1u);
@@ -149,7 +161,7 @@ TEST(BuildCache, TransientFetchFaultsAreRetriedInternally) {
   plan.clear();
 
   auto concretizer = simple_concretizer();
-  auto spec = concretizer.concretize("zlib");
+  auto spec = concretize1(concretizer, "zlib");
   BinaryCache cache;
   cache.push(spec, 1 << 20);
 
@@ -173,7 +185,7 @@ TEST(BuildCache, ExhaustedFetchRetriesThrowTransient) {
   plan.clear();
 
   auto concretizer = simple_concretizer();
-  auto spec = concretizer.concretize("zlib");
+  auto spec = concretize1(concretizer, "zlib");
   BinaryCache cache;
   cache.push(spec, 1 << 20);
 
@@ -228,7 +240,7 @@ TEST(BuildCache, OverwriteRefreshesEvictionOrder) {
 
 TEST(BuildCache, ArtifactLargerThanCapacityIsEvictedImmediately) {
   auto concretizer = simple_concretizer();
-  auto spec = concretizer.concretize("zlib");
+  auto spec = concretize1(concretizer, "zlib");
   BinaryCache cache;
   cache.set_capacity_bytes(100);
   cache.push(spec, 1000);
@@ -240,7 +252,7 @@ TEST(BuildCache, ArtifactLargerThanCapacityIsEvictedImmediately) {
 
 TEST(BuildCache, OverwriteAccountsByteDelta) {
   auto concretizer = simple_concretizer();
-  auto spec = concretizer.concretize("zlib");
+  auto spec = concretize1(concretizer, "zlib");
   BinaryCache cache;
   cache.push(spec, 500);
   EXPECT_EQ(cache.total_bytes(), 500u);
@@ -339,7 +351,7 @@ TEST(BuildCache, FetchCostEdgeCases) {
   // A missing artifact still pays no transfer: the miss is latency-only
   // in the installer's model, and the entry is absent.
   auto concretizer = simple_concretizer();
-  auto spec = concretizer.concretize("zlib");
+  auto spec = concretize1(concretizer, "zlib");
   EXPECT_FALSE(cache.fetch(spec).has_value());
 }
 

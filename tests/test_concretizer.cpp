@@ -552,6 +552,9 @@ TEST(ConcretizerConfig, MergeOverlays) {
 // accumulating stats — they must keep passing until callers are gone.
 // (The [[deprecated]] warnings below are the point of the test.)
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST(ConcretizerDeprecated, SpecOverload) {
   auto c = make_concretizer();
   auto s = c.concretize(Spec::parse("zlib"));
@@ -590,3 +593,5 @@ TEST(ConcretizerDeprecated, StatsAccumulate) {
   EXPECT_GE(c.stats().externals_used, 2u);
   EXPECT_GE(c.stats().virtuals_resolved, 2u);
 }
+
+#pragma GCC diagnostic pop

@@ -32,6 +32,17 @@ cz::Concretizer simple_concretizer() {
   return cz::Concretizer(pkg::default_repo_stack(), config);
 }
 
+/// One root through the unified API, legacy semantics (fresh context,
+/// serial, no memo cache).
+spec::Spec concretize1(const cz::Concretizer& c, const std::string& text) {
+  cz::ConcretizeRequest request;
+  request.roots = {spec::Spec::parse(text)};
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(c.concretize_all(request).specs.front());
+}
+
 }  // namespace
 
 TEST(Environment, Figure3ManifestRoundTrip) {
@@ -212,7 +223,7 @@ TEST(Installer, ExternalsCostNothing) {
       "      prefix: /opt/mvapich2\n");
   config.load_packages_yaml(packages);
   cz::Concretizer c(pkg::default_repo_stack(), config);
-  auto s = c.concretize("saxpy");
+  auto s = concretize1(c, "saxpy");
 
   install::InstallTree tree;
   install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
@@ -228,7 +239,7 @@ TEST(Installer, ExternalsCostNothing) {
 
 TEST(Installer, PrefixLayoutIncludesHashAndTarget) {
   auto c = simple_concretizer();
-  auto s = c.concretize("zlib");
+  auto s = concretize1(c, "zlib");
   install::InstallTree tree("/tmp/tree");
   auto prefix = tree.prefix_for(s);
   EXPECT_NE(prefix.find("/tmp/tree/broadwell/zlib-1.3-"), std::string::npos);
@@ -237,7 +248,7 @@ TEST(Installer, PrefixLayoutIncludesHashAndTarget) {
 
 TEST(Installer, BuildArgsRecorded) {
   auto c = simple_concretizer();
-  auto s = c.concretize("saxpy+openmp");
+  auto s = concretize1(c, "saxpy+openmp");
   install::InstallTree tree;
   install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
   auto report = installer.install(s);
@@ -249,7 +260,7 @@ TEST(Installer, BuildArgsRecorded) {
 
 TEST(Installer, MoreJobsBuildFaster) {
   auto c = simple_concretizer();
-  auto s = c.concretize("hypre");
+  auto s = concretize1(c, "hypre");
   install::InstallOptions serial;
   serial.build_jobs = 1;
   install::InstallOptions parallel;
@@ -292,7 +303,7 @@ TEST(BinaryCache, WarmCacheIsTenTimesFaster) {
 TEST(BinaryCache, StatsAndFetchCost) {
   BinaryCache cache(0.1, 1.0e6);
   auto c = simple_concretizer();
-  auto s = c.concretize("zlib");
+  auto s = concretize1(c, "zlib");
   EXPECT_FALSE(cache.fetch(s).has_value());
   cache.push(s, 500000);
   auto entry = cache.fetch(s);
@@ -305,8 +316,8 @@ TEST(BinaryCache, StatsAndFetchCost) {
 TEST(BinaryCache, ContentAddressing) {
   BinaryCache cache;
   auto c = simple_concretizer();
-  auto a = c.concretize("zlib");
-  auto b = c.concretize("zlib@:1.2");  // different version, different hash
+  auto a = concretize1(c, "zlib");
+  auto b = concretize1(c, "zlib@:1.2");  // different version, different hash
   cache.push(a, 1000);
   EXPECT_TRUE(cache.contains(a));
   EXPECT_FALSE(cache.contains(b));
@@ -316,7 +327,7 @@ TEST(Installer, WavefrontInstallMatchesSerialWalk) {
   // The pooled engine must be a pure scheduling change: same records,
   // same counters, same modeled times as the one-at-a-time walk.
   auto c = simple_concretizer();
-  auto spec = c.concretize("amg2023+caliper");
+  auto spec = concretize1(c, "amg2023+caliper");
 
   install::InstallOptions serial;
   serial.engine_threads = 1;
@@ -357,7 +368,7 @@ TEST(Installer, CriticalPathBeatsSerialTotal) {
   // the dependencies with special requirements".
   const auto& cts1 = benchpark::system::SystemRegistry::instance().get("cts1");
   cz::Concretizer c(pkg::default_repo_stack(), cts1.config);
-  auto spec = c.concretize("amg2023+caliper");
+  auto spec = concretize1(c, "amg2023+caliper");
   install::InstallTree tree;
   install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
   auto report = installer.install(spec);
@@ -411,7 +422,7 @@ TEST(Installer, ArchspecFlagsRecordedPerTarget) {
                         Case{"ats4", "-march=znver3"}}) {
     cz::Config config = registry.get(c.system).config;
     cz::Concretizer concretizer(pkg::default_repo_stack(), config);
-    auto spec = concretizer.concretize("zlib");
+    auto spec = concretize1(concretizer, "zlib");
     install::InstallTree tree;
     install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
     auto report = installer.install(spec);
@@ -425,7 +436,7 @@ TEST(Installer, ArchspecFlagsRecordedPerTarget) {
 TEST(Installer, Power9FlagsOnAts2) {
   const auto& ats2 = benchpark::system::SystemRegistry::instance().get("ats2");
   cz::Concretizer concretizer(pkg::default_repo_stack(), ats2.config);
-  auto spec = concretizer.concretize("zlib%gcc");
+  auto spec = concretize1(concretizer, "zlib%gcc");
   install::InstallTree tree;
   install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
   auto report = installer.install(spec);
@@ -440,7 +451,7 @@ TEST(Installer, TransientBuildFailuresAreRetriedWithBackoff) {
   plan.clear();
 
   auto c = simple_concretizer();
-  auto spec = c.concretize("saxpy");
+  auto spec = concretize1(c, "saxpy");
   const auto* mpi = spec.dependency("mvapich2");
   ASSERT_NE(mpi, nullptr);
 
@@ -477,7 +488,7 @@ TEST(Installer, ExhaustedRetriesFailLoudlyAndReleaseClaims) {
   plan.clear();
 
   auto c = simple_concretizer();
-  auto spec = c.concretize("saxpy");
+  auto spec = concretize1(c, "saxpy");
   const auto* mpi = spec.dependency("mvapich2");
   ASSERT_NE(mpi, nullptr);
 
@@ -510,7 +521,7 @@ TEST(Installer, FailedDependencySkipsDependentsButBuildsTheRest) {
   plan.clear();
 
   auto c = simple_concretizer();
-  auto spec = c.concretize("amg2023+caliper");
+  auto spec = concretize1(c, "amg2023+caliper");
   const auto* hypre = spec.dependency("hypre");
   ASSERT_NE(hypre, nullptr);
 
@@ -544,7 +555,7 @@ TEST(Installer, FetchFailureFallsBackToSourceBuild) {
   plan.clear();
 
   auto c = simple_concretizer();
-  auto spec = c.concretize("zlib");
+  auto spec = concretize1(c, "zlib");
   BinaryCache cache;
   {
     install::InstallTree warmup;

@@ -61,6 +61,18 @@ cz::Concretizer simple_concretizer() {
   return cz::Concretizer(pkg::default_repo_stack(), config);
 }
 
+/// One root through the unified API, legacy semantics (fresh context,
+/// serial, no memo cache).
+benchpark::spec::Spec concretize1(const cz::Concretizer& c,
+                                  const std::string& text) {
+  cz::ConcretizeRequest request;
+  request.roots = {benchpark::spec::Spec::parse(text)};
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(c.concretize_all(request).specs.front());
+}
+
 }  // namespace
 
 // ----------------------------------------------------- disabled path
@@ -98,7 +110,7 @@ TEST(TraceCollector, DisabledRunOfInstrumentedCodeEmitsZeroEvents) {
   ASSERT_FALSE(global.enabled());
 
   auto concretizer = simple_concretizer();
-  auto concrete = concretizer.concretize("amg2023");
+  auto concrete = concretize1(concretizer, "amg2023");
   install::InstallTree tree;
   BinaryCache cache;
   install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
@@ -432,7 +444,7 @@ TEST(TraceInstall, AttemptSpansEqualReportAttempts) {
   auto& collector = obs::TraceCollector::global();
 
   auto concretizer = simple_concretizer();
-  auto concrete = concretizer.concretize("amg2023");
+  auto concrete = concretize1(concretizer, "amg2023");
   install::InstallTree tree;
   BinaryCache cache;
   install::Installer installer(pkg::default_repo_stack(), &tree, &cache);
@@ -464,7 +476,7 @@ TEST(TraceInstall, ChaosVsCleanDiffIsolatesInjectedLatency) {
       plan.add_rule(rule);
     }
     auto concretizer = simple_concretizer();
-    auto concrete = concretizer.concretize("amg2023");
+    auto concrete = concretize1(concretizer, "amg2023");
     install::InstallTree tree;
     install::Installer installer(pkg::default_repo_stack(), &tree, nullptr);
     auto report = installer.install(concrete);

@@ -99,6 +99,42 @@ TEST(Expansion, DoubledBracesEscapeLiterals) {
   EXPECT_EQ(expand("a}}b{{c", {}), "a}b{c");
 }
 
+TEST(Expansion, NestedBracesInsideArithmetic) {
+  // A brace body may itself contain placeholders: the inner expansion
+  // happens first, then the arithmetic screen sees the resolved text.
+  VariableMap vars{{"n", "8"}};
+  EXPECT_EQ(expand("{ {n} * 2 }", vars), "16");
+  EXPECT_EQ(expand("{({n}+1)*{n}}", vars), "72");
+  // Non-arithmetic nested bodies work too: variable-name indirection.
+  VariableMap indirect{{"suffix", "a"}, {"pa", "left"}, {"pb", "right"}};
+  EXPECT_EQ(expand("{p{suffix}}", indirect), "left");
+  indirect["suffix"] = "b";
+  EXPECT_EQ(expand("{p{suffix}}", indirect), "right");
+}
+
+TEST(Expansion, UndefinedVariableErrorNamesVariableAndTemplate) {
+  try {
+    (void)expand("run -n {ghost}", {{"n", "4"}});
+    FAIL() << "expected ExperimentError";
+  } catch (const benchpark::ExperimentError& e) {
+    EXPECT_STREQ(e.what(),
+                 "undefined variable '{ghost}' while expanding "
+                 "'run -n {ghost}'");
+  }
+}
+
+TEST(Expansion, CompiledTemplateIntrospection) {
+  ramble::CompiledTemplate tmpl("srun -n {n_ranks} ./{app} --size {n}");
+  EXPECT_EQ(tmpl.source(), "srun -n {n_ranks} ./{app} --size {n}");
+  EXPECT_EQ(tmpl.placeholder_count(), 3u);
+  // literal, var, literal, var, literal, var.
+  EXPECT_EQ(tmpl.segment_count(), 6u);
+  std::string out;
+  tmpl.expand_into(out, {{"n_ranks", "4"}, {"app", "saxpy"}, {"n", "9"}},
+                   /*use_cache=*/false);
+  EXPECT_EQ(out, "srun -n 4 ./saxpy --size 9");
+}
+
 // ----------------------------------------------------------- applications
 
 TEST(Applications, Figure8SaxpyDefinition) {
@@ -241,6 +277,59 @@ TEST(Experiments, MatrixOfUnknownVariableThrows) {
       "  - ghost\n");
   auto tmpl = ramble::ExperimentTemplate::from_yaml("e", node);
   EXPECT_THROW(expand_experiments(tmpl), benchpark::ExperimentError);
+}
+
+TEST(Experiments, EscapedBracesSurviveInNameTemplates) {
+  auto node = benchpark::yaml::parse("variables:\n  n: '512'\n");
+  auto tmpl = ramble::ExperimentTemplate::from_yaml("e_{{n}}_{n}", node);
+  auto experiments = expand_experiments(tmpl);
+  ASSERT_EQ(experiments.size(), 1u);
+  EXPECT_EQ(experiments[0].name, "e_{n}_512");
+}
+
+TEST(Experiments, DimensionOrderingIsDocumentedAndStable) {
+  // Dimensions: matrices in declaration order, then the zipped
+  // unconsumed vectors. Dimension 0 varies fastest (the odometer
+  // increments its first wheel first).
+  auto node = benchpark::yaml::parse(
+      "variables:\n"
+      "  a: ['1', '2']\n"
+      "  b: ['x', 'y']\n"
+      "  c: ['p', 'q']\n"
+      "  d: ['s', 't']\n"
+      "matrices:\n"
+      "- m1:\n"
+      "  - a\n"
+      "- m2:\n"
+      "  - b\n");
+  auto tmpl = ramble::ExperimentTemplate::from_yaml("e_{a}{b}{c}{d}", node);
+  auto experiments = expand_experiments(tmpl);
+  std::vector<std::string> names;
+  names.reserve(experiments.size());
+  for (const auto& e : experiments) names.push_back(e.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "e_1xps", "e_2xps", "e_1yps", "e_2yps",
+                       "e_1xqt", "e_2xqt", "e_1yqt", "e_2yqt"}));
+}
+
+TEST(Experiments, ParallelExpansionMatchesSerial) {
+  // 4 x 4 x 4 = 64 rows: exactly kParallelExpandThreshold, so the
+  // threads=8 call takes the parallel path; ordering must not change.
+  std::string yaml = "variables:\n";
+  for (const char* v : {"a", "b", "c"}) {
+    yaml += std::string("  ") + v + ": ['0', '1', '2', '3']\n";
+  }
+  yaml += "matrices:\n- m:\n  - a\n  - b\n  - c\n";
+  auto tmpl = ramble::ExperimentTemplate::from_yaml(
+      "e_{a}_{b}_{c}", benchpark::yaml::parse(yaml));
+  auto serial = expand_experiments(tmpl, {}, /*threads=*/1);
+  auto parallel = expand_experiments(tmpl, {}, /*threads=*/8);
+  ASSERT_EQ(serial.size(), ramble::kParallelExpandThreshold);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].name, parallel[i].name) << i;
+    EXPECT_EQ(serial[i].variables, parallel[i].variables) << i;
+  }
 }
 
 // ---------------------------------------------------------------- workspace

@@ -13,6 +13,18 @@ using benchpark::yaml::parse;
 
 namespace {
 
+/// One root through the unified API, legacy semantics (fresh context,
+/// serial, no memo cache).
+benchpark::spec::Spec concretize1(
+    const benchpark::concretizer::Concretizer& c, const std::string& text) {
+  benchpark::concretizer::ConcretizeRequest request;
+  request.roots = {benchpark::spec::Spec::parse(text)};
+  request.unify = false;
+  request.use_cache = false;
+  request.threads = 1;
+  return std::move(c.concretize_all(request).specs.front());
+}
+
 const char* kRepoYaml =
     "packages:\n"
     "  pingpong:\n"
@@ -129,7 +141,7 @@ TEST(YamlRepo, OverlayConcretizesThroughStack) {
 
   const auto& cts1 = benchpark::system::SystemRegistry::instance().get("cts1");
   benchpark::concretizer::Concretizer cz(stack, cts1.config);
-  auto concrete = cz.concretize("pingpong+openmp backend=ucx");
+  auto concrete = concretize1(cz, "pingpong+openmp backend=ucx");
   EXPECT_TRUE(concrete.concrete());
   EXPECT_EQ(concrete.concrete_version().str(), "2.1");
   EXPECT_EQ(concrete.variant("backend")->as_single(), "ucx");
@@ -144,6 +156,6 @@ TEST(YamlRepo, DisallowedVariantValueCaughtAtConcretize) {
   stack.push_front(std::shared_ptr<const pkg::Repo>(overlay));
   const auto& cts1 = benchpark::system::SystemRegistry::instance().get("cts1");
   benchpark::concretizer::Concretizer cz(stack, cts1.config);
-  EXPECT_THROW(cz.concretize("pingpong backend=tcp"),
+  EXPECT_THROW(concretize1(cz, "pingpong backend=tcp"),
                benchpark::ConcretizationError);
 }
