@@ -3,6 +3,9 @@
 // convergence AMG benchmarks measure, plus the threaded smoother.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <vector>
+
 #include "src/benchmarks/multigrid.hpp"
 
 namespace {
@@ -49,6 +52,56 @@ void BM_MultigridSetupPhase(benchmark::State& state) {
 }
 BENCHMARK(BM_MultigridSetupPhase)->Arg(63)->Arg(255)
     ->Unit(benchmark::kMillisecond);
+
+void BM_MultigridResidualRow(benchmark::State& state) {
+  // Inner-loop kernel in isolation: vectorized (range(1)=1) vs scalar
+  // reference (range(1)=0), with a parity check on stores and sum so the
+  // reported speedup is apples-to-apples (FOM parity).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool vectorized = state.range(1) == 1;
+  const std::size_t stride = n + 2;
+  std::vector<double> u(3 * stride, 1.25), f(3 * stride, 2.5);
+  std::vector<double> r(3 * stride, 0.0), rv(3 * stride, 0.0);
+  for (std::size_t i = 0; i < 3 * stride; ++i) {
+    u[i] += 0.001 * static_cast<double>(i % 97);
+  }
+  const double inv_h2 = static_cast<double>((n + 1) * (n + 1));
+  const double sum_v = bm::multigrid_residual_row(
+      rv.data() + stride, u.data() + stride, f.data() + stride, n, stride,
+      inv_h2);
+  double sum = 0;
+  for (auto _ : state) {
+    sum = vectorized
+              ? bm::multigrid_residual_row(r.data() + stride,
+                                           u.data() + stride,
+                                           f.data() + stride, n, stride,
+                                           inv_h2)
+              : bm::multigrid_residual_row_scalar(r.data() + stride,
+                                                  u.data() + stride,
+                                                  f.data() + stride, n,
+                                                  stride, inv_h2);
+    benchmark::DoNotOptimize(r.data());
+    benchmark::ClobberMemory();
+  }
+  for (std::size_t j = 1; j <= n; ++j) {
+    if (r[stride + j] != rv[stride + j]) {
+      state.SkipWithError("scalar/vectorized residual parity failed");
+      return;
+    }
+  }
+  if (std::abs(sum - sum_v) > 1e-12 * std::abs(sum_v)) {
+    state.SkipWithError("residual sum parity failed");
+    return;
+  }
+  state.SetLabel(vectorized ? "vectorized" : "scalar");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MultigridResidualRow)
+    ->Args({255, 0})
+    ->Args({255, 1})
+    ->Args({4095, 0})
+    ->Args({4095, 1});
 
 }  // namespace
 

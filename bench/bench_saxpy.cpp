@@ -62,6 +62,31 @@ void BM_SaxpyModeledCrossover(benchmark::State& state) {
 }
 BENCHMARK(BM_SaxpyModeledCrossover)->Range(512, 1 << 26);
 
+void BM_SaxpyScalarReference(benchmark::State& state) {
+  // Vectorization-disabled twin at the same sizes; the SIMD speedup is
+  // BM_SaxpyKernel / this, and the run aborts if the results diverge
+  // (the FOM must come from the same arithmetic).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> x(n, 1.0f), y(n, 2.0f), r(n), rv(n);
+  bm::saxpy_kernel(rv.data(), x.data(), y.data(), n);
+  for (auto _ : state) {
+    bm::saxpy_kernel_scalar(r.data(), x.data(), y.data(), n);
+    benchmark::DoNotOptimize(r.data());
+    benchmark::ClobberMemory();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r[i] != rv[i]) {
+      state.SkipWithError("scalar/vectorized saxpy parity failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::saxpy_bytes(n)));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SaxpyScalarReference)->Arg(1024)->Arg(1 << 20);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -28,7 +28,9 @@ struct ExperimentRecord {
   std::string benchmark;
   std::string system;
   std::string experiment;  // expanded experiment name
-  std::map<std::string, std::string> variables;
+  /// Transparent comparator: same type as ramble::VariableMap, so the
+  /// workspace's variable assignments move here without conversion.
+  std::map<std::string, std::string, std::less<>> variables;
   /// The application's declared FOM specs (failure rows need the names
   /// and units even when nothing was extracted).
   std::vector<FomSpec> declared_foms;

@@ -22,7 +22,9 @@ struct ResultRow {
   std::string benchmark;
   std::string system;
   std::string experiment;  // expanded experiment name
-  std::map<std::string, std::string> variables;
+  /// Transparent comparator: same type as ramble::VariableMap, so rows
+  /// copy straight from ExperimentRecord and feed expand_int directly.
+  std::map<std::string, std::string, std::less<>> variables;
   std::string fom_name;
   double value = 0;
   std::string units;

@@ -6,6 +6,7 @@
 
 #include "src/support/error.hpp"
 #include "src/support/parallel.hpp"
+#include "src/support/simd.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::benchmarks {
@@ -60,13 +61,9 @@ void smooth(Level& level, int sweeps, int threads) {
     benchpark::support::parallel_for(
         n, threads, [&](std::size_t lo, std::size_t hi) {
           for (std::size_t i = lo + 1; i <= hi; ++i) {
-            for (std::size_t j = 1; j <= n; ++j) {
-              std::size_t c = level.idx(i, j);
-              double sum = level.u[c - 1] + level.u[c + 1] +
-                           level.u[c - (n + 2)] + level.u[c + (n + 2)];
-              double jac = 0.25 * (h2 * level.f[c] + sum);
-              next[c] = level.u[c] + omega * (jac - level.u[c]);
-            }
+            const std::size_t base = i * (n + 2);
+            multigrid_smooth_row(next.data() + base, level.u.data() + base,
+                                 level.f.data() + base, n, n + 2, h2, omega);
           }
         });
     level.u.swap(next);
@@ -89,16 +86,11 @@ double residual(Level& level, int threads) {
           std::size_t row_hi = 1 + (chunk + 1) * n / nchunks;
           double sum = 0;
           for (std::size_t i = row_lo; i < row_hi; ++i) {
-            for (std::size_t j = 1; j <= n; ++j) {
-              std::size_t c = level.idx(i, j);
-              double au = (4.0 * level.u[c] - level.u[c - 1] -
-                           level.u[c + 1] - level.u[c - (n + 2)] -
-                           level.u[c + (n + 2)]) *
-                          inv_h2;
-              double rv = level.f[c] - au;
-              level.r[c] = rv;
-              sum += rv * rv;
-            }
+            const std::size_t base = i * (n + 2);
+            sum += multigrid_residual_row(level.r.data() + base,
+                                          level.u.data() + base,
+                                          level.f.data() + base, n, n + 2,
+                                          inv_h2);
           }
           partial[chunk] = sum;
         }
@@ -185,6 +177,93 @@ void v_cycle(std::vector<Level>& levels, std::size_t depth,
 }
 
 }  // namespace
+
+// -- vectorized inner-loop kernels ----------------------------------------
+
+void multigrid_smooth_row(double* next_row, const double* u_row,
+                          const double* f_row, std::size_t n,
+                          std::size_t stride, double h2, double omega) {
+  const double* north = u_row - stride;
+  const double* south = u_row + stride;
+  BENCHPARK_SIMD
+  for (std::size_t j = 1; j <= n; ++j) {
+    double sum = u_row[j - 1] + u_row[j + 1] + north[j] + south[j];
+    double jac = 0.25 * (h2 * f_row[j] + sum);
+    next_row[j] = u_row[j] + omega * (jac - u_row[j]);
+  }
+}
+
+BENCHPARK_NO_VECTORIZE
+void multigrid_smooth_row_scalar(double* next_row, const double* u_row,
+                                 const double* f_row, std::size_t n,
+                                 std::size_t stride, double h2, double omega) {
+  const double* north = u_row - stride;
+  const double* south = u_row + stride;
+  for (std::size_t j = 1; j <= n; ++j) {
+    double sum = u_row[j - 1] + u_row[j + 1] + north[j] + south[j];
+    double jac = 0.25 * (h2 * f_row[j] + sum);
+    next_row[j] = u_row[j] + omega * (jac - u_row[j]);
+  }
+}
+
+double multigrid_residual_row(double* r_row, const double* u_row,
+                              const double* f_row, std::size_t n,
+                              std::size_t stride, double inv_h2) {
+  const double* north = u_row - stride;
+  const double* south = u_row + stride;
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t j = 1;
+  for (; j + 3 <= n; j += 4) {
+    double rv0 = f_row[j] - (4.0 * u_row[j] - u_row[j - 1] - u_row[j + 1] -
+                             north[j] - south[j]) *
+                                inv_h2;
+    double rv1 =
+        f_row[j + 1] - (4.0 * u_row[j + 1] - u_row[j] - u_row[j + 2] -
+                        north[j + 1] - south[j + 1]) *
+                           inv_h2;
+    double rv2 =
+        f_row[j + 2] - (4.0 * u_row[j + 2] - u_row[j + 1] - u_row[j + 3] -
+                        north[j + 2] - south[j + 2]) *
+                           inv_h2;
+    double rv3 =
+        f_row[j + 3] - (4.0 * u_row[j + 3] - u_row[j + 2] - u_row[j + 4] -
+                        north[j + 3] - south[j + 3]) *
+                           inv_h2;
+    r_row[j] = rv0;
+    r_row[j + 1] = rv1;
+    r_row[j + 2] = rv2;
+    r_row[j + 3] = rv3;
+    s0 += rv0 * rv0;
+    s1 += rv1 * rv1;
+    s2 += rv2 * rv2;
+    s3 += rv3 * rv3;
+  }
+  for (; j <= n; ++j) {
+    double rv = f_row[j] - (4.0 * u_row[j] - u_row[j - 1] - u_row[j + 1] -
+                            north[j] - south[j]) *
+                               inv_h2;
+    r_row[j] = rv;
+    s0 += rv * rv;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+BENCHPARK_NO_VECTORIZE
+double multigrid_residual_row_scalar(double* r_row, const double* u_row,
+                                     const double* f_row, std::size_t n,
+                                     std::size_t stride, double inv_h2) {
+  const double* north = u_row - stride;
+  const double* south = u_row + stride;
+  double sum = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    double rv = f_row[j] - (4.0 * u_row[j] - u_row[j - 1] - u_row[j + 1] -
+                            north[j] - south[j]) *
+                               inv_h2;
+    r_row[j] = rv;
+    sum += rv * rv;
+  }
+  return sum;
+}
 
 MultigridResult solve_poisson_multigrid(const MultigridOptions& options) {
   // The hierarchy needs n = 2^k - 1 so each coarse grid is (n-1)/2.

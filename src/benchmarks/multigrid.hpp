@@ -58,6 +58,32 @@ struct MultigridResult {
 /// u = sin(πx)·sin(πy); returns timings, convergence and error data.
 MultigridResult solve_poisson_multigrid(const MultigridOptions& options);
 
+// -- vectorized inner-loop kernels ----------------------------------------
+// One interior grid row each; `*_row` pointers address the start of row i
+// in the (n+2)-wide halo layout (element j of the row is column j), and
+// `stride` is the row pitch (n + 2). Exposed so the parity tests can pin
+// vectorized against scalar behavior.
+
+/// Weighted-Jacobi update of row columns [1, n] (#pragma omp simd).
+/// Elementwise — bitwise-identical to the `_scalar` twin.
+void multigrid_smooth_row(double* next_row, const double* u_row,
+                          const double* f_row, std::size_t n,
+                          std::size_t stride, double h2, double omega);
+void multigrid_smooth_row_scalar(double* next_row, const double* u_row,
+                                 const double* f_row, std::size_t n,
+                                 std::size_t stride, double h2, double omega);
+
+/// r = f - Au over row columns [1, n]; returns the row's squared-residual
+/// sum. Manually 4-wide unrolled: the stores are bitwise-identical to the
+/// scalar twin, the returned sum reassociates across the four lanes, so
+/// parity is to relative tolerance.
+double multigrid_residual_row(double* r_row, const double* u_row,
+                              const double* f_row, std::size_t n,
+                              std::size_t stride, double inv_h2);
+double multigrid_residual_row_scalar(double* r_row, const double* u_row,
+                                     const double* f_row, std::size_t n,
+                                     std::size_t stride, double inv_h2);
+
 /// Cost-model inputs: flops/bytes for one V-cycle on an n x n fine grid.
 [[nodiscard]] double multigrid_cycle_flops(std::size_t n);
 [[nodiscard]] double multigrid_cycle_bytes(std::size_t n);

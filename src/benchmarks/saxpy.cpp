@@ -5,12 +5,22 @@
 #include <string>
 
 #include "src/support/parallel.hpp"
+#include "src/support/simd.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::benchmarks {
 
 void saxpy_kernel(float* r, const float* x, const float* y,
                   std::size_t size, float a) {
+  BENCHPARK_SIMD
+  for (std::size_t i = 0; i < size; ++i) {
+    r[i] = a * x[i] + y[i];
+  }
+}
+
+BENCHPARK_NO_VECTORIZE
+void saxpy_kernel_scalar(float* r, const float* x, const float* y,
+                         std::size_t size, float a) {
   for (std::size_t i = 0; i < size; ++i) {
     r[i] = a * x[i] + y[i];
   }

@@ -10,9 +10,16 @@
 
 namespace benchpark::benchmarks {
 
-/// Figure 7, verbatim semantics: r[i] = A * x[i] + y[i].
+/// Figure 7, verbatim semantics: r[i] = A * x[i] + y[i]. Vectorized
+/// (#pragma omp simd); elementwise, so results are bitwise-identical to
+/// the scalar reference below.
 void saxpy_kernel(float* r, const float* x, const float* y,
                   std::size_t size, float a = 2.0f);
+
+/// Scalar reference twin (vectorization disabled); the parity test pins
+/// saxpy_kernel == saxpy_kernel_scalar bitwise.
+void saxpy_kernel_scalar(float* r, const float* x, const float* y,
+                         std::size_t size, float a = 2.0f);
 
 struct SaxpyResult {
   std::size_t n = 0;

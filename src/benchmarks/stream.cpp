@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/support/parallel.hpp"
+#include "src/support/simd.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::benchmarks {
@@ -18,6 +19,54 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 
 }  // namespace
+
+// ----------------------------------------------------------- kernels
+
+void stream_copy(double* c, const double* a, std::size_t size) {
+  BENCHPARK_SIMD
+  for (std::size_t i = 0; i < size; ++i) c[i] = a[i];
+}
+
+void stream_scale(double* b, const double* c, double scalar,
+                  std::size_t size) {
+  BENCHPARK_SIMD
+  for (std::size_t i = 0; i < size; ++i) b[i] = scalar * c[i];
+}
+
+void stream_add(double* c, const double* a, const double* b,
+                std::size_t size) {
+  BENCHPARK_SIMD
+  for (std::size_t i = 0; i < size; ++i) c[i] = a[i] + b[i];
+}
+
+void stream_triad(double* a, const double* b, const double* c, double scalar,
+                  std::size_t size) {
+  BENCHPARK_SIMD
+  for (std::size_t i = 0; i < size; ++i) a[i] = b[i] + scalar * c[i];
+}
+
+BENCHPARK_NO_VECTORIZE
+void stream_copy_scalar(double* c, const double* a, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) c[i] = a[i];
+}
+
+BENCHPARK_NO_VECTORIZE
+void stream_scale_scalar(double* b, const double* c, double scalar,
+                         std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) b[i] = scalar * c[i];
+}
+
+BENCHPARK_NO_VECTORIZE
+void stream_add_scalar(double* c, const double* a, const double* b,
+                       std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) c[i] = a[i] + b[i];
+}
+
+BENCHPARK_NO_VECTORIZE
+void stream_triad_scalar(double* a, const double* b, const double* c,
+                         double scalar, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) a[i] = b[i] + scalar * c[i];
+}
 
 StreamResult run_stream(std::size_t n, int threads, int repeats) {
   std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.0);
@@ -33,28 +82,29 @@ StreamResult run_stream(std::size_t n, int threads, int repeats) {
     // Copy: c = a
     auto t0 = std::chrono::steady_clock::now();
     support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) c[i] = a[i];
+      stream_copy(c.data() + lo, a.data() + lo, hi - lo);
     });
     best_seconds[0] = std::min(best_seconds[0], seconds_since(t0));
 
     // Scale: b = s * c
     t0 = std::chrono::steady_clock::now();
     support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) b[i] = scalar * c[i];
+      stream_scale(b.data() + lo, c.data() + lo, scalar, hi - lo);
     });
     best_seconds[1] = std::min(best_seconds[1], seconds_since(t0));
 
     // Add: c = a + b
     t0 = std::chrono::steady_clock::now();
     support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) c[i] = a[i] + b[i];
+      stream_add(c.data() + lo, a.data() + lo, b.data() + lo, hi - lo);
     });
     best_seconds[2] = std::min(best_seconds[2], seconds_since(t0));
 
     // Triad: a = b + s * c
     t0 = std::chrono::steady_clock::now();
     support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) a[i] = b[i] + scalar * c[i];
+      stream_triad(a.data() + lo, b.data() + lo, c.data() + lo, scalar,
+                   hi - lo);
     });
     best_seconds[3] = std::min(best_seconds[3], seconds_since(t0));
   }

@@ -20,6 +20,26 @@ struct StreamResult {
 inline constexpr std::array<const char*, 4> kStreamKernelNames{
     "Copy", "Scale", "Add", "Triad"};
 
+/// The four STREAM operations as standalone vectorized kernels
+/// (#pragma omp simd) over [0, size); run_stream fans them out across
+/// the thread pool. All are elementwise, so each is bitwise-identical to
+/// its `_scalar` reference twin (vectorization disabled) — the parity
+/// tests pin that.
+void stream_copy(double* c, const double* a, std::size_t size);
+void stream_scale(double* b, const double* c, double scalar,
+                  std::size_t size);
+void stream_add(double* c, const double* a, const double* b,
+                std::size_t size);
+void stream_triad(double* a, const double* b, const double* c, double scalar,
+                  std::size_t size);
+void stream_copy_scalar(double* c, const double* a, std::size_t size);
+void stream_scale_scalar(double* b, const double* c, double scalar,
+                         std::size_t size);
+void stream_add_scalar(double* c, const double* a, const double* b,
+                       std::size_t size);
+void stream_triad_scalar(double* a, const double* b, const double* c,
+                         double scalar, std::size_t size);
+
 StreamResult run_stream(std::size_t n, int threads = 1, int repeats = 3);
 
 [[nodiscard]] double stream_triad_bytes(std::size_t n);

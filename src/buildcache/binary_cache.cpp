@@ -1,6 +1,7 @@
 #include "src/buildcache/binary_cache.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
@@ -37,21 +38,21 @@ std::optional<CacheEntry> BinaryCache::fetch(const spec::Spec& concrete) {
         span.annotate("outcome", "transient-exhausted");
         throw;
       }
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      retries_.fetch_add(1, std::memory_order_release);
       collector.counter_add("buildcache.retries");
       injected += base_latency_seconds_;  // re-request round trip
     }
   }
-  Shard& shard = shard_for(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.entries.find(hash);
-  if (it == shard.entries.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free hit path: one atomic snapshot load, no shard mutex.
+  auto map = shard_for(hash).snapshot.load();
+  auto it = map->find(std::string_view(hash));
+  if (it == map->end()) {
+    misses_.fetch_add(1, std::memory_order_release);
     collector.counter_add("buildcache.misses");
     span.annotate("outcome", "miss");
     return std::nullopt;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_release);
   collector.counter_add("buildcache.hits");
   span.annotate("outcome", "hit");
   CacheEntry entry = it->second;
@@ -73,20 +74,25 @@ void BinaryCache::push(const spec::Spec& concrete, std::uint64_t size_bytes) {
   entry.short_spec = concrete.short_str();
   entry.size_bytes = size_bytes;
   entry.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  // Counted before the entry becomes visible: a concurrent evictor can
+  // only evict a published entry, so evictions <= pushes always holds in
+  // stats() snapshots.
+  pushes_.fetch_add(1, std::memory_order_release);
+  collector.counter_add("buildcache.pushes");
   Shard& shard = shard_for(hash);
   {
+    // Copy-on-write publish: readers keep seeing the old snapshot until
+    // the new one lands in one atomic store.
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.entries.find(hash);
+    auto next = std::make_shared<Map>(*shard.snapshot.load());
+    auto it = next->find(std::string_view(hash));
     // An overwrite only changes the total by the size delta.
-    std::uint64_t old_bytes = it == shard.entries.end()
-                                  ? 0
-                                  : it->second.size_bytes;
+    std::uint64_t old_bytes = it == next->end() ? 0 : it->second.size_bytes;
     total_bytes_.fetch_add(size_bytes, std::memory_order_relaxed);
     total_bytes_.fetch_sub(old_bytes, std::memory_order_relaxed);
-    shard.entries.insert_or_assign(std::move(hash), std::move(entry));
+    next->insert_or_assign(std::move(hash), std::move(entry));
+    shard.snapshot.store(std::move(next));
   }
-  pushes_.fetch_add(1, std::memory_order_relaxed);
-  collector.counter_add("buildcache.pushes");
   evict_to_capacity();
 }
 
@@ -103,13 +109,13 @@ void BinaryCache::evict_to_capacity() {
   auto& collector = obs::TraceCollector::global();
   std::lock_guard<std::mutex> evict_lock(evict_mu_);
   while (total_bytes_.load(std::memory_order_relaxed) > capacity) {
-    // Find the globally oldest entry, one shard lock at a time.
+    // Find the globally oldest entry from the lock-free snapshots.
     Shard* oldest_shard = nullptr;
     std::string oldest_hash;
     std::uint64_t oldest_sequence = 0;
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      for (const auto& [hash, entry] : shard.entries) {
+      auto map = shard.snapshot.load();
+      for (const auto& [hash, entry] : *map) {
         if (oldest_shard == nullptr || entry.sequence < oldest_sequence) {
           oldest_shard = &shard;
           oldest_hash = hash;
@@ -119,48 +125,49 @@ void BinaryCache::evict_to_capacity() {
     }
     if (oldest_shard == nullptr) return;  // raced to empty
     std::lock_guard<std::mutex> lock(oldest_shard->mu);
-    auto it = oldest_shard->entries.find(oldest_hash);
+    auto next = std::make_shared<Map>(*oldest_shard->snapshot.load());
+    auto it = next->find(std::string_view(oldest_hash));
     // A concurrent overwrite refreshed the entry: leave the new artifact
     // alone and rescan.
-    if (it == oldest_shard->entries.end() ||
-        it->second.sequence != oldest_sequence) {
+    if (it == next->end() || it->second.sequence != oldest_sequence) {
       continue;
     }
     total_bytes_.fetch_sub(it->second.size_bytes, std::memory_order_relaxed);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_release);
     collector.counter_add("buildcache.evictions");
     if (collector.enabled()) {
       collector.instant("evict", "buildcache",
                         {{"hash", it->second.dag_hash},
                          {"bytes", std::to_string(it->second.size_bytes)}});
     }
-    oldest_shard->entries.erase(it);
+    next->erase(it);
+    oldest_shard->snapshot.store(std::move(next));
   }
 }
 
 bool BinaryCache::contains(const spec::Spec& concrete) const {
   auto hash = concrete.dag_hash();
-  Shard& shard = shard_for(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.entries.count(hash) > 0;
+  auto map = shard_for(hash).snapshot.load();
+  return map->count(std::string_view(hash)) > 0;
 }
 
 std::size_t BinaryCache::size() const {
   std::size_t total = 0;
-  for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.entries.size();
-  }
+  for (auto& shard : shards_) total += shard.snapshot.load()->size();
   return total;
 }
 
 CacheStats BinaryCache::stats() const {
+  // Torn-read-free snapshot: effect counters are read before their cause
+  // counters (acquire loads pairing with the release increments), so the
+  // returned struct always satisfies evictions <= pushes and retries <=
+  // what the hit/miss totals imply — no impossible intermediate states.
   CacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.pushes = pushes_.load(std::memory_order_relaxed);
-  s.retries = retries_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_acquire);
+  s.retries = retries_.load(std::memory_order_acquire);
+  s.pushes = pushes_.load(std::memory_order_acquire);
+  s.misses = misses_.load(std::memory_order_acquire);
+  s.hits = hits_.load(std::memory_order_acquire);
   return s;
 }
 

@@ -4,12 +4,14 @@
 // applications on only the dependencies with special requirements."
 //
 // A thread-safe, hash-addressed build mirror. Entries are keyed by the
-// concrete spec's DAG hash and sharded across independently locked
-// buckets so concurrent install workers on different packages do not
-// contend on a single mutex; hit/miss/push counters are atomics. Fetch
-// latency is modeled (mirror round-trip plus size over sustained
-// bandwidth) — the decision logic (what is mirrored, what is rebuilt) is
-// fully real.
+// concrete spec's DAG hash and sharded; each shard publishes an immutable
+// RCU-style snapshot (support/snapshot.hpp), so the steady-state read
+// path — fetch hits, contains, size — is a single atomic load with zero
+// locks. Writers copy the shard map under the shard mutex and publish
+// atomically; hit/miss/push counters are atomics (release increments,
+// acquire snapshot reads — see stats()). Fetch latency is modeled (mirror
+// round-trip plus size over sustained bandwidth) — the decision logic
+// (what is mirrored, what is rebuilt) is fully real.
 #pragma once
 
 #include <array>
@@ -23,6 +25,8 @@
 #include <unordered_map>
 
 #include "src/spec/spec.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/snapshot.hpp"
 
 namespace benchpark::buildcache {
 
@@ -40,7 +44,10 @@ struct CacheEntry {
   double injected_latency_seconds = 0.0;
 };
 
-/// Cumulative counters; snapshot via BinaryCache::stats().
+/// Cumulative counters; snapshot via BinaryCache::stats(). Snapshots are
+/// torn-read-free: within one struct, evictions <= pushes always holds,
+/// and every counter is monotone across successive snapshots (release
+/// increments read back in causal order with acquire loads).
 struct CacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
@@ -113,9 +120,14 @@ public:
 private:
   static constexpr std::size_t kShards = 16;
 
+  using Map = std::unordered_map<std::string, CacheEntry,
+                                 support::TransparentStringHash,
+                                 std::equal_to<>>;
+  /// Readers load `snapshot` lock-free; writers serialize on `mu`,
+  /// copy the current map, mutate the copy, and publish it.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, CacheEntry> entries;
+    std::mutex mu;
+    support::SnapshotPtr<Map> snapshot;
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view dag_hash) const;

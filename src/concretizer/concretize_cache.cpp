@@ -66,17 +66,15 @@ ConcretizationCache::Shard& ConcretizationCache::shard_for(
 ConcretizationCache::SharedSpec ConcretizationCache::lookup(
     std::string_view key) {
   auto& collector = obs::TraceCollector::global();
-  Shard& shard = shard_for(key);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.entries.find(std::string(key));
-    if (it != shard.entries.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      collector.counter_add("concretizer.cache.hits");
-      return it->second.spec;
-    }
+  // Lock-free hit path: one atomic snapshot load, heterogeneous find.
+  auto map = shard_for(key).snapshot.load();
+  auto it = map->find(key);
+  if (it != map->end()) {
+    hits_.fetch_add(1, std::memory_order_release);
+    collector.counter_add("concretizer.cache.hits");
+    return it->second.spec;
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_release);
   collector.counter_add("concretizer.cache.misses");
   return nullptr;
 }
@@ -85,15 +83,20 @@ ConcretizationCache::SharedSpec ConcretizationCache::insert(
     const std::string& key, spec::Spec concrete) {
   auto shared = std::make_shared<const spec::Spec>(std::move(concrete));
   Shard& shard = shard_for(key);
+  // Counted before the entry is published so a concurrent evictor or
+  // invalidator can never make evictions/invalidations exceed inserts in
+  // a stats() snapshot.
+  inserts_.fetch_add(1, std::memory_order_release);
+  obs::TraceCollector::global().counter_add("concretizer.cache.inserts");
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    Entry& entry = shard.entries[key];
+    auto next = std::make_shared<Map>(*shard.snapshot.load());
+    Entry& entry = (*next)[key];
     if (!entry.spec) size_.fetch_add(1, std::memory_order_relaxed);
     entry.spec = shared;
     entry.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    shard.snapshot.store(std::move(next));
   }
-  inserts_.fetch_add(1, std::memory_order_relaxed);
-  obs::TraceCollector::global().counter_add("concretizer.cache.inserts");
   if (capacity_.load(std::memory_order_relaxed) != 0) evict_to_capacity();
   return shared;
 }
@@ -101,11 +104,13 @@ ConcretizationCache::SharedSpec ConcretizationCache::insert(
 bool ConcretizationCache::invalidate(std::string_view key) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.entries.find(std::string(key));
-  if (it == shard.entries.end()) return false;
-  shard.entries.erase(it);
+  auto next = std::make_shared<Map>(*shard.snapshot.load());
+  auto it = next->find(key);
+  if (it == next->end()) return false;
+  next->erase(it);
+  shard.snapshot.store(std::move(next));
   size_.fetch_sub(1, std::memory_order_relaxed);
-  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidations_.fetch_add(1, std::memory_order_release);
   obs::TraceCollector::global().counter_add(
       "concretizer.cache.invalidations");
   return true;
@@ -114,7 +119,7 @@ bool ConcretizationCache::invalidate(std::string_view key) {
 void ConcretizationCache::clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.entries.clear();
+    shard.snapshot.store(std::make_shared<const Map>());
   }
   size_.store(0, std::memory_order_relaxed);
 }
@@ -129,13 +134,14 @@ void ConcretizationCache::evict_to_capacity() {
   const std::size_t capacity = capacity_.load(std::memory_order_relaxed);
   if (capacity == 0) return;
   while (size_.load(std::memory_order_relaxed) > capacity) {
-    // Find the globally oldest entry (smallest sequence) across shards.
+    // Find the globally oldest entry (smallest sequence) from the
+    // lock-free snapshots.
     Shard* victim_shard = nullptr;
     std::string victim_key;
     std::uint64_t victim_seq = UINT64_MAX;
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      for (const auto& [key, entry] : shard.entries) {
+      auto map = shard.snapshot.load();
+      for (const auto& [key, entry] : *map) {
         if (entry.sequence < victim_seq) {
           victim_seq = entry.sequence;
           victim_key = key;
@@ -145,27 +151,32 @@ void ConcretizationCache::evict_to_capacity() {
     }
     if (!victim_shard) return;
     std::lock_guard<std::mutex> lock(victim_shard->mu);
+    auto next = std::make_shared<Map>(*victim_shard->snapshot.load());
     // Re-check: the entry may have been refreshed or dropped since the
     // scan; erase only the exact (key, sequence) pair we chose.
-    auto it = victim_shard->entries.find(victim_key);
-    if (it == victim_shard->entries.end() ||
-        it->second.sequence != victim_seq) {
+    auto it = next->find(std::string_view(victim_key));
+    if (it == next->end() || it->second.sequence != victim_seq) {
       continue;
     }
-    victim_shard->entries.erase(it);
+    next->erase(it);
+    victim_shard->snapshot.store(std::move(next));
     size_.fetch_sub(1, std::memory_order_relaxed);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_release);
     obs::TraceCollector::global().counter_add("concretizer.cache.evictions");
   }
 }
 
 ConcretizeCacheStats ConcretizationCache::stats() const {
+  // Torn-read-free: effect counters (evictions, invalidations) are read
+  // before their cause (inserts), and inserts before the miss/hit pair,
+  // pairing acquire loads with the release increments — a returned struct
+  // never shows more evictions or invalidations than inserts.
   ConcretizeCacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.inserts = inserts_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_acquire);
+  out.invalidations = invalidations_.load(std::memory_order_acquire);
+  out.inserts = inserts_.load(std::memory_order_acquire);
+  out.misses = misses_.load(std::memory_order_acquire);
+  out.hits = hits_.load(std::memory_order_acquire);
   return out;
 }
 

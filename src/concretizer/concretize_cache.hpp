@@ -11,8 +11,11 @@
 // and hold *shared immutable* concrete specs (shared_ptr<const Spec>),
 // so every consumer of a warm entry aliases one resolution. The key is
 // built by Concretizer::concretize_all; this module owns the canonical
-// spec rendering (constraint-order independent) and the sharded,
-// thread-safe table with hit/miss/evict counters.
+// spec rendering (constraint-order independent) and the sharded table
+// with hit/miss/evict counters. Steady-state reads are lock-free: each
+// shard publishes an immutable RCU-style snapshot (support/snapshot.hpp)
+// that lookup() loads with one atomic operation; writers copy-on-write
+// under the shard mutex and publish atomically.
 //
 // Invalidation: the config and repo-stack fingerprints in the key make
 // stale entries unreachable after any scope or recipe change — there is
@@ -33,6 +36,8 @@
 #include <unordered_map>
 
 #include "src/spec/spec.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/snapshot.hpp"
 
 namespace benchpark::concretizer {
 
@@ -48,6 +53,9 @@ namespace benchpark::concretizer {
 
 /// Cumulative counters; snapshot by value via ConcretizationCache::stats()
 /// (same pattern as buildcache::CacheStats / the trace collector).
+/// Snapshots are torn-read-free: evictions <= inserts and
+/// invalidations <= inserts hold within any one struct, and every counter
+/// is monotone across successive snapshots.
 struct ConcretizeCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
@@ -108,9 +116,15 @@ private:
     SharedSpec spec;
     std::uint64_t sequence = 0;  // insert order, process-wide
   };
+  using Map = std::unordered_map<std::string, Entry,
+                                 support::TransparentStringHash,
+                                 std::equal_to<>>;
+  /// Readers load `snapshot` lock-free (one atomic load, heterogeneous
+  /// string_view find — no temporary key string); writers copy-on-write
+  /// under `mu` and publish atomically.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> entries;
+    std::mutex mu;
+    support::SnapshotPtr<Map> snapshot;
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view key) const;

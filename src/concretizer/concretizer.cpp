@@ -10,6 +10,7 @@
 #include "src/support/error.hpp"
 #include "src/support/fault.hpp"
 #include "src/support/hash.hpp"
+#include "src/support/intern.hpp"
 #include "src/support/parallel.hpp"
 #include "src/support/string_util.hpp"
 
@@ -56,50 +57,6 @@ ConcretizeStats Concretizer::stats() const {
   out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
   out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
   return out;
-}
-
-// --------------------------------------------------- deprecated wrappers
-//
-// The legacy overloads bypass the memo cache (use_cache=false) so their
-// behavior — including per-call stats accumulation — is exactly what it
-// was before the request API existed.
-
-spec::Spec Concretizer::concretize(const Spec& abstract) const {
-  ConcretizeRequest request;
-  request.roots = {abstract};
-  request.unify = false;
-  request.use_cache = false;
-  request.threads = 1;
-  return std::move(concretize_all(request).specs.front());
-}
-
-spec::Spec Concretizer::concretize(const std::string& abstract_text) const {
-  ConcretizeRequest request;
-  request.roots = {Spec::parse(abstract_text)};
-  request.unify = false;
-  request.use_cache = false;
-  request.threads = 1;
-  return std::move(concretize_all(request).specs.front());
-}
-
-spec::Spec Concretizer::concretize(const Spec& abstract, Context& ctx) const {
-  ConcretizeRequest request;
-  request.roots = {abstract};
-  request.unify = true;
-  request.context = &ctx;
-  request.use_cache = false;
-  request.threads = 1;
-  return std::move(concretize_all(request).specs.front());
-}
-
-std::vector<spec::Spec> Concretizer::concretize_together(
-    const std::vector<Spec>& roots, bool unify) const {
-  ConcretizeRequest request;
-  request.roots = roots;
-  request.unify = unify;
-  request.use_cache = false;
-  request.threads = 1;
-  return std::move(concretize_all(request).specs);
 }
 
 // ------------------------------------------------------- batched entry
@@ -153,9 +110,12 @@ spec::Spec Concretizer::resolve_root(const Spec& root, Context& ctx,
   }
 }
 
-void Concretizer::static_closure(const std::string& name,
-                                 std::map<std::string, bool>& visited) const {
-  if (!visited.emplace(name, true).second) return;
+void Concretizer::static_closure(
+    std::string_view name,
+    support::ArenaVector<std::uint32_t>& visited) const {
+  const std::uint32_t id = support::intern(name);
+  if (visited.contains(id)) return;
+  visited.push_back(id);
   if (const auto* recipe = repos_.find(name)) {
     for (const auto& d : recipe->dependencies()) {
       static_closure(d.dep.name(), visited);
@@ -250,16 +210,32 @@ ConcretizeResult Concretizer::concretize_all(
       parent[find(a)] = find(b);
     };
     {
-      std::map<std::string, std::size_t> owner;
+      // Per-request arena scratch: closures are interned-id vectors, the
+      // id -> first-owning-root table is a flat list scanned linearly —
+      // package universes are small, so integer scans beat hashing names.
+      support::Arena arena;
+      support::ArenaVector<std::uint32_t> closure(arena);
+      struct Owner {
+        std::uint32_t id;
+        std::size_t root;
+      };
+      support::ArenaVector<Owner> owner(arena);
       for (std::size_t i = 0; i < n; ++i) {
-        std::map<std::string, bool> closure;
+        closure.clear();  // keeps the arena slice; no per-root allocation
         static_closure(request.roots[i].name(), closure);
         for (const auto& dep : request.roots[i].dependencies()) {
           static_closure(dep.name(), closure);
         }
-        for (const auto& [name, _] : closure) {
-          auto [it, inserted] = owner.emplace(name, i);
-          if (!inserted) unite(i, it->second);
+        for (const std::uint32_t id : closure) {
+          bool seen = false;
+          for (const Owner& o : owner) {
+            if (o.id == id) {
+              unite(i, o.root);
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) owner.push_back({id, i});
         }
       }
     }

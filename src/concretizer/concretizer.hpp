@@ -25,20 +25,24 @@
 // independent; unify:true roots are grouped into connected components of
 // their static dependency closures (components cannot interact, so they
 // run concurrently while each component resolves its roots in manifest
-// order against one context). The four legacy concretize* overloads
-// survive as thin deprecated wrappers.
+// order against one context). The component partition runs on interned
+// package ids with per-request arena scratch, so partitioning a large
+// manifest does not hash package names or touch the heap.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/concretizer/config.hpp"
 #include "src/pkg/repo.hpp"
 #include "src/spec/spec.hpp"
+#include "src/support/arena.hpp"
 
 namespace benchpark::concretizer {
 
@@ -109,20 +113,6 @@ public:
   /// NoProviderError, UnifyConflictError, DependencyCycleError, ...).
   ConcretizeResult concretize_all(const ConcretizeRequest& request) const;
 
-  // -- deprecated pre-request API (thin wrappers over concretize_all) ------
-  [[deprecated("use concretize_all(ConcretizeRequest)")]] [[nodiscard]]
-  spec::Spec concretize(const spec::Spec& abstract) const;
-  [[deprecated("use concretize_all(ConcretizeRequest)")]] [[nodiscard]]
-  spec::Spec concretize(const std::string& abstract_text) const;
-  /// Concretize within a shared context (unify semantics).
-  [[deprecated("use concretize_all(ConcretizeRequest)")]] [[nodiscard]]
-  spec::Spec concretize(const spec::Spec& abstract, Context& ctx) const;
-  /// Concretize a list of roots with unify:true (shared context) or
-  /// unify:false (independent contexts).
-  [[deprecated("use concretize_all(ConcretizeRequest)")]] [[nodiscard]]
-  std::vector<spec::Spec> concretize_together(
-      const std::vector<spec::Spec>& roots, bool unify = true) const;
-
   /// By-value snapshot of the cumulative counters (thread-safe; the old
   /// const-reference accessor raced with concurrent concretize calls).
   [[nodiscard]] ConcretizeStats stats() const;
@@ -158,9 +148,11 @@ private:
 
   /// Package names statically reachable from `name` (over-approximate:
   /// all declared deps regardless of condition; a virtual reaches every
-  /// provider). Drives the unify:true component partition.
-  void static_closure(const std::string& name,
-                      std::map<std::string, bool>& visited) const;
+  /// provider), accumulated as interned ids into arena-backed scratch.
+  /// Drives the unify:true component partition: membership is a linear
+  /// integer scan (closures are small), no name hashing, no heap.
+  void static_closure(std::string_view name,
+                      support::ArenaVector<std::uint32_t>& visited) const;
 
   pkg::RepoStack repos_;
   Config config_;

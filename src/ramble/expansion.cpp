@@ -4,7 +4,9 @@
 #include <charconv>
 
 #include "src/obs/trace.hpp"
+#include "src/support/arena.hpp"
 #include "src/support/error.hpp"
+#include "src/support/intern.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::ramble {
@@ -131,11 +133,13 @@ bool is_arithmetic(std::string_view expr) {
 }
 
 /// Allocation-free integer append (the old path went through
-/// std::to_string, one heap string per arithmetic evaluation).
-void append_int(std::string& out, long long v) {
+/// std::to_string, one heap string per arithmetic evaluation). Works on
+/// std::string and support::ArenaString alike.
+template <typename Buf>
+void append_int(Buf& out, long long v) {
   char buf[24];
   auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  out.append(buf, end);
+  out.append(std::string_view(buf, static_cast<std::size_t>(end - buf)));
 }
 
 /// An escape pair ("{{" or "}}") at position i?
@@ -210,6 +214,9 @@ CompiledTemplate::CompiledTemplate(std::string_view text) : source_(text) {
       seg.inner = std::make_shared<const CompiledTemplate>(body);
     } else {
       seg.kind = Segment::Kind::kVariable;
+      // Intern the name once at compile time: memo lookups during
+      // expansion become integer-id compares instead of byte compares.
+      seg.intern_id = support::intern(body);
       seg.maybe_arith = is_arithmetic(body);
       if (seg.maybe_arith) {
         // Pre-evaluate inline arithmetic ("{8 * 2}") at compile time.
@@ -259,8 +266,36 @@ std::size_t CompiledTemplate::placeholder_count() const {
 /// appears N times in a template (experiment_name in a batch script,
 /// say) is recursively expanded once; the other N-1 references append
 /// the memoized bytes without touching the cache or the VariableMap.
+///
+/// Storage is a flat arena-backed vector scanned linearly: real templates
+/// reference a handful of distinct names, so an integer-id scan beats a
+/// hash table — and carving everything from the caller's arena keeps the
+/// warm path heap-allocation-free. Entries whose name was interned at
+/// template compile time match on id alone; runtime-built nested names
+/// (id 0) fall back to a byte compare.
 struct CompiledTemplate::Memo {
-  std::unordered_map<std::string_view, std::string> values;
+  struct Entry {
+    std::uint32_t id = 0;    // interned name id; 0 = runtime-built name
+    std::string_view name;   // stable bytes (VariableMap key storage)
+    std::string_view value;  // arena bytes, live until the caller resets
+  };
+
+  explicit Memo(support::Arena& a) : arena(a), entries(a) {}
+
+  support::Arena& arena;
+  support::ArenaVector<Entry> entries;
+
+  [[nodiscard]] const Entry* find(std::uint32_t id,
+                                  std::string_view name) const {
+    for (const Entry& e : entries) {
+      if (id != 0 && e.id != 0) {
+        if (e.id == id) return &e;  // ids are bijective with names
+        continue;
+      }
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  }
 };
 
 std::string CompiledTemplate::expand(const VariableMap& vars,
@@ -271,13 +306,29 @@ std::string CompiledTemplate::expand(const VariableMap& vars,
   return out;
 }
 
-void CompiledTemplate::expand_into(std::string& out, const VariableMap& vars,
-                                   bool use_cache) const {
-  Memo memo;
-  expand_into(out, vars, use_cache, 0, memo);
+std::string CompiledTemplate::expand(const VariableMap& vars, bool use_cache,
+                                     support::Arena& arena) const {
+  std::string out;
+  out.reserve(source_.size());
+  expand_into(out, vars, use_cache, arena);
+  return out;
 }
 
 void CompiledTemplate::expand_into(std::string& out, const VariableMap& vars,
+                                   bool use_cache) const {
+  support::Arena arena;
+  expand_into(out, vars, use_cache, arena);
+}
+
+void CompiledTemplate::expand_into(std::string& out, const VariableMap& vars,
+                                   bool use_cache,
+                                   support::Arena& arena) const {
+  Memo memo(arena);
+  expand_impl(out, vars, use_cache, 0, memo);
+}
+
+template <typename Buf>
+void CompiledTemplate::expand_impl(Buf& out, const VariableMap& vars,
                                    bool use_cache, int depth,
                                    Memo& memo) const {
   if (depth > 32) {
@@ -287,34 +338,37 @@ void CompiledTemplate::expand_into(std::string& out, const VariableMap& vars,
   for (const auto& seg : segments_) {
     switch (seg.kind) {
       case Segment::Kind::kLiteral:
-        out += seg.text;
+        out.append(std::string_view(seg.text));
         break;
       case Segment::Kind::kVariable:
-        expand_name(out, seg.text, seg, vars, use_cache, depth, memo);
+        expand_name_impl(out, seg.text, seg.intern_id, seg, vars, use_cache,
+                         depth, memo);
         break;
       case Segment::Kind::kNested: {
-        std::string name;
-        name.reserve(seg.text.size());
-        seg.inner->expand_into(name, vars, use_cache, depth + 1, memo);
-        expand_name(out, name, seg, vars, use_cache, depth, memo);
+        // The name itself is a template; build it in arena scratch.
+        support::ArenaString name(memo.arena);
+        seg.inner->expand_impl(name, vars, use_cache, depth + 1, memo);
+        expand_name_impl(out, name.view(), /*name_id=*/0, seg, vars,
+                         use_cache, depth, memo);
         break;
       }
     }
   }
 }
 
-void CompiledTemplate::expand_name(std::string& out, const std::string& name,
-                                   const Segment& seg, const VariableMap& vars,
-                                   bool use_cache, int depth,
-                                   Memo& memo) const {
+template <typename Buf>
+void CompiledTemplate::expand_name_impl(Buf& out, std::string_view name,
+                                        std::uint32_t name_id,
+                                        const Segment& seg,
+                                        const VariableMap& vars,
+                                        bool use_cache, int depth,
+                                        Memo& memo) const {
   // The memo only ever holds names found in vars, so a hit here short-
-  // circuits the std::map lookup too. Keys are views into the
-  // VariableMap's own key storage, stable for the whole expansion. Only
-  // successful expansions are recorded, so cycles and undefined-variable
-  // errors inside a value still raise every time.
-  auto hit = memo.values.find(std::string_view(name));
-  if (hit != memo.values.end()) {
-    out += hit->second;
+  // circuits the std::map lookup too. Only successful expansions are
+  // recorded, so cycles and undefined-variable errors inside a value
+  // still raise every time.
+  if (const Memo::Entry* hit = memo.find(name_id, name)) {
+    out.append(hit->value);
     return;
   }
   auto it = vars.find(name);
@@ -334,16 +388,17 @@ void CompiledTemplate::expand_name(std::string& out, const std::string& name,
       local.emplace(it->second);
       value_tmpl = &*local;
     }
-    std::string value;
+    // The value is built in arena scratch (copied even for precomputed
+    // literal values — the compiled template can be evicted from the
+    // cache, so the memo must never alias its storage).
+    support::ArenaString value(memo.arena);
     if (value_tmpl->literal_value_) {
-      // Placeholder-free value with the arithmetic fold precomputed.
-      value = *value_tmpl->literal_value_;
+      value.append(*value_tmpl->literal_value_);
     } else {
-      value.reserve(it->second.size());
-      value_tmpl->expand_into(value, vars, use_cache, depth + 1, memo);
-      if (is_arithmetic(value)) {
+      value_tmpl->expand_impl(value, vars, use_cache, depth + 1, memo);
+      if (is_arithmetic(value.view())) {
         try {
-          long long v = Arith(value).parse();
+          long long v = Arith(value.view()).parse();
           value.clear();
           append_int(value, v);
         } catch (const ExperimentError&) {
@@ -351,8 +406,12 @@ void CompiledTemplate::expand_name(std::string& out, const std::string& name,
         }
       }
     }
-    out += value;
-    memo.values.emplace(it->first, std::move(value));
+    out.append(value.view());
+    Memo::Entry entry;
+    entry.id = name_id;
+    entry.name = it->first;  // the map's key storage outlives the call
+    entry.value = value.view();
+    memo.entries.push_back(entry);
     return;
   }
   if (seg.folded) {
@@ -366,7 +425,7 @@ void CompiledTemplate::expand_name(std::string& out, const std::string& name,
     append_int(out, Arith(name).parse());
     return;
   }
-  throw ExperimentError("undefined variable '{" + name +
+  throw ExperimentError("undefined variable '{" + std::string(name) +
                         "}' while expanding '" + source_ + "'");
 }
 
@@ -388,30 +447,35 @@ std::shared_ptr<const CompiledTemplate> TemplateCache::get(
     std::string_view text) {
   auto& collector = obs::TraceCollector::global();
   Shard& shard = shard_for(text);
+  // Lock-free hit path: one atomic snapshot load, heterogeneous find.
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.entries.find(text);
-    if (it != shard.entries.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+    auto map = shard.snapshot.load();
+    auto it = map->find(text);
+    if (it != map->end()) {
+      hits_.fetch_add(1, std::memory_order_release);
       collector.counter_add("ramble.template.hits");
       return it->second.tmpl;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_release);
   collector.counter_add("ramble.template.misses");
   // Compile outside the shard lock; errors propagate and nothing is
   // cached. Concurrent duplicate misses compile identical templates, so
   // the last-writer-wins overwrite below is benign.
   auto compiled = std::make_shared<const CompiledTemplate>(text);
+  // Counted before the entry is published so a concurrent evictor can
+  // never make evictions exceed inserts in a stats() snapshot.
+  inserts_.fetch_add(1, std::memory_order_release);
+  collector.counter_add("ramble.template.inserts");
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    Entry& entry = shard.entries[std::string(text)];
+    auto next = std::make_shared<Map>(*shard.snapshot.load());
+    Entry& entry = (*next)[std::string(text)];
     if (!entry.tmpl) size_.fetch_add(1, std::memory_order_relaxed);
     entry.tmpl = compiled;
     entry.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+    shard.snapshot.store(std::move(next));
   }
-  inserts_.fetch_add(1, std::memory_order_relaxed);
-  collector.counter_add("ramble.template.inserts");
   if (capacity_.load(std::memory_order_relaxed) != 0) evict_to_capacity();
   return compiled;
 }
@@ -419,7 +483,7 @@ std::shared_ptr<const CompiledTemplate> TemplateCache::get(
 void TemplateCache::clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.entries.clear();
+    shard.snapshot.store(std::make_shared<const Map>());
   }
   size_.store(0, std::memory_order_relaxed);
 }
@@ -434,13 +498,14 @@ void TemplateCache::evict_to_capacity() {
   const std::size_t capacity = capacity_.load(std::memory_order_relaxed);
   if (capacity == 0) return;
   while (size_.load(std::memory_order_relaxed) > capacity) {
-    // Find the globally oldest entry (smallest sequence) across shards.
+    // Find the globally oldest entry (smallest sequence) from the
+    // lock-free snapshots.
     Shard* victim_shard = nullptr;
     std::string victim_key;
     std::uint64_t victim_seq = UINT64_MAX;
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      for (const auto& [key, entry] : shard.entries) {
+      auto map = shard.snapshot.load();
+      for (const auto& [key, entry] : *map) {
         if (entry.sequence < victim_seq) {
           victim_seq = entry.sequence;
           victim_key = key;
@@ -450,26 +515,31 @@ void TemplateCache::evict_to_capacity() {
     }
     if (!victim_shard) return;
     std::lock_guard<std::mutex> lock(victim_shard->mu);
+    auto next = std::make_shared<Map>(*victim_shard->snapshot.load());
     // Re-check: the entry may have been refreshed or dropped since the
     // scan; erase only the exact (key, sequence) pair we chose.
-    auto it = victim_shard->entries.find(victim_key);
-    if (it == victim_shard->entries.end() ||
-        it->second.sequence != victim_seq) {
+    auto it = next->find(std::string_view(victim_key));
+    if (it == next->end() || it->second.sequence != victim_seq) {
       continue;
     }
-    victim_shard->entries.erase(it);
+    next->erase(it);
+    victim_shard->snapshot.store(std::move(next));
     size_.fetch_sub(1, std::memory_order_relaxed);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_release);
     obs::TraceCollector::global().counter_add("ramble.template.evictions");
   }
 }
 
 TemplateCacheStats TemplateCache::stats() const {
+  // Torn-read-free: evictions are read before their cause (inserts),
+  // inserts before the miss that produced them, pairing acquire loads
+  // with the release increments — a returned struct never shows more
+  // evictions than inserts.
   TemplateCacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.inserts = inserts_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_acquire);
+  out.inserts = inserts_.load(std::memory_order_acquire);
+  out.misses = misses_.load(std::memory_order_acquire);
+  out.hits = hits_.load(std::memory_order_acquire);
   return out;
 }
 

@@ -32,9 +32,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/support/snapshot.hpp"
+
+namespace benchpark::support {
+class Arena;
+}
+
 namespace benchpark::ramble {
 
-using VariableMap = std::map<std::string, std::string>;
+/// Transparent comparator so expansion can look names up by string_view
+/// without materializing a key (nested `{p{suffix}}` names are built in
+/// arena scratch).
+using VariableMap = std::map<std::string, std::string, std::less<>>;
 
 /// A template tokenized once into literal / variable / arithmetic
 /// segments. Immutable after construction; safe to share across threads
@@ -49,12 +58,24 @@ public:
   /// which is itself a template) go through the process-wide cache.
   /// Within one call, each variable's fully-expanded value is computed
   /// once and memoized, so a name referenced N times costs one recursive
-  /// expansion plus N-1 local map hits.
+  /// expansion plus N-1 local hits (an integer-id scan, names interned at
+  /// compile time).
   void expand_into(std::string& out, const VariableMap& vars,
                    bool use_cache) const;
 
+  /// Same, but with all per-expansion scratch (the memo table, value
+  /// buffers, nested-name buffers) carved from `arena`. A warmed arena
+  /// plus an `out` with sufficient capacity makes the whole call heap-
+  /// allocation-free — the run engine threads one arena per worker and
+  /// reset()s it between experiments. The arena must not be shared
+  /// across threads; arena-backed memory dies at the caller's reset().
+  void expand_into(std::string& out, const VariableMap& vars, bool use_cache,
+                   support::Arena& arena) const;
+
   [[nodiscard]] std::string expand(const VariableMap& vars,
                                    bool use_cache = true) const;
+  [[nodiscard]] std::string expand(const VariableMap& vars, bool use_cache,
+                                   support::Arena& arena) const;
 
   [[nodiscard]] const std::string& source() const { return source_; }
   /// Placeholder segments ({...}); 0 means the template is pure literal.
@@ -72,6 +93,9 @@ private:
     /// kLiteral: the bytes; kVariable/kNested: the raw placeholder body
     /// (for lookups and error messages).
     std::string text;
+    /// Process-wide interned id of `text` (kVariable only; 0 otherwise).
+    /// Memo lookups compare this integer instead of hashing the name.
+    std::uint32_t intern_id = 0;
     /// is_arithmetic(text) screen, precomputed (kVariable only).
     bool maybe_arith = false;
     /// Inline arithmetic pre-evaluated at compile time ({8 * 2} -> 16);
@@ -82,16 +106,24 @@ private:
   };
 
   /// Per-top-level-expansion memo: variable name -> fully expanded (and
-  /// arithmetic-folded) value. Keys are views into the VariableMap's key
-  /// storage, which outlives the expansion call. Defined in the .cpp.
+  /// arithmetic-folded) value. A flat arena-backed vector keyed by
+  /// interned id (with a name-bytes fallback for runtime-built nested
+  /// names); values live in the arena. Defined in the .cpp.
   struct Memo;
 
-  void expand_into(std::string& out, const VariableMap& vars, bool use_cache,
+  /// Recursion core, templated on the output buffer so the top level
+  /// writes straight into the caller's std::string while inner scratch
+  /// values build into arena-backed ArenaStrings (zero heap traffic on
+  /// the warm path).
+  template <typename Buf>
+  void expand_impl(Buf& out, const VariableMap& vars, bool use_cache,
                    int depth, Memo& memo) const;
   /// Resolve one placeholder name against vars / arithmetic and append.
-  void expand_name(std::string& out, const std::string& name,
-                   const Segment& seg, const VariableMap& vars,
-                   bool use_cache, int depth, Memo& memo) const;
+  template <typename Buf>
+  void expand_name_impl(Buf& out, std::string_view name,
+                        std::uint32_t name_id, const Segment& seg,
+                        const VariableMap& vars, bool use_cache, int depth,
+                        Memo& memo) const;
 
   std::string source_;
   std::vector<Segment> segments_;
@@ -120,9 +152,12 @@ struct TemplateCacheStats {
 
 /// Process-wide sharded memo table: template text -> CompiledTemplate.
 /// The key is the exact source text, so the compiled form is a pure
-/// function of the key and entries never go stale. Thread-safe; counters
-/// are exact under concurrent expansion (atomics, mirrored into the
-/// trace collector's "ramble.template.*" counters when tracing).
+/// function of the key and entries never go stale. Thread-safe; the
+/// steady-state hit path is lock-free (one atomic snapshot load per
+/// shard); counters are exact under concurrent expansion (atomics,
+/// mirrored into the trace collector's "ramble.template.*" counters when
+/// tracing). stats() snapshots are torn-read-free: evictions <= inserts
+/// within any returned struct.
 class TemplateCache {
 public:
   TemplateCache() = default;
@@ -175,10 +210,14 @@ private:
       return head ^ (tail + 0x9e3779b97f4a7c15ULL + (head << 6)) ^ s.size();
     }
   };
+  using Map =
+      std::unordered_map<std::string, Entry, StringHash, std::equal_to<>>;
+  /// Readers load `snapshot` lock-free (one atomic load, heterogeneous
+  /// string_view find); writers copy-on-write under `mu` and publish
+  /// atomically (same RCU protocol as the binary / concretization caches).
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry, StringHash, std::equal_to<>>
-        entries;
+    std::mutex mu;
+    support::SnapshotPtr<Map> snapshot;
   };
 
   [[nodiscard]] Shard& shard_for(std::string_view key) const;

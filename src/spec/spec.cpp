@@ -193,6 +193,7 @@ Version Spec::concrete_version() const {
 }
 
 void Spec::set_variant(const std::string& name, VariantValue value) {
+  dag_hash_.clear();
   auto it = variants_.find(name);
   if (it != variants_.end() && !(it->second == value)) {
     // Overwrite is allowed pre-concretization only through constrain();
@@ -215,6 +216,7 @@ bool Spec::variant_enabled(std::string_view name) const {
 
 void Spec::add_dependency(Spec dep) {
   dependencies_.push_back(std::move(dep));
+  dag_hash_.clear();
 }
 
 const Spec* Spec::dependency(std::string_view name) const {
@@ -226,7 +228,10 @@ const Spec* Spec::dependency(std::string_view name) const {
 
 Spec* Spec::dependency_mut(std::string_view name) {
   for (auto& d : dependencies_) {
-    if (d.name() == name) return &d;
+    if (d.name() == name) {
+      dag_hash_.clear();  // caller may mutate the dependency's hash state
+      return &d;
+    }
   }
   return nullptr;
 }
@@ -243,10 +248,18 @@ void Spec::mark_concrete() {
     }
   }
   concrete_ = true;
+  // Hash eagerly while the DAG is hot in cache: every later dag_hash()
+  // call (cache lookups, pushes, trace annotations) returns the memo.
+  dag_hash_ = compute_dag_hash();
 }
 
 std::string Spec::dag_hash() const {
   if (!concrete_) throw SpecError("dag_hash() requires a concrete spec");
+  if (dag_hash_.empty()) dag_hash_ = compute_dag_hash();
+  return dag_hash_;
+}
+
+std::string Spec::compute_dag_hash() const {
   support::Hasher h;
   h.update(name_);
   h.update(versions_.str());
@@ -312,9 +325,11 @@ bool Spec::satisfies(const Spec& constraint) const {
 }
 
 void Spec::constrain(const Spec& other) {
+  dag_hash_.clear();  // every branch below may change hashed state
   if (!other.name_.empty()) {
     if (name_.empty()) {
       name_ = other.name_;
+      name_id_ = other.name_id_;
     } else if (name_ != other.name_) {
       throw SpecError("cannot constrain '" + name_ + "' with '" +
                       other.name_ + "'");

@@ -16,6 +16,7 @@
 // concrete dependencies, and get a stable DAG hash.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -25,6 +26,7 @@
 
 #include "src/spec/variant.hpp"
 #include "src/spec/version.hpp"
+#include "src/support/intern.hpp"
 
 namespace benchpark::spec {
 
@@ -41,18 +43,30 @@ struct CompilerSpec {
 class Spec {
 public:
   Spec() = default;
-  explicit Spec(std::string name) : name_(std::move(name)) {}
+  explicit Spec(std::string name)
+      : name_(std::move(name)), name_id_(support::intern(name_)) {}
 
   /// Parse a spec string; throws SpecError on bad syntax.
   static Spec parse(std::string_view text);
 
   // -- identity ----------------------------------------------------------
   [[nodiscard]] const std::string& name() const { return name_; }
-  void set_name(std::string name) { name_ = std::move(name); }
+  void set_name(std::string name) {
+    name_ = std::move(name);
+    name_id_ = support::intern(name_);
+    dag_hash_.clear();
+  }
+  /// Process-wide interned id of name() (0 for anonymous specs). Two
+  /// specs share a name iff they share an id — closure sets and visited
+  /// maps compare/hash this integer instead of the bytes.
+  [[nodiscard]] std::uint32_t name_id() const { return name_id_; }
 
   // -- versions ------------------------------------------------------------
   [[nodiscard]] const VersionConstraint& versions() const { return versions_; }
-  void set_versions(VersionConstraint vc) { versions_ = std::move(vc); }
+  void set_versions(VersionConstraint vc) {
+    versions_ = std::move(vc);
+    dag_hash_.clear();
+  }
   /// Concrete version; throws if the spec does not pin exactly one.
   [[nodiscard]] Version concrete_version() const;
 
@@ -69,15 +83,24 @@ public:
   [[nodiscard]] const std::optional<CompilerSpec>& compiler() const {
     return compiler_;
   }
-  void set_compiler(CompilerSpec c) { compiler_ = std::move(c); }
+  void set_compiler(CompilerSpec c) {
+    compiler_ = std::move(c);
+    dag_hash_.clear();
+  }
   [[nodiscard]] const std::string& target() const { return target_; }
-  void set_target(std::string target) { target_ = std::move(target); }
+  void set_target(std::string target) {
+    target_ = std::move(target);
+    dag_hash_.clear();
+  }
 
   // -- dependencies ----------------------------------------------------------
   [[nodiscard]] const std::vector<Spec>& dependencies() const {
     return dependencies_;
   }
-  std::vector<Spec>& dependencies_mut() { return dependencies_; }
+  std::vector<Spec>& dependencies_mut() {
+    dag_hash_.clear();  // caller may mutate the DAG under the hash
+    return dependencies_;
+  }
   void add_dependency(Spec dep);
   [[nodiscard]] const Spec* dependency(std::string_view name) const;
   Spec* dependency_mut(std::string_view name);
@@ -89,6 +112,7 @@ public:
   }
   void set_external_prefix(std::string prefix) {
     external_prefix_ = std::move(prefix);
+    dag_hash_.clear();
   }
   [[nodiscard]] bool is_external() const { return !external_prefix_.empty(); }
 
@@ -98,7 +122,11 @@ public:
   /// target, and concrete deps).
   void mark_concrete();
 
-  /// Stable DAG hash (concrete specs only), Spack-style base32.
+  /// Stable DAG hash (concrete specs only), Spack-style base32. Computed
+  /// once (eagerly at mark_concrete(), recomputed only after a mutating
+  /// setter cleared the memo) — repeated calls on an unchanged concrete
+  /// spec return the memoized 13-char string, which fits SSO, so the hot
+  /// cache-lookup paths pay zero hashing and zero heap allocation.
   [[nodiscard]] std::string dag_hash() const;
 
   // -- constraint algebra ----------------------------------------------------
@@ -120,8 +148,10 @@ public:
 
 private:
   [[nodiscard]] std::string str_no_deps() const;
+  [[nodiscard]] std::string compute_dag_hash() const;
 
   std::string name_;
+  std::uint32_t name_id_ = 0;  // interned name (0 = anonymous)
   VersionConstraint versions_;
   std::map<std::string, VariantValue> variants_;
   std::optional<CompilerSpec> compiler_;
@@ -129,6 +159,9 @@ private:
   std::vector<Spec> dependencies_;
   std::string external_prefix_;
   bool concrete_ = false;
+  /// Memoized dag_hash(); empty = not computed. Cleared by every setter
+  /// that changes hashed state; filled by mark_concrete() / dag_hash().
+  mutable std::string dag_hash_;
 };
 
 }  // namespace benchpark::spec

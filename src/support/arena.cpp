@@ -1,0 +1,31 @@
+#include "src/support/arena.hpp"
+
+#include <cstdint>
+
+namespace benchpark::support {
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // No existing block fits. Oversized requests (bigger than the next
+  // scheduled block) get an exactly-sized dedicated block so one huge
+  // allocation doesn't balloon the growth schedule; normal requests get
+  // the next geometric block. `align - 1` headroom guarantees the aligned
+  // start still fits in either case (block starts are new[]-aligned to
+  // max_align_t, but a stricter caller alignment could need padding).
+  std::size_t block_bytes = next_block_bytes_;
+  if (bytes + align - 1 > block_bytes) {
+    block_bytes = bytes + align - 1;
+  } else {
+    next_block_bytes_ *= 2;
+  }
+  Block block;
+  block.data = std::make_unique<char[]>(block_bytes);
+  block.size = block_bytes;
+  auto addr = reinterpret_cast<std::uintptr_t>(block.data.get());
+  std::size_t aligned_offset = ((addr + align - 1) & ~(align - 1)) - addr;
+  block.used = aligned_offset + bytes;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  return blocks_.back().data.get() + aligned_offset;
+}
+
+}  // namespace benchpark::support

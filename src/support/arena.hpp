@@ -1,0 +1,202 @@
+// Bump-pointer arena allocation for per-request scratch.
+//
+// Template expansion and concretization used to pay one or more heap
+// allocations per call for memo tables, value buffers, and closure sets
+// that all die together when the request finishes. An Arena turns that
+// into pointer bumps inside reusable blocks: allocate() carves aligned
+// slices off the current block, reset() rewinds every block for the next
+// request without returning memory to the heap, so a warmed-up arena
+// serves an unbounded stream of requests with zero heap traffic — the
+// property the counting-allocator test in tests/test_hotpath.cpp pins
+// down for CompiledTemplate::expand.
+//
+// Lifetime rules (DESIGN.md §12):
+//   * an Arena is single-threaded — one request/worker owns it; parallel
+//     engines keep one arena per worker, never share;
+//   * memory from allocate() lives until the next reset() (or arena
+//     destruction), never longer — callers must not let arena-backed
+//     views escape the request;
+//   * reset() keeps the high-water blocks, so steady state allocates
+//     nothing; shrinking requires destroying the arena.
+//
+// Oversized requests (larger than the next block would be) get their own
+// dedicated block — the large-allocation fallback — so allocate() never
+// fails for size reasons; such blocks are reused on later passes like any
+// other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace benchpark::support {
+
+class Arena {
+public:
+  static constexpr std::size_t kDefaultFirstBlockBytes = 4096;
+
+  explicit Arena(std::size_t first_block_bytes = kDefaultFirstBlockBytes)
+      : next_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Aligned bump allocation. Never returns nullptr; grows by adding
+  /// blocks (geometric, or exactly-sized for oversized requests).
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    while (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      // Align the absolute address, not the offset: new[] blocks are only
+      // guaranteed max_align_t alignment, stricter callers need padding.
+      auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+      std::size_t aligned =
+          (((base + b.used) + align - 1) & ~(align - 1)) - base;
+      if (aligned + bytes <= b.size) {
+        b.used = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      ++current_;  // move on; the block keeps its bytes until reset()
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  /// Typed helper: uninitialized storage for `count` Ts.
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind every block for reuse. O(block count); frees nothing.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    current_ = 0;
+  }
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  /// Total bytes owned (capacity, not live usage).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  /// Bytes handed out since the last reset (including alignment padding).
+  [[nodiscard]] std::size_t used_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.used;
+    return total;
+  }
+
+private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;       // first block worth trying
+  std::size_t next_block_bytes_;  // geometric growth schedule
+};
+
+/// Growable contiguous vector of trivially-destructible Ts backed by an
+/// arena. Growth copies into a fresh arena slice (the old slice is wasted
+/// until reset — bump allocators cannot free), which is the right trade
+/// for request-scoped scratch that grows a handful of times.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena memory is reclaimed without running destructors");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "growth relocates elements with memcpy");
+
+public:
+  explicit ArenaVector(Arena& arena) : arena_(&arena) {}
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }  // keeps the current slice
+
+  [[nodiscard]] bool contains(const T& value) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (data_[i] == value) return true;
+    }
+    return false;
+  }
+
+private:
+  void grow(std::size_t need) {
+    std::size_t next = capacity_ == 0 ? 8 : capacity_ * 2;
+    if (next < need) next = need;
+    T* fresh = arena_->allocate_array<T>(next);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// Growable char buffer in an arena: the expansion engine's value
+/// scratch. Mirrors the std::string append surface the expander needs.
+class ArenaString {
+public:
+  explicit ArenaString(Arena& arena) : arena_(&arena) {}
+
+  void append(std::string_view s) {
+    if (size_ + s.size() > capacity_) grow(size_ + s.size());
+    std::memcpy(data_ + size_, s.data(), s.size());
+    size_ += s.size();
+  }
+  void push_back(char c) {
+    if (size_ + 1 > capacity_) grow(size_ + 1);
+    data_[size_++] = c;
+  }
+  void operator+=(std::string_view s) { append(s); }
+  void operator+=(const std::string& s) { append(std::string_view(s)); }
+
+  void clear() { size_ = 0; }
+  [[nodiscard]] std::string_view view() const { return {data_, size_}; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+private:
+  void grow(std::size_t need) {
+    std::size_t next = capacity_ == 0 ? 32 : capacity_ * 2;
+    if (next < need) next = need;
+    char* fresh = arena_->allocate_array<char>(next);
+    if (size_ > 0) std::memcpy(fresh, data_, size_);
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  Arena* arena_;
+  char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace benchpark::support

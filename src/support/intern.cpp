@@ -1,0 +1,88 @@
+#include "src/support/intern.hpp"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/snapshot.hpp"
+
+namespace benchpark::support {
+
+namespace {
+
+/// One immutable published generation of the id table. The string_view
+/// keys and the by-id pointers both reference strings owned by the
+/// append-only `storage` deque in Impl, so copying a Table copies only
+/// views, never bytes.
+struct Table {
+  std::unordered_map<std::string_view, std::uint32_t> by_text;
+  std::vector<const std::string*> by_id;  // index == id; [0] is nullptr
+};
+
+}  // namespace
+
+struct Interner::Impl {
+  SnapshotPtr<Table> snapshot;
+  std::mutex write_mu;
+  /// Append-only backing store; deque growth never moves existing
+  /// elements, so published views stay valid forever.
+  std::deque<std::string> storage;
+};
+
+Interner::Interner() : impl_(new Impl) {
+  auto initial = std::make_shared<Table>();
+  initial->by_id.push_back(nullptr);  // id 0: empty / not interned
+  impl_->snapshot.store(std::move(initial));
+}
+
+Interner& Interner::global() {
+  // Leaked on purpose: interned ids may be consulted from static
+  // destructors (cache teardown), so the table must outlive everything.
+  static Interner* instance = new Interner();
+  return *instance;
+}
+
+std::uint32_t Interner::intern(std::string_view text) {
+  if (text.empty()) return 0;
+  {
+    auto table = impl_->snapshot.load();
+    auto it = table->by_text.find(text);
+    if (it != table->by_text.end()) return it->second;
+  }
+  std::lock_guard<std::mutex> lock(impl_->write_mu);
+  // Re-check: another writer may have interned it while we waited.
+  auto current = impl_->snapshot.load();
+  auto it = current->by_text.find(text);
+  if (it != current->by_text.end()) return it->second;
+
+  impl_->storage.emplace_back(text);
+  const std::string& stored = impl_->storage.back();
+  auto next = std::make_shared<Table>(*current);
+  const auto id = static_cast<std::uint32_t>(next->by_id.size());
+  next->by_id.push_back(&stored);
+  next->by_text.emplace(std::string_view(stored), id);
+  impl_->snapshot.store(std::move(next));
+  return id;
+}
+
+std::uint32_t Interner::lookup(std::string_view text) const {
+  if (text.empty()) return 0;
+  auto table = impl_->snapshot.load();
+  auto it = table->by_text.find(text);
+  return it == table->by_text.end() ? 0 : it->second;
+}
+
+std::string_view Interner::view(std::uint32_t id) const {
+  if (id == 0) return {};
+  auto table = impl_->snapshot.load();
+  if (id >= table->by_id.size()) return {};
+  return *table->by_id[id];
+}
+
+std::size_t Interner::size() const {
+  return impl_->snapshot.load()->by_id.size() - 1;
+}
+
+}  // namespace benchpark::support

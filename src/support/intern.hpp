@@ -1,0 +1,68 @@
+// Process-wide string interning.
+//
+// Hot paths compare and hash the same small set of names over and over:
+// package/spec names during concretization, variant keys during canonical
+// rendering, and `{variable}` names during template expansion. The
+// interner maps each distinct string to a dense, stable 32-bit id once;
+// after that, equality is an integer compare and hashing is the identity,
+// instead of re-walking the bytes every time.
+//
+// Concurrency follows the same RCU discipline as the caches
+// (support/snapshot.hpp): the id table is an immutable snapshot readers
+// load with one atomic operation, so the warm path — intern() of an
+// already-known string, lookup(), view() — is lock-free. Only the first
+// intern() of a new string takes the writer mutex, copies the table, and
+// publishes the extended snapshot. Ids are never reused and the backing
+// string storage is append-only, so a returned id or string_view stays
+// valid for the life of the process.
+//
+// Id 0 is reserved for "empty / not interned": intern("") returns 0 and
+// view(0) is the empty string, which lets callers use 0 as a cheap
+// sentinel (e.g. spec::Spec's default-constructed name).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace benchpark::support {
+
+class Interner {
+public:
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// The process-wide instance everyone shares (ids are only comparable
+  /// within one interner).
+  static Interner& global();
+
+  /// Id for `text`, inserting on first sight. Warm calls are lock-free;
+  /// the empty string is always id 0.
+  std::uint32_t intern(std::string_view text);
+
+  /// Id for `text` if it has been interned, 0 otherwise. Never inserts,
+  /// never locks.
+  [[nodiscard]] std::uint32_t lookup(std::string_view text) const;
+
+  /// The interned bytes for `id` (empty for 0 or out-of-range). The view
+  /// points into append-only storage and never dangles.
+  [[nodiscard]] std::string_view view(std::uint32_t id) const;
+
+  /// Distinct non-empty strings interned so far.
+  [[nodiscard]] std::size_t size() const;
+
+private:
+  Interner();
+  struct Impl;
+  Impl* impl_;  // leaked singleton payload; never destroyed
+};
+
+/// Convenience wrappers over Interner::global().
+inline std::uint32_t intern(std::string_view text) {
+  return Interner::global().intern(text);
+}
+inline std::string_view intern_view(std::uint32_t id) {
+  return Interner::global().view(id);
+}
+
+}  // namespace benchpark::support

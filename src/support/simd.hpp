@@ -1,0 +1,29 @@
+// Portable SIMD annotations for the benchmark inner loops.
+//
+// The kernels vectorize with `#pragma omp simd`, compiled under
+// -fopenmp-simd — the pragma-only subset of OpenMP: the compiler honors
+// the vectorization directives but links no OpenMP runtime and spawns no
+// threads (threading stays on support::parallel_for). On compilers
+// without the pragma the macro expands to nothing and the loops compile
+// scalar, so correctness never depends on vectorization.
+//
+// Every vectorized kernel keeps a scalar reference twin (built with
+// BENCHPARK_NO_VECTORIZE so the optimizer cannot quietly vectorize it
+// too); the parity tests in tests/test_benchmarks.cpp compare the two —
+// elementwise kernels must match bitwise, reduction kernels (which
+// reassociate sums across lanes) to a relative tolerance.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__) || defined(_OPENMP)
+#define BENCHPARK_SIMD _Pragma("omp simd")
+#else
+#define BENCHPARK_SIMD
+#endif
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define BENCHPARK_NO_VECTORIZE __attribute__((optimize("no-tree-vectorize")))
+#elif defined(__clang__)
+#define BENCHPARK_NO_VECTORIZE [[clang::noinline]]
+#else
+#define BENCHPARK_NO_VECTORIZE
+#endif

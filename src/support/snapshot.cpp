@@ -1,0 +1,75 @@
+#include "src/support/snapshot.hpp"
+
+#include <stdexcept>
+
+namespace benchpark::support::hazard {
+
+namespace {
+
+/// Head of the global record list. Records are pushed once and never
+/// removed, so writers can scan without synchronizing with registration
+/// beyond the acquire load of the head.
+std::atomic<Record*> g_head{nullptr};
+
+Record* acquire_record() {
+  // Recycle a record an exited thread released before allocating.
+  for (Record* r = g_head.load(std::memory_order_acquire); r != nullptr;
+       r = r->next) {
+    bool expected = false;
+    if (!r->owned.load(std::memory_order_relaxed) &&
+        r->owned.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      return r;
+    }
+  }
+  auto* fresh = new Record();
+  fresh->owned.store(true, std::memory_order_relaxed);
+  Record* head = g_head.load(std::memory_order_relaxed);
+  do {
+    fresh->next = head;
+  } while (!g_head.compare_exchange_weak(head, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed));
+  return fresh;
+}
+
+void release_record(Record* r) {
+  for (auto& s : r->slots) s.store(nullptr, std::memory_order_relaxed);
+  r->owned.store(false, std::memory_order_release);
+}
+
+/// Thread registration: claims a record lazily on the first pin and
+/// returns it to the recycle pool at thread exit.
+struct ThreadRecord {
+  Record* record = nullptr;
+  ~ThreadRecord() {
+    if (record != nullptr) release_record(record);
+  }
+};
+
+thread_local ThreadRecord t_record;
+
+}  // namespace
+
+std::atomic<const void*>* claim_slot() {
+  if (t_record.record == nullptr) t_record.record = acquire_record();
+  for (auto& s : t_record.record->slots) {
+    // Only this thread stores non-null into its own slots, so a relaxed
+    // null check is an exact "free" test.
+    if (s.load(std::memory_order_relaxed) == nullptr) return &s;
+  }
+  throw std::runtime_error(
+      "SnapshotGuard nesting exceeds hazard::Record::kSlots on one thread");
+}
+
+bool any_hazard(const void* p) {
+  for (Record* r = g_head.load(std::memory_order_acquire); r != nullptr;
+       r = r->next) {
+    for (const auto& s : r->slots) {
+      if (s.load(std::memory_order_seq_cst) == p) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace benchpark::support::hazard

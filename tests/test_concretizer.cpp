@@ -548,50 +548,71 @@ TEST(ConcretizerConfig, MergeOverlays) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated legacy overloads: still present, still correct, still
-// accumulating stats — they must keep passing until callers are gone.
-// (The [[deprecated]] warnings below are the point of the test.)
+// The request API covers everything the removed legacy overloads did:
+// single roots, text parsing, shared contexts, unify on/off, and stats
+// accumulation — pinned here so the consolidation never regresses them.
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(ConcretizerDeprecated, SpecOverload) {
+TEST(ConcretizerRequestApi, SingleRoot) {
   auto c = make_concretizer();
-  auto s = c.concretize(Spec::parse("zlib"));
+  auto s = std::move(
+      c.concretize_all({.roots = {Spec::parse("zlib")},
+                        .unify = false,
+                        .use_cache = false,
+                        .threads = 1})
+          .specs.front());
   EXPECT_TRUE(s.concrete());
   EXPECT_EQ(s.concrete_version().str(), "1.3");
 }
 
-TEST(ConcretizerDeprecated, TextOverload) {
+TEST(ConcretizerRequestApi, ParsedTextRoot) {
   auto c = make_concretizer();
-  auto s = c.concretize("zlib@:1.2");
+  auto s = std::move(
+      c.concretize_all({.roots = {Spec::parse("zlib@:1.2")},
+                        .unify = false,
+                        .use_cache = false,
+                        .threads = 1})
+          .specs.front());
   EXPECT_EQ(s.concrete_version().str(), "1.2.13");
 }
 
-TEST(ConcretizerDeprecated, ContextOverload) {
+TEST(ConcretizerRequestApi, SharedContextUnifies) {
   auto c = make_concretizer();
   cz::Concretizer::Context ctx;  // legacy nested name still works
-  auto amg = c.concretize(Spec::parse("amg2023+caliper"), ctx);
-  auto saxpy = c.concretize(Spec::parse("saxpy"), ctx);
+  auto amg = std::move(
+      c.concretize_all({.roots = {Spec::parse("amg2023+caliper")},
+                        .context = &ctx,
+                        .use_cache = false,
+                        .threads = 1})
+          .specs.front());
+  auto saxpy = std::move(
+      c.concretize_all({.roots = {Spec::parse("saxpy")},
+                        .context = &ctx,
+                        .use_cache = false,
+                        .threads = 1})
+          .specs.front());
   EXPECT_EQ(amg.dependency("mvapich2")->dag_hash(),
             saxpy.dependency("mvapich2")->dag_hash());
 }
 
-TEST(ConcretizerDeprecated, TogetherOverload) {
+TEST(ConcretizerRequestApi, UnifyFalseRootsIndependent) {
   auto c = make_concretizer();
-  auto specs = c.concretize_together(
-      {Spec::parse("hypre~openmp"), Spec::parse("hypre+openmp")},
-      /*unify=*/false);
+  auto specs = c.concretize_all({.roots = {Spec::parse("hypre~openmp"),
+                                           Spec::parse("hypre+openmp")},
+                                 .unify = false,
+                                 .use_cache = false,
+                                 .threads = 1})
+                   .specs;
   EXPECT_FALSE(specs[0].variant_enabled("openmp"));
   EXPECT_TRUE(specs[1].variant_enabled("openmp"));
 }
 
-TEST(ConcretizerDeprecated, StatsAccumulate) {
+TEST(ConcretizerRequestApi, StatsAccumulate) {
   auto c = make_concretizer();
-  (void)c.concretize("amg2023+caliper");
+  (void)c.concretize_all({.roots = {Spec::parse("amg2023+caliper")},
+                          .unify = false,
+                          .use_cache = false,
+                          .threads = 1});
   EXPECT_GT(c.stats().specs_resolved, 3u);
   EXPECT_GE(c.stats().externals_used, 2u);
   EXPECT_GE(c.stats().virtuals_resolved, 2u);
 }
-
-#pragma GCC diagnostic pop

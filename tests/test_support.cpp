@@ -7,10 +7,14 @@
 #include <filesystem>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/support/arena.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fs_util.hpp"
+#include "src/support/intern.hpp"
 #include "src/support/hash.hpp"
 #include "src/support/log.hpp"
 #include "src/support/parallel.hpp"
@@ -393,4 +397,192 @@ TEST(ThreadPool, StressManySmallMixedBatches) {
 
 TEST(ThreadPool, DefaultThreadsIsPositive) {
   EXPECT_GE(bs::ThreadPool::default_threads(), 1);
+}
+
+// ---------------------------------------------------------------- intern
+
+TEST(Intern, EmptyStringIsSentinelZero) {
+  EXPECT_EQ(bs::intern(""), 0u);
+  EXPECT_EQ(bs::intern_view(0), "");
+}
+
+TEST(Intern, SameStringSameId) {
+  auto a = bs::intern("intern-same-string");
+  auto b = bs::intern("intern-same-string");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(bs::intern_view(a), "intern-same-string");
+}
+
+TEST(Intern, DistinctStringsDistinctIds) {
+  auto a = bs::intern("intern-distinct-a");
+  auto b = bs::intern("intern-distinct-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(bs::intern_view(a), "intern-distinct-a");
+  EXPECT_EQ(bs::intern_view(b), "intern-distinct-b");
+}
+
+TEST(Intern, LookupNeverInserts) {
+  auto& interner = bs::Interner::global();
+  EXPECT_EQ(interner.lookup("intern-never-seen-before-xyzzy"), 0u);
+  auto before = interner.size();
+  EXPECT_EQ(interner.lookup("intern-never-seen-before-xyzzy"), 0u);
+  EXPECT_EQ(interner.size(), before);
+  auto id = interner.intern("intern-never-seen-before-xyzzy");
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(interner.lookup("intern-never-seen-before-xyzzy"), id);
+}
+
+TEST(Intern, OutOfRangeViewIsEmpty) {
+  EXPECT_EQ(bs::intern_view(0xffffffffu), "");
+}
+
+TEST(Intern, EightThreadContentionIsIdempotent) {
+  // All 8 workers intern the same 64 fresh names concurrently; every
+  // worker must observe the same id per name (first-insert races resolve
+  // to a single winner) and views must match the bytes.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 64;
+  std::vector<std::string> names;
+  names.reserve(kNames);
+  for (int i = 0; i < kNames; ++i) {
+    names.push_back("intern-contend-" + std::to_string(i));
+  }
+  std::vector<std::vector<std::uint32_t>> ids(
+      kThreads, std::vector<std::uint32_t>(kNames, 0));
+  bs::parallel_for(kThreads, kThreads, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      for (int i = 0; i < kNames; ++i) {
+        ids[t][static_cast<std::size_t>(i)] = bs::intern(names[static_cast<std::size_t>(i)]);
+      }
+    }
+  });
+  for (int i = 0; i < kNames; ++i) {
+    const auto expected = ids[0][static_cast<std::size_t>(i)];
+    EXPECT_NE(expected, 0u);
+    EXPECT_EQ(bs::intern_view(expected), names[static_cast<std::size_t>(i)]);
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(ids[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+                expected)
+          << "thread " << t << " name " << i;
+    }
+  }
+}
+
+TEST(Intern, IdsAreStableAcrossLaterInserts) {
+  auto id = bs::intern("intern-stable-anchor");
+  auto view = bs::intern_view(id);
+  for (int i = 0; i < 200; ++i) {
+    bs::intern("intern-stable-filler-" + std::to_string(i));
+  }
+  EXPECT_EQ(bs::intern("intern-stable-anchor"), id);
+  // The view must still point at valid storage (append-only guarantee).
+  EXPECT_EQ(bs::intern_view(id), "intern-stable-anchor");
+  EXPECT_EQ(view, "intern-stable-anchor");
+}
+
+// ----------------------------------------------------------------- arena
+
+TEST(Arena, RespectsAlignment) {
+  bs::Arena arena;
+  // Interleave odd sizes with strict alignments; every pointer must honor
+  // the requested alignment.
+  for (std::size_t align : {1UL, 2UL, 4UL, 8UL, 16UL, 64UL}) {
+    void* odd = arena.allocate(3, 1);
+    ASSERT_NE(odd, nullptr);
+    void* p = arena.allocate(24, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+  }
+  double* d = arena.allocate_array<double>(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(Arena, ZeroByteRequestsYieldDistinctPointers) {
+  bs::Arena arena;
+  void* a = arena.allocate(0);
+  void* b = arena.allocate(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, ResetReusesBlocksWithoutGrowing) {
+  bs::Arena arena(256);
+  // Warm up: force a few blocks into existence.
+  for (int i = 0; i < 64; ++i) arena.allocate(64, 8);
+  const auto blocks = arena.block_count();
+  const auto capacity = arena.capacity_bytes();
+  EXPECT_GE(blocks, 2u);
+  // Steady state: the same allocation pattern after reset() must fit in
+  // the warmed blocks — no new blocks, no capacity growth.
+  for (int rep = 0; rep < 10; ++rep) {
+    arena.reset();
+    EXPECT_EQ(arena.used_bytes(), 0u);
+    for (int i = 0; i < 64; ++i) arena.allocate(64, 8);
+    EXPECT_EQ(arena.block_count(), blocks) << "rep " << rep;
+    EXPECT_EQ(arena.capacity_bytes(), capacity) << "rep " << rep;
+  }
+}
+
+TEST(Arena, ResetReturnsSameAddresses) {
+  bs::Arena arena(128);
+  void* first = arena.allocate(32, 8);
+  arena.reset();
+  void* again = arena.allocate(32, 8);
+  EXPECT_EQ(first, again);
+}
+
+TEST(Arena, LargeAllocationFallback) {
+  bs::Arena arena(64);
+  // Far larger than the first block or any geometric successor step:
+  // must succeed via a dedicated exactly-sized block and be writable.
+  const std::size_t big = 1 << 20;
+  auto* p = static_cast<char*>(arena.allocate(big, 16));
+  ASSERT_NE(p, nullptr);
+  p[0] = 'a';
+  p[big - 1] = 'z';
+  EXPECT_GE(arena.capacity_bytes(), big);
+  // Small allocations still work afterwards, and reset() keeps the big
+  // block for reuse.
+  void* small = arena.allocate(16, 8);
+  EXPECT_NE(small, nullptr);
+  const auto capacity = arena.capacity_bytes();
+  arena.reset();
+  auto* p2 = static_cast<char*>(arena.allocate(big, 16));
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+}
+
+TEST(ArenaVector, PushGrowClearReuse) {
+  bs::Arena arena;
+  bs::ArenaVector<int> v(arena);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(v.contains(42));
+  EXPECT_FALSE(v.contains(100));
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.contains(42));
+  v.push_back(7);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(ArenaString, AppendAndClear) {
+  bs::Arena arena;
+  bs::ArenaString s(arena);
+  EXPECT_TRUE(s.empty());
+  s.append("hello");
+  s.push_back(' ');
+  s += std::string_view("world");
+  EXPECT_EQ(s.view(), "hello world");
+  // Force growth past the initial 32-byte slice.
+  for (int i = 0; i < 10; ++i) s += std::string("0123456789");
+  EXPECT_EQ(s.size(), 11u + 100u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  s.append("reuse");
+  EXPECT_EQ(s.view(), "reuse");
 }
