@@ -1,0 +1,200 @@
+// Persistent-store benchmarks: journal primitives (put/flush/replay) and
+// the cross-run warm-start path the store exists for — the same saxpy
+// campaign run cold (empty store) vs warm (store already holds the
+// campaign), where a warm re-run must install nothing and execute zero
+// experiments. CI gates on the warm counters in BENCH_store.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/ramble/workspace.hpp"
+#include "src/store/store.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/system/system.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace {
+
+using namespace benchpark;
+
+// The Figure 10 saxpy matrix (4 matrix combos x 2 zipped pairs = 8
+// experiments) — the same campaign shape the store tests key on.
+const char* kSaxpyRambleYaml =
+    "ramble:\n"
+    "  applications:\n"
+    "    saxpy:\n"
+    "      workloads:\n"
+    "        problem:\n"
+    "          env_vars:\n"
+    "            set:\n"
+    "              OMP_NUM_THREADS: '{n_threads}'\n"
+    "          variables:\n"
+    "            n_ranks: '8'\n"
+    "            batch_time: '120'\n"
+    "          experiments:\n"
+    "            saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}:\n"
+    "              variables:\n"
+    "                processes_per_node: ['8', '4']\n"
+    "                n_nodes: ['1', '2']\n"
+    "                n_threads: ['2', '4']\n"
+    "                n: ['512', '1024']\n"
+    "              matrices:\n"
+    "              - size_threads:\n"
+    "                - n\n"
+    "                - n_threads\n"
+    "  spack:\n"
+    "    packages:\n"
+    "      gcc1211:\n"
+    "        spack_spec: gcc@12.1.1\n"
+    "      default-mpi:\n"
+    "        spack_spec: mvapich2@2.3.7\n"
+    "      saxpy:\n"
+    "        spack_spec: saxpy@1.0.0 +openmp\n"
+    "        compiler: gcc1211\n"
+    "    environments:\n"
+    "      saxpy:\n"
+    "        packages:\n"
+    "        - default-mpi\n"
+    "        - saxpy\n";
+
+/// One full campaign pass against `store`: fresh workspace directory,
+/// configure + setup + run_all. Returns the run report; the caller reads
+/// install traffic off the workspace it passes in.
+ramble::RunReport run_campaign(const std::filesystem::path& ws_root,
+                               const store::StoreHandle& store,
+                               install::InstallReport* install_out) {
+  auto system = system::SystemRegistry::instance().get("cts1");
+  auto ws = ramble::Workspace::create(ws_root, system);
+  ws.configure(yaml::parse(kSaxpyRambleYaml));
+  ws.set_store(store);
+  ws.setup();
+  if (install_out != nullptr) *install_out = ws.install_report();
+  auto report = ws.run_all();
+  return report;
+}
+
+// -- journal primitives -----------------------------------------------------
+
+// put() throughput into the in-memory live map (dedup + pending buffer),
+// no I/O until the final flush.
+void BM_StorePut(benchmark::State& state) {
+  support::TempDir tmp("bench-store-put");
+  auto store = store::Store::open(tmp.path() / "store");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    store->put("bench", "key-" + std::to_string(i++),
+               "value payload of a realistic size for an index record");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StorePut);
+
+// Append + fsync cost per flushed batch (Arg = records per batch). This
+// is the durability price a run_all pays once per campaign, not per
+// experiment.
+void BM_StoreFlushBatch(benchmark::State& state) {
+  support::TempDir tmp("bench-store-flush");
+  auto store = store::Store::open(tmp.path() / "store");
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    for (std::uint64_t k = 0; k < batch; ++k) {
+      store->put("bench", "key-" + std::to_string(i++),
+                 "value payload of a realistic size for an index record");
+    }
+    store->flush();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_StoreFlushBatch)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+// Journal replay at open: the cold-boot cost of a store holding Arg live
+// records (what every warm Driver start pays before its first hit).
+void BM_StoreOpenReplay(benchmark::State& state) {
+  support::TempDir tmp("bench-store-open");
+  const auto dir = tmp.path() / "store";
+  const auto records = static_cast<std::uint64_t>(state.range(0));
+  {
+    auto seed = store::Store::open(dir);
+    for (std::uint64_t i = 0; i < records; ++i) {
+      seed->put("bench", "key-" + std::to_string(i),
+                "value payload of a realistic size for an index record");
+    }
+    seed->flush();
+  }
+  for (auto _ : state) {
+    auto store = store::Store::open(dir);
+    benchmark::DoNotOptimize(store->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records));
+}
+BENCHMARK(BM_StoreOpenReplay)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+// -- cross-run warm start ----------------------------------------------------
+
+// Cold baseline: every iteration opens an empty store, so all software
+// installs and all 8 experiments execute. store_misses == experiments.
+void BM_CampaignColdStore(benchmark::State& state) {
+  std::size_t experiments = 0;
+  std::size_t executions = 0;
+  std::size_t installs = 0;
+  for (auto _ : state) {
+    support::TempDir tmp("bench-store-cold");
+    auto store = store::Store::open(tmp.path() / "store");
+    install::InstallReport install;
+    auto report = run_campaign(tmp.path() / "ws", store, &install);
+    experiments = report.experiments;
+    executions = report.store_misses;
+    installs = install.from_source + install.from_cache + install.externals;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["experiments"] = static_cast<double>(experiments);
+  state.counters["cold_executions"] = static_cast<double>(executions);
+  state.counters["cold_installs"] = static_cast<double>(installs);
+}
+BENCHMARK(BM_CampaignColdStore)->Unit(benchmark::kMillisecond);
+
+// Warm re-run: the store is primed once with the identical campaign;
+// every timed iteration replays it from a different workspace root. The
+// incremental contract CI gates on: zero installs (everything already in
+// the warmed install tree) and zero experiment executions (all 8 keys
+// hit), counters exported for the BENCH_store.json gate.
+void BM_CampaignWarmStore(benchmark::State& state) {
+  support::TempDir tmp("bench-store-warm");
+  auto store = store::Store::open(tmp.path() / "store");
+  run_campaign(tmp.path() / "prime-ws", store, nullptr);  // prime the store
+
+  std::size_t experiments = 0;
+  std::size_t hits = 0;
+  std::size_t executions = 0;
+  std::size_t installs = 0;
+  std::size_t already = 0;
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    install::InstallReport install;
+    auto report = run_campaign(
+        tmp.path() / ("ws-" + std::to_string(run++)), store, &install);
+    experiments = report.experiments;
+    hits = report.store_hits;
+    executions = report.store_misses;
+    installs = install.from_source + install.from_cache + install.externals;
+    already = install.already_installed;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["experiments"] = static_cast<double>(experiments);
+  state.counters["warm_store_hits"] = static_cast<double>(hits);
+  state.counters["warm_executions"] = static_cast<double>(executions);
+  state.counters["warm_installs"] = static_cast<double>(installs);
+  state.counters["warm_already_installed"] = static_cast<double>(already);
+}
+BENCHMARK(BM_CampaignWarmStore)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

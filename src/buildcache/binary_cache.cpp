@@ -171,6 +171,55 @@ CacheStats BinaryCache::stats() const {
   return s;
 }
 
+std::vector<CacheEntry> BinaryCache::export_entries() const {
+  std::vector<CacheEntry> out;
+  for (auto& shard : shards_) {
+    auto map = shard.snapshot.load();
+    for (const auto& [hash, entry] : *map) out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CacheEntry& a, const CacheEntry& b) {
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+void BinaryCache::restore(const std::vector<CacheEntry>& entries,
+                          const CacheStats& stats) {
+  {
+    std::lock_guard<std::mutex> evict_lock(evict_mu_);
+    std::array<Map, kShards> maps;
+    std::uint64_t max_sequence = 0;
+    for (CacheEntry entry : entries) {
+      entry.injected_latency_seconds = 0.0;  // transient, never persisted
+      max_sequence = std::max(max_sequence, entry.sequence);
+      auto& map = maps[support::fnv1a(entry.dag_hash) % kShards];
+      std::string hash = entry.dag_hash;
+      map.insert_or_assign(std::move(hash), std::move(entry));
+    }
+    std::uint64_t bytes = 0;
+    for (const auto& map : maps) {
+      for (const auto& [hash, entry] : map) bytes += entry.size_bytes;
+    }
+    for (std::size_t i = 0; i < kShards; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mu);
+      shards_[i].snapshot.store(std::make_shared<Map>(std::move(maps[i])));
+    }
+    total_bytes_.store(bytes, std::memory_order_relaxed);
+    // The next push must sort after every restored entry, or eviction
+    // order would interleave old and new artifacts.
+    next_sequence_.store(max_sequence + 1, std::memory_order_relaxed);
+    // Reverse of the stats() read order so a concurrent snapshot never
+    // observes an impossible intermediate state (evictions > pushes).
+    hits_.store(stats.hits, std::memory_order_release);
+    misses_.store(stats.misses, std::memory_order_release);
+    pushes_.store(stats.pushes, std::memory_order_release);
+    retries_.store(stats.retries, std::memory_order_release);
+    evictions_.store(stats.evictions, std::memory_order_release);
+  }
+  evict_to_capacity();
+}
+
 double BinaryCache::fetch_cost_seconds(std::uint64_t size_bytes) const {
   return base_latency_seconds_ +
          static_cast<double>(size_bytes) / bytes_per_second_;

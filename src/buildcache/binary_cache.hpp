@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "src/spec/spec.hpp"
 #include "src/support/hash.hpp"
@@ -113,6 +114,19 @@ public:
   }
 
   [[nodiscard]] CacheStats stats() const;
+
+  /// Every mirrored entry, sorted by push sequence (oldest first) so
+  /// persisted snapshots are deterministic. injected_latency_seconds is
+  /// transient and always zero here.
+  [[nodiscard]] std::vector<CacheEntry> export_entries() const;
+
+  /// Replace contents and counters from a persisted snapshot. Entries
+  /// keep their original sequences and are published through the normal
+  /// copy-on-write snapshot path, so oldest-sequence-first eviction order
+  /// survives a persist/reload cycle; stats() resumes from `stats`
+  /// instead of resetting to zero.
+  void restore(const std::vector<CacheEntry>& entries,
+               const CacheStats& stats);
 
   /// Modeled seconds to download size_bytes from the mirror.
   [[nodiscard]] double fetch_cost_seconds(std::uint64_t size_bytes) const;

@@ -166,6 +166,62 @@ void ConcretizationCache::evict_to_capacity() {
   }
 }
 
+void ConcretizationCache::for_each_entry(
+    const std::function<void(const std::string&, const spec::Spec&,
+                             std::uint64_t)>& fn) const {
+  struct Row {
+    std::string key;
+    SharedSpec spec;
+    std::uint64_t sequence;
+  };
+  std::vector<Row> rows;
+  for (auto& shard : shards_) {
+    // One guard at a time (hazard slots are a small per-thread budget);
+    // the shared spec pointers stay valid after the guard is released.
+    auto map = shard.snapshot.load();
+    for (const auto& [key, entry] : *map) {
+      rows.push_back({key, entry.spec, entry.sequence});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.sequence < b.sequence;
+  });
+  for (const auto& row : rows) fn(row.key, *row.spec, row.sequence);
+}
+
+void ConcretizationCache::restore_entry(const std::string& key,
+                                        spec::Spec concrete,
+                                        std::uint64_t sequence) {
+  auto shared = std::make_shared<const spec::Spec>(std::move(concrete));
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto next = std::make_shared<Map>(*shard.snapshot.load());
+    Entry& entry = (*next)[key];
+    if (!entry.spec) size_.fetch_add(1, std::memory_order_relaxed);
+    entry.spec = std::move(shared);
+    entry.sequence = sequence;
+    shard.snapshot.store(std::move(next));
+  }
+  // Keep future inserts sorting after every restored entry.
+  std::uint64_t expected = next_sequence_.load(std::memory_order_relaxed);
+  while (expected <= sequence &&
+         !next_sequence_.compare_exchange_weak(expected, sequence + 1,
+                                               std::memory_order_relaxed)) {
+  }
+  if (capacity_.load(std::memory_order_relaxed) != 0) evict_to_capacity();
+}
+
+void ConcretizationCache::restore_stats(const ConcretizeCacheStats& stats) {
+  // Reverse of the stats() read order so concurrent snapshots never see
+  // more evictions/invalidations than inserts mid-restore.
+  hits_.store(stats.hits, std::memory_order_release);
+  misses_.store(stats.misses, std::memory_order_release);
+  inserts_.store(stats.inserts, std::memory_order_release);
+  invalidations_.store(stats.invalidations, std::memory_order_release);
+  evictions_.store(stats.evictions, std::memory_order_release);
+}
+
 ConcretizeCacheStats ConcretizationCache::stats() const {
   // Torn-read-free: effect counters (evictions, invalidations) are read
   // before their cause (inserts), and inserts before the miss/hit pair,

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -108,6 +109,24 @@ public:
     return size_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] ConcretizeCacheStats stats() const;
+
+  /// Visit every entry as (key, concrete spec, insert sequence), in
+  /// ascending sequence order, for the persistent store's snapshot.
+  void for_each_entry(
+      const std::function<void(const std::string&, const spec::Spec&,
+                               std::uint64_t)>& fn) const;
+
+  /// Re-publish a persisted entry with its original insert sequence
+  /// (warm start). Does not count as cache traffic — only genuine inserts
+  /// move the counters — but keeps next_sequence_ ahead of every restored
+  /// sequence so eviction order stays oldest-first across reloads.
+  void restore_entry(const std::string& key, spec::Spec concrete,
+                     std::uint64_t sequence);
+
+  /// Resume counters from a persisted snapshot instead of zero, so the
+  /// eviction gates and concretizer.cache.* obs mirroring stay monotone
+  /// across process restarts.
+  void restore_stats(const ConcretizeCacheStats& stats);
 
 private:
   static constexpr std::size_t kShards = 16;

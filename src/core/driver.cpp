@@ -4,6 +4,7 @@
 
 #include "src/core/usage.hpp"
 #include "src/obs/trace.hpp"
+#include "src/store/persist.hpp"
 #include "src/support/error.hpp"
 #include "src/support/string_util.hpp"
 #include "src/yaml/parser.hpp"
@@ -294,6 +295,21 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
   auto say = [&](int step, const std::string& text) {
     if (log) log(step, text);
   };
+  // The persistent store, when configured (explicitly on the request or
+  // via BENCHPARK_STORE_DIR), is what makes back-to-back workflows
+  // incremental: warm caches, zero re-installs, skipped experiments.
+  store::StoreHandle persistent =
+      request.store ? request.store : store::Store::open_from_env();
+  auto warm = store::warm_start_global_caches(persistent);
+  if (workflow_span.active() && persistent) {
+    workflow_span.annotate("store.dir", persistent->dir().string());
+    if (warm.attempted) {
+      workflow_span.annotate("store.warm.concretize",
+                             std::to_string(warm.concretize_entries));
+      workflow_span.annotate("store.warm.templates",
+                             std::to_string(warm.template_entries));
+    }
+  }
   say(1, "user clones Benchpark repository (driver + configs + experiments)");
   say(2, "benchpark " + id.str() + " " + system_name + " " + dir.string());
   say(3, "Benchpark clones Spack and Ramble (engines instantiated)");
@@ -301,6 +317,7 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
     obs::ScopedSpan step_span(collector, "workflow.setup", "driver");
     return setup(id, system_name, dir);
   }();
+  ws.set_store(persistent);
   say(4, "Benchpark generates workspace config under " +
              (dir / "configs").string());
   {
@@ -325,7 +342,9 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
   say(6, "Ramble used Spack to build " + id.benchmark + " (" +
              std::to_string(ws.install_report().from_source) +
              " built from source, " +
-             std::to_string(ws.install_report().externals) + " externals)");
+             std::to_string(ws.install_report().externals) + " externals, " +
+             std::to_string(ws.install_report().already_installed) +
+             " already installed)");
   say(7, "Ramble rendered " + std::to_string(ws.prepared().size()) +
              " batch experiment scripts");
   auto run_report = [&] {
@@ -338,9 +357,19 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
                          std::to_string(r.template_cache_hits));
       step_span.annotate("template_cache.misses",
                          std::to_string(r.template_cache_misses));
+      if (persistent) {
+        step_span.annotate("store.hits", std::to_string(r.store_hits));
+        step_span.annotate("store.misses", std::to_string(r.store_misses));
+      }
     }
     return r;
   }();
+  std::string store_summary;
+  if (persistent) {
+    store_summary = ", store " + std::to_string(run_report.store_hits) +
+                    " hits / " + std::to_string(run_report.store_misses) +
+                    " misses";
+  }
   say(8, "ramble on: " + std::to_string(run_report.experiments) +
              " experiments executed via " +
              std::string(
@@ -348,7 +377,8 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
              " (" + std::to_string(run_report.retried) + " retried, " +
              "template cache " +
              std::to_string(run_report.template_cache_hits) + " hits / " +
-             std::to_string(run_report.template_cache_misses) + " misses)");
+             std::to_string(run_report.template_cache_misses) + " misses" +
+             store_summary + ")");
   auto report = [&] {
     obs::ScopedSpan step_span(collector, "workflow.analyze", "driver");
     return ws.analyze(request);
@@ -358,6 +388,12 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
              std::to_string(report.num_success()) + "/" +
              std::to_string(report.results.size()) +
              " experiments succeeded");
+  if (persistent) {
+    // Snapshot the process-wide caches so the next process starts warm;
+    // the workspace already persisted its binary cache + install tree.
+    store::persist_global_caches(persistent);
+    persistent->flush();
+  }
   if (workspace_out) *workspace_out = std::move(ws);
   return report;
 }

@@ -1,7 +1,9 @@
 #include "src/ramble/expansion.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <utility>
 
 #include "src/obs/trace.hpp"
 #include "src/support/arena.hpp"
@@ -528,6 +530,52 @@ void TemplateCache::evict_to_capacity() {
     evictions_.fetch_add(1, std::memory_order_release);
     obs::TraceCollector::global().counter_add("ramble.template.evictions");
   }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+TemplateCache::export_entries() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (auto& shard : shards_) {
+    auto map = shard.snapshot.load();
+    for (const auto& [key, entry] : *map) {
+      out.emplace_back(key, entry.sequence);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+void TemplateCache::restore_entry(std::string_view text,
+                                  std::uint64_t sequence) {
+  // Compile first: a corrupt persisted record must not publish anything.
+  auto compiled = std::make_shared<const CompiledTemplate>(text);
+  Shard& shard = shard_for(text);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto next = std::make_shared<Map>(*shard.snapshot.load());
+    Entry& entry = (*next)[std::string(text)];
+    if (!entry.tmpl) size_.fetch_add(1, std::memory_order_relaxed);
+    entry.tmpl = std::move(compiled);
+    entry.sequence = sequence;
+    shard.snapshot.store(std::move(next));
+  }
+  // Keep future inserts sorting after every restored entry.
+  std::uint64_t expected = next_sequence_.load(std::memory_order_relaxed);
+  while (expected <= sequence &&
+         !next_sequence_.compare_exchange_weak(expected, sequence + 1,
+                                               std::memory_order_relaxed)) {
+  }
+  if (capacity_.load(std::memory_order_relaxed) != 0) evict_to_capacity();
+}
+
+void TemplateCache::restore_stats(const TemplateCacheStats& stats) {
+  // Reverse of the stats() read order so concurrent snapshots never see
+  // more evictions than inserts mid-restore.
+  hits_.store(stats.hits, std::memory_order_release);
+  misses_.store(stats.misses, std::memory_order_release);
+  inserts_.store(stats.inserts, std::memory_order_release);
+  evictions_.store(stats.evictions, std::memory_order_release);
 }
 
 TemplateCacheStats TemplateCache::stats() const {

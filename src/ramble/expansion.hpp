@@ -187,6 +187,21 @@ public:
   }
   [[nodiscard]] TemplateCacheStats stats() const;
 
+  /// Every cached template as (source text, insert sequence), sorted by
+  /// sequence (oldest first), for the persistent store's snapshot. The
+  /// compiled form is a pure function of the text, so only the text is
+  /// worth persisting.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  export_entries() const;
+
+  /// Recompile and publish a persisted entry with its original insert
+  /// sequence (warm start). Does not move the hit/miss/insert counters.
+  /// Compile errors propagate — callers skip corrupt records.
+  void restore_entry(std::string_view text, std::uint64_t sequence);
+
+  /// Resume counters from a persisted snapshot instead of zero.
+  void restore_stats(const TemplateCacheStats& stats);
+
 private:
   static constexpr std::size_t kShards = 16;
 

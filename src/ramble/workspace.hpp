@@ -29,6 +29,7 @@
 #include "src/ramble/experiment.hpp"
 #include "src/runtime/simexec.hpp"
 #include "src/sched/scheduler.hpp"
+#include "src/store/store.hpp"
 #include "src/support/table.hpp"
 #include "src/system/system.hpp"
 #include "src/yaml/node.hpp"
@@ -118,6 +119,11 @@ struct RunRequest {
   bool use_cache = true;
   /// Retry/backoff for the "experiment.exec" fault site.
   runtime::ExecRetryOptions retry;
+  /// Persistent result store consulted before executing each experiment
+  /// (and written after). Overrides the workspace-level store for this
+  /// run; null falls back to Workspace::set_store's handle, then to
+  /// running everything.
+  store::StoreHandle store;
 };
 
 /// What run_all did, aggregated in experiment (submission) order.
@@ -137,6 +143,11 @@ struct RunReport {
   /// TemplateCache traffic during this call (process-wide delta).
   std::size_t template_cache_hits = 0;
   std::size_t template_cache_misses = 0;
+  /// Experiments restored from the persistent store without executing,
+  /// and experiments that had to run because the store had no record.
+  /// Both stay 0 when no store is configured.
+  std::size_t store_hits = 0;
+  std::size_t store_misses = 0;
 };
 
 struct AnalyzeReport {
@@ -161,6 +172,13 @@ public:
   /// `repo/` overlay mechanism of Figure 1a: community recipes shadow
   /// the builtin repo). Default: pkg::default_repo_stack().
   void set_repo_stack(pkg::RepoStack repos);
+
+  /// Attach a persistent store: setup() warm-loads the binary-cache
+  /// index and install tree from it (so unchanged software re-installs
+  /// nothing) and persists them back; run_all() skips experiments whose
+  /// key is already recorded and saves fresh results.
+  void set_store(store::StoreHandle store) { store_ = std::move(store); }
+  [[nodiscard]] const store::StoreHandle& store() const { return store_; }
 
   /// `ramble workspace setup`.
   void setup();
@@ -219,6 +237,14 @@ private:
   void generate_experiments();
   [[nodiscard]] std::string render_script(
       const PreparedExperiment& exp) const;
+  /// Content key for one experiment's stored result: covers the
+  /// concretization scope (config + repo-stack fingerprints), system,
+  /// the app environment's concrete DAG hashes, and the experiment's
+  /// rendered script/variables/env (workspace root scrubbed, so the key
+  /// is stable across workspace directories). Any input change produces
+  /// a new key, which is what "re-run exactly the affected subset" means.
+  [[nodiscard]] std::string experiment_store_key(
+      const PreparedExperiment& exp) const;
 
   std::filesystem::path root_;
   system::SystemDescription system_;
@@ -237,6 +263,10 @@ private:
   install::InstallReport install_report_;
   ConcretizeSummary concretize_summary_;
   std::vector<PreparedExperiment> prepared_;
+  store::StoreHandle store_;
+  /// "<config fingerprint>/<repo-stack fingerprint>" from the last
+  /// setup_software() pass; part of every experiment store key.
+  std::string scope_fingerprint_;
 };
 
 }  // namespace benchpark::ramble

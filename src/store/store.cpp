@@ -1,0 +1,321 @@
+#include "src/store/store.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "src/support/error.hpp"
+#include "src/support/fault.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/support/hash.hpp"
+#include "src/support/log.hpp"
+
+namespace benchpark::store {
+
+namespace {
+
+constexpr std::string_view kHeader = "benchpark-store 1\n";
+constexpr char kSep = '\x1f';
+constexpr std::string_view kJournalName = "journal.bps";
+
+/// Compact when the journal carries this many dead frames past the live
+/// set (the +64 floor keeps tiny stores from compacting on every flush).
+std::size_t compact_threshold(std::size_t live) { return 2 * live + 64; }
+
+std::string checksum(std::string_view op, std::string_view kind,
+                     std::string_view key, std::string_view value) {
+  return support::Hasher{}
+      .update(op)
+      .update(kind)
+      .update(key)
+      .update(value)
+      .base32();
+}
+
+bool parse_size(std::string_view token, std::size_t& out) {
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+Store::Store(std::filesystem::path dir) : dir_(std::move(dir)) {}
+
+Store::~Store() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; anything unflushed is recomputable.
+  }
+}
+
+std::filesystem::path Store::journal_path() const {
+  return dir_ / kJournalName;
+}
+
+StoreHandle Store::open(const std::filesystem::path& dir) {
+  support::ensure_dir(dir);
+  StoreHandle handle(new Store(dir));
+  handle->load();
+  return handle;
+}
+
+StoreHandle Store::open_from_env() {
+  const char* dir = std::getenv("BENCHPARK_STORE_DIR");
+  if (dir == nullptr || *dir == '\0') return nullptr;
+  // One handle per directory per process, so every workspace in a
+  // campaign shares the same journal and dedup set.
+  static std::mutex mu;
+  static std::map<std::string, StoreHandle> open_stores;
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = open_stores.try_emplace(dir);
+  if (inserted) it->second = open(dir);
+  return it->second;
+}
+
+std::string Store::record_key(std::string_view kind, std::string_view key) {
+  std::string out;
+  out.reserve(kind.size() + 1 + key.size());
+  out.append(kind);
+  out.push_back(kSep);
+  out.append(key);
+  return out;
+}
+
+std::string Store::encode_record(std::string_view op, std::string_view kind,
+                                 std::string_view key,
+                                 std::string_view value) {
+  std::string out;
+  out.reserve(op.size() + kind.size() + key.size() + value.size() + 48);
+  out.append(op);
+  out.push_back(' ');
+  out.append(kind);
+  out.push_back(' ');
+  out.append(std::to_string(key.size()));
+  out.push_back(' ');
+  out.append(std::to_string(value.size()));
+  out.push_back(' ');
+  out.append(checksum(op, kind, key, value));
+  out.push_back('\n');
+  out.append(key);
+  out.append(value);
+  out.push_back('\n');
+  return out;
+}
+
+void Store::load() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto path = journal_path();
+  std::string content;
+  try {
+    support::fault_hit("store.load", dir_.string());
+    if (std::filesystem::exists(path)) content = support::read_file(path);
+  } catch (const Error& e) {
+    support::Log::warn("store: cannot load " + path.string() + " (" +
+                       e.what() + "); starting cold");
+    stats_.cold_start = true;
+    live_.clear();
+    journal_records_ = 0;
+    return;
+  }
+  if (content.empty()) return;  // fresh store
+  if (content.rfind(kHeader, 0) != 0) {
+    support::Log::warn("store: unrecognized journal header in " +
+                       path.string() + "; starting cold");
+    stats_.cold_start = true;
+    return;
+  }
+  std::size_t pos = kHeader.size();
+  bool truncated = false;
+  while (pos < content.size()) {
+    const std::size_t header_end = content.find('\n', pos);
+    if (header_end == std::string::npos) {
+      truncated = true;
+      break;
+    }
+    std::string_view header =
+        std::string_view(content).substr(pos, header_end - pos);
+    // "op kind key-bytes value-bytes checksum"
+    std::string_view tokens[5];
+    std::size_t n_tokens = 0;
+    std::size_t tok_start = 0;
+    bool bad = false;
+    for (std::size_t i = 0; i <= header.size(); ++i) {
+      if (i == header.size() || header[i] == ' ') {
+        if (i == tok_start || n_tokens == 5) {
+          bad = true;
+          break;
+        }
+        tokens[n_tokens++] = header.substr(tok_start, i - tok_start);
+        tok_start = i + 1;
+      }
+    }
+    std::size_t key_size = 0;
+    std::size_t value_size = 0;
+    if (bad || n_tokens != 5 || (tokens[0] != "rec" && tokens[0] != "del") ||
+        !parse_size(tokens[2], key_size) ||
+        !parse_size(tokens[3], value_size)) {
+      truncated = true;
+      break;
+    }
+    const std::size_t payload = header_end + 1;
+    if (payload + key_size + value_size + 1 > content.size() ||
+        content[payload + key_size + value_size] != '\n') {
+      truncated = true;
+      break;
+    }
+    std::string_view key =
+        std::string_view(content).substr(payload, key_size);
+    std::string_view value =
+        std::string_view(content).substr(payload + key_size, value_size);
+    if (checksum(tokens[0], tokens[1], key, value) != tokens[4]) {
+      truncated = true;
+      break;
+    }
+    if (tokens[0] == "rec") {
+      live_[record_key(tokens[1], key)] = std::string(value);
+    } else {
+      live_.erase(record_key(tokens[1], key));
+    }
+    ++journal_records_;
+    pos = payload + key_size + value_size + 1;
+  }
+  if (truncated) {
+    ++stats_.dropped_records;
+    support::Log::warn(
+        "store: corrupt or truncated record at byte " + std::to_string(pos) +
+        " of " + path.string() + "; kept " +
+        std::to_string(journal_records_) + " valid record(s), dropped the " +
+        "rest");
+  }
+  stats_.loaded_records = live_.size();
+  // Restore the invariant that appends land after well-formed frames:
+  // rewrite immediately when a tail was dropped, or when the journal is
+  // mostly dead weight.
+  if (truncated || journal_records_ > compact_threshold(live_.size())) {
+    compact_locked();
+  }
+}
+
+std::optional<std::string> Store::get(std::string_view kind,
+                                      std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(record_key(kind, key));
+  if (it == live_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Store::contains(std::string_view kind, std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.find(record_key(kind, key)) != live_.end();
+}
+
+void Store::put(std::string_view kind, std::string_view key,
+                std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto k = record_key(kind, key);
+  auto it = live_.find(k);
+  if (it != live_.end() && it->second == value) return;  // dedup
+  if (it != live_.end()) {
+    it->second = std::string(value);
+  } else {
+    live_.emplace(std::move(k), std::string(value));
+  }
+  pending_bytes_ += encode_record("rec", kind, key, value);
+  ++pending_records_;
+}
+
+bool Store::erase(std::string_view kind, std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.erase(record_key(kind, key)) == 0) return false;
+  pending_bytes_ += encode_record("del", kind, key, {});
+  ++pending_records_;
+  return true;
+}
+
+void Store::for_each(
+    std::string_view kind,
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  std::vector<std::pair<std::string, std::string>> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string prefix = record_key(kind, {});
+    for (auto it = live_.lower_bound(prefix); it != live_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      rows.emplace_back(it->first.substr(prefix.size()), it->second);
+    }
+  }
+  for (const auto& [key, value] : rows) fn(key, value);
+}
+
+void Store::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_records_ == 0) return;
+  const auto path = journal_path();
+  try {
+    support::fault_hit("store.flush", dir_.string());
+    if (!std::filesystem::exists(path)) {
+      support::append_file_sync(path, std::string(kHeader));
+    }
+    support::append_file_sync(path, pending_bytes_);
+  } catch (const Error& e) {
+    // Keep the batch pending: a later flush (or the destructor) retries,
+    // and the worst case is recomputing what this batch recorded.
+    support::Log::warn("store: flush of " +
+                       std::to_string(pending_records_) + " record(s) to " +
+                       path.string() + " deferred (" + e.what() + ")");
+    return;
+  }
+  journal_records_ += pending_records_;
+  stats_.appended_records += pending_records_;
+  pending_bytes_.clear();
+  pending_records_ = 0;
+  if (journal_records_ > compact_threshold(live_.size())) compact_locked();
+}
+
+void Store::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  compact_locked();
+}
+
+void Store::compact_locked() {
+  std::string content(kHeader);
+  for (const auto& [k, value] : live_) {
+    const std::size_t sep = k.find(kSep);
+    std::string_view kind = std::string_view(k).substr(0, sep);
+    std::string_view key = std::string_view(k).substr(sep + 1);
+    content += encode_record("rec", kind, key, value);
+  }
+  try {
+    support::write_file(journal_path(), content);
+  } catch (const Error& e) {
+    support::Log::warn("store: compaction of " + journal_path().string() +
+                       " failed (" + e.what() + ")");
+    return;
+  }
+  journal_records_ = live_.size();
+  // The rewrite covered everything in live_, pending included.
+  pending_bytes_.clear();
+  pending_records_ = 0;
+  ++stats_.compactions;
+}
+
+std::size_t Store::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+std::size_t Store::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_records_;
+}
+
+StoreStats Store::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace benchpark::store

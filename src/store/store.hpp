@@ -1,0 +1,149 @@
+// Crash-safe, journaled on-disk content-addressed store.
+//
+// The paper's collaborative continuous-benchmarking loop only pays off
+// when a fresh Driver run can reuse what earlier runs already computed:
+// concretized specs, mirrored build artifacts, compiled templates, and
+// completed experiment results (exaCB's incremental-collection model —
+// persist results keyed by content hashes, re-run only what changed).
+// This module is the durability layer: a single append-only journal of
+// checksummed (kind, key, value) records plus periodic compaction.
+//
+// Durability model:
+//   * put() buffers records in memory; flush() appends them to the
+//     journal with one write + fsync ("store.flush" fault site — a
+//     failed flush warns and keeps the batch pending, never crashes);
+//   * compact() rewrites only the live records through fs_util's
+//     write-temp + fsync + atomic-rename, so a crash at any instant
+//     leaves either the old journal or the new one, never a torn file;
+//   * load replays the journal and stops at the first corrupt or
+//     truncated record, keeping the valid prefix — a store that cannot
+//     be read at all degrades to a cold start with a warning ("store.load"
+//     fault site), never an exception out of open().
+//
+// Record framing (text header, length-prefixed payload so keys/values
+// may contain any bytes):
+//
+//   benchpark-store 1\n
+//   rec <kind> <key-bytes> <value-bytes> <fnv1a-base32>\n<key><value>\n
+//   del <kind> <key-bytes> 0 <fnv1a-base32>\n<key>\n
+//
+// The checksum covers op, kind, key and value with separator bytes, so a
+// bit flip anywhere in the frame is caught. Within one journal, the last
+// record for a (kind, key) wins — compaction drops the dead versions.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace benchpark::store {
+
+class Store;
+/// Shared ownership: the driver, workspace, and caches all hold the same
+/// open store; the journal flushes on the last release.
+using StoreHandle = std::shared_ptr<Store>;
+
+/// Load/compaction observability, snapshot via Store::stats().
+struct StoreStats {
+  std::size_t loaded_records = 0;    // live records replayed at open
+  std::size_t dropped_records = 0;   // corrupt/truncated records skipped
+  std::size_t appended_records = 0;  // records flushed this process
+  std::size_t compactions = 0;
+  bool cold_start = false;  // load failed entirely; started empty
+};
+
+class Store {
+public:
+  /// Open (creating if needed) the store rooted at `dir`. Never throws
+  /// for journal corruption — that degrades to a cold start with a
+  /// warning; only an unusable directory throws benchpark::Error.
+  static StoreHandle open(const std::filesystem::path& dir);
+
+  /// The store named by BENCHPARK_STORE_DIR, or nullptr when the
+  /// variable is unset/empty. One handle per process per directory.
+  static StoreHandle open_from_env();
+
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view kind,
+                                               std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view kind,
+                              std::string_view key) const;
+  /// Record (or overwrite) a value. Identical (kind, key, value) triples
+  /// are deduplicated so steady-state warm re-runs append nothing.
+  void put(std::string_view kind, std::string_view key,
+           std::string_view value);
+  /// Tombstone a record; false when absent.
+  bool erase(std::string_view kind, std::string_view key);
+
+  /// Visit every live (key, value) of one kind, in key order. The
+  /// callback runs outside the store lock, so it may call back into the
+  /// store.
+  void for_each(std::string_view kind,
+                const std::function<void(const std::string&,
+                                         const std::string&)>& fn) const;
+
+  /// Append pending records to the journal and fsync. Passes the
+  /// "store.flush" fault site: injected faults warn and keep the batch
+  /// pending for a later flush instead of throwing.
+  void flush();
+  /// Rewrite the journal with live records only (temp + fsync + rename).
+  void compact();
+
+  /// Live records (all kinds).
+  [[nodiscard]] std::size_t size() const;
+  /// Records buffered by put() but not yet flushed.
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] StoreStats stats() const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+  [[nodiscard]] std::filesystem::path journal_path() const;
+
+  /// First caller wins: guards the once-per-store warm start of the
+  /// process-wide caches (ConcretizationCache, TemplateCache).
+  [[nodiscard]] bool begin_warm_start() {
+    return !warm_started_.exchange(true);
+  }
+
+private:
+  explicit Store(std::filesystem::path dir);
+
+  /// Replay the journal into live_. Corruption keeps the valid prefix;
+  /// a completely unreadable journal becomes a cold start. Only called
+  /// from open(), before the handle escapes.
+  void load();
+
+  [[nodiscard]] static std::string record_key(std::string_view kind,
+                                              std::string_view key);
+  [[nodiscard]] static std::string encode_record(std::string_view op,
+                                                 std::string_view kind,
+                                                 std::string_view key,
+                                                 std::string_view value);
+  /// Compaction body; caller holds mu_.
+  void compact_locked();
+
+  std::filesystem::path dir_;
+  mutable std::mutex mu_;
+  /// "kind\x1fkey" -> value. Ordered so compaction output (and therefore
+  /// the on-disk bytes for identical contents) is deterministic.
+  std::map<std::string, std::string, std::less<>> live_;
+  std::string pending_bytes_;
+  std::size_t pending_records_ = 0;
+  /// Records currently framed in the journal file (live + dead); drives
+  /// the dead-ratio compaction trigger.
+  std::size_t journal_records_ = 0;
+  StoreStats stats_;
+  std::atomic<bool> warm_started_{false};
+};
+
+}  // namespace benchpark::store

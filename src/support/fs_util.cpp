@@ -1,9 +1,12 @@
 #include "src/support/fs_util.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 
 #include "src/support/error.hpp"
@@ -15,16 +18,97 @@ namespace fs = std::filesystem;
 void ensure_dir(const fs::path& dir) {
   std::error_code ec;
   fs::create_directories(dir, ec);
-  if (ec) throw Error("cannot create directory " + dir.string() + ": " +
-                      ec.message());
+  if (!ec) return;
+  // Concurrent Driver starts race each other through the same tree;
+  // create_directories may surface EEXIST from a sibling's mkdir. As long
+  // as the directory exists afterwards, creation succeeded.
+  std::error_code exists_ec;
+  if (fs::is_directory(dir, exists_ec)) return;
+  throw Error("cannot create directory " + dir.string() + ": " +
+              ec.message());
+}
+
+namespace {
+
+/// Write + fsync + close a fully-buffered payload into `fd`. Returns an
+/// errno-style message on failure (empty on success); always closes fd.
+std::string write_all_and_sync(int fd, const std::string& content) {
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::string msg = std::strerror(errno);
+      ::close(fd);
+      return msg;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    std::string msg = std::strerror(errno);
+    ::close(fd);
+    return msg;
+  }
+  if (::close(fd) != 0) return std::strerror(errno);
+  return {};
+}
+
+}  // namespace
+
+void fsync_dir(const fs::path& dir) {
+  // Best effort: persists the rename itself (the directory entry). Some
+  // filesystems refuse O_RDONLY fsync on directories; that is not fatal.
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
 }
 
 void write_file(const fs::path& path, const std::string& content) {
   if (path.has_parent_path()) ensure_dir(path.parent_path());
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("cannot open for writing: " + path.string());
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) throw Error("write failed: " + path.string());
+  // Crash-safe publish: write a same-directory temp file, fsync it, then
+  // rename over the target. A reader (or a process that crashes mid-write)
+  // sees either the complete old bytes or the complete new bytes, never a
+  // truncated mix — the property the on-disk store's compaction relies on.
+  static std::atomic<unsigned> counter{0};
+  fs::path tmp = path;
+  tmp += ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    throw Error("cannot open for writing: " + tmp.string() + ": " +
+                std::strerror(errno));
+  }
+  if (std::string err = write_all_and_sync(fd, content); !err.empty()) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw Error("write failed: " + path.string() + ": " + err);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw Error("cannot rename " + tmp.string() + " -> " + path.string() +
+                ": " + ec.message());
+  }
+  if (path.has_parent_path()) fsync_dir(path.parent_path());
+}
+
+void append_file_sync(const fs::path& path, const std::string& content) {
+  if (path.has_parent_path()) ensure_dir(path.parent_path());
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    throw Error("cannot open for appending: " + path.string() + ": " +
+                std::strerror(errno));
+  }
+  if (std::string err = write_all_and_sync(fd, content); !err.empty()) {
+    throw Error("append failed: " + path.string() + ": " + err);
+  }
 }
 
 std::string read_file(const fs::path& path) {

@@ -7,11 +7,24 @@
 
 namespace benchpark::support {
 
-/// Create `dir` (and parents). Throws benchpark::Error on failure.
+/// Create `dir` (and parents). Race-safe under concurrent creators: as
+/// long as the directory exists afterwards the call succeeds. Throws
+/// benchpark::Error on failure.
 void ensure_dir(const std::filesystem::path& dir);
 
-/// Write `content` to `path`, creating parent directories.
+/// Write `content` to `path`, creating parent directories. Crash-safe:
+/// writes a same-directory temp file, fsyncs it, and atomically renames it
+/// over `path`, so readers never observe a torn or truncated file.
 void write_file(const std::filesystem::path& path, const std::string& content);
+
+/// Append `content` to `path` (creating it if needed) and fsync before
+/// returning. Used for the store's journal records.
+void append_file_sync(const std::filesystem::path& path,
+                      const std::string& content);
+
+/// Best-effort fsync of a directory so a just-renamed entry survives a
+/// crash. Silently no-ops where directory fsync is unsupported.
+void fsync_dir(const std::filesystem::path& dir);
 
 /// Read the full file; throws benchpark::Error if unreadable.
 std::string read_file(const std::filesystem::path& path);

@@ -1,6 +1,7 @@
 #include "src/yaml/emitter.hpp"
 
 #include <cctype>
+#include <cstdio>
 
 #include "src/support/string_util.hpp"
 
@@ -11,17 +12,91 @@ namespace {
 using support::contains;
 using support::repeat;
 
+/// Control characters (newline, tab, ...) cannot survive a plain or
+/// single-quoted emission: the parser splits on '\n' and trims tabs, so
+/// these scalars must use the double-quoted backslash-escape style.
+bool has_control_char(const std::string& s) {
+  for (unsigned char c : s) {
+    if (c < 0x20 || c == 0x7f) return true;
+  }
+  return false;
+}
+
+/// The parser starts a comment at any '#' preceded by a space OR a tab
+/// (or at column 0); quoting must match that exactly, not just " #".
+bool comment_would_truncate(const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// YAML 1.1 timestamp shapes ("2023-01-01", optionally a time part after
+/// ' ' or 'T'). Our parser keeps them as strings, but typed YAML readers
+/// coerce them to dates, so persisted keys must quote them.
+bool looks_like_date(const std::string& s) {
+  auto digits = [&](std::size_t pos, std::size_t n) {
+    if (pos + n > s.size()) return false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!std::isdigit(static_cast<unsigned char>(s[pos + k]))) return false;
+    }
+    return true;
+  };
+  if (!digits(0, 4) || s.size() < 10) return false;
+  if (s[4] != '-' || !digits(5, 2) || s[7] != '-' || !digits(8, 2)) {
+    return false;
+  }
+  return s.size() == 10 || s[10] == ' ' || s[10] == 'T';
+}
+
+std::string double_quoted(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20 || c == 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string quoted(const std::string& s) {
+  // Single-quoted with '' doubling when possible; control characters
+  // force the double-quoted escape style (single quotes have no escapes).
+  if (has_control_char(s)) return double_quoted(s);
+  return "'" + support::replace_all(s, "'", "''") + "'";
+}
+
 bool needs_quoting(const std::string& s, const EmitOptions& options) {
   if (s.empty()) return true;
+  if (has_control_char(s)) return true;
   if (options.quote_numeric_strings &&
       (support::looks_like_int(s) || support::looks_like_double(s))) {
     return true;
   }
   auto lower = support::to_lower(s);
   if (lower == "true" || lower == "false" || lower == "null" ||
-      lower == "yes" || lower == "no" || lower == "on" || lower == "off") {
+      lower == "yes" || lower == "no" || lower == "on" || lower == "off" ||
+      lower == "~") {
     return true;
   }
+  if (looks_like_date(s)) return true;
   if (std::isspace(static_cast<unsigned char>(s.front())) ||
       std::isspace(static_cast<unsigned char>(s.back()))) {
     return true;
@@ -37,25 +112,48 @@ bool needs_quoting(const std::string& s, const EmitOptions& options) {
     default: break;
   }
   if (contains(s, ": ") || support::ends_with(s, ":")) return true;
-  if (contains(s, " #")) return true;
-  if (contains(s, "\n")) return true;
+  if (comment_would_truncate(s)) return true;
   return false;
-}
-
-std::string quoted(const std::string& s) {
-  return "'" + support::replace_all(s, "'", "''") + "'";
 }
 
 std::string scalar_text(const std::string& s, const EmitOptions& options) {
   return needs_quoting(s, options) ? quoted(s) : s;
 }
 
-std::string key_text(const std::string& s) {
-  if (s.empty() || contains(s, ":") || contains(s, " ") ||
-      contains(s, "#")) {
-    return quoted(s);
+bool key_needs_quoting(const std::string& s) {
+  if (s.empty()) return true;
+  if (has_control_char(s)) return true;
+  // "-" is a sequence item, "---" a document marker; either eats the line.
+  if (s == "-" || s == "---") return true;
+  // split_key bails out on these anywhere in a plain key, and '#' would
+  // start a comment; ']'/'}' confuse flow detection at the front.
+  if (contains(s, ":") || contains(s, " ") || contains(s, "#") ||
+      contains(s, "'") || contains(s, "\"") || contains(s, "[")) {
+    return true;
   }
-  return s;
+  if (std::isspace(static_cast<unsigned char>(s.front())) ||
+      std::isspace(static_cast<unsigned char>(s.back()))) {
+    return true;
+  }
+  switch (s.front()) {
+    // '{' opens a flow mapping at column 0; '&'/'*' are rejected as
+    // anchors; the rest are YAML indicators a strict reader refuses.
+    case '{': case '}': case ']': case '&': case '*': case '!': case '|':
+    case '>': case '%': case '@': case ',': case '?':
+      return true;
+    default: break;
+  }
+  auto lower = support::to_lower(s);
+  if (lower == "true" || lower == "false" || lower == "null" ||
+      lower == "yes" || lower == "no" || lower == "on" || lower == "off") {
+    return true;
+  }
+  if (looks_like_date(s)) return true;
+  return false;
+}
+
+std::string key_text(const std::string& s) {
+  return key_needs_quoting(s) ? quoted(s) : s;
 }
 
 void emit_node(const Node& node, int depth, const EmitOptions& options,
@@ -91,6 +189,9 @@ void emit_node(const Node& node, int depth, const EmitOptions& options,
           out += pad + "- " + scalar_text(item.as_string(), options) + "\n";
         } else if (item.is_null()) {
           out += pad + "-\n";
+        } else if (item.size() == 0) {
+          // A bare "-" would re-parse as null, losing the container kind.
+          out += pad + (item.is_mapping() ? "- {}\n" : "- []\n");
         } else if (item.is_mapping() && item.size() > 0) {
           // "- key: value" inline first pair, rest indented.
           bool first = true;

@@ -1,8 +1,11 @@
 // Emitter turning a Node tree back into YAML text.
 //
 // Output round-trips through the parser: parse(emit(n)) == n. Scalars that
-// would be ambiguous (contain ':', '#', leading '[', etc., or look numeric
-// when the intent is string) are single-quoted.
+// would be ambiguous (contain ':', '#' after whitespace, leading '[', look
+// like booleans or dates, or look numeric when the intent is string) are
+// single-quoted; scalars with control characters (newlines, tabs) use the
+// double-quoted backslash-escape style, the only form that survives the
+// line-oriented parser.
 #pragma once
 
 #include <string>

@@ -111,15 +111,38 @@ private:
   static std::optional<std::pair<std::string, std::string>> split_key(
       const std::string& content) {
     std::size_t i = 0;
-    char quote = 0;
     if (!content.empty() && (content[0] == '\'' || content[0] == '"')) {
-      quote = content[0];
-      for (i = 1; i < content.size() && content[i] != quote; ++i) {}
-      if (i == content.size()) return std::nullopt;  // unterminated quote
-      ++i;  // past closing quote
-      if (i >= content.size() || content[i] != ':') return std::nullopt;
-      std::string key = content.substr(1, i - 2);
-      std::string rest = trim(content.substr(i + 1));
+      const char quote = content[0];
+      // Find the closing quote respecting the quote style's escapes (''
+      // doubling in single quotes, backslash in double quotes) so quoted
+      // keys containing quote characters survive.
+      i = 1;
+      while (i < content.size()) {
+        char c = content[i];
+        if (quote == '\'' && c == '\'') {
+          if (i + 1 < content.size() && content[i + 1] == '\'') {
+            i += 2;
+            continue;
+          }
+          break;  // closing quote
+        }
+        if (quote == '"' && c == '"') break;
+        if (quote == '"' && c == '\\') {
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      if (i >= content.size()) return std::nullopt;  // unterminated quote
+      if (i + 1 >= content.size() || content[i + 1] != ':') {
+        return std::nullopt;
+      }
+      // Decode through parse_quoted so escapes in the key text ("\n",
+      // '' doubling) become the characters they stand for.
+      std::size_t j = 0;
+      std::string key = parse_quoted(content.substr(0, i + 1), j, 0);
+      std::string rest =
+          i + 2 < content.size() ? trim(content.substr(i + 2)) : "";
       return {{key, rest}};
     }
     for (; i < content.size(); ++i) {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/support/arena.hpp"
@@ -585,4 +586,95 @@ TEST(ArenaString, AppendAndClear) {
   EXPECT_TRUE(s.empty());
   s.append("reuse");
   EXPECT_EQ(s.view(), "reuse");
+}
+
+// --------------------------------------------------- crash-safe fs_util
+
+TEST(FsUtil, WriteFileReplacesAtomicallyAndLeavesNoTemp) {
+  bs::TempDir tmp;
+  auto file = tmp.path() / "atomic.txt";
+  bs::write_file(file, "first version\n");
+  bs::write_file(file, "second version\n");
+  EXPECT_EQ(bs::read_file(file), "second version\n");
+  // The temp-then-rename protocol cleans up after itself: only the
+  // target remains in the directory.
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(tmp.path())) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(FsUtil, WriteFileCreatesParentDirectories) {
+  bs::TempDir tmp;
+  auto file = tmp.path() / "a" / "b" / "c.txt";
+  bs::write_file(file, "nested\n");
+  EXPECT_EQ(bs::read_file(file), "nested\n");
+}
+
+TEST(FsUtil, WriteFileToUnwritableDirectoryThrowsAndLeavesNoDebris) {
+  bs::TempDir tmp;
+  // A directory where the target name should be is not writable-over:
+  // the rename fails, the error propagates, and the temp is cleaned up.
+  auto blocked = tmp.path() / "blocked";
+  bs::ensure_dir(blocked);
+  EXPECT_THROW(bs::write_file(blocked, "x"), benchpark::Error);
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(tmp.path())) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // just "blocked" itself, no stray temps
+}
+
+TEST(FsUtil, EnsureDirIsRaceAndRepeatSafe) {
+  bs::TempDir tmp;
+  auto dir = tmp.path() / "made" / "deeply";
+  bs::ensure_dir(dir);
+  bs::ensure_dir(dir);  // second call on an existing dir is a no-op
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  // Concurrent creators of one directory must all succeed.
+  auto racy = tmp.path() / "racy";
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] { bs::ensure_dir(racy / "x" / "y"); });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_TRUE(std::filesystem::is_directory(racy / "x" / "y"));
+  // A file squatting on the path is a real error, not a silent success.
+  auto squatter = tmp.path() / "file.txt";
+  bs::write_file(squatter, "not a dir");
+  EXPECT_THROW(bs::ensure_dir(squatter), benchpark::Error);
+}
+
+TEST(FsUtil, AppendFileSyncCreatesAndAppends) {
+  bs::TempDir tmp;
+  auto file = tmp.path() / "journal.log";
+  bs::append_file_sync(file, "one\n");
+  bs::append_file_sync(file, "two\n");
+  EXPECT_EQ(bs::read_file(file), "one\ntwo\n");
+  // Appends interleave with atomic rewrites without losing bytes.
+  bs::write_file(file, "reset\n");
+  bs::append_file_sync(file, "three\n");
+  EXPECT_EQ(bs::read_file(file), "reset\nthree\n");
+}
+
+TEST(FsUtil, AppendFileSyncCreatesMissingParents) {
+  // Like write_file, append creates intermediate directories on demand so
+  // journal appends never race directory setup.
+  bs::TempDir tmp;
+  const auto target = tmp.path() / "no" / "such" / "dir" / "f";
+  bs::append_file_sync(target, "x");
+  EXPECT_EQ(bs::read_file(target), "x");
+}
+
+TEST(FsUtil, AppendFileSyncToBlockedParentThrows) {
+  // A regular file squatting where a parent directory must go is a real
+  // error, not something ensure_dir may silently paper over.
+  bs::TempDir tmp;
+  bs::write_file(tmp.path() / "blocker", "file");
+  EXPECT_THROW(
+      bs::append_file_sync(tmp.path() / "blocker" / "f", "x"),
+      benchpark::Error);
 }

@@ -2,6 +2,9 @@
 // the paper uses (Figures 3, 4, 9, 10, 12).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/support/error.hpp"
 #include "src/yaml/emitter.hpp"
 #include "src/yaml/node.hpp"
@@ -296,4 +299,132 @@ TEST(YamlNode, EmptyMappingFlowSyntax) {
   auto n = yaml::parse("build: {}\n");
   EXPECT_TRUE(n.at("build").is_mapping());
   EXPECT_EQ(n.at("build").size(), 0u);
+}
+
+// ----------------------------------------------- round-trip property test
+//
+// parse(emit(n)) == n over the full corpus of ambiguous scalars: values
+// that look like numbers, booleans, null, or dates; strings carrying ':',
+// '#', quotes, control characters, or indicator-leading characters; and
+// strings with leading/trailing whitespace. The emitter must quote (or
+// escape) exactly enough that the parser reads back the same string.
+
+namespace {
+
+const std::vector<std::string>& ambiguous_corpus() {
+  static const std::vector<std::string> corpus = {
+      // empty / whitespace
+      std::string(""), " ", "  leading", "trailing  ", "\tindent", " x ",
+      // numbers (string-typed scalars must stay strings byte-for-byte)
+      "8", "-0", "3.14", "1e10", "0x1f", "007", "+42", ".5", "1_000",
+      // boolean / null keywords in every casing the parser accepts
+      "true", "false", "True", "FALSE", "yes", "no", "on", "off", "~",
+      "null", "Null", "NULL",
+      // dates (a typed reader would otherwise turn these into timestamps)
+      "2023-01-01", "2023-01-01 12:00", "2023-01-01T00:00:00Z",
+      "1999-12-31",
+      // colon / comment traps
+      "a: b", "a:b", ": start", "ends with colon:", "x #comment",
+      "#leading", "a # trailing", "http://example.com/x", " # both",
+      // flow / block indicators
+      "- dash", "-", "---", "[", "]", "{", "}", "[1, 2]", "{a: b}",
+      ", comma", "? question", "&anchor", "*alias", "!tag", "|block",
+      ">fold", "%directive", "@at", "`tick",
+      // quoting characters
+      "'single'", "\"double\"", "it's", "say \"hi\"", "mix '\" both",
+      "back\\slash", "\\n not a newline",
+      // control characters (force the double-quoted escape style)
+      std::string("line\nbreak"), std::string("tab\there"),
+      std::string("\r carriage"), std::string(1, '\x01'),
+      std::string(1, '\x7f'), std::string("bell\x07"),
+      std::string("multi\nline\nvalue\n"),
+  };
+  return corpus;
+}
+
+}  // namespace
+
+TEST(YamlEmitter, RoundTripAmbiguousValues) {
+  for (const auto& s : ambiguous_corpus()) {
+    yaml::Node n = yaml::Node::make_mapping();
+    n["v"] = yaml::Node(s);
+    auto text = yaml::emit(n);
+    yaml::Node reparsed;
+    ASSERT_NO_THROW(reparsed = yaml::parse(text))
+        << "value: " << s << "\nemitted: " << text;
+    ASSERT_TRUE(reparsed.is_mapping()) << "value: " << s;
+    ASSERT_TRUE(reparsed.at("v").is_scalar())
+        << "value: " << s << "\nemitted: " << text;
+    EXPECT_EQ(reparsed.at("v").as_string(), s)
+        << "emitted: " << text;
+  }
+}
+
+TEST(YamlEmitter, RoundTripAmbiguousSequenceItems) {
+  yaml::Node n = yaml::Node::make_sequence();
+  for (const auto& s : ambiguous_corpus()) n.push_back(yaml::Node(s));
+  auto reparsed = yaml::parse(yaml::emit(n));
+  ASSERT_TRUE(reparsed.is_sequence());
+  ASSERT_EQ(reparsed.size(), ambiguous_corpus().size());
+  for (std::size_t i = 0; i < reparsed.size(); ++i) {
+    EXPECT_EQ(reparsed.items()[i].as_string(), ambiguous_corpus()[i]) << i;
+  }
+}
+
+TEST(YamlEmitter, RoundTripAmbiguousKeys) {
+  for (const auto& s : ambiguous_corpus()) {
+    yaml::Node n = yaml::Node::make_mapping();
+    n[s] = yaml::Node("value");
+    auto text = yaml::emit(n);
+    yaml::Node reparsed;
+    ASSERT_NO_THROW(reparsed = yaml::parse(text))
+        << "key: " << s << "\nemitted: " << text;
+    ASSERT_TRUE(reparsed.is_mapping()) << "key: " << s;
+    ASSERT_TRUE(reparsed.has(s))
+        << "key: " << s << "\nemitted: " << text;
+    EXPECT_EQ(reparsed.at(s).as_string(), "value");
+  }
+}
+
+TEST(YamlEmitter, RoundTripEmptyContainers) {
+  auto original = yaml::parse(
+      "empty_map: {}\n"
+      "empty_seq: []\n"
+      "seq_of_empties:\n"
+      "- {}\n"
+      "- []\n"
+      "nested:\n"
+      "  inner: {}\n");
+  auto text = yaml::emit(original);
+  auto reparsed = yaml::parse(text);
+  EXPECT_TRUE(original == reparsed) << text;
+  EXPECT_TRUE(reparsed.at("seq_of_empties").items()[0].is_mapping());
+  EXPECT_TRUE(reparsed.at("seq_of_empties").items()[1].is_sequence());
+}
+
+TEST(YamlEmitter, RoundTripQuotedKeysWithEscapes) {
+  // Keys containing the quote characters themselves exercise the
+  // parser's escape-aware quoted-key scan.
+  for (const std::string key :
+       {"it's", "a 'quoted' part", "say \"hi\"", "both '\" quotes",
+        "key: colon", "key\nnewline", "key\\backslash"}) {
+    yaml::Node n = yaml::Node::make_mapping();
+    n[key] = yaml::Node("v");
+    auto text = yaml::emit(n);
+    auto reparsed = yaml::parse(text);
+    ASSERT_TRUE(reparsed.has(key)) << "emitted: " << text;
+    EXPECT_EQ(reparsed.at(key).as_string(), "v");
+  }
+}
+
+TEST(YamlEmitter, EmitIsIdempotent) {
+  // emit(parse(emit(n))) == emit(n): the emitted form is a fixed point,
+  // so persisted documents do not churn across rewrite cycles.
+  yaml::Node n = yaml::Node::make_mapping();
+  for (std::size_t i = 0; i < ambiguous_corpus().size(); ++i) {
+    n["k" + std::to_string(i)] = yaml::Node(ambiguous_corpus()[i]);
+  }
+  auto once = yaml::emit(n);
+  auto twice = yaml::emit(yaml::parse(once));
+  EXPECT_EQ(once, twice);
 }
