@@ -38,6 +38,7 @@ Jacamar::Identity Jacamar::resolve(const std::string& triggered_by,
 
 void Jacamar::record(const std::string& job, const Identity& identity,
                      const std::string& triggered_by) {
+  std::lock_guard<std::mutex> lock(audit_mu_);
   audit_log_.push_back({job, site_, triggered_by, identity.login,
                         identity.uid, identity.downscoped});
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,10 +53,15 @@ public:
   [[nodiscard]] Identity resolve(const std::string& triggered_by,
                                  const std::string& approved_by) const;
 
-  /// Record a job execution in the audit log.
+  /// Record a job execution in the audit log. Thread-safe: runners at
+  /// the same site may execute jobs concurrently (the service daemon's
+  /// dispatch workers share Jacamar executors).
   void record(const std::string& job, const Identity& identity,
               const std::string& triggered_by);
 
+  /// Stable reference; read it only while no job is executing (entries
+  /// are appended, never erased, but the vector may reallocate during a
+  /// concurrent record()).
   [[nodiscard]] const std::vector<AuditEntry>& audit_log() const {
     return audit_log_;
   }
@@ -63,6 +69,7 @@ public:
 private:
   std::string site_;
   SiteAccounts accounts_;
+  std::mutex audit_mu_;
   std::vector<AuditEntry> audit_log_;
 };
 

@@ -66,15 +66,18 @@ const JobResultRecord* PipelineResult::job(std::string_view name) const {
 
 void PipelineEngine::register_runner(RunnerDef runner) {
   if (!runner.executor) throw CiError("runner needs a jacamar executor");
+  std::lock_guard<std::mutex> lock(mu_);
   runners_.push_back(std::move(runner));
 }
 
 void PipelineEngine::set_default_action(JobAction action) {
+  std::lock_guard<std::mutex> lock(mu_);
   default_action_ = std::move(action);
 }
 
 void PipelineEngine::set_action(const std::string& job_name,
                                 JobAction action) {
+  std::lock_guard<std::mutex> lock(mu_);
   actions_[job_name] = std::move(action);
 }
 
@@ -82,6 +85,22 @@ PipelineResult PipelineEngine::run(const PipelineDef& def,
                                    const std::string& commit_sha,
                                    const std::string& triggered_by,
                                    const std::string& approved_by) {
+  // Snapshot the configuration so concurrent run() calls (and late
+  // register_runner/set_action calls) never race on the tables. Runner
+  // executors are shared_ptrs — the underlying Jacamar stays shared and
+  // serializes its own audit log.
+  std::vector<RunnerDef> runners;
+  std::map<std::string, JobAction> actions;
+  JobAction default_action;
+  int max_job_retries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runners = runners_;
+    actions = actions_;
+    default_action = default_action_;
+    max_job_retries = max_job_retries_;
+  }
+
   PipelineResult result;
   bool pipeline_failed = false;
   bool pipeline_degraded = false;
@@ -111,9 +130,9 @@ PipelineResult PipelineEngine::run(const PipelineDef& def,
       }
 
       auto runner_it = std::find_if(
-          runners_.begin(), runners_.end(),
+          runners.begin(), runners.end(),
           [&](const RunnerDef& r) { return r.matches(job->tags); });
-      if (runner_it == runners_.end()) {
+      if (runner_it == runners.end()) {
         record.status = JobStatus::no_runner;
         record.log = "no runner with tags [" +
                      support::join(job->tags, ", ") + "]";
@@ -139,10 +158,10 @@ PipelineResult PipelineEngine::run(const PipelineDef& def,
       JobContext context{job->name, runner_it->id,
                          runner_it->executor->site(), identity, commit_sha};
       const JobAction* action = nullptr;
-      if (auto it = actions_.find(job->name); it != actions_.end()) {
+      if (auto it = actions.find(job->name); it != actions.end()) {
         action = &it->second;
-      } else if (default_action_) {
-        action = &default_action_;
+      } else if (default_action) {
+        action = &default_action;
       }
 
       std::string script_log;
@@ -154,7 +173,7 @@ PipelineResult PipelineEngine::run(const PipelineDef& def,
       // are retried up to max_job_retries_ times; a job that needed a
       // retry degrades the pipeline instead of failing it.
       JobOutcome outcome;
-      const int max_attempts = 1 + std::max(0, max_job_retries_);
+      const int max_attempts = 1 + std::max(0, max_job_retries);
       for (int attempt = 1;; ++attempt) {
         record.attempts = attempt;
         try {

@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -101,6 +102,11 @@ struct PipelineResult {
   [[nodiscard]] const JobResultRecord* job(std::string_view name) const;
 };
 
+/// Thread-safe for the common serving pattern: configure once
+/// (register_runner / set_action), then run() many pipelines from many
+/// threads concurrently. run() snapshots the runner and action tables
+/// under the engine lock, so late registrations are also safe — they
+/// apply to pipelines started after the call.
 class PipelineEngine {
 public:
   void register_runner(RunnerDef runner);
@@ -114,17 +120,25 @@ public:
                      const std::string& triggered_by,
                      const std::string& approved_by = "");
 
-  [[nodiscard]] const std::vector<RunnerDef>& runners() const {
+  [[nodiscard]] std::vector<RunnerDef> runners() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return runners_;
   }
 
   /// Retries per job after a first transient failure (TransientError from
   /// the action or the "ci.job" fault site). Other exceptions still fail
   /// the job immediately.
-  void set_max_job_retries(int retries) { max_job_retries_ = retries; }
-  [[nodiscard]] int max_job_retries() const { return max_job_retries_; }
+  void set_max_job_retries(int retries) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_job_retries_ = retries;
+  }
+  [[nodiscard]] int max_job_retries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_job_retries_;
+  }
 
 private:
+  mutable std::mutex mu_;
   std::vector<RunnerDef> runners_;
   std::map<std::string, JobAction> actions_;
   JobAction default_action_;

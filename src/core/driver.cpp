@@ -245,6 +245,13 @@ void Driver::validate_pair(const ExperimentId& id,
   }
 }
 
+void Driver::validate(const ExperimentId& id,
+                      const std::string& system_name) const {
+  const auto& system = SystemRegistry::instance().get(system_name);
+  validate_pair(id, system);
+  experiment_config(id);  // throws on unknown experiments
+}
+
 ramble::Workspace Driver::setup(const ExperimentId& id,
                                 const std::string& system_name,
                                 std::filesystem::path workspace_dir) const {
@@ -282,7 +289,8 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
                                            const std::filesystem::path& dir,
                                            const StepLogger& log,
                                            ramble::Workspace* workspace_out,
-                                           const ramble::RunRequest& request)
+                                           const ramble::RunRequest& request,
+                                           ramble::RunReport* run_report_out)
     const {
   auto& collector = obs::TraceCollector::global();
   obs::ScopedSpan workflow_span(collector, "workflow", "driver");
@@ -364,6 +372,7 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
     }
     return r;
   }();
+  if (run_report_out) *run_report_out = run_report;
   std::string store_summary;
   if (persistent) {
     store_summary = ", store " + std::to_string(run_report.store_hits) +

@@ -49,6 +49,13 @@ public:
   /// mechanism for experiments; examples/add_benchmark.cpp uses this).
   void add_experiment(const ExperimentId& id, yaml::Node ramble_yaml);
 
+  /// Validate an (experiment, system) pair without building anything:
+  /// unknown experiments/systems and GPU-variant mismatches throw. The
+  /// service daemon calls this at admission time so a bad request is
+  /// rejected at submit() instead of wasting a dispatch slot.
+  void validate(const ExperimentId& id, const std::string& system_name)
+      const;
+
   /// `benchpark setup <experiment> <system> <workspace_dir>`: validate the
   /// pair, generate the workspace (steps 3-4 of Figure 1c: instantiate
   /// Spack+Ramble, write configs), ready for `ramble workspace setup`.
@@ -66,15 +73,18 @@ public:
   /// report; `workspace_out` (optional) receives the workspace.
   /// `request` tunes the run engine (thread width, template cache,
   /// retry budget); experiments execute via Workspace::run_all, so the
-  /// results are identical at every width.
+  /// results are identical at every width. `run_report_out` (optional)
+  /// receives the run engine's report (attempt/retry/store-hit counts) —
+  /// the service daemon surfaces those per ticket.
   ramble::AnalyzeReport run_workflow(const ExperimentId& id,
                                      const std::string& system_name,
                                      const std::filesystem::path& dir,
                                      const StepLogger& log = {},
                                      ramble::Workspace* workspace_out =
                                          nullptr,
-                                     const ramble::RunRequest& request =
-                                         {}) const;
+                                     const ramble::RunRequest& request = {},
+                                     ramble::RunReport* run_report_out =
+                                         nullptr) const;
 
   /// Render the Figure 1a benchpark repository tree (as text) for the
   /// registered benchmarks and systems.

@@ -148,6 +148,7 @@ JobId BatchScheduler::submit(BatchJob job) {
                          std::to_string(total_nodes_));
   }
   if (!job.work) throw SchedulerError("job has no work callback");
+  std::lock_guard<std::mutex> lock(mu_);
   JobId id = next_id_++;
   JobRecord record;
   record.id = id;
@@ -164,13 +165,17 @@ JobId BatchScheduler::submit(BatchJob job) {
 }
 
 void BatchScheduler::run_until_idle() {
-  try_start_jobs();
-  while (!running_.empty()) {
-    finish_next();
-    try_start_jobs();
-  }
-  if (!queue_.empty()) {
-    throw SchedulerError("scheduler wedged with pending jobs");  // unreachable
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    try_start_jobs(lock);
+    if (!running_.empty()) {
+      finish_next_locked();
+      continue;
+    }
+    if (queue_.empty()) return;
+    // Nothing running, nothing startable, queue non-empty: impossible
+    // (submit validates nodes <= total and every node is free here).
+    throw SchedulerError("scheduler wedged with pending jobs");
   }
 }
 
@@ -186,7 +191,7 @@ bool BatchScheduler::can_backfill(const JobRecord& candidate) const {
             [](const Running& a, const Running& b) {
               return a.end_time < b.end_time;
             });
-  int free_nodes = total_nodes_ - busy_nodes_;
+  int free_nodes = total_nodes_ - busy_nodes_.load(std::memory_order_relaxed);
   double head_start = now_;
   for (const auto& r : running) {
     if (free_nodes >= head.nodes) break;
@@ -197,14 +202,18 @@ bool BatchScheduler::can_backfill(const JobRecord& candidate) const {
   return now_ + candidate.time_limit_seconds <= head_start;
 }
 
-void BatchScheduler::try_start_jobs() {
+void BatchScheduler::try_start_jobs(std::unique_lock<std::mutex>& lock) {
+  // start_job drops the lock around the work callback, so concurrent
+  // submitters may reshape queue_ under us; every pass re-reads it from
+  // scratch and starts at most one job.
   bool progress = true;
   while (progress) {
     progress = false;
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       JobId id = queue_[i];
       const JobRecord& record = records_.at(id);
-      int free_nodes = total_nodes_ - busy_nodes_;
+      int free_nodes =
+          total_nodes_ - busy_nodes_.load(std::memory_order_relaxed);
       if (record.nodes > free_nodes) continue;
       bool is_head = (i == 0);
       if (!is_head && policy_ == Policy::fifo) break;
@@ -213,68 +222,84 @@ void BatchScheduler::try_start_jobs() {
         continue;
       }
       queue_.erase(queue_.begin() + static_cast<long>(i));
-      start_job(id);
+      start_job(id, lock);
       progress = true;
       break;
     }
   }
 }
 
-void BatchScheduler::start_job(JobId id) {
-  JobRecord& record = records_.at(id);
+void BatchScheduler::start_job(JobId id, std::unique_lock<std::mutex>& lock) {
   BatchJob job = std::move(pending_work_.at(id));
   pending_work_.erase(id);
-
-  record.state = JobState::running;
-  record.start_time = now_;
-  busy_nodes_ += record.nodes;
-
-  // The work callback is user code and may throw; an escaping exception
-  // used to leave busy_nodes_ inflated forever (the job never entered
-  // running_, so finish_next never released its nodes and the scheduler
-  // slowly strangled itself). Convert any throw into a failed job that
-  // flows through the normal completion path. The "sched.job" fault site
-  // (keyed by job name) models flaky nodes; injected latency extends the
-  // modeled runtime.
-  auto& collector = obs::TraceCollector::global();
-  obs::ScopedSpan span(
-      collector,
-      collector.enabled() ? "sched:" + record.name : std::string(), "sched");
-  if (span.active()) {
-    span.annotate("job_id", std::to_string(id));
-    span.annotate("nodes", std::to_string(record.nodes));
+  std::string name;
+  int nodes = 0;
+  double started_at = 0;
+  double time_limit = 0;
+  {
+    JobRecord& record = records_.at(id);
+    record.state = JobState::running;
+    record.start_time = now_;
+    name = record.name;
+    nodes = record.nodes;
+    started_at = now_;
+    time_limit = record.time_limit_seconds;
   }
+  busy_nodes_.fetch_add(nodes, std::memory_order_relaxed);
+
+  // The work callback is user code: it may throw (an escaping exception
+  // used to leave busy_nodes_ inflated forever) and it may run long, so
+  // the scheduler lock is released around it — concurrent submitters
+  // keep landing jobs while one executes. The "sched.job" fault site
+  // (keyed by job name) models flaky nodes; injected latency extends
+  // the modeled runtime.
+  lock.unlock();
+  auto& collector = obs::TraceCollector::global();
   JobResult result;
   double injected_latency = 0.0;
-  try {
-    injected_latency = support::fault_hit("sched.job", record.name);
-    result = job.work();
-  } catch (const std::exception& e) {
-    result.success = false;
-    result.runtime_seconds = 0.0;
-    result.output = std::string("job raised: ") + e.what();
+  {
+    obs::ScopedSpan span(
+        collector, collector.enabled() ? "sched:" + name : std::string(),
+        "sched");
+    if (span.active()) {
+      span.annotate("job_id", std::to_string(id));
+      span.annotate("nodes", std::to_string(nodes));
+    }
+    try {
+      injected_latency = support::fault_hit("sched.job", name);
+      result = job.work();
+    } catch (const std::exception& e) {
+      result.success = false;
+      result.runtime_seconds = 0.0;
+      result.output = std::string("job raised: ") + e.what();
+    }
+    double modeled =
+        std::max(0.0, result.runtime_seconds) + injected_latency;
+    if (span.active()) {
+      // The job's runtime is scheduler-simulated time, not wall-clock.
+      collector.emit_span("sched.runtime", "sched", modeled,
+                          {{"job", name},
+                           {"injected",
+                            support::format_double(injected_latency, 6)}});
+    }
   }
+  lock.lock();
+
   double runtime = std::max(0.0, result.runtime_seconds) + injected_latency;
-  if (span.active()) {
-    // The job's runtime is scheduler-simulated time, not wall-clock.
-    collector.emit_span("sched.runtime", "sched", runtime,
-                        {{"job", record.name},
-                         {"injected",
-                          support::format_double(injected_latency, 6)}});
-  }
-  if (runtime > record.time_limit_seconds) {
+  JobRecord& record = records_.at(id);
+  if (runtime > time_limit) {
     record.state = JobState::timeout;
     record.output = result.output + "\nslurmstepd: *** JOB " +
                     std::to_string(id) + " CANCELLED DUE TO TIME LIMIT ***\n";
-    runtime = record.time_limit_seconds;
+    runtime = time_limit;
   } else {
     record.state = result.success ? JobState::completed : JobState::failed;
     record.output = result.output;
   }
-  running_.push_back({id, now_ + runtime});
+  running_.push_back({id, started_at + runtime});
 }
 
-void BatchScheduler::finish_next() {
+void BatchScheduler::finish_next_locked() {
   auto it = std::min_element(running_.begin(), running_.end(),
                              [](const Running& a, const Running& b) {
                                return a.end_time < b.end_time;
@@ -282,12 +307,13 @@ void BatchScheduler::finish_next() {
   now_ = it->end_time;
   JobRecord& record = records_.at(it->id);
   record.end_time = now_;
-  busy_nodes_ -= record.nodes;
+  busy_nodes_.fetch_sub(record.nodes, std::memory_order_relaxed);
   makespan_ = std::max(makespan_, now_);
   running_.erase(it);
 }
 
 const JobRecord& BatchScheduler::record(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find(id);
   if (it == records_.end()) {
     throw SchedulerError("unknown job id " + std::to_string(id));
@@ -296,6 +322,7 @@ const JobRecord& BatchScheduler::record(JobId id) const {
 }
 
 std::vector<const JobRecord*> BatchScheduler::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const JobRecord*> out;
   out.reserve(records_.size());
   for (const auto& [id, record] : records_) out.push_back(&record);

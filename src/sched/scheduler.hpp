@@ -6,11 +6,21 @@
 // walltime limit, the policy (FIFO or EASY backfill) decides start order,
 // and completions come from a work callback that reports how long the job
 // "ran" (via the perf model) and what it printed.
+// Concurrency contract: submit() may be called from any number of
+// threads (the service daemon's dispatch workers all land experiments on
+// shared schedulers), concurrently with one driver thread inside
+// run_until_idle(); node accounting (busy_nodes_) is atomic and all
+// queue/record state sits behind an internal lock. The lock is released
+// around each job's work callback, so long-running callbacks never block
+// submitters. Virtual time is advanced by the single driver thread;
+// concurrent run_until_idle() calls from two threads are not supported.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,18 +91,32 @@ public:
   BatchScheduler(int total_nodes, Policy policy = Policy::fifo);
 
   /// Submit at the current virtual time; returns the job id.
+  /// Thread-safe: concurrent submitters get distinct ids and consistent
+  /// queue state, even while run_until_idle() is executing jobs.
   JobId submit(BatchJob job);
 
   /// Advance virtual time until every submitted job has finished.
   void run_until_idle();
 
+  /// Stable reference: records are never erased. Fields of a RUNNING
+  /// job may still change; read after the scheduler is idle for a
+  /// settled snapshot.
   [[nodiscard]] const JobRecord& record(JobId id) const;
   [[nodiscard]] std::vector<const JobRecord*> records() const;
-  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] double now() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
   [[nodiscard]] int total_nodes() const { return total_nodes_; }
-  [[nodiscard]] int busy_nodes() const { return busy_nodes_; }
+  /// Lock-free: safe to poll from work callbacks and other threads.
+  [[nodiscard]] int busy_nodes() const {
+    return busy_nodes_.load(std::memory_order_relaxed);
+  }
   /// Completion time of the last job (virtual seconds since epoch).
-  [[nodiscard]] double makespan() const { return makespan_; }
+  [[nodiscard]] double makespan() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return makespan_;
+  }
 
 private:
   struct Running {
@@ -100,16 +124,17 @@ private:
     double end_time;
   };
 
-  void try_start_jobs();
+  void try_start_jobs(std::unique_lock<std::mutex>& lock);
   bool can_backfill(const JobRecord& candidate) const;
-  void start_job(JobId id);
-  void finish_next();
+  void start_job(JobId id, std::unique_lock<std::mutex>& lock);
+  void finish_next_locked();
 
   int total_nodes_;
   Policy policy_;
+  mutable std::mutex mu_;
   double now_ = 0;
   double makespan_ = 0;
-  int busy_nodes_ = 0;
+  std::atomic<int> busy_nodes_{0};
   JobId next_id_ = 1;
   std::map<JobId, JobRecord> records_;
   std::map<JobId, BatchJob> pending_work_;

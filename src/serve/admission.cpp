@@ -1,0 +1,121 @@
+#include "src/serve/admission.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace benchpark::serve {
+
+FairShareQueue::Tenant& FairShareQueue::state(const std::string& tenant) {
+  auto it = by_name_.find(tenant);
+  if (it != by_name_.end()) return *it->second;
+  auto owned = std::make_unique<Tenant>();
+  owned->name = tenant;
+  owned->quota = default_quota_;
+  Tenant* raw = owned.get();
+  ring_.push_back(std::move(owned));
+  by_name_.emplace(tenant, raw);
+  return *raw;
+}
+
+void FairShareQueue::configure(const std::string& tenant, TenantQuota quota) {
+  state(tenant).quota = quota;
+}
+
+const TenantQuota& FairShareQueue::quota(const std::string& tenant) const {
+  auto it = by_name_.find(tenant);
+  return it == by_name_.end() ? default_quota_ : it->second->quota;
+}
+
+FairShareQueue::Refusal FairShareQueue::push(const std::string& tenant,
+                                             TicketId id, int priority) {
+  Tenant& t = state(tenant);
+  if (t.queue.size() >= t.quota.max_queued) return Refusal::tenant_full;
+  // Insert before the first strictly-lower priority: higher priority
+  // dispatches first, equal priorities keep submission (FIFO) order.
+  auto it = std::find_if(t.queue.begin(), t.queue.end(),
+                         [&](const auto& e) { return e.first < priority; });
+  t.queue.insert(it, {priority, id});
+  ++depth_;
+  return Refusal::none;
+}
+
+void FairShareQueue::advance() {
+  ring_[cursor_]->charged = false;
+  cursor_ = (cursor_ + 1) % ring_.size();
+}
+
+std::optional<TicketId> FairShareQueue::pop() {
+  if (ring_.empty() || depth_ == 0) return std::nullopt;
+  // Normalize quanta against the least-weighted eligible tenant so every
+  // eligible tenant earns >= 1 dispatch per rotation (bounded wait).
+  double min_weight = std::numeric_limits<double>::infinity();
+  bool any_eligible = false;
+  for (const auto& t : ring_) {
+    if (!eligible(*t)) continue;
+    any_eligible = true;
+    min_weight = std::min(min_weight, std::max(t->quota.weight, kMinWeight));
+  }
+  if (!any_eligible) return std::nullopt;
+
+  // One extra lap covers a cursor parked mid-ring on an ineligible
+  // tenant; an eligible tenant's first charge always reaches >= 1.
+  for (std::size_t scanned = 0; scanned < 2 * ring_.size(); ++scanned) {
+    Tenant& t = *ring_[cursor_];
+    if (!eligible(t)) {
+      // Empty or capped tenants bank nothing: credit accrues only while
+      // work is actually waiting, so an idle tenant cannot burst later.
+      t.deficit = 0.0;
+      advance();
+      continue;
+    }
+    if (!t.charged) {
+      double quantum = std::max(t.quota.weight, kMinWeight) / min_weight;
+      t.deficit = std::min(t.deficit + quantum, quantum + kMaxBankedDeficit);
+      t.charged = true;
+    }
+    if (t.deficit < 1.0) {
+      advance();
+      continue;
+    }
+    t.deficit -= 1.0;
+    TicketId id = t.queue.front().second;
+    t.queue.pop_front();
+    --depth_;
+    ++t.in_flight;
+    ++total_in_flight_;
+    // Stay parked here while the tenant still has credit, queue, and
+    // slots; otherwise move on so the next pop visits the next tenant.
+    if (t.deficit < 1.0 || !eligible(t)) advance();
+    return id;
+  }
+  return std::nullopt;  // unreachable: an eligible tenant always serves
+}
+
+void FairShareQueue::release(const std::string& tenant) {
+  auto it = by_name_.find(tenant);
+  if (it == by_name_.end()) return;
+  Tenant& t = *it->second;
+  if (t.in_flight > 0) {
+    --t.in_flight;
+    --total_in_flight_;
+  }
+}
+
+std::size_t FairShareQueue::depth(const std::string& tenant) const {
+  auto it = by_name_.find(tenant);
+  return it == by_name_.end() ? 0 : it->second->queue.size();
+}
+
+int FairShareQueue::in_flight(const std::string& tenant) const {
+  auto it = by_name_.find(tenant);
+  return it == by_name_.end() ? 0 : it->second->in_flight;
+}
+
+std::vector<std::string> FairShareQueue::tenants() const {
+  std::vector<std::string> out;
+  out.reserve(ring_.size());
+  for (const auto& t : ring_) out.push_back(t->name);
+  return out;
+}
+
+}  // namespace benchpark::serve

@@ -1,0 +1,29 @@
+// Nearest-rank percentile over a small sample set.
+//
+// The service bench publishes admission-wait p50/p99 into
+// BENCH_service.json; nearest-rank is the textbook definition
+// (ceil(p/100 * N)-th smallest), exact for the sample — no
+// interpolation, so a gate on p99 compares like with like across runs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace benchpark::support {
+
+/// Nearest-rank percentile of `values` (p in [0, 100]). Returns 0 for an
+/// empty sample. Sorts a copy; fine for the bench-sized samples this is
+/// meant for.
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+}  // namespace benchpark::support

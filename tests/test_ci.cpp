@@ -3,6 +3,10 @@
 // GitLab-CI pipeline engine — together, the Figure 6 automation loop.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "src/ci/git.hpp"
 #include "src/ci/hubcast.hpp"
 #include "src/ci/jacamar.hpp"
@@ -512,4 +516,45 @@ TEST(Hubcast, ExhaustedMirrorRetriesFailTheCheck) {
   EXPECT_NE(check->description.find("mirror push failed after 3 attempts"),
             std::string::npos);
   EXPECT_FALSE(fx.gitlab.repo("llnl/benchpark").has_branch("pr-1"));
+}
+
+TEST(Pipeline, ConcurrentPipelinesShareEngineAndExecutor) {
+  // The service daemon's dispatch workers run pipelines on one shared
+  // engine; runs snapshot the runner/action tables and the Jacamar
+  // executor serializes its audit log.
+  ci::PipelineEngine engine;
+  auto executor = llnl_executor();
+  engine.register_runner({"llnl-cts1-01", {"cts1", "llnl"}, executor});
+  std::atomic<int> actions{0};
+  engine.set_default_action([&actions](const ci::JobContext&) {
+    actions.fetch_add(1, std::memory_order_relaxed);
+    return ci::JobOutcome{true, "ok"};
+  });
+
+  constexpr int kPipelines = 8;
+  std::vector<ci::PipelineResult> results(kPipelines);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kPipelines);
+    for (int i = 0; i < kPipelines; ++i) {
+      threads.emplace_back([&engine, &results, i] {
+        results[static_cast<std::size_t>(i)] =
+            engine.run(demo_pipeline(), "sha" + std::to_string(i), "olga");
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.jobs.size(), 3u);
+    for (const auto& job : result.jobs) {
+      EXPECT_EQ(job.status, ci::JobStatus::success) << job.name;
+      EXPECT_EQ(job.ran_as, "olga");
+    }
+  }
+  EXPECT_EQ(actions.load(), kPipelines * 3);
+  // Every job execution landed exactly one audit entry.
+  EXPECT_EQ(executor->audit_log().size(),
+            static_cast<std::size_t>(kPipelines * 3));
 }

@@ -2,7 +2,12 @@
 // FIFO and EASY-backfill policies, accounting, timeouts.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/sched/scheduler.hpp"
 #include "src/support/error.hpp"
@@ -281,4 +286,107 @@ TEST(ScriptParse, NonPositiveResourceCountsRejected) {
   EXPECT_THROW(sched::parse_batch_script("#SBATCH -N 2\n#SBATCH -n 0\n",
                                          sys::SchedulerKind::slurm),
                benchpark::SchedulerError);
+}
+
+// ------------------------------------------------- concurrency contract
+// (regression tests for the service daemon's use: many dispatch workers
+// submitting onto shared schedulers while one driver runs the clock)
+
+TEST(SchedulerContention, ConcurrentSubmittersGetUniqueIdsAndAllRun) {
+  BatchScheduler scheduler(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::vector<sched::JobId>> ids(kThreads);
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&scheduler, &ids, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          ids[static_cast<std::size_t>(t)].push_back(scheduler.submit(
+              quick_job("job-" + std::to_string(t) + "-" + std::to_string(i),
+                        1 + (i % 4), 5.0)));
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+  }
+  std::set<sched::JobId> unique;
+  for (const auto& batch : ids) unique.insert(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+
+  scheduler.run_until_idle();
+  EXPECT_EQ(scheduler.busy_nodes(), 0);
+  auto records = scheduler.records();
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const auto* record : records) {
+    EXPECT_EQ(record->state, JobState::completed) << record->name;
+  }
+}
+
+TEST(SchedulerContention, SubmitRacesRunUntilIdle) {
+  // A submitter thread keeps landing jobs while the driver thread runs
+  // the clock; the driver loops until everything submitted has finished
+  // (run_until_idle may observe a momentarily-empty queue mid-stream).
+  BatchScheduler scheduler(16);
+  constexpr int kJobs = 60;
+  std::atomic<int> submitted{0};
+  std::thread submitter([&scheduler, &submitted] {
+    for (int i = 0; i < kJobs; ++i) {
+      scheduler.submit(quick_job("raced-" + std::to_string(i), 1 + (i % 3),
+                                 2.0));
+      submitted.fetch_add(1, std::memory_order_release);
+      if (i % 8 == 0) std::this_thread::yield();
+    }
+  });
+  while (submitted.load(std::memory_order_acquire) < kJobs ||
+         scheduler.records().size() <
+             static_cast<std::size_t>(kJobs) ||
+         scheduler.busy_nodes() != 0) {
+    scheduler.run_until_idle();
+    std::this_thread::yield();
+  }
+  submitter.join();
+  scheduler.run_until_idle();
+
+  auto records = scheduler.records();
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(kJobs));
+  for (const auto* record : records) {
+    EXPECT_EQ(record->state, JobState::completed) << record->name;
+    EXPECT_LE(record->nodes, scheduler.total_nodes());
+  }
+  EXPECT_EQ(scheduler.busy_nodes(), 0);
+}
+
+TEST(SchedulerContention, CallbacksMaySubmitMoreWork) {
+  // Jobs spawned from inside a running job's work callback (the lock is
+  // released around callbacks) are picked up by the same run loop.
+  BatchScheduler scheduler(8);
+  std::atomic<int> spawned{0};
+  for (int seed = 0; seed < 4; ++seed) {
+    BatchJob job;
+    job.name = "seed-" + std::to_string(seed);
+    job.user = "olga";
+    job.nodes = 1;
+    job.time_limit_seconds = 3600;
+    job.work = [&scheduler, &spawned, seed] {
+      for (int child = 0; child < 5; ++child) {
+        scheduler.submit(quick_job(
+            "child-" + std::to_string(seed) + "-" + std::to_string(child), 1,
+            1.0));
+        spawned.fetch_add(1, std::memory_order_relaxed);
+      }
+      return sched::JobResult{3.0, true, "seeded\n"};
+    };
+    scheduler.submit(std::move(job));
+  }
+  scheduler.run_until_idle();
+  EXPECT_EQ(spawned.load(), 20);
+  auto records = scheduler.records();
+  ASSERT_EQ(records.size(), 24u);
+  for (const auto* record : records) {
+    EXPECT_EQ(record->state, JobState::completed) << record->name;
+  }
+  EXPECT_EQ(scheduler.busy_nodes(), 0);
 }
