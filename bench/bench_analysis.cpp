@@ -1,0 +1,116 @@
+// Historical-analytics benchmarks: detector scan throughput over long
+// synthetic FOM series, bisection replay counts across wide config
+// histories (the ceil(log2 N) budget the attribution contract promises),
+// and end-to-end run_analysis report rendering. CI publishes these as
+// BENCH_analysis.json next to the analytics-regression gate.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analysis.hpp"
+#include "src/analysis/bisect.hpp"
+#include "src/analysis/detect.hpp"
+#include "src/analysis/history.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace benchpark;
+using benchpark_bench::keep;
+
+// Deterministic "noisy" series: a seeded LCG keeps every iteration (and
+// every machine) scanning byte-identical data.
+std::vector<analysis::HistorySample> synthetic_series(std::size_t n,
+                                                      std::size_t configs,
+                                                      std::size_t step_at) {
+  std::vector<analysis::HistorySample> samples;
+  samples.reserve(n);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double noise = static_cast<double>(state >> 40) / (1 << 24);
+    analysis::HistorySample s;
+    s.sequence = i + 1;
+    s.value = (i >= step_at ? 130.0 : 100.0) + noise;  // noise in [0, 1)
+    s.units = "s";
+    s.config_hash = "cfg" + std::to_string(i * configs / n);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+// Full-series change-point scan; counter = samples judged per second.
+void BM_DetectorScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto samples = synthetic_series(n, 16, n / 2);
+  analysis::DetectorConfig config;
+  std::size_t points = 0;
+  for (auto _ : state) {
+    auto found = analysis::scan(samples, config);
+    points = found.size();
+    keep(points);
+  }
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["change_points"] = static_cast<double>(points);
+}
+BENCHMARK(BM_DetectorScan)->Arg(256)->Arg(1024)->Arg(8192);
+
+// Bisection across wide config axes. The replays counter is the gate:
+// it must stay within ceil(log2(configs)) however wide the history gets.
+void BM_BisectFirstBad(benchmark::State& state) {
+  const auto configs = static_cast<std::size_t>(state.range(0));
+  auto samples = synthetic_series(configs * 4, configs, configs * 2);
+  auto spans = analysis::config_spans(samples);
+  std::size_t replays = 0;
+  for (auto _ : state) {
+    auto result =
+        analysis::bisect_first_bad(spans, 0, spans.size() - 1, {});
+    replays = result.replays;
+    keep(result.first_bad_hash);
+  }
+  state.counters["replays"] = static_cast<double>(replays);
+  state.counters["log2_budget"] =
+      std::ceil(std::log2(static_cast<double>(configs)));
+}
+BENCHMARK(BM_BisectFirstBad)->Arg(64)->Arg(256)->Arg(1024);
+
+// End-to-end façade: history source -> detect -> bisect -> all three
+// renderers, the exact path the CLI `analyze` command drives.
+void BM_RunAnalysisReports(benchmark::State& state) {
+  const auto series_count = static_cast<std::size_t>(state.range(0));
+  analysis::FomHistory history;
+  for (std::size_t k = 0; k < series_count; ++k) {
+    analysis::SeriesKey key{"bench" + std::to_string(k), "cts1", "exp",
+                            "runtime_seconds"};
+    for (const auto& s : synthetic_series(128, 8, 96)) {
+      history.append(key, s.value, s.units, s.config_hash, s.success);
+    }
+  }
+  analysis::AnalysisRequest request;
+  request.history = &history;
+  request.render_text = true;
+  request.render_html = true;
+  request.render_json = true;
+  std::size_t json_bytes = 0;
+  for (auto _ : state) {
+    auto result = analysis::run_analysis(request);
+    json_bytes = result.json.size();
+    keep(result.stats.regressions);
+  }
+  state.counters["series_per_s"] = benchmark::Counter(
+      static_cast<double>(series_count) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["json_bytes"] = static_cast<double>(json_bytes);
+}
+BENCHMARK(BM_RunAnalysisReports)->Arg(4)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,25 +7,41 @@
 //   benchpark_cli table1                    the Table 1 component matrix
 //   benchpark_cli setup <exp> <sys> <dir>   generate a workspace
 //   benchpark_cli run <exp> <sys> <dir>     full workflow + FOM table
+//   benchpark_cli analyze <outdir> [...]    historical regression report
 //   benchpark_cli usage                     benchmark usage metrics
 //
 // <exp> is "<benchmark>/<variant>", e.g. saxpy/openmp or amg2023/cuda.
+//
+// `analyze` reads the FOM history from the BENCHPARK_STORE_DIR store,
+// runs change-point detection + bisection attribution, writes
+// report.json and report.html under <outdir>, prints the text report,
+// and exits 3 when any series is currently regressed (the CI gate).
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
+#include <string>
 
+#include "src/analysis/analysis.hpp"
 #include "src/core/components.hpp"
 #include "src/core/driver.hpp"
 #include "src/core/usage.hpp"
+#include "src/store/store.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fs_util.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s list | tree | table1 | usage\n"
-               "       %s setup <benchmark/variant> <system> <workspace>\n"
-               "       %s run   <benchmark/variant> <system> <workspace>\n",
-               argv0, argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s list | tree | table1 | usage\n"
+      "       %s setup <benchmark/variant> <system> <workspace>\n"
+      "       %s run   <benchmark/variant> <system> <workspace>\n"
+      "       %s analyze <outdir> [--fom <name>] [--warmup <n>]\n"
+      "                  [--threshold <sigmas>] [--benchmark <b>]\n"
+      "                  [--system <s>]   (store: BENCHPARK_STORE_DIR)\n",
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -40,6 +56,54 @@ void list_all(const benchpark::core::Driver& driver) {
   for (const auto& system : driver.systems()) {
     std::cout << "  " << system << "\n";
   }
+}
+
+int analyze_history(int argc, char** argv) {
+  namespace analysis = benchpark::analysis;
+  if (argc < 3) return usage(argv[0]);
+  const std::filesystem::path outdir = argv[2];
+
+  analysis::AnalysisRequest request;
+  request.store = benchpark::store::Store::open_from_env();
+  if (!request.store) {
+    std::fprintf(stderr,
+                 "benchpark: analyze needs BENCHPARK_STORE_DIR to point at "
+                 "a persistent store\n");
+    return 2;
+  }
+  request.render_text = true;
+  request.render_html = true;
+  request.render_json = true;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--fom") {
+      request.foms.push_back(value);
+    } else if (flag == "--warmup") {
+      request.detector.warmup =
+          static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (flag == "--threshold") {
+      request.detector.threshold = std::strtod(value.c_str(), nullptr);
+    } else if (flag == "--benchmark") {
+      request.benchmark = value;
+    } else if (flag == "--system") {
+      request.system = value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  // Rates get the opposite alarm direction from times.
+  request.higher_is_worse_overrides["gflops"] = false;
+  request.higher_is_worse_overrides["bw"] = false;
+
+  auto result = analysis::run_analysis(request);
+  std::filesystem::create_directories(outdir);
+  benchpark::support::write_file(outdir / "report.json", result.json);
+  benchpark::support::write_file(outdir / "report.html", result.html);
+  std::cout << result.text;
+  std::cout << "\nreports: " << (outdir / "report.json").string() << ", "
+            << (outdir / "report.html").string() << "\n";
+  return result.regressed_series() > 0 ? 3 : 0;
 }
 
 }  // namespace
@@ -66,6 +130,9 @@ int main(int argc, char** argv) {
                        .to_table()
                        .render();
       return 0;
+    }
+    if (command == "analyze") {
+      return analyze_history(argc, argv);
     }
     if (command == "setup" || command == "run") {
       if (argc != 5) return usage(argv[0]);

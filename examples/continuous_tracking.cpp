@@ -7,12 +7,12 @@
 // This example simulates three weeks of nightly CI benchmarking of the
 // osu-bcast collective benchmark on cts1. After day 14 a (simulated)
 // fabric firmware regression doubles the interconnect latency. The
-// nightly FOMs stream into the metrics database; the dashboard's
+// nightly FOMs stream into the metrics database; run_analysis's
 // regression detector flags the change the first night it appears.
 #include <cstdio>
 #include <iostream>
 
-#include "src/analysis/dashboard.hpp"
+#include "src/analysis/analysis.hpp"
 #include "src/analysis/fom.hpp"
 #include "src/ramble/application.hpp"
 #include "src/runtime/simexec.hpp"
@@ -62,13 +62,21 @@ int main() {
     db.insert(row);
 
     // Continuous evaluation: scan after every insert, like a CI gate.
-    analysis::Dashboard dashboard(&db);
-    auto regressions =
-        dashboard.detect_regressions("bcast_total", 3.0, true);
-    if (!regressions.empty()) {
+    analysis::AnalysisRequest scan;
+    scan.metrics = &db;
+    scan.foms = {"bcast_total"};
+    scan.detector.warmup = 4;
+    scan.detector.threshold = 3.0;
+    auto analyzed = analysis::run_analysis(scan);
+    const analysis::SeriesReport* series =
+        analyzed.series.empty() ? nullptr : &analyzed.series.front();
+    if (series && series->has_latest &&
+        series->latest.verdict == analysis::Verdict::regression) {
       alerted_on_day15 |= (day == 15);
-      std::printf("  day %2d: value=%.4fs  ** ALERT: %s\n", day, row.value,
-                  regressions[0].describe().c_str());
+      std::printf(
+          "  day %2d: value=%.4fs  ** ALERT: %.4f -> %.4f (%.1f sigma)\n",
+          day, row.value, series->latest.baseline_median,
+          series->latest.value, series->latest.score);
       if (day == 15) {
         std::cout << "\nThe regression is flagged the first night it "
                      "appears — diagnosing\nhardware/firmware failures "
@@ -80,8 +88,13 @@ int main() {
     }
   }
 
-  analysis::Dashboard dashboard(&db);
-  std::cout << "\n" << dashboard.render("bcast_total");
+  analysis::AnalysisRequest report;
+  report.metrics = &db;
+  report.foms = {"bcast_total"};
+  report.detector.warmup = 4;
+  report.detector.threshold = 3.0;
+  report.render_text = true;
+  std::cout << "\n" << analysis::run_analysis(report).text;
   // The gate: the fault must have been flagged the night it appeared.
   return alerted_on_day15 ? 0 : 1;
 }

@@ -1,0 +1,290 @@
+#include "src/analysis/analysis.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/analysis/report.hpp"
+#include "src/analysis/trace_bridge.hpp"
+#include "src/ramble/expansion.hpp"
+#include "src/store/persist.hpp"
+#include "src/support/error.hpp"
+
+namespace benchpark::analysis {
+
+namespace {
+
+bool match(const std::string& filter, const std::string& value) {
+  return filter.empty() || filter == value;
+}
+
+bool fom_selected(const AnalysisRequest& request, const std::string& fom) {
+  if (request.foms.empty()) return true;
+  return std::find(request.foms.begin(), request.foms.end(), fom) !=
+         request.foms.end();
+}
+
+DetectorConfig detector_for(const AnalysisRequest& request,
+                            const std::string& fom) {
+  DetectorConfig config = request.detector;
+  auto it = request.higher_is_worse_overrides.find(fom);
+  if (it != request.higher_is_worse_overrides.end()) {
+    config.higher_is_worse = it->second;
+  }
+  return config;
+}
+
+/// Detect / classify / bisect one series whose key+samples+units are
+/// already filled in, then file it (and its stats) into the result.
+void analyze_series(SeriesReport series, const AnalysisRequest& request,
+                    AnalysisResult& result) {
+  const DetectorConfig config = detector_for(request, series.key.fom);
+  series.change_points = scan(series.samples, config);
+  try {
+    series.latest = classify_latest(series.samples, config);
+    series.has_latest = true;
+  } catch (const InsufficientHistoryError& e) {
+    series.latest_error = e.what();
+  }
+
+  ++result.stats.series_scanned;
+  result.stats.samples_scanned += series.samples.size();
+  result.stats.change_points += series.change_points.size();
+  for (const ChangePoint& p : series.change_points) {
+    if (p.classification.verdict == Verdict::regression) {
+      ++result.stats.regressions;
+    } else if (p.classification.verdict == Verdict::improvement) {
+      ++result.stats.improvements;
+    }
+  }
+  if (series.has_latest && series.latest.verdict == Verdict::noisy) {
+    ++result.stats.noisy_series;
+  }
+
+  if (request.bisect) {
+    // Attribute the most recent regression (improvements need no blame).
+    const ChangePoint* target = nullptr;
+    for (const ChangePoint& p : series.change_points) {
+      if (p.classification.verdict == Verdict::regression) target = &p;
+    }
+    if (target) {
+      bool any_config = false;
+      for (const auto& s : series.samples) {
+        if (!s.config_hash.empty()) any_config = true;
+      }
+      if (!any_config) {
+        series.bisect_error = "series carries no config hashes";
+      } else {
+        BisectOptions options = request.bisection;
+        options.higher_is_worse = config.higher_is_worse;
+        if (!options.measure && request.store &&
+            series.key.fom == "runtime_seconds") {
+          // Replay through the run engine's persistence layer: a config
+          // hash is an experiment store key, and its stored record is
+          // exactly what a store-warm re-run of that config reports.
+          store::StoreHandle store = request.store;
+          options.measure =
+              [store](const std::string& hash) -> std::optional<double> {
+            auto record = store::load_experiment(store, hash);
+            if (!record || !record->success) return std::nullopt;
+            return record->runtime_seconds;
+          };
+        }
+        try {
+          series.bisection =
+              bisect_change_point(series.samples, *target, options);
+          series.bisected = true;
+          ++result.stats.bisections;
+          result.stats.bisect_replays += series.bisection.replays;
+        } catch (const BisectionInconclusiveError& e) {
+          series.bisect_error = e.what();
+        }
+      }
+    }
+  }
+  result.series.push_back(std::move(series));
+}
+
+void analyze_history(const FomHistory& history,
+                     const AnalysisRequest& request, AnalysisResult& result) {
+  for (const SeriesKey& key : history.keys()) {
+    if (!match(request.benchmark, key.benchmark)) continue;
+    if (!match(request.system, key.system)) continue;
+    if (!fom_selected(request, key.fom)) continue;
+    SeriesReport series;
+    series.key = key;
+    series.samples = history.series(key);
+    if (!series.samples.empty()) series.units = series.samples.back().units;
+    analyze_series(std::move(series), request, result);
+  }
+}
+
+/// Legacy Dashboard source: one series per (benchmark, system, fom)
+/// aggregated across experiments, sequence = db insertion order.
+void analyze_metrics(const MetricsDb& db, const AnalysisRequest& request,
+                     AnalysisResult& result) {
+  for (const std::string& benchmark : db.distinct_benchmarks()) {
+    if (!match(request.benchmark, benchmark)) continue;
+    for (const std::string& system : db.distinct_systems()) {
+      if (!match(request.system, system)) continue;
+      for (const std::string& fom : db.distinct_fom_names()) {
+        if (!fom_selected(request, fom)) continue;
+        Query q;
+        q.benchmark = benchmark;
+        q.system = system;
+        q.fom_name = fom;
+        q.success = true;
+        auto rows = db.query(q);
+        if (rows.empty()) continue;
+        SeriesReport series;
+        series.key = {benchmark, system, "*", fom};
+        series.units = rows.back()->units;
+        series.samples.reserve(rows.size());
+        for (const ResultRow* row : rows) {
+          HistorySample sample;
+          sample.sequence = row->sequence;
+          sample.value = row->value;
+          sample.units = row->units;
+          series.samples.push_back(std::move(sample));
+        }
+        analyze_series(std::move(series), request, result);
+      }
+    }
+  }
+}
+
+void fit_workloads(const MetricsDb& db, const AnalysisRequest& request,
+                   AnalysisResult& result) {
+  for (const std::string& benchmark : db.distinct_benchmarks()) {
+    if (!match(request.benchmark, benchmark)) continue;
+    for (const std::string& system : db.distinct_systems()) {
+      if (!match(request.system, system)) continue;
+      for (const std::string& fom : db.distinct_fom_names()) {
+        if (!fom_selected(request, fom)) continue;
+        Query q;
+        q.benchmark = benchmark;
+        q.system = system;
+        q.fom_name = fom;
+        q.success = true;
+        std::vector<Measurement> data;
+        for (const ResultRow* row : db.query(q)) {
+          auto it = row->variables.find(request.scaling_variable);
+          if (it == row->variables.end()) continue;
+          double p;
+          try {
+            p = static_cast<double>(
+                ramble::expand_int(it->second, row->variables));
+          } catch (const Error&) {
+            continue;  // unexpandable scale axis: skip the row, not the fit
+          }
+          data.push_back({p, row->value});
+        }
+        if (data.empty()) continue;
+        ScalingFit fit;
+        fit.benchmark = benchmark;
+        fit.system = system;
+        fit.fom = fom;
+        try {
+          fit.model = fit_scaling_model(aggregate_mean(data));
+          fit.ok = true;
+          ++result.stats.fits;
+        } catch (const Error& e) {
+          fit.error = e.what();
+        }
+        result.fits.push_back(std::move(fit));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t AnalysisResult::regressed_series() const {
+  std::size_t count = 0;
+  for (const SeriesReport& s : series) {
+    if (!s.change_points.empty() &&
+        s.change_points.back().classification.verdict ==
+            Verdict::regression) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+AnalysisResult run_analysis(const AnalysisRequest& request) {
+  if (!request.records && !request.trace && !request.history &&
+      !request.metrics && !request.store) {
+    throw AnalysisError(
+        "run_analysis: request names no sources (records, trace, history, "
+        "metrics, or store)");
+  }
+
+  AnalysisResult result;
+  MetricsDb& db = request.metrics_out ? *request.metrics_out : result.db;
+  Thicket& thicket =
+      request.thicket_out ? *request.thicket_out : result.thicket;
+
+  if (request.records) {
+    result.ingested_rows =
+        detail::rows_from_records(*request.records, request.threads);
+    detail::insert_rows(db, result.ingested_rows);
+    result.stats.rows_ingested += result.ingested_rows.size();
+    if (request.thicket_out) {
+      // Appending to a caller-owned thicket: add columns in record order
+      // (Thicket has no merge, so parse serially straight into the sink).
+      for (const ExperimentRecord& record : *request.records) {
+        auto profile = detail::profile_from_output(record.output);
+        if (!profile) continue;
+        profile->metadata["benchmark"] = record.benchmark;
+        profile->metadata["system"] = record.system;
+        profile->metadata["experiment"] = record.experiment;
+        thicket.add_profile(record.system + "/" + record.experiment,
+                            std::move(*profile));
+        ++result.stats.thicket_columns;
+      }
+    } else {
+      result.thicket =
+          detail::thicket_from_records(*request.records, request.threads);
+      result.stats.thicket_columns += result.thicket.num_profiles();
+    }
+  }
+
+  if (request.trace) {
+    result.stats.rows_ingested += detail::trace_to_metrics(
+        *request.trace, db, request.trace_benchmark, request.trace_system,
+        request.trace_experiment);
+    perf::Profile profile = detail::trace_to_profile(*request.trace);
+    if (!profile.regions.empty()) {
+      profile.metadata["benchmark"] = request.trace_benchmark;
+      profile.metadata["system"] = request.trace_system;
+      profile.metadata["experiment"] = request.trace_experiment;
+      std::string column =
+          request.trace_system + "/" + request.trace_experiment;
+      if (column == "/") column = "trace";
+      thicket.add_profile(std::move(column), std::move(profile));
+      ++result.stats.thicket_columns;
+    }
+  }
+
+  if (request.detect) {
+    if (request.history) {
+      analyze_history(*request.history, request, result);
+    } else if (request.store) {
+      FomHistory history(request.store);
+      analyze_history(history, request, result);
+    }
+    if (request.metrics) {
+      analyze_metrics(*request.metrics, request, result);
+    }
+  }
+
+  if (request.fit_scaling) {
+    fit_workloads(request.metrics ? *request.metrics : db, request, result);
+  }
+
+  if (request.render_text) result.text = render_text_report(result);
+  if (request.render_html) result.html = render_html_report(result);
+  if (request.render_json) result.json = render_json_report(result);
+  return result;
+}
+
+}  // namespace benchpark::analysis

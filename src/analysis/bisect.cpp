@@ -1,0 +1,139 @@
+#include "src/analysis/bisect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::analysis {
+
+namespace {
+
+double median_of(std::vector<double> values) {
+  const std::size_t n = values.size();
+  auto mid = values.begin() + static_cast<std::ptrdiff_t>(n / 2);
+  std::nth_element(values.begin(), mid, values.end());
+  double upper = *mid;
+  if (n % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+std::vector<ConfigSpan> config_spans(
+    const std::vector<HistorySample>& samples) {
+  std::vector<ConfigSpan> spans;
+  std::vector<std::vector<double>> values;  // parallel to spans
+  for (const auto& s : samples) {
+    auto it = std::find_if(spans.begin(), spans.end(),
+                           [&](const ConfigSpan& span) {
+                             return span.config_hash == s.config_hash;
+                           });
+    if (it == spans.end()) {
+      ConfigSpan span;
+      span.config_hash = s.config_hash;
+      span.first_sequence = s.sequence;
+      spans.push_back(std::move(span));
+      values.emplace_back();
+      it = spans.end() - 1;
+    }
+    auto& span = *it;
+    span.last_sequence = s.sequence;
+    ++span.samples;
+    if (s.success) {
+      values[static_cast<std::size_t>(it - spans.begin())].push_back(
+          s.value);
+    }
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (!values[i].empty()) {
+      spans[i].recorded_value = median_of(std::move(values[i]));
+    }
+  }
+  return spans;
+}
+
+BisectResult bisect_first_bad(const std::vector<ConfigSpan>& spans,
+                              std::size_t good_index, std::size_t bad_index,
+                              const BisectOptions& options) {
+  if (good_index >= bad_index || bad_index >= spans.size()) {
+    throw BisectionInconclusiveError(
+        "bisection needs good < bad within the config history (good=" +
+        std::to_string(good_index) + ", bad=" + std::to_string(bad_index) +
+        ", configs=" + std::to_string(spans.size()) + ")");
+  }
+  auto measure = [&](std::size_t i) -> std::optional<double> {
+    if (options.measure) return options.measure(spans[i].config_hash);
+    if (spans[i].samples == 0) return std::nullopt;
+    return spans[i].recorded_value;
+  };
+
+  BisectResult result;
+  auto good_v = measure(good_index);
+  auto bad_v = measure(bad_index);
+  if (!good_v || !bad_v) {
+    throw BisectionInconclusiveError(
+        "bisection endpoint could not be replayed (config '" +
+        (good_v ? spans[bad_index] : spans[good_index]).config_hash + "')");
+  }
+  result.good_value = *good_v;
+  result.bad_value = *bad_v;
+  result.cutoff = 0.5 * (result.good_value + result.bad_value);
+  const bool bad_above = options.higher_is_worse;
+  auto is_bad = [&](double v) {
+    return bad_above ? v > result.cutoff : v < result.cutoff;
+  };
+  if (!is_bad(result.bad_value) || is_bad(result.good_value)) {
+    throw BisectionInconclusiveError(
+        "bisection endpoints do not disagree (good=" +
+        std::to_string(result.good_value) +
+        ", bad=" + std::to_string(result.bad_value) + ")");
+  }
+
+  std::size_t lo = good_index, hi = bad_index;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    auto v = measure(mid);
+    if (!v) {
+      throw BisectionInconclusiveError("config '" + spans[mid].config_hash +
+                                       "' could not be replayed");
+    }
+    ++result.replays;
+    const bool bad = is_bad(*v);
+    result.steps.push_back({spans[mid].config_hash, *v, bad});
+    if (bad) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.last_good_hash = spans[lo].config_hash;
+  result.first_bad_hash = spans[hi].config_hash;
+  return result;
+}
+
+BisectResult bisect_change_point(const std::vector<HistorySample>& samples,
+                                 const ChangePoint& point,
+                                 const BisectOptions& options) {
+  auto spans = config_spans(samples);
+  auto index_of = [&](const std::string& hash) -> std::size_t {
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].config_hash == hash) return i;
+    }
+    throw BisectionInconclusiveError("config '" + hash +
+                                     "' is not in the series history");
+  };
+  const std::size_t bad = index_of(point.config_hash);
+  const std::size_t good = index_of(point.baseline_config_hash);
+  if (good == bad) {
+    // Same configuration on both sides of the step: the change is
+    // environmental (machine drift, noise), not attributable to a spec.
+    throw BisectionInconclusiveError(
+        "change point and its baseline share config '" + point.config_hash +
+        "'; nothing to bisect");
+  }
+  return bisect_first_bad(spans, good, bad, options);
+}
+
+}  // namespace benchpark::analysis

@@ -1,0 +1,93 @@
+// Automatic bisection over a series' recorded config-hash history.
+//
+// A detected regression says *when* a series got worse; bisection says
+// *which configuration* did it. The distinct config hashes of a series
+// (in first-appearance order) form the search axis; a Measure callback
+// replays one hash and returns its measured value. The default measure
+// replays through the (store-warm) run engine's persistence layer: a
+// hash whose experiment record is in the content-addressed store comes
+// back without executing anything, so a full bisection of N candidate
+// configs costs at most ceil(log2(N)) cheap replays. Classification
+// against the good/bad cutoff is deterministic, so the attribution is a
+// pure function of (history, measure).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/detect.hpp"
+#include "src/analysis/history.hpp"
+
+namespace benchpark::analysis {
+
+/// One candidate configuration on the bisection axis.
+struct ConfigSpan {
+  std::string config_hash;
+  std::uint64_t first_sequence = 0;  // first sample recorded under it
+  std::uint64_t last_sequence = 0;
+  /// Median of the successful samples recorded under this hash (the
+  /// value history already knows, before any replay).
+  double recorded_value = 0;
+  std::size_t samples = 0;
+};
+
+/// Distinct config hashes of a series in first-appearance order, each
+/// with its recorded-value summary. Failed samples contribute presence
+/// but no value; hashes with no successful sample keep recorded_value 0.
+[[nodiscard]] std::vector<ConfigSpan> config_spans(
+    const std::vector<HistorySample>& samples);
+
+/// Replays one config hash and returns its measured value (nullopt =
+/// cannot replay, which makes the bisection inconclusive).
+using Measure = std::function<std::optional<double>(const std::string&)>;
+
+struct BisectOptions {
+  /// Replay callback; when empty the bisection uses each candidate's
+  /// recorded_value (the store-warm replay result history already holds).
+  Measure measure;
+  /// Direction, shared with the detector that raised the alarm.
+  bool higher_is_worse = true;
+};
+
+/// One replay decision during the search.
+struct BisectStep {
+  std::string config_hash;
+  double value = 0;
+  bool bad = false;
+};
+
+struct BisectResult {
+  std::string first_bad_hash;
+  std::string last_good_hash;
+  /// Measured endpoint values and the good/bad decision boundary
+  /// (midpoint between them).
+  double good_value = 0;
+  double bad_value = 0;
+  double cutoff = 0;
+  /// Midpoint replays performed: <= ceil(log2(bad - good)) for a range
+  /// of that many candidate configs.
+  std::size_t replays = 0;
+  std::vector<BisectStep> steps;
+};
+
+/// Binary-search the first bad config between `good_index` and
+/// `bad_index` (both indices into `spans`, good < bad; the endpoints'
+/// verdicts are taken as given — they came from the detector). Throws
+/// BisectionInconclusiveError when a midpoint cannot be replayed or the
+/// endpoints do not disagree (good and bad measure the same side of the
+/// cutoff).
+[[nodiscard]] BisectResult bisect_first_bad(
+    const std::vector<ConfigSpan>& spans, std::size_t good_index,
+    std::size_t bad_index, const BisectOptions& options = {});
+
+/// Convenience: run a regression's attribution end to end on a series —
+/// derive the spans, locate the change point's good/bad endpoints, and
+/// bisect between them.
+[[nodiscard]] BisectResult bisect_change_point(
+    const std::vector<HistorySample>& samples, const ChangePoint& point,
+    const BisectOptions& options = {});
+
+}  // namespace benchpark::analysis

@@ -1,5 +1,10 @@
 #include "src/analysis/dashboard.hpp"
 
+// This file implements the deprecated Dashboard wrapper itself.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include <algorithm>
 #include <cmath>
 

@@ -33,7 +33,12 @@ struct Regression {
   [[nodiscard]] std::string describe() const;
 };
 
-class Dashboard {
+/// Legacy text dashboard, superseded by run_analysis(AnalysisRequest)
+/// with a `metrics` source and render_text (src/analysis/analysis.hpp),
+/// which adds regime-aware MAD-based detection, bisection attribution,
+/// and HTML/JSON output.
+class [[deprecated("use analysis::run_analysis(AnalysisRequest)")]]
+Dashboard {
 public:
   explicit Dashboard(const MetricsDb* db);
 

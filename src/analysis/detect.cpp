@@ -1,0 +1,186 @@
+#include "src/analysis/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/error.hpp"
+
+namespace benchpark::analysis {
+
+namespace {
+
+constexpr double kAbsFloor = 1e-12;
+/// MAD -> sigma for a normal distribution.
+constexpr double kMadScale = 1.4826;
+
+double median_of(std::vector<double> values) {
+  // values is a working copy; nth_element is allowed to scramble it.
+  const std::size_t n = values.size();
+  auto mid = values.begin() + static_cast<std::ptrdiff_t>(n / 2);
+  std::nth_element(values.begin(), mid, values.end());
+  double upper = *mid;
+  if (n % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::ok: return "ok";
+    case Verdict::regression: return "regression";
+    case Verdict::improvement: return "improvement";
+    case Verdict::noisy: return "noisy";
+  }
+  return "?";
+}
+
+Classification classify_against(const std::vector<double>& baseline,
+                                double value,
+                                const DetectorConfig& config) {
+  const std::size_t need = std::max<std::size_t>(config.warmup, 1);
+  if (baseline.size() < need) {
+    throw InsufficientHistoryError(
+        "series has " + std::to_string(baseline.size()) +
+            " baseline sample(s); detector needs " + std::to_string(need),
+        baseline.size(), need);
+  }
+
+  Classification c;
+  c.value = value;
+  c.baseline_samples = baseline.size();
+  c.baseline_median = median_of(baseline);
+
+  std::vector<double> deviations;
+  deviations.reserve(baseline.size());
+  for (double v : baseline) {
+    deviations.push_back(std::fabs(v - c.baseline_median));
+  }
+  double mad_sigma = kMadScale * median_of(std::move(deviations));
+  // Flat (or near-flat) baselines still need a scale: fall back to a
+  // relative epsilon of the center so exact repeats never alarm but any
+  // real move scores far beyond threshold.
+  c.noise_sigma = std::max(
+      {mad_sigma, std::fabs(c.baseline_median) * 1e-9, kAbsFloor});
+
+  const double center_scale = std::max(std::fabs(c.baseline_median),
+                                       kAbsFloor);
+  const double deviation = value - c.baseline_median;
+  c.score = std::fabs(deviation) / c.noise_sigma;
+
+  if (c.noise_sigma / center_scale > config.max_noise_ratio) {
+    // The series itself is too unstable to call either way.
+    c.verdict = Verdict::noisy;
+    c.confidence = 0;
+    return c;
+  }
+  const double relative = std::fabs(deviation) / center_scale;
+  if (c.score >= config.threshold &&
+      relative >= config.min_relative_change) {
+    const bool worse = config.higher_is_worse ? deviation > 0
+                                              : deviation < 0;
+    c.verdict = worse ? Verdict::regression : Verdict::improvement;
+    c.confidence = std::min(1.0, 0.5 * c.score / config.threshold);
+  } else {
+    c.verdict = Verdict::ok;
+    c.confidence = 1.0 - std::min(1.0, 0.5 * c.score / config.threshold);
+  }
+  return c;
+}
+
+namespace {
+
+/// Shared regime-aware walk. Classifies each classifiable sample in
+/// order; calls `emit(i, classification)` for every classified index and
+/// resets the regime on confirmed change points.
+template <typename Emit>
+void walk(const std::vector<HistorySample>& samples,
+          const DetectorConfig& config, const Emit& emit) {
+  const std::size_t need = std::max<std::size_t>(config.warmup, 1);
+  const std::size_t window = std::max<std::size_t>(config.window, need);
+  std::vector<double> baseline;  // successful values of current regime
+  std::vector<std::size_t> baseline_idx;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const HistorySample& s = samples[i];
+    if (!s.success) continue;  // failures carry no value to judge
+    if (baseline.size() >= need) {
+      std::vector<double> recent;
+      const std::size_t take = std::min(window, baseline.size());
+      recent.assign(baseline.end() - static_cast<std::ptrdiff_t>(take),
+                    baseline.end());
+      Classification c = classify_against(recent, s.value, config);
+      const bool change = c.verdict == Verdict::regression ||
+                          c.verdict == Verdict::improvement;
+      emit(i, baseline_idx.empty() ? i : baseline_idx.back(), c);
+      if (change) {
+        // The step is the new normal; judge what follows against it.
+        baseline.clear();
+        baseline_idx.clear();
+      }
+    }
+    baseline.push_back(s.value);
+    baseline_idx.push_back(i);
+  }
+}
+
+}  // namespace
+
+Classification classify_latest(const std::vector<HistorySample>& samples,
+                               const DetectorConfig& config) {
+  std::size_t last = samples.size();
+  while (last > 0 && !samples[last - 1].success) --last;
+  if (last == 0) {
+    throw InsufficientHistoryError(
+        "series has no successful samples", 0,
+        std::max<std::size_t>(config.warmup, 1));
+  }
+  const std::size_t target = last - 1;
+  bool found = false;
+  Classification result;
+  walk(samples, config,
+       [&](std::size_t i, std::size_t, const Classification& c) {
+         if (i == target) {
+           result = c;
+           found = true;
+         }
+       });
+  if (!found) {
+    std::size_t have = 0;
+    for (std::size_t i = 0; i < target; ++i) {
+      if (samples[i].success) ++have;
+    }
+    // Under-counts regime resets only when a change point precedes the
+    // latest sample inside the warmup span — the message still names the
+    // configured minimum, which is what the caller can act on.
+    throw InsufficientHistoryError(
+        "series has " + std::to_string(have) +
+            " baseline sample(s) in the current regime; detector needs " +
+            std::to_string(std::max<std::size_t>(config.warmup, 1)),
+        have, std::max<std::size_t>(config.warmup, 1));
+  }
+  return result;
+}
+
+std::vector<ChangePoint> scan(const std::vector<HistorySample>& samples,
+                              const DetectorConfig& config) {
+  std::vector<ChangePoint> points;
+  walk(samples, config,
+       [&](std::size_t i, std::size_t last_baseline,
+           const Classification& c) {
+         if (c.verdict != Verdict::regression &&
+             c.verdict != Verdict::improvement) {
+           return;
+         }
+         ChangePoint p;
+         p.index = i;
+         p.sequence = samples[i].sequence;
+         p.classification = c;
+         p.config_hash = samples[i].config_hash;
+         p.baseline_config_hash = samples[last_baseline].config_hash;
+         points.push_back(std::move(p));
+       });
+  return points;
+}
+
+}  // namespace benchpark::analysis

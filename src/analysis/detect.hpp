@@ -1,0 +1,96 @@
+// Deterministic change-point / regression detection over FOM series.
+//
+// Each sample is judged against a rolling baseline window of the samples
+// before it (within the current regime): the baseline center is the
+// median, the noise scale is the MAD scaled to a robust sigma (1.4826 ×
+// median absolute deviation), floored so a perfectly flat series still
+// has a nonzero scale. A sample more than `threshold` sigmas AND more
+// than `min_relative_change` away from the baseline is a change point —
+// a regression or an improvement depending on direction — after which
+// the baseline regime resets at the changed value (a confirmed step is
+// the new normal, not a permanent alarm). Series whose baseline noise
+// is too large relative to its center are classified `noisy` instead of
+// alarming. Everything is a pure function of (samples, config): no
+// clocks, no randomness, byte-identical verdicts on identical history.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/history.hpp"
+
+namespace benchpark::analysis {
+
+/// What the detector concluded about one sample.
+enum class Verdict { ok, regression, improvement, noisy };
+
+[[nodiscard]] std::string_view verdict_name(Verdict v);
+
+struct DetectorConfig {
+  /// Baseline samples required before any sample can be classified.
+  std::size_t warmup = 5;
+  /// Rolling baseline window width (samples, within the current regime).
+  std::size_t window = 20;
+  /// Change-point threshold in robust sigmas.
+  double threshold = 4.0;
+  /// Minimum |value - baseline| / |baseline| for a change to count;
+  /// guards against alarming on numerically-tiny moves of a flat series.
+  double min_relative_change = 0.01;
+  /// Baseline sigma / |median| above which the series is too noisy to
+  /// judge (verdict `noisy` instead of regression/improvement).
+  double max_noise_ratio = 0.5;
+  /// True when larger values are worse (times); false for rates.
+  bool higher_is_worse = true;
+};
+
+/// Classification of one sample against its baseline window.
+struct Classification {
+  Verdict verdict = Verdict::ok;
+  double value = 0;
+  double baseline_median = 0;
+  double noise_sigma = 0;
+  /// |value - median| / sigma.
+  double score = 0;
+  /// [0, 1]: 0.5 at exactly `threshold` sigmas, saturating at 2×.
+  double confidence = 0;
+  std::size_t baseline_samples = 0;
+};
+
+/// A confirmed change point found by scan().
+struct ChangePoint {
+  std::size_t index = 0;       // position in the scanned sample vector
+  std::uint64_t sequence = 0;  // HistorySample::sequence at that index
+  Classification classification;
+  /// Config hash of the changed sample and of the last baseline sample
+  /// before it (bisection's initial bad/good endpoints).
+  std::string config_hash;
+  std::string baseline_config_hash;
+};
+
+/// Classify `value` against an explicit baseline (the scan/classify
+/// primitives below are built on this). `baseline` must hold >=
+/// config.warmup values or InsufficientHistoryError is thrown.
+[[nodiscard]] Classification classify_against(
+    const std::vector<double>& baseline, double value,
+    const DetectorConfig& config);
+
+/// Classify the latest sample of a series against the rolling baseline
+/// formed by the samples before it (regime-aware: the baseline restarts
+/// after the most recent confirmed change point). Throws
+/// InsufficientHistoryError when the current regime has fewer than
+/// config.warmup baseline samples.
+[[nodiscard]] Classification classify_latest(
+    const std::vector<HistorySample>& samples, const DetectorConfig& config);
+
+/// Full sequential scan: walk the series in order, classify every sample
+/// with at least `warmup` baseline samples in the current regime, emit a
+/// ChangePoint per regression/improvement, and reset the regime there.
+/// Deterministic; failed samples (success == false) are skipped as
+/// baseline candidates and never classified.
+[[nodiscard]] std::vector<ChangePoint> scan(
+    const std::vector<HistorySample>& samples, const DetectorConfig& config);
+
+}  // namespace benchpark::analysis

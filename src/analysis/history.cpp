@@ -1,0 +1,172 @@
+#include "src/analysis/history.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/support/log.hpp"
+#include "src/yaml/emitter.hpp"
+#include "src/yaml/node.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace benchpark::analysis {
+
+namespace {
+
+constexpr char kSep = '\x1f';
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Zero-padded decimal so the store's key-ordered iteration replays
+/// samples in numeric sequence order.
+std::string seq_suffix(std::uint64_t seq) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+yaml::EmitOptions emit_opts() {
+  yaml::EmitOptions opts;
+  opts.quote_numeric_strings = true;
+  return opts;
+}
+
+}  // namespace
+
+std::string SeriesKey::encode() const {
+  std::string out;
+  out.reserve(benchmark.size() + system.size() + experiment.size() +
+              fom.size() + 3);
+  out += benchmark;
+  out += kSep;
+  out += system;
+  out += kSep;
+  out += experiment;
+  out += kSep;
+  out += fom;
+  return out;
+}
+
+SeriesKey SeriesKey::decode(std::string_view text) {
+  SeriesKey key;
+  std::string* fields[] = {&key.benchmark, &key.system, &key.experiment,
+                           &key.fom};
+  std::size_t field = 0, start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == kSep) {
+      if (field < 4) *fields[field] = std::string(text.substr(start, i - start));
+      ++field;
+      start = i + 1;
+    }
+  }
+  return key;
+}
+
+std::string SeriesKey::str() const {
+  return benchmark + "/" + system + "/" + experiment + ":" + fom;
+}
+
+FomHistory::FomHistory(store::StoreHandle store) : store_(std::move(store)) {
+  if (!store_) return;
+  store_->for_each(kKind, [&](const std::string& key,
+                              const std::string& value) {
+    // key = "<series>\x1f<sequence>"; the series encoding itself has
+    // three separators, so the sequence is everything after the fourth.
+    std::size_t seps = 0, cut = std::string::npos;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      if (key[i] == kSep && ++seps == 4) {
+        cut = i;
+        break;
+      }
+    }
+    if (cut == std::string::npos) {
+      ++skipped_;
+      support::Log::warn("history: skipping malformed record key");
+      return;
+    }
+    try {
+      SeriesKey series = SeriesKey::decode(std::string_view(key).substr(0, cut));
+      yaml::Node n = yaml::parse(value);
+      HistorySample sample;
+      sample.sequence =
+          static_cast<std::uint64_t>(n.at("seq").as_int());
+      sample.value = n.at("value").as_double();
+      sample.units = n.at("units").as_string_or("");
+      sample.config_hash = n.at("config").as_string_or("");
+      sample.success = n.at("success").as_bool();
+      series_[series].push_back(std::move(sample));
+    } catch (const std::exception& e) {
+      ++skipped_;
+      support::Log::warn(std::string("history: skipping record: ") +
+                         e.what());
+    }
+  });
+  // for_each visits in key order (zero-padded sequences), so each series
+  // arrives sorted; enforce anyway so a hand-edited journal cannot wedge
+  // the detector's sequential scan.
+  for (auto& [key, samples] : series_) {
+    std::sort(samples.begin(), samples.end(),
+              [](const HistorySample& a, const HistorySample& b) {
+                return a.sequence < b.sequence;
+              });
+  }
+}
+
+std::uint64_t FomHistory::append(const SeriesKey& key, double value,
+                                 std::string_view units,
+                                 std::string_view config_hash,
+                                 bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& samples = series_[key];
+  HistorySample sample;
+  sample.sequence = samples.empty() ? 1 : samples.back().sequence + 1;
+  sample.value = value;
+  sample.units = std::string(units);
+  sample.config_hash = std::string(config_hash);
+  sample.success = success;
+  if (store_) {
+    yaml::Node n = yaml::Node::make_mapping();
+    n["seq"] = yaml::Node(static_cast<long long>(sample.sequence));
+    n["value"] = yaml::Node(fmt_double(sample.value));
+    n["units"] = yaml::Node(sample.units);
+    n["config"] = yaml::Node(sample.config_hash);
+    n["success"] = yaml::Node(sample.success);
+    store_->put(kKind, key.encode() + kSep + seq_suffix(sample.sequence),
+                yaml::emit(n, emit_opts()));
+  }
+  samples.push_back(std::move(sample));
+  return samples.back().sequence;
+}
+
+std::vector<SeriesKey> FomHistory::keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SeriesKey> out;
+  out.reserve(series_.size());
+  for (const auto& [key, samples] : series_) out.push_back(key);
+  return out;
+}
+
+std::vector<HistorySample> FomHistory::series(const SeriesKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  return it == series_.end() ? std::vector<HistorySample>{} : it->second;
+}
+
+std::size_t FomHistory::series_size(const SeriesKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  return it == series_.end() ? 0 : it->second.size();
+}
+
+std::size_t FomHistory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [key, samples] : series_) total += samples.size();
+  return total;
+}
+
+}  // namespace benchpark::analysis

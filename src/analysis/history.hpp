@@ -1,0 +1,105 @@
+// FOM time-series history: the layer that makes the stack *continuous*.
+//
+// Every completed workflow appends one sample per (benchmark, system,
+// experiment, figure-of-merit) series — value, units, success, and the
+// experiment's content hash (spec DAG hashes + rendered script + fault
+// plan, the PR-7 store key) — so FOMs can be watched *over time* across
+// runs, processes, and tenants (Vogelsang et al.'s continuous-
+// benchmarking workflow; SCOPE's per-configuration history).
+//
+// Persistence rides the content-addressed store: one "history" record
+// per sample, keyed "<series>\x1f<zero-padded sequence>", so a reloaded
+// store replays every series in exact append order and a new run simply
+// continues the sequence. Appends are serialized by callers in
+// submission order (Driver::run_workflow appends after analyze, in
+// experiment order), which is what makes history sequences reproducible
+// run-to-run at any thread width.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/store/store.hpp"
+
+namespace benchpark::analysis {
+
+/// Identity of one FOM series. The experiment field is the expanded
+/// experiment name, so a scaling matrix contributes one series per cell.
+struct SeriesKey {
+  std::string benchmark;
+  std::string system;
+  std::string experiment;
+  std::string fom;
+
+  /// "\x1f"-joined storage encoding (fields never contain 0x1f).
+  [[nodiscard]] std::string encode() const;
+  static SeriesKey decode(std::string_view text);
+  /// Human-readable "benchmark/system/experiment:fom".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const SeriesKey&, const SeriesKey&) = default;
+  friend auto operator<=>(const SeriesKey&, const SeriesKey&) = default;
+};
+
+/// One recorded observation of a series.
+struct HistorySample {
+  /// 1-based position within the series (the time axis).
+  std::uint64_t sequence = 0;
+  double value = 0;
+  std::string units;
+  /// Content hash of the configuration that produced the value (the
+  /// experiment store key: spec DAG hashes, rendered script, variables,
+  /// fault-plan fingerprint). Bisection walks the distinct hashes.
+  std::string config_hash;
+  bool success = true;
+};
+
+/// The persistent FOM time-series store. Thread-safe; when opened on a
+/// store handle every append is also put() into the journal (kind
+/// "history") — callers flush. A null handle gives a purely in-memory
+/// history (tests, synthetic series).
+class FomHistory {
+public:
+  /// Journal record kind for history samples.
+  static constexpr const char* kKind = "history";
+
+  FomHistory() = default;
+  /// Load every recorded series from `store` (null = start empty).
+  /// Corrupt individual records are skipped with a warning.
+  explicit FomHistory(store::StoreHandle store);
+
+  // Holds a mutex; construct in place and pass by reference/pointer.
+  FomHistory(const FomHistory&) = delete;
+  FomHistory& operator=(const FomHistory&) = delete;
+
+  /// Append one observation; assigns and returns the sample's sequence
+  /// number within its series. Persists through the store when attached.
+  std::uint64_t append(const SeriesKey& key, double value,
+                       std::string_view units, std::string_view config_hash,
+                       bool success = true);
+
+  /// All series keys, sorted.
+  [[nodiscard]] std::vector<SeriesKey> keys() const;
+  /// Samples of one series in sequence order (empty when unknown).
+  [[nodiscard]] std::vector<HistorySample> series(const SeriesKey& key) const;
+  /// Number of samples recorded for one series.
+  [[nodiscard]] std::size_t series_size(const SeriesKey& key) const;
+  /// Total samples across every series.
+  [[nodiscard]] std::size_t size() const;
+  /// Records skipped while loading (corrupt/unparsable).
+  [[nodiscard]] std::size_t skipped_records() const { return skipped_; }
+
+  [[nodiscard]] const store::StoreHandle& store() const { return store_; }
+
+private:
+  mutable std::mutex mu_;
+  std::map<SeriesKey, std::vector<HistorySample>> series_;
+  store::StoreHandle store_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace benchpark::analysis

@@ -6,7 +6,7 @@
 #include "src/support/parallel.hpp"
 #include "src/support/string_util.hpp"
 
-namespace benchpark::analysis {
+namespace benchpark::analysis::detail {
 
 namespace {
 
@@ -142,4 +142,4 @@ Thicket thicket_from_records(const std::vector<ExperimentRecord>& records,
   return thicket;
 }
 
-}  // namespace benchpark::analysis
+}  // namespace benchpark::analysis::detail

@@ -42,6 +42,8 @@ struct ExperimentRecord {
   std::string output;
 };
 
+namespace detail {
+
 /// Build the metrics rows for a batch of records, in record order:
 /// a failed record yields one success=false row per declared FOM; a
 /// successful record yields one row per numeric extracted FOM. Rows are
@@ -66,5 +68,33 @@ std::optional<perf::Profile> profile_from_output(const std::string& output);
 /// Profiles are parsed in parallel; columns are added in record order.
 Thicket thicket_from_records(const std::vector<ExperimentRecord>& records,
                              int threads = 0);
+
+}  // namespace detail
+
+// Legacy entry points, superseded by run_analysis(AnalysisRequest) with a
+// `records` source (src/analysis/analysis.hpp).
+
+[[deprecated("use analysis::run_analysis(AnalysisRequest)")]]
+inline std::vector<ResultRow> rows_from_records(
+    const std::vector<ExperimentRecord>& records, int threads = 0) {
+  return detail::rows_from_records(records, threads);
+}
+
+[[deprecated("use analysis::run_analysis(AnalysisRequest)")]]
+inline void insert_rows(MetricsDb& db, const std::vector<ResultRow>& rows) {
+  detail::insert_rows(db, rows);
+}
+
+[[deprecated("use analysis::run_analysis(AnalysisRequest)")]]
+inline std::optional<perf::Profile> profile_from_output(
+    const std::string& output) {
+  return detail::profile_from_output(output);
+}
+
+[[deprecated("use analysis::run_analysis(AnalysisRequest)")]]
+inline Thicket thicket_from_records(
+    const std::vector<ExperimentRecord>& records, int threads = 0) {
+  return detail::thicket_from_records(records, threads);
+}
 
 }  // namespace benchpark::analysis

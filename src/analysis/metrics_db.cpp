@@ -81,6 +81,10 @@ std::vector<std::string> MetricsDb::distinct_benchmarks() const {
   return distinct(rows_, &ResultRow::benchmark);
 }
 
+std::vector<std::string> MetricsDb::distinct_fom_names() const {
+  return distinct(rows_, &ResultRow::fom_name);
+}
+
 std::vector<std::pair<std::uint64_t, double>> MetricsDb::series(
     const Query& q) const {
   std::vector<std::pair<std::uint64_t, double>> out;

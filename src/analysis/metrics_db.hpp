@@ -59,6 +59,7 @@ public:
   /// Distinct values of a dimension, for dashboard facets.
   [[nodiscard]] std::vector<std::string> distinct_systems() const;
   [[nodiscard]] std::vector<std::string> distinct_benchmarks() const;
+  [[nodiscard]] std::vector<std::string> distinct_fom_names() const;
 
   /// A time series of (sequence, value) for regression tracking.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> series(

@@ -2,7 +2,7 @@
 
 #include "src/obs/trace_diff.hpp"
 
-namespace benchpark::analysis {
+namespace benchpark::analysis::detail {
 
 perf::Profile trace_to_profile(const obs::Trace& trace) {
   perf::Profile profile;
@@ -45,4 +45,4 @@ std::size_t trace_to_metrics(const obs::Trace& trace, MetricsDb& db,
   return inserted;
 }
 
-}  // namespace benchpark::analysis
+}  // namespace benchpark::analysis::detail

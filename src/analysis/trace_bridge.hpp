@@ -14,6 +14,8 @@
 
 namespace benchpark::analysis {
 
+namespace detail {
+
 /// Fold a trace's span tree into a flat profile: one region per span
 /// path (names joined "/" along the parent chain), inclusive seconds =
 /// wall-clock plus modeled time, count = span visits. Trace metadata
@@ -27,5 +29,23 @@ std::size_t trace_to_metrics(const obs::Trace& trace, MetricsDb& db,
                              const std::string& benchmark,
                              const std::string& system,
                              const std::string& experiment);
+
+}  // namespace detail
+
+// Legacy entry points, superseded by run_analysis(AnalysisRequest) with a
+// `trace` source (src/analysis/analysis.hpp).
+
+[[deprecated("use analysis::run_analysis(AnalysisRequest)")]]
+[[nodiscard]] inline perf::Profile trace_to_profile(const obs::Trace& trace) {
+  return detail::trace_to_profile(trace);
+}
+
+[[deprecated("use analysis::run_analysis(AnalysisRequest)")]]
+inline std::size_t trace_to_metrics(const obs::Trace& trace, MetricsDb& db,
+                                    const std::string& benchmark,
+                                    const std::string& system,
+                                    const std::string& experiment) {
+  return detail::trace_to_metrics(trace, db, benchmark, system, experiment);
+}
 
 }  // namespace benchpark::analysis

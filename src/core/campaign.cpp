@@ -4,7 +4,7 @@
 #include <iterator>
 #include <set>
 
-#include "src/analysis/ingest.hpp"
+#include "src/analysis/analysis.hpp"
 #include "src/ramble/application.hpp"
 #include "src/ramble/expansion.hpp"
 #include "src/support/error.hpp"
@@ -29,7 +29,7 @@ void Campaign::add_system(const std::string& name) {
 
 void Campaign::run() {
   summaries_.clear();
-  std::vector<analysis::ExperimentRecord> all_records;
+  thicket_ = analysis::Thicket{};  // rebuilt by each run()
   for (const auto& system : systems_) {
     SystemRunSummary summary;
     summary.system = system;
@@ -57,20 +57,24 @@ void Campaign::run() {
         record.output = std::move(result.output);
         records.push_back(std::move(record));
       }
-      auto rows = analysis::rows_from_records(records, request_.threads);
-      analysis::insert_rows(db_, rows);
-      rows_.insert(rows_.end(), std::make_move_iterator(rows.begin()),
-                   std::make_move_iterator(rows.end()));
-      all_records.insert(all_records.end(),
-                         std::make_move_iterator(records.begin()),
-                         std::make_move_iterator(records.end()));
+      // One façade call per system: rows and thicket columns accumulate
+      // into the campaign-owned sinks, serially in record order.
+      analysis::AnalysisRequest ingest;
+      ingest.records = &records;
+      ingest.metrics_out = &db_;
+      ingest.thicket_out = &thicket_;
+      ingest.detect = false;
+      ingest.threads = request_.threads;
+      auto analyzed = analysis::run_analysis(ingest);
+      rows_.insert(rows_.end(),
+                   std::make_move_iterator(analyzed.ingested_rows.begin()),
+                   std::make_move_iterator(analyzed.ingested_rows.end()));
     } catch (const Error& e) {
       summary.first_failure = e.what();
       support::Log::info(std::string("campaign: ") + e.what());
     }
     summaries_.push_back(std::move(summary));
   }
-  thicket_ = analysis::thicket_from_records(all_records, request_.threads);
 }
 
 support::Table Campaign::comparison_table(const std::string& fom_name) const {

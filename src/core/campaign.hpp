@@ -42,8 +42,8 @@ public:
 
   /// Run the full workflow on every registered system; failures on one
   /// system (crashes, incompatible variants) are recorded, not fatal.
-  /// Results are ingested through analysis::rows_from_records /
-  /// thicket_from_records (parallel build, serial in-order insertion).
+  /// Results are ingested through analysis::run_analysis (parallel row
+  /// build, serial in-order insertion into the campaign's db/thicket).
   void run();
 
   [[nodiscard]] const analysis::MetricsDb& metrics() const { return db_; }

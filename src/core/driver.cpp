@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/history.hpp"
 #include "src/core/usage.hpp"
 #include "src/obs/trace.hpp"
 #include "src/store/persist.hpp"
@@ -398,6 +399,31 @@ ramble::AnalyzeReport Driver::run_workflow(const ExperimentId& id,
              std::to_string(report.results.size()) +
              " experiments succeeded");
   if (persistent) {
+    // Append this workflow's outcomes to the FOM history: one
+    // runtime_seconds sample per experiment plus one sample per numeric
+    // FOM, in submission order (per_experiment and the analyze report
+    // are both index-aligned with the prepared experiments), keyed by
+    // the experiment's store key so regressions bisect to a config.
+    analysis::FomHistory history(persistent);
+    std::size_t appended = 0;
+    const auto& outcomes = run_report.per_experiment;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const auto& outcome = outcomes[i];
+      history.append(
+          {id.benchmark, system_name, outcome.name, "runtime_seconds"},
+          outcome.runtime_seconds, "s", outcome.store_key, outcome.success);
+      ++appended;
+      if (i >= report.results.size()) continue;
+      for (const auto& fom : report.results[i].foms) {
+        if (!fom.numeric) continue;
+        history.append({id.benchmark, system_name, outcome.name, fom.name},
+                       fom.value, fom.units, outcome.store_key, true);
+        ++appended;
+      }
+    }
+    say(10, "history: appended " + std::to_string(appended) +
+                " sample(s) to " + std::to_string(history.keys().size()) +
+                " series");
     // Snapshot the process-wide caches so the next process starts warm;
     // the workspace already persisted its binary cache + install tree.
     store::persist_global_caches(persistent);

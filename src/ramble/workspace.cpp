@@ -9,6 +9,7 @@
 #include "src/runtime/simexec.hpp"
 #include "src/store/persist.hpp"
 #include "src/support/error.hpp"
+#include "src/support/fault.hpp"
 #include "src/support/fs_util.hpp"
 #include "src/support/hash.hpp"
 #include "src/support/parallel.hpp"
@@ -381,8 +382,16 @@ std::string Workspace::render_script(const PreparedExperiment& exp) const {
 std::string Workspace::experiment_store_key(
     const PreparedExperiment& exp) const {
   support::Hasher h;
-  h.update("exp-v1");
+  h.update("exp-v2");
   h.update(scope_fingerprint_);
+  // A fault plan that perturbs execution changes what it would produce,
+  // so it is part of the experiment's content: an injection run records
+  // results under its own keys instead of replaying clean history from
+  // the store. Rules against non-execution sites (service dispatch,
+  // cache fetches, store I/O) are excluded — they alter delivery, not
+  // the experiment's outcome, and must not retire warm-start keys.
+  h.update(support::FaultPlan::global().fingerprint(
+      {"experiment.", "runtime."}));
   h.update(system_.name);
   // The software actually underneath the experiment: any recipe,
   // dependency, or variant change shifts a DAG hash and retires the key.
@@ -494,6 +503,7 @@ RunReport Workspace::run_all(const RunRequest& request) {
     double runtime_seconds = 0;
     std::string output;
     bool from_store = false;
+    std::string store_key;
   };
   std::vector<ExperimentRun> runs(prepared_.size());
 
@@ -515,6 +525,7 @@ RunReport Workspace::run_all(const RunRequest& request) {
     std::string store_key;
     if (store) {
       store_key = experiment_store_key(exp);
+      r.store_key = store_key;
       if (auto record = store::load_experiment(store, store_key)) {
         r.success = record->success;
         r.timed_out = record->timed_out;
@@ -651,6 +662,17 @@ RunReport Workspace::run_all(const RunRequest& request) {
     report.retry_wait_seconds += r.retry_wait_seconds;
     report.total_simulated_seconds += r.runtime_seconds;
     if (r.from_store) ++report.store_hits;
+
+    RunReport::ExperimentOutcome outcome;
+    outcome.name = prepared_[i].name;
+    outcome.app = prepared_[i].app;
+    outcome.workload = prepared_[i].workload;
+    outcome.store_key = r.store_key;
+    outcome.runtime_seconds = r.runtime_seconds;
+    outcome.success = r.success;
+    outcome.from_store = r.from_store;
+    outcome.attempts = r.attempts;
+    report.per_experiment.push_back(std::move(outcome));
   }
   if (store) {
     report.store_misses = report.experiments - report.store_hits;

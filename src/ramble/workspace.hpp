@@ -148,6 +148,22 @@ struct RunReport {
   /// Both stay 0 when no store is configured.
   std::size_t store_hits = 0;
   std::size_t store_misses = 0;
+
+  /// One completed experiment, in submission order (the deterministic
+  /// axis historical analytics appends samples along).
+  struct ExperimentOutcome {
+    std::string name;
+    std::string app;
+    std::string workload;
+    /// Content key of this run in the persistent store (the history
+    /// layer's config hash); empty when no store was configured.
+    std::string store_key;
+    double runtime_seconds = 0;
+    bool success = false;
+    bool from_store = false;
+    int attempts = 1;
+  };
+  std::vector<ExperimentOutcome> per_experiment;
 };
 
 struct AnalyzeReport {

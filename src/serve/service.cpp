@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "src/analysis/analysis.hpp"
 #include "src/obs/trace.hpp"
 #include "src/support/fault.hpp"
 #include "src/support/fs_util.hpp"
@@ -115,6 +116,27 @@ BenchService::BenchService(ServiceConfig config)
       out.success = !report.results.empty() &&
                     out.succeeded == out.experiments;
       if (!out.success) out.detail = "campaign had failing experiments";
+      if (ctx.store && config_.detect_regressions) {
+        // Post-campaign watchdog: scan the tenant's FOM history (which
+        // run_workflow just extended) for unresolved regressions.
+        try {
+          analysis::AnalysisRequest scan;
+          scan.store = ctx.store;
+          scan.benchmark = id.benchmark;
+          scan.system = req.system;
+          scan.detector = config_.detector;
+          auto analyzed = analysis::run_analysis(scan);
+          out.regressions = analyzed.regressed_series();
+          if (out.regressions > 0) {
+            if (!out.detail.empty()) out.detail += "; ";
+            out.detail += std::to_string(out.regressions) +
+                          " series regressed";
+          }
+        } catch (const Error&) {
+          // Detection is advisory; a history/analysis hiccup never fails
+          // the campaign that produced valid results.
+        }
+      }
       return out;
     };
   }
@@ -361,6 +383,7 @@ void BenchService::worker_loop() {
     done.status.succeeded = result.outcome.succeeded;
     done.status.store_hits = result.outcome.store_hits;
     done.status.store_misses = result.outcome.store_misses;
+    done.status.regressions = result.outcome.regressions;
     bool flush_journal = false;
     switch (result.state) {
       case TicketState::completed:

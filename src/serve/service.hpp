@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/analysis/detect.hpp"
 #include "src/core/driver.hpp"
 #include "src/ramble/workspace.hpp"
 #include "src/serve/admission.hpp"
@@ -99,6 +100,9 @@ struct TicketStatus {
   std::size_t succeeded = 0;
   std::size_t store_hits = 0;
   std::size_t store_misses = 0;
+  /// Series in the tenant's FOM history whose most recent change point
+  /// is an unresolved regression (post-campaign detection).
+  std::size_t regressions = 0;
   std::string error;
 };
 
@@ -121,6 +125,9 @@ struct CampaignOutcome {
   std::size_t succeeded = 0;
   std::size_t store_hits = 0;
   std::size_t store_misses = 0;
+  /// Currently-regressed series in the tenant's FOM history (the default
+  /// runner's post-campaign analysis::run_analysis pass).
+  std::size_t regressions = 0;
   std::string detail;
 };
 
@@ -156,6 +163,10 @@ struct ServiceConfig {
   /// Run-engine knobs forwarded to the default Driver runner (the store
   /// field is overridden per tenant).
   ramble::RunRequest run;
+  /// Post-campaign regression detection over the tenant's FOM history
+  /// (default runner, tenants with a store only).
+  bool detect_regressions = true;
+  analysis::DetectorConfig detector;
   /// Override the campaign executor (empty = Driver::run_workflow).
   CampaignRunner runner;
 };

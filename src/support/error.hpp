@@ -109,4 +109,31 @@ public:
   using Error::Error;
 };
 
+/// Historical-analytics failures (analysis layer). The refinements below
+/// mirror the ConcretizationError taxonomy: callers can catch per-cause
+/// (not enough history to judge, a bisection that cannot converge) or
+/// catch AnalysisError for the whole family.
+class AnalysisError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A series does not yet have enough baseline samples to classify its
+/// latest point; carries how many it has and how many the detector needs.
+class InsufficientHistoryError : public AnalysisError {
+public:
+  InsufficientHistoryError(const std::string& what, std::size_t have_,
+                           std::size_t need_)
+      : AnalysisError(what), have(have_), need(need_) {}
+  std::size_t have;
+  std::size_t need;
+};
+
+/// Bisection could not attribute the regression: a candidate config
+/// could not be replayed, or the endpoints do not actually disagree.
+class BisectionInconclusiveError : public AnalysisError {
+public:
+  using AnalysisError::AnalysisError;
+};
+
 }  // namespace benchpark

@@ -1,5 +1,6 @@
 #include "src/support/fault.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/support/error.hpp"
@@ -154,6 +155,39 @@ void FaultPlan::clear() {
 
 bool FaultPlan::empty() const {
   return !armed_.load(std::memory_order_relaxed);
+}
+
+std::string FaultPlan::fingerprint(
+    const std::vector<std::string>& site_prefixes) const {
+  if (empty()) return "";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rules_.empty()) return "";
+  auto selected = [&](const FaultRule& r) {
+    if (site_prefixes.empty()) return true;
+    for (const auto& prefix : site_prefixes) {
+      if (r.site.compare(0, prefix.size(), prefix) == 0) return true;
+    }
+    return false;
+  };
+  bool any = false;
+  for (const auto& r : rules_) any = any || selected(r);
+  if (!any) return "";
+  Hasher h;
+  h.update("fault-plan-v1");
+  h.update(seed_);
+  for (const auto& r : rules_) {
+    if (!selected(r)) continue;
+    h.update(r.site);
+    h.update(r.key);
+    h.update(r.nth);
+    h.update(r.count);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g/%.17g", r.probability,
+                  r.latency_seconds);
+    h.update(buf);
+    h.update(fault_kind_name(r.kind));
+  }
+  return h.base32();
 }
 
 double FaultPlan::on_hit(std::string_view site, std::string_view key,

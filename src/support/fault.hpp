@@ -96,6 +96,17 @@ public:
   /// True when no rules are programmed; on_hit is then a single relaxed
   /// atomic load.
   [[nodiscard]] bool empty() const;
+  /// Stable content hash of (seed, rules); "" for an empty plan. The
+  /// experiment store key folds this in so results produced under a
+  /// fault plan are never conflated with clean runs (an injected latency
+  /// changes the outcome, so it must change the content address too).
+  /// When `site_prefixes` is non-empty only rules whose site starts with
+  /// one of the prefixes are hashed ("" again if none match): the store
+  /// key uses {"experiment.", "runtime."} so a plan that only perturbs,
+  /// say, service dispatch or cache fetches does not retire every
+  /// experiment's content address.
+  [[nodiscard]] std::string fingerprint(
+      const std::vector<std::string>& site_prefixes = {}) const;
 
   /// Report attempt `attempt` (1-based) of the operation identified by
   /// `key` at fault site `site`. Returns the injected latency in modeled

@@ -7,7 +7,7 @@
 //   * campaign -> dashboard composition
 #include <gtest/gtest.h>
 
-#include "src/analysis/dashboard.hpp"
+#include "src/analysis/analysis.hpp"
 #include "src/ci/git.hpp"
 #include "src/ci/hubcast.hpp"
 #include "src/ci/pipeline.hpp"
@@ -132,11 +132,22 @@ TEST(Integration, NightlySeriesCatchesFabricRegression) {
     row.success = outcome.success;
     db.insert(row);
 
-    analysis::Dashboard dashboard(&db);
-    auto regressions = dashboard.detect_regressions("elapsed", 3.0, true);
-    if (day == 12) alerted_on_injection_day = !regressions.empty();
+    analysis::AnalysisRequest scan;
+    scan.metrics = &db;
+    scan.foms = {"elapsed"};
+    scan.detector.warmup = 4;
+    scan.detector.threshold = 3.0;
+    auto analyzed = analysis::run_analysis(scan);
+    bool regressed = false;
+    for (const auto& series : analyzed.series) {
+      if (series.has_latest &&
+          series.latest.verdict == analysis::Verdict::regression) {
+        regressed = true;
+      }
+    }
+    if (day == 12) alerted_on_injection_day = regressed;
     if (day < 12) {
-      EXPECT_TRUE(regressions.empty()) << "false positive on day " << day;
+      EXPECT_FALSE(regressed) << "false positive on day " << day;
     }
   }
   EXPECT_TRUE(alerted_on_injection_day);
@@ -177,13 +188,17 @@ TEST(Integration, CampaignFeedsDashboard) {
   campaign.add_system("ats2");
   campaign.run();
 
-  analysis::Dashboard dashboard(&campaign.metrics());
-  auto grid = dashboard.grid("gflops").render();
-  EXPECT_NE(grid.find("saxpy"), std::string::npos);
-  EXPECT_NE(grid.find("cts1"), std::string::npos);
-  EXPECT_NE(grid.find("ats2"), std::string::npos);
+  analysis::AnalysisRequest req;
+  req.metrics = &campaign.metrics();
+  req.foms = {"gflops"};
+  req.detector.higher_is_worse = false;  // gflops is a rate
+  req.render_text = true;
+  auto analyzed = analysis::run_analysis(req);
+  EXPECT_NE(analyzed.text.find("saxpy"), std::string::npos);
+  EXPECT_NE(analyzed.text.find("cts1"), std::string::npos);
+  EXPECT_NE(analyzed.text.find("ats2"), std::string::npos);
   // One clean pass: no regressions flaggable from a single campaign.
-  EXPECT_TRUE(dashboard.detect_regressions("gflops").empty());
+  EXPECT_EQ(analyzed.regressed_series(), 0u);
 }
 
 TEST(Integration, UsageMetricsAccumulateThroughDriver) {

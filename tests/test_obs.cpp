@@ -525,7 +525,7 @@ TEST(TraceBridge, TraceBecomesProfileAndMetrics) {
   collector.attach_metadata("system", "cts1");
   auto trace = collector.snapshot();
 
-  auto profile = benchpark::analysis::trace_to_profile(trace);
+  auto profile = benchpark::analysis::detail::trace_to_profile(trace);
   const auto* region = profile.find("workflow/install");
   ASSERT_NE(region, nullptr);
   EXPECT_EQ(region->count, 1u);
@@ -535,7 +535,7 @@ TEST(TraceBridge, TraceBecomesProfileAndMetrics) {
   EXPECT_EQ(profile.metadata.at("system"), "cts1");
 
   benchpark::analysis::MetricsDb db;
-  auto inserted = benchpark::analysis::trace_to_metrics(
+  auto inserted = benchpark::analysis::detail::trace_to_metrics(
       trace, db, "amg2023", "cts1", "exp1");
   EXPECT_EQ(inserted, 2u);
   benchpark::analysis::Query q;

@@ -510,7 +510,7 @@ TEST(Ingest, RowsFromRecordsKeepsCampaignSemantics) {
       make_record("cts1", "crashed_1", false),
       make_record("ats2", "ok_2", true)};
 
-  auto rows = analysis::rows_from_records(records, 1);
+  auto rows = analysis::detail::rows_from_records(records, 1);
   // Success records contribute one row per *numeric* FOM (1 each);
   // the failed record one CRASHED row per *declared* FOM (2).
   ASSERT_EQ(rows.size(), 4u);
@@ -528,19 +528,19 @@ TEST(Ingest, RowsFromRecordsKeepsCampaignSemantics) {
 
   // Parallel build, identical rows; serial insertion numbers them in
   // record order.
-  auto wide = analysis::rows_from_records(records, 8);
+  auto wide = analysis::detail::rows_from_records(records, 8);
   ASSERT_EQ(wide.size(), rows.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     EXPECT_EQ(wide[i].experiment, rows[i].experiment) << i;
     EXPECT_EQ(wide[i].fom_name, rows[i].fom_name) << i;
   }
   analysis::MetricsDb db;
-  analysis::insert_rows(db, rows);
+  analysis::detail::insert_rows(db, rows);
   EXPECT_EQ(db.size(), rows.size());
 }
 
 TEST(Ingest, ProfileFromOutputParsesCaliperSection) {
-  auto profile = analysis::profile_from_output(
+  auto profile = analysis::detail::profile_from_output(
       "noise line\n"
       "caliper: region profile\n"
       "main 0.500000 s\n"
@@ -552,9 +552,9 @@ TEST(Ingest, ProfileFromOutputParsesCaliperSection) {
   EXPECT_DOUBLE_EQ(profile->regions[0].inclusive_seconds, 0.5);
   EXPECT_EQ(profile->regions[1].path, "main/kernel");
 
-  EXPECT_FALSE(analysis::profile_from_output("no marker here").has_value());
+  EXPECT_FALSE(analysis::detail::profile_from_output("no marker here").has_value());
   EXPECT_FALSE(
-      analysis::profile_from_output("caliper: region profile\n").has_value());
+      analysis::detail::profile_from_output("caliper: region profile\n").has_value());
 }
 
 TEST(Ingest, ThicketFromRecordsBuildsMetadataColumns) {
@@ -562,7 +562,7 @@ TEST(Ingest, ThicketFromRecordsBuildsMetadataColumns) {
       make_record("cts1", "ok_1", true),
       make_record("cts1", "crashed_1", false),  // no output: no column
       make_record("ats2", "ok_2", true)};
-  auto thicket = analysis::thicket_from_records(records, 8);
+  auto thicket = analysis::detail::thicket_from_records(records, 8);
   EXPECT_EQ(thicket.num_profiles(), 2u);
   auto names = thicket.column_names();
   ASSERT_EQ(names.size(), 2u);

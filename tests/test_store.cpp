@@ -631,7 +631,7 @@ TEST(StoreWarmRun, DriverWorkflowReportsStoreTraffic) {
       id, "cts1", tmp1.path() / "ws",
       [&](int, const std::string& text) { first_steps.push_back(text); },
       nullptr, request);
-  ASSERT_EQ(first_steps.size(), 9u);
+  ASSERT_EQ(first_steps.size(), 10u);
   EXPECT_NE(first_steps[7].find("store 0 hits / 8 misses"),
             std::string::npos)
       << first_steps[7];
@@ -644,7 +644,7 @@ TEST(StoreWarmRun, DriverWorkflowReportsStoreTraffic) {
       id, "cts1", tmp2.path() / "ws",
       [&](int, const std::string& text) { second_steps.push_back(text); },
       &ws_holder, request);
-  ASSERT_EQ(second_steps.size(), 9u);
+  ASSERT_EQ(second_steps.size(), 10u);
   EXPECT_NE(second_steps[7].find("store 8 hits / 0 misses"),
             std::string::npos)
       << second_steps[7];
