@@ -1,0 +1,217 @@
+// HPCC-class kernel benchmarks backing the BENCH_kernels.json CI gate:
+// optimized vs scalar-twin throughput for GEMM / PTRANS / FFT /
+// RandomAccess, thread scaling for the blocked GEMM, and the modeled
+// b_eff sweep. The CI job gates blocked GEMM >= 3x naive and (when the
+// runner has the cores) 4-thread GEMM >= 2x single-thread.
+//
+// Every optimized/scalar pair re-checks parity before timing and
+// SkipWithError()s on mismatch, so a miscompiled kernel can never post a
+// "fast" number.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+#include "src/benchmarks/fft.hpp"
+#include "src/benchmarks/gemm.hpp"
+#include "src/benchmarks/ptrans.hpp"
+#include "src/benchmarks/randomaccess.hpp"
+#include "src/system/beff.hpp"
+#include "src/system/system.hpp"
+
+namespace {
+
+namespace bm = benchpark::benchmarks;
+
+std::vector<double> random_matrix(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> m(n * n);
+  for (auto& v : m) v = dist(rng);
+  return m;
+}
+
+bool gemm_parity_holds(std::size_t n) {
+  auto a = random_matrix(n, 1);
+  auto b = random_matrix(n, 2);
+  std::vector<double> blocked(n * n), naive(n * n);
+  bm::gemm_blocked(blocked.data(), a.data(), b.data(), n, 1);
+  bm::gemm_naive(naive.data(), a.data(), b.data(), n);
+  return std::memcmp(blocked.data(), naive.data(),
+                     n * n * sizeof(double)) == 0;
+}
+
+// ------------------------------------------------------------------ GEMM
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  if (!gemm_parity_holds(n)) {
+    state.SkipWithError("blocked GEMM diverged from the scalar twin");
+    return;
+  }
+  auto a = random_matrix(n, 3);
+  auto b = random_matrix(n, 4);
+  std::vector<double> c(n * n);
+  for (auto _ : state) {
+    bm::gemm_blocked(c.data(), a.data(), b.data(), n, 1);
+    benchpark_bench::keep(c[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::gemm_flops(n)));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(256)->Arg(384);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = random_matrix(n, 3);
+  auto b = random_matrix(n, 4);
+  std::vector<double> c(n * n);
+  for (auto _ : state) {
+    bm::gemm_naive(c.data(), a.data(), b.data(), n);
+    benchpark_bench::keep(c[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::gemm_flops(n)));
+}
+BENCHMARK(BM_GemmNaive)->Arg(256)->Arg(384);
+
+void BM_GemmThreaded(benchmark::State& state) {
+  const std::size_t n = 384;
+  const int threads = static_cast<int>(state.range(0));
+  auto a = random_matrix(n, 5);
+  auto b = random_matrix(n, 6);
+  std::vector<double> serial(n * n), c(n * n);
+  bm::gemm_blocked(serial.data(), a.data(), b.data(), n, 1);
+  bm::gemm_blocked(c.data(), a.data(), b.data(), n, threads);
+  if (std::memcmp(serial.data(), c.data(), n * n * sizeof(double)) != 0) {
+    state.SkipWithError("threaded GEMM diverged from serial");
+    return;
+  }
+  for (auto _ : state) {
+    bm::gemm_blocked(c.data(), a.data(), b.data(), n, threads);
+    benchpark_bench::keep(c[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::gemm_flops(n)));
+}
+BENCHMARK(BM_GemmThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+// ---------------------------------------------------------------- PTRANS
+
+void BM_PtransTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = random_matrix(n, 7);
+  std::vector<double> tiled(n * n), naive(n * n);
+  bm::ptrans_tiled(tiled.data(), a.data(), n, 1);
+  bm::ptrans_naive(naive.data(), a.data(), n);
+  if (std::memcmp(tiled.data(), naive.data(), n * n * sizeof(double)) != 0) {
+    state.SkipWithError("tiled PTRANS diverged from the scalar twin");
+    return;
+  }
+  for (auto _ : state) {
+    bm::ptrans_tiled(tiled.data(), a.data(), n, 1);
+    benchpark_bench::keep(tiled[0]);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::ptrans_bytes(n)));
+}
+BENCHMARK(BM_PtransTiled)->Arg(512)->Arg(1024);
+
+void BM_PtransNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = random_matrix(n, 7);
+  std::vector<double> b(n * n);
+  for (auto _ : state) {
+    bm::ptrans_naive(b.data(), a.data(), n);
+    benchpark_bench::keep(b[0]);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::ptrans_bytes(n)));
+}
+BENCHMARK(BM_PtransNaive)->Arg(512)->Arg(1024);
+
+// ------------------------------------------------------------------- FFT
+
+void BM_FftVectorized(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  bm::FftPlan plan(n);
+  std::vector<double> re(n), im(n), sc_re(n), sc_im(n);
+  for (std::size_t i = 0; i < n; ++i) re[i] = static_cast<double>(i % 17);
+  for (auto _ : state) {
+    bm::fft_transform(plan, re.data(), im.data(), sc_re.data(),
+                      sc_im.data());
+    benchpark_bench::keep(re[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::fft_flops(n)));
+}
+BENCHMARK(BM_FftVectorized)->Arg(1024)->Arg(4096);
+
+void BM_FftScalar(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  bm::FftPlan plan(n);
+  std::vector<double> re(n), im(n), sc_re(n), sc_im(n);
+  for (std::size_t i = 0; i < n; ++i) re[i] = static_cast<double>(i % 17);
+  for (auto _ : state) {
+    bm::fft_transform_scalar(plan, re.data(), im.data(), sc_re.data(),
+                             sc_im.data());
+    benchpark_bench::keep(re[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bm::fft_flops(n)));
+}
+BENCHMARK(BM_FftScalar)->Arg(1024)->Arg(4096);
+
+// ---------------------------------------------------------- RandomAccess
+
+void BM_RandomAccessBatched(benchmark::State& state) {
+  const std::size_t size = std::size_t{1} << state.range(0);
+  const std::uint64_t updates = 4 * size;
+  std::vector<std::uint64_t> table(size);
+  std::iota(table.begin(), table.end(), 0);
+  for (auto _ : state) {
+    bm::randomaccess_update(table.data(), size, 0, updates, 1);
+    benchpark_bench::keep(table[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(updates));
+}
+BENCHMARK(BM_RandomAccessBatched)->Arg(16)->Arg(20);
+
+void BM_RandomAccessScalar(benchmark::State& state) {
+  const std::size_t size = std::size_t{1} << state.range(0);
+  const std::uint64_t updates = 4 * size;
+  std::vector<std::uint64_t> table(size);
+  std::iota(table.begin(), table.end(), 0);
+  for (auto _ : state) {
+    bm::randomaccess_update_scalar(table.data(), size, 0, updates);
+    benchpark_bench::keep(table[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(updates));
+}
+BENCHMARK(BM_RandomAccessScalar)->Arg(16)->Arg(20);
+
+// ----------------------------------------------------------------- b_eff
+
+void BM_BeffSweep(benchmark::State& state) {
+  const auto& cts2 =
+      benchpark::system::SystemRegistry::instance().get("cts2");
+  const int ranks = static_cast<int>(state.range(0));
+  double beff = 0;
+  for (auto _ : state) {
+    auto result = benchpark::system::run_beff(cts2, ranks);
+    beff = result.beff_mbs;
+    benchpark_bench::keep(beff);
+  }
+  state.counters["beff_mbs"] = beff;
+}
+BENCHMARK(BM_BeffSweep)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

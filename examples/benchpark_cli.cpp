@@ -16,6 +16,7 @@
 // runs change-point detection + bisection attribution, writes
 // report.json and report.html under <outdir>, prints the text report,
 // and exits 3 when any series is currently regressed (the CI gate).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -95,6 +96,10 @@ int analyze_history(int argc, char** argv) {
   // Rates get the opposite alarm direction from times.
   request.higher_is_worse_overrides["gflops"] = false;
   request.higher_is_worse_overrides["bw"] = false;
+  request.higher_is_worse_overrides["gups"] = false;
+  request.higher_is_worse_overrides["beff"] = false;
+  request.higher_is_worse_overrides["triad"] = false;
+  request.higher_is_worse_overrides["copy"] = false;
 
   auto result = analysis::run_analysis(request);
   std::filesystem::create_directories(outdir);
@@ -104,6 +109,51 @@ int analyze_history(int argc, char** argv) {
   std::cout << "\nreports: " << (outdir / "report.json").string() << ", "
             << (outdir / "report.html").string() << "\n";
   return result.regressed_series() > 0 ? 3 : 0;
+}
+
+/// A bad <benchmark/variant> or <system> is a usage error, not a crash:
+/// show everything that would have worked, then exit 2 so scripts can
+/// tell "you typo'd" from "the experiment failed".
+int reject_with_registry(const benchpark::core::Driver& driver,
+                         const std::string& what) {
+  std::fprintf(stderr, "benchpark: error: %s\n", what.c_str());
+  std::fprintf(stderr, "available experiments:\n");
+  for (const auto& benchmark : driver.benchmarks()) {
+    for (const auto& variant : driver.variants(benchmark)) {
+      std::fprintf(stderr, "  %s/%s\n", benchmark.c_str(), variant.c_str());
+    }
+  }
+  std::fprintf(stderr, "available systems:\n");
+  for (const auto& system : driver.systems()) {
+    std::fprintf(stderr, "  %s\n", system.c_str());
+  }
+  return 2;
+}
+
+/// Validate an experiment id + system against the driver's registries.
+/// Returns 0 when valid, otherwise prints the registry dump and
+/// returns the exit code for main to propagate.
+int validate_run_args(const benchpark::core::Driver& driver,
+                      const benchpark::core::ExperimentId& id,
+                      const std::string& system) {
+  const auto benchmarks = driver.benchmarks();
+  if (std::find(benchmarks.begin(), benchmarks.end(), id.benchmark) ==
+      benchmarks.end()) {
+    return reject_with_registry(driver,
+                                "unknown benchmark '" + id.benchmark + "'");
+  }
+  const auto variants = driver.variants(id.benchmark);
+  if (std::find(variants.begin(), variants.end(), id.variant) ==
+      variants.end()) {
+    return reject_with_registry(driver, "benchmark '" + id.benchmark +
+                                            "' has no variant '" +
+                                            id.variant + "'");
+  }
+  const auto systems = driver.systems();
+  if (std::find(systems.begin(), systems.end(), system) == systems.end()) {
+    return reject_with_registry(driver, "unknown system '" + system + "'");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -137,6 +187,9 @@ int main(int argc, char** argv) {
     if (command == "setup" || command == "run") {
       if (argc != 5) return usage(argv[0]);
       auto id = benchpark::core::ExperimentId::parse(argv[2]);
+      if (int rc = validate_run_args(driver, id, argv[3]); rc != 0) {
+        return rc;
+      }
       if (command == "setup") {
         auto ws = driver.setup(id, argv[3], argv[4]);
         std::cout << "workspace generated at " << ws.root().string()

@@ -149,6 +149,42 @@ std::string MicroarchDatabase::family(std::string_view name) const {
   }
 }
 
+// ---------------------------------------------------- kernel base parameters
+
+std::map<std::string, std::string> kernel_base_parameters(
+    std::string_view target) {
+  const auto& db = MicroarchDatabase::instance();
+  const auto* march = db.find(target);
+
+  // Conservative scalar defaults for unknown targets.
+  int vector_doubles = 1;
+  bool fma = false;
+  if (march) {
+    if (march->has_feature("avx512f")) {
+      vector_doubles = 8;
+    } else if (march->has_feature("avx2") || march->has_feature("avx")) {
+      vector_doubles = 4;
+    } else if (march->has_feature("sse2") || march->has_feature("vsx") ||
+               march->has_feature("asimd") || march->has_feature("altivec")) {
+      vector_doubles = 2;
+    }
+    fma = march->has_feature("fma") || march->has_feature("vsx") ||
+          march->has_feature("asimd");
+  }
+
+  std::map<std::string, std::string> params;
+  params["vector_doubles"] = std::to_string(vector_doubles);
+  params["fma"] = fma ? "1" : "0";
+  // Register tiling tracks the vector width: NR spans two vectors so the
+  // microkernel keeps load latency hidden; MR stays at 4 rows.
+  params["gemm_mr"] = "4";
+  params["gemm_nr"] = std::to_string(std::max(2, vector_doubles) * 2);
+  params["gemm_kc"] = "256";
+  params["fft_radix"] = "2";
+  params["ra_batch"] = "64";
+  return params;
+}
+
 // ------------------------------------------------------------------- flags
 
 std::string optimization_flags(std::string_view compiler_name,

@@ -82,6 +82,16 @@ std::string optimization_flags(std::string_view compiler_name,
                                const spec::Version& compiler_version,
                                std::string_view target);
 
+/// Kernel base parameters derived from a target's ISA features — the
+/// HPCC_FPGA base-parameter-config idea: each target carries the tuning
+/// knobs (vector width, FMA, blocking, batch depth) the kernel suite
+/// instantiates with. Unknown targets fall back to conservative scalar
+/// parameters instead of throwing, so detection failures stay runnable.
+/// Keys: vector_doubles, fma, gemm_mr, gemm_nr, gemm_kc, fft_radix,
+/// ra_batch.
+std::map<std::string, std::string> kernel_base_parameters(
+    std::string_view target);
+
 /// Parse `/proc/cpuinfo`-style text into a microarchitecture name.
 /// Used both for real host detection and for simulated system fixtures.
 std::string detect_from_cpuinfo(std::string_view cpuinfo_text);

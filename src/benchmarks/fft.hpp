@@ -1,0 +1,78 @@
+// HPCC-style FFT: batched 1-D complex transforms, radix-2 Stockham
+// autosort, split re/im arrays, shared precomputed twiddle table.
+//
+// Stockham reorders as it computes, so there is no bit-reversal pass and
+// every stage reads and writes with unit stride over the q (intra-block)
+// index — that inner loop is the SIMD loop. The twiddle factors for every
+// stage are slices of one master table (exp(-2*pi*i*k/n) for k < n/2,
+// indexed k = p * stride), computed once per plan and shared by all
+// batch members and threads. The transform ping-pongs between the data
+// and a caller-provided scratch buffer (log2(n) passes), ending back in
+// the data arrays.
+//
+// Each butterfly output is written exactly once per stage from two inputs
+// — elementwise, no reductions — so the vectorized and scalar twins agree
+// to round-off; the parity test pins them within 1e-12 relative error and
+// the round-trip (forward then inverse) reproduces the input to the same
+// tolerance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace benchpark::benchmarks {
+
+/// Precomputed state for length-n transforms (n a power of two >= 2).
+/// Immutable after construction; safe to share across threads.
+class FftPlan {
+public:
+  /// Throws Error unless n is a power of two >= 2.
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] int stages() const { return log2n_; }
+  [[nodiscard]] const double* twiddle_re() const { return tw_re_.data(); }
+  [[nodiscard]] const double* twiddle_im() const { return tw_im_.data(); }
+
+private:
+  std::size_t n_ = 0;
+  int log2n_ = 0;
+  std::vector<double> tw_re_;  // cos(-2 pi k / n), k < n/2
+  std::vector<double> tw_im_;  // sin(-2 pi k / n), k < n/2
+};
+
+/// One in-place transform of re/im[0, n) using scratch of the same length
+/// for the ping-pong; `inverse` conjugates the twiddles and scales by 1/n.
+void fft_transform(const FftPlan& plan, double* re, double* im,
+                   double* scratch_re, double* scratch_im,
+                   bool inverse = false);
+
+/// Scalar reference twin (vectorization disabled, same algorithm).
+void fft_transform_scalar(const FftPlan& plan, double* re, double* im,
+                          double* scratch_re, double* scratch_im,
+                          bool inverse = false);
+
+struct FftResult {
+  std::size_t n = 0;        // transform length
+  std::size_t batch = 0;    // transforms per repeat
+  int threads = 1;
+  double elapsed_seconds = 0;
+  double gflops = 0;        // 5 n log2(n) flops per transform
+  double max_roundtrip_error = 0;  // relative, forward + inverse
+  bool verified = false;
+};
+
+/// Run `batch` forward transforms per repeat (threads split the batch),
+/// then verify by round-tripping one batch member: forward + inverse must
+/// reproduce the input within 1e-12 relative error.
+FftResult run_fft(std::size_t n, std::size_t batch = 8, int threads = 1,
+                  int repeats = 1);
+
+/// Cost-model inputs (per transform).
+[[nodiscard]] double fft_flops(std::size_t n);
+[[nodiscard]] double fft_bytes(std::size_t n);
+
+std::string fft_output(const FftResult& result);
+
+}  // namespace benchpark::benchmarks

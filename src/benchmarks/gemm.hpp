@@ -1,0 +1,59 @@
+// HPCC-style DGEMM: C = A * B for dense square n x n double matrices.
+//
+// The optimized path is a classic three-level blocked GEMM: k is cut into
+// KC-deep panels (so the working set of one panel pass fits in L2), j into
+// NC-wide column blocks, and the innermost compute is an MR x NR
+// register-tiled microkernel that keeps a tile of C in registers while
+// streaming one k-panel through it, SIMD across the NR columns. Threading
+// splits the rows of C across the pool (disjoint output, no atomics).
+//
+// Bit-exactness contract with the naive scalar twin: every C element is a
+// single running accumulator updated in ascending-k order — the microkernel
+// loads C, adds the panel's products for k = kb..kb+KC-1 in order, and
+// stores back, so across ascending panels the addition sequence is exactly
+// the naive ijk loop's. SIMD lanes hold distinct (i, j) elements (no
+// reassociation), and the baseline x86-64 target has no FMA contraction,
+// so the parity test pins gemm_blocked == gemm_naive bitwise.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace benchpark::benchmarks {
+
+/// Blocking parameters (exposed for the docs and the parity tests).
+inline constexpr std::size_t kGemmKC = 256;  // k-panel depth (L2 blocking)
+inline constexpr std::size_t kGemmNC = 128;  // j-block width (L2 blocking)
+inline constexpr std::size_t kGemmMR = 4;    // microkernel rows of C
+inline constexpr std::size_t kGemmNR = 8;    // microkernel cols of C
+
+/// Optimized blocked/register-tiled/SIMD GEMM; overwrites C.
+void gemm_blocked(double* c, const double* a, const double* b,
+                  std::size_t n, int threads = 1);
+
+/// Scalar reference twin: textbook ijk with one accumulator per element,
+/// vectorization disabled. The parity test pins blocked == naive bitwise.
+void gemm_naive(double* c, const double* a, const double* b, std::size_t n);
+
+struct GemmResult {
+  std::size_t n = 0;
+  int threads = 1;
+  double elapsed_seconds = 0;
+  double gflops = 0;
+  double checksum = 0;  // guards against dead-code elimination
+  bool verified = false;
+};
+
+/// Run the blocked kernel `repeats` times on deterministic inputs and
+/// verify with a Freivalds check (C r == A (B r) for a random vector r —
+/// O(n^2), catches any wrong element with high probability).
+GemmResult run_gemm(std::size_t n, int threads = 1, int repeats = 1);
+
+/// Cost-model inputs for the simulated systems.
+[[nodiscard]] double gemm_flops(std::size_t n);
+[[nodiscard]] double gemm_bytes(std::size_t n);
+
+/// Render the benchmark's stdout ("Kernel done" is the success string).
+std::string gemm_output(const GemmResult& result);
+
+}  // namespace benchpark::benchmarks

@@ -7,6 +7,7 @@
 #include "src/support/error.hpp"
 #include "src/support/parallel.hpp"
 #include "src/support/simd.hpp"
+#include "src/support/simd_dispatch.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::benchmarks {
@@ -51,6 +52,8 @@ struct Level {
 /// Weighted Jacobi smoother (ω = 4/5 is near-optimal for the 2-D 5-point
 /// Laplacian). Matrix-free: A u = (4u_ij - u_W - u_E - u_S - u_N) / h².
 void smooth(Level& level, int sweeps, int threads) {
+  static const auto smooth_row = benchpark::support::select_kernel(
+      &multigrid_smooth_row, &multigrid_smooth_row_scalar);
   const std::size_t n = level.n;
   const double h2 = level.h * level.h;
   const double omega = 0.8;
@@ -62,8 +65,8 @@ void smooth(Level& level, int sweeps, int threads) {
         n, threads, [&](std::size_t lo, std::size_t hi) {
           for (std::size_t i = lo + 1; i <= hi; ++i) {
             const std::size_t base = i * (n + 2);
-            multigrid_smooth_row(next.data() + base, level.u.data() + base,
-                                 level.f.data() + base, n, n + 2, h2, omega);
+            smooth_row(next.data() + base, level.u.data() + base,
+                       level.f.data() + base, n, n + 2, h2, omega);
           }
         });
     level.u.swap(next);
@@ -72,6 +75,8 @@ void smooth(Level& level, int sweeps, int threads) {
 
 /// r = f - A u; returns ||r||_2 over the interior.
 double residual(Level& level, int threads) {
+  static const auto residual_row = benchpark::support::select_kernel(
+      &multigrid_residual_row, &multigrid_residual_row_scalar);
   const std::size_t n = level.n;
   const double inv_h2 = 1.0 / (level.h * level.h);
   const std::size_t nchunks = static_cast<std::size_t>(threads > 0 ? threads : 1);
@@ -87,10 +92,8 @@ double residual(Level& level, int threads) {
           double sum = 0;
           for (std::size_t i = row_lo; i < row_hi; ++i) {
             const std::size_t base = i * (n + 2);
-            sum += multigrid_residual_row(level.r.data() + base,
-                                          level.u.data() + base,
-                                          level.f.data() + base, n, n + 2,
-                                          inv_h2);
+            sum += residual_row(level.r.data() + base, level.u.data() + base,
+                                level.f.data() + base, n, n + 2, inv_h2);
           }
           partial[chunk] = sum;
         }

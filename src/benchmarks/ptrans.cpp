@@ -1,0 +1,158 @@
+#include "src/benchmarks/ptrans.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "src/support/parallel.hpp"
+#include "src/support/simd.hpp"
+#include "src/support/simd_dispatch.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::benchmarks {
+
+namespace {
+
+/// Transpose the block a[i0:i1, j0:j1] into b[j0:j1, i0:i1] through an
+/// L1-resident staging tile: the source is read with unit stride, the
+/// transpose happens inside the tile, and the destination is written with
+/// unit stride. Handles ragged edges (ih, jh <= kPtransTile).
+inline void leaf_transpose(double* b, const double* a, std::size_t n,
+                           std::size_t i0, std::size_t i1, std::size_t j0,
+                           std::size_t j1) {
+  double tile[kPtransTile][kPtransTile];
+  const std::size_t ih = i1 - i0;
+  const std::size_t jh = j1 - j0;
+  for (std::size_t ti = 0; ti < ih; ++ti) {
+    const double* arow = a + (i0 + ti) * n + j0;
+    BENCHPARK_SIMD
+    for (std::size_t tj = 0; tj < jh; ++tj) tile[tj][ti] = arow[tj];
+  }
+  for (std::size_t tj = 0; tj < jh; ++tj) {
+    double* brow = b + (j0 + tj) * n + i0;
+    BENCHPARK_SIMD
+    for (std::size_t ti = 0; ti < ih; ++ti) brow[ti] = tile[tj][ti];
+  }
+}
+
+/// Cache-oblivious recursion: halve the longer edge until the block fits
+/// the leaf tile, so every cache level sees blocked traffic.
+void transpose_recursive(double* b, const double* a, std::size_t n,
+                         std::size_t i0, std::size_t i1, std::size_t j0,
+                         std::size_t j1) {
+  if (i1 - i0 <= kPtransTile && j1 - j0 <= kPtransTile) {
+    leaf_transpose(b, a, n, i0, i1, j0, j1);
+    return;
+  }
+  if (i1 - i0 >= j1 - j0) {
+    const std::size_t mid = i0 + (i1 - i0) / 2;
+    transpose_recursive(b, a, n, i0, mid, j0, j1);
+    transpose_recursive(b, a, n, mid, i1, j0, j1);
+  } else {
+    const std::size_t mid = j0 + (j1 - j0) / 2;
+    transpose_recursive(b, a, n, i0, i1, j0, mid);
+    transpose_recursive(b, a, n, i0, i1, mid, j1);
+  }
+}
+
+BENCHPARK_NO_VECTORIZE
+void ptrans_naive_impl(double* b, const double* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[j * n + i] = a[i * n + j];
+  }
+}
+
+}  // namespace
+
+void ptrans_tiled(double* b, const double* a, std::size_t n, int threads) {
+  if (threads <= 1) {
+    transpose_recursive(b, a, n, 0, n, 0, n);
+    return;
+  }
+  // Threads own disjoint row slabs of A (column slabs of B); within a
+  // slab the walk is plain leaf tiling.
+  support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i0 = lo; i0 < hi; i0 += kPtransTile) {
+      const std::size_t i1 = std::min(i0 + kPtransTile, hi);
+      for (std::size_t j0 = 0; j0 < n; j0 += kPtransTile) {
+        leaf_transpose(b, a, n, i0, i1, j0,
+                       std::min(j0 + kPtransTile, n));
+      }
+    }
+  });
+}
+
+void ptrans_naive(double* b, const double* a, std::size_t n) {
+  ptrans_naive_impl(b, a, n);
+}
+
+PtransResult run_ptrans(std::size_t n, int threads, int repeats) {
+  using PtransFn = void (*)(double*, const double*, std::size_t, int);
+  static const PtransFn kernel = support::select_kernel<PtransFn>(
+      &ptrans_tiled, [](double* b, const double* a, std::size_t size,
+                        int /*threads*/) { ptrans_naive(b, a, size); });
+
+  std::vector<double> orig(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    orig[i] = static_cast<double>((i * 2654435761ULL) % 65536) * 0.0625;
+  }
+  std::vector<double> x = orig, y(n * n, 0.0);
+
+  double* src = x.data();
+  double* dst = y.data();
+  auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < repeats; ++rep) {
+    kernel(dst, src, n, threads);
+    std::swap(src, dst);
+  }
+  auto stop = std::chrono::steady_clock::now();
+  const double* final_mat = src;  // last write target after the swap
+
+  PtransResult result;
+  result.n = n;
+  result.threads = threads;
+  result.elapsed_seconds = std::chrono::duration<double>(stop - start).count();
+  result.bandwidth_gbs =
+      result.elapsed_seconds > 0
+          ? ptrans_bytes(n) * repeats / result.elapsed_seconds / 1e9
+          : 0.0;
+
+  // Element-wise verification: an even repeat count is the involution
+  // (T(T(A)) == A) and must restore the input bitwise; an odd count must
+  // equal the exact transpose.
+  result.verified = true;
+  const bool even = repeats % 2 == 0;
+  for (std::size_t i = 0; i < n && result.verified; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double expected = even ? orig[i * n + j] : orig[j * n + i];
+      if (final_mat[i * n + j] != expected) {
+        result.verified = false;
+        break;
+      }
+    }
+  }
+  double checksum = 0;
+  for (std::size_t i = 0; i < n; ++i) checksum += final_mat[i * n + i];
+  result.checksum = checksum;
+  return result;
+}
+
+double ptrans_bytes(std::size_t n) {
+  double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * sizeof(double);  // read A + write B
+}
+
+std::string ptrans_output(const PtransResult& result) {
+  using support::format_double;
+  std::string out;
+  out += "PTRANS n=" + std::to_string(result.n) +
+         " threads=" + std::to_string(result.threads) +
+         " tile=" + std::to_string(kPtransTile) + "\n";
+  out += "Kernel elapsed: " + format_double(result.elapsed_seconds, 6) +
+         " s\n";
+  out += "PTRANS GB/s: " + format_double(result.bandwidth_gbs, 4) + "\n";
+  if (result.verified) out += "Kernel done\n";
+  return out;
+}
+
+}  // namespace benchpark::benchmarks

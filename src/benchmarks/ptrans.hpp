@@ -1,0 +1,54 @@
+// HPCC-style PTRANS: out-of-place transpose B = A^T of an n x n double
+// matrix — a pure memory benchmark stressing strided access.
+//
+// The optimized path is tiled: the matrix is walked in kPtransTile x
+// kPtransTile blocks; each block is read row-wise (unit stride) into a
+// local staging tile and written back transposed, again row-wise in the
+// destination (unit stride). Both the reads and the writes are therefore
+// contiguous and SIMD-friendly; only the block walk itself is strided.
+// The serial path additionally recurses cache-obliviously (split the
+// larger dimension in half until a block fits the leaf tile), so every
+// cache level is blocked for without knowing its size. Threading splits
+// the rows of A across the pool.
+//
+// Transpose moves bits, never arithmetic, so the tiled kernel is
+// trivially bitwise-identical to the naive scalar twin — the parity test
+// pins that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace benchpark::benchmarks {
+
+/// Leaf tile edge (doubles): 32 x 32 x 8 B = 8 KiB, comfortably L1.
+inline constexpr std::size_t kPtransTile = 32;
+
+/// Optimized transpose: cache-oblivious recursion to kPtransTile leaves
+/// when threads <= 1, row-slab parallel tiling otherwise.
+void ptrans_tiled(double* b, const double* a, std::size_t n,
+                  int threads = 1);
+
+/// Scalar reference twin (vectorization disabled, naive double loop).
+void ptrans_naive(double* b, const double* a, std::size_t n);
+
+struct PtransResult {
+  std::size_t n = 0;
+  int threads = 1;
+  double elapsed_seconds = 0;
+  double bandwidth_gbs = 0;
+  double checksum = 0;
+  bool verified = false;
+};
+
+/// Run the tiled transpose `repeats` times (ping-ponging A <-> B so every
+/// pass does real work) and verify element-wise plus by involution: an
+/// even repeat count must restore the original matrix exactly.
+PtransResult run_ptrans(std::size_t n, int threads = 1, int repeats = 2);
+
+/// Cost-model input: bytes moved by one transpose (read + write).
+[[nodiscard]] double ptrans_bytes(std::size_t n);
+
+std::string ptrans_output(const PtransResult& result);
+
+}  // namespace benchpark::benchmarks

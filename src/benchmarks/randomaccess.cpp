@@ -1,0 +1,156 @@
+#include "src/benchmarks/randomaccess.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "src/support/parallel.hpp"
+#include "src/support/simd.hpp"
+#include "src/support/simd_dispatch.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::benchmarks {
+
+namespace {
+
+inline void prefetch_write(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 1, 0);
+#else
+  (void)p;
+#endif
+}
+
+/// Batched, prefetched update loop over counters [lo, hi). Generating the
+/// whole batch and prefetching every target line before the first XOR
+/// keeps kRaBatch independent cache misses in flight instead of one.
+template <bool Atomic>
+void update_batched(std::uint64_t* table, std::uint64_t mask,
+                    std::uint64_t lo, std::uint64_t hi) {
+  std::uint64_t vals[kRaBatch];
+  for (std::uint64_t j = lo; j < hi;) {
+    const std::uint64_t b = std::min<std::uint64_t>(kRaBatch, hi - j);
+    for (std::uint64_t k = 0; k < b; ++k) {
+      vals[k] = ra_value(j + k);
+      prefetch_write(&table[vals[k] & mask]);
+    }
+    for (std::uint64_t k = 0; k < b; ++k) {
+      if constexpr (Atomic) {
+        std::atomic_ref<std::uint64_t>(table[vals[k] & mask])
+            .fetch_xor(vals[k], std::memory_order_relaxed);
+      } else {
+        table[vals[k] & mask] ^= vals[k];
+      }
+    }
+    j += b;
+  }
+}
+
+BENCHPARK_NO_VECTORIZE
+void update_scalar_impl(std::uint64_t* table, std::uint64_t mask,
+                        std::uint64_t lo, std::uint64_t hi) {
+  for (std::uint64_t j = lo; j < hi; ++j) {
+    const std::uint64_t v = ra_value(j);
+    table[v & mask] ^= v;
+  }
+}
+
+}  // namespace
+
+std::uint64_t ra_value(std::uint64_t counter) {
+  std::uint64_t x = counter + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void randomaccess_update(std::uint64_t* table, std::size_t size,
+                         std::uint64_t first, std::uint64_t count,
+                         int threads) {
+  const std::uint64_t mask = static_cast<std::uint64_t>(size) - 1;
+  if (threads <= 1) {
+    update_batched<false>(table, mask, first, first + count);
+    return;
+  }
+  support::parallel_for(
+      static_cast<std::size_t>(count), threads,
+      [&](std::size_t lo, std::size_t hi) {
+        update_batched<true>(table, mask, first + lo, first + hi);
+      });
+}
+
+void randomaccess_update_scalar(std::uint64_t* table, std::size_t size,
+                                std::uint64_t first, std::uint64_t count) {
+  update_scalar_impl(table, static_cast<std::uint64_t>(size) - 1, first,
+                     first + count);
+}
+
+RandomAccessResult run_randomaccess(std::size_t log2_size, int threads,
+                                    std::uint64_t updates) {
+  using UpdateFn =
+      void (*)(std::uint64_t*, std::size_t, std::uint64_t, std::uint64_t, int);
+  static const UpdateFn kernel = support::select_kernel<UpdateFn>(
+      &randomaccess_update,
+      [](std::uint64_t* table, std::size_t size, std::uint64_t first,
+         std::uint64_t count, int /*threads*/) {
+        randomaccess_update_scalar(table, size, first, count);
+      });
+
+  const std::size_t size = std::size_t{1} << log2_size;
+  if (updates == 0) updates = 4 * static_cast<std::uint64_t>(size);
+  std::vector<std::uint64_t> table(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    table[i] = static_cast<std::uint64_t>(i);
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  kernel(table.data(), size, 0, updates, threads);
+  auto stop = std::chrono::steady_clock::now();
+
+  RandomAccessResult result;
+  result.table_size = size;
+  result.updates = updates;
+  result.threads = threads;
+  result.elapsed_seconds = std::chrono::duration<double>(stop - start).count();
+  result.gups = result.elapsed_seconds > 0
+                    ? static_cast<double>(updates) /
+                          result.elapsed_seconds / 1e9
+                    : 0.0;
+
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < size; ++i) checksum ^= table[i];
+  result.checksum = checksum;
+
+  // Involution check: XOR-ing the identical stream in again cancels every
+  // update, so the table must return to its initial state exactly.
+  kernel(table.data(), size, 0, updates, threads);
+  result.verified = true;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (table[i] != static_cast<std::uint64_t>(i)) {
+      result.verified = false;
+      break;
+    }
+  }
+  return result;
+}
+
+double randomaccess_bytes(std::uint64_t updates) {
+  // Each update is a read-modify-write of one 8-byte entry.
+  return 16.0 * static_cast<double>(updates);
+}
+
+std::string randomaccess_output(const RandomAccessResult& result) {
+  using support::format_double;
+  std::string out;
+  out += "RandomAccess table entries=" + std::to_string(result.table_size) +
+         " updates=" + std::to_string(result.updates) +
+         " threads=" + std::to_string(result.threads) + "\n";
+  out += "Kernel elapsed: " + format_double(result.elapsed_seconds, 6) +
+         " s\n";
+  out += "RandomAccess GUP/s: " + format_double(result.gups, 5) + "\n";
+  if (result.verified) out += "Kernel done\n";
+  return out;
+}
+
+}  // namespace benchpark::benchmarks

@@ -1,0 +1,69 @@
+// HPCC-style RandomAccess (GUPS): XOR-update a large table at
+// pseudo-random locations, measured in giga-updates per second.
+//
+// The update stream is counter-based: update j applies value
+// v = splitmix64(j) at index v & (size - 1). Because splitmix64 is a
+// bijection of the counter and XOR is commutative and associative, ANY
+// partition of the update range — batched, reordered, or split across
+// threads — produces the bitwise-identical final table, which is what
+// makes the optimized path's reordering legal and the parity test exact.
+//
+// The optimized path pipelines updates in batches of kRaBatch: it first
+// generates the batch's values and issues prefetches for all their table
+// lines, then applies the XORs — by the time the applies run, the random
+// lines are (ideally) in flight or resident, hiding the per-update
+// memory latency that defines this benchmark. The scalar twin is the
+// textbook one-update-at-a-time loop. With threads > 1 the range is
+// chunked and updates go through std::atomic_ref fetch_xor (relaxed) —
+// same final table, by commutativity.
+//
+// Verification is the HPCC involution check: applying the identical
+// update stream a second time cancels every XOR, so the table must
+// return to its initial state table[i] == i exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace benchpark::benchmarks {
+
+/// Updates generated and prefetched ahead of the apply loop.
+inline constexpr std::size_t kRaBatch = 64;
+
+/// splitmix64 — the counter-based value stream (public for tests).
+[[nodiscard]] std::uint64_t ra_value(std::uint64_t counter);
+
+/// Apply updates [first, first + count) to table[0, size), size a power
+/// of two. Batched + prefetched; threads chunk the counter range and
+/// update atomically.
+void randomaccess_update(std::uint64_t* table, std::size_t size,
+                         std::uint64_t first, std::uint64_t count,
+                         int threads = 1);
+
+/// Scalar reference twin: one update at a time, no batching, no atomics.
+void randomaccess_update_scalar(std::uint64_t* table, std::size_t size,
+                                std::uint64_t first, std::uint64_t count);
+
+struct RandomAccessResult {
+  std::size_t table_size = 0;   // entries (power of two)
+  std::uint64_t updates = 0;    // updates applied in the timed phase
+  int threads = 1;
+  double elapsed_seconds = 0;
+  double gups = 0;              // giga-updates per second
+  std::uint64_t checksum = 0;   // XOR of the final table
+  bool verified = false;
+};
+
+/// Time `updates` (default 4x table size) XOR updates against a 2^log2_size
+/// table, then verify by involution: re-applying the same stream must
+/// restore table[i] == i for every i.
+RandomAccessResult run_randomaccess(std::size_t log2_size, int threads = 1,
+                                    std::uint64_t updates = 0);
+
+/// Cost-model input: bytes touched (read-modify-write per update).
+[[nodiscard]] double randomaccess_bytes(std::uint64_t updates);
+
+std::string randomaccess_output(const RandomAccessResult& result);
+
+}  // namespace benchpark::benchmarks

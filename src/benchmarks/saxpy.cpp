@@ -6,6 +6,7 @@
 
 #include "src/support/parallel.hpp"
 #include "src/support/simd.hpp"
+#include "src/support/simd_dispatch.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::benchmarks {
@@ -27,6 +28,9 @@ void saxpy_kernel_scalar(float* r, const float* x, const float* y,
 }
 
 SaxpyResult run_saxpy(std::size_t n, int threads, int repeats) {
+  // Bound once; the repeat loop calls through an unconditioned pointer.
+  static const auto kernel =
+      support::select_kernel(&saxpy_kernel, &saxpy_kernel_scalar);
   std::vector<float> x(n), y(n), r(n, 0.0f);
   for (std::size_t i = 0; i < n; ++i) {
     x[i] = static_cast<float>(i % 1024) * 0.001f;
@@ -37,8 +41,8 @@ SaxpyResult run_saxpy(std::size_t n, int threads, int repeats) {
   auto start = std::chrono::steady_clock::now();
   for (int rep = 0; rep < repeats; ++rep) {
     support::parallel_for(n, threads, [&](std::size_t begin, std::size_t end) {
-      saxpy_kernel(r.data() + begin, x.data() + begin, y.data() + begin,
-                   end - begin, a);
+      kernel(r.data() + begin, x.data() + begin, y.data() + begin,
+             end - begin, a);
     });
   }
   auto stop = std::chrono::steady_clock::now();

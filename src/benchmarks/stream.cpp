@@ -6,6 +6,7 @@
 
 #include "src/support/parallel.hpp"
 #include "src/support/simd.hpp"
+#include "src/support/simd_dispatch.hpp"
 #include "src/support/string_util.hpp"
 
 namespace benchpark::benchmarks {
@@ -69,6 +70,16 @@ void stream_triad_scalar(double* a, const double* b, const double* c,
 }
 
 StreamResult run_stream(std::size_t n, int threads, int repeats) {
+  // All four operations bound once through the SIMD dispatcher; the
+  // timed loops below call unconditioned pointers.
+  static const auto copy_fn =
+      support::select_kernel(&stream_copy, &stream_copy_scalar);
+  static const auto scale_fn =
+      support::select_kernel(&stream_scale, &stream_scale_scalar);
+  static const auto add_fn =
+      support::select_kernel(&stream_add, &stream_add_scalar);
+  static const auto triad_fn =
+      support::select_kernel(&stream_triad, &stream_triad_scalar);
   std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.0);
   const double scalar = 3.0;
 
@@ -82,29 +93,29 @@ StreamResult run_stream(std::size_t n, int threads, int repeats) {
     // Copy: c = a
     auto t0 = std::chrono::steady_clock::now();
     support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
-      stream_copy(c.data() + lo, a.data() + lo, hi - lo);
+      copy_fn(c.data() + lo, a.data() + lo, hi - lo);
     });
     best_seconds[0] = std::min(best_seconds[0], seconds_since(t0));
 
     // Scale: b = s * c
     t0 = std::chrono::steady_clock::now();
     support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
-      stream_scale(b.data() + lo, c.data() + lo, scalar, hi - lo);
+      scale_fn(b.data() + lo, c.data() + lo, scalar, hi - lo);
     });
     best_seconds[1] = std::min(best_seconds[1], seconds_since(t0));
 
     // Add: c = a + b
     t0 = std::chrono::steady_clock::now();
     support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
-      stream_add(c.data() + lo, a.data() + lo, b.data() + lo, hi - lo);
+      add_fn(c.data() + lo, a.data() + lo, b.data() + lo, hi - lo);
     });
     best_seconds[2] = std::min(best_seconds[2], seconds_since(t0));
 
     // Triad: a = b + s * c
     t0 = std::chrono::steady_clock::now();
     support::parallel_for(n, threads, [&](std::size_t lo, std::size_t hi) {
-      stream_triad(a.data() + lo, b.data() + lo, c.data() + lo, scalar,
-                   hi - lo);
+      triad_fn(a.data() + lo, b.data() + lo, c.data() + lo, scalar,
+               hi - lo);
     });
     best_seconds[3] = std::min(best_seconds[3], seconds_since(t0));
   }

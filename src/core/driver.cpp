@@ -174,6 +174,74 @@ yaml::Node osu_template() {
       "        - osu-bcast\n");
 }
 
+/// HPCC-class kernels share one single-node scaling shape: a 2x2
+/// n x n_threads matrix per workload, the Extra-P-ready 4-point grid.
+yaml::Node kernel_template(const std::string& app, const std::string& workload,
+                           const std::string& package,
+                           const std::string& spack_spec,
+                           const std::string& n_small,
+                           const std::string& n_large) {
+  return yaml::parse(
+      "ramble:\n"
+      "  applications:\n"
+      "    " + app + ":\n"
+      "      workloads:\n"
+      "        " + workload + ":\n"
+      "          env_vars:\n"
+      "            set:\n"
+      "              OMP_NUM_THREADS: '{n_threads}'\n"
+      "          variables:\n"
+      "            n_ranks: '1'\n"
+      "            processes_per_node: '1'\n"
+      "          experiments:\n"
+      "            " + app + "_{n}_{n_threads}:\n"
+      "              variables:\n"
+      "                n: ['" + n_small + "', '" + n_large + "']\n"
+      "                n_threads: ['1', '4']\n"
+      "              matrices:\n"
+      "              - size_threads:\n"
+      "                - n\n"
+      "                - n_threads\n"
+      "  spack:\n"
+      "    packages:\n"
+      "      " + package + ":\n"
+      "        spack_spec: " + spack_spec + "\n"
+      "        compiler: default-compiler\n"
+      "    environments:\n"
+      "      " + app + ":\n"
+      "        packages:\n"
+      "        - " + package + "\n");
+}
+
+/// b_eff scales over ranks, not threads: an osu-style node sweep.
+yaml::Node beff_template() {
+  return yaml::parse(
+      "ramble:\n"
+      "  applications:\n"
+      "    beff:\n"
+      "      workloads:\n"
+      "        sweep:\n"
+      "          variables:\n"
+      "            batch_time: '60'\n"
+      "          experiments:\n"
+      "            beff_{n_nodes}_{n_ranks}:\n"
+      "              variables:\n"
+      "                processes_per_node: '16'\n"
+      "                n_nodes: ['1', '2', '4', '8']\n"
+      "                n_ranks: '{processes_per_node}*{n_nodes}'\n"
+      "                n: '16777216'\n"
+      "  spack:\n"
+      "    packages:\n"
+      "      b-eff:\n"
+      "        spack_spec: b-eff@3.6\n"
+      "        compiler: default-compiler\n"
+      "    environments:\n"
+      "      beff:\n"
+      "        packages:\n"
+      "        - default-mpi\n"
+      "        - b-eff\n");
+}
+
 }  // namespace
 
 Driver::Driver() {
@@ -187,6 +255,23 @@ Driver::Driver() {
                             stream_template());
   experiments_.emplace_back(ExperimentId{"osu-bcast", "mpi"},
                             osu_template());
+  experiments_.emplace_back(
+      ExperimentId{"gemm", "openmp"},
+      kernel_template("gemm", "square", "gemm", "gemm@1.0 +openmp",
+                      "256", "384"));
+  experiments_.emplace_back(
+      ExperimentId{"ptrans", "openmp"},
+      kernel_template("ptrans", "transpose", "ptrans",
+                      "ptrans@1.0 +openmp", "512", "1024"));
+  experiments_.emplace_back(
+      ExperimentId{"fft", "openmp"},
+      kernel_template("fft", "batch", "fft", "fft@1.0 +openmp", "2048",
+                      "4096"));
+  experiments_.emplace_back(
+      ExperimentId{"randomaccess", "openmp"},
+      kernel_template("randomaccess", "gups", "randomaccess",
+                      "randomaccess@1.0 +openmp", "32768", "65536"));
+  experiments_.emplace_back(ExperimentId{"beff", "mpi"}, beff_template());
 }
 
 std::vector<std::string> Driver::benchmarks() const {

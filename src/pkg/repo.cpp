@@ -335,6 +335,53 @@ void add_benchmarks(Repo& repo) {
       .depends_on("mpi")
       .depends_on("cuda", "+cuda")
       .build_cost(25.0);
+
+  // HPCC-class kernel suite (ROADMAP item 3).
+  repo.add(PackageRecipe("gemm", BuildSystem::cmake))
+      .describe("Blocked/register-tiled SIMD DGEMM benchmark")
+      .version("1.0", /*preferred=*/true)
+      .variant("openmp", true, "OpenMP")
+      .variant("cuda", false, "CUDA")
+      .variant("rocm", false, "ROCm")
+      .flag_when("openmp", "-DUSE_OPENMP=ON")
+      .flag_when("cuda", "-DUSE_CUDA=ON")
+      .flag_when("rocm", "-DUSE_HIP=ON")
+      .conflicts("+cuda", "+rocm", "pick one GPU backend")
+      .depends_on("cmake@3.23.1:")
+      .depends_on("mpi")
+      .depends_on("cuda", "+cuda")
+      .depends_on("hip", "+rocm")
+      .build_cost(6.0);
+
+  repo.add(PackageRecipe("ptrans", BuildSystem::cmake))
+      .describe("Tiled out-of-place matrix transpose (PTRANS) benchmark")
+      .version("1.0", /*preferred=*/true)
+      .variant("openmp", true, "OpenMP")
+      .depends_on("cmake@3.23.1:")
+      .depends_on("mpi")
+      .build_cost(4.0);
+
+  repo.add(PackageRecipe("fft", BuildSystem::cmake))
+      .describe("Batched radix-2 Stockham FFT benchmark")
+      .version("1.0", /*preferred=*/true)
+      .variant("openmp", true, "OpenMP")
+      .depends_on("cmake@3.23.1:")
+      .depends_on("mpi")
+      .build_cost(5.0);
+
+  repo.add(PackageRecipe("randomaccess", BuildSystem::cmake))
+      .describe("GUPS random-access benchmark with batched pipelining")
+      .version("1.0", /*preferred=*/true)
+      .variant("openmp", true, "OpenMP")
+      .depends_on("cmake@3.23.1:")
+      .depends_on("mpi")
+      .build_cost(3.0);
+
+  repo.add(PackageRecipe("b-eff", BuildSystem::makefile))
+      .describe("Effective network bandwidth (b_eff) sweep")
+      .version("3.6", /*preferred=*/true)
+      .depends_on("mpi")
+      .build_cost(2.0);
 }
 
 }  // namespace

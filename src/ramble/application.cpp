@@ -144,6 +144,69 @@ ApplicationRegistry::ApplicationRegistry() {
     add(std::move(stream));
   }
   {
+    ApplicationDefinition gemm("gemm");
+    gemm.executable("g", "gemm -n {n}", /*use_mpi=*/true)
+        .workload("square", {"g"})
+        .workload_variable("n", "384", "matrix order", {"square"})
+        .figure_of_merit("gflops", R"(GEMM GFLOP/s: ([0-9.eE+-]+))", "rate",
+                         "GFLOP/s")
+        .figure_of_merit("elapsed", R"(Kernel elapsed: ([0-9.eE+-]+) s)",
+                         "time", "s")
+        .success_criteria("pass", "Kernel done");
+    add(std::move(gemm));
+  }
+  {
+    ApplicationDefinition ptrans("ptrans");
+    ptrans.executable("t", "ptrans -n {n}", /*use_mpi=*/true)
+        .workload("transpose", {"t"})
+        .workload_variable("n", "1024", "matrix order", {"transpose"})
+        .figure_of_merit("bw", R"(PTRANS GB/s: ([0-9.eE+-]+))", "rate",
+                         "GB/s")
+        .figure_of_merit("elapsed", R"(Kernel elapsed: ([0-9.eE+-]+) s)",
+                         "time", "s")
+        .success_criteria("pass", "Kernel done");
+    add(std::move(ptrans));
+  }
+  {
+    ApplicationDefinition fft("fft");
+    fft.executable("f", "fft -n {n}", /*use_mpi=*/true)
+        .workload("batch", {"f"})
+        .workload_variable("n", "4096", "transform length (power of two)",
+                           {"batch"})
+        .figure_of_merit("gflops", R"(FFT GFLOP/s: ([0-9.eE+-]+))", "rate",
+                         "GFLOP/s")
+        .figure_of_merit("roundtrip_err",
+                         R"(Roundtrip max rel err: ([0-9.eE+-]+))", "err", "")
+        .success_criteria("pass", "Kernel done");
+    add(std::move(fft));
+  }
+  {
+    ApplicationDefinition ra("randomaccess");
+    ra.executable("r", "randomaccess -n {n}", /*use_mpi=*/true)
+        .workload("gups", {"r"})
+        .workload_variable("n", "65536", "table entries (power of two)",
+                           {"gups"})
+        .figure_of_merit("gups", R"(RandomAccess GUP/s: ([0-9.eE+-]+))",
+                         "rate", "GUP/s")
+        .figure_of_merit("elapsed", R"(Kernel elapsed: ([0-9.eE+-]+) s)",
+                         "time", "s")
+        .success_criteria("pass", "Kernel done");
+    add(std::move(ra));
+  }
+  {
+    ApplicationDefinition beff("beff");
+    beff.set_package_name("b-eff");
+    beff.executable("b", "b_eff -n {n}", /*use_mpi=*/true)
+        .workload("sweep", {"b"})
+        .workload_variable("n", "16777216", "max message bytes", {"sweep"})
+        .figure_of_merit("beff", R"(b_eff MB/s: ([0-9.eE+-]+))", "rate",
+                         "MB/s")
+        .figure_of_merit("latency", R"(Effective latency us: ([0-9.eE+-]+))",
+                         "lat", "us")
+        .success_criteria("pass", "Kernel done");
+    add(std::move(beff));
+  }
+  {
     ApplicationDefinition osu("osu-bcast");
     osu.set_package_name("osu-micro-benchmarks");
     osu.executable("b", "osu_bcast -m {n}", /*use_mpi=*/true)

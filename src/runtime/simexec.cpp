@@ -4,10 +4,15 @@
 #include <cmath>
 #include <map>
 
+#include "src/benchmarks/fft.hpp"
+#include "src/benchmarks/gemm.hpp"
 #include "src/benchmarks/multigrid.hpp"
+#include "src/benchmarks/ptrans.hpp"
+#include "src/benchmarks/randomaccess.hpp"
 #include "src/benchmarks/saxpy.hpp"
 #include "src/benchmarks/stream.hpp"
 #include "src/obs/trace.hpp"
+#include "src/system/beff.hpp"
 #include "src/support/error.hpp"
 #include "src/support/fault.hpp"
 #include "src/support/hash.hpp"
@@ -208,6 +213,176 @@ RunOutcome simulate_stream(const SystemDescription& system,
   return outcome;
 }
 
+RunOutcome simulate_gemm(const SystemDescription& system,
+                         const RunParams& params, support::Rng& rng) {
+  PerfModel model(system);
+  int ranks_per_node =
+      (params.n_ranks + params.n_nodes - 1) / params.n_nodes;
+  // 2-D block decomposition: each rank owns an (n/sqrt(p))^2 tile and
+  // multiplies full k panels through it.
+  double p = std::max(1.0, static_cast<double>(params.n_ranks));
+  std::size_t local = static_cast<std::size_t>(std::max(
+      8.0, static_cast<double>(params.n) / std::sqrt(p)));
+  double flops = benchmarks::gemm_flops(local) * std::sqrt(p);
+  double bytes = benchmarks::gemm_bytes(local) * std::sqrt(p);
+  double compute =
+      params.use_gpu
+          ? model.gpu_kernel_seconds(flops, bytes, ranks_per_node)
+          : model.cpu_kernel_seconds(flops, bytes, ranks_per_node,
+                                     params.n_threads);
+  double comm = 0;
+  if (params.n_ranks > 1) {
+    // SUMMA-style panel broadcasts along rows and columns.
+    std::uint64_t panel_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(local) * benchmarks::kGemmKC * sizeof(double));
+    comm += 2.0 * model.collective_seconds(Collective::bcast, params.n_ranks,
+                                           panel_bytes);
+  }
+  double elapsed = (compute + comm) * rng.noise_factor(system.noise_sigma);
+
+  benchmarks::GemmResult r;
+  r.n = params.n;
+  r.threads = params.n_threads;
+  r.elapsed_seconds = elapsed;
+  r.gflops = benchmarks::gemm_flops(params.n) / elapsed / 1e9;
+  r.verified = true;
+
+  RunOutcome outcome;
+  outcome.success = true;
+  outcome.elapsed_seconds = elapsed;
+  outcome.output = benchmarks::gemm_output(r);
+  return outcome;
+}
+
+RunOutcome simulate_ptrans(const SystemDescription& system,
+                           const RunParams& params, support::Rng& rng) {
+  PerfModel model(system);
+  int ranks_per_node =
+      (params.n_ranks + params.n_nodes - 1) / params.n_nodes;
+  double p = std::max(1.0, static_cast<double>(params.n_ranks));
+  std::size_t local = static_cast<std::size_t>(std::max(
+      8.0, static_cast<double>(params.n) / std::sqrt(p)));
+  double compute = model.cpu_kernel_seconds(
+      0.0, benchmarks::ptrans_bytes(local), ranks_per_node,
+      params.n_threads);
+  double comm = 0;
+  if (params.n_ranks > 1) {
+    // Distributed transpose is an all-to-all of the local tiles.
+    std::uint64_t tile_bytes = static_cast<std::uint64_t>(
+        benchmarks::ptrans_bytes(local) / (2.0 * p));
+    comm += (p - 1.0) * model.p2p_seconds(tile_bytes);
+  }
+  double elapsed = (compute + comm) * rng.noise_factor(system.noise_sigma);
+
+  benchmarks::PtransResult r;
+  r.n = params.n;
+  r.threads = params.n_threads;
+  r.elapsed_seconds = elapsed;
+  r.bandwidth_gbs = benchmarks::ptrans_bytes(params.n) / elapsed / 1e9;
+  r.verified = true;
+
+  RunOutcome outcome;
+  outcome.success = true;
+  outcome.elapsed_seconds = elapsed;
+  outcome.output = benchmarks::ptrans_output(r);
+  return outcome;
+}
+
+RunOutcome simulate_fft(const SystemDescription& system,
+                        const RunParams& params, support::Rng& rng) {
+  PerfModel model(system);
+  int ranks_per_node =
+      (params.n_ranks + params.n_nodes - 1) / params.n_nodes;
+  constexpr std::size_t kBatch = 8;
+  std::uint64_t per_rank = std::max<std::uint64_t>(
+      2, params.n / static_cast<std::uint64_t>(params.n_ranks));
+  double flops = benchmarks::fft_flops(per_rank) * kBatch;
+  double bytes = benchmarks::fft_bytes(per_rank) * kBatch;
+  double compute =
+      params.use_gpu
+          ? model.gpu_kernel_seconds(flops, bytes, ranks_per_node)
+          : model.cpu_kernel_seconds(flops, bytes, ranks_per_node,
+                                     params.n_threads);
+  double comm = 0;
+  if (params.n_ranks > 1) {
+    // Distributed FFT pays one transpose-style exchange per butterfly
+    // group that crosses rank boundaries.
+    std::uint64_t exch = static_cast<std::uint64_t>(
+        2.0 * sizeof(double) * static_cast<double>(per_rank));
+    comm += std::log2(static_cast<double>(params.n_ranks)) *
+            model.p2p_seconds(exch);
+  }
+  double elapsed = (compute + comm) * rng.noise_factor(system.noise_sigma);
+
+  benchmarks::FftResult r;
+  r.n = params.n;
+  r.batch = kBatch;
+  r.threads = params.n_threads;
+  r.elapsed_seconds = elapsed;
+  r.gflops = benchmarks::fft_flops(params.n) * kBatch / elapsed / 1e9;
+  r.max_roundtrip_error = 1e-15;
+  r.verified = true;
+
+  RunOutcome outcome;
+  outcome.success = true;
+  outcome.elapsed_seconds = elapsed;
+  outcome.output = benchmarks::fft_output(r);
+  return outcome;
+}
+
+RunOutcome simulate_randomaccess(const SystemDescription& system,
+                                 const RunParams& params,
+                                 support::Rng& rng) {
+  PerfModel model(system);
+  int ranks_per_node =
+      (params.n_ranks + params.n_nodes - 1) / params.n_nodes;
+  std::uint64_t updates = 4 * params.n;
+  // Random 8-byte RMWs touch a full line each way; the dependent-miss
+  // pipeline reaches only a fraction of stream bandwidth.
+  double effective_bytes = 8.0 * benchmarks::randomaccess_bytes(updates);
+  double compute = model.cpu_kernel_seconds(0.0, effective_bytes,
+                                            ranks_per_node, params.n_threads);
+  double comm = 0;
+  if (params.n_ranks > 1) {
+    // Bucketed remote updates exchanged every 1024 locals.
+    comm += static_cast<double>(updates / 1024) *
+            model.p2p_seconds(1024 * sizeof(std::uint64_t)) /
+            static_cast<double>(params.n_ranks);
+  }
+  double elapsed = (compute + comm) * rng.noise_factor(system.noise_sigma);
+
+  benchmarks::RandomAccessResult r;
+  r.table_size = params.n;
+  r.updates = updates;
+  r.threads = params.n_threads;
+  r.elapsed_seconds = elapsed;
+  r.gups = static_cast<double>(updates) / elapsed / 1e9;
+  r.verified = true;
+
+  RunOutcome outcome;
+  outcome.success = true;
+  outcome.elapsed_seconds = elapsed;
+  outcome.output = benchmarks::randomaccess_output(r);
+  return outcome;
+}
+
+RunOutcome simulate_beff(const SystemDescription& system,
+                         const RunParams& params, support::Rng& rng) {
+  using benchpark::system::beff_output;
+  using benchpark::system::run_beff;
+  benchpark::system::BeffResult r = run_beff(system, params.n_ranks);
+  double noise = rng.noise_factor(system.noise_sigma);
+  r.beff_mbs /= noise;
+  r.latency_us *= noise;
+
+  RunOutcome outcome;
+  outcome.success = true;
+  // The real harness repeats the sweep many times per pattern.
+  outcome.elapsed_seconds = r.sweep_seconds * 100 * noise;
+  outcome.output = beff_output(r);
+  return outcome;
+}
+
 RunOutcome simulate_osu_bcast(const SystemDescription& system,
                               const RunParams& params, support::Rng& rng) {
   PerfModel model(system);
@@ -352,6 +527,16 @@ RunOutcome run_simulated_impl(const SystemDescription& system,
     outcome = simulate_stream(system, params, rng);
   } else if (params.app == "osu-bcast") {
     outcome = simulate_osu_bcast(system, params, rng);
+  } else if (params.app == "gemm") {
+    outcome = simulate_gemm(system, params, rng);
+  } else if (params.app == "ptrans") {
+    outcome = simulate_ptrans(system, params, rng);
+  } else if (params.app == "fft") {
+    outcome = simulate_fft(system, params, rng);
+  } else if (params.app == "randomaccess") {
+    outcome = simulate_randomaccess(system, params, rng);
+  } else if (params.app == "beff") {
+    outcome = simulate_beff(system, params, rng);
   } else {
     throw SystemError("no simulation model for application '" + params.app +
                       "'");
@@ -464,6 +649,49 @@ RunOutcome run_native(const RunParams& raw_params) {
     outcome.success = r.converged;
     outcome.elapsed_seconds = r.setup_seconds + r.solve_seconds;
     outcome.output = benchmarks::multigrid_output(r);
+    return outcome;
+  }
+  if (params.app == "gemm") {
+    auto r = benchmarks::run_gemm(params.n, params.n_threads);
+    outcome.success = r.verified;
+    outcome.elapsed_seconds = r.elapsed_seconds;
+    outcome.output = benchmarks::gemm_output(r);
+    return outcome;
+  }
+  if (params.app == "ptrans") {
+    auto r = benchmarks::run_ptrans(params.n, params.n_threads);
+    outcome.success = r.verified;
+    outcome.elapsed_seconds = r.elapsed_seconds;
+    outcome.output = benchmarks::ptrans_output(r);
+    return outcome;
+  }
+  if (params.app == "fft") {
+    auto r = benchmarks::run_fft(params.n, 8, params.n_threads);
+    outcome.success = r.verified;
+    outcome.elapsed_seconds = r.elapsed_seconds;
+    outcome.output = benchmarks::fft_output(r);
+    return outcome;
+  }
+  if (params.app == "randomaccess") {
+    // params.n carries the table size; clamp to a sane power-of-two log.
+    std::size_t log2_size = 10;
+    while ((std::uint64_t{1} << (log2_size + 1)) <= params.n &&
+           log2_size < 24) {
+      ++log2_size;
+    }
+    auto r = benchmarks::run_randomaccess(log2_size, params.n_threads);
+    outcome.success = r.verified;
+    outcome.elapsed_seconds = r.elapsed_seconds;
+    outcome.output = benchmarks::randomaccess_output(r);
+    return outcome;
+  }
+  if (params.app == "beff") {
+    // The sweep itself is a model; natively it runs against the host's
+    // detected system description.
+    auto r = system::run_beff(system::make_native(), params.n_ranks);
+    outcome.success = true;
+    outcome.elapsed_seconds = r.sweep_seconds;
+    outcome.output = system::beff_output(r);
     return outcome;
   }
   throw SystemError("application '" + params.app +

@@ -1,0 +1,51 @@
+#include "src/support/simd_dispatch.hpp"
+
+#include <cstdlib>
+
+namespace benchpark::support {
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::scalar:
+      return "scalar";
+    case SimdLevel::sse2:
+      return "sse2";
+    case SimdLevel::neon:
+      return "neon";
+    case SimdLevel::avx2:
+      return "avx2";
+    case SimdLevel::avx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+SimdLevel compiled_simd_level() {
+#if defined(__AVX512F__)
+  return SimdLevel::avx512;
+#elif defined(__AVX2__)
+  return SimdLevel::avx2;
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+  return SimdLevel::sse2;
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+  return SimdLevel::neon;
+#else
+  return SimdLevel::scalar;
+#endif
+}
+
+SimdLevel detect_simd_level() {
+  if (std::getenv("BENCHPARK_FORCE_SCALAR") != nullptr) {
+    return SimdLevel::scalar;
+  }
+  return compiled_simd_level();
+}
+
+SimdLevel active_simd_level() {
+  static const SimdLevel level = detect_simd_level();
+  return level;
+}
+
+bool simd_active() { return active_simd_level() != SimdLevel::scalar; }
+
+}  // namespace benchpark::support

@@ -1,0 +1,52 @@
+// Runtime SIMD-width dispatch: pick the kernel flavor once at startup.
+//
+// The BENCHPARK_SIMD kernels (src/support/simd.hpp) are compiled for
+// whatever ISA the compiler targets; their `_scalar` twins are compiled
+// with vectorization disabled. This helper selects between the two
+// exactly once — the first call resolves the active level (compile-time
+// best ISA, demoted to `scalar` when BENCHPARK_FORCE_SCALAR is set in the
+// environment) and caches it, so hot loops bind a plain function pointer
+// instead of re-branching per call:
+//
+//   static const auto kernel =
+//       support::select_kernel(&saxpy_kernel, &saxpy_kernel_scalar);
+//   kernel(r, x, y, n, a);   // no dispatch overhead in the loop
+//
+// The split between detect_simd_level() (uncached, re-reads the
+// environment) and active_simd_level() (cached) exists for tests:
+// production code always wants the cached value, tests want to observe
+// the effect of the environment variable without process-global state.
+#pragma once
+
+namespace benchpark::support {
+
+/// Instruction-set tiers the dispatcher distinguishes, widest last.
+enum class SimdLevel { scalar, sse2, neon, avx2, avx512 };
+
+/// Human-readable name ("scalar", "sse2", ...), for logs and tests.
+[[nodiscard]] const char* simd_level_name(SimdLevel level);
+
+/// Best ISA this binary was compiled for, from predefined macros.
+/// x86-64 implies at least SSE2; AVX2/AVX-512 only under -march flags.
+[[nodiscard]] SimdLevel compiled_simd_level();
+
+/// Uncached resolution: compiled_simd_level(), demoted to scalar when
+/// BENCHPARK_FORCE_SCALAR is set (to anything) in the environment.
+[[nodiscard]] SimdLevel detect_simd_level();
+
+/// Cached resolution — detect_simd_level() evaluated once, at the first
+/// call, then pinned for the life of the process.
+[[nodiscard]] SimdLevel active_simd_level();
+
+/// True when the active level is anything above scalar.
+[[nodiscard]] bool simd_active();
+
+/// Bind the vectorized or scalar flavor according to the active level.
+/// Store the result in a `static const` at the call site so selection
+/// happens once and the hot loop calls through an unconditioned pointer.
+template <typename Fn>
+[[nodiscard]] Fn select_kernel(Fn vectorized, Fn scalar) {
+  return simd_active() ? vectorized : scalar;
+}
+
+}  // namespace benchpark::support

@@ -1,0 +1,115 @@
+#include "src/system/beff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/error.hpp"
+#include "src/support/string_util.hpp"
+
+namespace benchpark::system {
+
+using support::format_double;
+using support::pad_left;
+
+std::vector<std::uint64_t> beff_message_sizes() {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t m = 1; m <= (std::uint64_t{16} << 20); m *= 4) {
+    sizes.push_back(m);
+  }
+  return sizes;  // 1 B .. 16 MiB, x4: 13 points
+}
+
+AlphaBetaFit fit_alpha_beta(const std::vector<std::uint64_t>& sizes,
+                            const std::vector<double>& seconds) {
+  if (sizes.size() != seconds.size() || sizes.size() < 2) {
+    throw SystemError("alpha-beta fit needs >= 2 (size, time) samples");
+  }
+  const double n = static_cast<double>(sizes.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double x = static_cast<double>(sizes[i]);
+    const double y = seconds[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) throw SystemError("alpha-beta fit needs distinct sizes");
+  const double beta = (n * sxy - sx * sy) / denom;
+  const double alpha = (sy - beta * sx) / n;
+
+  AlphaBetaFit fit;
+  fit.alpha_us = alpha * 1e6;
+  fit.bandwidth_gbs = beta > 0 ? 1.0 / beta / 1e9 : 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double predicted = alpha + beta * static_cast<double>(sizes[i]);
+    if (seconds[i] > 0) {
+      fit.max_rel_residual =
+          std::max(fit.max_rel_residual,
+                   std::fabs(predicted - seconds[i]) / seconds[i]);
+    }
+  }
+  return fit;
+}
+
+BeffResult run_beff(const SystemDescription& system, int ranks) {
+  PerfModel model(system);
+  BeffResult result;
+  result.system = system.name;
+  result.ranks = ranks;
+
+  const auto sizes = beff_message_sizes();
+  std::vector<double> ring_times, tree_times;
+  double bandwidth_sum = 0;
+  for (std::uint64_t m : sizes) {
+    BeffSample sample;
+    sample.bytes = m;
+    sample.ring_seconds = model.ring_seconds(ranks, m);
+    sample.tree_seconds =
+        model.collective_seconds(Collective::bcast, ranks, m);
+    ring_times.push_back(sample.ring_seconds);
+    tree_times.push_back(sample.tree_seconds);
+    bandwidth_sum += sample.ring_mbs() + sample.tree_mbs();
+    result.sweep_seconds += sample.ring_seconds + sample.tree_seconds;
+    result.samples.push_back(sample);
+  }
+
+  result.ring_fit = fit_alpha_beta(sizes, ring_times);
+  result.tree_fit = fit_alpha_beta(sizes, tree_times);
+  // b_eff aggregates over processes: the per-process average bandwidth
+  // across patterns and sizes, times the rank count.
+  result.beff_mbs = static_cast<double>(ranks) * bandwidth_sum /
+                    (2.0 * static_cast<double>(sizes.size()));
+  result.latency_us = model.ring_seconds(ranks, 1) * 1e6;
+  return result;
+}
+
+std::string beff_output(const BeffResult& result) {
+  std::string out;
+  out += "b_eff system=" + result.system +
+         " ranks=" + std::to_string(result.ranks) + "\n";
+  out += pad_left("bytes", 10) + pad_left("ring_us", 12) +
+         pad_left("tree_us", 12) + pad_left("ring_MB/s", 12) +
+         pad_left("tree_MB/s", 12) + "\n";
+  for (const auto& s : result.samples) {
+    out += pad_left(std::to_string(s.bytes), 10) +
+           pad_left(format_double(s.ring_seconds * 1e6, 3), 12) +
+           pad_left(format_double(s.tree_seconds * 1e6, 3), 12) +
+           pad_left(format_double(s.ring_mbs(), 2), 12) +
+           pad_left(format_double(s.tree_mbs(), 2), 12) + "\n";
+  }
+  out += "Ring fit alpha_us: " + format_double(result.ring_fit.alpha_us, 3) +
+         " bandwidth_gbs: " +
+         format_double(result.ring_fit.bandwidth_gbs, 3) + "\n";
+  out += "Tree fit alpha_us: " + format_double(result.tree_fit.alpha_us, 3) +
+         " bandwidth_gbs: " +
+         format_double(result.tree_fit.bandwidth_gbs, 3) + "\n";
+  out += "Effective latency us: " + format_double(result.latency_us, 3) +
+         "\n";
+  out += "b_eff MB/s: " + format_double(result.beff_mbs, 2) + "\n";
+  out += "Kernel done\n";
+  return out;
+}
+
+}  // namespace benchpark::system

@@ -1,0 +1,75 @@
+// b_eff-style effective network bandwidth (Rabenseifner's b_eff, the
+// HPCC suite's network component): sweep message sizes from 1 B to
+// 16 MiB through two communication patterns — a simultaneous-neighbor
+// ring and a log-depth tree — on a system's performance model, then
+// summarize as one aggregate "effective bandwidth" figure plus a
+// least-squares alpha-beta (latency-bandwidth) fit per pattern.
+//
+// The sweep runs against PerfModel, so system topology flows in: the
+// ring pattern pays the NUMA cross-socket surcharge on multi-socket
+// nodes, the tree pattern carries the per-rank arrival term that makes
+// aggregate time grow with rank count (the Extra-P-visible behavior).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/system/perf_model.hpp"
+#include "src/system/system.hpp"
+
+namespace benchpark::system {
+
+struct BeffSample {
+  std::uint64_t bytes = 0;
+  double ring_seconds = 0;
+  double tree_seconds = 0;
+
+  [[nodiscard]] double ring_mbs() const {
+    return ring_seconds > 0 ? static_cast<double>(bytes) / ring_seconds / 1e6
+                            : 0;
+  }
+  [[nodiscard]] double tree_mbs() const {
+    return tree_seconds > 0 ? static_cast<double>(bytes) / tree_seconds / 1e6
+                            : 0;
+  }
+};
+
+/// Least-squares fit of t(m) = alpha + beta * m over a sweep.
+struct AlphaBetaFit {
+  double alpha_us = 0;          // fitted latency
+  double bandwidth_gbs = 0;     // 1 / fitted beta
+  double max_rel_residual = 0;  // worst relative misfit over the sweep
+};
+
+struct BeffResult {
+  std::string system;
+  int ranks = 1;
+  std::vector<BeffSample> samples;
+  AlphaBetaFit ring_fit;
+  AlphaBetaFit tree_fit;
+  /// Aggregate effective bandwidth: ranks x the per-process average of
+  /// size/time over both patterns and all sizes (MB/s).
+  double beff_mbs = 0;
+  /// One-byte ring-step latency (µs).
+  double latency_us = 0;
+  /// Modeled wall time of the whole sweep (both patterns, all sizes).
+  double sweep_seconds = 0;
+};
+
+/// The sweep sizes: 1 B to 16 MiB in powers of 4 (13 points).
+[[nodiscard]] std::vector<std::uint64_t> beff_message_sizes();
+
+/// Fit t(m) = alpha + beta * m by least squares; sizes and seconds are
+/// parallel arrays (>= 2 distinct sizes required).
+[[nodiscard]] AlphaBetaFit fit_alpha_beta(
+    const std::vector<std::uint64_t>& sizes,
+    const std::vector<double>& seconds);
+
+/// Run the sweep for `ranks` processes on `system`'s performance model.
+[[nodiscard]] BeffResult run_beff(const SystemDescription& system, int ranks);
+
+/// Render the b_eff report (table, fits, FOM lines, success string).
+[[nodiscard]] std::string beff_output(const BeffResult& result);
+
+}  // namespace benchpark::system

@@ -24,7 +24,12 @@ PerfModel::PerfModel(const SystemDescription& system)
       beta_s_per_byte_(1.0 / (system.interconnect.bandwidth_gbs * 1e9)),
       // Arrival/contention overhead per participating rank. Cloud fabrics
       // (higher base latency) also show proportionally more jitter.
-      arrival_s_per_rank_(alpha_s_ * 0.042) {}
+      arrival_s_per_rank_(alpha_s_ * 0.042),
+      // Cross-socket traffic pays the NUMA surcharge; single-socket
+      // topologies (every pre-existing system) keep a neutral 1.0.
+      numa_factor_(system.topology.sockets > 1
+                       ? 1.0 + system.topology.numa_penalty
+                       : 1.0) {}
 
 double PerfModel::cpu_kernel_seconds(double flops, double bytes,
                                      int ranks_per_node, int threads) const {
@@ -37,6 +42,18 @@ double PerfModel::cpu_kernel_seconds(double flops, double bytes,
       std::min(1.0, static_cast<double>(cores) /
                         std::max(1, system_.cpu.cores_per_node / 4));
   double bw = system_.cpu.mem_bw_gbs * 1e9 * bw_fraction;
+  // Multi-socket nodes: the share of traffic served by the remote socket
+  // crosses the inter-socket link and pays the NUMA penalty. Neutral for
+  // single-socket systems (no change to their modeled numbers).
+  if (system_.topology.sockets > 1) {
+    int per_socket =
+        std::max(1, system_.cpu.cores_per_node / system_.topology.sockets);
+    if (cores > per_socket) {
+      double remote_share =
+          static_cast<double>(cores - per_socket) / cores;
+      bw *= 1.0 - system_.topology.numa_penalty * remote_share;
+    }
+  }
   double compute_s = flops / peak_flops;
   double memory_s = bytes / bw;
   // Launch/loop overhead keeps tiny kernels from reporting zero.
@@ -95,6 +112,16 @@ double PerfModel::collective_seconds(Collective kind, int p,
 
 double PerfModel::p2p_seconds(std::uint64_t bytes) const {
   return alpha_s_ + static_cast<double>(bytes) * beta_s_per_byte_;
+}
+
+double PerfModel::ring_seconds(int p, std::uint64_t bytes) const {
+  if (p <= 1) return 1e-7;
+  // All exchanges run simultaneously, so the base is one neighbor message
+  // (times the NUMA surcharge for on-node cross-socket hops); shared
+  // links add a gentle log(p) congestion factor.
+  double step = alpha_s_ * numa_factor_ +
+                static_cast<double>(bytes) * beta_s_per_byte_;
+  return step * (1.0 + 0.03 * std::log2(static_cast<double>(p)));
 }
 
 }  // namespace benchpark::system

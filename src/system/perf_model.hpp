@@ -40,6 +40,13 @@ public:
   /// Point-to-point message time.
   [[nodiscard]] double p2p_seconds(std::uint64_t bytes) const;
 
+  /// One ring-pattern step over `p` ranks: every rank exchanges `bytes`
+  /// with its neighbors simultaneously, so the base cost is one message,
+  /// inflated by a slow log(p) congestion term and — on multi-socket
+  /// topologies — the cross-socket NUMA surcharge. This is the b_eff
+  /// sweep's ring pattern (src/system/beff.hpp).
+  [[nodiscard]] double ring_seconds(int p, std::uint64_t bytes) const;
+
   [[nodiscard]] const SystemDescription& system() const { return system_; }
 
 private:
@@ -47,6 +54,7 @@ private:
   double alpha_s_;                   // interconnect latency (s)
   double beta_s_per_byte_;           // 1 / interconnect bandwidth
   double arrival_s_per_rank_;        // per-rank sync/contention overhead
+  double numa_factor_;               // 1.0 on single-socket topologies
 };
 
 }  // namespace benchpark::system

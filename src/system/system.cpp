@@ -189,6 +189,75 @@ SystemDescription make_cloud_cts() {
   return s;
 }
 
+SystemDescription make_cts2() {
+  SystemDescription s;
+  s.name = "cts2";
+  s.site = "LLNL";
+  s.description =
+      "Commodity Technology System 2: dual-socket Sapphire Rapids NUMA nodes";
+  s.num_nodes = 128;
+  s.cpu = {"Intel Xeon Platinum 8480+", "sapphirerapids", 112, 2.0, 32, 614};
+  s.node_mem_gb = 512;
+  s.interconnect = {"Cornelis Omni-Path Express", 1.0, 25.0};
+  s.topology = {2, 0.18, 180.0};  // two sockets, UPI cross-socket penalty
+  s.scheduler = SchedulerKind::slurm;
+  s.mpi_launcher = "srun";
+  s.noise_sigma = 0.02;
+  s.seed = 5005;
+  s.base_params = archspec::kernel_base_parameters("sapphirerapids");
+
+  s.config.add_compiler({"gcc", Version("12.1.1"), "/usr/tce/bin/gcc",
+                         "/usr/tce/bin/g++"});
+  s.config.add_compiler({"intel", Version("2023.2.1"), "", ""});
+  s.config.set_default_compiler("gcc@12.1.1");
+  s.config.set_default_target("sapphirerapids");
+  auto& mpi = s.config.package("mpi");
+  mpi.externals.push_back(
+      {spec::Spec::parse("mvapich2@2.3.7"),
+       "/usr/tce/packages/mvapich2/mvapich2-2.3.7-gcc-12.1.1"});
+  mpi.buildable = false;
+  s.config.package("mvapich2")
+      .externals.push_back(
+          {spec::Spec::parse("mvapich2@2.3.7"),
+           "/usr/tce/packages/mvapich2/mvapich2-2.3.7-gcc-12.1.1"});
+  return s;
+}
+
+SystemDescription make_fpga1() {
+  SystemDescription s;
+  s.name = "fpga1";
+  s.site = "pc2";
+  s.description =
+      "FPGA-accelerated cluster: Xeon hosts + 2x Stratix-10 OpenCL cards";
+  s.num_nodes = 32;
+  s.cpu = {"Intel Xeon Gold 6148", "skylake_avx512", 40, 2.4, 32, 256};
+  // The card is modeled through the GPU slot: the perf model only needs
+  // peak rate, memory bandwidth and count, not the programming model.
+  s.gpu = GpuModel{"BittWare 520N (Stratix 10 GX2800)", "opencl", 2, 0.3,
+                   76.8, 32};
+  s.node_mem_gb = 192;
+  s.interconnect = {"InfiniBand HDR + serial channels", 1.2, 25.0};
+  s.scheduler = SchedulerKind::slurm;
+  s.mpi_launcher = "srun";
+  s.noise_sigma = 0.03;
+  s.seed = 6006;
+  // HPCC_FPGA-style base-parameter config: archspec defaults for the
+  // host, overridden with the bitstream's synthesis parameters.
+  s.base_params = archspec::kernel_base_parameters("skylake_avx512");
+  s.base_params["accel_block_size"] = "512";    // GEMM systolic block
+  s.base_params["accel_channel_width"] = "512";  // bits per serial channel
+  s.base_params["accel_kernel_replications"] = "4";
+
+  s.config.add_compiler({"gcc", Version("12.1.1"), "", ""});
+  s.config.set_default_compiler("gcc@12.1.1");
+  s.config.set_default_target("skylake_avx512");
+  auto& mpi = s.config.package("mpi");
+  mpi.externals.push_back({spec::Spec::parse("openmpi@4.1.4"),
+                           "/opt/openmpi/4.1.4"});
+  mpi.buildable = false;
+  return s;
+}
+
 SystemDescription make_native() {
   SystemDescription s;
   s.name = "native";
@@ -219,7 +288,7 @@ const SystemRegistry& SystemRegistry::instance() {
 
 SystemRegistry::SystemRegistry() {
   for (auto make : {make_cts1, make_ats2, make_ats4_ea, make_cloud_cts,
-                    make_native}) {
+                    make_cts2, make_fpga1, make_native}) {
     auto s = make();
     auto name = s.name;
     systems_.insert_or_assign(std::move(name), std::move(s));
@@ -234,8 +303,9 @@ const SystemDescription* SystemRegistry::find(std::string_view name) const {
 const SystemDescription& SystemRegistry::get(std::string_view name) const {
   const auto* found = find(name);
   if (!found) {
-    throw SystemError("unknown system '" + std::string(name) +
-                      "'; known systems: cts1, ats2, ats4, cloud-cts, native");
+    throw SystemError(
+        "unknown system '" + std::string(name) +
+        "'; known systems: cts1, cts2, ats2, ats4, cloud-cts, fpga1, native");
   }
   return *found;
 }

@@ -53,6 +53,15 @@ struct InterconnectModel {
   double bandwidth_gbs = 12.5;
 };
 
+/// Intra-node topology: NUMA domains and the cross-socket surcharge the
+/// perf model applies. The defaults (one socket, zero penalty) are
+/// neutral — single-socket systems keep byte-identical modeled timings.
+struct TopologyModel {
+  int sockets = 1;            // NUMA domains per node
+  double numa_penalty = 0.0;  // fractional bw/latency cost across sockets
+  double intra_node_bw_gbs = 0.0;  // 0 = model with interconnect bandwidth
+};
+
 enum class SchedulerKind { slurm, lsf, flux };
 
 [[nodiscard]] std::string_view scheduler_name(SchedulerKind kind);
@@ -67,8 +76,14 @@ struct SystemDescription {
   std::optional<GpuModel> gpu;
   double node_mem_gb = 128;
   InterconnectModel interconnect;
+  TopologyModel topology;
   SchedulerKind scheduler = SchedulerKind::slurm;
   std::string mpi_launcher;  // "srun", "jsrun", "flux run"
+
+  /// Kernel base parameters (HPCC_FPGA-style base-parameter config):
+  /// archspec-derived defaults (vector width, FMA, blocking) that a
+  /// system may override for its attached accelerator.
+  std::map<std::string, std::string> base_params;
 
   /// The Spack config scope for this system (compilers.yaml,
   /// packages.yaml with externals — Figure 4).
@@ -114,6 +129,13 @@ SystemDescription make_ats4_ea();
 /// A cloud twin of cts1 "of similar architecture" missing one hardware
 /// feature the vendor math library uses (Section 7.1).
 SystemDescription make_cloud_cts();
+/// CTS-2-class dual-socket NUMA cluster (Sapphire Rapids): the perf
+/// model charges its cross-socket penalty when kernels span sockets.
+SystemDescription make_cts2();
+/// FPGA-accelerated target a la pc2/HPCC_FPGA: host CPU plus two
+/// OpenCL-attached accelerator cards; kernel base parameters come from
+/// archspec and are overridden with the card's bitstream configuration.
+SystemDescription make_fpga1();
 /// The machine the library itself runs on (real detection; used by the
 /// quickstart to run saxpy natively).
 SystemDescription make_native();

@@ -1,0 +1,524 @@
+// Tests for the HPCC-class kernel suite: GEMM, PTRANS, FFT, RandomAccess,
+// and the b_eff collectives sweep — optimized-vs-scalar parity (bit-exact
+// where the algorithm permits, 1e-12 otherwise), the runtime SIMD
+// dispatcher, FOM-regex extraction for every new ApplicationDefinition,
+// warm-store re-runs, and an Extra-P fit smoke over a scaling matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "src/analysis/analysis.hpp"
+#include "src/archspec/microarch.hpp"
+#include "src/benchmarks/fft.hpp"
+#include "src/benchmarks/gemm.hpp"
+#include "src/benchmarks/ptrans.hpp"
+#include "src/benchmarks/randomaccess.hpp"
+#include "src/core/driver.hpp"
+#include "src/ramble/application.hpp"
+#include "src/store/store.hpp"
+#include "src/support/error.hpp"
+#include "src/support/fs_util.hpp"
+#include "src/support/simd_dispatch.hpp"
+#include "src/system/beff.hpp"
+#include "src/system/perf_model.hpp"
+#include "src/system/system.hpp"
+#include "src/yaml/parser.hpp"
+
+namespace bm = benchpark::benchmarks;
+namespace sys = benchpark::system;
+namespace support = benchpark::support;
+
+namespace {
+
+std::vector<double> random_matrix(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> m(n * n);
+  for (auto& v : m) v = dist(rng);
+  return m;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- SIMD dispatch
+
+TEST(SimdDispatch, LevelNamesAreStable) {
+  EXPECT_STREQ(support::simd_level_name(support::SimdLevel::scalar),
+               "scalar");
+  EXPECT_STREQ(support::simd_level_name(support::SimdLevel::avx2), "avx2");
+}
+
+TEST(SimdDispatch, CompiledLevelIsVectorOnX86) {
+#if defined(__x86_64__)
+  // x86-64 baseline guarantees SSE2, so the binary always has a vector
+  // flavor to dispatch to.
+  EXPECT_GE(static_cast<int>(support::compiled_simd_level()),
+            static_cast<int>(support::SimdLevel::sse2));
+#else
+  SUCCEED();
+#endif
+}
+
+TEST(SimdDispatch, ForceScalarDemotesDetection) {
+  ::unsetenv("BENCHPARK_FORCE_SCALAR");
+  EXPECT_EQ(support::detect_simd_level(), support::compiled_simd_level());
+  ::setenv("BENCHPARK_FORCE_SCALAR", "1", /*overwrite=*/1);
+  EXPECT_EQ(support::detect_simd_level(), support::SimdLevel::scalar);
+  ::unsetenv("BENCHPARK_FORCE_SCALAR");
+  EXPECT_EQ(support::detect_simd_level(), support::compiled_simd_level());
+}
+
+TEST(SimdDispatch, SelectKernelBindsByActiveLevel) {
+  using Fn = int (*)();
+  Fn vec = [] { return 1; };
+  Fn scalar = [] { return 2; };
+  Fn chosen = support::select_kernel(vec, scalar);
+  EXPECT_EQ(chosen(), support::simd_active() ? 1 : 2);
+}
+
+TEST(SimdDispatch, ActiveLevelIsCachedAcrossCalls) {
+  EXPECT_EQ(support::active_simd_level(), support::active_simd_level());
+}
+
+// ------------------------------------------------------------------ GEMM
+
+TEST(Gemm, BlockedMatchesNaiveBitwise) {
+  // Sizes straddling every blocking boundary: MR=4, NR=8, NC=128, KC=256.
+  for (std::size_t n : {1u, 3u, 8u, 33u, 100u, 129u, 260u}) {
+    auto a = random_matrix(n, 11);
+    auto b = random_matrix(n, 22);
+    std::vector<double> c_blocked(n * n), c_naive(n * n);
+    bm::gemm_blocked(c_blocked.data(), a.data(), b.data(), n, 1);
+    bm::gemm_naive(c_naive.data(), a.data(), b.data(), n);
+    EXPECT_EQ(std::memcmp(c_blocked.data(), c_naive.data(),
+                          n * n * sizeof(double)),
+              0)
+        << "n=" << n;
+  }
+}
+
+TEST(Gemm, ThreadedMatchesSerialBitwise) {
+  const std::size_t n = 130;
+  auto a = random_matrix(n, 33);
+  auto b = random_matrix(n, 44);
+  std::vector<double> serial(n * n), threaded(n * n);
+  bm::gemm_blocked(serial.data(), a.data(), b.data(), n, 1);
+  bm::gemm_blocked(threaded.data(), a.data(), b.data(), n, 4);
+  EXPECT_EQ(std::memcmp(serial.data(), threaded.data(),
+                        n * n * sizeof(double)),
+            0);
+}
+
+TEST(Gemm, RunVerifiesViaFreivalds) {
+  auto result = bm::run_gemm(96, 2);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(result.gflops, 0);
+  EXPECT_GT(result.elapsed_seconds, 0);
+}
+
+TEST(Gemm, CostModel) {
+  EXPECT_DOUBLE_EQ(bm::gemm_flops(100), 2e6);
+  EXPECT_DOUBLE_EQ(bm::gemm_bytes(100), 3 * 100 * 100 * 8.0);
+}
+
+TEST(Gemm, OutputCarriesFomAndSuccessStrings) {
+  auto out = bm::gemm_output(bm::run_gemm(64, 1));
+  EXPECT_NE(out.find("GEMM GFLOP/s:"), std::string::npos);
+  EXPECT_NE(out.find("Kernel elapsed:"), std::string::npos);
+  EXPECT_NE(out.find("Kernel done"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- PTRANS
+
+TEST(Ptrans, TiledMatchesNaiveBitwise) {
+  // Straddle the 32-wide leaf tile and the recursion splits.
+  for (std::size_t n : {1u, 5u, 32u, 33u, 64u, 100u, 130u}) {
+    auto a = random_matrix(n, 55);
+    std::vector<double> tiled(n * n), naive(n * n);
+    bm::ptrans_tiled(tiled.data(), a.data(), n, 1);
+    bm::ptrans_naive(naive.data(), a.data(), n);
+    EXPECT_EQ(
+        std::memcmp(tiled.data(), naive.data(), n * n * sizeof(double)), 0)
+        << "n=" << n;
+  }
+}
+
+TEST(Ptrans, ThreadedMatchesSerialBitwise) {
+  const std::size_t n = 97;
+  auto a = random_matrix(n, 66);
+  std::vector<double> serial(n * n), threaded(n * n);
+  bm::ptrans_tiled(serial.data(), a.data(), n, 1);
+  bm::ptrans_tiled(threaded.data(), a.data(), n, 4);
+  EXPECT_EQ(
+      std::memcmp(serial.data(), threaded.data(), n * n * sizeof(double)),
+      0);
+}
+
+TEST(Ptrans, EvenRepeatsRestoreInput) {
+  auto result = bm::run_ptrans(128, 2, /*repeats=*/4);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(result.bandwidth_gbs, 0);
+}
+
+TEST(Ptrans, OutputCarriesFomAndSuccessStrings) {
+  auto out = bm::ptrans_output(bm::run_ptrans(64, 1));
+  EXPECT_NE(out.find("PTRANS GB/s:"), std::string::npos);
+  EXPECT_NE(out.find("Kernel done"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- FFT
+
+TEST(Fft, PlanRejectsNonPowersOfTwo) {
+  EXPECT_THROW(bm::FftPlan(0), benchpark::Error);
+  EXPECT_THROW(bm::FftPlan(1), benchpark::Error);
+  EXPECT_THROW(bm::FftPlan(3), benchpark::Error);
+  EXPECT_THROW(bm::FftPlan(96), benchpark::Error);
+  EXPECT_NO_THROW(bm::FftPlan(1024));
+}
+
+TEST(Fft, VectorizedMatchesScalarWithin1e12) {
+  const std::size_t n = 1024;
+  bm::FftPlan plan(n);
+  auto re0 = random_matrix(32, 77);  // 1024 doubles
+  auto im0 = random_matrix(32, 88);
+  std::vector<double> re_v(re0), im_v(im0), re_s(re0), im_s(im0);
+  std::vector<double> sc_re(n), sc_im(n);
+  bm::fft_transform(plan, re_v.data(), im_v.data(), sc_re.data(),
+                    sc_im.data());
+  bm::fft_transform_scalar(plan, re_s.data(), im_s.data(), sc_re.data(),
+                           sc_im.data());
+  double norm = 0;
+  for (std::size_t i = 0; i < n; ++i) norm += re_s[i] * re_s[i] + im_s[i] * im_s[i];
+  norm = std::sqrt(norm);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(std::fabs(re_v[i] - re_s[i]) / norm, 1e-12) << i;
+    EXPECT_LE(std::fabs(im_v[i] - im_s[i]) / norm, 1e-12) << i;
+  }
+}
+
+TEST(Fft, MatchesNaiveDftOnSmallTransform) {
+  const std::size_t n = 16;
+  bm::FftPlan plan(n);
+  std::vector<double> re(n), im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = std::cos(0.7 * static_cast<double>(i));
+    im[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  // Naive O(n^2) DFT as the independent oracle.
+  std::vector<double> dft_re(n), dft_im(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double sr = 0, si = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      sr += re[j] * std::cos(angle) - im[j] * std::sin(angle);
+      si += re[j] * std::sin(angle) + im[j] * std::cos(angle);
+    }
+    dft_re[k] = sr;
+    dft_im[k] = si;
+  }
+  std::vector<double> sc_re(n), sc_im(n);
+  bm::fft_transform(plan, re.data(), im.data(), sc_re.data(), sc_im.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(re[k], dft_re[k], 1e-10) << k;
+    EXPECT_NEAR(im[k], dft_im[k], 1e-10) << k;
+  }
+}
+
+TEST(Fft, RoundTripWithin1e12) {
+  auto result = bm::run_fft(2048, 4, 2);
+  EXPECT_TRUE(result.verified);
+  EXPECT_LE(result.max_roundtrip_error, 1e-12);
+  EXPECT_GT(result.gflops, 0);
+}
+
+TEST(Fft, OutputCarriesFomAndSuccessStrings) {
+  auto out = bm::fft_output(bm::run_fft(512, 2, 1));
+  EXPECT_NE(out.find("FFT GFLOP/s:"), std::string::npos);
+  EXPECT_NE(out.find("Roundtrip max rel err:"), std::string::npos);
+  EXPECT_NE(out.find("Kernel done"), std::string::npos);
+}
+
+// ---------------------------------------------------------- RandomAccess
+
+TEST(RandomAccess, ValueStreamIsCounterBased) {
+  // splitmix64 of distinct counters must differ (bijection sanity).
+  EXPECT_NE(bm::ra_value(0), bm::ra_value(1));
+  EXPECT_NE(bm::ra_value(1), bm::ra_value(2));
+  EXPECT_EQ(bm::ra_value(42), bm::ra_value(42));
+}
+
+TEST(RandomAccess, BatchedMatchesScalarExactly) {
+  const std::size_t size = 1u << 12;
+  const std::uint64_t updates = 4 * size;
+  std::vector<std::uint64_t> opt(size), ref(size);
+  std::iota(opt.begin(), opt.end(), 0);
+  std::iota(ref.begin(), ref.end(), 0);
+  bm::randomaccess_update(opt.data(), size, 0, updates, 1);
+  bm::randomaccess_update_scalar(ref.data(), size, 0, updates);
+  EXPECT_EQ(opt, ref);
+}
+
+TEST(RandomAccess, ThreadedMatchesScalarExactly) {
+  // XOR commutativity: any partition yields the identical final table.
+  const std::size_t size = 1u << 12;
+  const std::uint64_t updates = 4 * size;
+  std::vector<std::uint64_t> opt(size), ref(size);
+  std::iota(opt.begin(), opt.end(), 0);
+  std::iota(ref.begin(), ref.end(), 0);
+  bm::randomaccess_update(opt.data(), size, 0, updates, 4);
+  bm::randomaccess_update_scalar(ref.data(), size, 0, updates);
+  EXPECT_EQ(opt, ref);
+}
+
+TEST(RandomAccess, InvolutionVerifies) {
+  auto result = bm::run_randomaccess(12, 2);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(result.gups, 0);
+  EXPECT_EQ(result.updates, 4u << 12);
+}
+
+TEST(RandomAccess, OutputCarriesFomAndSuccessStrings) {
+  auto out = bm::randomaccess_output(bm::run_randomaccess(10, 1));
+  EXPECT_NE(out.find("RandomAccess GUP/s:"), std::string::npos);
+  EXPECT_NE(out.find("Kernel done"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- b_eff
+
+TEST(Beff, AlphaBetaFitRecoversSyntheticLine) {
+  // t(m) = 2us + m / (10 GB/s), exactly linear.
+  std::vector<std::uint64_t> sizes{1, 1024, 1u << 20};
+  std::vector<double> seconds;
+  for (auto m : sizes) {
+    seconds.push_back(2e-6 + static_cast<double>(m) / 10e9);
+  }
+  auto fit = sys::fit_alpha_beta(sizes, seconds);
+  EXPECT_NEAR(fit.alpha_us, 2.0, 1e-6);
+  EXPECT_NEAR(fit.bandwidth_gbs, 10.0, 1e-6);
+  EXPECT_LE(fit.max_rel_residual, 1e-9);
+}
+
+TEST(Beff, FitRejectsDegenerateInput) {
+  EXPECT_THROW((void)sys::fit_alpha_beta({1}, {1e-6}),
+               benchpark::SystemError);
+  EXPECT_THROW((void)sys::fit_alpha_beta({8, 8}, {1e-6, 2e-6}),
+               benchpark::SystemError);
+}
+
+TEST(Beff, SweepCoversThirteenSizesAndFits) {
+  const auto& cts2 = sys::SystemRegistry::instance().get("cts2");
+  auto result = sys::run_beff(cts2, 32);
+  EXPECT_EQ(result.samples.size(), 13u);
+  EXPECT_GT(result.beff_mbs, 0);
+  EXPECT_GT(result.latency_us, 0);
+  EXPECT_GT(result.ring_fit.bandwidth_gbs, 0);
+  EXPECT_GT(result.tree_fit.bandwidth_gbs, 0);
+  // The fitted ring latency reflects the alpha term, not noise.
+  EXPECT_GT(result.ring_fit.alpha_us, 0);
+}
+
+TEST(Beff, RingTimeGrowsWithRanksAndBytes) {
+  const auto& cts2 = sys::SystemRegistry::instance().get("cts2");
+  sys::PerfModel model(cts2);
+  EXPECT_LT(model.ring_seconds(2, 1024), model.ring_seconds(16, 1024));
+  EXPECT_LT(model.ring_seconds(8, 1024), model.ring_seconds(8, 1 << 20));
+}
+
+TEST(Beff, NumaSurchargeRaisesRingLatency) {
+  // Same fabric, one socket vs two: the multi-socket topology pays the
+  // cross-socket alpha surcharge.
+  auto flat = sys::SystemRegistry::instance().get("cts2");
+  flat.topology.sockets = 1;
+  sys::PerfModel numa(sys::SystemRegistry::instance().get("cts2"));
+  sys::PerfModel uma(flat);
+  EXPECT_GT(numa.ring_seconds(8, 1), uma.ring_seconds(8, 1));
+}
+
+TEST(Beff, OutputCarriesFomAndSuccessStrings) {
+  const auto& cts2 = sys::SystemRegistry::instance().get("cts2");
+  auto out = sys::beff_output(sys::run_beff(cts2, 8));
+  EXPECT_NE(out.find("b_eff MB/s:"), std::string::npos);
+  EXPECT_NE(out.find("Effective latency us:"), std::string::npos);
+  EXPECT_NE(out.find("Ring fit alpha_us:"), std::string::npos);
+  EXPECT_NE(out.find("Kernel done"), std::string::npos);
+}
+
+// ------------------------------------------- archspec base parameters
+
+TEST(KernelBaseParams, TracksIsaVectorWidth) {
+  auto srf = benchpark::archspec::kernel_base_parameters("sapphirerapids");
+  EXPECT_EQ(srf.at("vector_doubles"), "8");
+  EXPECT_EQ(srf.at("fma"), "1");
+  EXPECT_EQ(srf.at("gemm_nr"), "16");
+
+  auto bdw = benchpark::archspec::kernel_base_parameters("broadwell");
+  EXPECT_EQ(bdw.at("vector_doubles"), "4");
+
+  auto unknown = benchpark::archspec::kernel_base_parameters("riscv-far");
+  EXPECT_EQ(unknown.at("vector_doubles"), "1");
+  EXPECT_EQ(unknown.at("fma"), "0");
+  EXPECT_EQ(unknown.at("gemm_nr"), "4");
+}
+
+// ------------------------------------------------ new system models
+
+TEST(SystemRegistry, Cts2IsDualSocketSapphireRapids) {
+  const auto& cts2 = sys::SystemRegistry::instance().get("cts2");
+  EXPECT_EQ(cts2.cpu.microarch, "sapphirerapids");
+  EXPECT_EQ(cts2.topology.sockets, 2);
+  EXPECT_GT(cts2.topology.numa_penalty, 0);
+  EXPECT_EQ(cts2.base_params.at("vector_doubles"), "8");
+  EXPECT_FALSE(cts2.has_gpu());
+}
+
+TEST(SystemRegistry, Fpga1IsAcceleratorAttached) {
+  const auto& fpga1 = sys::SystemRegistry::instance().get("fpga1");
+  ASSERT_TRUE(fpga1.has_gpu());
+  EXPECT_EQ(fpga1.gpu->runtime, "opencl");
+  // HPCC_FPGA-style base-parameter config rides along.
+  EXPECT_EQ(fpga1.base_params.at("accel_kernel_replications"), "4");
+  EXPECT_FALSE(fpga1.base_params.at("vector_doubles").empty());
+}
+
+// ------------------------------------------------- FOM regex extraction
+
+TEST(FomExtraction, AllKernelDefinitionsParseTheirOwnOutput) {
+  const auto& registry = benchpark::ramble::ApplicationRegistry::instance();
+  const auto& cts2 = sys::SystemRegistry::instance().get("cts2");
+
+  struct Case {
+    std::string app;
+    std::string output;
+    std::string fom;
+  };
+  const std::vector<Case> cases = {
+      {"gemm", bm::gemm_output(bm::run_gemm(64, 1)), "gflops"},
+      {"ptrans", bm::ptrans_output(bm::run_ptrans(64, 1)), "bw"},
+      {"fft", bm::fft_output(bm::run_fft(256, 2, 1)), "gflops"},
+      {"randomaccess", bm::randomaccess_output(bm::run_randomaccess(10, 1)),
+       "gups"},
+      {"beff", sys::beff_output(sys::run_beff(cts2, 8)), "beff"},
+  };
+  for (const auto& c : cases) {
+    const auto& app = registry.get(c.app);
+    auto foms = benchpark::analysis::extract_foms(app.foms(), c.output);
+    bool found = false;
+    for (const auto& fom : foms) {
+      if (fom.name != c.fom) continue;
+      found = true;
+      EXPECT_TRUE(fom.numeric) << c.app;
+      EXPECT_GT(fom.value, 0) << c.app;
+    }
+    EXPECT_TRUE(found) << c.app << ": FOM '" << c.fom << "' not extracted";
+    EXPECT_TRUE(benchpark::analysis::evaluate_success(
+        app.success_criteria_list(), c.output))
+        << c.app;
+  }
+}
+
+// ------------------------------------------- workflow + store + Extra-P
+
+TEST(KernelWorkflows, WarmStoreRerunsNothing) {
+  benchpark::core::Driver driver;
+  support::TempDir tmp("kernels-store");
+  benchpark::ramble::RunRequest request;
+  request.store = benchpark::store::Store::open(tmp.path() / "store");
+
+  const std::vector<std::pair<std::string, std::string>> suite = {
+      {"gemm", "openmp"},     {"ptrans", "openmp"},
+      {"fft", "openmp"},      {"randomaccess", "openmp"},
+      {"beff", "mpi"},
+  };
+  for (const auto& [benchmark, variant] : suite) {
+    benchpark::ramble::RunReport cold, warm;
+    auto cold_report = driver.run_workflow(
+        {benchmark, variant}, "cts2", tmp.path() / (benchmark + "-cold"),
+        {}, nullptr, request, &cold);
+    EXPECT_EQ(cold.store_hits, 0u) << benchmark;
+    EXPECT_EQ(cold.store_misses, cold.experiments) << benchmark;
+    EXPECT_EQ(cold_report.num_success(), cold_report.results.size())
+        << benchmark;
+
+    auto warm_report = driver.run_workflow(
+        {benchmark, variant}, "cts2", tmp.path() / (benchmark + "-warm"),
+        {}, nullptr, request, &warm);
+    // Every experiment restores from the store: zero re-executions.
+    EXPECT_EQ(warm.store_hits, warm.experiments) << benchmark;
+    EXPECT_EQ(warm.store_misses, 0u) << benchmark;
+    EXPECT_EQ(warm_report.num_success(), warm_report.results.size())
+        << benchmark;
+  }
+}
+
+TEST(KernelWorkflows, ExtraPFitSmokeOverScalingMatrix) {
+  // A 4-point thread-scaling matrix for gemm, fed through run_analysis
+  // with fit_scaling: the Extra-P model must fit the gflops series.
+  benchpark::core::Driver driver;
+  driver.add_experiment(
+      {"gemm", "scaling"},
+      benchpark::yaml::parse(
+          "ramble:\n"
+          "  applications:\n"
+          "    gemm:\n"
+          "      workloads:\n"
+          "        square:\n"
+          "          env_vars:\n"
+          "            set:\n"
+          "              OMP_NUM_THREADS: '{n_threads}'\n"
+          "          variables:\n"
+          "            n_ranks: '1'\n"
+          "            processes_per_node: '1'\n"
+          "          experiments:\n"
+          "            gemm_scale_{n_threads}:\n"
+          "              variables:\n"
+          "                n: '256'\n"
+          "                n_threads: ['1', '2', '4', '8']\n"
+          "  spack:\n"
+          "    packages:\n"
+          "      gemm:\n"
+          "        spack_spec: gemm@1.0 +openmp\n"
+          "        compiler: default-compiler\n"
+          "    environments:\n"
+          "      gemm:\n"
+          "        packages:\n"
+          "        - gemm\n"));
+  support::TempDir tmp("kernels-extrap");
+  auto report =
+      driver.run_workflow({"gemm", "scaling"}, "cts2", tmp.path() / "ws");
+  ASSERT_EQ(report.results.size(), 4u);
+
+  std::vector<benchpark::analysis::ExperimentRecord> records;
+  for (const auto& result : report.results) {
+    benchpark::analysis::ExperimentRecord record;
+    record.benchmark = "gemm";
+    record.system = "cts2";
+    record.experiment = result.name;
+    record.variables = result.variables;
+    record.foms = result.foms;
+    record.success = result.success;
+    record.output = result.output;
+    records.push_back(std::move(record));
+  }
+  benchpark::analysis::AnalysisRequest request;
+  request.records = &records;
+  request.detect = false;
+  request.bisect = false;
+  request.fit_scaling = true;
+  request.scaling_variable = "n_threads";
+  auto analysis = benchpark::analysis::run_analysis(request);
+
+  bool fitted = false;
+  for (const auto& fit : analysis.fits) {
+    if (fit.fom != "gflops") continue;
+    fitted = true;
+    EXPECT_TRUE(fit.ok) << fit.error;
+  }
+  EXPECT_TRUE(fitted) << "no gflops scaling fit produced";
+  EXPECT_GE(analysis.stats.fits, 1u);
+}
